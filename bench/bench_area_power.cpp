@@ -1,0 +1,76 @@
+// Reproduces paper §VI-A: area and power overhead of the correction
+// circuitry from the 45 nm cell-library synthesis model.
+// Paper reference: +28% area / +29% power (correction only), +31% / +30%
+// with the fault-detection mechanism included.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "synthesis/router_netlists.hpp"
+
+using namespace rnoc;
+using namespace rnoc::synth;
+
+namespace {
+
+void print_report() {
+  const rel::RouterGeometry g;
+  const auto rep = synthesize(g);
+  const auto base = baseline_router_netlists(g);
+  const auto corr = correction_netlists(g);
+  const auto& lib = CellLibrary::generic45();
+
+  std::printf("Synthesis report (paper §VI-A), 45 nm, 5x5 router, 4 VCs\n\n");
+  std::printf("%-18s %12s %12s\n", "block", "area (um^2)", "cells");
+  auto row = [&](const char* n, const Netlist& nl) {
+    std::printf("%-18s %12.1f %12lld\n", n, nl.area_um2(lib),
+                static_cast<long long>(nl.total_cells()));
+  };
+  row("baseline RC", base.rc);
+  row("baseline VA", base.va);
+  row("baseline SA", base.sa);
+  row("baseline XB", base.xb);
+  row("correction RC", corr.rc);
+  row("correction VA", corr.va);
+  row("correction SA", corr.sa);
+  row("correction XB", corr.xb);
+
+  std::printf("\n                       area     power\n");
+  std::printf("baseline pipeline  %8.0f  %8.0f\n", rep.base_area_um2,
+              rep.base_power_uw);
+  std::printf("correction         %8.0f  %8.0f\n", rep.corr_area_um2,
+              rep.corr_power_uw);
+  std::printf("overhead            %6.1f%%   %6.1f%%   (paper: 28%% / 29%%)\n",
+              100 * rep.area_overhead, 100 * rep.power_overhead);
+  std::printf("with detection      %6.1f%%   %6.1f%%   (paper: 31%% / 30%%)\n\n",
+              100 * rep.area_overhead_with_detection,
+              100 * rep.power_overhead_with_detection);
+}
+
+void BM_Synthesize(benchmark::State& state) {
+  const rel::RouterGeometry g;
+  for (auto _ : state) {
+    auto rep = synthesize(g);
+    benchmark::DoNotOptimize(rep);
+  }
+}
+BENCHMARK(BM_Synthesize);
+
+void BM_SynthesizeVsVcs(benchmark::State& state) {
+  rel::RouterGeometry g;
+  g.vcs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto rep = synthesize(g);
+    benchmark::DoNotOptimize(rep);
+  }
+}
+BENCHMARK(BM_SynthesizeVsVcs)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

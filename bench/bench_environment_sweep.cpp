@@ -1,0 +1,87 @@
+// Ablation A7: reliability vs operating environment. Exercises the V/T
+// dependence of the FORC TDDB model (paper Eq. 2): FIT, MTTF and the
+// protected router's improvement factor across supply voltages and
+// temperatures, plus the wear-out (Weibull) sensitivity of the structural
+// MTTF. The paper evaluates only (1 V, 300 K); this sweep shows how far its
+// conclusions carry.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "reliability/mttf.hpp"
+#include "reliability/structural_mttf.hpp"
+
+using namespace rnoc::rel;
+
+namespace {
+
+void print_sweep() {
+  const auto params = paper_calibrated_params();
+  const RouterGeometry g;
+
+  std::printf("Reliability vs operating point (ablation A7; paper point is "
+              "1.0 V / 300 K)\n\n");
+  std::printf("%8s %8s %14s %14s %12s\n", "Vdd", "T(K)", "baseline FIT",
+              "MTTF base (h)", "improvement");
+  for (const double vdd : {0.9, 1.0, 1.1}) {
+    for (const double temp : {300.0, 330.0, 360.0}) {
+      OperatingPoint op{vdd, temp};
+      const auto rep = mttf_report(g, params, /*as_printed=*/false, op);
+      std::printf("%8.2f %8.0f %14.1f %14.0f %11.2fx\n", vdd, temp,
+                  rep.fit_baseline, rep.mttf_baseline_h, rep.improvement);
+    }
+  }
+  std::printf("\nFIT scales steeply with voltage and temperature (Eq. 2), "
+              "but the improvement\nfactor is invariant: both the pipeline "
+              "and its correction circuitry accelerate\ntogether. The "
+              "paper's 6x claim is operating-point-independent.\n\n");
+
+  std::printf("Structural MTTF vs hazard shape (Weibull; 1.0 = exponential "
+              "/ SOFR):\n");
+  std::printf("%8s %16s %16s %12s\n", "shape", "baseline (h)",
+              "protected (h)", "improvement");
+  for (const double shape : {1.0, 1.5, 2.0, 3.0}) {
+    StructuralMttfConfig base, prot;
+    base.mode = rnoc::core::RouterMode::Baseline;
+    base.trials = prot.trials = 20000;
+    base.weibull_shape = prot.weibull_shape = shape;
+    const double mb = structural_mttf(base).lifetime_hours.mean();
+    const double mp = structural_mttf(prot).lifetime_hours.mean();
+    std::printf("%8.1f %16.0f %16.0f %11.2fx\n", shape, mb, mp, mp / mb);
+  }
+  std::printf("\nWear-out (shape > 1) squeezes the redundancy win: spare and "
+              "primary age\ntogether, so the second failure follows the "
+              "first sooner than exponential\nhazards predict — the MTTF "
+              "improvement shrinks as hazards steepen.\n\n");
+}
+
+void BM_MttfAtOperatingPoint(benchmark::State& state) {
+  const auto params = paper_calibrated_params();
+  const RouterGeometry g;
+  OperatingPoint op{1.0, static_cast<double>(state.range(0))};
+  for (auto _ : state) {
+    auto rep = mttf_report(g, params, false, op);
+    benchmark::DoNotOptimize(rep);
+  }
+}
+BENCHMARK(BM_MttfAtOperatingPoint)->Arg(300)->Arg(360);
+
+void BM_StructuralMttfWeibull(benchmark::State& state) {
+  StructuralMttfConfig cfg;
+  cfg.trials = 2000;
+  cfg.weibull_shape = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto r = structural_mttf(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_StructuralMttfWeibull)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

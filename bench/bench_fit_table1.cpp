@@ -1,0 +1,55 @@
+// Reproduces paper Table I: FIT values of the baseline pipeline stages.
+// Paper reference: RC 117, VA 1478, SA 203, XB 1024 (5x5 router, 4 VCs,
+// 8x8 mesh, TDDB at 1 V / 300 K).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "reliability/fit.hpp"
+
+using namespace rnoc::rel;
+
+namespace {
+
+void print_table() {
+  const auto params = paper_calibrated_params();
+  const RouterGeometry g;
+  std::printf("%s\n", format_fit_table(baseline_fit_table(g, params),
+                                       "Table I: FIT of baseline pipeline "
+                                       "stages (failures per 1e9 hours)")
+                          .c_str());
+  const StageFits s = baseline_stage_fits(g, params);
+  std::printf("paper reference: RC 117 | VA 1478 | SA 203 | XB 1024 | total 2822\n");
+  std::printf("reproduced     : RC %.0f | VA %.0f | SA %.0f | XB %.0f | total %.0f\n\n",
+              s.rc, s.va, s.sa, s.xb, s.rounded().total());
+}
+
+void BM_BaselineFitTable(benchmark::State& state) {
+  const auto params = paper_calibrated_params();
+  const RouterGeometry g;
+  for (auto _ : state) {
+    auto table = baseline_fit_table(g, params);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_BaselineFitTable);
+
+void BM_StageFitRollup(benchmark::State& state) {
+  const auto params = paper_calibrated_params();
+  const RouterGeometry g;
+  const auto table = baseline_fit_table(g, params);
+  for (auto _ : state) {
+    auto fits = stage_fits(table);
+    benchmark::DoNotOptimize(fits);
+  }
+}
+BENCHMARK(BM_StageFitRollup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces paper Table II: FIT rates of the correction circuitry.
+// Paper reference: RC 117, VA 60, SA 53, XB 416 (total 646).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "reliability/fit.hpp"
+
+using namespace rnoc::rel;
+
+namespace {
+
+void print_table() {
+  const auto params = paper_calibrated_params();
+  const RouterGeometry g;
+  std::printf("%s\n", format_fit_table(correction_fit_table(g, params),
+                                       "Table II: FIT of the correction "
+                                       "circuitry (failures per 1e9 hours)")
+                          .c_str());
+  const StageFits s = correction_stage_fits(g, params);
+  std::printf("paper reference: RC 117 | VA 60 | SA 53 | XB 416 | total 646\n");
+  std::printf("reproduced     : RC %.0f | VA %.0f | SA %.0f | XB %.0f | total %.0f\n\n",
+              s.rc, s.va, s.sa, s.xb, s.total());
+}
+
+void BM_CorrectionFitTable(benchmark::State& state) {
+  const auto params = paper_calibrated_params();
+  const RouterGeometry g;
+  for (auto _ : state) {
+    auto table = correction_fit_table(g, params);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_CorrectionFitTable);
+
+/// Geometry sweep shows how correction FIT scales with VC count.
+void BM_CorrectionFitVsVcs(benchmark::State& state) {
+  const auto params = paper_calibrated_params();
+  RouterGeometry g;
+  g.vcs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto fits = correction_stage_fits(g, params);
+    benchmark::DoNotOptimize(fits);
+  }
+}
+BENCHMARK(BM_CorrectionFitVsVcs)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces paper Figure 8: average packet latency of PARSEC application
+// traffic on the 8x8 mesh, fault-free vs fault-injected protected router.
+// Paper reference: overall latency increase ~13% under multiple faults.
+#include <benchmark/benchmark.h>
+
+#include "latency_common.hpp"
+
+using namespace rnoc;
+
+namespace {
+
+void BM_ParsecApp(benchmark::State& state) {
+  const auto& apps = traffic::parsec_profiles();
+  const auto& profile = apps[static_cast<std::size_t>(state.range(0))];
+  auto cfg = benchx::figure_sim_config();
+  cfg.measure = 3000;
+  for (auto _ : state) {
+    auto r = benchx::run_app(profile, cfg, 9);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(profile.name);
+}
+BENCHMARK(BM_ParsecApp)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::print_figure(
+      "Figure 8: PARSEC latency, fault-free vs fault-injected (8x8 mesh)",
+      traffic::parsec_profiles(), 0.13);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces paper Figure 7: average packet latency of SPLASH-2 application
+// traffic on the 8x8 mesh, fault-free vs fault-injected protected router.
+// Paper reference: overall latency increase ~10% under multiple faults.
+#include <benchmark/benchmark.h>
+
+#include "latency_common.hpp"
+
+using namespace rnoc;
+
+namespace {
+
+void BM_Splash2App(benchmark::State& state) {
+  const auto& apps = traffic::splash2_profiles();
+  const auto& profile = apps[static_cast<std::size_t>(state.range(0))];
+  auto cfg = benchx::figure_sim_config();
+  cfg.measure = 3000;  // timing-only run; the printed figure uses the full window
+  for (auto _ : state) {
+    auto r = benchx::run_app(profile, cfg, 7);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(profile.name);
+}
+BENCHMARK(BM_Splash2App)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::print_figure(
+      "Figure 7: SPLASH-2 latency, fault-free vs fault-injected (8x8 mesh)",
+      traffic::splash2_profiles(), 0.10);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

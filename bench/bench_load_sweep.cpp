@@ -1,0 +1,81 @@
+// Ablation A4: latency vs offered load for synthetic patterns, fault-free vs
+// a heavily fault-injected protected mesh. Shows the fault penalty growing
+// with load (degraded resources saturate earlier) — the effect behind the
+// PARSEC-vs-SPLASH-2 gap in Figures 7/8.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
+#include "noc/simulator.hpp"
+#include "traffic/patterns.hpp"
+
+using namespace rnoc;
+
+namespace {
+
+noc::SimConfig sim_config() {
+  noc::SimConfig cfg;
+  cfg.mesh.dims = {8, 8};
+  cfg.warmup = 2000;
+  cfg.measure = 6000;
+  cfg.drain_limit = 25000;
+  cfg.progress_timeout = 25000;
+  return cfg;
+}
+
+double run_once(traffic::Pattern pattern, double rate, bool faults) {
+  const auto cfg = sim_config();
+  traffic::SyntheticConfig tc;
+  tc.pattern = pattern;
+  tc.injection_rate = rate;
+  tc.packet_size = 5;
+  if (pattern == traffic::Pattern::Hotspot) tc.hotspots = {27, 36};
+  noc::Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  if (faults) {
+    Rng rng(99);
+    sim.set_fault_plan(fault::FaultPlan::random(
+        cfg.mesh.dims, {noc::kMeshPorts, cfg.mesh.router.vcs},
+        core::RouterMode::Protected, 128, cfg.warmup, rng, true));
+  }
+  return sim.run().avg_total_latency();
+}
+
+void print_sweep() {
+  std::printf("Load sweep: latency vs injection rate, fault-free vs 128 "
+              "faults (protected 8x8)\n\n");
+  for (const auto pattern :
+       {traffic::Pattern::UniformRandom, traffic::Pattern::Transpose,
+        traffic::Pattern::Hotspot}) {
+    std::printf("pattern: %s\n", traffic::pattern_name(pattern));
+    std::printf("  %8s %12s %12s %10s\n", "rate", "fault-free", "faulty",
+                "penalty");
+    for (const double rate : {0.02, 0.06, 0.10, 0.14, 0.18}) {
+      const double clean = run_once(pattern, rate, false);
+      const double faulty = run_once(pattern, rate, true);
+      std::printf("  %8.2f %9.2f cy %9.2f cy %+9.1f%%\n", rate, clean, faulty,
+                  100 * (faulty / clean - 1.0));
+    }
+    std::printf("\n");
+  }
+}
+
+void BM_UniformLoad(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    double l = run_once(traffic::Pattern::UniformRandom, rate, false);
+    benchmark::DoNotOptimize(l);
+  }
+  state.SetLabel("rate=" + std::to_string(rate));
+}
+BENCHMARK(BM_UniformLoad)->Arg(5)->Arg(15)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation A1 (paper §VIII-E): SPF as a function of the number of virtual
+// channels per input port. The paper notes SPF falls to 7 with 2 VCs and
+// rises beyond 11 with more than 4 VCs; the area overhead comes from the
+// synthesis model at each geometry.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/spf_analysis.hpp"
+#include "core/spf_montecarlo.hpp"
+#include "synthesis/router_netlists.hpp"
+
+using namespace rnoc;
+
+namespace {
+
+void print_sweep() {
+  std::printf("SPF vs virtual-channel count (paper §VIII-E)\n\n");
+  std::printf("%4s %10s %8s %8s %8s %10s\n", "VCs", "overhead", "min", "maxtol",
+              "mean", "SPF");
+  for (const int vcs : {2, 3, 4, 6, 8}) {
+    rel::RouterGeometry g;
+    g.vcs = vcs;
+    const double overhead =
+        synth::synthesize(g).area_overhead_with_detection;
+    const auto a = core::analytic_spf(5, vcs, overhead);
+    std::printf("%4d %9.1f%% %8d %8d %8.1f %10.2f%s\n", vcs, 100 * overhead,
+                a.min_faults_to_failure, a.max_faults_tolerated,
+                a.mean_faults_to_failure, a.spf,
+                vcs == 4 ? "   <- paper: 11.4 (2 VCs: ~7)" : "");
+  }
+  std::printf("\n");
+}
+
+void BM_SpfSweepPoint(benchmark::State& state) {
+  const int vcs = static_cast<int>(state.range(0));
+  rel::RouterGeometry g;
+  g.vcs = vcs;
+  for (auto _ : state) {
+    const double overhead = synth::synthesize(g).area_overhead_with_detection;
+    auto a = core::analytic_spf(5, vcs, overhead);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_SpfSweepPoint)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_McSpfAtVcs(benchmark::State& state) {
+  core::SpfMcConfig cfg;
+  cfg.geometry = {5, static_cast<int>(state.range(0))};
+  cfg.trials = 2000;
+  for (auto _ : state) {
+    auto r = core::monte_carlo_spf(cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_McSpfAtVcs)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Shared harness for the Figure 7 / Figure 8 latency reproductions: run each
+// benchmark application on the 8x8 protected mesh fault-free and with the
+// paper's per-stage fault schedule, and report both latencies.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
+#include "noc/simulator.hpp"
+#include "traffic/app_profiles.hpp"
+
+namespace rnoc::benchx {
+
+struct AppLatency {
+  std::string name;
+  double fault_free = 0.0;
+  double with_faults = 0.0;
+  double increase() const { return with_faults / fault_free - 1.0; }
+};
+
+inline noc::SimConfig figure_sim_config() {
+  noc::SimConfig cfg;
+  cfg.mesh.dims = {8, 8};  // the paper's 64-core mesh
+  cfg.mesh.router.mode = core::RouterMode::Protected;
+  cfg.warmup = 3000;
+  cfg.measure = 10000;
+  cfg.drain_limit = 20000;
+  return cfg;
+}
+
+/// The paper's §IX schedule scaled to simulation length: one permanent fault
+/// per pipeline stage on every router, staggered through warmup.
+inline fault::FaultPlan figure_fault_plan(const noc::SimConfig& cfg,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> all;
+  for (NodeId n = 0; n < cfg.mesh.dims.nodes(); ++n) all.push_back(n);
+  return fault::FaultPlan::per_stage(
+      cfg.mesh.dims, {noc::kMeshPorts, cfg.mesh.router.vcs}, all,
+      cfg.warmup / 5, rng);
+}
+
+inline AppLatency run_app(const traffic::AppProfile& profile,
+                          const noc::SimConfig& cfg, std::uint64_t seed) {
+  auto traffic = traffic::make_traffic(profile);
+  AppLatency r;
+  r.name = profile.name;
+  {
+    noc::Simulator sim(cfg, traffic);
+    const auto rep = sim.run();
+    require(!rep.deadlock_suspected,
+            "latency bench: fault-free run deadlocked");
+    r.fault_free = rep.avg_total_latency();
+  }
+  {
+    noc::Simulator sim(cfg, traffic);
+    sim.set_fault_plan(figure_fault_plan(cfg, seed));
+    const auto rep = sim.run();
+    require(!rep.deadlock_suspected, "latency bench: faulty run deadlocked");
+    require(rep.undelivered_flits == 0,
+            "latency bench: protected run lost flits");
+    r.with_faults = rep.avg_total_latency();
+  }
+  return r;
+}
+
+inline void print_figure(const char* title,
+                         const std::vector<traffic::AppProfile>& apps,
+                         double paper_overall_increase) {
+  std::printf("%s\n", title);
+  std::printf("fault schedule: one permanent fault per pipeline stage per "
+              "router (paper §IX, scaled)\n\n");
+  std::printf("%-14s %12s %12s %10s\n", "benchmark", "fault-free",
+              "with faults", "increase");
+  double sum_ff = 0.0, sum_f = 0.0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const AppLatency r = run_app(apps[i], figure_sim_config(), 1000 + i);
+    std::printf("%-14s %9.2f cy %9.2f cy %+9.1f%%\n", r.name.c_str(),
+                r.fault_free, r.with_faults, 100 * r.increase());
+    sum_ff += r.fault_free;
+    sum_f += r.with_faults;
+  }
+  const double overall = sum_f / sum_ff - 1.0;
+  std::printf("%-14s %12s %12s %+9.1f%%   (paper: ~%.0f%%)\n\n", "OVERALL", "",
+              "", 100 * overall, 100 * paper_overall_increase);
+}
+
+}  // namespace rnoc::benchx

@@ -1,0 +1,87 @@
+// Spatial study: where does traffic actually go when a router breaks?
+// Renders traversal/occupancy heatmaps for three scenarios — a healthy mesh,
+// a mesh with a faulted-but-protected router (load stays put), and a
+// baseline mesh detouring around a dead link via fault-aware tables (load
+// visibly piles onto the detour).
+#include <cstdio>
+
+#include "noc/simulator.hpp"
+#include "noc/table_routing.hpp"
+#include "noc/telemetry.hpp"
+#include "traffic/patterns.hpp"
+
+using namespace rnoc;
+
+namespace {
+
+noc::SimConfig sim_config(core::RouterMode mode) {
+  noc::SimConfig cfg;
+  cfg.mesh.dims = {8, 8};
+  cfg.mesh.router.mode = mode;
+  cfg.warmup = 1000;
+  cfg.measure = 8000;
+  cfg.drain_limit = 15000;
+  cfg.telemetry_interval = 16;
+  return cfg;
+}
+
+std::shared_ptr<traffic::TrafficModel> traffic_model() {
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.10;
+  tc.packet_size = 5;
+  return std::make_shared<traffic::SyntheticTraffic>(tc);
+}
+
+}  // namespace
+
+int main() {
+  const NodeId victim = noc::MeshDims{8, 8}.node_of({3, 3});
+
+  std::printf("=== healthy mesh (uniform 0.10) ===\n");
+  {
+    noc::Simulator sim(sim_config(core::RouterMode::Protected),
+                       traffic_model());
+    const auto rep = sim.run();
+    std::printf("latency %.2f cy\n%s\n", rep.avg_total_latency(),
+                noc::heatmap(sim.mesh(), noc::HeatmapMetric::Traversals).c_str());
+  }
+
+  std::printf("=== protected router (3,3) carrying 4 faults ===\n");
+  {
+    noc::Simulator sim(sim_config(core::RouterMode::Protected),
+                       traffic_model());
+    fault::FaultPlan plan;
+    plan.add(100, victim, {fault::SiteType::RcPrimary, 1, 0});
+    plan.add(200, victim, {fault::SiteType::Va1ArbiterSet, 2, 0});
+    plan.add(300, victim, {fault::SiteType::Sa1Arbiter, 3, 0});
+    plan.add(400, victim, {fault::SiteType::XbMux, 2, 0});
+    sim.set_fault_plan(std::move(plan));
+    const auto rep = sim.run();
+    std::printf("latency %.2f cy — traffic still flows through (3,3):\n%s\n",
+                rep.avg_total_latency(),
+                noc::heatmap(sim.mesh(), noc::HeatmapMetric::Traversals).c_str());
+    std::printf("blocked-cycle map (protection absorbs the faults):\n%s\n",
+                noc::heatmap(sim.mesh(), noc::HeatmapMetric::BlockedCycles).c_str());
+  }
+
+  std::printf("=== baseline mesh, dead East link at (3,3), rerouted ===\n");
+  {
+    auto cfg = sim_config(core::RouterMode::Baseline);
+    noc::Simulator sim(cfg, traffic_model());
+    const auto tables = noc::FaultAwareTables::build(
+        cfg.mesh.dims, {{victim, noc::port_of(noc::Direction::East)}});
+    sim.mesh().set_routing_tables(&tables);
+    fault::FaultPlan plan;
+    plan.add(0, victim, {fault::SiteType::XbMux,
+                         noc::port_of(noc::Direction::East), 0});
+    sim.set_fault_plan(std::move(plan));
+    const auto rep = sim.run();
+    std::printf("latency %.2f cy — the detour concentrates load around "
+                "(3,3):\n%s\n",
+                rep.avg_total_latency(),
+                noc::heatmap(sim.mesh(), noc::HeatmapMetric::Traversals).c_str());
+    std::printf("average buffer occupancy:\n%s\n",
+                sim.occupancy().heatmap(cfg.mesh.dims).c_str());
+  }
+  return 0;
+}

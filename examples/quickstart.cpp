@@ -1,0 +1,88 @@
+// Quickstart: simulate an 8x8 mesh of protected routers under uniform random
+// traffic, print latency/throughput, then repeat with permanent faults
+// injected and watch the fault-tolerance mechanisms keep traffic flowing.
+//
+//   ./quickstart [injection_rate] [num_faults]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "fault/fault_injector.hpp"
+#include "noc/simulator.hpp"
+#include "traffic/patterns.hpp"
+
+using namespace rnoc;
+
+namespace {
+
+void print_report(const char* label, const noc::SimReport& rep) {
+  std::printf("%-22s avg latency %6.2f cycles | network %6.2f | "
+              "%llu packets | throughput %.4f flits/node/cycle%s\n",
+              label, rep.avg_total_latency(), rep.avg_network_latency(),
+              static_cast<unsigned long long>(rep.packets_received),
+              rep.throughput_flits_node_cycle,
+              rep.deadlock_suspected ? " [DEADLOCK]" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double rate = argc > 1 ? std::atof(argv[1]) : 0.10;
+  const int faults = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  // Configure the network: 8x8 mesh, 5-port routers, 4 VCs, 4-flit buffers,
+  // the paper's protected router mode.
+  noc::SimConfig cfg;
+  cfg.mesh.dims = {8, 8};
+  cfg.mesh.router.mode = core::RouterMode::Protected;
+  cfg.warmup = 3000;
+  cfg.measure = 15000;
+  cfg.drain_limit = 20000;
+
+  traffic::SyntheticConfig tc;
+  tc.pattern = traffic::Pattern::UniformRandom;
+  tc.injection_rate = rate;
+  tc.packet_size = 5;
+  auto traffic = std::make_shared<traffic::SyntheticTraffic>(tc);
+
+  std::printf("rnoc quickstart: 8x8 mesh, uniform random, %.2f flits/node/cycle\n\n",
+              rate);
+
+  // 1) Fault-free run.
+  noc::Simulator clean(cfg, traffic);
+  const auto clean_rep = clean.run();
+  print_report("fault-free:", clean_rep);
+
+  // 2) Same network with permanent faults injected during warmup.
+  Rng rng(2024);
+  noc::Simulator faulty(cfg, traffic);
+  faulty.set_fault_plan(fault::FaultPlan::random(
+      cfg.mesh.dims, {noc::kMeshPorts, cfg.mesh.router.vcs},
+      core::RouterMode::Protected, faults, cfg.warmup, rng,
+      /*tolerable_only=*/true));
+  const auto rep = faulty.run();
+  std::printf("\ninjected %d permanent faults across the mesh\n", faults);
+  print_report("with faults:", rep);
+
+  std::printf("\nlatency cost of the faults: %+.1f%%\n",
+              100.0 * (rep.avg_total_latency() / clean_rep.avg_total_latency() -
+                       1.0));
+  std::printf("undelivered flits: %llu (the protected router drops nothing)\n\n",
+              static_cast<unsigned long long>(rep.undelivered_flits));
+
+  const auto& ev = rep.router_events;
+  std::printf("protection mechanisms engaged:\n");
+  std::printf("  RC spare-unit switches        %10llu\n",
+              static_cast<unsigned long long>(ev.rc_spare_uses));
+  std::printf("  VA arbiter borrows            %10llu\n",
+              static_cast<unsigned long long>(ev.va1_borrows));
+  std::printf("  VA stage-2 reallocations      %10llu\n",
+              static_cast<unsigned long long>(ev.va2_retries));
+  std::printf("  SA bypass grants              %10llu\n",
+              static_cast<unsigned long long>(ev.sa1_bypass_grants));
+  std::printf("  SA VC-to-VC transfers         %10llu\n",
+              static_cast<unsigned long long>(ev.sa1_transfers));
+  std::printf("  XB secondary-path traversals  %10llu\n",
+              static_cast<unsigned long long>(ev.xb_secondary_traversals));
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "baselines/bulletproof.hpp"
+
+namespace rnoc::baselines {
+
+PublishedRow bulletproof_published() { return {"BulletProof", 0.52, 3.15, 2.07}; }
+
+GroupModel bulletproof_model() {
+  // Three dual-modular-redundant macro units (input block, control/allocator
+  // block, crossbar/output block). Min faults to failure = 2 (both copies of
+  // one unit); the expected value under random placement is the
+  // birthday-style collision point, ~3.2 for three bins of two — matching
+  // BulletProof's experimentally reported 3.15.
+  GroupModel m;
+  m.groups.assign(3, Group{2, 2});
+  m.rule = FailureRule::AnyGroup;
+  return m;
+}
+
+double bulletproof_model_spf(std::uint64_t trials, std::uint64_t seed) {
+  const auto stats = mc_faults_to_failure(bulletproof_model(), trials, seed);
+  return stats.mean() / (1.0 + bulletproof_published().area_overhead);
+}
+
+}  // namespace rnoc::baselines

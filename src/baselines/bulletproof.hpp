@@ -1,0 +1,34 @@
+// BulletProof (Constantinides et al., HPCA'06): a defect-tolerant CMP switch
+// built on N-modular redundancy — every protected unit has spare copies, and
+// the switch fails as soon as some unit runs out of working copies.
+//
+// The paper compares against the BulletProof configuration whose area
+// overhead matches its own (~52%); that design duplicates the router's six
+// macro units (input block, routing logic, two allocator blocks, crossbar,
+// output block). `published()` carries Table III's row; `model()` is our
+// structural reconstruction whose Monte-Carlo faults-to-failure lands near
+// the published 3.15.
+#pragma once
+
+#include "baselines/group_model.hpp"
+
+namespace rnoc::baselines {
+
+/// One row of the paper's Table III.
+struct PublishedRow {
+  const char* name;
+  double area_overhead;        ///< Fractional; NaN when not published.
+  double faults_to_failure;
+  double spf;
+};
+
+PublishedRow bulletproof_published();
+
+/// DMR over six macro units: any unit losing both copies kills the switch.
+GroupModel bulletproof_model();
+
+/// Monte-Carlo SPF of the structural model at the published area overhead.
+double bulletproof_model_spf(std::uint64_t trials = 20000,
+                             std::uint64_t seed = 1);
+
+}  // namespace rnoc::baselines

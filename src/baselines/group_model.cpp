@@ -1,0 +1,83 @@
+#include "baselines/group_model.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rnoc::baselines {
+
+int min_faults_to_failure(const GroupModel& m) {
+  require(!m.groups.empty(), "min_faults_to_failure: no groups");
+  if (m.rule == FailureRule::AnyGroup) {
+    int best = m.groups.front().threshold;
+    for (const auto& g : m.groups) best = std::min(best, g.threshold);
+    return best;
+  }
+  int sum = 0;
+  for (const auto& g : m.groups) sum += g.threshold;
+  return sum;
+}
+
+int max_faults_tolerated(const GroupModel& m) {
+  require(!m.groups.empty(), "max_faults_tolerated: no groups");
+  if (m.rule == FailureRule::AnyGroup) {
+    // Fill every group up to threshold-1.
+    int sum = 0;
+    for (const auto& g : m.groups)
+      sum += std::min(g.threshold - 1, g.size);
+    return sum;
+  }
+  // All-groups rule: keep a single group alive at threshold-1, saturate the
+  // rest completely.
+  int total = 0;
+  int best_slack = 0;
+  for (const auto& g : m.groups) {
+    total += g.size;
+    best_slack = std::max(best_slack, g.size - (g.threshold - 1));
+  }
+  return total - best_slack;
+}
+
+RunningStats mc_faults_to_failure(const GroupModel& m, std::uint64_t trials,
+                                  std::uint64_t seed) {
+  require(trials > 0, "mc_faults_to_failure: need at least one trial");
+  // Flatten groups into a site list: site -> group index.
+  std::vector<int> site_group;
+  for (std::size_t gi = 0; gi < m.groups.size(); ++gi) {
+    require(m.groups[gi].size >= 1 &&
+                m.groups[gi].threshold >= 1 &&
+                m.groups[gi].threshold <= m.groups[gi].size,
+            "mc_faults_to_failure: bad group shape");
+    for (int s = 0; s < m.groups[gi].size; ++s)
+      site_group.push_back(static_cast<int>(gi));
+  }
+
+  Rng rng(seed);
+  RunningStats stats;
+  std::vector<int> order(site_group.size());
+  std::vector<int> hits(m.groups.size());
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < order.size(); ++i)
+      order[i] = static_cast<int>(i);
+    rng.shuffle(order);
+    std::fill(hits.begin(), hits.end(), 0);
+    int dead_groups = 0;
+    int injected = 0;
+    for (int site : order) {
+      ++injected;
+      const int g = site_group[static_cast<std::size_t>(site)];
+      if (++hits[static_cast<std::size_t>(g)] ==
+          m.groups[static_cast<std::size_t>(g)].threshold) {
+        ++dead_groups;
+        if (m.rule == FailureRule::AnyGroup ||
+            dead_groups == static_cast<int>(m.groups.size()))
+          break;
+      }
+    }
+    stats.add(static_cast<double>(injected));
+  }
+  return stats;
+}
+
+}  // namespace rnoc::baselines

@@ -1,0 +1,45 @@
+// Generic structural fault-to-failure model used for the competitor routers
+// (BulletProof, Vicis, RoCo) in the SPF comparison (paper §VIII, Table III).
+//
+// A router is abstracted as a set of protection *groups*, each containing
+// `size` interchangeable fault sites and dying once `threshold` of them are
+// faulty. Depending on the architecture, the router fails when ANY group
+// dies (no graceful degradation left) or only when ALL groups die
+// (independent decomposed halves, as in RoCo).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace rnoc::baselines {
+
+struct Group {
+  int size = 1;       ///< Fault sites in the group.
+  int threshold = 1;  ///< Faults that kill the group.
+};
+
+enum class FailureRule {
+  AnyGroup,  ///< Router fails when any one group dies.
+  AllGroups, ///< Router fails only when every group has died.
+};
+
+struct GroupModel {
+  std::vector<Group> groups;
+  FailureRule rule = FailureRule::AnyGroup;
+};
+
+/// Exact smallest number of faults that can cause failure.
+int min_faults_to_failure(const GroupModel& m);
+
+/// Exact largest number of faults the model can tolerate.
+int max_faults_tolerated(const GroupModel& m);
+
+/// Monte-Carlo mean faults-to-failure: inject faults into uniformly random
+/// distinct sites until the failure rule trips (the experimental methodology
+/// of the BulletProof and Vicis papers). Deterministic for a given seed.
+RunningStats mc_faults_to_failure(const GroupModel& m, std::uint64_t trials,
+                                  std::uint64_t seed);
+
+}  // namespace rnoc::baselines

@@ -1,0 +1,21 @@
+// RoCo (Kim et al., ISCA'06): the row-column decoupled router. The router
+// splits into independent row and column modules (decoupled arbiters,
+// smaller crossbars); a fault in one module leaves the other running in a
+// degraded mode, so total failure requires exhausting both modules.
+// RC-stage faults are masked by look-ahead routing and SA-stage faults by
+// borrowing VA arbiters; VA and crossbar faults are not covered.
+#pragma once
+
+#include "baselines/group_model.hpp"
+
+namespace rnoc::baselines {
+
+GroupModel roco_model();
+double roco_model_spf(std::uint64_t trials = 20000, std::uint64_t seed = 1);
+
+/// Table III row: area not published (the paper uses "N/A"), faults to
+/// failure deduced as 5.5, SPF bounded above by 5.5.
+double roco_published_ftf();
+double roco_published_spf_upper_bound();
+
+}  // namespace rnoc::baselines

@@ -1,0 +1,28 @@
+#include "baselines/vicis.hpp"
+
+namespace rnoc::baselines {
+
+double vicis_published_area() { return 0.42; }
+double vicis_published_ftf() { return 9.3; }
+double vicis_published_spf() { return 6.55; }
+
+GroupModel vicis_model() {
+  // Five per-port resource pools (port-swap candidates + ECC-protected
+  // datapath + bypass-bus slot). The four mesh ports can absorb three faults
+  // each (swap partner available); the local/ejection port has no swap
+  // partner and dies one fault earlier. Random injection across the 30
+  // sites yields a mean faults-to-failure near Vicis's experimentally
+  // reported 9.3.
+  GroupModel m;
+  m.groups.assign(4, Group{6, 4});
+  m.groups.push_back(Group{6, 3});
+  m.rule = FailureRule::AnyGroup;
+  return m;
+}
+
+double vicis_model_spf(std::uint64_t trials, std::uint64_t seed) {
+  const auto stats = mc_faults_to_failure(vicis_model(), trials, seed);
+  return stats.mean() / (1.0 + vicis_published_area());
+}
+
+}  // namespace rnoc::baselines

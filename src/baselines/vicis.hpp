@@ -1,0 +1,23 @@
+// Vicis (Fick et al., DAC'09): network- and router-level fault tolerance via
+// input-port swapping, a crossbar bypass bus and ECC on the datapath.
+//
+// Vicis degrades gracefully: each port's resources can absorb a couple of
+// faults (swap to a spare mapping, ECC-correct the datapath, fall back to
+// the bypass bus) before the port — and with it the router — is lost.
+#pragma once
+
+#include "baselines/group_model.hpp"
+
+namespace rnoc::baselines {
+
+struct PublishedRow;  // defined in bulletproof.hpp
+
+/// Table III row: 42% area overhead, 9.3 faults to failure, SPF 6.55.
+GroupModel vicis_model();
+double vicis_model_spf(std::uint64_t trials = 20000, std::uint64_t seed = 1);
+
+double vicis_published_area();
+double vicis_published_ftf();
+double vicis_published_spf();
+
+}  // namespace rnoc::baselines

@@ -1,0 +1,105 @@
+#include "codec/secded.hpp"
+
+#include "common/types.hpp"
+
+namespace rnoc::codec {
+namespace {
+
+// 1-based codeword positions 1..38 form a Hamming(38,32) code: positions
+// 1,2,4,8,16,32 carry check bits, the remaining 32 positions carry data in
+// ascending order. Storage bit i (0-based) holds position i+1; storage bit
+// 38 holds the overall parity.
+constexpr int kHammingPositions = 38;
+constexpr int kParityStorageBit = 38;
+
+bool is_power_of_two(int x) { return (x & (x - 1)) == 0; }
+
+bool get_bit(std::uint64_t w, int pos) { return (w >> pos) & 1ull; }
+
+std::uint64_t with_bit(std::uint64_t w, int pos, bool v) {
+  return v ? (w | (1ull << pos)) : (w & ~(1ull << pos));
+}
+
+/// XOR of the 1-based positions of all set bits in positions 1..38.
+int syndrome_of(std::uint64_t w) {
+  int s = 0;
+  for (int pos = 1; pos <= kHammingPositions; ++pos)
+    if (get_bit(w, pos - 1)) s ^= pos;
+  return s;
+}
+
+bool overall_parity(std::uint64_t w) {
+  bool p = false;
+  for (int i = 0; i < kCodewordBits; ++i) p ^= get_bit(w, i);
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t secded_encode(std::uint32_t data) {
+  std::uint64_t w = 0;
+  // Scatter the data bits into the non-power-of-two positions.
+  int data_index = 0;
+  for (int pos = 1; pos <= kHammingPositions; ++pos) {
+    if (is_power_of_two(pos)) continue;
+    w = with_bit(w, pos - 1, get_bit(data, data_index));
+    ++data_index;
+  }
+  // Check bits make each position-group parity even: check bit at position
+  // p equals the syndrome bit it controls.
+  const int s = syndrome_of(w);
+  for (int p = 1; p <= kHammingPositions; p <<= 1)
+    w = with_bit(w, p - 1, (s & p) != 0);
+  // Overall parity makes the whole 39-bit word even.
+  w = with_bit(w, kParityStorageBit, overall_parity(w));
+  return w;
+}
+
+DecodeResult secded_decode(std::uint64_t codeword) {
+  require((codeword >> kCodewordBits) == 0,
+          "secded_decode: codeword wider than 39 bits");
+  const int s = syndrome_of(codeword);
+  const bool p = overall_parity(codeword);
+
+  DecodeResult r;
+  std::uint64_t w = codeword;
+  if (s == 0 && !p) {
+    r.status = DecodeStatus::Ok;
+  } else if (p) {
+    // Odd number of flips => single error. Syndrome 0 means the overall
+    // parity bit itself flipped; otherwise it names the flipped position.
+    r.status = DecodeStatus::CorrectedSingle;
+    if (s != 0) {
+      if (s > kHammingPositions) {
+        // A "single" flip cannot produce an out-of-range syndrome; treat as
+        // an uncorrectable multi-bit upset.
+        r.status = DecodeStatus::DetectedDouble;
+      } else {
+        w = with_bit(w, s - 1, !get_bit(w, s - 1));
+      }
+    }
+  } else {
+    // Even flips with nonzero syndrome: uncorrectable double error.
+    r.status = DecodeStatus::DetectedDouble;
+  }
+
+  if (r.status != DecodeStatus::DetectedDouble) {
+    int data_index = 0;
+    std::uint32_t data = 0;
+    for (int pos = 1; pos <= kHammingPositions; ++pos) {
+      if (is_power_of_two(pos)) continue;
+      if (get_bit(w, pos - 1))
+        data |= (1u << data_index);
+      ++data_index;
+    }
+    r.data = data;
+  }
+  return r;
+}
+
+std::uint64_t flip_bit(std::uint64_t codeword, int pos) {
+  require(pos >= 0 && pos < kCodewordBits, "flip_bit: position out of range");
+  return codeword ^ (1ull << pos);
+}
+
+}  // namespace rnoc::codec

@@ -1,0 +1,44 @@
+// SECDED (single-error-correct, double-error-detect) Hamming code for the
+// 32-bit flit datapath.
+//
+// This is the low-overhead ECC Vicis (Fick et al., DAC'09) uses to tolerate
+// datapath faults; we implement it as a standalone substrate so the Vicis
+// baseline's datapath mechanism is real, and so links can optionally carry
+// protected flits (noc/link semantics stay value-based; see NoisyChannel in
+// the tests for the error-injection harness).
+//
+// Layout: extended Hamming(39,32) — 32 data bits, 6 check bits at power-of-
+// two codeword positions, plus one overall-parity bit, 39 bits total.
+#pragma once
+
+#include <cstdint>
+
+namespace rnoc::codec {
+
+/// Total codeword width in bits (32 data + 6 check + 1 overall parity).
+inline constexpr int kCodewordBits = 39;
+
+enum class DecodeStatus {
+  Ok,              ///< No error detected.
+  CorrectedSingle, ///< One bit flipped; corrected.
+  DetectedDouble,  ///< Two bits flipped; detected, not correctable.
+};
+
+struct DecodeResult {
+  std::uint32_t data = 0;
+  DecodeStatus status = DecodeStatus::Ok;
+};
+
+/// Encodes 32 data bits into a 39-bit SECDED codeword (bits [38:0]).
+std::uint64_t secded_encode(std::uint32_t data);
+
+/// Decodes a (possibly corrupted) codeword. Single-bit errors anywhere in
+/// the codeword (data, check or parity bit) are corrected; double-bit errors
+/// are reported as DetectedDouble with unspecified data.
+DecodeResult secded_decode(std::uint64_t codeword);
+
+/// Flips bit `pos` (0-based, < kCodewordBits) of a codeword — the fault-
+/// injection primitive used by tests and the Vicis datapath model.
+std::uint64_t flip_bit(std::uint64_t codeword, int pos);
+
+}  // namespace rnoc::codec

@@ -1,0 +1,86 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace rnoc {
+namespace {
+
+bool is_option(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Options::Options(int argc, const char* const* argv,
+                 const std::set<std::string>& known_keys) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!is_option(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      have_value = true;
+    }
+    require(known_keys.count(key) > 0, "Options: unknown option --" + key);
+    if (!have_value) {
+      // "--key value" unless the next token is another option or absent
+      // (then it is a bare flag).
+      if (i + 1 < argc && !is_option(argv[i + 1])) {
+        value = argv[++i];
+        have_value = true;
+      }
+    }
+    values_[key] = have_value ? value : "true";
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Options::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && !it->second.empty(),
+          "Options: --" + key + " expects an integer, got '" + it->second + "'");
+  return v;
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  require(end != nullptr && *end == '\0' && !it->second.empty(),
+          "Options: --" + key + " expects a number, got '" + it->second + "'");
+  return v;
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  require(false, "Options: --" + key + " expects a boolean, got '" + v + "'");
+  return def;
+}
+
+}  // namespace rnoc

@@ -1,0 +1,39 @@
+// Minimal command-line option parser for the rnoc tools and examples.
+//
+// Accepts "--key value", "--key=value" and bare "--flag" forms. Unknown
+// options are an error (typos should not be silently ignored); positional
+// arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rnoc {
+
+class Options {
+ public:
+  /// Parses argv. `known_keys` is the closed set of accepted option names
+  /// (without the leading dashes). Throws std::invalid_argument on unknown
+  /// options or malformed input.
+  Options(int argc, const char* const* argv,
+          const std::set<std::string>& known_keys);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; throw on malformed values.
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rnoc

@@ -1,0 +1,64 @@
+// Deterministic, splittable random number generation.
+//
+// All stochastic behaviour in rnoc (traffic generation, fault placement,
+// Monte-Carlo reliability analysis) draws from Rng so that every experiment
+// is reproducible from a single seed. The generator is xoshiro256**, seeded
+// through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rnoc {
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double next_exponential(double rate);
+
+  /// Weibull-distributed value with the given shape and scale
+  /// (mean = scale * Gamma(1 + 1/shape)). shape == 1 is exponential;
+  /// shape > 1 models wear-out (increasing hazard), as TDDB does.
+  double next_weibull(double shape, double scale);
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi);
+
+  /// A fresh generator whose stream is independent of this one.
+  /// Used to give each thread / each router its own stream.
+  Rng split();
+
+  /// Fisher-Yates shuffle of `v` in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rnoc

@@ -1,0 +1,41 @@
+// Fundamental scalar types and small helpers shared across all rnoc modules.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace rnoc {
+
+/// Simulation time in router clock cycles.
+using Cycle = std::uint64_t;
+
+/// Identifies a node (core / router) in the network, row-major in a mesh.
+using NodeId = std::int32_t;
+
+/// Identifies a packet across the whole simulation.
+using PacketId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Throws std::invalid_argument with `msg` when `cond` is false.
+/// Used to validate user-facing configuration at API boundaries.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+/// (x, y) coordinate of a router in a 2D mesh. x is the column, y the row.
+struct Coord {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Hours per 1e9 hours; FIT rates are failures per billion device-hours.
+inline constexpr double kBillionHours = 1e9;
+
+}  // namespace rnoc

@@ -1,0 +1,95 @@
+#include "core/failure_predicate.hpp"
+
+#include <sstream>
+
+namespace rnoc::core {
+
+using fault::SiteType;
+
+bool rc_port_ok(const fault::RouterFaultState& f, RouterMode mode, int port) {
+  if (!f.has(SiteType::RcPrimary, port)) return true;
+  return mode == RouterMode::Protected && !f.has(SiteType::RcSpare, port);
+}
+
+bool va_port_ok(const fault::RouterFaultState& f, RouterMode mode, int port) {
+  const int vcs = f.geometry().vcs;
+  if (mode == RouterMode::Baseline) {
+    for (int v = 0; v < vcs; ++v)
+      if (f.has(SiteType::Va1ArbiterSet, port, v)) return false;
+    return true;
+  }
+  // Protected: arbiter sharing works while any sibling set survives.
+  for (int v = 0; v < vcs; ++v)
+    if (!f.has(SiteType::Va1ArbiterSet, port, v)) return true;
+  return false;
+}
+
+bool sa_port_ok(const fault::RouterFaultState& f, RouterMode mode, int port) {
+  if (!f.has(SiteType::Sa1Arbiter, port)) return true;
+  return mode == RouterMode::Protected && !f.has(SiteType::Sa1Bypass, port);
+}
+
+bool output_reachable(const fault::RouterFaultState& f, RouterMode mode,
+                      int out) {
+  const bool primary_ok =
+      !f.has(SiteType::XbMux, out) && !f.has(SiteType::Sa2Arbiter, out);
+  if (mode == RouterMode::Baseline) return primary_ok;
+  if (f.has(SiteType::XbPSelect, out)) return false;
+  if (primary_ok) return true;
+  const int sec = secondary_mux_for_output(out, f.geometry().ports);
+  return !f.has(SiteType::XbMux, sec) && !f.has(SiteType::Sa2Arbiter, sec) &&
+         !f.has(SiteType::XbDemux, sec);
+}
+
+bool va2_output_ok(const fault::RouterFaultState& f, RouterMode mode,
+                   int out) {
+  const int vcs = f.geometry().vcs;
+  if (mode == RouterMode::Baseline) {
+    for (int v = 0; v < vcs; ++v)
+      if (f.has(SiteType::Va2Arbiter, out, v)) return false;
+    return true;
+  }
+  // The inherent stage-2 redundancy only works within a virtual network
+  // (packets cannot re-allocate across vnets), so every vnet's VC range
+  // needs a surviving arbiter.
+  const int vnets = f.geometry().vnets;
+  const int per_vnet = vcs / vnets;
+  for (int vn = 0; vn < vnets; ++vn) {
+    bool alive = false;
+    for (int v = vn * per_vnet; v < (vn + 1) * per_vnet && !alive; ++v)
+      alive = !f.has(SiteType::Va2Arbiter, out, v);
+    if (!alive) return false;
+  }
+  return true;
+}
+
+FailureAnalysis analyze_router(const fault::RouterFaultState& f,
+                               RouterMode mode) {
+  FailureAnalysis a;
+  if (mode == RouterMode::Baseline) {
+    // The unprotected router has no way to mask any permanent fault in its
+    // pipeline (paper §VII treats every baseline component as critical).
+    if (f.count() > 0) {
+      a.failed = true;
+      a.reasons.push_back("baseline router: permanent fault present");
+    }
+    return a;
+  }
+  const int ports = f.geometry().ports;
+  auto fail = [&](int port, const char* what) {
+    a.failed = true;
+    std::ostringstream os;
+    os << what << " exhausted at port " << port;
+    a.reasons.push_back(os.str());
+  };
+  for (int p = 0; p < ports; ++p) {
+    if (!rc_port_ok(f, mode, p)) fail(p, "RC redundancy");
+    if (!va_port_ok(f, mode, p)) fail(p, "VA arbiter sharing");
+    if (!sa_port_ok(f, mode, p)) fail(p, "SA bypass");
+    if (!output_reachable(f, mode, p)) fail(p, "crossbar paths");
+    if (!va2_output_ok(f, mode, p)) fail(p, "VA stage-2 redundancy");
+  }
+  return a;
+}
+
+}  // namespace rnoc::core

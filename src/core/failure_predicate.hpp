@@ -1,0 +1,44 @@
+// Router-level failure predicate (DESIGN.md §6, paper §VIII accounting).
+//
+// Decides whether a router with a given set of permanent faults can still
+// perform its function. For the baseline router any fault is fatal (there is
+// no correction circuitry); for the protected router failure requires one of
+// the per-stage protection mechanisms to be exhausted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/protection.hpp"
+#include "fault/fault_model.hpp"
+
+namespace rnoc::core {
+
+/// Per-port capability checks for the protected router.
+bool rc_port_ok(const fault::RouterFaultState& f, RouterMode mode, int port);
+bool va_port_ok(const fault::RouterFaultState& f, RouterMode mode, int port);
+bool sa_port_ok(const fault::RouterFaultState& f, RouterMode mode, int port);
+
+/// True when output port `out` can still be reached through the crossbar
+/// (primary path, or the secondary path on the protected router).
+bool output_reachable(const fault::RouterFaultState& f, RouterMode mode,
+                      int out);
+
+/// True when at least one downstream-VC arbiter of output `out` still works
+/// (the inherent stage-2 VA redundancy, paper §V-B3).
+bool va2_output_ok(const fault::RouterFaultState& f, RouterMode mode, int out);
+
+struct FailureAnalysis {
+  bool failed = false;
+  std::vector<std::string> reasons;
+};
+
+/// Full router check. Baseline: failed iff any fault is present.
+FailureAnalysis analyze_router(const fault::RouterFaultState& f,
+                               RouterMode mode);
+
+inline bool router_failed(const fault::RouterFaultState& f, RouterMode mode) {
+  return analyze_router(f, mode).failed;
+}
+
+}  // namespace rnoc::core

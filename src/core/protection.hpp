@@ -1,0 +1,45 @@
+// Wiring of the paper's crossbar secondary path (paper §V-D, Fig. 6) and the
+// router operating mode.
+//
+// The protected crossbar gives every output port a second way in: output k is
+// normally driven by its primary mux M_k, and on a fault in M_k the flit is
+// steered through a neighbouring mux M_sec(k), a demux D hanging off that
+// mux, and the 2:1 output-select mux P_k. The concrete wiring below matches
+// the component counts of Fig. 6 for a 5-port router (one 1:3 demux on M1,
+// 1:2 demuxes on M2..M4, five P muxes) and its failure analysis: M1 and M3
+// (0-based) may both fail and the router stays functional; any further mux
+// fault is fatal.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rnoc::core {
+
+/// How a router reacts to permanent faults in its pipeline.
+enum class RouterMode {
+  Baseline,   ///< Generic 4-stage router: any pipeline fault blocks traffic.
+  Protected,  ///< The paper's fault-tolerant router (paper §V).
+};
+
+/// Index of the crossbar mux that provides the *secondary* path to output
+/// port `out` (0-based). For 5 ports: {1, 2, 1, 4, 3} — i.e. out0 and out2
+/// share M1 (whose demux is the single 1:3), out1 borrows M2, and out3/out4
+/// cover each other.
+inline int secondary_mux_for_output(int out, int ports) {
+  require(ports >= 3, "secondary_mux_for_output: need at least 3 ports");
+  require(out >= 0 && out < ports, "secondary_mux_for_output: bad port");
+  if (out == 0 || out == 2) return 1;
+  if (out % 2 == 1) return (out + 1 < ports) ? out + 1 : out - 1;
+  return out - 1;
+}
+
+/// Number of output ports whose secondary path routes through mux `m`
+/// (drives the size of the demux on that mux; 0 means no demux).
+inline int secondary_fanout_of_mux(int m, int ports) {
+  int n = 0;
+  for (int out = 0; out < ports; ++out)
+    if (out != m && secondary_mux_for_output(out, ports) == m) ++n;
+  return n;
+}
+
+}  // namespace rnoc::core

@@ -1,0 +1,29 @@
+#include "core/spf_analysis.hpp"
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace rnoc::core {
+
+SpfAnalysis analytic_spf(int ports, int vcs, double area_overhead) {
+  require(area_overhead > 0.0, "analytic_spf: area overhead must be positive");
+  SpfAnalysis a;
+  a.stages = protection_inventory(ports, vcs);
+  a.min_faults_to_failure = a.stages.front().min_faults_to_failure;
+  a.max_faults_tolerated = 0;
+  for (const auto& s : a.stages) {
+    a.min_faults_to_failure =
+        std::min(a.min_faults_to_failure, s.min_faults_to_failure);
+    a.max_faults_tolerated += s.max_faults_tolerated;
+  }
+  a.max_faults_to_failure = a.max_faults_tolerated + 1;
+  a.mean_faults_to_failure =
+      0.5 * static_cast<double>(a.min_faults_to_failure +
+                                a.max_faults_to_failure);
+  a.area_overhead = area_overhead;
+  a.spf = a.mean_faults_to_failure / (1.0 + area_overhead);
+  return a;
+}
+
+}  // namespace rnoc::core

@@ -1,0 +1,28 @@
+// Analytic Silicon Protection Factor (paper §VIII).
+//
+// SPF = (mean number of faults to cause failure) / (1 + area overhead).
+// The paper computes the mean as the average of the minimum number of faults
+// that can cause failure and the maximum number of faults that can be
+// tolerated plus one.
+#pragma once
+
+#include "core/structural_model.hpp"
+
+namespace rnoc::core {
+
+struct SpfAnalysis {
+  std::vector<StageInventory> stages;
+  int min_faults_to_failure = 0;
+  int max_faults_tolerated = 0;
+  int max_faults_to_failure = 0;  ///< max tolerated + 1.
+  double mean_faults_to_failure = 0.0;
+  double area_overhead = 0.0;  ///< Fractional (0.31 = 31%).
+  double spf = 0.0;
+};
+
+/// Paper §VIII-E for a geometry. Defaults (5 ports, 4 VCs, 31% overhead)
+/// give min 2, max tolerated 27, mean 15, SPF 11.45 (~11.4 as printed).
+SpfAnalysis analytic_spf(int ports = 5, int vcs = 4,
+                         double area_overhead = 0.31);
+
+}  // namespace rnoc::core

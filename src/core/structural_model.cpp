@@ -1,0 +1,19 @@
+#include "core/structural_model.hpp"
+
+#include "common/types.hpp"
+
+namespace rnoc::core {
+
+std::vector<StageInventory> protection_inventory(int ports, int vcs) {
+  require(ports >= 3, "protection_inventory: need at least 3 ports");
+  require(vcs >= 2, "protection_inventory: need at least 2 VCs");
+  return {
+      {"RC", 2, ports, "spatial redundancy (duplicate RC unit per port)"},
+      {"VA", vcs, ports * (vcs - 1),
+       "arbiter-set sharing between the VCs of an input port"},
+      {"SA", 2, ports, "bypass path with rotating default winner"},
+      {"XB", 2, 2, "secondary path through a neighbouring crossbar mux"},
+  };
+}
+
+}  // namespace rnoc::core

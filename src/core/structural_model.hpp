@@ -1,0 +1,25 @@
+// Structural protection inventory: how many faults each pipeline stage of
+// the protected router can absorb, and what exhausts it (paper §VIII A-D).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rnoc::core {
+
+/// Per-stage fault-tolerance accounting for a P-port, V-VC protected router.
+struct StageInventory {
+  std::string stage;
+  int min_faults_to_failure = 0;  ///< Smallest fault set that kills the stage.
+  int max_faults_tolerated = 0;   ///< Largest fault set the stage survives.
+  std::string mechanism;          ///< The protection mechanism involved.
+};
+
+/// The four stages' accounting (paper §VIII-A..D):
+///   RC: min 2 (unit + spare of one port),  max P (one per port)
+///   VA: min V (all sets of one port),      max P*(V-1)
+///   SA: min 2 (arbiter + bypass),          max P
+///   XB: min 2 (primary + secondary),       max 2
+std::vector<StageInventory> protection_inventory(int ports, int vcs);
+
+}  // namespace rnoc::core

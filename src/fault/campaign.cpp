@@ -1,0 +1,63 @@
+#include "fault/campaign.hpp"
+
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace rnoc::fault {
+
+CampaignResult run_campaign(const CampaignConfig& cfg,
+                            std::shared_ptr<traffic::TrafficModel> traffic) {
+  require(cfg.runs >= 1, "run_campaign: need at least one run");
+
+  CampaignResult result;
+
+  // Fault-free reference.
+  {
+    noc::Simulator ref(cfg.sim, traffic);
+    const noc::SimReport rep = ref.run();
+    require(!rep.deadlock_suspected,
+            "run_campaign: fault-free reference deadlocked (load too high?)");
+    result.baseline_latency = rep.avg_total_latency();
+  }
+
+  const FaultGeometry geom{noc::kMeshPorts, cfg.sim.mesh.router.vcs};
+
+  struct RunOutput {
+    double latency = 0.0;
+    bool deadlocked = false;
+    std::uint64_t undelivered = 0;
+    noc::RouterStats events;
+  };
+  std::vector<RunOutput> outputs(static_cast<std::size_t>(cfg.runs));
+
+  global_pool().parallel_for(
+      static_cast<std::size_t>(cfg.runs), [&](std::size_t run, std::size_t) {
+        Rng rng(cfg.seed + 0x9e3779b9u * (run + 1));
+        noc::SimConfig sim = cfg.sim;
+        sim.seed = cfg.sim.seed + run + 1;
+        noc::Simulator simulator(sim, traffic);
+        FaultPlan plan = FaultPlan::random(
+            sim.mesh.dims, geom, sim.mesh.router.mode, cfg.faults_per_run,
+            sim.warmup > 0 ? sim.warmup : 1, rng, cfg.tolerable_only);
+        simulator.set_fault_plan(std::move(plan));
+        const noc::SimReport rep = simulator.run();
+        RunOutput& out = outputs[run];
+        out.latency = rep.avg_total_latency();
+        out.deadlocked = rep.deadlock_suspected;
+        out.undelivered = rep.undelivered_flits;
+        out.events = rep.router_events;
+      });
+
+  for (const RunOutput& out : outputs) {
+    if (out.deadlocked) ++result.deadlocked_runs;
+    result.faulty_latency.add(out.latency);
+    if (result.baseline_latency > 0.0)
+      result.latency_increase.add(out.latency / result.baseline_latency - 1.0);
+    result.undelivered_flits += out.undelivered;
+    result.protection_events.merge(out.events);
+  }
+  return result;
+}
+
+}  // namespace rnoc::fault

@@ -1,0 +1,37 @@
+// Fault-injection campaigns on the live network simulator: many randomized
+// runs comparing a fault-free network against fault-injected ones, verifying
+// continued packet delivery and measuring the latency cost (the methodology
+// behind the paper's Figures 7 and 8).
+#pragma once
+
+#include <memory>
+
+#include "common/stats.hpp"
+#include "noc/simulator.hpp"
+
+namespace rnoc::fault {
+
+struct CampaignConfig {
+  noc::SimConfig sim{};
+  int runs = 8;             ///< Fault-injected runs (different seeds/placements).
+  int faults_per_run = 16;  ///< Faults injected per run across the mesh.
+  std::uint64_t seed = 1;
+  bool tolerable_only = true;
+};
+
+struct CampaignResult {
+  double baseline_latency = 0.0;  ///< Fault-free average packet latency.
+  RunningStats faulty_latency;    ///< Per-run average latencies with faults.
+  RunningStats latency_increase;  ///< Per-run (faulty/fault-free - 1).
+  int deadlocked_runs = 0;
+  std::uint64_t undelivered_flits = 0;  ///< Summed over runs.
+  noc::RouterStats protection_events;   ///< Summed protection-mechanism activity.
+};
+
+/// Runs one fault-free reference simulation plus `runs` fault-injected ones.
+/// The traffic model must be stateless (the built-in models are); it is
+/// shared across runs.
+CampaignResult run_campaign(const CampaignConfig& cfg,
+                            std::shared_ptr<traffic::TrafficModel> traffic);
+
+}  // namespace rnoc::fault

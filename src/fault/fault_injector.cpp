@@ -1,0 +1,193 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "core/failure_predicate.hpp"
+
+namespace rnoc::fault {
+
+void FaultPlan::add(Cycle at, NodeId router, FaultSite site, Cycle duration) {
+  entries_.push_back({at, router, site, duration});
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const ScheduledFault& a, const ScheduledFault& b) {
+                     return a.at < b.at;
+                   });
+}
+
+namespace {
+
+/// Baseline-pipeline sites only (the paper injects into pipeline stages;
+/// correction-circuitry sites are used by the SPF analyses, not by the
+/// latency experiments).
+std::vector<FaultSite> pipeline_sites(const FaultGeometry& g) {
+  return RouterFaultState::enumerate_sites(g, /*include_correction=*/false);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(const noc::MeshDims& dims, const FaultGeometry& g,
+                            core::RouterMode mode, int num_faults,
+                            Cycle horizon, Rng& rng, bool tolerable_only) {
+  require(num_faults >= 0, "FaultPlan::random: negative fault count");
+  require(horizon >= 1, "FaultPlan::random: empty horizon");
+  const auto sites = pipeline_sites(g);
+
+  // Shadow fault states to evaluate tolerability of cumulative injections.
+  std::vector<RouterFaultState> shadow;
+  shadow.reserve(static_cast<std::size_t>(dims.nodes()));
+  for (int i = 0; i < dims.nodes(); ++i) shadow.emplace_back(g);
+
+  FaultPlan plan;
+  for (int k = 0; k < num_faults; ++k) {
+    constexpr int kMaxAttempts = 10000;
+    bool placed = false;
+    for (int attempt = 0; attempt < kMaxAttempts && !placed; ++attempt) {
+      const auto r = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(dims.nodes())));
+      const FaultSite site = sites[static_cast<std::size_t>(
+          rng.next_below(sites.size()))];
+      auto& fs = shadow[static_cast<std::size_t>(r)];
+      if (fs.has(site)) continue;  // Site already faulty.
+      fs.inject(site);
+      if (tolerable_only && core::router_failed(fs, mode)) {
+        // Would kill the router: rebuild the shadow without this fault.
+        RouterFaultState redo(g);
+        // (RouterFaultState has no erase; reconstruct from plan entries.)
+        for (const auto& e : plan.entries())
+          if (e.router == r) redo.inject(e.site);
+        fs = redo;
+        continue;
+      }
+      const Cycle at = static_cast<Cycle>(rng.next_below(horizon));
+      plan.add(at, r, site);
+      placed = true;
+    }
+    require(placed, "FaultPlan::random: could not place a tolerable fault");
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::per_stage(const noc::MeshDims& dims,
+                               const FaultGeometry& g,
+                               const std::vector<NodeId>& faulty_routers,
+                               Cycle stagger, Rng& rng) {
+  require(stagger >= 1, "FaultPlan::per_stage: stagger must be positive");
+  FaultPlan plan;
+  for (const NodeId r : faulty_routers) {
+    require(r >= 0 && r < dims.nodes(), "FaultPlan::per_stage: bad router id");
+    const int port = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(g.ports)));
+    const int vc =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(g.vcs)));
+    // One fault per pipeline stage, staggered in time (paper §IX).
+    const FaultSite per_stage_sites[4] = {
+        {SiteType::RcPrimary, port, 0},
+        {SiteType::Va1ArbiterSet, port, vc},
+        {SiteType::Sa1Arbiter, port, 0},
+        {SiteType::XbMux, port, 0},
+    };
+    Cycle t = stagger;
+    for (const auto& site : per_stage_sites) {
+      plan.add(t, r, site);
+      t += stagger;
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::fit_weighted(const noc::MeshDims& dims,
+                                  const FaultGeometry& g,
+                                  core::RouterMode mode,
+                                  const std::vector<WeightedSiteRef>& sites,
+                                  int num_faults, Cycle horizon, Rng& rng,
+                                  bool tolerable_only) {
+  require(!sites.empty(), "FaultPlan::fit_weighted: empty site list");
+  require(num_faults >= 0 && horizon >= 1,
+          "FaultPlan::fit_weighted: bad count/horizon");
+  double total = 0.0;
+  for (const auto& s : sites) {
+    require(s.weight >= 0.0, "FaultPlan::fit_weighted: negative weight");
+    total += s.weight;
+  }
+  require(total > 0.0, "FaultPlan::fit_weighted: all weights zero");
+
+  std::vector<RouterFaultState> shadow;
+  for (int i = 0; i < dims.nodes(); ++i) shadow.emplace_back(g);
+
+  FaultPlan plan;
+  for (int k = 0; k < num_faults; ++k) {
+    constexpr int kMaxAttempts = 10000;
+    bool placed = false;
+    for (int attempt = 0; attempt < kMaxAttempts && !placed; ++attempt) {
+      // Roulette-wheel site draw proportional to FIT.
+      double pick = rng.next_double() * total;
+      std::size_t idx = 0;
+      for (; idx + 1 < sites.size(); ++idx) {
+        pick -= sites[idx].weight;
+        if (pick <= 0.0) break;
+      }
+      const FaultSite site = sites[idx].site;
+      const auto r = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(dims.nodes())));
+      auto& fs = shadow[static_cast<std::size_t>(r)];
+      if (fs.has(site)) continue;
+      fs.inject(site);
+      if (tolerable_only && core::router_failed(fs, mode)) {
+        RouterFaultState redo(g);
+        for (const auto& e : plan.entries())
+          if (e.router == r) redo.inject(e.site);
+        fs = redo;
+        continue;
+      }
+      plan.add(static_cast<Cycle>(rng.next_below(horizon)), r, site);
+      placed = true;
+    }
+    require(placed, "FaultPlan::fit_weighted: could not place a fault");
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::transient_burst(const noc::MeshDims& dims,
+                                     const FaultGeometry& g, int num_faults,
+                                     Cycle horizon, Cycle duration, Rng& rng) {
+  require(num_faults >= 0 && horizon >= 1 && duration >= 1,
+          "FaultPlan::transient_burst: bad parameters");
+  const auto sites = pipeline_sites(g);
+  FaultPlan plan;
+  for (int k = 0; k < num_faults; ++k) {
+    const auto r = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(dims.nodes())));
+    const FaultSite site =
+        sites[static_cast<std::size_t>(rng.next_below(sites.size()))];
+    plan.add(static_cast<Cycle>(rng.next_below(horizon)), r, site, duration);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+int FaultInjector::apply_due(Cycle now, noc::Mesh& mesh) {
+  int n = 0;
+  const auto& es = plan_.entries();
+  while (next_ < es.size() && es[next_].at <= now) {
+    const auto& e = es[next_];
+    if (mesh.router(e.router).faults().inject(e.site)) {
+      ++injected_;
+      ++n;
+      if (e.duration > 0) {
+        expiries_.push_back({e.at + e.duration, e.router, e.site});
+        std::sort(expiries_.begin(), expiries_.end(),
+                  [](const Expiry& a, const Expiry& b) { return a.at < b.at; });
+      }
+    }
+    ++next_;
+  }
+  while (!expiries_.empty() && expiries_.front().at <= now) {
+    const Expiry& x = expiries_.front();
+    if (mesh.router(x.router).faults().remove(x.site)) ++expired_;
+    expiries_.erase(expiries_.begin());
+  }
+  return n;
+}
+
+}  // namespace rnoc::fault

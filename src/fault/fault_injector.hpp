@@ -1,0 +1,112 @@
+// Fault injection scheduling (paper §IX).
+//
+// The paper accelerates fault injection by drawing injection times from a
+// uniform random variable (mean 10M cycles) instead of the tiny real FIT
+// rates; we keep that methodology with a configurable mean so simulations of
+// any length see the same number and placement of faults.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/protection.hpp"
+#include "fault/fault_model.hpp"
+#include "noc/mesh.hpp"
+
+namespace rnoc::fault {
+
+struct ScheduledFault {
+  Cycle at = 0;
+  NodeId router = kInvalidNode;
+  FaultSite site;
+  /// 0 = permanent. A nonzero duration makes the fault transient: it clears
+  /// again `duration` cycles after injection (extension; the paper's §IX
+  /// experiments inject permanent faults only).
+  Cycle duration = 0;
+};
+
+/// An ordered set of fault injections.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void add(Cycle at, NodeId router, FaultSite site, Cycle duration = 0);
+  const std::vector<ScheduledFault>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Paper §IX methodology: `num_faults` faults at uniform-random cycles in
+  /// [0, horizon), each in a random pipeline-stage component of a random
+  /// router. With `tolerable_only` (the paper's latency experiments measure
+  /// a *functioning* protected network), sites whose cumulative injection
+  /// would trip the router failure predicate are re-drawn.
+  static FaultPlan random(const noc::MeshDims& dims, const FaultGeometry& g,
+                          core::RouterMode mode, int num_faults, Cycle horizon,
+                          Rng& rng, bool tolerable_only = true);
+
+  /// One fault per pipeline stage (RC, VA, SA, XB) on each of
+  /// `faulty_routers` distinct routers, at staggered times. This mirrors the
+  /// paper's "fault injected into a pipeline stage after N cycles of its
+  /// operation" schedule.
+  static FaultPlan per_stage(const noc::MeshDims& dims, const FaultGeometry& g,
+                             const std::vector<NodeId>& faulty_routers,
+                             Cycle stagger, Rng& rng);
+
+  /// FIT-weighted placement: sites are drawn with probability proportional
+  /// to their Table I FIT rates (the paper's "ideal way to simulate faults",
+  /// §IX), at uniform-random times in [0, horizon). `site_weights` pairs
+  /// each injectable site with its FIT (see reliability/site_fit.hpp);
+  /// weights for correction-circuitry sites are ignored when the mode's
+  /// failure predicate would trip (tolerable_only).
+  struct WeightedSiteRef {
+    FaultSite site;
+    double weight = 1.0;
+  };
+  static FaultPlan fit_weighted(const noc::MeshDims& dims,
+                                const FaultGeometry& g,
+                                core::RouterMode mode,
+                                const std::vector<WeightedSiteRef>& sites,
+                                int num_faults, Cycle horizon, Rng& rng,
+                                bool tolerable_only = true);
+
+  /// Transient-fault burst (extension): `num_faults` faults of `duration`
+  /// cycles each, at uniform-random times/sites. Transients need no
+  /// tolerability screen — they clear on their own.
+  static FaultPlan transient_burst(const noc::MeshDims& dims,
+                                   const FaultGeometry& g, int num_faults,
+                                   Cycle horizon, Cycle duration, Rng& rng);
+
+ private:
+  std::vector<ScheduledFault> entries_;  ///< Kept sorted by `at`.
+};
+
+/// Applies a plan's due entries to a mesh as simulation time advances.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Injects every scheduled fault with `at <= now` and clears transient
+  /// faults whose duration has elapsed. Returns count injected.
+  int apply_due(Cycle now, noc::Mesh& mesh);
+
+  int injected() const { return injected_; }
+  int expired() const { return expired_; }
+  bool done() const {
+    return next_ >= plan_.entries().size() && expiries_.empty();
+  }
+
+ private:
+  struct Expiry {
+    Cycle at;
+    NodeId router;
+    FaultSite site;
+  };
+
+  FaultPlan plan_;
+  std::size_t next_ = 0;
+  int injected_ = 0;
+  int expired_ = 0;
+  std::vector<Expiry> expiries_;  ///< Kept sorted by `at`.
+};
+
+}  // namespace rnoc::fault

@@ -1,0 +1,127 @@
+#include "fault/fault_model.hpp"
+
+#include <sstream>
+
+namespace rnoc::fault {
+namespace {
+
+/// Sites indexed per (type, port, vc). Layout: blocks per SiteType in
+/// declaration order; per-port types use vc 0 only.
+constexpr int kTypeCount = 10;
+
+bool type_uses_vc(SiteType t) {
+  return t == SiteType::Va1ArbiterSet || t == SiteType::Va2Arbiter;
+}
+
+bool type_is_correction(SiteType t) {
+  switch (t) {
+    case SiteType::RcSpare:
+    case SiteType::Sa1Bypass:
+    case SiteType::XbDemux:
+    case SiteType::XbPSelect:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string site_type_name(SiteType t) {
+  switch (t) {
+    case SiteType::RcPrimary: return "RcPrimary";
+    case SiteType::RcSpare: return "RcSpare";
+    case SiteType::Va1ArbiterSet: return "Va1ArbiterSet";
+    case SiteType::Va2Arbiter: return "Va2Arbiter";
+    case SiteType::Sa1Arbiter: return "Sa1Arbiter";
+    case SiteType::Sa1Bypass: return "Sa1Bypass";
+    case SiteType::Sa2Arbiter: return "Sa2Arbiter";
+    case SiteType::XbMux: return "XbMux";
+    case SiteType::XbDemux: return "XbDemux";
+    case SiteType::XbPSelect: return "XbPSelect";
+  }
+  return "?";
+}
+
+std::string to_string(const FaultSite& s) {
+  std::ostringstream os;
+  os << site_type_name(s.type) << "(port=" << s.a;
+  if (type_uses_vc(s.type)) os << ", vc=" << s.b;
+  os << ")";
+  return os.str();
+}
+
+RouterFaultState::RouterFaultState(const FaultGeometry& g) : geom_(g) {
+  require(g.ports >= 2 && g.vcs >= 1, "RouterFaultState: bad geometry");
+  require(g.vnets >= 1 && g.vcs % g.vnets == 0,
+          "RouterFaultState: vcs must divide evenly into vnets");
+  faulty_.assign(static_cast<std::size_t>(kTypeCount) *
+                     static_cast<std::size_t>(g.ports) *
+                     static_cast<std::size_t>(g.vcs),
+                 false);
+}
+
+std::size_t RouterFaultState::index_of(SiteType t, int a, int b) const {
+  require(a >= 0 && a < geom_.ports, "RouterFaultState: port out of range");
+  require(b >= 0 && b < geom_.vcs, "RouterFaultState: vc out of range");
+  require(type_uses_vc(t) || b == 0,
+          "RouterFaultState: vc index on a per-port site");
+  const auto ti = static_cast<std::size_t>(t);
+  return (ti * static_cast<std::size_t>(geom_.ports) +
+          static_cast<std::size_t>(a)) *
+             static_cast<std::size_t>(geom_.vcs) +
+         static_cast<std::size_t>(b);
+}
+
+bool RouterFaultState::has(SiteType t, int a, int b) const {
+  return faulty_[index_of(t, a, b)];
+}
+
+bool RouterFaultState::inject(const FaultSite& s) {
+  const std::size_t i = index_of(s.type, s.a, s.b);
+  if (faulty_[i]) return false;
+  faulty_[i] = true;
+  ++count_;
+  return true;
+}
+
+bool RouterFaultState::remove(const FaultSite& s) {
+  const std::size_t i = index_of(s.type, s.a, s.b);
+  if (!faulty_[i]) return false;
+  faulty_[i] = false;
+  --count_;
+  return true;
+}
+
+void RouterFaultState::clear() {
+  faulty_.assign(faulty_.size(), false);
+  count_ = 0;
+}
+
+std::vector<FaultSite> RouterFaultState::enumerate_sites(
+    const FaultGeometry& g, bool include_correction) {
+  std::vector<FaultSite> sites;
+  auto add_per_port = [&](SiteType t) {
+    for (int p = 0; p < g.ports; ++p) sites.push_back({t, p, 0});
+  };
+  auto add_per_port_vc = [&](SiteType t) {
+    for (int p = 0; p < g.ports; ++p)
+      for (int v = 0; v < g.vcs; ++v) sites.push_back({t, p, v});
+  };
+  for (int ti = 0; ti < kTypeCount; ++ti) {
+    const auto t = static_cast<SiteType>(ti);
+    if (type_is_correction(t) && !include_correction) continue;
+    if (t == SiteType::XbDemux) {
+      // Demuxes hang off muxes M1..M_{P-1} (0-based), not off M0.
+      for (int p = 1; p < g.ports; ++p) sites.push_back({t, p, 0});
+      continue;
+    }
+    if (type_uses_vc(t))
+      add_per_port_vc(t);
+    else
+      add_per_port(t);
+  }
+  return sites;
+}
+
+}  // namespace rnoc::fault

@@ -1,0 +1,88 @@
+// Permanent-fault model for the router pipeline.
+//
+// Fault *sites* are the physical components of the four pipeline stages plus
+// the correction circuitry, matching the granularity of the paper's Table I /
+// Table II and §VIII fault accounting. Faults are permanent: once injected a
+// site stays faulty.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rnoc::fault {
+
+enum class SiteType : std::uint8_t {
+  RcPrimary,     ///< Primary RC unit of input port `a`.
+  RcSpare,       ///< Duplicate RC unit of input port `a` (correction).
+  Va1ArbiterSet, ///< The po v:1 arbiters of input VC (`a` = port, `b` = vc).
+                 ///< A fault anywhere in the set disables the whole set (§V-B1).
+  Va2Arbiter,    ///< Stage-2 VA arbiter of downstream VC (`a` = out port, `b` = vc).
+  Sa1Arbiter,    ///< Stage-1 SA v:1 arbiter of input port `a`.
+  Sa1Bypass,     ///< Bypass mux/register of input port `a` (correction).
+  Sa2Arbiter,    ///< Stage-2 SA pi:1 arbiter of output port `a`.
+  XbMux,         ///< Primary crossbar mux M of output port `a`.
+  XbDemux,       ///< Secondary-path demux hanging off mux `a` (correction).
+  XbPSelect,     ///< Output-select 2:1 mux P in front of output port `a` (correction).
+};
+
+std::string site_type_name(SiteType t);
+
+/// One injectable component instance.
+struct FaultSite {
+  SiteType type = SiteType::RcPrimary;
+  int a = 0;  ///< Port index (input or output, see SiteType).
+  int b = 0;  ///< VC index where applicable, else 0.
+
+  friend bool operator==(const FaultSite&, const FaultSite&) = default;
+};
+
+std::string to_string(const FaultSite& s);
+
+/// Geometry needed to enumerate and validate fault sites. `vnets` matters
+/// for the failure predicate: VA stage-2 redundancy (paper §V-B3) only works
+/// within a virtual network, so each vnet needs a surviving arbiter.
+struct FaultGeometry {
+  int ports = 5;
+  int vcs = 4;
+  int vnets = 1;
+};
+
+/// Per-router permanent-fault state: a bitset over all sites.
+class RouterFaultState {
+ public:
+  explicit RouterFaultState(const FaultGeometry& g);
+
+  const FaultGeometry& geometry() const { return geom_; }
+
+  bool has(SiteType t, int a, int b = 0) const;
+  bool has(const FaultSite& s) const { return has(s.type, s.a, s.b); }
+
+  /// Marks a site permanently faulty. Injecting an already-faulty site is a
+  /// no-op that returns false.
+  bool inject(const FaultSite& s);
+
+  /// Clears one site (used for transient faults that expire). Returns false
+  /// when the site was not faulty.
+  bool remove(const FaultSite& s);
+
+  void clear();
+  int count() const { return count_; }
+
+  /// All distinct injectable sites for a geometry. `include_correction`
+  /// adds the correction-circuitry sites (spares, bypasses, secondary path),
+  /// which only exist on the protected router.
+  static std::vector<FaultSite> enumerate_sites(const FaultGeometry& g,
+                                                bool include_correction);
+
+ private:
+  std::size_t index_of(SiteType t, int a, int b) const;
+
+  FaultGeometry geom_;
+  std::vector<bool> faulty_;
+  int count_ = 0;
+};
+
+}  // namespace rnoc::fault

@@ -1,0 +1,31 @@
+// Round-robin arbiter — the fundamental allocator building block (paper §II-B).
+#pragma once
+
+#include <vector>
+
+namespace rnoc::noc {
+
+/// Rotating-priority (round-robin) arbiter over a fixed number of request
+/// inputs. After a grant, priority moves to the input after the winner, which
+/// gives the strong fairness the separable VA/SA allocators rely on.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int inputs);
+
+  int inputs() const { return inputs_; }
+
+  /// Grants one of the asserted requests (requests.size() == inputs()),
+  /// returns its index and rotates priority, or returns -1 when no request
+  /// is asserted. Must not be called on a faulty arbiter.
+  int arbitrate(const std::vector<bool>& requests);
+
+  /// Priority pointer (next input to be favoured); exposed for tests.
+  int pointer() const { return pointer_; }
+  void set_pointer(int p);
+
+ private:
+  int inputs_;
+  int pointer_ = 0;
+};
+
+}  // namespace rnoc::noc

@@ -1,0 +1,31 @@
+// Crossbar stage (paper §II-B4 / §V-D): validates switch-traversal grants
+// against the current fault state at traversal time.
+//
+// The switch allocator checks the path when it grants; the crossbar
+// re-validates at traversal because a permanent fault can strike in the one
+// cycle between SA and ST. A grant whose path broke in that window is
+// rejected and the flit stays buffered (it re-arbitrates, now aware of the
+// fault).
+#pragma once
+
+#include "core/protection.hpp"
+#include "fault/fault_model.hpp"
+#include "noc/router_state.hpp"
+
+namespace rnoc::noc {
+
+class Crossbar {
+ public:
+  Crossbar(int ports, core::RouterMode mode);
+
+  /// True when grant `g`'s path (mux, demux if secondary, output select)
+  /// is fault-free right now.
+  bool can_traverse(const StGrant& g,
+                    const fault::RouterFaultState& faults) const;
+
+ private:
+  int ports_;
+  core::RouterMode mode_;
+};
+
+}  // namespace rnoc::noc

@@ -1,0 +1,56 @@
+#include "noc/ecc_link.hpp"
+
+#include "codec/secded.hpp"
+#include "common/types.hpp"
+
+namespace rnoc::noc {
+
+EccLink::EccLink(double single_ber, double double_ber, std::uint64_t seed,
+                 Cycle latency)
+    : Link(latency),
+      single_ber_(single_ber),
+      double_ber_(double_ber),
+      rng_(seed) {
+  require(single_ber >= 0.0 && single_ber <= 1.0 && double_ber >= 0.0 &&
+              double_ber <= 1.0 && single_ber + double_ber <= 1.0,
+          "EccLink: error probabilities must form a distribution");
+}
+
+std::optional<Flit> EccLink::take_flit(Cycle now) {
+  if (held_) {
+    if (held_->ready > now) return std::nullopt;
+    // Retransmission: the retried transfer is assumed clean (a second
+    // independent double-error in the same flit is negligible).
+    Flit f = held_->flit;
+    held_.reset();
+    ++stats_.flits_delivered;
+    return f;
+  }
+  auto f = Link::take_flit(now);
+  if (!f) return std::nullopt;
+
+  const double roll = rng_.next_double();
+  if (roll < double_ber_) {
+    // Uncorrectable: detected by SECDED, retransmit (1 cycle penalty).
+    ++stats_.retransmissions;
+    held_ = Held{*f, now + 1};
+    return std::nullopt;
+  }
+  if (roll < double_ber_ + single_ber_) {
+    // Run the low 32 payload bits through the real codec with a random
+    // single-bit upset; the decode must restore them exactly.
+    const auto data = static_cast<std::uint32_t>(f->payload);
+    const std::uint64_t codeword = codec::secded_encode(data);
+    const int bit = static_cast<int>(rng_.next_below(codec::kCodewordBits));
+    const auto decoded = codec::secded_decode(codec::flip_bit(codeword, bit));
+    require(decoded.status == codec::DecodeStatus::CorrectedSingle &&
+                decoded.data == data,
+            "EccLink: SECDED failed to correct a single-bit upset");
+    f->payload = (f->payload & ~0xFFFFFFFFull) | decoded.data;
+    ++stats_.corrected_singles;
+  }
+  ++stats_.flits_delivered;
+  return f;
+}
+
+}  // namespace rnoc::noc

@@ -1,0 +1,54 @@
+// A link whose datapath suffers bit upsets, protected by the SECDED codec
+// (codec/secded.hpp) with single-retry retransmission — the low-overhead
+// datapath protection Vicis applies, as a drop-in Link replacement.
+//
+// Error model per delivered flit: with probability `single_ber` one codeword
+// bit flips (SECDED corrects it in place, zero cost); with probability
+// `double_ber` two bits flip (SECDED detects; the flit is retransmitted and
+// arrives one cycle later). The payload really is encoded, corrupted and
+// decoded through the codec, so the correction path is exercised, not
+// assumed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "noc/link.hpp"
+
+namespace rnoc::noc {
+
+struct EccLinkStats {
+  std::uint64_t flits_delivered = 0;
+  std::uint64_t corrected_singles = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+class EccLink : public Link {
+ public:
+  EccLink(double single_ber, double double_ber, std::uint64_t seed,
+          Cycle latency = 1);
+
+  std::optional<Flit> take_flit(Cycle now) override;
+
+  bool idle() const override { return Link::idle() && !held_.has_value(); }
+  int flits_in_flight() const override {
+    return Link::flits_in_flight() + (held_ ? 1 : 0);
+  }
+
+  const EccLinkStats& stats() const { return stats_; }
+
+ private:
+  struct Held {
+    Flit flit;
+    Cycle ready;
+  };
+
+  double single_ber_;
+  double double_ber_;
+  Rng rng_;
+  std::optional<Held> held_;  ///< Flit awaiting retransmission delivery.
+  EccLinkStats stats_;
+};
+
+}  // namespace rnoc::noc

@@ -1,0 +1,41 @@
+#include "noc/energy.hpp"
+
+#include "common/types.hpp"
+
+namespace rnoc::noc {
+
+EnergyReport account_energy(const EnergyModel& m, const RouterStats& ev,
+                            std::uint64_t router_cycles, bool protected_mode) {
+  require(m.clock_ghz > 0.0, "account_energy: clock must be positive");
+  EnergyReport r;
+
+  const auto n = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  // Base pipeline events. Every traversal implies a buffer read, a stage-1+2
+  // switch arbitration and a link hop; every head flit one RC computation
+  // and one VA arbitration round per allocation.
+  r.dynamic_pj += n(ev.buffer_writes) * m.buffer_write_pj;
+  r.dynamic_pj += n(ev.flits_traversed) *
+                  (m.buffer_read_pj + m.sa_arbitration_pj +
+                   m.crossbar_traversal_pj + m.link_hop_pj);
+  r.dynamic_pj += n(ev.rc_computations) * m.rc_compute_pj;
+  r.dynamic_pj += n(ev.va_allocations) * m.va_arbitration_pj;
+
+  // Correction-circuitry events.
+  r.protection_pj += n(ev.rc_spare_uses) * m.rc_spare_extra_pj;
+  r.protection_pj += n(ev.va1_borrows) * m.va_borrow_extra_pj;
+  r.protection_pj += n(ev.va2_retries) * m.va_arbitration_pj;  // re-arbitration
+  r.protection_pj += n(ev.sa1_bypass_grants) * m.sa_bypass_extra_pj;
+  r.protection_pj += n(ev.sa1_transfers) * m.vc_transfer_pj;
+  r.protection_pj += n(ev.xb_secondary_traversals) * m.xb_secondary_extra_pj;
+  r.dynamic_pj += r.protection_pj;
+
+  // Leakage: mW -> pJ/cycle at the model clock.
+  const double leak_mw =
+      m.router_leakage_mw * (protected_mode ? m.protected_leakage_factor : 1.0);
+  const double pj_per_cycle = leak_mw / m.clock_ghz;  // 1 mW @ 1 GHz = 1 pJ/cy
+  r.leakage_pj = n(router_cycles) * pj_per_cycle;
+  return r;
+}
+
+}  // namespace rnoc::noc

@@ -1,0 +1,109 @@
+#include "noc/input_port.hpp"
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace rnoc::noc {
+
+const char* vc_state_name(VcState s) {
+  switch (s) {
+    case VcState::Idle: return "Idle";
+    case VcState::Routing: return "Routing";
+    case VcState::VcAlloc: return "VcAlloc";
+    case VcState::Active: return "Active";
+  }
+  return "?";
+}
+
+void VirtualChannel::reset_to_idle() {
+  state = VcState::Idle;
+  route = -1;
+  out_vc = -1;
+  sp = -1;
+  fsp = false;
+  excluded_out_vc = -1;
+  clear_borrow_fields();
+}
+
+void VirtualChannel::clear_borrow_fields() {
+  r2 = -1;
+  vf = false;
+  id = -1;
+}
+
+InputPort::InputPort(int vcs, int depth) : depth_(depth) {
+  require(vcs >= 1, "InputPort: need at least one VC");
+  require(depth >= 1, "InputPort: VC depth must be positive");
+  vcs_.resize(static_cast<std::size_t>(vcs));
+  l2p_.resize(static_cast<std::size_t>(vcs));
+  for (int i = 0; i < vcs; ++i) l2p_[static_cast<std::size_t>(i)] = i;
+}
+
+int InputPort::check(int v) const {
+  require(v >= 0 && v < vcs(), "InputPort: VC index out of range");
+  return v;
+}
+
+int InputPort::logical_of(int phys) const {
+  check(phys);
+  for (int l = 0; l < vcs(); ++l)
+    if (l2p_[static_cast<std::size_t>(l)] == phys) return l;
+  require(false, "InputPort::logical_of: map is not a permutation");
+  return -1;
+}
+
+bool InputPort::can_accept(const Flit& f) const {
+  const VirtualChannel& v = vcs_[static_cast<std::size_t>(physical_of(f.vc))];
+  return static_cast<int>(v.buffer.size()) < depth_;
+}
+
+void InputPort::write(const Flit& f) {
+  VirtualChannel& v = vcs_[static_cast<std::size_t>(physical_of(f.vc))];
+  require(static_cast<int>(v.buffer.size()) < depth_,
+          "InputPort::write: buffer overflow (credit protocol violated)");
+  if (f.is_head()) {
+    require(v.state == VcState::Idle && v.buffer.empty(),
+            "InputPort::write: head flit into a busy VC");
+    v.state = VcState::Routing;
+  } else {
+    require(v.state != VcState::Idle,
+            "InputPort::write: body/tail flit into an Idle VC");
+  }
+  v.buffer.push_back(f);
+}
+
+void InputPort::transfer(int from, int to) {
+  VirtualChannel& src = vcs_[static_cast<std::size_t>(check(from))];
+  VirtualChannel& dst = vcs_[static_cast<std::size_t>(check(to))];
+  require(from != to, "InputPort::transfer: source == destination");
+  require(dst.state == VcState::Idle && dst.buffer.empty(),
+          "InputPort::transfer: destination VC not idle/empty");
+  require(!src.buffer.empty(), "InputPort::transfer: source VC empty");
+
+  dst.state = src.state;
+  dst.route = src.route;
+  dst.out_vc = src.out_vc;
+  dst.sp = src.sp;
+  dst.fsp = src.fsp;
+  dst.excluded_out_vc = src.excluded_out_vc;
+  dst.buffer = std::move(src.buffer);
+  src.buffer.clear();
+  src.reset_to_idle();
+
+  // Swap the logical ids of the two physical VCs so that in-flight flits of
+  // the moved packet (addressed to its original logical id) land in `to`,
+  // and a new packet the upstream allocates to the freed id lands in `from`.
+  const int l_from = logical_of(from);
+  const int l_to = logical_of(to);
+  std::swap(l2p_[static_cast<std::size_t>(l_from)],
+            l2p_[static_cast<std::size_t>(l_to)]);
+}
+
+int InputPort::buffered_flits() const {
+  int n = 0;
+  for (const auto& v : vcs_) n += static_cast<int>(v.buffer.size());
+  return n;
+}
+
+}  // namespace rnoc::noc

@@ -1,0 +1,96 @@
+// Router input port: virtual channels with their state fields (paper §II-C),
+// extended with the protection fields of the modified input port (paper
+// Fig. 4) and a logical->physical VC permutation that implements the SA-stage
+// VC-to-VC flit transfer (paper §V-C1) without corrupting in-flight traffic.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "noc/flit.hpp"
+
+namespace rnoc::noc {
+
+/// The 'G' state field: where the VC's current packet is in the pipeline.
+enum class VcState : std::uint8_t {
+  Idle,     ///< No packet allocated.
+  Routing,  ///< Head flit waiting for / in the RC stage.
+  VcAlloc,  ///< Waiting for / in the VA stage.
+  Active,   ///< Allocated; flits compete in SA and traverse the crossbar.
+};
+
+const char* vc_state_name(VcState s);
+
+/// One virtual channel. Fields mirror the paper's input-port state:
+/// G (state), R (route), O (out_vc), P/C implied by the buffer and the
+/// upstream credit counters; plus the new fields R2/VF/ID (VA arbiter
+/// sharing) and SP/FSP (crossbar secondary path).
+struct VirtualChannel {
+  VcState state = VcState::Idle;  // 'G'
+  int route = -1;                 // 'R': output port of the current packet
+  int out_vc = -1;                // 'O': allocated downstream VC (logical id)
+  std::deque<Flit> buffer;
+
+  // --- Correction-circuitry state fields (protected router only) ---
+  int r2 = -1;      // 'R2': RC result a borrowing VC placed here
+  bool vf = false;  // 'VF': this VC's arbiters are lent out this cycle
+  int id = -1;      // 'ID': which sibling VC borrowed the arbiters
+  int sp = -1;      // 'SP': output port to arbitrate for to use the
+                    //        crossbar secondary path
+  bool fsp = false; // 'FSP': secondary path must be used
+
+  // Retry memory for a faulty stage-2 VA arbiter (paper §V-B3): the
+  // downstream VC whose allocation failed and must be excluded next cycle.
+  int excluded_out_vc = -1;
+
+  bool empty() const { return buffer.empty(); }
+
+  /// Returns the VC to Idle after the tail flit departs (or on transfer).
+  void reset_to_idle();
+
+  /// Clears the borrow-request fields after a lent allocation completes.
+  void clear_borrow_fields();
+};
+
+/// An input port: `vcs` virtual channels of `depth` flits each, plus the
+/// logical->physical VC map. Upstream nodes address VCs by *logical* id
+/// (the id carried in flits and credits); the SA-stage transfer mechanism
+/// re-points a logical id at a different physical buffer, so in-flight flits
+/// and credits keep working after a transfer.
+class InputPort {
+ public:
+  InputPort(int vcs, int depth);
+
+  int vcs() const { return static_cast<int>(vcs_.size()); }
+  int depth() const { return depth_; }
+
+  VirtualChannel& vc(int phys) { return vcs_[check(phys)]; }
+  const VirtualChannel& vc(int phys) const { return vcs_[check(phys)]; }
+
+  int physical_of(int logical) const { return l2p_[check(logical)]; }
+  int logical_of(int phys) const;
+
+  /// True when the physical VC the flit's logical id maps to has space.
+  bool can_accept(const Flit& f) const;
+
+  /// Buffer-write: places the flit in the mapped physical VC; a head flit
+  /// arriving at an Idle VC moves it to Routing.
+  void write(const Flit& f);
+
+  /// Moves the whole packet (flits + state fields) from physical VC `from`
+  /// into the empty, Idle physical VC `to`, and swaps their logical ids so
+  /// that flits/credits still in flight stay consistent (paper §V-C1;
+  /// 1-cycle operation, the cost is charged by the caller).
+  void transfer(int from, int to);
+
+  int buffered_flits() const;
+
+ private:
+  int check(int v) const;
+
+  std::vector<VirtualChannel> vcs_;
+  std::vector<int> l2p_;  ///< logical -> physical VC index (a permutation)
+  int depth_;
+};
+
+}  // namespace rnoc::noc

@@ -1,0 +1,36 @@
+#include "noc/link.hpp"
+
+#include "common/types.hpp"
+
+namespace rnoc::noc {
+
+Link::Link(Cycle latency) : latency_(latency) {
+  require(latency >= 1, "Link: latency must be at least one cycle");
+}
+
+void Link::push_flit(const Flit& f, Cycle now) {
+  require(last_flit_push_ == kNeverCycle || last_flit_push_ != now,
+          "Link::push_flit: two flits pushed in one cycle");
+  last_flit_push_ = now;
+  flits_.emplace_back(f, now + latency_);
+}
+
+std::optional<Flit> Link::take_flit(Cycle now) {
+  if (flits_.empty() || flits_.front().second > now) return std::nullopt;
+  Flit f = flits_.front().first;
+  flits_.pop_front();
+  return f;
+}
+
+void Link::push_credit(const Credit& c, Cycle now) {
+  credits_.emplace_back(c, now + latency_);
+}
+
+std::optional<Credit> Link::take_credit(Cycle now) {
+  if (credits_.empty() || credits_.front().second > now) return std::nullopt;
+  Credit c = credits_.front().first;
+  credits_.pop_front();
+  return c;
+}
+
+}  // namespace rnoc::noc

@@ -1,0 +1,43 @@
+// A unidirectional router-to-router channel: flits downstream, credits back
+// upstream, each with a fixed latency (default 1 cycle).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "noc/flit.hpp"
+
+namespace rnoc::noc {
+
+class Link {
+ public:
+  explicit Link(Cycle latency = 1);
+  virtual ~Link() = default;
+
+  Cycle latency() const { return latency_; }
+
+  /// Pushes a flit at cycle `now`; it becomes visible at now + latency.
+  /// At most one flit may be pushed per cycle (channel width = 1 flit).
+  virtual void push_flit(const Flit& f, Cycle now);
+
+  /// Takes the flit that has arrived by `now`, if any.
+  virtual std::optional<Flit> take_flit(Cycle now);
+
+  /// Credits ride the reverse wires with the same latency.
+  virtual void push_credit(const Credit& c, Cycle now);
+  virtual std::optional<Credit> take_credit(Cycle now);
+
+  virtual bool idle() const { return flits_.empty() && credits_.empty(); }
+  virtual int flits_in_flight() const {
+    return static_cast<int>(flits_.size());
+  }
+
+ private:
+  std::deque<std::pair<Flit, Cycle>> flits_;      ///< (flit, ready_cycle)
+  std::deque<std::pair<Credit, Cycle>> credits_;  ///< (credit, ready_cycle)
+  Cycle latency_;
+  Cycle last_flit_push_ = kNeverCycle;
+};
+
+}  // namespace rnoc::noc

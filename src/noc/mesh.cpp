@@ -1,0 +1,132 @@
+#include "noc/mesh.hpp"
+
+namespace rnoc::noc {
+
+Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
+  require(cfg.dims.x >= 2 && cfg.dims.y >= 2, "Mesh: need at least 2x2");
+  const int n = cfg.dims.nodes();
+  routers_.reserve(static_cast<std::size_t>(n));
+  nis_.reserve(static_cast<std::size_t>(n));
+  const NiConfig ni_cfg{cfg.router.vcs, cfg.router.vc_depth,
+                        cfg.router.vnets};
+  for (NodeId i = 0; i < n; ++i) {
+    routers_.emplace_back(i, cfg.dims, cfg.router);
+    nis_.emplace_back(i, ni_cfg);
+  }
+
+  const bool ecc = cfg.link_single_ber > 0.0 || cfg.link_double_ber > 0.0;
+  std::uint64_t link_seed = cfg.ecc_seed;
+  auto make_link = [&]() -> Link* {
+    if (ecc) {
+      links_.push_back(std::make_unique<EccLink>(
+          cfg.link_single_ber, cfg.link_double_ber, ++link_seed,
+          cfg.link_latency));
+    } else {
+      links_.push_back(std::make_unique<Link>(cfg.link_latency));
+    }
+    return links_.back().get();
+  };
+
+  // NI <-> router local-port links.
+  for (NodeId i = 0; i < n; ++i) {
+    Link* inj = make_link();  // NI -> router (flits), router -> NI (credits)
+    Link* ej = make_link();   // router -> NI (flits), NI -> router (credits)
+    routers_[static_cast<std::size_t>(i)].attach_input(
+        port_of(Direction::Local), inj);
+    routers_[static_cast<std::size_t>(i)].attach_output(
+        port_of(Direction::Local), ej);
+    nis_[static_cast<std::size_t>(i)].attach(inj, ej);
+  }
+
+  // Inter-router links: for each node, wire East and South neighbours (the
+  // reverse directions are wired from the neighbour's perspective).
+  for (NodeId i = 0; i < n; ++i) {
+    const Coord c = cfg.dims.coord_of(i);
+    if (c.x + 1 < cfg.dims.x) {
+      const NodeId e = cfg.dims.node_of({c.x + 1, c.y});
+      Link* right = make_link();  // i -> e
+      Link* left = make_link();   // e -> i
+      routers_[static_cast<std::size_t>(i)].attach_output(
+          port_of(Direction::East), right);
+      routers_[static_cast<std::size_t>(e)].attach_input(
+          port_of(Direction::West), right);
+      routers_[static_cast<std::size_t>(e)].attach_output(
+          port_of(Direction::West), left);
+      routers_[static_cast<std::size_t>(i)].attach_input(
+          port_of(Direction::East), left);
+    }
+    if (c.y + 1 < cfg.dims.y) {
+      const NodeId s = cfg.dims.node_of({c.x, c.y + 1});
+      Link* down = make_link();  // i -> s
+      Link* up = make_link();    // s -> i
+      routers_[static_cast<std::size_t>(i)].attach_output(
+          port_of(Direction::South), down);
+      routers_[static_cast<std::size_t>(s)].attach_input(
+          port_of(Direction::North), down);
+      routers_[static_cast<std::size_t>(s)].attach_output(
+          port_of(Direction::North), up);
+      routers_[static_cast<std::size_t>(i)].attach_input(
+          port_of(Direction::South), up);
+    }
+  }
+}
+
+Router& Mesh::router(NodeId n) {
+  require(n >= 0 && n < nodes(), "Mesh::router: node out of range");
+  return routers_[static_cast<std::size_t>(n)];
+}
+
+const Router& Mesh::router(NodeId n) const {
+  require(n >= 0 && n < nodes(), "Mesh::router: node out of range");
+  return routers_[static_cast<std::size_t>(n)];
+}
+
+NetworkInterface& Mesh::ni(NodeId n) {
+  require(n >= 0 && n < nodes(), "Mesh::ni: node out of range");
+  return nis_[static_cast<std::size_t>(n)];
+}
+
+const NetworkInterface& Mesh::ni(NodeId n) const {
+  require(n >= 0 && n < nodes(), "Mesh::ni: node out of range");
+  return nis_[static_cast<std::size_t>(n)];
+}
+
+void Mesh::set_routing_tables(const FaultAwareTables* tables) {
+  for (auto& r : routers_) r.set_routing_tables(tables);
+}
+
+void Mesh::step(Cycle now) {
+  for (auto& r : routers_) r.step_accept(now);
+  for (auto& r : routers_) r.step_st(now);
+  for (auto& r : routers_) r.step_sa(now);
+  for (auto& r : routers_) r.step_va(now);
+  for (auto& r : routers_) r.step_rc(now);
+  for (auto& ni : nis_) ni.step(now);
+}
+
+int Mesh::flits_in_network() const {
+  int n = 0;
+  for (const auto& r : routers_) n += r.buffered_flits();
+  for (const auto& l : links_) n += l->flits_in_flight();
+  return n;
+}
+
+RouterStats Mesh::aggregate_router_stats() const {
+  RouterStats s;
+  for (const auto& r : routers_) s.merge(r.stats());
+  return s;
+}
+
+EccLinkStats Mesh::aggregate_ecc_stats() const {
+  EccLinkStats s;
+  for (const auto& l : links_) {
+    if (const auto* e = dynamic_cast<const EccLink*>(l.get())) {
+      s.flits_delivered += e->stats().flits_delivered;
+      s.corrected_singles += e->stats().corrected_singles;
+      s.retransmissions += e->stats().retransmissions;
+    }
+  }
+  return s;
+}
+
+}  // namespace rnoc::noc

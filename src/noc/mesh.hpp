@@ -1,0 +1,65 @@
+// 2D-mesh network: routers, NIs and the links wiring them together.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/ecc_link.hpp"
+#include "noc/link.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+
+namespace rnoc::noc {
+
+struct MeshConfig {
+  MeshDims dims{8, 8};
+  RouterConfig router{};
+  Cycle link_latency = 1;
+  /// Nonzero bit-upset probabilities turn every link into a SECDED-protected
+  /// EccLink (per-flit single/double upset rates; see noc/ecc_link.hpp).
+  double link_single_ber = 0.0;
+  double link_double_ber = 0.0;
+  std::uint64_t ecc_seed = 0x5ecded;
+};
+
+class Mesh {
+ public:
+  explicit Mesh(const MeshConfig& cfg);
+
+  Mesh(const Mesh&) = delete;
+  Mesh& operator=(const Mesh&) = delete;
+
+  const MeshConfig& config() const { return cfg_; }
+  const MeshDims& dims() const { return cfg_.dims; }
+  int nodes() const { return cfg_.dims.nodes(); }
+
+  Router& router(NodeId n);
+  const Router& router(NodeId n) const;
+  NetworkInterface& ni(NodeId n);
+  const NetworkInterface& ni(NodeId n) const;
+
+  /// Advances the whole network by one cycle.
+  void step(Cycle now);
+
+  /// Installs fault-aware routing tables on every router (nullptr -> XY).
+  /// The tables must outlive the mesh or the next call.
+  void set_routing_tables(const FaultAwareTables* tables);
+
+  /// Flits currently buffered in routers or in flight on links.
+  int flits_in_network() const;
+
+  /// Sum of all routers' event counters.
+  RouterStats aggregate_router_stats() const;
+
+  /// Aggregate ECC-link statistics (all zeros when links are plain).
+  EccLinkStats aggregate_ecc_stats() const;
+
+ private:
+  MeshConfig cfg_;
+  std::vector<Router> routers_;
+  std::vector<NetworkInterface> nis_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace rnoc::noc

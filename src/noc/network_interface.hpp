@@ -1,0 +1,107 @@
+// Network interface (NI): the traffic endpoint attached to each router's
+// local port. Segments packets into flits, injects them under credit flow
+// control, reassembles/ejects arriving packets and records latencies.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "noc/flit.hpp"
+#include "noc/link.hpp"
+
+namespace rnoc::noc {
+
+struct NiConfig {
+  int vcs = 4;       ///< VCs of the router's local input port.
+  int vc_depth = 4;  ///< Credits per VC.
+  int vnets = 1;     ///< Virtual networks (must divide vcs; see noc/vnet.hpp).
+};
+
+struct NiStats {
+  /// Bin range of the latency histogram; latencies above clamp to the top
+  /// bin, which only matters for saturated runs.
+  static constexpr double kLatencyHistMax = 4096.0;
+  static constexpr std::size_t kLatencyHistBins = 512;
+
+  std::uint64_t packets_enqueued = 0;
+  std::uint64_t packets_injected = 0;  ///< Head flit entered the network.
+  std::uint64_t packets_received = 0;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_received = 0;
+  std::uint64_t queue_peak = 0;
+  RunningStats total_latency;    ///< creation -> tail ejection (measured pkts).
+  RunningStats network_latency;  ///< injection -> tail ejection (measured pkts).
+  Histogram latency_hist{0.0, kLatencyHistMax, kLatencyHistBins};
+};
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId node, const NiConfig& cfg);
+
+  NodeId node() const { return node_; }
+
+  /// `to_router` carries our flits in and the router's credits back;
+  /// `from_router` delivers ejected flits and carries our credits back.
+  void attach(Link* to_router, Link* from_router);
+
+  /// Queues a packet for injection. `p.src` must equal this NI's node.
+  void enqueue(PacketDesc p);
+
+  /// Packets created in [begin, end) count toward the latency statistics
+  /// (warmup/drain packets are excluded).
+  void set_measure_window(Cycle begin, Cycle end);
+
+  /// Called once per cycle by the simulator: ejects arrived flits (returning
+  /// credits), then injects at most one flit of the packet in flight.
+  void step(Cycle now);
+
+  /// Callback invoked when a packet's tail flit is ejected (used by
+  /// request/response traffic models to generate replies).
+  using DeliveryHook = std::function<void(const Flit& tail, Cycle now)>;
+  void set_delivery_hook(DeliveryHook hook) { hook_ = std::move(hook); }
+
+  const NiStats& stats() const { return stats_; }
+  std::size_t queued_packets() const { return queue_.size(); }
+  bool injection_idle() const { return queue_.empty() && !sending_; }
+
+ private:
+  struct OutVc {
+    bool busy = false;  ///< Allocated to an in-flight packet (until vc_free).
+    int credits = 0;
+  };
+
+  void eject(Cycle now);
+  void inject(Cycle now);
+
+  NodeId node_;
+  NiConfig cfg_;
+  Link* to_router_ = nullptr;
+  Link* from_router_ = nullptr;
+  std::vector<OutVc> out_vcs_;
+  std::deque<PacketDesc> queue_;
+
+  // Packet currently being serialized into flits.
+  bool sending_ = false;
+  PacketDesc current_{};
+  int next_seq_ = 0;
+  int current_vc_ = -1;
+  Cycle current_injected_ = 0;
+
+  Cycle measure_begin_ = 0;
+  Cycle measure_end_ = kNeverCycle;
+  NiStats stats_;
+  DeliveryHook hook_;
+
+  /// Per-VC reassembly state for the protocol-integrity check: flits of a
+  /// packet must arrive on one VC, in seq order, head first, tail last.
+  struct Reassembly {
+    bool active = false;
+    PacketId packet = 0;
+    std::uint32_t next_seq = 0;
+  };
+  std::vector<Reassembly> reassembly_;
+};
+
+}  // namespace rnoc::noc

@@ -1,0 +1,211 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+
+namespace rnoc::noc {
+
+Router::Router(NodeId id, const MeshDims& dims, const RouterConfig& cfg)
+    : id_(id),
+      dims_(dims),
+      cfg_(cfg),
+      faults_({kMeshPorts, cfg.vcs, cfg.vnets}),
+      va_(kMeshPorts, cfg.vcs, cfg.mode, cfg.vnets),
+      sa_(kMeshPorts, cfg.vcs, cfg.mode, cfg.default_winner_epoch),
+      xb_(kMeshPorts, cfg.mode),
+      rc_rr_(kMeshPorts, 0) {
+  require(id >= 0 && id < dims.nodes(), "Router: id outside mesh");
+  require(cfg.vcs >= 1 && cfg.vc_depth >= 1, "Router: bad VC config");
+  inputs_.reserve(kMeshPorts);
+  for (int p = 0; p < kMeshPorts; ++p)
+    inputs_.emplace_back(cfg.vcs, cfg.vc_depth);
+  out_vcs_.assign(kMeshPorts, std::vector<OutVcState>(
+                                  static_cast<std::size_t>(cfg.vcs),
+                                  OutVcState{false, cfg.vc_depth}));
+  in_links_.assign(kMeshPorts, nullptr);
+  out_links_.assign(kMeshPorts, nullptr);
+}
+
+void Router::attach_input(int port, Link* link) {
+  require(port >= 0 && port < kMeshPorts, "Router::attach_input: bad port");
+  in_links_[static_cast<std::size_t>(port)] = link;
+}
+
+void Router::attach_output(int port, Link* link) {
+  require(port >= 0 && port < kMeshPorts, "Router::attach_output: bad port");
+  out_links_[static_cast<std::size_t>(port)] = link;
+}
+
+void Router::set_routing_tables(const FaultAwareTables* tables) {
+  route_tables_ = tables;
+}
+
+InputPort& Router::input_port(int p) {
+  require(p >= 0 && p < kMeshPorts, "Router::input_port: bad port");
+  return inputs_[static_cast<std::size_t>(p)];
+}
+
+const OutVcState& Router::out_vc(int port, int vc) const {
+  require(port >= 0 && port < kMeshPorts && vc >= 0 && vc < cfg_.vcs,
+          "Router::out_vc: out of range");
+  return out_vcs_[static_cast<std::size_t>(port)][static_cast<std::size_t>(vc)];
+}
+
+int Router::buffered_flits() const {
+  int n = 0;
+  for (const auto& ip : inputs_) n += ip.buffered_flits();
+  return n;
+}
+
+void Router::step_accept(Cycle now) {
+  for (int p = 0; p < kMeshPorts; ++p) {
+    if (Link* l = in_links_[static_cast<std::size_t>(p)]) {
+      if (auto f = l->take_flit(now)) {
+        inputs_[static_cast<std::size_t>(p)].write(*f);
+        ++stats_.buffer_writes;
+      }
+    }
+    if (Link* l = out_links_[static_cast<std::size_t>(p)]) {
+      while (auto c = l->take_credit(now)) {
+        auto& ov = out_vcs_[static_cast<std::size_t>(p)]
+                           [static_cast<std::size_t>(c->vc)];
+        ++ov.credits;
+        require(ov.credits <= cfg_.vc_depth,
+                "Router: credit overflow (protocol violation)");
+        if (c->vc_free) ov.allocated = false;
+      }
+    }
+  }
+}
+
+void Router::step_st(Cycle now) {
+  for (const StGrant& g : st_pending_) {
+    InputPort& ip = inputs_[static_cast<std::size_t>(g.in_port)];
+    VirtualChannel& vc = ip.vc(g.in_vc);
+    require(!vc.buffer.empty(), "Router::step_st: granted VC has no flit");
+
+    if (!xb_.can_traverse(g, faults_)) {
+      // A fault struck between SA and ST: cancel the traversal, refund the
+      // credit; the flit re-arbitrates with the fault now visible.
+      ++out_vcs_[static_cast<std::size_t>(g.out_port)]
+                [static_cast<std::size_t>(g.out_vc)]
+            .credits;
+      ++stats_.blocked_vc_cycles;
+      continue;
+    }
+
+    Flit f = vc.buffer.front();
+    vc.buffer.pop_front();
+    if (Link* l = in_links_[static_cast<std::size_t>(g.in_port)])
+      l->push_credit({f.vc, f.is_tail()}, now);
+    const int out_vc = vc.out_vc;
+    if (f.is_tail()) vc.reset_to_idle();
+    f.vc = out_vc;
+    Link* out = out_links_[static_cast<std::size_t>(g.out_port)];
+    require(out != nullptr, "Router::step_st: unwired output port");
+    out->push_flit(f, now);
+    ++stats_.flits_traversed;
+  }
+  st_pending_.clear();
+}
+
+void Router::step_sa(Cycle now) {
+  st_pending_ = sa_.step(now, inputs_, out_vcs_, faults_, stats_);
+}
+
+void Router::step_va(Cycle) {
+  va_.step(inputs_, out_vcs_, faults_, stats_);
+}
+
+int Router::free_credits(int out) const {
+  int total = 0;
+  for (const auto& ov : out_vcs_[static_cast<std::size_t>(out)])
+    total += ov.credits;
+  return total;
+}
+
+bool Router::try_output(VirtualChannel& vc, int out) {
+  using fault::SiteType;
+  vc.route = out;
+  vc.sp = -1;
+  vc.fsp = false;
+  const bool primary_ok = !faults_.has(SiteType::XbMux, out) &&
+                          !faults_.has(SiteType::Sa2Arbiter, out);
+  if (cfg_.mode != core::RouterMode::Protected) return primary_ok;
+  if (faults_.has(SiteType::XbPSelect, out)) return false;
+  if (primary_ok) return true;
+  // Secondary-path determination (paper §V-D): if the regular path to `out`
+  // is unreachable, point SP at the neighbouring mux and set FSP.
+  const int sec = core::secondary_mux_for_output(out, kMeshPorts);
+  const bool secondary_ok = !faults_.has(SiteType::XbMux, sec) &&
+                            !faults_.has(SiteType::Sa2Arbiter, sec) &&
+                            !faults_.has(SiteType::XbDemux, sec);
+  if (!secondary_ok) return false;
+  vc.sp = sec;
+  vc.fsp = true;
+  return true;
+}
+
+bool Router::compute_route(VirtualChannel& vc, const Flit& head, int in_port) {
+  using fault::SiteType;
+  // Select a working RC unit for this input port (paper §V-A).
+  if (faults_.has(SiteType::RcPrimary, in_port)) {
+    if (cfg_.mode == core::RouterMode::Baseline ||
+        faults_.has(SiteType::RcSpare, in_port))
+      return false;
+    ++stats_.rc_spare_uses;
+  }
+  ++stats_.rc_computations;
+
+  // Candidate outputs: one for deterministic routing, possibly several for
+  // adaptive odd-even.
+  std::vector<int> candidates;
+  if (route_tables_) {
+    const int out = route_tables_->next_port(id_, head.dst);
+    if (out < 0) return false;  // destination unreachable (partitioned mesh)
+    candidates.push_back(out);
+  } else if (cfg_.routing == RoutingAlgo::OddEven) {
+    candidates = odd_even_candidates(dims_, id_, head.src, head.dst);
+    // Adaptive selection: prefer the candidate with the most free
+    // downstream buffer space (congestion look-ahead).
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [this](int a, int b) {
+                       return free_credits(a) > free_credits(b);
+                     });
+  } else {
+    candidates.push_back(xy_route(dims_, id_, head.dst));
+  }
+
+  // Commit the first candidate whose crossbar path works; adaptivity thus
+  // doubles as fault avoidance when an alternative minimal direction exists.
+  for (const int out : candidates)
+    if (try_output(vc, out)) return true;
+  vc.route = candidates.front();  // blocked; keep a stable R field
+  vc.sp = -1;
+  vc.fsp = false;
+  return false;
+}
+
+void Router::step_rc(Cycle) {
+  // One RC computation per input port per cycle (one RC unit per port),
+  // round-robin over the VCs waiting in Routing state.
+  for (int p = 0; p < kMeshPorts; ++p) {
+    InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+    int& ptr = rc_rr_[static_cast<std::size_t>(p)];
+    for (int i = 0; i < cfg_.vcs; ++i) {
+      const int v = (ptr + i) % cfg_.vcs;
+      VirtualChannel& vc = ip.vc(v);
+      if (vc.state != VcState::Routing) continue;
+      require(!vc.buffer.empty() && vc.buffer.front().is_head(),
+              "Router::step_rc: Routing VC without a head flit");
+      if (compute_route(vc, vc.buffer.front(), p)) {
+        vc.state = VcState::VcAlloc;
+      } else {
+        ++stats_.blocked_vc_cycles;
+      }
+      ptr = (v + 1) % cfg_.vcs;
+      break;
+    }
+  }
+}
+
+}  // namespace rnoc::noc

@@ -1,0 +1,117 @@
+// The NoC router: a 4-stage (RC -> VA -> SA -> XB) virtual-channel router
+// (paper §II) that can run as the unprotected baseline or as the paper's
+// fault-tolerant protected router (§V), selected by RouterConfig::mode.
+//
+// Per simulation cycle the owning Mesh calls, in order:
+//   step_accept  - buffer-write: drain arriving flits and credits
+//   step_st      - switch traversal of the previous cycle's SA winners
+//   step_sa      - switch allocation (with bypass / secondary-path logic)
+//   step_va      - virtual-channel allocation (with arbiter sharing)
+//   step_rc      - route computation (with the duplicate RC unit)
+// A head flit therefore spends one cycle in each stage; with the 1-cycle
+// link this gives the canonical 4-stage-pipeline hop latency.
+#pragma once
+
+#include <vector>
+
+#include "core/protection.hpp"
+#include "fault/fault_model.hpp"
+#include "noc/crossbar.hpp"
+#include "noc/input_port.hpp"
+#include "noc/link.hpp"
+#include "noc/router_state.hpp"
+#include "noc/routing.hpp"
+#include "noc/sw_allocator.hpp"
+#include "noc/table_routing.hpp"
+#include "noc/vc_allocator.hpp"
+
+namespace rnoc::noc {
+
+/// Routing algorithm the RC stage runs (fault-aware tables, when installed,
+/// override either).
+enum class RoutingAlgo {
+  XY,       ///< Deterministic dimension-order (the paper's setup).
+  OddEven,  ///< Minimal adaptive under the odd-even turn model.
+};
+
+struct RouterConfig {
+  int vcs = 4;       ///< Virtual channels per input port.
+  int vc_depth = 4;  ///< Flit slots per VC.
+  core::RouterMode mode = core::RouterMode::Protected;
+  RoutingAlgo routing = RoutingAlgo::XY;
+  /// Cycles each VC spends as the SA bypass path's default winner.
+  Cycle default_winner_epoch = 16;
+  /// Virtual networks (protocol classes). Must divide vcs evenly. Packets
+  /// of traffic class c are confined to the VCs of vnet (c mod vnets).
+  int vnets = 1;
+};
+
+class Router {
+ public:
+  Router(NodeId id, const MeshDims& dims, const RouterConfig& cfg);
+
+  NodeId id() const { return id_; }
+  int ports() const { return kMeshPorts; }
+  int vcs() const { return cfg_.vcs; }
+  const RouterConfig& config() const { return cfg_; }
+
+  /// Wiring (done once by the Mesh). Input links deliver flits to port
+  /// `port` and carry our credits upstream; output links take our flits and
+  /// bring the downstream node's credits back.
+  void attach_input(int port, Link* link);
+  void attach_output(int port, Link* link);
+
+  void step_accept(Cycle now);
+  void step_st(Cycle now);
+  void step_sa(Cycle now);
+  void step_va(Cycle now);
+  void step_rc(Cycle now);
+
+  fault::RouterFaultState& faults() { return faults_; }
+  const fault::RouterFaultState& faults() const { return faults_; }
+
+  /// Switches the RC stage from XY routing to fault-aware tables (network-
+  /// level rerouting). Pass nullptr to return to XY. The tables must outlive
+  /// the router.
+  void set_routing_tables(const FaultAwareTables* tables);
+
+  const RouterStats& stats() const { return stats_; }
+  InputPort& input_port(int p);
+  const OutVcState& out_vc(int port, int vc) const;
+
+  /// Flits buffered across all input ports (drain/deadlock detection).
+  int buffered_flits() const;
+
+ private:
+  friend class RouterTestPeer;
+
+  /// Route computation for one head flit, including the SP/FSP secondary
+  /// path determination (paper §V-A, §V-D). Returns false when an
+  /// untolerated fault blocks the VC.
+  bool compute_route(VirtualChannel& vc, const Flit& head, int in_port);
+
+  /// Commits output `out` into the VC's R/SP/FSP fields if the crossbar can
+  /// still reach it under the current faults and mode.
+  bool try_output(VirtualChannel& vc, int out);
+
+  /// Free downstream buffer slots at `out` (the adaptive selection metric).
+  int free_credits(int out) const;
+
+  NodeId id_;
+  MeshDims dims_;
+  RouterConfig cfg_;
+  std::vector<InputPort> inputs_;
+  std::vector<std::vector<OutVcState>> out_vcs_;  ///< [port][logical vc]
+  std::vector<Link*> in_links_;
+  std::vector<Link*> out_links_;
+  fault::RouterFaultState faults_;
+  const FaultAwareTables* route_tables_ = nullptr;
+  VcAllocator va_;
+  SwitchAllocator sa_;
+  Crossbar xb_;
+  std::vector<int> rc_rr_;  ///< Per-port RC round-robin pointer over VCs.
+  std::vector<StGrant> st_pending_;
+  RouterStats stats_;
+};
+
+}  // namespace rnoc::noc

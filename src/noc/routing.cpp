@@ -1,0 +1,99 @@
+#include "noc/routing.hpp"
+
+#include <cstdlib>
+
+namespace rnoc::noc {
+
+int port_of(Direction d) { return static_cast<int>(d); }
+
+Direction direction_of(int port) {
+  require(port >= 0 && port < kMeshPorts, "direction_of: bad port");
+  return static_cast<Direction>(port);
+}
+
+std::string direction_name(int port) {
+  switch (direction_of(port)) {
+    case Direction::Local: return "Local";
+    case Direction::North: return "North";
+    case Direction::East: return "East";
+    case Direction::South: return "South";
+    case Direction::West: return "West";
+  }
+  return "?";
+}
+
+int opposite_port(int port) {
+  switch (direction_of(port)) {
+    case Direction::Local: return port_of(Direction::Local);
+    case Direction::North: return port_of(Direction::South);
+    case Direction::East: return port_of(Direction::West);
+    case Direction::South: return port_of(Direction::North);
+    case Direction::West: return port_of(Direction::East);
+  }
+  return -1;
+}
+
+Coord MeshDims::coord_of(NodeId n) const {
+  require(n >= 0 && n < nodes(), "MeshDims::coord_of: node out of range");
+  return {static_cast<int>(n) % x, static_cast<int>(n) / x};
+}
+
+NodeId MeshDims::node_of(Coord c) const {
+  require(contains(c), "MeshDims::node_of: coord out of range");
+  return static_cast<NodeId>(c.y * x + c.x);
+}
+
+bool MeshDims::contains(Coord c) const {
+  return c.x >= 0 && c.x < x && c.y >= 0 && c.y < y;
+}
+
+int xy_route(const MeshDims& dims, NodeId current, NodeId dst) {
+  const Coord cur = dims.coord_of(current);
+  const Coord d = dims.coord_of(dst);
+  if (cur.x < d.x) return port_of(Direction::East);
+  if (cur.x > d.x) return port_of(Direction::West);
+  if (cur.y < d.y) return port_of(Direction::South);
+  if (cur.y > d.y) return port_of(Direction::North);
+  return port_of(Direction::Local);
+}
+
+int xy_hops(const MeshDims& dims, NodeId src, NodeId dst) {
+  const Coord s = dims.coord_of(src);
+  const Coord d = dims.coord_of(dst);
+  return std::abs(s.x - d.x) + std::abs(s.y - d.y);
+}
+
+std::vector<int> odd_even_candidates(const MeshDims& dims, NodeId cur,
+                                     NodeId src, NodeId dst) {
+  // Chiu's ROUTE function, minimal version.
+  const Coord c = dims.coord_of(cur);
+  const Coord s = dims.coord_of(src);
+  const Coord d = dims.coord_of(dst);
+  const int e0 = d.x - c.x;
+  const int e1 = d.y - c.y;
+
+  if (e0 == 0 && e1 == 0) return {port_of(Direction::Local)};
+
+  std::vector<int> avail;
+  const int dir_v =
+      e1 < 0 ? port_of(Direction::North) : port_of(Direction::South);
+  if (e0 == 0) {
+    avail.push_back(dir_v);
+  } else if (e0 > 0) {
+    // Eastbound: the vertical (an EN/ES turn) is only legal in odd columns —
+    // or at the source column, where no turn has been taken yet.
+    if (e1 != 0 && (c.x % 2 == 1 || c.x == s.x)) avail.push_back(dir_v);
+    // Continuing East is fine unless the destination column is even and one
+    // hop away (the final EN/ES turn would land in an even column).
+    if (e1 == 0 || d.x % 2 == 1 || e0 != 1) avail.push_back(port_of(Direction::East));
+  } else {
+    // Westbound: NW/SW turns are forbidden in odd columns, so the vertical
+    // is only offered in even columns; West itself is always admissible.
+    avail.push_back(port_of(Direction::West));
+    if (e1 != 0 && c.x % 2 == 0) avail.push_back(dir_v);
+  }
+  require(!avail.empty(), "odd_even_candidates: empty candidate set");
+  return avail;
+}
+
+}  // namespace rnoc::noc

@@ -1,0 +1,143 @@
+#include "noc/simulator.hpp"
+
+namespace rnoc::noc {
+
+Simulator::Simulator(const SimConfig& cfg,
+                     std::shared_ptr<traffic::TrafficModel> traffic)
+    : cfg_(cfg),
+      traffic_(std::move(traffic)),
+      mesh_(cfg.mesh),
+      injector_(fault::FaultPlan{}),
+      resp_rng_(cfg.seed ^ 0xabcdef12345ull),
+      occupancy_(cfg.mesh.dims.nodes()) {
+  require(traffic_ != nullptr, "Simulator: traffic model required");
+  traffic_->init(cfg_.mesh.dims);
+  Rng master(cfg_.seed);
+  node_rngs_.reserve(static_cast<std::size_t>(mesh_.nodes()));
+  for (int i = 0; i < mesh_.nodes(); ++i) node_rngs_.push_back(master.split());
+
+  const Cycle mbegin = cfg_.warmup;
+  const Cycle mend = cfg_.warmup + cfg_.measure;
+  for (NodeId n = 0; n < mesh_.nodes(); ++n) {
+    NetworkInterface& ni = mesh_.ni(n);
+    ni.set_measure_window(mbegin, mend);
+    ni.set_delivery_hook([this, n](const Flit& tail, Cycle now) {
+      std::vector<traffic::Response> responses;
+      traffic_->on_delivered(tail, n, now, resp_rng_, responses);
+      for (auto& r : responses)
+        pending_responses_.push({std::max(r.ready, now + 1), std::move(r)});
+    });
+  }
+}
+
+void Simulator::set_fault_plan(fault::FaultPlan plan) {
+  require(!ran_, "Simulator::set_fault_plan: simulation already ran");
+  injector_ = fault::FaultInjector(std::move(plan));
+}
+
+void Simulator::release_responses(Cycle now) {
+  while (!pending_responses_.empty() &&
+         pending_responses_.top().ready <= now) {
+    traffic::Response r = pending_responses_.top().response;
+    pending_responses_.pop();
+    r.desc.id = next_packet_id_++;
+    r.desc.created = now;
+    r.desc.src = r.node;
+    if (r.desc.dst == r.node) continue;  // Degenerate self-reply: drop.
+    mesh_.ni(r.node).enqueue(r.desc);
+  }
+}
+
+SimReport Simulator::run() {
+  require(!ran_, "Simulator::run: one-shot; construct a new Simulator");
+  ran_ = true;
+
+  const Cycle source_end = cfg_.warmup + cfg_.measure;
+  const Cycle hard_end = source_end + cfg_.drain_limit;
+
+  SimReport rep;
+  std::uint64_t last_received = 0;
+  Cycle last_progress = 0;
+  std::vector<PacketDesc> created;
+
+  Cycle now = 0;
+  for (; now < hard_end; ++now) {
+    injector_.apply_due(now, mesh_);
+    if (now < source_end) {
+      for (NodeId n = 0; n < mesh_.nodes(); ++n) {
+        created.clear();
+        traffic_->generate(now, n, node_rngs_[static_cast<std::size_t>(n)],
+                           created);
+        for (PacketDesc& p : created) {
+          p.id = next_packet_id_++;
+          p.src = n;
+          p.created = now;
+          if (p.dst == n) continue;
+          mesh_.ni(n).enqueue(p);
+        }
+      }
+    }
+    release_responses(now);
+    mesh_.step(now);
+    if (cfg_.telemetry_interval > 0 && now % cfg_.telemetry_interval == 0)
+      occupancy_.sample(mesh_);
+
+    // Progress watchdog.
+    std::uint64_t received = 0;
+    for (NodeId n = 0; n < mesh_.nodes(); ++n)
+      received += mesh_.ni(n).stats().packets_received;
+    if (received != last_received) {
+      last_received = received;
+      last_progress = now;
+    } else if (now - last_progress >= cfg_.progress_timeout) {
+      bool in_flight = mesh_.flits_in_network() > 0;
+      for (NodeId n = 0; !in_flight && n < mesh_.nodes(); ++n)
+        in_flight = !mesh_.ni(n).injection_idle();
+      if (in_flight) {
+        rep.deadlock_suspected = true;
+        ++now;
+        break;
+      }
+      last_progress = now;  // Genuinely idle: nothing to deliver.
+    }
+
+    // Early exit once drained.
+    if (now >= source_end && pending_responses_.empty() &&
+        mesh_.flits_in_network() == 0) {
+      bool idle = true;
+      for (NodeId n = 0; idle && n < mesh_.nodes(); ++n)
+        idle = mesh_.ni(n).injection_idle();
+      if (idle) {
+        ++now;
+        break;
+      }
+    }
+  }
+
+  rep.cycles_run = now;
+  for (NodeId n = 0; n < mesh_.nodes(); ++n) {
+    const NiStats& s = mesh_.ni(n).stats();
+    rep.total_latency.merge(s.total_latency);
+    rep.network_latency.merge(s.network_latency);
+    rep.latency_hist.merge(s.latency_hist);
+    rep.packets_received += s.packets_received;
+    rep.flits_received += s.flits_received;
+    rep.packets_sent += s.packets_injected;
+  }
+  rep.undelivered_flits = static_cast<std::uint64_t>(mesh_.flits_in_network());
+  rep.throughput_flits_node_cycle =
+      cfg_.measure > 0
+          ? static_cast<double>(rep.flits_received) /
+                (static_cast<double>(mesh_.nodes()) *
+                 static_cast<double>(cfg_.measure))
+          : 0.0;
+  rep.router_events = mesh_.aggregate_router_stats();
+  rep.energy = account_energy(
+      cfg_.energy, rep.router_events,
+      static_cast<std::uint64_t>(mesh_.nodes()) * rep.cycles_run,
+      cfg_.mesh.router.mode == core::RouterMode::Protected);
+  rep.faults_injected = injector_.injected();
+  return rep;
+}
+
+}  // namespace rnoc::noc

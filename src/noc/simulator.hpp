@@ -1,0 +1,95 @@
+// End-to-end simulation driver: mesh + NIs + traffic + fault injection,
+// with warmup / measurement / drain phases and a no-progress watchdog.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "fault/fault_injector.hpp"
+#include "noc/energy.hpp"
+#include "noc/mesh.hpp"
+#include "noc/telemetry.hpp"
+#include "traffic/patterns.hpp"
+
+namespace rnoc::noc {
+
+struct SimConfig {
+  MeshConfig mesh{};
+  Cycle warmup = 5000;        ///< Cycles before measurement starts.
+  Cycle measure = 30000;      ///< Measurement window length.
+  Cycle drain_limit = 30000;  ///< Max extra cycles to let traffic drain.
+  std::uint64_t seed = 1;
+  /// If no flit is ejected anywhere for this many cycles while traffic is
+  /// in flight, the run is flagged as deadlocked and stopped.
+  Cycle progress_timeout = 20000;
+  /// Per-event energy model used for the report's energy section.
+  EnergyModel energy{};
+  /// Buffer-occupancy sampling interval in cycles (0 = telemetry off).
+  Cycle telemetry_interval = 0;
+};
+
+struct SimReport {
+  RunningStats total_latency;    ///< creation -> delivery, measured packets.
+  RunningStats network_latency;  ///< injection -> delivery.
+  Histogram latency_hist{0.0, NiStats::kLatencyHistMax,
+                         NiStats::kLatencyHistBins};
+  std::uint64_t packets_sent = 0;      ///< Injected during measurement phase.
+  std::uint64_t packets_received = 0;  ///< All deliveries over the whole run.
+  std::uint64_t flits_received = 0;
+  double throughput_flits_node_cycle = 0.0;
+  bool deadlock_suspected = false;
+  std::uint64_t undelivered_flits = 0;  ///< Left in network at the end.
+  Cycle cycles_run = 0;
+  RouterStats router_events;
+  EnergyReport energy;
+  int faults_injected = 0;
+
+  double avg_total_latency() const { return total_latency.mean(); }
+  double avg_network_latency() const { return network_latency.mean(); }
+  double latency_percentile(double q) const { return latency_hist.quantile(q); }
+};
+
+class Simulator {
+ public:
+  Simulator(const SimConfig& cfg,
+            std::shared_ptr<traffic::TrafficModel> traffic);
+
+  /// Schedules permanent faults (must be called before run()).
+  void set_fault_plan(fault::FaultPlan plan);
+
+  /// Runs warmup + measurement + drain and returns the report. One-shot.
+  SimReport run();
+
+  Mesh& mesh() { return mesh_; }
+
+  /// Occupancy telemetry gathered during run(); empty (0 samples) unless
+  /// SimConfig::telemetry_interval was set.
+  const OccupancySampler& occupancy() const { return occupancy_; }
+
+ private:
+  struct PendingResponse {
+    Cycle ready;
+    traffic::Response response;
+    bool operator>(const PendingResponse& o) const { return ready > o.ready; }
+  };
+
+  void release_responses(Cycle now);
+
+  SimConfig cfg_;
+  std::shared_ptr<traffic::TrafficModel> traffic_;
+  Mesh mesh_;
+  fault::FaultInjector injector_;
+  std::vector<Rng> node_rngs_;
+  Rng resp_rng_;
+  std::priority_queue<PendingResponse, std::vector<PendingResponse>,
+                      std::greater<>>
+      pending_responses_;
+  PacketId next_packet_id_ = 1;
+  OccupancySampler occupancy_;
+  bool ran_ = false;
+};
+
+}  // namespace rnoc::noc

@@ -1,0 +1,159 @@
+#include "noc/sw_allocator.hpp"
+
+namespace rnoc::noc {
+
+SwitchAllocator::SwitchAllocator(int ports, int vcs, core::RouterMode mode,
+                                 Cycle default_winner_epoch)
+    : ports_(ports), vcs_(vcs), mode_(mode), epoch_(default_winner_epoch) {
+  require(ports >= 1 && vcs >= 1, "SwitchAllocator: bad geometry");
+  require(default_winner_epoch >= 1, "SwitchAllocator: epoch must be >= 1");
+  for (int p = 0; p < ports; ++p) {
+    stage1_.emplace_back(vcs);
+    stage2_.emplace_back(ports);
+  }
+}
+
+int SwitchAllocator::default_winner(Cycle now) const {
+  return static_cast<int>((now / epoch_) % static_cast<Cycle>(vcs_));
+}
+
+RoundRobinArbiter& SwitchAllocator::stage1(int port) {
+  return stage1_[static_cast<std::size_t>(port)];
+}
+
+RoundRobinArbiter& SwitchAllocator::stage2(int out_port) {
+  return stage2_[static_cast<std::size_t>(out_port)];
+}
+
+bool SwitchAllocator::crossbar_path_ok(
+    VirtualChannel& vc, const fault::RouterFaultState& faults) const {
+  const int out = vc.route;
+  using fault::SiteType;
+  const bool primary_ok = !faults.has(SiteType::XbMux, out) &&
+                          !faults.has(SiteType::Sa2Arbiter, out);
+  if (mode_ == core::RouterMode::Baseline) {
+    // The generic crossbar has exactly one path per output port.
+    return primary_ok;
+  }
+  // Every flit leaves through the output-select mux P_out; its fault is
+  // uncoverable (paper §VIII-D).
+  if (faults.has(SiteType::XbPSelect, out)) return false;
+  if (!vc.fsp && primary_ok) return true;
+  // Need (or already committed to) the secondary path. The RC unit normally
+  // sets SP/FSP (paper §V-D); a fault that appears after RC ran is resolved
+  // here the same way.
+  const int sec = core::secondary_mux_for_output(out, ports_);
+  const bool secondary_ok = !faults.has(SiteType::XbMux, sec) &&
+                            !faults.has(SiteType::Sa2Arbiter, sec) &&
+                            !faults.has(SiteType::XbDemux, sec);
+  if (!secondary_ok) {
+    // Fall back to the primary path if it still works (e.g. stale FSP from
+    // a fault combination that no longer lets the secondary work).
+    if (primary_ok) {
+      vc.sp = -1;
+      vc.fsp = false;
+      return true;
+    }
+    return false;
+  }
+  vc.sp = sec;
+  vc.fsp = true;
+  return true;
+}
+
+std::vector<StGrant> SwitchAllocator::step(
+    Cycle now, std::vector<InputPort>& inputs,
+    std::vector<std::vector<OutVcState>>& out_vcs,
+    const fault::RouterFaultState& faults, RouterStats& stats) {
+  using fault::SiteType;
+
+  // --- Stage 1: one winning VC per input port. ---
+  std::vector<int> w1(static_cast<std::size_t>(ports_), -1);
+  for (int p = 0; p < ports_; ++p) {
+    InputPort& port = inputs[static_cast<std::size_t>(p)];
+    std::vector<bool> ready(static_cast<std::size_t>(vcs_), false);
+    bool any_ready = false;
+    for (int v = 0; v < vcs_; ++v) {
+      VirtualChannel& vc = port.vc(v);
+      if (vc.state != VcState::Active || vc.buffer.empty()) continue;
+      if (out_vcs[static_cast<std::size_t>(vc.route)]
+                 [static_cast<std::size_t>(vc.out_vc)]
+              .credits <= 0)
+        continue;  // Ordinary credit stall.
+      if (!crossbar_path_ok(vc, faults)) {
+        ++stats.blocked_vc_cycles;
+        continue;
+      }
+      ready[static_cast<std::size_t>(v)] = true;
+      any_ready = true;
+    }
+
+    if (!faults.has(SiteType::Sa1Arbiter, p)) {
+      if (any_ready) w1[static_cast<std::size_t>(p)] = stage1(p).arbitrate(ready);
+      continue;
+    }
+    if (mode_ == core::RouterMode::Baseline) {
+      // No bypass: every ready VC is stuck at switch allocation.
+      for (int v = 0; v < vcs_; ++v)
+        if (ready[static_cast<std::size_t>(v)]) ++stats.blocked_vc_cycles;
+      continue;
+    }
+    if (faults.has(SiteType::Sa1Bypass, p)) {
+      for (int v = 0; v < vcs_; ++v)
+        if (ready[static_cast<std::size_t>(v)]) ++stats.blocked_vc_cycles;
+      continue;
+    }
+    // Bypass path (paper §V-C1): the rotating default winner is granted
+    // without arbitration. If the default winner VC is empty while another
+    // VC of this port holds flits, the packet (flits + state fields) is
+    // transferred into it, costing this cycle.
+    const int d = default_winner(now);
+    if (ready[static_cast<std::size_t>(d)]) {
+      w1[static_cast<std::size_t>(p)] = d;
+      ++stats.sa1_bypass_grants;
+      continue;
+    }
+    VirtualChannel& dvc = port.vc(d);
+    if (dvc.state == VcState::Idle && dvc.empty()) {
+      for (int v = 0; v < vcs_; ++v) {
+        VirtualChannel& src = port.vc(v);
+        if (v == d || src.state != VcState::Active || src.empty()) continue;
+        port.transfer(v, d);
+        ++stats.sa1_transfers;
+        break;
+      }
+    }
+    // Default winner not ready and no transfer possible: no grant this cycle.
+  }
+
+  // --- Stage 2: one grant per output mux/arbiter. ---
+  std::vector<StGrant> grants;
+  for (int m = 0; m < ports_; ++m) {
+    if (faults.has(SiteType::Sa2Arbiter, m)) continue;  // Arbiter is dead.
+    std::vector<bool> req(static_cast<std::size_t>(ports_), false);
+    bool any = false;
+    for (int p = 0; p < ports_; ++p) {
+      const int v = w1[static_cast<std::size_t>(p)];
+      if (v < 0) continue;
+      const VirtualChannel& vc = inputs[static_cast<std::size_t>(p)].vc(v);
+      const int mux = vc.fsp ? vc.sp : vc.route;
+      if (mux == m) {
+        req[static_cast<std::size_t>(p)] = true;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const int g = stage2(m).arbitrate(req);
+    if (g < 0) continue;
+    const int v = w1[static_cast<std::size_t>(g)];
+    VirtualChannel& vc = inputs[static_cast<std::size_t>(g)].vc(v);
+    grants.push_back({g, v, vc.route, m, vc.out_vc});
+    --out_vcs[static_cast<std::size_t>(vc.route)]
+             [static_cast<std::size_t>(vc.out_vc)]
+          .credits;
+    if (m != vc.route) ++stats.xb_secondary_traversals;
+  }
+  return grants;
+}
+
+}  // namespace rnoc::noc

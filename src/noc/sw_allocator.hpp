@@ -1,0 +1,53 @@
+// Two-stage separable switch allocator (paper §II-B3, Fig. 3b) with the
+// paper's fault-tolerance extensions (§V-C): a per-port bypass path with a
+// rotating default winner plus VC-to-VC flit transfer for stage 1, and
+// secondary-path arbitration (shared with the crossbar protection) for
+// stage 2.
+#pragma once
+
+#include <vector>
+
+#include "core/protection.hpp"
+#include "fault/fault_model.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/input_port.hpp"
+#include "noc/router_state.hpp"
+
+namespace rnoc::noc {
+
+class SwitchAllocator {
+ public:
+  /// `default_winner_epoch`: cycles each VC spends as the bypass path's
+  /// default winner before rotation (starvation avoidance, paper §V-C1).
+  SwitchAllocator(int ports, int vcs, core::RouterMode mode,
+                  Cycle default_winner_epoch);
+
+  /// Runs one SA cycle; returns the crossbar grants to execute next cycle.
+  /// Decrements the credit of each granted flit's downstream VC.
+  std::vector<StGrant> step(Cycle now, std::vector<InputPort>& inputs,
+                            std::vector<std::vector<OutVcState>>& out_vcs,
+                            const fault::RouterFaultState& faults,
+                            RouterStats& stats);
+
+  /// The bypass path's default winner at cycle `now` (physical VC index).
+  int default_winner(Cycle now) const;
+
+  RoundRobinArbiter& stage1(int port);
+  RoundRobinArbiter& stage2(int out_port);
+
+ private:
+  /// True when the flit in (p, v) can reach its output port through the
+  /// crossbar this cycle; resolves/validates the secondary path and updates
+  /// the VC's SP/FSP fields for faults that appeared after RC ran.
+  bool crossbar_path_ok(VirtualChannel& vc,
+                        const fault::RouterFaultState& faults) const;
+
+  int ports_;
+  int vcs_;
+  core::RouterMode mode_;
+  Cycle epoch_;
+  std::vector<RoundRobinArbiter> stage1_;  ///< per input port, over VCs
+  std::vector<RoundRobinArbiter> stage2_;  ///< per output mux, over input ports
+};
+
+}  // namespace rnoc::noc

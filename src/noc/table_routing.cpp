@@ -1,0 +1,129 @@
+#include "noc/table_routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace rnoc::noc {
+namespace {
+
+constexpr int kUnreachable = -1;
+
+/// Neighbour of `n` through `out_port`, or kInvalidNode at the mesh edge.
+NodeId neighbor_of(const MeshDims& dims, NodeId n, int out_port) {
+  Coord c = dims.coord_of(n);
+  switch (direction_of(out_port)) {
+    case Direction::North: --c.y; break;
+    case Direction::South: ++c.y; break;
+    case Direction::East: ++c.x; break;
+    case Direction::West: --c.x; break;
+    case Direction::Local: return n;
+  }
+  return dims.contains(c) ? dims.node_of(c) : kInvalidNode;
+}
+
+}  // namespace
+
+FaultAwareTables FaultAwareTables::build(
+    const MeshDims& dims, const std::vector<DeadLink>& dead_links) {
+  const int n = dims.nodes();
+  auto link_ok = [&](NodeId from, int port) {
+    return std::find(dead_links.begin(), dead_links.end(),
+                     DeadLink{from, port}) == dead_links.end();
+  };
+
+  std::vector<int> table(static_cast<std::size_t>(n) *
+                             static_cast<std::size_t>(n),
+                         kUnreachable);
+
+  const int non_west_ports[] = {port_of(Direction::North),
+                                port_of(Direction::East),
+                                port_of(Direction::South)};
+
+  for (NodeId dst = 0; dst < n; ++dst) {
+    // Phase 1: backward BFS from dst over healthy non-West links, recording
+    // each reached node's distance and its first non-West hop toward dst.
+    std::vector<int> dist(static_cast<std::size_t>(n),
+                          std::numeric_limits<int>::max());
+    std::vector<int> hop(static_cast<std::size_t>(n), kUnreachable);
+    std::deque<NodeId> queue;
+    dist[static_cast<std::size_t>(dst)] = 0;
+    queue.push_back(dst);
+    while (!queue.empty()) {
+      const NodeId cur = queue.front();
+      queue.pop_front();
+      // Predecessors: nodes whose non-West move lands on `cur`.
+      for (const int port : non_west_ports) {
+        const int back = opposite_port(port);
+        const NodeId pred = neighbor_of(dims, cur, back);
+        if (pred == kInvalidNode || pred == cur) continue;
+        if (!link_ok(pred, port)) continue;
+        if (dist[static_cast<std::size_t>(pred)] !=
+            std::numeric_limits<int>::max())
+          continue;
+        dist[static_cast<std::size_t>(pred)] =
+            dist[static_cast<std::size_t>(cur)] + 1;
+        hop[static_cast<std::size_t>(pred)] = port;
+        queue.push_back(pred);
+      }
+    }
+
+    // Phase 2: fill the table. Nodes inside the non-West region use their
+    // BFS hop; everyone else goes West (if that link lives) — x decreases
+    // monotonically, so this terminates or hits the mesh edge unreachable.
+    for (NodeId cur = 0; cur < n; ++cur) {
+      auto& entry = table[static_cast<std::size_t>(cur) *
+                              static_cast<std::size_t>(n) +
+                          static_cast<std::size_t>(dst)];
+      if (cur == dst) {
+        entry = port_of(Direction::Local);
+        continue;
+      }
+      if (hop[static_cast<std::size_t>(cur)] != kUnreachable) {
+        entry = hop[static_cast<std::size_t>(cur)];
+        continue;
+      }
+      const int west = port_of(Direction::West);
+      if (neighbor_of(dims, cur, west) != kInvalidNode && link_ok(cur, west))
+        entry = west;
+      // else: unreachable under west-first with these dead links.
+    }
+
+    // Phase 2b: a node routed West may reach the mesh edge without ever
+    // entering the non-West region; mark such chains unreachable so callers
+    // see the partition instead of flits piling up at column 0.
+    for (NodeId cur = 0; cur < n; ++cur) {
+      NodeId walk = cur;
+      int guard = 0;
+      while (walk != kInvalidNode && walk != dst && ++guard <= dims.x) {
+        const int port = table[static_cast<std::size_t>(walk) *
+                                   static_cast<std::size_t>(n) +
+                               static_cast<std::size_t>(dst)];
+        if (port == kUnreachable) {
+          table[static_cast<std::size_t>(cur) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(dst)] = kUnreachable;
+          break;
+        }
+        if (port != port_of(Direction::West)) break;  // entered BFS region
+        walk = neighbor_of(dims, walk, port);
+      }
+    }
+  }
+  return FaultAwareTables(dims, std::move(table));
+}
+
+int FaultAwareTables::next_port(NodeId current, NodeId dst) const {
+  require(current >= 0 && current < dims_.nodes() && dst >= 0 &&
+              dst < dims_.nodes(),
+          "FaultAwareTables::next_port: node out of range");
+  return table_[index(current, dst)];
+}
+
+bool FaultAwareTables::fully_connected() const {
+  for (NodeId a = 0; a < dims_.nodes(); ++a)
+    for (NodeId b = 0; b < dims_.nodes(); ++b)
+      if (!reachable(a, b)) return false;
+  return true;
+}
+
+}  // namespace rnoc::noc

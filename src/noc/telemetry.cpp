@@ -1,0 +1,99 @@
+#include "noc/telemetry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace rnoc::noc {
+namespace {
+
+/// Renders values (row-major over the mesh) as digit rows plus a legend.
+std::string render_grid(const MeshDims& dims, const std::vector<double>& v,
+                        const char* label) {
+  require(static_cast<int>(v.size()) == dims.nodes(),
+          "render_grid: value count mismatch");
+  const double lo = *std::min_element(v.begin(), v.end());
+  const double hi = *std::max_element(v.begin(), v.end());
+  std::ostringstream os;
+  for (int y = 0; y < dims.y; ++y) {
+    os << "  ";
+    for (int x = 0; x < dims.x; ++x) {
+      const double val = v[static_cast<std::size_t>(dims.node_of({x, y}))];
+      const int digit =
+          hi > lo ? static_cast<int>(9.999 * (val - lo) / (hi - lo)) : 0;
+      os << static_cast<char>('0' + digit);
+      if (x + 1 < dims.x) os << ' ';
+    }
+    os << '\n';
+  }
+  os << "  [" << label << ": 0=" << lo << " .. 9=" << hi << "]\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string heatmap(const Mesh& mesh, HeatmapMetric metric) {
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(mesh.nodes()));
+  const char* label = "";
+  for (NodeId n = 0; n < mesh.nodes(); ++n) {
+    
+    const Router& r = mesh.router(n);
+    switch (metric) {
+      case HeatmapMetric::Traversals:
+        v.push_back(static_cast<double>(r.stats().flits_traversed));
+        label = "crossbar traversals";
+        break;
+      case HeatmapMetric::BlockedCycles:
+        v.push_back(static_cast<double>(r.stats().blocked_vc_cycles));
+        label = "blocked VC cycles";
+        break;
+      case HeatmapMetric::Faults:
+        v.push_back(static_cast<double>(r.faults().count()));
+        label = "injected faults";
+        break;
+    }
+  }
+  return render_grid(mesh.dims(), v, label);
+}
+
+OccupancySampler::OccupancySampler(int nodes) {
+  require(nodes >= 1, "OccupancySampler: need at least one node");
+  totals_.assign(static_cast<std::size_t>(nodes), 0);
+}
+
+void OccupancySampler::sample(const Mesh& mesh) {
+  require(static_cast<int>(totals_.size()) == mesh.nodes(),
+          "OccupancySampler: mesh size mismatch");
+  for (NodeId n = 0; n < mesh.nodes(); ++n)
+    totals_[static_cast<std::size_t>(n)] += static_cast<std::uint64_t>(
+        mesh.router(n).buffered_flits());
+  ++samples_;
+}
+
+double OccupancySampler::average(NodeId node) const {
+  require(node >= 0 && node < static_cast<NodeId>(totals_.size()),
+          "OccupancySampler: node out of range");
+  return samples_ ? static_cast<double>(totals_[static_cast<std::size_t>(node)]) /
+                        static_cast<double>(samples_)
+                  : 0.0;
+}
+
+double OccupancySampler::network_average() const {
+  if (samples_ == 0) return 0.0;
+  std::uint64_t sum = 0;
+  for (auto t : totals_) sum += t;
+  return static_cast<double>(sum) /
+         (static_cast<double>(samples_) * static_cast<double>(totals_.size()));
+}
+
+std::string OccupancySampler::heatmap(const MeshDims& dims) const {
+  std::vector<double> v;
+  v.reserve(totals_.size());
+  for (NodeId n = 0; n < static_cast<NodeId>(totals_.size()); ++n)
+    v.push_back(average(n));
+  return render_grid(dims, v, "avg buffered flits");
+}
+
+}  // namespace rnoc::noc

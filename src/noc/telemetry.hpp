@@ -1,0 +1,46 @@
+// Network telemetry: spatial views of where traffic flows, queues and
+// blocks. Heatmaps render a mesh-shaped ASCII grid with a 0-9 intensity
+// digit per router — the quickest way to see a hotspot, a faulted router
+// shedding load onto its neighbours, or a detour concentrating traffic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "noc/mesh.hpp"
+
+namespace rnoc::noc {
+
+/// Per-router metric extracted for a heatmap.
+enum class HeatmapMetric {
+  Traversals,    ///< Cumulative crossbar traversals.
+  BlockedCycles, ///< Cumulative fault-blocked VC cycles.
+  Faults,        ///< Injected fault count.
+};
+
+/// Renders the metric across the mesh as rows of 0-9 digits (plus a legend
+/// line with the min/max the scale maps to). Linear normalization.
+std::string heatmap(const Mesh& mesh, HeatmapMetric metric);
+
+/// Periodic sampler of per-router input-buffer occupancy. Call sample() on
+/// any schedule; averages accumulate per router.
+class OccupancySampler {
+ public:
+  explicit OccupancySampler(int nodes);
+
+  void sample(const Mesh& mesh);
+
+  std::uint64_t samples() const { return samples_; }
+  /// Average buffered flits at `node` over all samples (0 if never sampled).
+  double average(NodeId node) const;
+  /// Network-wide average buffered flits per router.
+  double network_average() const;
+  /// ASCII heatmap of the per-router averages.
+  std::string heatmap(const MeshDims& dims) const;
+
+ private:
+  std::vector<std::uint64_t> totals_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace rnoc::noc

@@ -1,0 +1,167 @@
+#include "noc/vc_allocator.hpp"
+
+namespace rnoc::noc {
+
+VcAllocator::VcAllocator(int ports, int vcs, core::RouterMode mode, int vnets)
+    : ports_(ports), vcs_(vcs), mode_(mode), vnets_(vnets) {
+  require(ports >= 1 && vcs >= 1, "VcAllocator: bad geometry");
+  require(vnets >= 1 && vcs % vnets == 0,
+          "VcAllocator: vcs must divide evenly into vnets");
+  stage1_.reserve(static_cast<std::size_t>(ports * vcs));
+  stage2_.reserve(static_cast<std::size_t>(ports * vcs));
+  for (int i = 0; i < ports * vcs; ++i) {
+    stage1_.emplace_back(vcs);          // choose among downstream VCs
+    stage2_.emplace_back(ports * vcs);  // choose among requesting input VCs
+  }
+}
+
+RoundRobinArbiter& VcAllocator::stage1(int port, int vc) {
+  return stage1_[static_cast<std::size_t>(port * vcs_ + vc)];
+}
+
+RoundRobinArbiter& VcAllocator::stage2(int out_port, int vc) {
+  return stage2_[static_cast<std::size_t>(out_port * vcs_ + vc)];
+}
+
+int VcAllocator::select_arbiter_set(InputPort& port, int p, int v,
+                                    const fault::RouterFaultState& faults,
+                                    std::vector<bool>& set_used,
+                                    RouterStats& stats) {
+  if (!faults.has(fault::SiteType::Va1ArbiterSet, p, v)) {
+    set_used[static_cast<std::size_t>(v)] = true;
+    return v;
+  }
+  if (mode_ == core::RouterMode::Baseline) {
+    // No sharing circuitry: the head flit is blocked at this VC.
+    ++stats.blocked_vc_cycles;
+    return -1;
+  }
+  // Paper §V-B1: scan the G fields of the sibling VCs and borrow the arbiter
+  // set of the first one that is Idle or in switch-allocation (Active) state.
+  // A sibling that is itself in the VA stage this cycle (Scenario 2), or a
+  // set already lent out, makes the borrower wait one cycle.
+  VirtualChannel& borrower = port.vc(v);
+  for (int offset = 1; offset < vcs_; ++offset) {
+    const int w = (v + offset) % vcs_;
+    if (faults.has(fault::SiteType::Va1ArbiterSet, p, w)) continue;
+    if (set_used[static_cast<std::size_t>(w)]) continue;
+    const VcState ws = port.vc(w).state;
+    if (ws != VcState::Idle && ws != VcState::Active) continue;
+    // Post the borrow request into the lender's R2/VF/ID fields.
+    VirtualChannel& lender = port.vc(w);
+    lender.r2 = borrower.route;
+    lender.vf = true;
+    lender.id = v;
+    set_used[static_cast<std::size_t>(w)] = true;
+    ++stats.va1_borrows;
+    return w;
+  }
+  ++stats.va1_borrow_waits;
+  ++stats.blocked_vc_cycles;
+  return -1;
+}
+
+void VcAllocator::step(std::vector<InputPort>& inputs,
+                       std::vector<std::vector<OutVcState>>& out_vcs,
+                       const fault::RouterFaultState& faults,
+                       RouterStats& stats) {
+  // --- Stage 1: each VcAlloc-state VC proposes one empty downstream VC. ---
+  std::vector<Proposal> proposals;
+  std::vector<bool> set_used;
+  for (int p = 0; p < ports_; ++p) {
+    InputPort& port = inputs[static_cast<std::size_t>(p)];
+    set_used.assign(static_cast<std::size_t>(vcs_), false);
+    // VCs in VcAlloc with healthy sets implicitly occupy their own set.
+    for (int v = 0; v < vcs_; ++v) {
+      if (port.vc(v).state == VcState::VcAlloc &&
+          !faults.has(fault::SiteType::Va1ArbiterSet, p, v))
+        set_used[static_cast<std::size_t>(v)] = true;
+    }
+    for (int v = 0; v < vcs_; ++v) {
+      VirtualChannel& vc = port.vc(v);
+      if (vc.state != VcState::VcAlloc) continue;
+      const int set_owner = select_arbiter_set(port, p, v, faults, set_used, stats);
+      if (set_owner < 0) continue;
+
+      const int r = vc.route;
+      require(!vc.buffer.empty() && vc.buffer.front().is_head(),
+              "VcAllocator: VcAlloc state without a head flit");
+      const std::uint8_t cls = vc.buffer.front().traffic_class;
+      std::vector<bool> candidates(static_cast<std::size_t>(vcs_), false);
+      bool any = false;
+      for (int u = 0; u < vcs_; ++u) {
+        if (out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(u)]
+                .allocated)
+          continue;
+        if (u == vc.excluded_out_vc) continue;
+        if (!vc_allowed_for_class(u, cls, vcs_, vnets_)) continue;
+        candidates[static_cast<std::size_t>(u)] = true;
+        any = true;
+      }
+      if (!any) {
+        // The exclusion memory must never starve the VC outright: when the
+        // excluded downstream VC is the only remaining candidate (e.g. one
+        // VC per vnet), forget the exclusion and retry it — pointless while
+        // the stage-2 arbiter fault persists, but self-healing the moment a
+        // transient fault expires.
+        const int ex = vc.excluded_out_vc;
+        if (ex >= 0 &&
+            !out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(ex)]
+                 .allocated &&
+            vc_allowed_for_class(ex, cls, vcs_, vnets_)) {
+          vc.excluded_out_vc = -1;
+          candidates[static_cast<std::size_t>(ex)] = true;
+          any = true;
+        }
+      }
+      if (!any) continue;  // No empty downstream VC: ordinary congestion.
+      const int u = stage1(p, set_owner).arbitrate(candidates);
+      proposals.push_back({p, v, r, u});
+    }
+  }
+
+  // --- Stage 2: one arbiter per downstream VC resolves the proposals. ---
+  for (int r = 0; r < ports_; ++r) {
+    for (int u = 0; u < vcs_; ++u) {
+      std::vector<bool> requests(static_cast<std::size_t>(ports_ * vcs_), false);
+      bool any = false;
+      for (const Proposal& pr : proposals) {
+        if (pr.out_port == r && pr.out_vc == u) {
+          requests[static_cast<std::size_t>(pr.in_port * vcs_ + pr.in_vc)] = true;
+          any = true;
+        }
+      }
+      if (!any) continue;
+      if (faults.has(fault::SiteType::Va2Arbiter, r, u)) {
+        // Paper §V-B3: the allocation fails; requesters recompute next cycle
+        // against a different downstream VC (+1 cycle, no extra circuitry).
+        for (const Proposal& pr : proposals) {
+          if (pr.out_port != r || pr.out_vc != u) continue;
+          inputs[static_cast<std::size_t>(pr.in_port)].vc(pr.in_vc)
+              .excluded_out_vc = u;
+          ++stats.va2_retries;
+        }
+        continue;
+      }
+      const int winner = stage2(r, u).arbitrate(requests);
+      if (winner < 0) continue;
+      const int wp = winner / vcs_;
+      const int wv = winner % vcs_;
+      VirtualChannel& vc = inputs[static_cast<std::size_t>(wp)].vc(wv);
+      vc.out_vc = u;
+      vc.state = VcState::Active;
+      vc.excluded_out_vc = -1;
+      out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(u)]
+          .allocated = true;
+      ++stats.va_allocations;
+    }
+  }
+
+  // Borrow-request fields are per-cycle markers: the VA unit resets them
+  // after the allocation attempt completes (paper §V-B2).
+  for (int p = 0; p < ports_; ++p)
+    for (int v = 0; v < vcs_; ++v)
+      inputs[static_cast<std::size_t>(p)].vc(v).clear_borrow_fields();
+}
+
+}  // namespace rnoc::noc

@@ -1,0 +1,55 @@
+// Two-stage separable virtual-channel allocator (paper §II-B2, Fig. 3a) with
+// the paper's fault-tolerance extensions (§V-B): stage-1 arbiter-set sharing
+// between VCs of an input port, and stage-2 reallocation retry.
+#pragma once
+
+#include <vector>
+
+#include "core/protection.hpp"
+#include "fault/fault_model.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/input_port.hpp"
+#include "noc/router_state.hpp"
+#include "noc/vnet.hpp"
+
+namespace rnoc::noc {
+
+class VcAllocator {
+ public:
+  VcAllocator(int ports, int vcs, core::RouterMode mode, int vnets = 1);
+
+  /// Runs one VA cycle: input VCs in VcAlloc state try to obtain an empty
+  /// downstream VC at their routed output port. Winners move to Active and
+  /// get `out_vc` set; `out_vcs[port][vc].allocated` is updated.
+  void step(std::vector<InputPort>& inputs,
+            std::vector<std::vector<OutVcState>>& out_vcs,
+            const fault::RouterFaultState& faults, RouterStats& stats);
+
+  /// Stage-1 arbiter of input VC (port, vc); exposed for tests.
+  RoundRobinArbiter& stage1(int port, int vc);
+  /// Stage-2 arbiter of downstream VC (out_port, vc); exposed for tests.
+  RoundRobinArbiter& stage2(int out_port, int vc);
+
+ private:
+  struct Proposal {
+    int in_port = -1;
+    int in_vc = -1;    ///< Physical input VC.
+    int out_port = -1;
+    int out_vc = -1;   ///< Proposed downstream VC (logical).
+  };
+
+  /// Chooses the arbiter set (own or borrowed) for input VC (p, v); returns
+  /// the owning VC index or -1 when the VC must wait this cycle.
+  int select_arbiter_set(InputPort& port, int p, int v,
+                         const fault::RouterFaultState& faults,
+                         std::vector<bool>& set_used, RouterStats& stats);
+
+  int ports_;
+  int vcs_;
+  core::RouterMode mode_;
+  int vnets_;
+  std::vector<RoundRobinArbiter> stage1_;  ///< [port * vcs + vc]
+  std::vector<RoundRobinArbiter> stage2_;  ///< [out_port * vcs + vc]
+};
+
+}  // namespace rnoc::noc

@@ -1,0 +1,38 @@
+// Virtual networks: partitioning the VCs of every port into protocol
+// classes (request/response/...), the standard GARNET mechanism for
+// protocol-level deadlock avoidance. A packet of traffic class c may only
+// occupy VCs of virtual network (c mod vnets).
+//
+// Note on the protection mechanisms: vnet isolation governs *downstream
+// buffer allocation* (the VA stage). The SA-stage transfer mechanism
+// (paper §V-C1) moves an already-allocated packet between physical input
+// buffers and keeps its downstream VC binding, so it does not violate the
+// allocation isolation even when the bypass path's default winner belongs
+// to a different vnet.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rnoc::noc {
+
+/// Virtual network a traffic class maps to.
+inline int vnet_of_class(std::uint8_t traffic_class, int vnets) {
+  require(vnets >= 1, "vnet_of_class: need at least one vnet");
+  return static_cast<int>(traffic_class) % vnets;
+}
+
+/// Virtual network a VC index belongs to (contiguous ranges).
+inline int vnet_of_vc(int vc, int vcs, int vnets) {
+  require(vnets >= 1 && vcs % vnets == 0,
+          "vnet_of_vc: vcs must divide evenly into vnets");
+  require(vc >= 0 && vc < vcs, "vnet_of_vc: vc out of range");
+  return vc / (vcs / vnets);
+}
+
+/// True when a packet of `traffic_class` may occupy VC `vc`.
+inline bool vc_allowed_for_class(int vc, std::uint8_t traffic_class, int vcs,
+                                 int vnets) {
+  return vnet_of_vc(vc, vcs, vnets) == vnet_of_class(traffic_class, vnets);
+}
+
+}  // namespace rnoc::noc

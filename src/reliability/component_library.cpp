@@ -1,0 +1,153 @@
+#include "reliability/component_library.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace rnoc::rel {
+namespace fets {
+namespace {
+
+/// FET-equivalents per unit of paper FIT at the calibration point.
+constexpr double kFetsPerFit = 1.0 / kPaperFitPerFet;  // == 3.75
+
+}  // namespace
+
+double comparator(int bits) {
+  require(bits > 0, "fets::comparator: bits must be positive");
+  // 6-bit comparator == 11.7 FIT; scales linearly with width.
+  return (11.7 * kFetsPerFit / 6.0) * static_cast<double>(bits);
+}
+
+double arbiter(int inputs) {
+  require(inputs >= 2, "fets::arbiter: need at least 2 request inputs");
+  switch (inputs) {
+    case 4:  return 7.4 * kFetsPerFit;
+    case 5:  return 9.3 * kFetsPerFit;
+    case 20: return 36.9 * kFetsPerFit;
+    default: {
+      // Linear through the paper's (5, 9.3) and (20, 36.9) points.
+      const double fit = 0.1 + 1.84 * static_cast<double>(inputs);
+      return fit * kFetsPerFit;
+    }
+  }
+}
+
+double mux(int inputs, int bits) {
+  require(inputs >= 2 && bits > 0, "fets::mux: invalid shape");
+  // Per-bit FIT of an n:1 mux: 1.6 * (n-1)  (a tree of n-1 2:1 muxes).
+  return 1.6 * static_cast<double>(inputs - 1) * static_cast<double>(bits) *
+         kFetsPerFit;
+}
+
+double demux(int outputs, int bits) {
+  require(outputs >= 2 && bits > 0, "fets::demux: invalid shape");
+  // Per-bit FIT 1.2 for 1:2, +0.2 per extra output (Table II calibration).
+  const double per_bit = 1.0 + 0.2 * static_cast<double>(outputs - 1);
+  return per_bit * static_cast<double>(bits) * kFetsPerFit;
+}
+
+double dff(int bits) {
+  require(bits > 0, "fets::dff: bits must be positive");
+  return 0.5 * static_cast<double>(bits) * kFetsPerFit;
+}
+
+}  // namespace fets
+
+int RouterGeometry::comparator_bits() const {
+  const int nodes = mesh_x * mesh_y;
+  int bits = 1;
+  while ((1 << bits) < nodes) ++bits;
+  return bits;
+}
+
+namespace {
+
+/// ceil(log2(n)) for n >= 2, used to size identifier state fields.
+int id_bits(int n) {
+  int bits = 1;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+std::string bitsuffix(int n, const char* what) {
+  return std::to_string(n) + "-bit " + what;
+}
+
+}  // namespace
+
+std::vector<FitLine> baseline_fit_table(const RouterGeometry& g,
+                                        const TddbParams& p,
+                                        const OperatingPoint& op) {
+  require(g.ports >= 2 && g.vcs >= 1, "baseline_fit_table: invalid geometry");
+  const double f = fit_per_fet(p, 1.0, op.vdd_volts, op.temp_kelvin);
+  const int cb = g.comparator_bits();
+  const int pv = g.input_vcs();
+
+  std::vector<FitLine> t;
+  // RC: two comparators (X and Y dimension) per input port.
+  t.push_back({"RC", bitsuffix(cb, "comparator"), f * fets::comparator(cb),
+               2 * g.ports});
+  // VA stage 1: every input VC owns `ports` v:1 arbiters.
+  t.push_back({"VA", std::to_string(g.vcs) + ":1 arbiter (stage 1)",
+               f * fets::arbiter(g.vcs), pv * g.ports});
+  // VA stage 2: one (P*V):1 arbiter per downstream VC slot.
+  t.push_back({"VA", std::to_string(pv) + ":1 arbiter (stage 2)",
+               f * fets::arbiter(pv), pv});
+  // SA datapath muxes: per-port VC-select muxes feeding the allocator.
+  t.push_back({"SA", std::to_string(g.vcs) + ":1 mux",
+               f * fets::mux(g.vcs, 1), g.ports * g.ports});
+  // SA stage 1: one v:1 arbiter per input port.
+  t.push_back({"SA", std::to_string(g.vcs) + ":1 arbiter (stage 1)",
+               f * fets::arbiter(g.vcs), g.ports});
+  // SA stage 2: one pi:1 arbiter per output port.
+  t.push_back({"SA", std::to_string(g.ports) + ":1 arbiter (stage 2)",
+               f * fets::arbiter(g.ports), g.ports});
+  // XB: one flit-wide P:1 mux per output port.
+  t.push_back({"XB",
+               std::to_string(g.flit_bits) + "-bit " +
+                   std::to_string(g.ports) + ":1 mux",
+               f * fets::mux(g.ports, g.flit_bits), g.ports});
+  return t;
+}
+
+std::vector<FitLine> correction_fit_table(const RouterGeometry& g,
+                                          const TddbParams& p,
+                                          const OperatingPoint& op) {
+  require(g.ports >= 3 && g.vcs >= 2, "correction_fit_table: geometry too small");
+  const double f = fit_per_fet(p, 1.0, op.vdd_volts, op.temp_kelvin);
+  const int cb = g.comparator_bits();
+  const int pv = g.input_vcs();
+  const int port_bits = id_bits(g.ports);  // width of 'R2' and 'SP'
+  const int vc_bits = id_bits(g.vcs);      // width of 'ID' and winner register
+
+  std::vector<FitLine> t;
+  // RC: full duplicate RC unit per input port.
+  t.push_back({"RC", bitsuffix(cb, "comparator (duplicate RC)"),
+               f * fets::comparator(cb), 2 * g.ports});
+  // VA: arbiter-sharing state fields, one set per input VC.
+  t.push_back({"VA", bitsuffix(port_bits, "DFF ('R2')"),
+               f * fets::dff(port_bits), pv});
+  t.push_back({"VA", "1-bit DFF ('VF')", f * fets::dff(1), pv});
+  t.push_back({"VA", bitsuffix(vc_bits, "DFF ('ID')"), f * fets::dff(vc_bits),
+               pv});
+  // SA: bypass mux + default-winner register per port, SP/FSP per VC.
+  t.push_back({"SA", "2:1 mux (bypass)", f * fets::mux(2, 1), g.ports});
+  t.push_back({"SA", bitsuffix(vc_bits, "DFF (default-winner reg)"),
+               f * fets::dff(vc_bits), g.ports});
+  t.push_back({"SA", bitsuffix(port_bits, "DFF ('SP')"),
+               f * fets::dff(port_bits), pv});
+  t.push_back({"SA", "1-bit DFF ('FSP')", f * fets::dff(1), pv});
+  // XB: secondary path — output-select muxes P1..P_P, demuxes D1..D_{P-1}
+  // (one 1:3 on the doubly-shared mux, 1:2 on the rest; see DESIGN.md §3).
+  t.push_back({"XB",
+               std::to_string(g.flit_bits) + "-bit 2:1 mux (P-select)",
+               f * fets::mux(2, g.flit_bits), g.ports});
+  t.push_back({"XB", std::to_string(g.flit_bits) + "-bit 1:2 demux",
+               f * fets::demux(2, g.flit_bits), g.ports - 2});
+  t.push_back({"XB", std::to_string(g.flit_bits) + "-bit 1:3 demux",
+               f * fets::demux(3, g.flit_bits), 1});
+  return t;
+}
+
+}  // namespace rnoc::rel

@@ -1,0 +1,63 @@
+#include "reliability/fit.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace rnoc::rel {
+
+StageFits StageFits::rounded() const {
+  // The paper truncates stage totals to integers (SA: 203.5 -> 203) before
+  // summing to 2822; match that so Eq. (4)/(6) reproduce exactly.
+  return {std::floor(rc), std::floor(va), std::floor(sa), std::floor(xb)};
+}
+
+StageFits stage_fits(const std::vector<FitLine>& table) {
+  StageFits s;
+  for (const auto& line : table) {
+    if (line.stage == "RC") s.rc += line.total_fit();
+    else if (line.stage == "VA") s.va += line.total_fit();
+    else if (line.stage == "SA") s.sa += line.total_fit();
+    else if (line.stage == "XB") s.xb += line.total_fit();
+    else require(false, "stage_fits: unknown stage '" + line.stage + "'");
+  }
+  return s;
+}
+
+StageFits baseline_stage_fits(const RouterGeometry& g, const TddbParams& p,
+                              const OperatingPoint& op) {
+  return stage_fits(baseline_fit_table(g, p, op));
+}
+
+StageFits correction_stage_fits(const RouterGeometry& g, const TddbParams& p,
+                                const OperatingPoint& op) {
+  return stage_fits(correction_fit_table(g, p, op));
+}
+
+std::string format_fit_table(const std::vector<FitLine>& table,
+                             const std::string& title) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << std::left << std::setw(6) << "Stage" << std::setw(38) << "Component"
+     << std::right << std::setw(10) << "FIT/unit" << std::setw(8) << "#"
+     << std::setw(12) << "FIT total" << "\n";
+  const StageFits s = stage_fits(table);
+  std::string last_stage;
+  for (const auto& line : table) {
+    os << std::left << std::setw(6) << line.stage << std::setw(38)
+       << line.component << std::right << std::fixed << std::setprecision(1)
+       << std::setw(10) << line.unit_fit << std::setw(8) << line.count
+       << std::setw(12) << line.total_fit() << "\n";
+  }
+  os << std::left << std::setw(52) << "TOTAL (SOFR)" << std::right
+     << std::fixed << std::setprecision(1) << std::setw(12) << s.total()
+     << "\n";
+  os << "  per stage: RC=" << s.rc << " VA=" << s.va << " SA=" << s.sa
+     << " XB=" << s.xb << "\n";
+  (void)last_stage;
+  return os.str();
+}
+
+}  // namespace rnoc::rel

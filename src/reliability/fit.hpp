@@ -1,0 +1,40 @@
+// Sum-of-Failure-Rates (SOFR) roll-ups of the itemized FIT tables into
+// per-stage and per-router failure rates (paper §VII-B, Tables I & II).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reliability/component_library.hpp"
+
+namespace rnoc::rel {
+
+/// FIT of the four router pipeline stages (failures per 1e9 hours).
+struct StageFits {
+  double rc = 0.0;
+  double va = 0.0;
+  double sa = 0.0;
+  double xb = 0.0;
+
+  double total() const { return rc + va + sa + xb; }
+  /// Stage FITs rounded to integers before summing, which is how the paper
+  /// arrives at its printed totals (e.g. 2822 for the baseline pipeline).
+  StageFits rounded() const;
+};
+
+/// SOFR over an itemized table, bucketed by stage name.
+StageFits stage_fits(const std::vector<FitLine>& table);
+
+/// Table I roll-up for a geometry (defaults: RC 117, VA 1478, SA 203.5, XB 1024).
+StageFits baseline_stage_fits(const RouterGeometry& g, const TddbParams& p,
+                              const OperatingPoint& op = {});
+
+/// Table II roll-up (defaults: RC 117, VA 60, SA 53, XB 416).
+StageFits correction_stage_fits(const RouterGeometry& g, const TddbParams& p,
+                                const OperatingPoint& op = {});
+
+/// Renders an itemized table in the paper's Table I/II layout.
+std::string format_fit_table(const std::vector<FitLine>& table,
+                             const std::string& title);
+
+}  // namespace rnoc::rel

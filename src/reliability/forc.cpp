@@ -1,0 +1,54 @@
+#include "reliability/forc.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace rnoc::rel {
+namespace {
+
+// RAMP (Srinivasan et al., ISCA'04) TDDB fitting parameters.
+constexpr double kA = 78.0;
+constexpr double kB = -0.081;        // 1/K
+constexpr double kX = 0.759;         // eV
+constexpr double kY = -66.8;         // eV*K
+constexpr double kZ = -8.37e-4;      // eV/K
+
+double forc_shape(double vdd, double t) {
+  const double volt_exp = kA - kB * t;
+  const double numerator = kX + kY / t + kZ * t;
+  return std::pow(vdd, volt_exp) * std::exp(-numerator / (kBoltzmannEv * t));
+}
+
+}  // namespace
+
+TddbParams paper_calibrated_params() {
+  // Solve FIT_per_FET(duty=1, 1 V, 300 K) == kPaperFitPerFet for A_TDDB.
+  const double shape = forc_shape(1.0, 300.0);
+  TddbParams p;
+  p.a = kA;
+  p.b = kB;
+  p.x_ev = kX;
+  p.y_evk = kY;
+  p.z_ev_per_k = kZ;
+  p.a_tddb = 1e9 * shape / kPaperFitPerFet;
+  return p;
+}
+
+double forc_tddb(const TddbParams& p, double vdd, double temp_kelvin) {
+  require(vdd > 0.0, "forc_tddb: Vdd must be positive");
+  require(temp_kelvin > 0.0, "forc_tddb: temperature must be positive kelvin");
+  const double volt_exp = p.a - p.b * temp_kelvin;
+  const double numerator = p.x_ev + p.y_evk / temp_kelvin + p.z_ev_per_k * temp_kelvin;
+  return (1e9 / p.a_tddb) * std::pow(vdd, volt_exp) *
+         std::exp(-numerator / (kBoltzmannEv * temp_kelvin));
+}
+
+double fit_per_fet(const TddbParams& p, double duty_cycle, double vdd,
+                   double temp_kelvin) {
+  require(duty_cycle >= 0.0 && duty_cycle <= 1.0,
+          "fit_per_fet: duty cycle must lie in [0,1]");
+  return duty_cycle * forc_tddb(p, vdd, temp_kelvin);
+}
+
+}  // namespace rnoc::rel

@@ -1,0 +1,183 @@
+#include "reliability/markov.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace rnoc::rel {
+
+Ctmc::Ctmc(std::vector<std::vector<double>> rates) : rates_(std::move(rates)) {
+  require(!rates_.empty(), "Ctmc: empty chain");
+  for (const auto& row : rates_) {
+    require(row.size() == rates_.size(), "Ctmc: generator must be square");
+    for (double r : row) require(std::isfinite(r), "Ctmc: non-finite rate");
+  }
+  for (std::size_t i = 0; i < rates_.size(); ++i)
+    for (std::size_t j = 0; j < rates_.size(); ++j)
+      require(i == j || rates_[i][j] >= 0.0, "Ctmc: negative off-diagonal rate");
+}
+
+bool Ctmc::is_absorbing(int state) const {
+  require(state >= 0 && state < states(), "Ctmc: state out of range");
+  const auto& row = rates_[static_cast<std::size_t>(state)];
+  for (std::size_t j = 0; j < row.size(); ++j)
+    if (static_cast<int>(j) != state && row[j] > 0.0) return false;
+  return true;
+}
+
+double Ctmc::mean_time_to_absorption(int start) const {
+  require(start >= 0 && start < states(), "Ctmc: start out of range");
+  if (is_absorbing(start)) return 0.0;
+
+  // Index the transient states.
+  std::vector<int> transient;
+  std::vector<int> index_of(static_cast<std::size_t>(states()), -1);
+  for (int s = 0; s < states(); ++s) {
+    if (!is_absorbing(s)) {
+      index_of[static_cast<std::size_t>(s)] =
+          static_cast<int>(transient.size());
+      transient.push_back(s);
+    }
+  }
+  const std::size_t n = transient.size();
+
+  // Build (-Q_T) t = 1 over the transient block: for transient i,
+  //   (sum_j q_ij) t_i - sum_{j transient} q_ij t_j = 1.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n + 1, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const int si = transient[i];
+    double total = 0.0;
+    for (int j = 0; j < states(); ++j) {
+      if (j == si) continue;
+      total += rates_[static_cast<std::size_t>(si)][static_cast<std::size_t>(j)];
+    }
+    require(total > 0.0, "Ctmc: transient state with no outgoing rate");
+    a[i][i] = total;
+    for (int j = 0; j < states(); ++j) {
+      if (j == si) continue;
+      const int tj = index_of[static_cast<std::size_t>(j)];
+      if (tj >= 0)
+        a[i][static_cast<std::size_t>(tj)] -=
+            rates_[static_cast<std::size_t>(si)][static_cast<std::size_t>(j)];
+    }
+    a[i][n] = 1.0;
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    require(std::fabs(a[pivot][col]) > 1e-300,
+            "Ctmc: singular system (absorbing state unreachable?)");
+    std::swap(a[col], a[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c <= n; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  const int ti = index_of[static_cast<std::size_t>(start)];
+  return a[static_cast<std::size_t>(ti)][n] /
+         a[static_cast<std::size_t>(ti)][static_cast<std::size_t>(ti)];
+}
+
+std::vector<double> Ctmc::steady_state() const {
+  const auto n = static_cast<std::size_t>(states());
+  for (int s = 0; s < states(); ++s)
+    require(!is_absorbing(s), "Ctmc::steady_state: chain has absorbing states");
+
+  // Solve pi Q = 0 with the normalization sum(pi) = 1: build Q^T, replace
+  // the last equation by the normalization row.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n + 1, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    double out_rate = 0.0;
+    for (std::size_t k = 0; k < n; ++k)
+      if (k != j) out_rate += rates_[j][k];
+    for (std::size_t i = 0; i < n; ++i)
+      a[i][j] = (i == j) ? -out_rate : rates_[j][i];
+  }
+  for (std::size_t j = 0; j < n; ++j) a[n - 1][j] = 1.0;
+  a[n - 1][n] = 1.0;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    require(std::fabs(a[pivot][col]) > 1e-300,
+            "Ctmc::steady_state: singular system (chain reducible?)");
+    std::swap(a[col], a[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c <= n; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  std::vector<double> pi(n);
+  for (std::size_t i = 0; i < n; ++i) pi[i] = a[i][n] / a[i][i];
+  return pi;
+}
+
+namespace {
+
+void check_rates(double l1, double l2) {
+  require(l1 > 0.0 && l2 > 0.0, "ctmc model: rates must be positive");
+}
+
+}  // namespace
+
+double parallel_repair_availability(double l1, double l2, double mu) {
+  check_rates(l1, l2);
+  require(mu > 0.0, "parallel_repair_availability: need a repair rate");
+  // States: 0 both up, 1 only comp2 up, 2 only comp1 up, 3 both down
+  // (repair continues from the down state, so the chain is irreducible).
+  std::vector<std::vector<double>> q(4, std::vector<double>(4, 0.0));
+  q[0][1] = l1;
+  q[0][2] = l2;
+  q[1][3] = l2;
+  q[2][3] = l1;
+  q[1][0] = mu;
+  q[2][0] = mu;
+  q[3][1] = mu;  // repair comp1 first, then comp2 (order is immaterial for
+  q[3][2] = mu;  // availability; both exits modeled)
+  const auto pi = Ctmc(std::move(q)).steady_state();
+  return pi[0] + pi[1] + pi[2];
+}
+
+double ctmc_parallel_mttf(double l1, double l2) {
+  check_rates(l1, l2);
+  // States: 0 = both up, 1 = only comp2 up, 2 = only comp1 up, 3 = down.
+  std::vector<std::vector<double>> q(4, std::vector<double>(4, 0.0));
+  q[0][1] = l1;
+  q[0][2] = l2;
+  q[1][3] = l2;
+  q[2][3] = l1;
+  return Ctmc(std::move(q)).mean_time_to_absorption(0);
+}
+
+double ctmc_standby_mttf(double l1, double l2) {
+  check_rates(l1, l2);
+  // States: 0 = primary running, 1 = standby running, 2 = down.
+  std::vector<std::vector<double>> q(3, std::vector<double>(3, 0.0));
+  q[0][1] = l1;
+  q[1][2] = l2;
+  return Ctmc(std::move(q)).mean_time_to_absorption(0);
+}
+
+double ctmc_parallel_repair_mttf(double l1, double l2, double mu) {
+  check_rates(l1, l2);
+  require(mu >= 0.0, "ctmc_parallel_repair_mttf: negative repair rate");
+  // Same chain as parallel, plus repair back to "both up".
+  std::vector<std::vector<double>> q(4, std::vector<double>(4, 0.0));
+  q[0][1] = l1;
+  q[0][2] = l2;
+  q[1][3] = l2;
+  q[2][3] = l1;
+  q[1][0] = mu;
+  q[2][0] = mu;
+  return Ctmc(std::move(q)).mean_time_to_absorption(0);
+}
+
+}  // namespace rnoc::rel

@@ -1,0 +1,58 @@
+// Continuous-time Markov chain (CTMC) mean-time-to-absorption solver, and
+// the two-component redundancy models built on it.
+//
+// The paper's Eq. 5 cites Gaver (1963), "Time to failure and availability of
+// paralleled systems with repair". This module provides the exact machinery:
+// a small dense CTMC solver for mean absorption times, plus the standard
+// two-component models (parallel, cold standby, parallel with repair) so the
+// paper's formula can be situated precisely among them (see EXPERIMENTS.md).
+#pragma once
+
+#include <vector>
+
+namespace rnoc::rel {
+
+/// A CTMC over states 0..n-1 given as a generator matrix Q (row-major):
+/// q[i][j] is the transition rate i -> j (i != j); diagonal entries are
+/// ignored and recomputed as -sum of the row. States with no outgoing rate
+/// are absorbing.
+class Ctmc {
+ public:
+  explicit Ctmc(std::vector<std::vector<double>> rates);
+
+  int states() const { return static_cast<int>(rates_.size()); }
+  bool is_absorbing(int state) const;
+
+  /// Mean time from `start` until *any* absorbing state is hit. Solves the
+  /// linear system (-Q_T) t = 1 over the transient states by Gaussian
+  /// elimination with partial pivoting. Throws if `start` cannot reach an
+  /// absorbing state.
+  double mean_time_to_absorption(int start) const;
+
+  /// Stationary distribution pi (pi Q = 0, sum pi = 1) for an irreducible
+  /// chain with NO absorbing states. Throws if any state is absorbing.
+  std::vector<double> steady_state() const;
+
+ private:
+  std::vector<std::vector<double>> rates_;
+};
+
+/// Long-run availability of a repairable active-parallel pair: fraction of
+/// time at least one component is up, with each failed component repaired
+/// independently at rate mu (the availability counterpart of Gaver's MTTF).
+double parallel_repair_availability(double lambda1, double lambda2, double mu);
+
+/// Mean lifetime of two active-parallel components (rates per hour), system
+/// up while either is: E[max] = 1/l1 + 1/l2 - 1/(l1+l2).
+double ctmc_parallel_mttf(double lambda1, double lambda2);
+
+/// Cold standby: component 1 runs; on its failure component 2 takes over
+/// (perfect switching): E = 1/l1 + 1/l2.
+double ctmc_standby_mttf(double lambda1, double lambda2);
+
+/// Active parallel with exponential repair at rate mu of the single failed
+/// component (Gaver's repairable paralleled system). mu = 0 degenerates to
+/// the plain parallel lifetime.
+double ctmc_parallel_repair_mttf(double lambda1, double lambda2, double mu);
+
+}  // namespace rnoc::rel

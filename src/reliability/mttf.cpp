@@ -1,0 +1,59 @@
+#include "reliability/mttf.hpp"
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace rnoc::rel {
+
+double mttf_from_fit(double fit) {
+  require(fit > 0.0, "mttf_from_fit: FIT must be positive");
+  return kBillionHours / fit;
+}
+
+double gaver_pair_mttf(double fit1, double fit2) {
+  require(fit1 > 0.0 && fit2 > 0.0, "gaver_pair_mttf: FITs must be positive");
+  return kBillionHours / fit1 + kBillionHours / fit2 +
+         kBillionHours / (fit1 + fit2);
+}
+
+double parallel_pair_mttf(double fit1, double fit2) {
+  require(fit1 > 0.0 && fit2 > 0.0,
+          "parallel_pair_mttf: FITs must be positive");
+  return kBillionHours / fit1 + kBillionHours / fit2 -
+         kBillionHours / (fit1 + fit2);
+}
+
+double monte_carlo_parallel_mttf(double fit1, double fit2,
+                                 std::uint64_t trials, Rng& rng) {
+  require(trials > 0, "monte_carlo_parallel_mttf: need at least one trial");
+  // Rates per hour.
+  const double l1 = fit1 / kBillionHours;
+  const double l2 = fit2 / kBillionHours;
+  double sum = 0.0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const double x1 = rng.next_exponential(l1);
+    const double x2 = rng.next_exponential(l2);
+    sum += std::max(x1, x2);
+  }
+  return sum / static_cast<double>(trials);
+}
+
+MttfReport mttf_report(const RouterGeometry& g, const TddbParams& p,
+                       bool as_printed, const OperatingPoint& op) {
+  StageFits base = baseline_stage_fits(g, p, op);
+  StageFits corr = correction_stage_fits(g, p, op);
+  if (as_printed) {
+    base = base.rounded();
+    corr = corr.rounded();
+  }
+  MttfReport r;
+  r.fit_baseline = base.total();
+  r.fit_correction = corr.total();
+  r.mttf_baseline_h = mttf_from_fit(r.fit_baseline);
+  r.mttf_protected_h = gaver_pair_mttf(r.fit_baseline, r.fit_correction);
+  r.improvement = r.mttf_protected_h / r.mttf_baseline_h;
+  return r;
+}
+
+}  // namespace rnoc::rel

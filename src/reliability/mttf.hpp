@@ -1,0 +1,45 @@
+// Mean Time To Failure models (paper §VII, Eqs. 1 and 4-7).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "reliability/fit.hpp"
+
+namespace rnoc::rel {
+
+/// Eq. (1): MTTF in hours from a FIT rate (failures per 1e9 hours).
+double mttf_from_fit(double fit);
+
+/// Eq. (5), as printed in the paper (after Gaver 1963): MTTF in hours of a
+/// two-component system that keeps working while either component works,
+/// with aggregate FIT rates fit1 and fit2:
+///   MTTF = 1e9/fit1 + 1e9/fit2 + 1e9/(fit1 + fit2).
+double gaver_pair_mttf(double fit1, double fit2);
+
+/// Textbook expected lifetime of a parallel pair of exponential components,
+/// E[max(X1, X2)] = 1/l1 + 1/l2 - 1/(l1+l2). Provided as a cross-check; the
+/// paper's Eq. (5) uses '+' for the last term (see EXPERIMENTS.md note).
+double parallel_pair_mttf(double fit1, double fit2);
+
+/// Monte-Carlo estimate of E[max(X1, X2)] with exponential lifetimes; should
+/// converge to parallel_pair_mttf. Hours.
+double monte_carlo_parallel_mttf(double fit1, double fit2,
+                                 std::uint64_t trials, Rng& rng);
+
+/// End-to-end reproduction of paper §VII-D.
+struct MttfReport {
+  double fit_baseline = 0.0;    ///< λ1: SOFR FIT of baseline pipeline.
+  double fit_correction = 0.0;  ///< λ2: SOFR FIT of correction circuitry.
+  double mttf_baseline_h = 0.0;   ///< Eq. (4); paper: ~354,358 h.
+  double mttf_protected_h = 0.0;  ///< Eq. (6); paper: ~2,190,696 h.
+  double improvement = 0.0;       ///< Eq. (7); paper: ~6x.
+};
+
+/// Computes the paper's MTTF analysis for a geometry. When `as_printed` is
+/// true, stage FITs are rounded to integers before summing — the paper's
+/// arithmetic — which reproduces its printed totals exactly.
+MttfReport mttf_report(const RouterGeometry& g, const TddbParams& p,
+                       bool as_printed = true, const OperatingPoint& op = {});
+
+}  // namespace rnoc::rel

@@ -1,0 +1,67 @@
+#include "reliability/site_fit.hpp"
+
+#include "core/protection.hpp"
+
+namespace rnoc::rel {
+
+double site_fit(const fault::FaultSite& site, const RouterGeometry& g,
+                const TddbParams& p, const OperatingPoint& op) {
+  using fault::SiteType;
+  const double f = fit_per_fet(p, 1.0, op.vdd_volts, op.temp_kelvin);
+  const int P = g.ports;
+  const int V = g.vcs;
+  switch (site.type) {
+    case SiteType::RcPrimary:
+    case SiteType::RcSpare:
+      // One RC unit: X and Y destination comparators.
+      return f * 2.0 * fets::comparator(g.comparator_bits());
+    case SiteType::Va1ArbiterSet:
+      // The po v:1 arbiters owned by one input VC (the paper treats the set
+      // as a unit, §V-B1).
+      return f * static_cast<double>(P) * fets::arbiter(V);
+    case SiteType::Va2Arbiter:
+      return f * fets::arbiter(P * V);
+    case SiteType::Sa1Arbiter:
+      // The port's v:1 arbiter plus its P VC-select datapath muxes
+      // (Table I attributes P*P v:1 muxes to the SA stage).
+      return f * (fets::arbiter(V) +
+                  static_cast<double>(P) * fets::mux(V, 1));
+    case SiteType::Sa1Bypass:
+      // Bypass 2:1 mux + default-winner register.
+      return f * (fets::mux(2, 1) + fets::dff(2));
+    case SiteType::Sa2Arbiter:
+      return f * fets::arbiter(P);
+    case SiteType::XbMux:
+      return f * fets::mux(P, g.flit_bits);
+    case SiteType::XbDemux:
+      // The demux hanging off mux `a`: the doubly-shared mux carries the
+      // single 1:n+1 demux (1:3 at P=5), the rest are 1:2.
+      return f * fets::demux(
+                     core::secondary_fanout_of_mux(site.a, P) + 1,
+                     g.flit_bits);
+    case SiteType::XbPSelect:
+      return f * fets::mux(2, g.flit_bits);
+  }
+  require(false, "site_fit: unknown site type");
+  return 0.0;
+}
+
+std::vector<WeightedSite> weighted_sites(const RouterGeometry& g,
+                                         const TddbParams& p,
+                                         bool include_correction,
+                                         const OperatingPoint& op) {
+  const fault::FaultGeometry fg{g.ports, g.vcs};
+  std::vector<WeightedSite> out;
+  for (const auto& site :
+       fault::RouterFaultState::enumerate_sites(fg, include_correction))
+    out.push_back({site, site_fit(site, g, p, op)});
+  return out;
+}
+
+double total_site_fit(const std::vector<WeightedSite>& sites) {
+  double sum = 0.0;
+  for (const auto& s : sites) sum += s.fit;
+  return sum;
+}
+
+}  // namespace rnoc::rel

@@ -1,0 +1,39 @@
+// Maps behavioral fault sites (fault/fault_model.hpp) to their FIT rates,
+// bridging the component FIT library (Tables I/II) and the structural
+// router model. Used by FIT-weighted fault injection and the structural
+// MTTF Monte Carlo.
+//
+// Coverage note: the state-field flip-flops of the correction circuitry
+// (R2/VF/ID, SP/FSP, default-winner registers — 100 of Table II's 646 FIT)
+// are not behavioral fault sites, so site FITs sum to slightly less than the
+// SOFR stage totals on the protected router; the baseline sites cover
+// Table I exactly.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_model.hpp"
+#include "reliability/component_library.hpp"
+
+namespace rnoc::rel {
+
+/// FIT of one behavioral fault site at an operating point.
+double site_fit(const fault::FaultSite& site, const RouterGeometry& g,
+                const TddbParams& p, const OperatingPoint& op = {});
+
+/// All sites of a router with their FITs (order matches
+/// RouterFaultState::enumerate_sites for the same arguments).
+struct WeightedSite {
+  fault::FaultSite site;
+  double fit = 0.0;
+};
+std::vector<WeightedSite> weighted_sites(const RouterGeometry& g,
+                                         const TddbParams& p,
+                                         bool include_correction,
+                                         const OperatingPoint& op = {});
+
+/// Sum of the site FITs (for baseline sites this reproduces Table I's SOFR
+/// total).
+double total_site_fit(const std::vector<WeightedSite>& sites);
+
+}  // namespace rnoc::rel

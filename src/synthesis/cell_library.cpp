@@ -1,0 +1,24 @@
+#include "synthesis/cell_library.hpp"
+
+namespace rnoc::synth {
+
+const CellLibrary& CellLibrary::generic45() {
+  // Areas: typical 45 nm standard-cell footprints (um^2).
+  // Leakage/dynamic figures scaled to the same technology point; delays are
+  // FO4-loaded propagation delays.
+  static const CellLibrary lib(std::array<Cell, kCellKinds>{{
+      {"INV_X1", 0.532, 0.020, 0.0006, 22.0},
+      {"NAND2_X1", 0.798, 0.028, 0.0008, 30.0},
+      {"NOR2_X1", 0.798, 0.028, 0.0008, 32.0},
+      {"AND2_X1", 1.064, 0.036, 0.0010, 42.0},
+      {"OR2_X1", 1.064, 0.036, 0.0010, 44.0},
+      {"XOR2_X1", 1.596, 0.052, 0.0016, 52.0},
+      {"XNOR2_X1", 1.596, 0.052, 0.0016, 52.0},
+      {"MUX2_X1", 1.862, 0.058, 0.0015, 48.0},
+      {"DFF_X1", 4.522, 0.120, 0.0040, 90.0},
+      {"BUF_X1", 0.798, 0.026, 0.0009, 28.0},
+  }});
+  return lib;
+}
+
+}  // namespace rnoc::synth

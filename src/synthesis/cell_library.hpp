@@ -1,0 +1,57 @@
+// A 45 nm standard-cell library model.
+//
+// Stands in for the commercial 45 nm library the paper used with Cadence
+// Encounter RTL Compiler. Cell areas follow typical open 45 nm libraries
+// (NanGate-class); power is split into leakage and per-MHz dynamic energy;
+// delay is a single fanout-of-4-style figure per cell used by the
+// logical-depth critical-path model in synthesis/timing.hpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace rnoc::synth {
+
+enum class CellKind : std::size_t {
+  Inv,
+  Nand2,
+  Nor2,
+  And2,
+  Or2,
+  Xor2,
+  Xnor2,
+  Mux2,
+  Dff,
+  Buf,
+  kCount,
+};
+
+inline constexpr std::size_t kCellKinds =
+    static_cast<std::size_t>(CellKind::kCount);
+
+struct Cell {
+  std::string_view name;
+  double area_um2;      ///< Placed cell area.
+  double leak_uw;       ///< Static (leakage) power.
+  double dyn_uw_mhz;    ///< Dynamic power per MHz at activity factor 1.0.
+  double delay_ps;      ///< Propagation delay at nominal load.
+};
+
+/// Immutable table of cells, indexed by CellKind.
+class CellLibrary {
+ public:
+  /// The default 45 nm library used throughout the reproduction.
+  static const CellLibrary& generic45();
+
+  const Cell& cell(CellKind k) const {
+    return cells_[static_cast<std::size_t>(k)];
+  }
+
+  explicit CellLibrary(std::array<Cell, kCellKinds> cells) : cells_(cells) {}
+
+ private:
+  std::array<Cell, kCellKinds> cells_;
+};
+
+}  // namespace rnoc::synth

@@ -1,0 +1,103 @@
+#include "synthesis/netlist.hpp"
+
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace rnoc::synth {
+
+void Netlist::add(CellKind kind, std::int64_t count) {
+  require(count >= 0, "Netlist::add: negative count");
+  counts_[static_cast<std::size_t>(kind)] += count;
+}
+
+void Netlist::add(const Netlist& sub, std::int64_t count) {
+  require(count >= 0, "Netlist::add: negative count");
+  for (std::size_t i = 0; i < kCellKinds; ++i)
+    counts_[i] += sub.counts_[i] * count;
+}
+
+std::int64_t Netlist::total_cells() const {
+  std::int64_t n = 0;
+  for (auto c : counts_) n += c;
+  return n;
+}
+
+double Netlist::area_um2(const CellLibrary& lib) const {
+  double a = 0.0;
+  for (std::size_t i = 0; i < kCellKinds; ++i)
+    a += static_cast<double>(counts_[i]) *
+         lib.cell(static_cast<CellKind>(i)).area_um2;
+  return a;
+}
+
+double Netlist::power_uw(const CellLibrary& lib, double activity,
+                         double freq_mhz) const {
+  require(activity >= 0.0 && activity <= 1.0,
+          "Netlist::power_uw: activity must lie in [0,1]");
+  double p = 0.0;
+  for (std::size_t i = 0; i < kCellKinds; ++i) {
+    const Cell& c = lib.cell(static_cast<CellKind>(i));
+    p += static_cast<double>(counts_[i]) *
+         (c.leak_uw + activity * c.dyn_uw_mhz * freq_mhz);
+  }
+  return p;
+}
+
+std::string Netlist::summary(const CellLibrary& lib) const {
+  std::ostringstream os;
+  os << name_ << ": " << total_cells() << " cells, " << area_um2(lib)
+     << " um^2";
+  return os.str();
+}
+
+namespace blocks {
+
+Netlist comparator(int bits) {
+  require(bits > 0, "blocks::comparator: bits must be positive");
+  Netlist n("comparator" + std::to_string(bits));
+  n.add(CellKind::Xnor2, bits);       // per-bit equality
+  n.add(CellKind::And2, bits - 1);    // reduction tree
+  n.add(CellKind::Inv, 1);            // greater/less polarity
+  return n;
+}
+
+Netlist rr_arbiter(int inputs) {
+  require(inputs >= 2, "blocks::rr_arbiter: need >= 2 inputs");
+  // Rotating-pointer round-robin arbiter: ceil(log2 n)-bit pointer register,
+  // per-input request gating and a carry (priority) chain, grant decode.
+  int ptr_bits = 1;
+  while ((1 << ptr_bits) < inputs) ++ptr_bits;
+  Netlist n("rr_arbiter" + std::to_string(inputs));
+  n.add(CellKind::Dff, ptr_bits);
+  n.add(CellKind::And2, 2 * inputs);  // request masking + grant gating
+  n.add(CellKind::Or2, inputs);       // carry chain
+  n.add(CellKind::Inv, inputs / 2 + 1);
+  return n;
+}
+
+Netlist mux(int inputs, int bits) {
+  require(inputs >= 2 && bits > 0, "blocks::mux: invalid shape");
+  Netlist n("mux" + std::to_string(inputs) + "x" + std::to_string(bits));
+  n.add(CellKind::Mux2, static_cast<std::int64_t>(inputs - 1) * bits);
+  return n;
+}
+
+Netlist demux(int outputs, int bits) {
+  require(outputs >= 2 && bits > 0, "blocks::demux: invalid shape");
+  Netlist n("demux" + std::to_string(outputs) + "x" + std::to_string(bits));
+  n.add(CellKind::And2, static_cast<std::int64_t>(outputs - 1) * bits);
+  n.add(CellKind::Inv, outputs);  // select decode
+  return n;
+}
+
+Netlist dff_bank(int bits) {
+  require(bits > 0, "blocks::dff_bank: bits must be positive");
+  Netlist n("dff" + std::to_string(bits));
+  n.add(CellKind::Dff, bits);
+  return n;
+}
+
+}  // namespace blocks
+
+}  // namespace rnoc::synth

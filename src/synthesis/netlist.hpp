@@ -1,0 +1,69 @@
+// Structural netlists: bags of standard cells with area/power roll-ups.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "synthesis/cell_library.hpp"
+
+namespace rnoc::synth {
+
+/// A synthesized block modeled as a multiset of standard cells.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Adds `count` instances of a cell.
+  void add(CellKind kind, std::int64_t count);
+
+  /// Adds `count` copies of another netlist's cells.
+  void add(const Netlist& sub, std::int64_t count = 1);
+
+  std::int64_t count(CellKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  std::int64_t total_cells() const;
+
+  double area_um2(const CellLibrary& lib) const;
+
+  /// Average power in uW: leakage + activity * dynamic(freq).
+  /// `activity` is the average switching-activity factor of the block.
+  double power_uw(const CellLibrary& lib, double activity,
+                  double freq_mhz) const;
+
+  std::string summary(const CellLibrary& lib) const;
+
+ private:
+  std::string name_;
+  std::array<std::int64_t, kCellKinds> counts_{};
+};
+
+/// Netlist builders for the router's fundamental components. Gate-level
+/// decompositions are documented inline; they feed both the area/power
+/// overhead analysis (paper §VI-A) and sanity cross-checks against the FIT
+/// component library.
+namespace blocks {
+
+/// n-bit equality/magnitude comparator: XNOR per bit + AND reduction tree.
+Netlist comparator(int bits);
+
+/// Round-robin arbiter, n requesters: pointer register + priority chain.
+Netlist rr_arbiter(int inputs);
+
+/// n:1 multiplexer tree, `bits` wide: (n-1) MUX2 per bit.
+Netlist mux(int inputs, int bits);
+
+/// 1:n demultiplexer, `bits` wide: (n-1) AND2 + shared select inverters.
+Netlist demux(int outputs, int bits);
+
+/// Register bank of `bits` DFFs.
+Netlist dff_bank(int bits);
+
+}  // namespace blocks
+
+}  // namespace rnoc::synth

@@ -1,0 +1,131 @@
+#include "synthesis/router_netlists.hpp"
+
+#include "common/types.hpp"
+
+namespace rnoc::synth {
+namespace {
+
+int id_bits(int n) {
+  int bits = 1;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+Netlist RouterNetlists::total() const {
+  Netlist t("router_pipeline");
+  t.add(rc);
+  t.add(va);
+  t.add(sa);
+  t.add(xb);
+  return t;
+}
+
+RouterNetlists baseline_router_netlists(const rel::RouterGeometry& g) {
+  require(g.ports >= 2 && g.vcs >= 1, "baseline_router_netlists: bad geometry");
+  const int P = g.ports;
+  const int V = g.vcs;
+  const int cb = g.comparator_bits();
+
+  RouterNetlists r;
+
+  // RC: per input port, X and Y destination comparators plus the quadrant
+  // decision glue that turns compare results into an output-port one-hot.
+  r.rc.set_name("rc_baseline");
+  r.rc.add(blocks::comparator(cb), 2 * P);
+  for (int p = 0; p < P; ++p) {
+    r.rc.add(CellKind::And2, 4);
+    r.rc.add(CellKind::Inv, 2);
+  }
+
+  // VA: separable two-stage allocator. Stage 1: every input VC owns one v:1
+  // arbiter per output port. Stage 2: one (P*V):1 arbiter per downstream VC.
+  r.va.set_name("va_baseline");
+  r.va.add(blocks::rr_arbiter(V), P * V * P);
+  r.va.add(blocks::rr_arbiter(P * V), P * V);
+
+  // SA: stage 1 one v:1 arbiter per input port; stage 2 one P:1 arbiter per
+  // output port; per-port VC-select muxes and the winner registers that
+  // drive the crossbar selects in the following cycle.
+  r.sa.set_name("sa_baseline");
+  r.sa.add(blocks::rr_arbiter(V), P);
+  r.sa.add(blocks::rr_arbiter(P), P);
+  r.sa.add(blocks::mux(V, 1), P * P);
+  r.sa.add(blocks::dff_bank(id_bits(V)), P);  // stage-1 winner registers
+
+  // XB: one flit-wide P:1 mux per output port, select decode, and output
+  // drive buffers.
+  r.xb.set_name("xb_baseline");
+  r.xb.add(blocks::mux(P, g.flit_bits), P);
+  r.xb.add(CellKind::And2, P * P);               // select decode
+  r.xb.add(CellKind::Buf, P * g.flit_bits / 4);  // output drive
+  return r;
+}
+
+RouterNetlists correction_netlists(const rel::RouterGeometry& g) {
+  require(g.ports >= 3 && g.vcs >= 2, "correction_netlists: geometry too small");
+  const int P = g.ports;
+  const int V = g.vcs;
+  const int cb = g.comparator_bits();
+  const int port_bits = id_bits(P);
+  const int vc_bits = id_bits(V);
+
+  RouterNetlists r;
+
+  // RC: a full duplicate RC unit per port plus the unit-select mux.
+  r.rc.set_name("rc_correction");
+  r.rc.add(blocks::comparator(cb), 2 * P);
+  for (int p = 0; p < P; ++p) {
+    r.rc.add(CellKind::And2, 4);
+    r.rc.add(CellKind::Inv, 2);
+  }
+  r.rc.add(blocks::mux(2, port_bits), P);
+
+  // VA: per-VC R2/VF/ID state fields plus the lender-scan logic that walks
+  // the G fields of the sibling VCs of a port.
+  r.va.set_name("va_correction");
+  r.va.add(blocks::dff_bank(port_bits + 1 + vc_bits), P * V);
+  for (int p = 0; p < P; ++p) {
+    r.va.add(CellKind::And2, 2 * V);  // G-field decode per sibling VC
+    r.va.add(CellKind::Or2, V);       // first-available priority
+  }
+
+  // SA: per-port bypass mux + default-winner register, per-VC SP/FSP fields,
+  // and the VC-to-VC transfer control.
+  r.sa.set_name("sa_correction");
+  r.sa.add(blocks::mux(2, vc_bits), P);
+  r.sa.add(blocks::dff_bank(vc_bits), P);
+  r.sa.add(blocks::dff_bank(port_bits + 1), P * V);  // SP + FSP
+  for (int p = 0; p < P; ++p) {
+    r.sa.add(CellKind::And2, 6);  // transfer handshake
+    r.sa.add(CellKind::Or2, 2);
+  }
+
+  // XB: secondary path — P flit-wide 2:1 output-select muxes, one 1:3 demux
+  // on the doubly-shared mux and 1:2 demuxes on the others (DESIGN.md §3).
+  r.xb.set_name("xb_correction");
+  r.xb.add(blocks::mux(2, g.flit_bits), P);
+  r.xb.add(blocks::demux(2, g.flit_bits), P - 2);
+  r.xb.add(blocks::demux(3, g.flit_bits), 1);
+  return r;
+}
+
+SynthesisReport synthesize(const rel::RouterGeometry& g, const CellLibrary& lib,
+                           double activity, double freq_mhz) {
+  const Netlist base = baseline_router_netlists(g).total();
+  const Netlist corr = correction_netlists(g).total();
+
+  SynthesisReport rep;
+  rep.base_area_um2 = base.area_um2(lib);
+  rep.corr_area_um2 = corr.area_um2(lib);
+  rep.base_power_uw = base.power_uw(lib, activity, freq_mhz);
+  rep.corr_power_uw = corr.power_uw(lib, activity, freq_mhz);
+  rep.area_overhead = rep.corr_area_um2 / rep.base_area_um2;
+  rep.power_overhead = rep.corr_power_uw / rep.base_power_uw;
+  rep.area_overhead_with_detection = rep.area_overhead + kDetectionAreaPoints;
+  rep.power_overhead_with_detection = rep.power_overhead + kDetectionPowerPoints;
+  return rep;
+}
+
+}  // namespace rnoc::synth

@@ -1,0 +1,53 @@
+// Structural netlists of the baseline router pipeline stages and of the
+// paper's correction circuitry, plus the area/power overhead analysis of
+// paper §VI-A.
+#pragma once
+
+#include "reliability/component_library.hpp"
+#include "synthesis/netlist.hpp"
+
+namespace rnoc::synth {
+
+/// Netlists of the four pipeline-stage blocks. The paper synthesized the
+/// pipeline stages (not the input buffers), so these are the synthesis scope.
+struct RouterNetlists {
+  Netlist rc;
+  Netlist va;
+  Netlist sa;
+  Netlist xb;
+
+  Netlist total() const;
+};
+
+/// Baseline 4-stage router pipeline for a geometry (paper Fig. 1-3).
+RouterNetlists baseline_router_netlists(const rel::RouterGeometry& g);
+
+/// Correction circuitry of the proposed protected router (paper §V):
+/// duplicate RC units, VA sharing state, SA bypass, XB secondary path.
+RouterNetlists correction_netlists(const rel::RouterGeometry& g);
+
+/// Extra overhead of the assumed fault-detection mechanism (NoCAlert-class),
+/// expressed in percentage points added to the correction-only overheads:
+/// the paper's 28% -> 31% area and 29% -> 30% power step.
+inline constexpr double kDetectionAreaPoints = 0.03;
+inline constexpr double kDetectionPowerPoints = 0.01;
+
+/// Paper §VI-A reproduction.
+struct SynthesisReport {
+  double base_area_um2 = 0.0;
+  double corr_area_um2 = 0.0;
+  double base_power_uw = 0.0;
+  double corr_power_uw = 0.0;
+  double area_overhead = 0.0;   ///< correction / baseline (paper: 0.28).
+  double power_overhead = 0.0;  ///< (paper: 0.29).
+  double area_overhead_with_detection = 0.0;   ///< (paper: 0.31).
+  double power_overhead_with_detection = 0.0;  ///< (paper: 0.30).
+};
+
+/// Rolls up areas and powers of baseline vs correction netlists.
+/// `activity` is the average switching activity, `freq_mhz` the clock.
+SynthesisReport synthesize(const rel::RouterGeometry& g,
+                           const CellLibrary& lib = CellLibrary::generic45(),
+                           double activity = 0.3, double freq_mhz = 1000.0);
+
+}  // namespace rnoc::synth

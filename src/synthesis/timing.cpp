@@ -1,0 +1,126 @@
+#include "synthesis/timing.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace rnoc::synth {
+namespace {
+
+/// Depth of the AND-reduction tree of an n-bit comparator.
+int tree_depth(int n) {
+  int d = 0;
+  while ((1 << d) < n) ++d;
+  return d;
+}
+
+/// Carry-chain depth of a round-robin arbiter with n inputs: request mask,
+/// log-depth priority propagation, grant gating.
+void append_arbiter_path(TimingPath& p, int inputs) {
+  p.push_back(CellKind::And2);  // pointer mask
+  for (int d = 0; d < tree_depth(inputs); ++d) p.push_back(CellKind::Or2);
+  p.push_back(CellKind::And2);  // grant gate
+}
+
+}  // namespace
+
+TimingPath baseline_critical_path(Stage s, const rel::RouterGeometry& g) {
+  TimingPath p;
+  switch (s) {
+    case Stage::RC: {
+      // Destination comparator: per-bit XNOR then AND reduction, then the
+      // quadrant decision OR.
+      p.push_back(CellKind::Xnor2);
+      for (int d = 0; d < tree_depth(g.comparator_bits()); ++d)
+        p.push_back(CellKind::And2);
+      p.push_back(CellKind::Or2);
+      break;
+    }
+    case Stage::VA:
+      // Stage-1 v:1 arbiter feeding the stage-2 (P*V):1 arbiter.
+      append_arbiter_path(p, g.vcs);
+      append_arbiter_path(p, g.ports * g.vcs);
+      break;
+    case Stage::SA:
+      // Stage-1 v:1 arbiter, stage-2 P:1 arbiter, grant drive into the
+      // winner register (setup time included as the DFF cell).
+      append_arbiter_path(p, g.vcs);
+      append_arbiter_path(p, g.ports);
+      p.push_back(CellKind::Buf);
+      p.push_back(CellKind::Dff);
+      break;
+    case Stage::XB: {
+      // Select decode, mux tree, and the wire-dominated output drive chain
+      // (crossbar spans the router datapath; modeled as buffer stages).
+      p.push_back(CellKind::And2);
+      for (int d = 0; d < tree_depth(g.ports); ++d) p.push_back(CellKind::Mux2);
+      for (int i = 0; i < 6; ++i) p.push_back(CellKind::Buf);
+      break;
+    }
+  }
+  return p;
+}
+
+TimingPath protected_critical_path(Stage s, const rel::RouterGeometry& g) {
+  TimingPath p = baseline_critical_path(s, g);
+  switch (s) {
+    case Stage::RC:
+      // Spare-unit select is a static configuration mux outside the
+      // comparator loop: negligible impact (paper §VI-B).
+      break;
+    case Stage::VA:
+      // Borrow mux in front of the arbiter set plus the VF qualification.
+      p.insert(p.begin(), CellKind::Mux2);
+      p.insert(p.begin(), CellKind::And2);
+      break;
+    case Stage::SA:
+      // Bypass 2:1 mux after the stage-1 arbiter.
+      p.push_back(CellKind::Mux2);
+      break;
+    case Stage::XB:
+      // Demux into the neighbouring column plus the P output-select mux.
+      p.push_back(CellKind::And2);
+      p.push_back(CellKind::Mux2);
+      break;
+  }
+  return p;
+}
+
+double path_delay_ps(const TimingPath& path, const CellLibrary& lib) {
+  double d = 0.0;
+  for (CellKind k : path) d += lib.cell(k).delay_ps;
+  return d;
+}
+
+double zero_slack_period(const TimingPath& path, const CellLibrary& lib,
+                         double lo_ps, double hi_ps) {
+  require(lo_ps > 0.0 && hi_ps > lo_ps, "zero_slack_period: bad bracket");
+  const double delay = path_delay_ps(path, lib);
+  require(delay <= hi_ps, "zero_slack_period: path exceeds sweep range");
+  // Bisection on slack(period) = period - delay.
+  double lo = lo_ps, hi = hi_ps;
+  while (hi - lo > 1e-6) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid - delay >= 0.0)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+TimingReport critical_path_report(const rel::RouterGeometry& g,
+                                  const CellLibrary& lib) {
+  TimingReport r;
+  auto fill = [&](Stage s, StageTiming& t) {
+    t.baseline_ps = path_delay_ps(baseline_critical_path(s, g), lib);
+    t.protected_ps = path_delay_ps(protected_critical_path(s, g), lib);
+  };
+  fill(Stage::RC, r.rc);
+  fill(Stage::VA, r.va);
+  fill(Stage::SA, r.sa);
+  fill(Stage::XB, r.xb);
+  return r;
+}
+
+}  // namespace rnoc::synth

@@ -1,0 +1,53 @@
+// Critical-path model (paper §VI-B).
+//
+// Each pipeline stage's critical path is represented as an ordered list of
+// cells; the path delay is the sum of cell propagation delays. The paper
+// determined per-stage critical paths by synthesizing each stage at varying
+// clock periods and finding the zero-slack period; `zero_slack_period`
+// reproduces that procedure (a sweep over candidate periods) and converges
+// to the path delay.
+#pragma once
+
+#include <vector>
+
+#include "reliability/component_library.hpp"
+#include "synthesis/cell_library.hpp"
+
+namespace rnoc::synth {
+
+enum class Stage { RC, VA, SA, XB };
+
+/// Ordered cell chain forming a stage's longest register-to-register path.
+using TimingPath = std::vector<CellKind>;
+
+/// Longest path of a baseline pipeline stage.
+TimingPath baseline_critical_path(Stage s, const rel::RouterGeometry& g);
+
+/// Longest path of the same stage with the correction circuitry inserted.
+TimingPath protected_critical_path(Stage s, const rel::RouterGeometry& g);
+
+/// Sum of cell delays along a path, in ps.
+double path_delay_ps(const TimingPath& path, const CellLibrary& lib);
+
+/// The clock period at which slack (period - path delay) reaches zero,
+/// found by bisection over [lo_ps, hi_ps] as in the paper's methodology.
+double zero_slack_period(const TimingPath& path, const CellLibrary& lib,
+                         double lo_ps = 1.0, double hi_ps = 10000.0);
+
+/// Paper §VI-B: baseline vs protected critical path per stage.
+/// Paper result: RC ~0%, VA +20%, SA +10%, XB +25%.
+struct StageTiming {
+  double baseline_ps = 0.0;
+  double protected_ps = 0.0;
+  double overhead() const { return protected_ps / baseline_ps - 1.0; }
+};
+
+struct TimingReport {
+  StageTiming rc, va, sa, xb;
+};
+
+TimingReport critical_path_report(
+    const rel::RouterGeometry& g,
+    const CellLibrary& lib = CellLibrary::generic45());
+
+}  // namespace rnoc::synth

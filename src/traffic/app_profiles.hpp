@@ -1,0 +1,32 @@
+// Per-benchmark NoC traffic profiles standing in for SPLASH-2 and PARSEC
+// full-system traces (paper §IX; see DESIGN.md §1 for the substitution
+// rationale). Each profile parameterizes the coherence traffic model with a
+// request rate and protocol mix chosen so relative network loads follow the
+// benchmarks' published NoC characteristics (PARSEC loads the network harder
+// than SPLASH-2 on average, matching the paper's 13% vs 10% fault penalty).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "traffic/coherence.hpp"
+
+namespace rnoc::traffic {
+
+struct AppProfile {
+  std::string name;
+  std::string suite;  ///< "SPLASH-2" or "PARSEC".
+  CoherenceConfig coherence;
+};
+
+const std::vector<AppProfile>& splash2_profiles();
+const std::vector<AppProfile>& parsec_profiles();
+
+/// Looks a profile up by name across both suites; throws if unknown.
+const AppProfile& find_profile(const std::string& name);
+
+/// Builds the traffic model for a profile.
+std::shared_ptr<CoherenceTraffic> make_traffic(const AppProfile& p);
+
+}  // namespace rnoc::traffic

@@ -1,0 +1,54 @@
+#include "traffic/bursty.hpp"
+
+#include "common/types.hpp"
+
+namespace rnoc::traffic {
+namespace {
+
+SyntheticConfig pattern_config(const BurstyConfig& cfg) {
+  SyntheticConfig sc;
+  sc.pattern = cfg.pattern;
+  sc.injection_rate = cfg.burst_rate;
+  sc.packet_size = cfg.packet_size;
+  sc.hotspots = cfg.hotspots;
+  sc.hotspot_fraction = cfg.hotspot_fraction;
+  return sc;
+}
+
+}  // namespace
+
+BurstyTraffic::BurstyTraffic(const BurstyConfig& cfg)
+    : cfg_(cfg), pattern_(pattern_config(cfg)) {
+  require(cfg.burst_rate > 0.0 && cfg.burst_rate <= 1.0,
+          "BurstyTraffic: burst rate must lie in (0,1]");
+  require(cfg.mean_on >= 1.0 && cfg.mean_off >= 1.0,
+          "BurstyTraffic: phase lengths must be at least one cycle");
+}
+
+void BurstyTraffic::init(const noc::MeshDims& dims) {
+  TrafficModel::init(dims);
+  pattern_.init(dims);
+  on_.assign(static_cast<std::size_t>(dims.nodes()), false);
+}
+
+bool BurstyTraffic::is_on(NodeId node) const {
+  require(node >= 0 && node < static_cast<NodeId>(on_.size()),
+          "BurstyTraffic: node out of range");
+  return on_[static_cast<std::size_t>(node)];
+}
+
+void BurstyTraffic::generate(Cycle now, NodeId node, Rng& rng,
+                             std::vector<noc::PacketDesc>& out) {
+  // Geometric phase transitions: leave the current phase with probability
+  // 1/mean_length per cycle.
+  auto state = on_[static_cast<std::size_t>(node)];
+  if (state) {
+    if (rng.next_bool(1.0 / cfg_.mean_on)) state = false;
+  } else {
+    if (rng.next_bool(1.0 / cfg_.mean_off)) state = true;
+  }
+  on_[static_cast<std::size_t>(node)] = state;
+  if (state) pattern_.generate(now, node, rng, out);
+}
+
+}  // namespace rnoc::traffic

@@ -1,0 +1,51 @@
+// Bursty (on-off Markov-modulated) traffic sources.
+//
+// Real application traffic is not Bernoulli: cores alternate between
+// communication phases and compute phases. Each node here carries a
+// two-state Markov chain — ON (injecting at `burst_rate`) and OFF (silent) —
+// with geometric sojourn times, the standard on-off fluid model. The mean
+// offered load is burst_rate * p_on where p_on = on_len / (on_len+off_len),
+// but queueing behaviour differs sharply from Bernoulli at equal load:
+// bursts stress buffers and expose tail-latency effects the average hides.
+#pragma once
+
+#include "traffic/patterns.hpp"
+
+namespace rnoc::traffic {
+
+struct BurstyConfig {
+  /// Destination pattern for generated packets.
+  Pattern pattern = Pattern::UniformRandom;
+  /// Injection rate while ON, flits/node/cycle.
+  double burst_rate = 0.4;
+  /// Mean ON and OFF phase lengths in cycles (geometric).
+  double mean_on = 50.0;
+  double mean_off = 150.0;
+  int packet_size = 5;
+  std::vector<NodeId> hotspots;
+  double hotspot_fraction = 0.5;
+
+  /// Long-run offered load in flits/node/cycle.
+  double mean_load() const {
+    return burst_rate * mean_on / (mean_on + mean_off);
+  }
+};
+
+class BurstyTraffic : public TrafficModel {
+ public:
+  explicit BurstyTraffic(const BurstyConfig& cfg);
+
+  void init(const noc::MeshDims& dims) override;
+  void generate(Cycle now, NodeId node, Rng& rng,
+                std::vector<noc::PacketDesc>& out) override;
+
+  /// Whether `node`'s source is currently in its ON phase (for tests).
+  bool is_on(NodeId node) const;
+
+ private:
+  BurstyConfig cfg_;
+  SyntheticTraffic pattern_;     ///< Reused for destination selection.
+  std::vector<bool> on_;         ///< Per-node phase.
+};
+
+}  // namespace rnoc::traffic

@@ -1,0 +1,76 @@
+#include "traffic/patterns.hpp"
+
+#include "common/types.hpp"
+
+namespace rnoc::traffic {
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::UniformRandom: return "uniform_random";
+    case Pattern::Transpose: return "transpose";
+    case Pattern::BitComplement: return "bit_complement";
+    case Pattern::Tornado: return "tornado";
+    case Pattern::Neighbor: return "neighbor";
+    case Pattern::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+SyntheticTraffic::SyntheticTraffic(const SyntheticConfig& cfg) : cfg_(cfg) {
+  require(cfg.injection_rate >= 0.0 && cfg.injection_rate <= 1.0,
+          "SyntheticTraffic: injection rate must lie in [0,1] flits/node/cycle");
+  require(cfg.packet_size >= 1, "SyntheticTraffic: bad packet size");
+  if (cfg.pattern == Pattern::Hotspot)
+    require(!cfg.hotspots.empty(), "SyntheticTraffic: hotspot list empty");
+}
+
+NodeId SyntheticTraffic::destination(NodeId node, Rng& rng) const {
+  const int n = dims_.nodes();
+  const Coord c = dims_.coord_of(node);
+  switch (cfg_.pattern) {
+    case Pattern::UniformRandom: {
+      NodeId d = static_cast<NodeId>(rng.next_below(
+          static_cast<std::uint64_t>(n - 1)));
+      if (d >= node) ++d;  // skip self
+      return d;
+    }
+    case Pattern::Transpose:
+      return dims_.node_of({c.y % dims_.x, c.x % dims_.y});
+    case Pattern::BitComplement:
+      return static_cast<NodeId>((n - 1) - node);
+    case Pattern::Tornado:
+      return dims_.node_of({(c.x + dims_.x / 2) % dims_.x,
+                            (c.y + dims_.y / 2) % dims_.y});
+    case Pattern::Neighbor:
+      return dims_.node_of({(c.x + 1) % dims_.x, c.y});
+    case Pattern::Hotspot: {
+      if (rng.next_bool(cfg_.hotspot_fraction)) {
+        const NodeId h = cfg_.hotspots[static_cast<std::size_t>(
+            rng.next_below(cfg_.hotspots.size()))];
+        if (h != node) return h;
+      }
+      NodeId d = static_cast<NodeId>(rng.next_below(
+          static_cast<std::uint64_t>(n - 1)));
+      if (d >= node) ++d;
+      return d;
+    }
+  }
+  return kInvalidNode;
+}
+
+void SyntheticTraffic::generate(Cycle, NodeId node, Rng& rng,
+                                std::vector<noc::PacketDesc>& out) {
+  // Bernoulli arrival: injection_rate flits/cycle => rate/size packets/cycle.
+  const double packet_rate =
+      cfg_.injection_rate / static_cast<double>(cfg_.packet_size);
+  if (!rng.next_bool(packet_rate)) return;
+  NodeId dst = destination(node, rng);
+  if (dst == node) return;  // degenerate patterns (e.g. transpose diagonal)
+  noc::PacketDesc p;
+  p.src = node;
+  p.dst = dst;
+  p.size_flits = cfg_.packet_size;
+  out.push_back(p);
+}
+
+}  // namespace rnoc::traffic

@@ -1,0 +1,80 @@
+// Traffic generation: the TrafficModel interface and the classic synthetic
+// patterns (uniform random, transpose, bit-complement, tornado, neighbor,
+// hotspot) used by the load-sweep benches.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noc/flit.hpp"
+#include "noc/routing.hpp"
+
+namespace rnoc::traffic {
+
+/// A reply a traffic model wants injected in reaction to a delivery.
+struct Response {
+  NodeId node = kInvalidNode;  ///< Where the response originates.
+  noc::PacketDesc desc;        ///< id/created filled in by the simulator.
+  Cycle ready = 0;             ///< Earliest injection cycle (service delay).
+};
+
+/// Interface every workload implements. The simulator calls `generate` once
+/// per node per cycle while sources run, and `on_delivered` when a packet's
+/// tail ejects (for request/response protocols).
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+
+  virtual void init(const noc::MeshDims& dims) { dims_ = dims; }
+
+  /// Appends packets created at `node` this cycle (src/dst/size/class only;
+  /// the simulator assigns id and creation time).
+  virtual void generate(Cycle now, NodeId node, Rng& rng,
+                        std::vector<noc::PacketDesc>& out) = 0;
+
+  /// Reaction to a delivered packet (tail flit) at node `at`.
+  virtual void on_delivered(const noc::Flit& /*tail*/, NodeId /*at*/,
+                            Cycle /*now*/, Rng& /*rng*/,
+                            std::vector<Response>& /*responses*/) {}
+
+ protected:
+  noc::MeshDims dims_{};
+};
+
+enum class Pattern {
+  UniformRandom,  ///< Destination uniform over all other nodes.
+  Transpose,      ///< (x, y) -> (y, x).
+  BitComplement,  ///< node -> ~node (mod N).
+  Tornado,        ///< Half-way around each dimension.
+  Neighbor,       ///< (x+1, y) wraparound.
+  Hotspot,        ///< A fraction of traffic targets designated hotspots.
+};
+
+const char* pattern_name(Pattern p);
+
+struct SyntheticConfig {
+  Pattern pattern = Pattern::UniformRandom;
+  /// Offered load in flits per node per cycle.
+  double injection_rate = 0.1;
+  int packet_size = 5;
+  std::vector<NodeId> hotspots;     ///< For Pattern::Hotspot.
+  double hotspot_fraction = 0.5;    ///< Share of packets aimed at hotspots.
+};
+
+/// Bernoulli packet sources with a fixed destination pattern.
+class SyntheticTraffic : public TrafficModel {
+ public:
+  explicit SyntheticTraffic(const SyntheticConfig& cfg);
+
+  void generate(Cycle now, NodeId node, Rng& rng,
+                std::vector<noc::PacketDesc>& out) override;
+
+  /// The pattern's destination for `node` (hotspot/uniform consult `rng`).
+  NodeId destination(NodeId node, Rng& rng) const;
+
+ private:
+  SyntheticConfig cfg_;
+};
+
+}  // namespace rnoc::traffic

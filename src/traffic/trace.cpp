@@ -1,0 +1,116 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/types.hpp"
+
+namespace rnoc::traffic {
+
+TraceRecorder::TraceRecorder(std::shared_ptr<TrafficModel> inner)
+    : inner_(std::move(inner)) {
+  require(inner_ != nullptr, "TraceRecorder: inner model required");
+}
+
+void TraceRecorder::init(const noc::MeshDims& dims) {
+  TrafficModel::init(dims);
+  inner_->init(dims);
+}
+
+void TraceRecorder::generate(Cycle now, NodeId node, Rng& rng,
+                             std::vector<noc::PacketDesc>& out) {
+  const std::size_t before = out.size();
+  inner_->generate(now, node, rng, out);
+  for (std::size_t i = before; i < out.size(); ++i) {
+    const noc::PacketDesc& p = out[i];
+    entries_.push_back({now, node, p.dst, p.size_flits, p.traffic_class,
+                        p.payload});
+  }
+}
+
+void TraceRecorder::on_delivered(const noc::Flit& tail, NodeId at, Cycle now,
+                                 Rng& rng, std::vector<Response>& responses) {
+  const std::size_t before = responses.size();
+  inner_->on_delivered(tail, at, now, rng, responses);
+  for (std::size_t i = before; i < responses.size(); ++i) {
+    const Response& r = responses[i];
+    // Record the response at its injection-ready time; replay then treats
+    // it as an ordinary source packet with the dependency baked in.
+    entries_.push_back({std::max(r.ready, now + 1), r.node, r.desc.dst,
+                        r.desc.size_flits, r.desc.traffic_class,
+                        r.desc.payload});
+  }
+}
+
+void TraceRecorder::save(std::ostream& os) const {
+  std::vector<TraceEntry> sorted = entries_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.cycle < b.cycle;
+                   });
+  for (const TraceEntry& e : sorted) {
+    os << e.cycle << ' ' << e.src << ' ' << e.dst << ' ' << e.size_flits
+       << ' ' << static_cast<int>(e.traffic_class) << ' ' << e.payload
+       << '\n';
+  }
+}
+
+std::vector<TraceEntry> TraceRecorder::parse(std::istream& is) {
+  std::vector<TraceEntry> entries;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    TraceEntry e;
+    int cls = 0;
+    ls >> e.cycle >> e.src >> e.dst >> e.size_flits >> cls >> e.payload;
+    require(static_cast<bool>(ls), "TraceRecorder::parse: malformed line '" +
+                                       line + "'");
+    require(cls >= 0 && cls <= 255, "TraceRecorder::parse: bad class");
+    e.traffic_class = static_cast<std::uint8_t>(cls);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+TraceReplay::TraceReplay(std::vector<TraceEntry> entries)
+    : entries_(std::move(entries)) {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.cycle < b.cycle;
+                   });
+}
+
+void TraceReplay::init(const noc::MeshDims& dims) {
+  TrafficModel::init(dims);
+  per_node_entries_.assign(static_cast<std::size_t>(dims.nodes()), {});
+  per_node_cursor_.assign(static_cast<std::size_t>(dims.nodes()), 0);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const TraceEntry& e = entries_[i];
+    require(e.src >= 0 && e.src < dims.nodes() && e.dst >= 0 &&
+                e.dst < dims.nodes(),
+            "TraceReplay: trace node outside this mesh");
+    per_node_entries_[static_cast<std::size_t>(e.src)].push_back(i);
+  }
+}
+
+void TraceReplay::generate(Cycle now, NodeId node, Rng&,
+                           std::vector<noc::PacketDesc>& out) {
+  auto& cursor = per_node_cursor_[static_cast<std::size_t>(node)];
+  const auto& mine = per_node_entries_[static_cast<std::size_t>(node)];
+  while (cursor < mine.size() && entries_[mine[cursor]].cycle <= now) {
+    const TraceEntry& e = entries_[mine[cursor]];
+    noc::PacketDesc p;
+    p.src = e.src;
+    p.dst = e.dst;
+    p.size_flits = e.size_flits;
+    p.traffic_class = e.traffic_class;
+    p.payload = e.payload;
+    out.push_back(p);
+    ++cursor;
+  }
+}
+
+}  // namespace rnoc::traffic

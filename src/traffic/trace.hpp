@@ -1,0 +1,76 @@
+// Traffic trace recording and replay.
+//
+// A TraceRecorder wraps any TrafficModel and logs every packet it creates —
+// both source packets and protocol responses — as one line per packet. A
+// TraceReplay feeds a recorded trace back into the simulator, which makes
+// experiments repeatable across traffic-model changes and lets externally
+// captured traces (e.g. from a full-system simulator) drive the network.
+//
+// Text format, one packet per line:
+//   <cycle> <src> <dst> <size_flits> <class> <payload>
+// Lines are written in nondecreasing cycle order.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "traffic/patterns.hpp"
+
+namespace rnoc::traffic {
+
+/// One recorded packet creation.
+struct TraceEntry {
+  Cycle cycle = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int size_flits = 1;
+  std::uint8_t traffic_class = 0;
+  std::uint64_t payload = 0;
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+/// Wraps a traffic model and records everything it generates.
+class TraceRecorder : public TrafficModel {
+ public:
+  explicit TraceRecorder(std::shared_ptr<TrafficModel> inner);
+
+  void init(const noc::MeshDims& dims) override;
+  void generate(Cycle now, NodeId node, Rng& rng,
+                std::vector<noc::PacketDesc>& out) override;
+  void on_delivered(const noc::Flit& tail, NodeId at, Cycle now, Rng& rng,
+                    std::vector<Response>& responses) override;
+
+  const std::vector<TraceEntry>& trace() const { return entries_; }
+
+  /// Serializes the trace (sorted by cycle) to a stream / parses it back.
+  void save(std::ostream& os) const;
+  static std::vector<TraceEntry> parse(std::istream& is);
+
+ private:
+  std::shared_ptr<TrafficModel> inner_;
+  std::vector<TraceEntry> entries_;
+};
+
+/// Replays a recorded trace: packets are created at their recorded cycles;
+/// no responses are generated (responses were recorded as packets).
+class TraceReplay : public TrafficModel {
+ public:
+  explicit TraceReplay(std::vector<TraceEntry> entries);
+
+  void init(const noc::MeshDims& dims) override;
+  void generate(Cycle now, NodeId node, Rng& rng,
+                std::vector<noc::PacketDesc>& out) override;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  /// Entries sorted by (cycle, src); per-node cursors into the sorted list.
+  std::vector<TraceEntry> entries_;
+  std::vector<std::size_t> order_;            ///< indices sorted by cycle
+  std::vector<std::size_t> per_node_cursor_;  ///< next order_ index per node
+  std::vector<std::vector<std::size_t>> per_node_entries_;
+};
+
+}  // namespace rnoc::traffic

@@ -1,0 +1,130 @@
+// Tests for baselines/: group fault-to-failure model and the BulletProof /
+// Vicis / RoCo structural reconstructions against their published numbers
+// (paper Table III).
+#include <gtest/gtest.h>
+
+#include "baselines/bulletproof.hpp"
+#include "baselines/roco.hpp"
+#include "baselines/vicis.hpp"
+#include "core/spf_analysis.hpp"
+
+namespace rnoc::baselines {
+namespace {
+
+TEST(GroupModel, MinFaultsAnyGroup) {
+  GroupModel m;
+  m.groups = {{4, 2}, {6, 3}};
+  EXPECT_EQ(min_faults_to_failure(m), 2);
+}
+
+TEST(GroupModel, MinFaultsAllGroups) {
+  GroupModel m;
+  m.groups = {{4, 2}, {6, 3}};
+  m.rule = FailureRule::AllGroups;
+  EXPECT_EQ(min_faults_to_failure(m), 5);
+}
+
+TEST(GroupModel, MaxToleratedAnyGroup) {
+  GroupModel m;
+  m.groups = {{4, 2}, {6, 3}};
+  // 1 + 2 faults keep every group below threshold.
+  EXPECT_EQ(max_faults_tolerated(m), 3);
+}
+
+TEST(GroupModel, MaxToleratedAllGroups) {
+  GroupModel m;
+  m.groups = {{4, 2}, {6, 3}};
+  m.rule = FailureRule::AllGroups;
+  // Saturate the 4-site group (4) and keep the other at threshold-1 = 2;
+  // total sites 10, best slack 6-2=4 -> 6.
+  EXPECT_EQ(max_faults_tolerated(m), 6);
+}
+
+TEST(GroupModel, McWithinBounds) {
+  GroupModel m;
+  m.groups = {{4, 2}, {6, 3}};
+  const auto stats = mc_faults_to_failure(m, 5000, 1);
+  EXPECT_GE(stats.min(), static_cast<double>(min_faults_to_failure(m)));
+  EXPECT_LE(stats.max(), static_cast<double>(max_faults_tolerated(m) + 1));
+}
+
+TEST(GroupModel, McDeterministic) {
+  GroupModel m;
+  m.groups = {{5, 3}};
+  EXPECT_DOUBLE_EQ(mc_faults_to_failure(m, 1000, 7).mean(),
+                   mc_faults_to_failure(m, 1000, 7).mean());
+}
+
+TEST(GroupModel, SingleGroupExactThreshold) {
+  // One group, threshold == size: failure exactly at `size` faults.
+  GroupModel m;
+  m.groups = {{5, 5}};
+  const auto stats = mc_faults_to_failure(m, 500, 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+}
+
+TEST(GroupModel, RejectsBadShapes) {
+  GroupModel m;
+  m.groups = {{2, 3}};  // threshold > size
+  EXPECT_THROW(mc_faults_to_failure(m, 10, 1), std::invalid_argument);
+  GroupModel empty;
+  EXPECT_THROW(min_faults_to_failure(empty), std::invalid_argument);
+}
+
+// ---------- Published rows (paper Table III) ----------
+
+TEST(TableIII, PublishedValues) {
+  const PublishedRow bp = bulletproof_published();
+  EXPECT_DOUBLE_EQ(bp.area_overhead, 0.52);
+  EXPECT_DOUBLE_EQ(bp.faults_to_failure, 3.15);
+  EXPECT_DOUBLE_EQ(bp.spf, 2.07);
+  EXPECT_DOUBLE_EQ(vicis_published_area(), 0.42);
+  EXPECT_DOUBLE_EQ(vicis_published_ftf(), 9.3);
+  EXPECT_DOUBLE_EQ(vicis_published_spf(), 6.55);
+  EXPECT_DOUBLE_EQ(roco_published_ftf(), 5.5);
+}
+
+TEST(TableIII, ProposedBeatsAllBaselines) {
+  const double proposed = core::analytic_spf(5, 4, 0.31).spf;  // 11.45
+  EXPECT_GT(proposed, vicis_published_spf());
+  EXPECT_GT(proposed, roco_published_spf_upper_bound());
+  EXPECT_GT(proposed, bulletproof_published().spf);
+  // And the published ordering itself: Vicis > RoCo > BulletProof.
+  EXPECT_GT(vicis_published_spf(), bulletproof_published().spf);
+}
+
+// ---------- Structural reconstructions ----------
+
+TEST(BulletProof, ModelNearPublishedFtf) {
+  const auto stats = mc_faults_to_failure(bulletproof_model(), 50000, 1);
+  EXPECT_NEAR(stats.mean(), bulletproof_published().faults_to_failure, 0.4);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);  // both copies of one unit
+}
+
+TEST(BulletProof, ModelSpfNearPublished) {
+  EXPECT_NEAR(bulletproof_model_spf(50000, 1), bulletproof_published().spf,
+              0.35);
+}
+
+TEST(Vicis, ModelNearPublishedFtf) {
+  const auto stats = mc_faults_to_failure(vicis_model(), 50000, 1);
+  EXPECT_NEAR(stats.mean(), vicis_published_ftf(), 1.0);
+}
+
+TEST(Vicis, ModelSpfNearPublished) {
+  EXPECT_NEAR(vicis_model_spf(50000, 1), vicis_published_spf(), 0.8);
+}
+
+TEST(RoCo, ModelNearDeducedFtf) {
+  const auto stats = mc_faults_to_failure(roco_model(), 50000, 1);
+  EXPECT_NEAR(stats.mean(), roco_published_ftf(), 1.0);
+}
+
+TEST(RoCo, RequiresBothModulesToDie) {
+  const GroupModel m = roco_model();
+  EXPECT_EQ(m.rule, FailureRule::AllGroups);
+  EXPECT_EQ(min_faults_to_failure(m), 4);  // 2 per module
+}
+
+}  // namespace
+}  // namespace rnoc::baselines

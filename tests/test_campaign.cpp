@@ -1,0 +1,148 @@
+// Tests for fault/fault_injector and fault/campaign.
+#include <gtest/gtest.h>
+
+#include "core/failure_predicate.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault_injector.hpp"
+#include "traffic/patterns.hpp"
+
+namespace rnoc::fault {
+namespace {
+
+noc::MeshDims dims4{4, 4};
+const FaultGeometry geom{5, 4};
+
+TEST(FaultPlan, EntriesSortedByTime) {
+  FaultPlan plan;
+  plan.add(30, 0, {SiteType::RcPrimary, 0, 0});
+  plan.add(10, 1, {SiteType::XbMux, 1, 0});
+  plan.add(20, 2, {SiteType::Sa1Arbiter, 2, 0});
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.entries()[0].at, 10u);
+  EXPECT_EQ(plan.entries()[1].at, 20u);
+  EXPECT_EQ(plan.entries()[2].at, 30u);
+}
+
+TEST(FaultPlan, RandomTolerablePlansKeepRoutersAlive) {
+  Rng rng(5);
+  const FaultPlan plan = FaultPlan::random(
+      dims4, geom, core::RouterMode::Protected, 48, 1000, rng, true);
+  EXPECT_EQ(plan.size(), 48u);
+  // Re-apply cumulatively: no router may ever trip the failure predicate.
+  std::vector<RouterFaultState> states(16, RouterFaultState(geom));
+  for (const auto& e : plan.entries()) {
+    states[static_cast<std::size_t>(e.router)].inject(e.site);
+    EXPECT_FALSE(core::router_failed(
+        states[static_cast<std::size_t>(e.router)],
+        core::RouterMode::Protected))
+        << to_string(e.site) << " @router " << e.router;
+  }
+}
+
+TEST(FaultPlan, RandomWithinHorizonAndMesh) {
+  Rng rng(6);
+  const FaultPlan plan = FaultPlan::random(
+      dims4, geom, core::RouterMode::Protected, 20, 500, rng, true);
+  for (const auto& e : plan.entries()) {
+    EXPECT_LT(e.at, 500u);
+    EXPECT_GE(e.router, 0);
+    EXPECT_LT(e.router, 16);
+  }
+}
+
+TEST(FaultPlan, PerStageGivesFourFaultsPerRouter) {
+  Rng rng(7);
+  const FaultPlan plan =
+      FaultPlan::per_stage(dims4, geom, {1, 5, 9}, 100, rng);
+  EXPECT_EQ(plan.size(), 12u);
+  int rc = 0, va = 0, sa = 0, xb = 0;
+  for (const auto& e : plan.entries()) {
+    switch (e.site.type) {
+      case SiteType::RcPrimary: ++rc; break;
+      case SiteType::Va1ArbiterSet: ++va; break;
+      case SiteType::Sa1Arbiter: ++sa; break;
+      case SiteType::XbMux: ++xb; break;
+      default: FAIL() << "unexpected site type";
+    }
+  }
+  EXPECT_EQ(rc, 3);
+  EXPECT_EQ(va, 3);
+  EXPECT_EQ(sa, 3);
+  EXPECT_EQ(xb, 3);
+}
+
+TEST(FaultPlan, PerStageSetIsTolerable) {
+  Rng rng(8);
+  std::vector<NodeId> all;
+  for (NodeId n = 0; n < 16; ++n) all.push_back(n);
+  const FaultPlan plan = FaultPlan::per_stage(dims4, geom, all, 10, rng);
+  std::vector<RouterFaultState> states(16, RouterFaultState(geom));
+  for (const auto& e : plan.entries())
+    states[static_cast<std::size_t>(e.router)].inject(e.site);
+  for (const auto& s : states)
+    EXPECT_FALSE(core::router_failed(s, core::RouterMode::Protected));
+}
+
+TEST(FaultInjector, AppliesAtScheduledCycles) {
+  noc::MeshConfig mcfg;
+  mcfg.dims = {2, 2};
+  noc::Mesh mesh(mcfg);
+  FaultPlan plan;
+  plan.add(5, 1, {SiteType::RcPrimary, 0, 0});
+  plan.add(10, 2, {SiteType::XbMux, 3, 0});
+  FaultInjector inj(plan);
+
+  EXPECT_EQ(inj.apply_due(4, mesh), 0);
+  EXPECT_FALSE(mesh.router(1).faults().has(SiteType::RcPrimary, 0));
+  EXPECT_EQ(inj.apply_due(5, mesh), 1);
+  EXPECT_TRUE(mesh.router(1).faults().has(SiteType::RcPrimary, 0));
+  EXPECT_EQ(inj.apply_due(20, mesh), 1);
+  EXPECT_TRUE(mesh.router(2).faults().has(SiteType::XbMux, 3));
+  EXPECT_TRUE(inj.done());
+  EXPECT_EQ(inj.injected(), 2);
+}
+
+TEST(Campaign, ProtectedNetworkSurvivesAndPaysLittle) {
+  CampaignConfig cfg;
+  cfg.sim.mesh.dims = {4, 4};
+  cfg.sim.warmup = 1000;
+  cfg.sim.measure = 4000;
+  cfg.sim.drain_limit = 8000;
+  cfg.runs = 3;
+  cfg.faults_per_run = 12;
+
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.08;
+  auto traffic = std::make_shared<traffic::SyntheticTraffic>(tc);
+
+  const CampaignResult r = run_campaign(cfg, traffic);
+  EXPECT_EQ(r.deadlocked_runs, 0);
+  EXPECT_EQ(r.undelivered_flits, 0u);
+  EXPECT_GT(r.baseline_latency, 0.0);
+  // Faults cost latency, but the network keeps working.
+  EXPECT_GE(r.latency_increase.mean(), -0.02);
+  EXPECT_LT(r.latency_increase.mean(), 0.5);
+}
+
+TEST(Campaign, ProtectionMechanismsActuallyFire) {
+  CampaignConfig cfg;
+  cfg.sim.mesh.dims = {4, 4};
+  cfg.sim.warmup = 500;
+  cfg.sim.measure = 3000;
+  cfg.sim.drain_limit = 8000;
+  cfg.runs = 2;
+  cfg.faults_per_run = 24;
+
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.10;
+  const CampaignResult r =
+      run_campaign(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  const auto& ev = r.protection_events;
+  // With 24 faults over 16 routers, at least some mechanisms must engage.
+  EXPECT_GT(ev.rc_spare_uses + ev.va1_borrows + ev.sa1_bypass_grants +
+                ev.xb_secondary_traversals + ev.va2_retries,
+            0u);
+}
+
+}  // namespace
+}  // namespace rnoc::fault

@@ -1,0 +1,141 @@
+// Behavioral <-> analytic consistency: the live router's delivery behaviour
+// under faults must agree with the failure-predicate model that the SPF and
+// MTTF analyses are built on. Exhaustive over every single fault site, and
+// randomized over multi-fault sets.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/failure_predicate.hpp"
+#include "router_harness.hpp"
+
+namespace rnoc::noc {
+namespace {
+
+using testing::RouterHarness;
+using fault::FaultSite;
+using fault::RouterFaultState;
+using fault::SiteType;
+using core::RouterMode;
+
+const fault::FaultGeometry kGeom{5, 4};
+
+struct Flow {
+  Direction in;   ///< Input port the packet arrives on.
+  Direction out;  ///< Output port it must leave through.
+};
+
+/// Six flows covering every input port and every output port once.
+const Flow kFlows[] = {
+    {Direction::West, Direction::East},  {Direction::East, Direction::West},
+    {Direction::North, Direction::South}, {Direction::South, Direction::North},
+    {Direction::Local, Direction::East},  {Direction::West, Direction::Local},
+};
+
+/// What the analytic model says about one flow under a fault set. The flow's
+/// packet rides VC `vc` of the input port.
+bool protected_flow_expected(const RouterFaultState& f, const Flow& flow) {
+  const int in = port_of(flow.in);
+  const int out = port_of(flow.out);
+  return core::rc_port_ok(f, RouterMode::Protected, in) &&
+         core::va_port_ok(f, RouterMode::Protected, in) &&
+         core::sa_port_ok(f, RouterMode::Protected, in) &&
+         core::output_reachable(f, RouterMode::Protected, out) &&
+         core::va2_output_ok(f, RouterMode::Protected, out);
+}
+
+/// The baseline router has no tolerance: the flow dies iff a fault sits on a
+/// component this specific packet (on VC `vc`) uses.
+bool baseline_flow_expected(const RouterFaultState& f, const Flow& flow,
+                            int vc) {
+  const int in = port_of(flow.in);
+  const int out = port_of(flow.out);
+  if (f.has(SiteType::RcPrimary, in)) return false;
+  if (f.has(SiteType::Va1ArbiterSet, in, vc)) return false;
+  if (f.has(SiteType::Sa1Arbiter, in)) return false;
+  if (f.has(SiteType::Sa2Arbiter, out)) return false;
+  if (f.has(SiteType::XbMux, out)) return false;
+  return true;
+}
+
+/// Runs one flow through a fresh router carrying the given faults; returns
+/// whether the packet was delivered within the window.
+bool run_flow(RouterMode mode, const RouterFaultState& faults,
+              const Flow& flow, int vc) {
+  RouterConfig cfg;
+  cfg.mode = mode;
+  cfg.default_winner_epoch = 1000;
+  RouterHarness h(cfg);
+  for (const auto& site : RouterFaultState::enumerate_sites(kGeom, true))
+    if (faults.has(site)) h.router.faults().inject(site);
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(flow.out), vc, 1);
+  h.send(port_of(flow.in), pkt[0], 0);
+  Cycle now = 1;
+  return h.run_until_output(port_of(flow.out), &now, 60).has_value();
+}
+
+// ---------- Exhaustive single-fault consistency ----------
+
+class SingleFaultConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleFaultConsistency, ProtectedMatchesPredicate) {
+  const auto sites = RouterFaultState::enumerate_sites(kGeom, true);
+  const FaultSite site = sites[static_cast<std::size_t>(GetParam())];
+  RouterFaultState f(kGeom);
+  f.inject(site);
+  for (const Flow& flow : kFlows) {
+    const bool expected = protected_flow_expected(f, flow);
+    const bool delivered = run_flow(RouterMode::Protected, f, flow, 0);
+    EXPECT_EQ(delivered, expected)
+        << to_string(site) << " flow " << direction_name(port_of(flow.in))
+        << "->" << direction_name(port_of(flow.out));
+  }
+}
+
+TEST_P(SingleFaultConsistency, BaselineMatchesComponentUse) {
+  const auto all = RouterFaultState::enumerate_sites(kGeom, true);
+  const FaultSite site = all[static_cast<std::size_t>(GetParam())];
+  // Correction-circuitry sites do not exist on the baseline router.
+  const auto pipeline = RouterFaultState::enumerate_sites(kGeom, false);
+  if (std::find(pipeline.begin(), pipeline.end(), site) == pipeline.end())
+    GTEST_SKIP() << "correction-only site";
+  RouterFaultState f(kGeom);
+  f.inject(site);
+  for (const Flow& flow : kFlows) {
+    const bool expected = baseline_flow_expected(f, flow, 0);
+    const bool delivered = run_flow(RouterMode::Baseline, f, flow, 0);
+    EXPECT_EQ(delivered, expected)
+        << to_string(site) << " flow " << direction_name(port_of(flow.in))
+        << "->" << direction_name(port_of(flow.out));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSites, SingleFaultConsistency,
+                         ::testing::Range(0, 79));
+
+// ---------- Randomized multi-fault consistency ----------
+
+class MultiFaultConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiFaultConsistency, ProtectedMatchesPredicate) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const auto sites = RouterFaultState::enumerate_sites(kGeom, true);
+  RouterFaultState f(kGeom);
+  const int k = 2 + static_cast<int>(rng.next_below(5));
+  for (int i = 0; i < k; ++i)
+    f.inject(sites[static_cast<std::size_t>(rng.next_below(sites.size()))]);
+  for (const Flow& flow : kFlows) {
+    const bool expected = protected_flow_expected(f, flow);
+    const bool delivered = run_flow(RouterMode::Protected, f, flow, 0);
+    EXPECT_EQ(delivered, expected)
+        << "seed " << GetParam() << " faults " << f.count() << " flow "
+        << direction_name(port_of(flow.in)) << "->"
+        << direction_name(port_of(flow.out));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiFaultConsistency,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace rnoc::noc

@@ -1,0 +1,101 @@
+// Direct unit tests for noc/crossbar: traversal validation against fault
+// state for both router modes.
+#include <gtest/gtest.h>
+
+#include "noc/crossbar.hpp"
+
+namespace rnoc::noc {
+namespace {
+
+using fault::SiteType;
+
+StGrant grant(int mux, int out) {
+  StGrant g;
+  g.in_port = 0;
+  g.in_vc = 0;
+  g.out_port = out;
+  g.mux = mux;
+  g.out_vc = 0;
+  return g;
+}
+
+TEST(CrossbarUnit, CleanPrimaryPath) {
+  Crossbar xb(5, core::RouterMode::Protected);
+  fault::RouterFaultState f({5, 4});
+  EXPECT_TRUE(xb.can_traverse(grant(2, 2), f));
+}
+
+TEST(CrossbarUnit, DeadMuxRejects) {
+  Crossbar xb(5, core::RouterMode::Protected);
+  fault::RouterFaultState f({5, 4});
+  f.inject({SiteType::XbMux, 2, 0});
+  EXPECT_FALSE(xb.can_traverse(grant(2, 2), f));
+}
+
+TEST(CrossbarUnit, SecondaryPathValidWiring) {
+  Crossbar xb(5, core::RouterMode::Protected);
+  fault::RouterFaultState f({5, 4});
+  // out2's secondary is mux 1.
+  EXPECT_TRUE(xb.can_traverse(grant(1, 2), f));
+  // mux 3 is NOT wired as out2's secondary.
+  EXPECT_FALSE(xb.can_traverse(grant(3, 2), f));
+}
+
+TEST(CrossbarUnit, SecondaryNeedsDemux) {
+  Crossbar xb(5, core::RouterMode::Protected);
+  fault::RouterFaultState f({5, 4});
+  f.inject({SiteType::XbDemux, 1, 0});
+  EXPECT_FALSE(xb.can_traverse(grant(1, 2), f));
+  // The demux fault does not touch mux 1's native output.
+  EXPECT_TRUE(xb.can_traverse(grant(1, 1), f));
+}
+
+TEST(CrossbarUnit, PSelectGuardsEveryPath) {
+  Crossbar xb(5, core::RouterMode::Protected);
+  fault::RouterFaultState f({5, 4});
+  f.inject({SiteType::XbPSelect, 2, 0});
+  EXPECT_FALSE(xb.can_traverse(grant(2, 2), f));  // primary
+  EXPECT_FALSE(xb.can_traverse(grant(1, 2), f));  // secondary
+}
+
+TEST(CrossbarUnit, BaselineHasNoSecondary) {
+  Crossbar xb(5, core::RouterMode::Baseline);
+  fault::RouterFaultState f({5, 4});
+  EXPECT_TRUE(xb.can_traverse(grant(2, 2), f));
+  EXPECT_FALSE(xb.can_traverse(grant(1, 2), f));  // mux != out: no such path
+}
+
+TEST(CrossbarUnit, BaselineIgnoresCorrectionFaults) {
+  Crossbar xb(5, core::RouterMode::Baseline);
+  fault::RouterFaultState f({5, 4});
+  f.inject({SiteType::XbPSelect, 2, 0});  // does not exist on the baseline
+  EXPECT_TRUE(xb.can_traverse(grant(2, 2), f));
+}
+
+TEST(CrossbarUnit, RejectsOutOfRangeGrant) {
+  Crossbar xb(5, core::RouterMode::Protected);
+  fault::RouterFaultState f({5, 4});
+  EXPECT_THROW(xb.can_traverse(grant(5, 2), f), std::invalid_argument);
+  EXPECT_THROW(xb.can_traverse(grant(2, -1), f), std::invalid_argument);
+}
+
+/// Parameterized: for every output port, the wired secondary mux passes and
+/// every other foreign mux is rejected.
+class CrossbarWiring : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossbarWiring, OnlyTheWiredSecondaryWorks) {
+  const int out = GetParam();
+  Crossbar xb(5, core::RouterMode::Protected);
+  fault::RouterFaultState f({5, 4});
+  const int sec = core::secondary_mux_for_output(out, 5);
+  for (int mux = 0; mux < 5; ++mux) {
+    const bool expected = mux == out || mux == sec;
+    EXPECT_EQ(xb.can_traverse(grant(mux, out), f), expected)
+        << "mux " << mux << " out " << out;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOutputs, CrossbarWiring, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace rnoc::noc

@@ -1,0 +1,134 @@
+// Tests for noc/energy: event accounting, protection-energy attribution and
+// the simulator integration.
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.hpp"
+#include "noc/energy.hpp"
+#include "noc/simulator.hpp"
+#include "traffic/patterns.hpp"
+
+namespace rnoc::noc {
+namespace {
+
+TEST(Energy, ZeroEventsOnlyLeak) {
+  EnergyModel m;
+  RouterStats ev;
+  const EnergyReport r = account_energy(m, ev, 1000, false);
+  EXPECT_DOUBLE_EQ(r.dynamic_pj, 0.0);
+  EXPECT_DOUBLE_EQ(r.protection_pj, 0.0);
+  EXPECT_NEAR(r.leakage_pj, 1000.0 * m.router_leakage_mw, 1e-9);
+}
+
+TEST(Energy, EventEnergiesAdd) {
+  EnergyModel m;
+  RouterStats ev;
+  ev.buffer_writes = 10;
+  ev.flits_traversed = 10;
+  ev.rc_computations = 2;
+  ev.va_allocations = 2;
+  const EnergyReport r = account_energy(m, ev, 0, false);
+  const double expected =
+      10 * m.buffer_write_pj +
+      10 * (m.buffer_read_pj + m.sa_arbitration_pj + m.crossbar_traversal_pj +
+            m.link_hop_pj) +
+      2 * m.rc_compute_pj + 2 * m.va_arbitration_pj;
+  EXPECT_NEAR(r.dynamic_pj, expected, 1e-9);
+  EXPECT_DOUBLE_EQ(r.leakage_pj, 0.0);
+}
+
+TEST(Energy, ProtectionEventsAttributed) {
+  EnergyModel m;
+  RouterStats ev;
+  ev.sa1_transfers = 3;
+  ev.xb_secondary_traversals = 5;
+  const EnergyReport r = account_energy(m, ev, 0, true);
+  EXPECT_NEAR(r.protection_pj,
+              3 * m.vc_transfer_pj + 5 * m.xb_secondary_extra_pj, 1e-9);
+  EXPECT_DOUBLE_EQ(r.dynamic_pj, r.protection_pj);
+}
+
+TEST(Energy, ProtectedModeLeaksMore) {
+  EnergyModel m;
+  RouterStats ev;
+  const double base = account_energy(m, ev, 500, false).leakage_pj;
+  const double prot = account_energy(m, ev, 500, true).leakage_pj;
+  EXPECT_NEAR(prot / base, m.protected_leakage_factor, 1e-9);
+}
+
+TEST(Energy, PerFlitFigure) {
+  EnergyReport r;
+  r.dynamic_pj = 900.0;
+  r.leakage_pj = 100.0;
+  EXPECT_DOUBLE_EQ(r.per_flit_pj(100), 10.0);
+  EXPECT_DOUBLE_EQ(r.per_flit_pj(0), 0.0);
+}
+
+TEST(Energy, RejectsBadClock) {
+  EnergyModel m;
+  m.clock_ghz = 0.0;
+  RouterStats ev;
+  EXPECT_THROW(account_energy(m, ev, 1, false), std::invalid_argument);
+}
+
+TEST(Energy, SimulatorReportsPlausibleEnergy) {
+  SimConfig cfg;
+  cfg.mesh.dims = {4, 4};
+  cfg.warmup = 500;
+  cfg.measure = 3000;
+  cfg.drain_limit = 8000;
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.10;
+  Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  const auto rep = sim.run();
+  EXPECT_GT(rep.energy.dynamic_pj, 0.0);
+  EXPECT_GT(rep.energy.leakage_pj, 0.0);
+  EXPECT_EQ(rep.energy.protection_pj, 0.0);  // fault-free: nothing engaged
+  // Typical 45nm NoC figures land in the 1-100 pJ/flit range.
+  const double per_flit = rep.energy.per_flit_pj(rep.flits_received);
+  EXPECT_GT(per_flit, 1.0);
+  EXPECT_LT(per_flit, 500.0);
+}
+
+TEST(Energy, FaultsCostEnergyToo) {
+  SimConfig cfg;
+  cfg.mesh.dims = {4, 4};
+  cfg.warmup = 500;
+  cfg.measure = 3000;
+  cfg.drain_limit = 8000;
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.10;
+  auto tm = std::make_shared<traffic::SyntheticTraffic>(tc);
+
+  Simulator clean(cfg, tm);
+  const auto clean_rep = clean.run();
+
+  Simulator faulty(cfg, tm);
+  Rng rng(3);
+  faulty.set_fault_plan(fault::FaultPlan::random(
+      cfg.mesh.dims, {kMeshPorts, cfg.mesh.router.vcs},
+      core::RouterMode::Protected, 24, cfg.warmup, rng, true));
+  const auto faulty_rep = faulty.run();
+
+  EXPECT_GT(faulty_rep.energy.protection_pj, 0.0);
+  EXPECT_GT(faulty_rep.energy.per_flit_pj(faulty_rep.flits_received),
+            clean_rep.energy.per_flit_pj(clean_rep.flits_received));
+}
+
+TEST(Energy, StatsCountersFeedEnergy) {
+  SimConfig cfg;
+  cfg.mesh.dims = {2, 2};
+  cfg.warmup = 100;
+  cfg.measure = 1000;
+  cfg.drain_limit = 4000;
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.05;
+  Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  const auto rep = sim.run();
+  // Every buffered flit traverses: writes == traversals in a clean run.
+  EXPECT_EQ(rep.router_events.buffer_writes, rep.router_events.flits_traversed);
+  // Every packet allocates one downstream VC per hop (incl. ejection).
+  EXPECT_GE(rep.router_events.va_allocations, rep.packets_received);
+}
+
+}  // namespace
+}  // namespace rnoc::noc

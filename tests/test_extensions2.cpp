@@ -1,0 +1,206 @@
+// Tests for the second extension batch: bursty traffic, CTMC steady-state
+// availability, and Weibull wear-out in the structural MTTF.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noc/simulator.hpp"
+#include "reliability/markov.hpp"
+#include "reliability/structural_mttf.hpp"
+#include "traffic/bursty.hpp"
+
+namespace rnoc {
+namespace {
+
+// ---------- Rng::next_weibull ----------
+
+TEST(Weibull, ShapeOneIsExponential) {
+  Rng rng(1);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.next_weibull(1.0, 2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Weibull, MeanMatchesGammaFormula) {
+  Rng rng(2);
+  const double shape = 2.0, scale = 3.0;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.next_weibull(shape, scale);
+  EXPECT_NEAR(sum / n, scale * std::tgamma(1.0 + 1.0 / shape), 0.05);
+}
+
+TEST(Weibull, HigherShapeLowerVariance) {
+  Rng rng(3);
+  RunningStats s1, s3;
+  for (int i = 0; i < 20000; ++i) {
+    s1.add(rng.next_weibull(1.0, 1.0));
+    s3.add(rng.next_weibull(3.0, 1.0));
+  }
+  EXPECT_GT(s1.variance(), 3.0 * s3.variance());
+}
+
+// ---------- Bursty traffic ----------
+
+TEST(Bursty, MeanLoadFormula) {
+  traffic::BurstyConfig cfg;
+  cfg.burst_rate = 0.4;
+  cfg.mean_on = 50;
+  cfg.mean_off = 150;
+  EXPECT_NEAR(cfg.mean_load(), 0.1, 1e-12);
+}
+
+TEST(Bursty, LongRunRateMatchesMeanLoad) {
+  traffic::BurstyConfig cfg;
+  cfg.burst_rate = 0.3;
+  cfg.mean_on = 40;
+  cfg.mean_off = 120;
+  cfg.packet_size = 1;
+  traffic::BurstyTraffic t(cfg);
+  t.init(noc::MeshDims{4, 4});
+  Rng rng(7);
+  std::vector<noc::PacketDesc> out;
+  const int cycles = 200000;
+  for (int c = 0; c < cycles; ++c)
+    t.generate(static_cast<Cycle>(c), 0, rng, out);
+  const double rate = static_cast<double>(out.size()) / cycles;
+  EXPECT_NEAR(rate, cfg.mean_load(), 0.015);
+}
+
+TEST(Bursty, PhasesAlternate) {
+  traffic::BurstyConfig cfg;
+  cfg.mean_on = 10;
+  cfg.mean_off = 10;
+  traffic::BurstyTraffic t(cfg);
+  t.init(noc::MeshDims{2, 2});
+  Rng rng(9);
+  std::vector<noc::PacketDesc> out;
+  int transitions = 0;
+  bool prev = t.is_on(0);
+  for (int c = 0; c < 2000; ++c) {
+    t.generate(static_cast<Cycle>(c), 0, rng, out);
+    if (t.is_on(0) != prev) {
+      ++transitions;
+      prev = t.is_on(0);
+    }
+  }
+  EXPECT_GT(transitions, 50);  // ~2000/10 expected
+}
+
+TEST(Bursty, BurstierTrafficHasWorseTailAtEqualLoad) {
+  auto run = [](bool bursty) {
+    noc::SimConfig cfg;
+    cfg.mesh.dims = {4, 4};
+    cfg.warmup = 1000;
+    cfg.measure = 12000;
+    cfg.drain_limit = 30000;
+    std::shared_ptr<traffic::TrafficModel> tm;
+    if (bursty) {
+      traffic::BurstyConfig bc;
+      bc.burst_rate = 0.45;
+      bc.mean_on = 60;
+      bc.mean_off = 210;  // mean load = 0.45*60/270 = 0.10
+      tm = std::make_shared<traffic::BurstyTraffic>(bc);
+    } else {
+      traffic::SyntheticConfig sc;
+      sc.injection_rate = 0.10;
+      tm = std::make_shared<traffic::SyntheticTraffic>(sc);
+    }
+    noc::Simulator sim(cfg, tm);
+    return sim.run();
+  };
+  const auto smooth = run(false);
+  const auto burst = run(true);
+  EXPECT_EQ(burst.undelivered_flits, 0u);
+  // Same average load, materially worse p99.
+  EXPECT_GT(burst.latency_percentile(0.99),
+            1.15 * smooth.latency_percentile(0.99));
+}
+
+TEST(Bursty, RejectsBadConfig) {
+  traffic::BurstyConfig cfg;
+  cfg.burst_rate = 0.0;
+  EXPECT_THROW(traffic::BurstyTraffic{cfg}, std::invalid_argument);
+  cfg.burst_rate = 0.5;
+  cfg.mean_on = 0.5;
+  EXPECT_THROW(traffic::BurstyTraffic{cfg}, std::invalid_argument);
+}
+
+// ---------- CTMC steady state / availability ----------
+
+TEST(SteadyState, TwoStateChain) {
+  // 0 <-> 1 with rates a=2 (0->1), b=3 (1->0): pi = (b, a)/(a+b).
+  rel::Ctmc c({{0, 2}, {3, 0}});
+  const auto pi = c.steady_state();
+  EXPECT_NEAR(pi[0], 0.6, 1e-12);
+  EXPECT_NEAR(pi[1], 0.4, 1e-12);
+}
+
+TEST(SteadyState, SumsToOne) {
+  rel::Ctmc c({{0, 1, 2}, {3, 0, 1}, {2, 2, 0}});
+  const auto pi = c.steady_state();
+  double sum = 0.0;
+  for (double p : pi) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SteadyState, RejectsAbsorbingChain) {
+  rel::Ctmc c({{0, 1}, {0, 0}});
+  EXPECT_THROW(c.steady_state(), std::invalid_argument);
+}
+
+TEST(Availability, FastRepairApproachesOne) {
+  const double l1 = 2822e-9, l2 = 646e-9;
+  const double slow = rel::parallel_repair_availability(l1, l2, 1e-6);
+  const double fast = rel::parallel_repair_availability(l1, l2, 1e-2);
+  EXPECT_GT(fast, slow);
+  EXPECT_GT(fast, 0.999999);
+  EXPECT_LT(fast, 1.0);
+}
+
+TEST(Availability, MonotoneInFailureRate) {
+  EXPECT_GT(rel::parallel_repair_availability(1e-6, 1e-6, 1e-3),
+            rel::parallel_repair_availability(1e-4, 1e-4, 1e-3));
+}
+
+// ---------- Weibull structural MTTF ----------
+
+TEST(WeibullMttf, WearOutDelaysTheFirstFailure) {
+  // Per-site means are pinned to their FITs, and the baseline dies at the
+  // first of its 60 site failures. The min of n Weibull(k) lifetimes scales
+  // as n^(-1/k) (vs n^-1 for exponential), so wear-out hazards push the
+  // first failure out by roughly n^(1-1/k)/Gamma-ish — about 5-6x at k=2.
+  rel::StructuralMttfConfig e, w;
+  e.mode = w.mode = core::RouterMode::Baseline;
+  e.trials = w.trials = 8000;
+  w.weibull_shape = 2.0;
+  const double me = rel::structural_mttf(e).lifetime_hours.mean();
+  const double mw = rel::structural_mttf(w).lifetime_hours.mean();
+  EXPECT_GT(mw, 3.0 * me);
+  EXPECT_LT(mw, 10.0 * me);
+}
+
+TEST(WeibullMttf, WearOutShrinksImprovement) {
+  auto improvement = [](double shape) {
+    rel::StructuralMttfConfig base, prot;
+    base.mode = core::RouterMode::Baseline;
+    base.trials = prot.trials = 8000;
+    base.weibull_shape = prot.weibull_shape = shape;
+    return rel::structural_mttf(prot).lifetime_hours.mean() /
+           rel::structural_mttf(base).lifetime_hours.mean();
+  };
+  EXPECT_GT(improvement(1.0), improvement(3.0));
+}
+
+TEST(WeibullMttf, RejectsBadShape) {
+  rel::StructuralMttfConfig cfg;
+  cfg.weibull_shape = 0.0;
+  EXPECT_THROW(rel::structural_mttf(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rnoc

@@ -1,0 +1,183 @@
+// Tests for the fault-framework extensions: transient faults, FIT-weighted
+// injection plans, and the latency percentiles added to the sim report.
+#include <gtest/gtest.h>
+
+#include "core/failure_predicate.hpp"
+#include "fault/fault_injector.hpp"
+#include "noc/simulator.hpp"
+#include "reliability/site_fit.hpp"
+#include "router_harness.hpp"
+#include "traffic/patterns.hpp"
+
+namespace rnoc::fault {
+namespace {
+
+const FaultGeometry geom{5, 4};
+const noc::MeshDims dims4{4, 4};
+
+TEST(FaultModelRemove, RemoveClearsSite) {
+  RouterFaultState s(geom);
+  s.inject({SiteType::XbMux, 1, 0});
+  EXPECT_TRUE(s.remove({SiteType::XbMux, 1, 0}));
+  EXPECT_FALSE(s.has(SiteType::XbMux, 1));
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_FALSE(s.remove({SiteType::XbMux, 1, 0}));  // already clear
+}
+
+TEST(TransientFaults, InjectorExpiresThem) {
+  noc::MeshConfig mcfg;
+  mcfg.dims = {2, 2};
+  noc::Mesh mesh(mcfg);
+  FaultPlan plan;
+  plan.add(10, 1, {SiteType::XbMux, 2, 0}, /*duration=*/5);
+  FaultInjector inj(plan);
+
+  inj.apply_due(9, mesh);
+  EXPECT_FALSE(mesh.router(1).faults().has(SiteType::XbMux, 2));
+  inj.apply_due(10, mesh);
+  EXPECT_TRUE(mesh.router(1).faults().has(SiteType::XbMux, 2));
+  inj.apply_due(14, mesh);
+  EXPECT_TRUE(mesh.router(1).faults().has(SiteType::XbMux, 2));
+  inj.apply_due(15, mesh);
+  EXPECT_FALSE(mesh.router(1).faults().has(SiteType::XbMux, 2));
+  EXPECT_EQ(inj.expired(), 1);
+  EXPECT_TRUE(inj.done());
+}
+
+TEST(TransientFaults, RouterRecoversPrimaryPath) {
+  // A transient crossbar-mux fault forces the secondary path only while it
+  // lasts; afterwards traffic rides the primary mux again.
+  noc::testing::RouterHarness h;
+  const int east = noc::port_of(noc::Direction::East);
+  h.router.faults().inject({SiteType::XbMux, east, 0});
+  auto pkt = noc::testing::RouterHarness::make_packet(
+      1, noc::testing::RouterHarness::dst_for(noc::Direction::East), 0, 1);
+  h.send(noc::port_of(noc::Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  ASSERT_TRUE(h.run_until_output(east, &now, 20));
+  const auto secondary_before = h.router.stats().xb_secondary_traversals;
+  EXPECT_GE(secondary_before, 1u);
+
+  // "Repair" (transient expiry) and send another packet on a fresh VC.
+  h.router.faults().remove({SiteType::XbMux, east, 0});
+  pkt = noc::testing::RouterHarness::make_packet(
+      2, noc::testing::RouterHarness::dst_for(noc::Direction::East), 1, 1);
+  h.send(noc::port_of(noc::Direction::West), pkt[0], now);
+  ++now;
+  ASSERT_TRUE(h.run_until_output(east, &now, 20));
+  EXPECT_EQ(h.router.stats().xb_secondary_traversals, secondary_before);
+}
+
+TEST(TransientFaults, BurstPlanShape) {
+  Rng rng(3);
+  const auto plan = FaultPlan::transient_burst(dims4, geom, 25, 1000, 50, rng);
+  EXPECT_EQ(plan.size(), 25u);
+  for (const auto& e : plan.entries()) {
+    EXPECT_LT(e.at, 1000u);
+    EXPECT_EQ(e.duration, 50u);
+  }
+}
+
+TEST(TransientFaults, NetworkSurvivesBurst) {
+  noc::SimConfig cfg;
+  cfg.mesh.dims = {4, 4};
+  cfg.warmup = 500;
+  cfg.measure = 3000;
+  cfg.drain_limit = 8000;
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.08;
+  noc::Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  Rng rng(5);
+  sim.set_fault_plan(FaultPlan::transient_burst(
+      cfg.mesh.dims, geom, 60, cfg.warmup + cfg.measure, 100, rng));
+  const auto rep = sim.run();
+  // Transients clear on their own; even untolerated combinations only stall
+  // traffic temporarily.
+  EXPECT_FALSE(rep.deadlock_suspected);
+  EXPECT_EQ(rep.undelivered_flits, 0u);
+  EXPECT_EQ(rep.faults_injected, 60);
+}
+
+TEST(FitWeighted, PlanRespectsWeights) {
+  // Give all the weight to XbMux sites: every placement must be an XbMux.
+  std::vector<FaultPlan::WeightedSiteRef> refs;
+  for (const auto& s : RouterFaultState::enumerate_sites(geom, false))
+    refs.push_back({s, s.type == SiteType::XbMux ? 1.0 : 0.0});
+  Rng rng(7);
+  const auto plan = FaultPlan::fit_weighted(
+      dims4, geom, core::RouterMode::Protected, refs, 10, 100, rng, true);
+  EXPECT_EQ(plan.size(), 10u);
+  for (const auto& e : plan.entries())
+    EXPECT_EQ(e.site.type, SiteType::XbMux);
+}
+
+TEST(FitWeighted, TableWeightsFavourHighFitSites) {
+  rel::RouterGeometry rg;
+  std::vector<FaultPlan::WeightedSiteRef> refs;
+  for (const auto& ws :
+       rel::weighted_sites(rg, rel::paper_calibrated_params(), false))
+    refs.push_back({ws.site, ws.fit});
+  Rng rng(11);
+  const auto plan = FaultPlan::fit_weighted(
+      noc::MeshDims{8, 8}, geom, core::RouterMode::Protected, refs, 200, 1000,
+      rng, true);
+  int xb = 0;
+  for (const auto& e : plan.entries())
+    if (e.site.type == SiteType::XbMux) ++xb;
+  // XbMux carries 1024/2822.5 of the FIT but is only 5/60 of the sites:
+  // weighted draws must hit it far more often than uniform (which would
+  // give ~17 of 200).
+  EXPECT_GT(xb, 40);
+}
+
+TEST(FitWeighted, TolerableOnlyKeepsRoutersAlive) {
+  rel::RouterGeometry rg;
+  std::vector<FaultPlan::WeightedSiteRef> refs;
+  for (const auto& ws :
+       rel::weighted_sites(rg, rel::paper_calibrated_params(), false))
+    refs.push_back({ws.site, ws.fit});
+  Rng rng(13);
+  const auto plan = FaultPlan::fit_weighted(
+      dims4, geom, core::RouterMode::Protected, refs, 40, 100, rng, true);
+  std::vector<RouterFaultState> states(16, RouterFaultState(geom));
+  for (const auto& e : plan.entries()) {
+    states[static_cast<std::size_t>(e.router)].inject(e.site);
+    EXPECT_FALSE(core::router_failed(
+        states[static_cast<std::size_t>(e.router)],
+        core::RouterMode::Protected));
+  }
+}
+
+TEST(FitWeighted, RejectsDegenerateWeights) {
+  std::vector<FaultPlan::WeightedSiteRef> refs = {
+      {{SiteType::XbMux, 0, 0}, 0.0}};
+  Rng rng(1);
+  EXPECT_THROW(FaultPlan::fit_weighted(dims4, geom,
+                                       core::RouterMode::Protected, refs, 1,
+                                       100, rng, false),
+               std::invalid_argument);
+}
+
+TEST(LatencyPercentiles, OrderedAndNearMean) {
+  noc::SimConfig cfg;
+  cfg.mesh.dims = {4, 4};
+  cfg.warmup = 500;
+  cfg.measure = 4000;
+  cfg.drain_limit = 8000;
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.10;
+  noc::Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  const auto rep = sim.run();
+  const double p50 = rep.latency_percentile(0.50);
+  const double p95 = rep.latency_percentile(0.95);
+  const double p99 = rep.latency_percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 0.0);
+  // The median sits near the mean for this mild load.
+  EXPECT_NEAR(p50, rep.avg_total_latency(), 0.5 * rep.avg_total_latency());
+  EXPECT_EQ(rep.latency_hist.total(), rep.total_latency.count());
+}
+
+}  // namespace
+}  // namespace rnoc::fault

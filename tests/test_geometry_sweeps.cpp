@@ -1,0 +1,163 @@
+// Cross-module property tests over router geometries: the FIT library,
+// synthesis model, SPF analysis and structural MTTF must stay mutually
+// consistent as ports/VCs scale — these are the invariants the VC-sweep
+// bench (A1) relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/spf_analysis.hpp"
+#include "core/spf_montecarlo.hpp"
+#include "reliability/fit.hpp"
+#include "reliability/mttf.hpp"
+#include "reliability/site_fit.hpp"
+#include "reliability/structural_mttf.hpp"
+#include "synthesis/router_netlists.hpp"
+#include "synthesis/timing.hpp"
+
+namespace rnoc {
+namespace {
+
+using Geometry = std::tuple<int, int>;  // (ports, vcs)
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry> {
+ protected:
+  rel::RouterGeometry geom() const {
+    rel::RouterGeometry g;
+    g.ports = std::get<0>(GetParam());
+    g.vcs = std::get<1>(GetParam());
+    return g;
+  }
+  rel::TddbParams params = rel::paper_calibrated_params();
+};
+
+TEST_P(GeometrySweep, FitTablesArePositiveAndFinite) {
+  const auto g = geom();
+  const auto base = rel::baseline_stage_fits(g, params);
+  const auto corr = rel::correction_stage_fits(g, params);
+  for (double f : {base.rc, base.va, base.sa, base.xb, corr.rc, corr.va,
+                   corr.sa, corr.xb}) {
+    EXPECT_GT(f, 0.0);
+    EXPECT_TRUE(std::isfinite(f));
+  }
+}
+
+TEST_P(GeometrySweep, CorrectionFitBelowBaselineFit) {
+  const auto g = geom();
+  EXPECT_LT(rel::correction_stage_fits(g, params).total(),
+            rel::baseline_stage_fits(g, params).total());
+}
+
+TEST_P(GeometrySweep, MttfImprovementAlwaysAboveFour) {
+  const auto rep = rel::mttf_report(geom(), params, false);
+  EXPECT_GT(rep.improvement, 4.0);
+  // Big geometries protect relatively more (allocator FIT grows much faster
+  // than the per-VC correction state), e.g. ~17x at 8 ports / 8 VCs.
+  EXPECT_LT(rep.improvement, 25.0);
+}
+
+TEST_P(GeometrySweep, SynthesisOverheadsInPlausibleBand) {
+  const auto rep = synth::synthesize(geom());
+  EXPECT_GT(rep.area_overhead, 0.05);
+  EXPECT_LT(rep.area_overhead, 0.8);
+  EXPECT_GT(rep.power_overhead, 0.05);
+  EXPECT_LT(rep.power_overhead, 0.8);
+}
+
+TEST_P(GeometrySweep, SpfConsistentWithInventory) {
+  const auto g = geom();
+  const auto a = core::analytic_spf(g.ports, g.vcs, 0.31);
+  EXPECT_EQ(a.min_faults_to_failure, 2);
+  EXPECT_EQ(a.max_faults_tolerated, g.ports * (g.vcs + 1) + 2);
+  EXPECT_GT(a.spf, 0.0);
+}
+
+TEST_P(GeometrySweep, SiteFitsCoverTableOne) {
+  const auto g = geom();
+  const auto sites = rel::weighted_sites(g, params, false);
+  EXPECT_NEAR(rel::total_site_fit(sites),
+              rel::baseline_stage_fits(g, params).total(), 1e-6);
+}
+
+TEST_P(GeometrySweep, McSpfWithinStructuralBounds) {
+  const auto g = geom();
+  core::SpfMcConfig cfg;
+  cfg.geometry = {g.ports, g.vcs};
+  cfg.trials = 3000;
+  const auto r = core::monte_carlo_spf(cfg);
+  EXPECT_GE(r.faults_to_failure.min(), 1.0);
+  const auto all_sites = fault::RouterFaultState::enumerate_sites(
+      {g.ports, g.vcs}, true);
+  EXPECT_LE(r.faults_to_failure.max(),
+            static_cast<double>(all_sites.size()));
+}
+
+TEST_P(GeometrySweep, TimingOverheadsBounded) {
+  const auto t = synth::critical_path_report(geom());
+  for (const synth::StageTiming* s : {&t.rc, &t.va, &t.sa, &t.xb}) {
+    EXPECT_GE(s->overhead(), 0.0);
+    EXPECT_LT(s->overhead(), 0.40);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PortVcGrid, GeometrySweep,
+    ::testing::Values(Geometry{5, 2}, Geometry{5, 3}, Geometry{5, 4},
+                      Geometry{5, 6}, Geometry{5, 8}, Geometry{4, 4},
+                      Geometry{6, 4}, Geometry{7, 2}, Geometry{8, 8}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "v" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Monotonicity sweeps across the VC axis at fixed radix.
+TEST(GeometryTrends, BaselineFitGrowsWithVcs) {
+  const auto p = rel::paper_calibrated_params();
+  double prev = 0.0;
+  for (int v : {2, 3, 4, 6, 8}) {
+    rel::RouterGeometry g;
+    g.vcs = v;
+    const double total = rel::baseline_stage_fits(g, p).total();
+    EXPECT_GT(total, prev);
+    prev = total;
+  }
+}
+
+TEST(GeometryTrends, AnalyticSpfGrowsWithVcsAtSynthesizedOverhead) {
+  double prev = 0.0;
+  for (int v : {2, 3, 4, 6, 8}) {
+    rel::RouterGeometry g;
+    g.vcs = v;
+    const double overhead = synth::synthesize(g).area_overhead_with_detection;
+    const double spf = core::analytic_spf(5, v, overhead).spf;
+    EXPECT_GT(spf, prev) << "vcs=" << v;
+    prev = spf;
+  }
+}
+
+TEST(GeometryTrends, StructuralMttfImprovesWithVcs) {
+  double prev = 0.0;
+  for (int v : {2, 4, 8}) {
+    rel::StructuralMttfConfig cfg;
+    cfg.geometry.vcs = v;
+    cfg.trials = 4000;
+    const double mttf = rel::structural_mttf(cfg).lifetime_hours.mean();
+    EXPECT_GT(mttf, prev) << "vcs=" << v;
+    prev = mttf;
+  }
+}
+
+TEST(GeometryTrends, ComparatorWidthTracksMeshSize) {
+  rel::RouterGeometry small{}, big{};
+  small.mesh_x = small.mesh_y = 4;   // 16 nodes -> 4 bits
+  big.mesh_x = big.mesh_y = 16;      // 256 nodes -> 8 bits
+  EXPECT_EQ(small.comparator_bits(), 4);
+  EXPECT_EQ(big.comparator_bits(), 8);
+  const auto p = rel::paper_calibrated_params();
+  EXPECT_LT(rel::baseline_stage_fits(small, p).rc,
+            rel::baseline_stage_fits(big, p).rc);
+}
+
+}  // namespace
+}  // namespace rnoc

@@ -1,0 +1,222 @@
+// Tests for noc/link, noc/mesh and noc/network_interface: wiring, flow
+// control across routers, end-to-end delivery.
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hpp"
+
+namespace rnoc::noc {
+namespace {
+
+Flit flit_of(PacketId id, NodeId src, NodeId dst, int vc) {
+  Flit f;
+  f.type = FlitType::HeadTail;
+  f.packet = id;
+  f.src = src;
+  f.dst = dst;
+  f.vc = vc;
+  return f;
+}
+
+TEST(Link, LatencyOneCycle) {
+  Link l(1);
+  l.push_flit(flit_of(1, 0, 1, 0), 10);
+  EXPECT_FALSE(l.take_flit(10).has_value());
+  const auto f = l.take_flit(11);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->packet, 1u);
+  EXPECT_FALSE(l.take_flit(12).has_value());
+}
+
+TEST(Link, ConfigurableLatency) {
+  Link l(3);
+  l.push_flit(flit_of(1, 0, 1, 0), 0);
+  EXPECT_FALSE(l.take_flit(2).has_value());
+  EXPECT_TRUE(l.take_flit(3).has_value());
+}
+
+TEST(Link, PreservesOrder) {
+  Link l(1);
+  l.push_flit(flit_of(1, 0, 1, 0), 0);
+  l.push_flit(flit_of(2, 0, 1, 0), 1);
+  EXPECT_EQ(l.take_flit(2)->packet, 1u);
+  EXPECT_EQ(l.take_flit(2)->packet, 2u);
+}
+
+TEST(Link, RejectsTwoFlitsPerCycle) {
+  Link l(1);
+  l.push_flit(flit_of(1, 0, 1, 0), 5);
+  EXPECT_THROW(l.push_flit(flit_of(2, 0, 1, 0), 5), std::invalid_argument);
+}
+
+TEST(Link, CreditsTravelIndependently) {
+  Link l(1);
+  l.push_credit({2, true}, 7);
+  EXPECT_FALSE(l.take_credit(7).has_value());
+  const auto c = l.take_credit(8);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->vc, 2);
+  EXPECT_TRUE(c->vc_free);
+}
+
+TEST(Link, IdleTracksOccupancy) {
+  Link l(1);
+  EXPECT_TRUE(l.idle());
+  l.push_flit(flit_of(1, 0, 1, 0), 0);
+  EXPECT_FALSE(l.idle());
+  (void)l.take_flit(1);
+  EXPECT_TRUE(l.idle());
+}
+
+TEST(Mesh, RejectsTooSmall) {
+  MeshConfig cfg;
+  cfg.dims = {1, 4};
+  EXPECT_THROW(Mesh m(cfg), std::invalid_argument);
+}
+
+TEST(Mesh, NodeAccessors) {
+  MeshConfig cfg;
+  cfg.dims = {3, 3};
+  Mesh m(cfg);
+  EXPECT_EQ(m.nodes(), 9);
+  EXPECT_EQ(m.router(4).id(), 4);
+  EXPECT_EQ(m.ni(4).node(), 4);
+  EXPECT_THROW(m.router(9), std::invalid_argument);
+}
+
+TEST(NetworkInterface, RejectsBadPackets) {
+  MeshConfig cfg;
+  cfg.dims = {2, 2};
+  Mesh m(cfg);
+  PacketDesc p;
+  p.src = 1;  // wrong source
+  p.dst = 2;
+  EXPECT_THROW(m.ni(0).enqueue(p), std::invalid_argument);
+  p.src = 0;
+  p.dst = 0;  // self-addressed
+  EXPECT_THROW(m.ni(0).enqueue(p), std::invalid_argument);
+}
+
+TEST(Mesh, SinglePacketEndToEnd) {
+  MeshConfig cfg;
+  cfg.dims = {4, 4};
+  Mesh m(cfg);
+  PacketDesc p;
+  p.id = 1;
+  p.src = 0;
+  p.dst = 15;  // corner to corner: 6 hops
+  p.size_flits = 3;
+  p.created = 0;
+  m.ni(0).enqueue(p);
+  for (Cycle now = 0; now < 100; ++now) m.step(now);
+  EXPECT_EQ(m.ni(15).stats().packets_received, 1u);
+  EXPECT_EQ(m.ni(15).stats().flits_received, 3u);
+  EXPECT_EQ(m.flits_in_network(), 0);
+}
+
+TEST(Mesh, LatencyScalesWithHops) {
+  MeshConfig cfg;
+  cfg.dims = {4, 4};
+
+  auto run_one = [&](NodeId dst) {
+    Mesh m(cfg);
+    m.ni(0).set_measure_window(0, kNeverCycle);
+    PacketDesc p;
+    p.id = 1;
+    p.src = 0;
+    p.dst = dst;
+    p.size_flits = 1;
+    m.ni(0).enqueue(p);
+    for (Cycle now = 0; now < 100; ++now) m.step(now);
+    m.ni(dst).set_measure_window(0, kNeverCycle);
+    return m.ni(dst).stats();
+  };
+
+  // Can't read latency without measure window set before delivery; redo
+  // with windows installed from the start.
+  auto latency_to = [&](NodeId dst) {
+    Mesh m(cfg);
+    for (NodeId n = 0; n < m.nodes(); ++n)
+      m.ni(n).set_measure_window(0, kNeverCycle);
+    PacketDesc p;
+    p.id = 1;
+    p.src = 0;
+    p.dst = dst;
+    p.size_flits = 1;
+    m.ni(0).enqueue(p);
+    for (Cycle now = 0; now < 100; ++now) m.step(now);
+    EXPECT_EQ(m.ni(dst).stats().packets_received, 1u);
+    return m.ni(dst).stats().total_latency.mean();
+  };
+  (void)run_one;
+
+  const double one_hop = latency_to(1);
+  const double six_hops = latency_to(15);
+  EXPECT_GT(one_hop, 0.0);
+  // Each extra hop adds the 4 pipeline stages; the 1-cycle link overlaps
+  // with the next router's buffer write.
+  EXPECT_NEAR(six_hops - one_hop, 5.0 * 4.0, 1e-9);
+}
+
+TEST(Mesh, ManyPacketsAllDelivered) {
+  MeshConfig cfg;
+  cfg.dims = {3, 3};
+  Mesh m(cfg);
+  PacketId id = 1;
+  for (NodeId s = 0; s < m.nodes(); ++s) {
+    for (NodeId d = 0; d < m.nodes(); ++d) {
+      if (s == d) continue;
+      PacketDesc p;
+      p.id = id++;
+      p.src = s;
+      p.dst = d;
+      p.size_flits = 2;
+      m.ni(s).enqueue(p);
+    }
+  }
+  for (Cycle now = 0; now < 2000; ++now) m.step(now);
+  std::uint64_t received = 0;
+  for (NodeId n = 0; n < m.nodes(); ++n)
+    received += m.ni(n).stats().packets_received;
+  EXPECT_EQ(received, 72u);
+  EXPECT_EQ(m.flits_in_network(), 0);
+}
+
+TEST(Mesh, PacketsOnSameVcArriveInOrder) {
+  MeshConfig cfg;
+  cfg.dims = {2, 2};
+  Mesh m(cfg);
+  for (PacketId id = 1; id <= 5; ++id) {
+    PacketDesc p;
+    p.id = id;
+    p.src = 0;
+    p.dst = 3;
+    p.size_flits = 2;
+    m.ni(0).enqueue(p);
+  }
+  std::vector<PacketId> order;
+  m.ni(3).set_delivery_hook([&](const Flit& tail, Cycle) {
+    order.push_back(tail.packet);
+  });
+  for (Cycle now = 0; now < 500; ++now) m.step(now);
+  ASSERT_EQ(order.size(), 5u);
+  // The NI serializes packets, so delivery order matches issue order.
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i + 1);
+}
+
+TEST(Mesh, AggregateStatsCountAllTraversals) {
+  MeshConfig cfg;
+  cfg.dims = {2, 2};
+  Mesh m(cfg);
+  PacketDesc p;
+  p.id = 1;
+  p.src = 0;
+  p.dst = 3;  // 2 hops; the destination router's ejection is a traversal
+              // too, so each flit crosses 3 crossbars.
+  p.size_flits = 4;
+  m.ni(0).enqueue(p);
+  for (Cycle now = 0; now < 100; ++now) m.step(now);
+  EXPECT_EQ(m.aggregate_router_stats().flits_traversed, 12u);
+}
+
+}  // namespace
+}  // namespace rnoc::noc

@@ -1,0 +1,199 @@
+// Direct unit tests for the network interface: injection flow control,
+// credit handling, packet serialization and measurement windows.
+#include <gtest/gtest.h>
+
+#include "noc/link.hpp"
+#include "noc/network_interface.hpp"
+
+namespace rnoc::noc {
+namespace {
+
+struct NiRig {
+  NiRig() : ni(0, NiConfig{4, 4}) { ni.attach(&to_router, &from_router); }
+
+  PacketDesc packet(PacketId id, int flits, NodeId dst = 3, Cycle created = 0) {
+    PacketDesc p;
+    p.id = id;
+    p.src = 0;
+    p.dst = dst;
+    p.size_flits = flits;
+    p.created = created;
+    return p;
+  }
+
+  /// Delivers a flit to the NI as if the router ejected it.
+  void eject(const Flit& f, Cycle now) { from_router.push_flit(f, now); }
+
+  NetworkInterface ni;
+  Link to_router;
+  Link from_router;
+};
+
+Flit tail(PacketId id, int vc, Cycle created = 0, Cycle injected = 0) {
+  Flit f;
+  f.type = FlitType::HeadTail;
+  f.packet = id;
+  f.src = 3;
+  f.dst = 0;
+  f.vc = vc;
+  f.created = created;
+  f.injected = injected;
+  return f;
+}
+
+TEST(NetworkInterfaceUnit, InjectsHeadOnFreeVc) {
+  NiRig rig;
+  rig.ni.enqueue(rig.packet(1, 3));
+  rig.ni.step(0);
+  const auto f = rig.to_router.take_flit(1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FlitType::Head);
+  EXPECT_EQ(f->vc, 0);
+  EXPECT_EQ(f->packet, 1u);
+  EXPECT_EQ(f->size, 3);
+}
+
+TEST(NetworkInterfaceUnit, OneFlitPerCycle) {
+  NiRig rig;
+  rig.ni.enqueue(rig.packet(1, 3));
+  for (Cycle c = 0; c < 3; ++c) rig.ni.step(c);
+  int n = 0;
+  for (Cycle c = 1; c <= 4; ++c)
+    if (rig.to_router.take_flit(c)) ++n;
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(rig.ni.stats().flits_injected, 3u);
+  EXPECT_EQ(rig.ni.stats().packets_injected, 1u);
+}
+
+TEST(NetworkInterfaceUnit, StallsWithoutCredits) {
+  NiRig rig;
+  rig.ni.enqueue(rig.packet(1, 8));  // longer than the 4 credits per VC
+  int sent = 0;
+  Cycle now = 0;
+  for (; now < 20; ++now) {
+    rig.ni.step(now);
+    if (rig.to_router.take_flit(now + 1)) ++sent;
+  }
+  EXPECT_EQ(sent, 4);  // stalled on credits
+  // Return two credits on the VC in use: exactly two more flits flow.
+  rig.to_router.push_credit({0, false}, now);
+  rig.to_router.push_credit({0, false}, now + 1);
+  for (Cycle end = now + 10; now < end; ++now) {
+    rig.ni.step(now);
+    if (rig.to_router.take_flit(now + 1)) ++sent;
+  }
+  EXPECT_EQ(sent, 6);
+}
+
+TEST(NetworkInterfaceUnit, PacketsSerializeInOrder) {
+  NiRig rig;
+  rig.ni.enqueue(rig.packet(1, 2));
+  rig.ni.enqueue(rig.packet(2, 2));
+  std::vector<PacketId> order;
+  for (Cycle c = 0; c < 10; ++c) {
+    rig.ni.step(c);
+    if (auto f = rig.to_router.take_flit(c + 1)) order.push_back(f->packet);
+  }
+  // Packet 2 needs the vc_free credit for packet 1 before it can start on a
+  // different... no: it picks the next free VC immediately. Both inject, in
+  // order, flit-serialized.
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 2u);
+}
+
+TEST(NetworkInterfaceUnit, EjectReturnsCreditImmediately) {
+  NiRig rig;
+  rig.eject(tail(9, 2), 5);
+  rig.ni.step(6);
+  const auto c = rig.from_router.take_credit(7);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->vc, 2);
+  EXPECT_TRUE(c->vc_free);
+  EXPECT_EQ(rig.ni.stats().packets_received, 1u);
+}
+
+TEST(NetworkInterfaceUnit, MeasureWindowFiltersLatencies) {
+  NiRig rig;
+  rig.ni.set_measure_window(100, 200);
+  rig.eject(tail(1, 0, /*created=*/50), 300);    // before window
+  rig.eject(tail(2, 0, /*created=*/150), 301);   // inside window
+  rig.eject(tail(3, 0, /*created=*/250), 302);   // after window
+  for (Cycle c = 300; c < 305; ++c) rig.ni.step(c);
+  EXPECT_EQ(rig.ni.stats().packets_received, 3u);
+  EXPECT_EQ(rig.ni.stats().total_latency.count(), 1u);
+}
+
+TEST(NetworkInterfaceUnit, DeliveryHookFiresOnTailOnly) {
+  NiRig rig;
+  int calls = 0;
+  rig.ni.set_delivery_hook([&](const Flit&, Cycle) { ++calls; });
+  Flit head = tail(1, 0);
+  head.type = FlitType::Head;
+  head.seq = 0;
+  head.size = 2;
+  Flit t = tail(1, 0);
+  t.type = FlitType::Tail;
+  t.seq = 1;
+  t.size = 2;
+  rig.eject(head, 10);
+  rig.ni.step(11);
+  EXPECT_EQ(calls, 0);
+  rig.eject(t, 11);
+  rig.ni.step(12);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(NetworkInterfaceUnit, IntegrityCheckRejectsOutOfOrderFlits) {
+  NiRig rig;
+  Flit head = tail(1, 0);
+  head.type = FlitType::Head;
+  head.seq = 0;
+  head.size = 3;
+  rig.eject(head, 10);
+  rig.ni.step(11);
+  // Skipping seq 1 must be detected.
+  Flit t = tail(1, 0);
+  t.type = FlitType::Tail;
+  t.seq = 2;
+  t.size = 3;
+  rig.eject(t, 11);
+  EXPECT_THROW(rig.ni.step(12), std::invalid_argument);
+}
+
+TEST(NetworkInterfaceUnit, IntegrityCheckRejectsInterleavedPackets) {
+  NiRig rig;
+  Flit head = tail(1, 0);
+  head.type = FlitType::Head;
+  head.seq = 0;
+  head.size = 2;
+  rig.eject(head, 10);
+  rig.ni.step(11);
+  // A second head on the same VC before the first packet's tail.
+  Flit head2 = tail(2, 0);
+  head2.type = FlitType::Head;
+  head2.seq = 0;
+  head2.size = 2;
+  rig.eject(head2, 11);
+  EXPECT_THROW(rig.ni.step(12), std::invalid_argument);
+}
+
+TEST(NetworkInterfaceUnit, QueuePeakTracked) {
+  NiRig rig;
+  for (PacketId i = 1; i <= 5; ++i) rig.ni.enqueue(rig.packet(i, 1));
+  EXPECT_EQ(rig.ni.stats().queue_peak, 5u);
+}
+
+TEST(NetworkInterfaceUnit, InjectionIdleReflectsState) {
+  NiRig rig;
+  EXPECT_TRUE(rig.ni.injection_idle());
+  rig.ni.enqueue(rig.packet(1, 2));
+  EXPECT_FALSE(rig.ni.injection_idle());
+  for (Cycle c = 0; c < 4; ++c) rig.ni.step(c);
+  EXPECT_TRUE(rig.ni.injection_idle());
+}
+
+}  // namespace
+}  // namespace rnoc::noc

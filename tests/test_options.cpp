@@ -1,0 +1,78 @@
+// Tests for common/options: the CLI parser behind the rnoc tools.
+#include <gtest/gtest.h>
+
+#include "common/options.hpp"
+
+namespace rnoc {
+namespace {
+
+const std::set<std::string> kKeys = {"rate", "mesh", "mode", "verbose", "n"};
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data(), kKeys);
+}
+
+TEST(Options, KeyValuePairs) {
+  const auto opt = parse({"--rate", "0.15", "--mesh", "4x4"});
+  EXPECT_TRUE(opt.has("rate"));
+  EXPECT_DOUBLE_EQ(opt.get_double("rate", 0.0), 0.15);
+  EXPECT_EQ(opt.get("mesh", ""), "4x4");
+}
+
+TEST(Options, EqualsForm) {
+  const auto opt = parse({"--rate=0.2", "--n=7"});
+  EXPECT_DOUBLE_EQ(opt.get_double("rate", 0.0), 0.2);
+  EXPECT_EQ(opt.get_int("n", 0), 7);
+}
+
+TEST(Options, BareFlagIsTrue) {
+  const auto opt = parse({"--verbose"});
+  EXPECT_TRUE(opt.get_bool("verbose", false));
+}
+
+TEST(Options, FlagFollowedByOption) {
+  const auto opt = parse({"--verbose", "--rate", "0.1"});
+  EXPECT_TRUE(opt.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(opt.get_double("rate", 0.0), 0.1);
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  const auto opt = parse({});
+  EXPECT_FALSE(opt.has("rate"));
+  EXPECT_DOUBLE_EQ(opt.get_double("rate", 0.25), 0.25);
+  EXPECT_EQ(opt.get_int("n", 42), 42);
+  EXPECT_EQ(opt.get("mesh", "8x8"), "8x8");
+  EXPECT_FALSE(opt.get_bool("verbose", false));
+}
+
+TEST(Options, PositionalArguments) {
+  const auto opt = parse({"first", "--n", "3", "second"});
+  ASSERT_EQ(opt.positional().size(), 2u);
+  EXPECT_EQ(opt.positional()[0], "first");
+  EXPECT_EQ(opt.positional()[1], "second");
+}
+
+TEST(Options, UnknownOptionThrows) {
+  EXPECT_THROW(parse({"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(Options, MalformedNumberThrows) {
+  const auto opt = parse({"--n", "abc"});
+  EXPECT_THROW(opt.get_int("n", 0), std::invalid_argument);
+  const auto opt2 = parse({"--rate", "1.2.3"});
+  EXPECT_THROW(opt2.get_double("rate", 0.0), std::invalid_argument);
+}
+
+TEST(Options, BooleanForms) {
+  EXPECT_TRUE(parse({"--verbose=yes"}).get_bool("verbose", false));
+  EXPECT_TRUE(parse({"--verbose=on"}).get_bool("verbose", false));
+  EXPECT_FALSE(parse({"--verbose=0"}).get_bool("verbose", true));
+  EXPECT_FALSE(parse({"--verbose=no"}).get_bool("verbose", true));
+  EXPECT_THROW(parse({"--verbose=maybe"}).get_bool("verbose", false),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rnoc

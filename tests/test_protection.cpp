@@ -1,0 +1,447 @@
+// Tests for the paper's per-stage fault-tolerance mechanisms (§V):
+// RC spatial redundancy, VA arbiter sharing (Scenarios 1 and 2), VA stage-2
+// reallocation, SA bypass + VC transfer, and the crossbar secondary path.
+#include <gtest/gtest.h>
+
+#include "core/protection.hpp"
+#include "router_harness.hpp"
+
+namespace rnoc::noc {
+namespace {
+
+using testing::RouterHarness;
+using fault::SiteType;
+
+RouterConfig protected_cfg() {
+  RouterConfig cfg;
+  cfg.mode = core::RouterMode::Protected;
+  cfg.default_winner_epoch = 1000;  // keep the default winner stable in tests
+  return cfg;
+}
+
+RouterConfig baseline_cfg() {
+  RouterConfig cfg;
+  cfg.mode = core::RouterMode::Baseline;
+  return cfg;
+}
+
+// ---------- Secondary-path wiring map (paper Fig. 6) ----------
+
+TEST(SecondaryMap, FivePortWiring) {
+  EXPECT_EQ(core::secondary_mux_for_output(0, 5), 1);
+  EXPECT_EQ(core::secondary_mux_for_output(1, 5), 2);
+  EXPECT_EQ(core::secondary_mux_for_output(2, 5), 1);
+  EXPECT_EQ(core::secondary_mux_for_output(3, 5), 4);
+  EXPECT_EQ(core::secondary_mux_for_output(4, 5), 3);
+}
+
+TEST(SecondaryMap, NeverSelfAndAlwaysValid) {
+  for (int ports = 3; ports <= 9; ++ports) {
+    for (int out = 0; out < ports; ++out) {
+      const int sec = core::secondary_mux_for_output(out, ports);
+      EXPECT_NE(sec, out) << "ports=" << ports << " out=" << out;
+      EXPECT_GE(sec, 0);
+      EXPECT_LT(sec, ports);
+    }
+  }
+}
+
+TEST(SecondaryMap, Mux1CarriesTheOneToThreeDemux) {
+  // M1 (0-based) is the secondary for out0 and out2 -> fanout 2 (the single
+  // 1:3 demux); every other demux serves one output (1:2).
+  EXPECT_EQ(core::secondary_fanout_of_mux(1, 5), 2);
+  EXPECT_EQ(core::secondary_fanout_of_mux(2, 5), 1);
+  EXPECT_EQ(core::secondary_fanout_of_mux(3, 5), 1);
+  EXPECT_EQ(core::secondary_fanout_of_mux(4, 5), 1);
+  EXPECT_EQ(core::secondary_fanout_of_mux(0, 5), 0);  // M0 has no demux
+}
+
+// ---------- RC stage (paper §V-A) ----------
+
+TEST(RcProtection, SpareTakesOverWithNoLatencyCost) {
+  RouterHarness h(protected_cfg());
+  h.router.faults().inject({SiteType::RcPrimary, port_of(Direction::West), 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  const auto arrival = h.run_until_output(port_of(Direction::East), &now, 20);
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(*arrival, 5u);  // same latency as fault-free
+  EXPECT_GE(h.router.stats().rc_spare_uses, 1u);
+}
+
+TEST(RcProtection, BothUnitsDeadBlocksThePort) {
+  RouterHarness h(protected_cfg());
+  h.router.faults().inject({SiteType::RcPrimary, port_of(Direction::West), 0});
+  h.router.faults().inject({SiteType::RcSpare, port_of(Direction::West), 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_FALSE(h.run_until_output(port_of(Direction::East), &now, 30));
+  EXPECT_GT(h.router.stats().blocked_vc_cycles, 0u);
+}
+
+TEST(RcProtection, BaselineHasNoSpare) {
+  RouterHarness h(baseline_cfg());
+  h.router.faults().inject({SiteType::RcPrimary, port_of(Direction::West), 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_FALSE(h.run_until_output(port_of(Direction::East), &now, 30));
+}
+
+TEST(RcProtection, OtherPortsUnaffected) {
+  RouterHarness h(protected_cfg());
+  h.router.faults().inject({SiteType::RcPrimary, port_of(Direction::West), 0});
+  h.router.faults().inject({SiteType::RcSpare, port_of(Direction::West), 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::North), pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_TRUE(h.run_until_output(port_of(Direction::East), &now, 20));
+}
+
+// ---------- VA stage 1: arbiter sharing (paper §V-B1) ----------
+
+TEST(VaProtection, Scenario1BorrowFromIdleVcCostsNothing) {
+  RouterHarness h(protected_cfg());
+  const int p = port_of(Direction::West);
+  h.router.faults().inject({SiteType::Va1ArbiterSet, p, 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(p, pkt[0], 0);
+  Cycle now = 1;
+  const auto arrival = h.run_until_output(port_of(Direction::East), &now, 20);
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(*arrival, 5u);  // Scenario 1: lender idle, no extra latency
+  EXPECT_EQ(h.router.stats().va1_borrows, 1u);
+  EXPECT_EQ(h.router.stats().va1_borrow_waits, 0u);
+}
+
+TEST(VaProtection, Scenario2WaitsOneCycleForBusyLender) {
+  RouterConfig cfg = protected_cfg();
+  cfg.vcs = 2;  // only one possible lender
+  RouterHarness h(cfg);
+  const int p = port_of(Direction::West);
+  h.router.faults().inject({SiteType::Va1ArbiterSet, p, 0});
+  const NodeId dst = RouterHarness::dst_for(Direction::East);
+  const auto a = RouterHarness::make_packet(1, dst, 0, 1);  // faulty set
+  const auto b = RouterHarness::make_packet(2, dst, 1, 1);  // the lender VC
+  h.send(p, a[0], 0);
+  h.send(p, b[0], 1);
+  int received = 0;
+  Cycle last = 0;
+  for (Cycle now = 1; now <= 15; ++now) {
+    h.step(now);
+    if (h.recv(port_of(Direction::East), now)) {
+      ++received;
+      last = now;
+    }
+  }
+  EXPECT_EQ(received, 2);
+  // Packet A had to wait for B's arbiters (B itself was in VA), so the pair
+  // finishes later than two pipelined fault-free packets would (6 cycles).
+  EXPECT_GT(last, 6u);
+  EXPECT_GE(h.router.stats().va1_borrow_waits, 1u);
+  EXPECT_GE(h.router.stats().va1_borrows, 1u);
+}
+
+TEST(VaProtection, AllSetsFaultyBlocksThePort) {
+  RouterHarness h(protected_cfg());
+  const int p = port_of(Direction::West);
+  for (int v = 0; v < 4; ++v)
+    h.router.faults().inject({SiteType::Va1ArbiterSet, p, v});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(p, pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_FALSE(h.run_until_output(port_of(Direction::East), &now, 30));
+}
+
+TEST(VaProtection, BaselineBlocksOnFaultyArbiterSet) {
+  RouterHarness h(baseline_cfg());
+  const int p = port_of(Direction::West);
+  h.router.faults().inject({SiteType::Va1ArbiterSet, p, 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(p, pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_FALSE(h.run_until_output(port_of(Direction::East), &now, 30));
+}
+
+TEST(VaProtection, BorrowsFromFirstEligibleSibling) {
+  RouterHarness h(protected_cfg());
+  const int p = port_of(Direction::West);
+  // Sets 0 and 1 faulty: the packet on VC 0 must borrow from VC 2.
+  h.router.faults().inject({SiteType::Va1ArbiterSet, p, 0});
+  h.router.faults().inject({SiteType::Va1ArbiterSet, p, 1});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(p, pkt[0], 0);
+  Cycle now = 1;
+  ASSERT_TRUE(h.run_until_output(port_of(Direction::East), &now, 20));
+  EXPECT_EQ(h.router.stats().va1_borrows, 1u);
+}
+
+// ---------- VA stage 2: reallocation retry (paper §V-B3) ----------
+
+TEST(VaProtection, Stage2FaultCostsOneRetryCycle) {
+  RouterHarness h(protected_cfg());
+  // The fresh stage-1 arbiter proposes downstream VC 0 first; kill its
+  // stage-2 arbiter at the East output.
+  h.router.faults().inject(
+      {SiteType::Va2Arbiter, port_of(Direction::East), 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  Flit got;
+  const auto arrival =
+      h.run_until_output(port_of(Direction::East), &now, 20, &got);
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(*arrival, 6u);  // one cycle later than the fault-free 5
+  EXPECT_EQ(h.router.stats().va2_retries, 1u);
+  EXPECT_NE(got.vc, 0);  // allocated a different downstream VC
+}
+
+TEST(VaProtection, Stage2SurvivesMultipleDeadArbiters) {
+  RouterHarness h(protected_cfg());
+  for (int u = 0; u < 3; ++u)
+    h.router.faults().inject(
+        {SiteType::Va2Arbiter, port_of(Direction::East), u});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  Flit got;
+  ASSERT_TRUE(h.run_until_output(port_of(Direction::East), &now, 40, &got));
+  EXPECT_EQ(got.vc, 3);  // the only surviving downstream VC
+}
+
+// ---------- SA stage 1: bypass + transfer (paper §V-C1) ----------
+
+TEST(SaProtection, BypassGrantsDefaultWinner) {
+  RouterHarness h(protected_cfg());
+  const int p = port_of(Direction::West);
+  h.router.faults().inject({SiteType::Sa1Arbiter, p, 0});
+  // Epoch 1000 keeps VC 0 the default winner; the packet rides VC 0.
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(p, pkt[0], 0);
+  Cycle now = 1;
+  const auto arrival = h.run_until_output(port_of(Direction::East), &now, 20);
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(*arrival, 5u);  // default winner ready: no extra latency
+  EXPECT_GE(h.router.stats().sa1_bypass_grants, 1u);
+}
+
+TEST(SaProtection, TransferMovesFlitsIntoDefaultWinner) {
+  RouterHarness h(protected_cfg());
+  const int p = port_of(Direction::West);
+  h.router.faults().inject({SiteType::Sa1Arbiter, p, 0});
+  // Packet on VC 1 while the default winner (VC 0) is empty: the packet is
+  // transferred into VC 0 (1 cycle) and then granted via the bypass.
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 1, 1);
+  h.send(p, pkt[0], 0);
+  Cycle now = 1;
+  const auto arrival = h.run_until_output(port_of(Direction::East), &now, 20);
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(*arrival, 6u);  // +1 cycle for the transfer
+  EXPECT_EQ(h.router.stats().sa1_transfers, 1u);
+  EXPECT_GE(h.router.stats().sa1_bypass_grants, 1u);
+}
+
+TEST(SaProtection, ArbiterAndBypassBothDeadBlocksPort) {
+  RouterHarness h(protected_cfg());
+  const int p = port_of(Direction::West);
+  h.router.faults().inject({SiteType::Sa1Arbiter, p, 0});
+  h.router.faults().inject({SiteType::Sa1Bypass, p, 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(p, pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_FALSE(h.run_until_output(port_of(Direction::East), &now, 30));
+}
+
+TEST(SaProtection, BaselineBlocksOnSa1Fault) {
+  RouterHarness h(baseline_cfg());
+  const int p = port_of(Direction::West);
+  h.router.faults().inject({SiteType::Sa1Arbiter, p, 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(p, pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_FALSE(h.run_until_output(port_of(Direction::East), &now, 30));
+}
+
+TEST(SaProtection, DefaultWinnerRotates) {
+  RouterConfig cfg = protected_cfg();
+  cfg.default_winner_epoch = 8;
+  RouterHarness h(cfg);
+  EXPECT_EQ(h.router.ports(), 5);
+  SwitchAllocator sa(5, 4, core::RouterMode::Protected, 8);
+  EXPECT_EQ(sa.default_winner(0), 0);
+  EXPECT_EQ(sa.default_winner(7), 0);
+  EXPECT_EQ(sa.default_winner(8), 1);
+  EXPECT_EQ(sa.default_winner(31), 3);
+  EXPECT_EQ(sa.default_winner(32), 0);
+}
+
+// ---------- SA stage 2 + crossbar secondary path (paper §V-C2, §V-D) ----------
+
+TEST(XbProtection, SecondaryPathDeliversAroundDeadMux) {
+  RouterHarness h(protected_cfg());
+  const int east = port_of(Direction::East);
+  h.router.faults().inject({SiteType::XbMux, east, 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  const auto arrival = h.run_until_output(east, &now, 20);
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(*arrival, 5u);  // secondary path, no extra latency when idle
+  EXPECT_GE(h.router.stats().xb_secondary_traversals, 1u);
+  // The RC stage set the SP/FSP fields (they are cleared on tail release,
+  // so observe the counter instead).
+}
+
+TEST(XbProtection, Sa2ArbiterFaultAlsoUsesSecondary) {
+  RouterHarness h(protected_cfg());
+  const int east = port_of(Direction::East);
+  h.router.faults().inject({SiteType::Sa2Arbiter, east, 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  ASSERT_TRUE(h.run_until_output(east, &now, 20));
+  EXPECT_GE(h.router.stats().xb_secondary_traversals, 1u);
+}
+
+TEST(XbProtection, SharedMuxSerializesNativeAndSecondaryTraffic) {
+  RouterHarness h(protected_cfg());
+  const int east = port_of(Direction::East);   // port 2; secondary = mux 1
+  const int north = port_of(Direction::North); // port 1 (the shared mux)
+  h.router.faults().inject({SiteType::XbMux, east, 0});
+  const auto a = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  const auto b = RouterHarness::make_packet(
+      2, RouterHarness::dst_for(Direction::North), 0, 1);
+  h.send(port_of(Direction::West), a[0], 0);
+  h.send(port_of(Direction::South), b[0], 0);
+  Cycle got_east = 0, got_north = 0;
+  for (Cycle now = 1; now <= 15; ++now) {
+    h.step(now);
+    if (h.recv(east, now)) got_east = now;
+    if (h.recv(north, now)) got_north = now;
+  }
+  ASSERT_GT(got_east, 0u);
+  ASSERT_GT(got_north, 0u);
+  // Both flits funnel through mux M1: one of them waits a cycle.
+  EXPECT_NE(got_east, got_north);
+  EXPECT_EQ(std::max(got_east, got_north), 6u);
+}
+
+TEST(XbProtection, PrimaryAndSecondaryDeadBlocksOutput) {
+  RouterHarness h(protected_cfg());
+  const int east = port_of(Direction::East);
+  h.router.faults().inject({SiteType::XbMux, east, 0});
+  h.router.faults().inject(
+      {SiteType::XbMux, core::secondary_mux_for_output(east, 5), 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_FALSE(h.run_until_output(east, &now, 30));
+}
+
+TEST(XbProtection, DemuxFaultKillsSecondaryOnly) {
+  RouterHarness h(protected_cfg());
+  const int east = port_of(Direction::East);
+  const int sec = core::secondary_mux_for_output(east, 5);
+  h.router.faults().inject({SiteType::XbDemux, sec, 0});
+  // Primary path untouched: traffic flows normally.
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_TRUE(h.run_until_output(east, &now, 20));
+  // But with the primary also dead, the output is unreachable.
+  RouterHarness h2(protected_cfg());
+  h2.router.faults().inject({SiteType::XbDemux, sec, 0});
+  h2.router.faults().inject({SiteType::XbMux, east, 0});
+  h2.send(port_of(Direction::West), pkt[0], 0);
+  now = 1;
+  EXPECT_FALSE(h2.run_until_output(east, &now, 30));
+}
+
+TEST(XbProtection, PSelectFaultIsFatalForItsOutput) {
+  RouterHarness h(protected_cfg());
+  const int east = port_of(Direction::East);
+  h.router.faults().inject({SiteType::XbPSelect, east, 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_FALSE(h.run_until_output(east, &now, 30));
+}
+
+TEST(XbProtection, PaperFaultScenarioM1AndM3Tolerated) {
+  // Paper §VIII-D: M2 and M4 (1-based) simultaneously faulty are tolerated.
+  RouterHarness h(protected_cfg());
+  h.router.faults().inject({SiteType::XbMux, 1, 0});
+  h.router.faults().inject({SiteType::XbMux, 3, 0});
+  // Send one packet to every output port; all must be delivered.
+  const Direction dirs[] = {Direction::North, Direction::East,
+                            Direction::South, Direction::West};
+  const int in_ports[] = {port_of(Direction::South), port_of(Direction::West),
+                          port_of(Direction::North), port_of(Direction::East)};
+  for (int i = 0; i < 4; ++i) {
+    const auto pkt = RouterHarness::make_packet(
+        static_cast<PacketId>(i + 1), RouterHarness::dst_for(dirs[i]), 0, 1);
+    h.send(in_ports[i], pkt[0], 0);
+  }
+  int received = 0;
+  for (Cycle now = 1; now <= 20; ++now) {
+    h.step(now);
+    for (const Direction d : dirs)
+      if (h.recv(port_of(d), now)) ++received;
+  }
+  EXPECT_EQ(received, 4);
+}
+
+TEST(XbProtection, BaselineBlocksOnMuxFault) {
+  RouterHarness h(baseline_cfg());
+  const int east = port_of(Direction::East);
+  h.router.faults().inject({SiteType::XbMux, east, 0});
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  Cycle now = 1;
+  EXPECT_FALSE(h.run_until_output(east, &now, 30));
+}
+
+TEST(XbProtection, FaultBetweenSaAndStIsCancelledSafely) {
+  RouterHarness h(protected_cfg());
+  const int east = port_of(Direction::East);
+  const auto pkt = RouterHarness::make_packet(
+      1, RouterHarness::dst_for(Direction::East), 0, 1);
+  h.send(port_of(Direction::West), pkt[0], 0);
+  // Cycles 1-3 take the flit through RC, VA and SA (grant pending for ST at
+  // cycle 4). Kill the East mux after the grant was issued.
+  for (Cycle now = 1; now <= 3; ++now) h.step(now);
+  h.router.faults().inject({SiteType::XbMux, east, 0});
+  Cycle now = 4;
+  const auto arrival = h.run_until_output(east, &now, 20);
+  ASSERT_TRUE(arrival.has_value());
+  // The cancelled grant costs cycles, but the flit survives and re-routes
+  // through the secondary path.
+  EXPECT_GT(*arrival, 5u);
+  EXPECT_GE(h.router.stats().xb_secondary_traversals, 1u);
+}
+
+}  // namespace
+}  // namespace rnoc::noc

@@ -1,0 +1,217 @@
+// Tests for reliability/: FORC model, component FIT library (paper Tables I
+// and II), SOFR roll-ups and MTTF (paper Eqs. 1, 4-7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "reliability/component_library.hpp"
+#include "reliability/fit.hpp"
+#include "reliability/forc.hpp"
+#include "reliability/mttf.hpp"
+
+namespace rnoc::rel {
+namespace {
+
+TEST(Forc, CalibrationPointMatchesPaper) {
+  const TddbParams p = paper_calibrated_params();
+  EXPECT_NEAR(fit_per_fet(p, 1.0, 1.0, 300.0), kPaperFitPerFet, 1e-12);
+}
+
+TEST(Forc, DutyCycleScalesLinearly) {
+  const TddbParams p = paper_calibrated_params();
+  const double full = fit_per_fet(p, 1.0, 1.0, 300.0);
+  EXPECT_NEAR(fit_per_fet(p, 0.5, 1.0, 300.0), 0.5 * full, 1e-12);
+  EXPECT_DOUBLE_EQ(fit_per_fet(p, 0.0, 1.0, 300.0), 0.0);
+}
+
+TEST(Forc, HigherVoltageFailsFaster) {
+  const TddbParams p = paper_calibrated_params();
+  EXPECT_GT(forc_tddb(p, 1.1, 300.0), forc_tddb(p, 1.0, 300.0));
+  EXPECT_GT(forc_tddb(p, 1.0, 300.0), forc_tddb(p, 0.9, 300.0));
+}
+
+TEST(Forc, HigherTemperatureFailsFaster) {
+  const TddbParams p = paper_calibrated_params();
+  EXPECT_GT(forc_tddb(p, 1.0, 350.0), forc_tddb(p, 1.0, 300.0));
+  EXPECT_GT(forc_tddb(p, 1.0, 400.0), forc_tddb(p, 1.0, 350.0));
+}
+
+TEST(Forc, RejectsBadInputs) {
+  const TddbParams p = paper_calibrated_params();
+  EXPECT_THROW(forc_tddb(p, 0.0, 300.0), std::invalid_argument);
+  EXPECT_THROW(forc_tddb(p, 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(fit_per_fet(p, 1.5, 1.0, 300.0), std::invalid_argument);
+}
+
+class ComponentFit : public ::testing::Test {
+ protected:
+  TddbParams p = paper_calibrated_params();
+  double f = fit_per_fet(p, 1.0, 1.0, 300.0);
+};
+
+// Paper Table I unit FIT values.
+TEST_F(ComponentFit, Comparator6b) { EXPECT_NEAR(f * fets::comparator(6), 11.7, 1e-9); }
+TEST_F(ComponentFit, Arbiter4) { EXPECT_NEAR(f * fets::arbiter(4), 7.4, 1e-9); }
+TEST_F(ComponentFit, Arbiter5) { EXPECT_NEAR(f * fets::arbiter(5), 9.3, 1e-9); }
+TEST_F(ComponentFit, Arbiter20) { EXPECT_NEAR(f * fets::arbiter(20), 36.9, 1e-9); }
+TEST_F(ComponentFit, Mux4x1) { EXPECT_NEAR(f * fets::mux(4, 1), 4.8, 1e-9); }
+TEST_F(ComponentFit, Mux5x32) { EXPECT_NEAR(f * fets::mux(5, 32), 204.8, 1e-9); }
+TEST_F(ComponentFit, Mux2x1) { EXPECT_NEAR(f * fets::mux(2, 1), 1.6, 1e-9); }
+TEST_F(ComponentFit, DffBit) { EXPECT_NEAR(f * fets::dff(1), 0.5, 1e-9); }
+TEST_F(ComponentFit, Demux2x32) { EXPECT_NEAR(f * fets::demux(2, 32), 38.4, 1e-9); }
+TEST_F(ComponentFit, Demux3x32) { EXPECT_NEAR(f * fets::demux(3, 32), 44.8, 1e-9); }
+
+TEST_F(ComponentFit, ArbiterInterpolationMonotone) {
+  double prev = 0.0;
+  for (int n = 2; n <= 32; ++n) {
+    const double fit = f * fets::arbiter(n);
+    EXPECT_GT(fit, prev) << "n=" << n;
+    prev = fit;
+  }
+}
+
+TEST_F(ComponentFit, RejectsBadShapes) {
+  EXPECT_THROW(fets::comparator(0), std::invalid_argument);
+  EXPECT_THROW(fets::arbiter(1), std::invalid_argument);
+  EXPECT_THROW(fets::mux(1, 8), std::invalid_argument);
+  EXPECT_THROW(fets::demux(1, 8), std::invalid_argument);
+  EXPECT_THROW(fets::dff(0), std::invalid_argument);
+}
+
+// ---- Table I (baseline pipeline stages) ----
+
+TEST(TableI, StageTotalsMatchPaper) {
+  const auto p = paper_calibrated_params();
+  const StageFits s = baseline_stage_fits(RouterGeometry{}, p);
+  EXPECT_NEAR(s.rc, 117.0, 1e-6);
+  EXPECT_NEAR(s.va, 1478.0, 1e-6);
+  EXPECT_NEAR(s.sa, 203.5, 1e-6);  // paper prints the truncated 203
+  EXPECT_NEAR(s.xb, 1024.0, 1e-6);
+  EXPECT_NEAR(s.rounded().total(), 2822.0, 1e-9);
+}
+
+TEST(TableI, ComponentCountsMatchPaper) {
+  const auto p = paper_calibrated_params();
+  const auto table = baseline_fit_table(RouterGeometry{}, p);
+  // 10 comparators, 100 + 20 VA arbiters, 25 + 5 + 5 SA parts, 5 XB muxes.
+  int comparators = 0, va_arbs1 = 0, va_arbs2 = 0, xb_muxes = 0;
+  for (const auto& line : table) {
+    if (line.stage == "RC") comparators += line.count;
+    if (line.stage == "VA" && line.component.find("stage 1") != std::string::npos)
+      va_arbs1 += line.count;
+    if (line.stage == "VA" && line.component.find("stage 2") != std::string::npos)
+      va_arbs2 += line.count;
+    if (line.stage == "XB") xb_muxes += line.count;
+  }
+  EXPECT_EQ(comparators, 10);
+  EXPECT_EQ(va_arbs1, 100);
+  EXPECT_EQ(va_arbs2, 20);
+  EXPECT_EQ(xb_muxes, 5);
+}
+
+// ---- Table II (correction circuitry) ----
+
+TEST(TableII, StageTotalsMatchPaper) {
+  const auto p = paper_calibrated_params();
+  const StageFits s = correction_stage_fits(RouterGeometry{}, p);
+  EXPECT_NEAR(s.rc, 117.0, 1e-6);
+  EXPECT_NEAR(s.va, 60.0, 1e-6);
+  EXPECT_NEAR(s.sa, 53.0, 1e-6);
+  EXPECT_NEAR(s.xb, 416.0, 1e-6);
+  EXPECT_NEAR(s.total(), 646.0, 1e-6);
+}
+
+TEST(TableII, ScalesWithVcCount) {
+  const auto p = paper_calibrated_params();
+  RouterGeometry g2{}, g8{};
+  g2.vcs = 2;
+  g8.vcs = 8;
+  // More VCs -> more per-VC state fields -> higher correction FIT.
+  EXPECT_LT(correction_stage_fits(g2, p).va, correction_stage_fits(g8, p).va);
+  EXPECT_LT(correction_stage_fits(g2, p).sa, correction_stage_fits(g8, p).sa);
+}
+
+TEST(FitTables, FormatContainsStagesAndTotal) {
+  const auto p = paper_calibrated_params();
+  const auto text =
+      format_fit_table(baseline_fit_table(RouterGeometry{}, p), "Table I");
+  EXPECT_NE(text.find("Table I"), std::string::npos);
+  EXPECT_NE(text.find("RC"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST(FitTables, OperatingPointShiftsFits) {
+  const auto p = paper_calibrated_params();
+  OperatingPoint hot{1.0, 360.0};
+  const auto nominal = baseline_stage_fits(RouterGeometry{}, p);
+  const auto heated = baseline_stage_fits(RouterGeometry{}, p, hot);
+  EXPECT_GT(heated.total(), nominal.total());
+}
+
+// ---- MTTF (Eqs. 1, 4-7) ----
+
+TEST(Mttf, FromFit) {
+  EXPECT_DOUBLE_EQ(mttf_from_fit(1000.0), 1e6);
+  EXPECT_THROW(mttf_from_fit(0.0), std::invalid_argument);
+}
+
+TEST(Mttf, PaperEquation4) {
+  // MTTF_baseline = 1e9 / 2822 ~= 354,358 hours.
+  EXPECT_NEAR(mttf_from_fit(2822.0), 354358.0, 1.0);
+}
+
+TEST(Mttf, PaperEquation6) {
+  // Gaver standby-pair formula with l1 = 2822, l2 = 646 -> ~2,190,696 h.
+  EXPECT_NEAR(gaver_pair_mttf(2822.0, 646.0), 2190696.0, 1.0);
+}
+
+TEST(Mttf, PaperEquation7ImprovementIsSixFold) {
+  const auto rep = mttf_report(RouterGeometry{}, paper_calibrated_params());
+  EXPECT_NEAR(rep.fit_baseline, 2822.0, 1e-9);
+  EXPECT_NEAR(rep.fit_correction, 646.0, 1e-9);
+  EXPECT_NEAR(rep.mttf_baseline_h, 354358.0, 1.0);
+  EXPECT_NEAR(rep.mttf_protected_h, 2190696.0, 1.0);
+  EXPECT_NEAR(rep.improvement, 6.18, 0.01);
+  EXPECT_EQ(std::round(rep.improvement), 6.0);  // "six times more reliable"
+}
+
+TEST(Mttf, ExactModeCloseToPrintedMode) {
+  const auto printed = mttf_report(RouterGeometry{}, paper_calibrated_params(), true);
+  const auto exact = mttf_report(RouterGeometry{}, paper_calibrated_params(), false);
+  EXPECT_NEAR(exact.improvement, printed.improvement, 0.05);
+}
+
+TEST(Mttf, ParallelPairBelowGaver) {
+  // The textbook E[max] formula subtracts the joint term; the paper's Eq. 5
+  // (Gaver's repairable-system result) adds it. Document the relation.
+  EXPECT_LT(parallel_pair_mttf(2822.0, 646.0), gaver_pair_mttf(2822.0, 646.0));
+  EXPECT_NEAR(gaver_pair_mttf(2822.0, 646.0) - parallel_pair_mttf(2822.0, 646.0),
+              2.0 * 1e9 / (2822.0 + 646.0), 1e-6);
+}
+
+TEST(Mttf, MonteCarloMatchesParallelPair) {
+  Rng rng(42);
+  const double mc = monte_carlo_parallel_mttf(2822.0, 646.0, 200000, rng);
+  const double analytic = parallel_pair_mttf(2822.0, 646.0);
+  EXPECT_NEAR(mc / analytic, 1.0, 0.02);
+}
+
+TEST(Mttf, SymmetricPair) {
+  EXPECT_DOUBLE_EQ(gaver_pair_mttf(100.0, 200.0), gaver_pair_mttf(200.0, 100.0));
+}
+
+// Geometry sweep: protection FIT grows slower than baseline FIT when VCs are
+// added, so MTTF improvement grows with VC count.
+TEST(Mttf, ImprovementGrowsWithVcs) {
+  const auto p = paper_calibrated_params();
+  RouterGeometry g2{}, g8{};
+  g2.vcs = 2;
+  g8.vcs = 8;
+  const auto r2 = mttf_report(g2, p, false);
+  const auto r8 = mttf_report(g8, p, false);
+  EXPECT_GT(r8.improvement, r2.improvement);
+}
+
+}  // namespace
+}  // namespace rnoc::rel

@@ -1,0 +1,92 @@
+// Tests for codec/secded: round trips, exhaustive single-bit correction,
+// double-bit detection.
+#include <gtest/gtest.h>
+
+#include "codec/secded.hpp"
+#include "common/rng.hpp"
+
+namespace rnoc::codec {
+namespace {
+
+const std::uint32_t kPatterns[] = {
+    0x00000000u, 0xFFFFFFFFu, 0xAAAAAAAAu, 0x55555555u,
+    0xDEADBEEFu, 0x00000001u, 0x80000000u, 0x12345678u,
+};
+
+TEST(Secded, CleanRoundTrip) {
+  for (std::uint32_t data : kPatterns) {
+    const auto r = secded_decode(secded_encode(data));
+    EXPECT_EQ(r.status, DecodeStatus::Ok);
+    EXPECT_EQ(r.data, data);
+  }
+}
+
+TEST(Secded, CodewordFitsWidth) {
+  for (std::uint32_t data : kPatterns)
+    EXPECT_EQ(secded_encode(data) >> kCodewordBits, 0u);
+}
+
+TEST(Secded, DistinctDataDistinctCodewords) {
+  EXPECT_NE(secded_encode(1), secded_encode(2));
+  EXPECT_NE(secded_encode(0), secded_encode(0x80000000u));
+}
+
+/// Exhaustive single-bit correction: every one of the 39 positions, for
+/// several data patterns.
+class SecdedSingleBit : public ::testing::TestWithParam<int> {};
+
+TEST_P(SecdedSingleBit, CorrectsFlipAtPosition) {
+  const int pos = GetParam();
+  for (std::uint32_t data : kPatterns) {
+    const std::uint64_t corrupted = flip_bit(secded_encode(data), pos);
+    const auto r = secded_decode(corrupted);
+    EXPECT_EQ(r.status, DecodeStatus::CorrectedSingle) << "pos " << pos;
+    EXPECT_EQ(r.data, data) << "pos " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SecdedSingleBit,
+                         ::testing::Range(0, kCodewordBits));
+
+TEST(Secded, DetectsAllDoubleFlipsForOnePattern) {
+  const std::uint64_t clean = secded_encode(0xCAFEBABEu);
+  for (int i = 0; i < kCodewordBits; ++i) {
+    for (int j = i + 1; j < kCodewordBits; ++j) {
+      const auto r = secded_decode(flip_bit(flip_bit(clean, i), j));
+      EXPECT_EQ(r.status, DecodeStatus::DetectedDouble)
+          << "bits " << i << "," << j;
+    }
+  }
+}
+
+TEST(Secded, RandomizedDoubleFlipsDetected) {
+  Rng rng(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto data = static_cast<std::uint32_t>(rng());
+    const int i = static_cast<int>(rng.next_below(kCodewordBits));
+    int j = static_cast<int>(rng.next_below(kCodewordBits - 1));
+    if (j >= i) ++j;
+    const auto r = secded_decode(flip_bit(flip_bit(secded_encode(data), i), j));
+    EXPECT_EQ(r.status, DecodeStatus::DetectedDouble);
+  }
+}
+
+TEST(Secded, RandomizedSingleFlipsCorrected) {
+  Rng rng(10);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto data = static_cast<std::uint32_t>(rng());
+    const int i = static_cast<int>(rng.next_below(kCodewordBits));
+    const auto r = secded_decode(flip_bit(secded_encode(data), i));
+    ASSERT_EQ(r.status, DecodeStatus::CorrectedSingle);
+    ASSERT_EQ(r.data, data);
+  }
+}
+
+TEST(Secded, RejectsOverwideCodeword) {
+  EXPECT_THROW(secded_decode(1ull << kCodewordBits), std::invalid_argument);
+  EXPECT_THROW(flip_bit(0, kCodewordBits), std::invalid_argument);
+  EXPECT_THROW(flip_bit(0, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rnoc::codec

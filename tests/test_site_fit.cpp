@@ -1,0 +1,146 @@
+// Tests for reliability/site_fit and reliability/structural_mttf: the bridge
+// between the Table I/II FIT library and the structural router model.
+#include <gtest/gtest.h>
+
+#include "core/failure_predicate.hpp"
+#include "reliability/mttf.hpp"
+#include "reliability/site_fit.hpp"
+#include "reliability/structural_mttf.hpp"
+
+namespace rnoc::rel {
+namespace {
+
+using fault::SiteType;
+
+class SiteFitTest : public ::testing::Test {
+ protected:
+  RouterGeometry g{};
+  TddbParams p = paper_calibrated_params();
+};
+
+TEST_F(SiteFitTest, RcUnitIsTwoComparators) {
+  EXPECT_NEAR(site_fit({SiteType::RcPrimary, 0, 0}, g, p), 23.4, 1e-9);
+  EXPECT_NEAR(site_fit({SiteType::RcSpare, 0, 0}, g, p), 23.4, 1e-9);
+}
+
+TEST_F(SiteFitTest, Va1SetIsFiveArbiters) {
+  EXPECT_NEAR(site_fit({SiteType::Va1ArbiterSet, 0, 0}, g, p), 5 * 7.4, 1e-9);
+}
+
+TEST_F(SiteFitTest, Va2ArbiterIsTwentyToOne) {
+  EXPECT_NEAR(site_fit({SiteType::Va2Arbiter, 0, 0}, g, p), 36.9, 1e-9);
+}
+
+TEST_F(SiteFitTest, XbMuxMatchesTableI) {
+  EXPECT_NEAR(site_fit({SiteType::XbMux, 2, 0}, g, p), 204.8, 1e-9);
+}
+
+TEST_F(SiteFitTest, DemuxSizeFollowsWiring) {
+  // Mux 1 carries the 1:3 demux (fanout 2), the others are 1:2.
+  EXPECT_NEAR(site_fit({SiteType::XbDemux, 1, 0}, g, p), 44.8, 1e-9);
+  EXPECT_NEAR(site_fit({SiteType::XbDemux, 2, 0}, g, p), 38.4, 1e-9);
+  EXPECT_NEAR(site_fit({SiteType::XbDemux, 4, 0}, g, p), 38.4, 1e-9);
+}
+
+TEST_F(SiteFitTest, PSelectIsFlitWideMux2) {
+  EXPECT_NEAR(site_fit({SiteType::XbPSelect, 0, 0}, g, p), 51.2, 1e-9);
+}
+
+TEST_F(SiteFitTest, BaselineSitesReproduceTableITotal) {
+  // The baseline site population's SOFR equals Table I's 2822.5.
+  const auto sites = weighted_sites(g, p, /*include_correction=*/false);
+  EXPECT_EQ(sites.size(), 60u);
+  EXPECT_NEAR(total_site_fit(sites), 2822.5, 1e-6);
+}
+
+TEST_F(SiteFitTest, CorrectionSitesCoverMostOfTableII) {
+  // State-field DFFs (100 FIT of Table II's 646) are not behavioral sites;
+  // the rest must be covered exactly: 646 - 100 = 546.
+  const auto all = weighted_sites(g, p, true);
+  const auto base = weighted_sites(g, p, false);
+  EXPECT_NEAR(total_site_fit(all) - total_site_fit(base), 546.0, 1e-6);
+}
+
+TEST_F(SiteFitTest, OrderMatchesEnumeration) {
+  const auto sites = weighted_sites(g, p, true);
+  const auto order = fault::RouterFaultState::enumerate_sites({5, 4}, true);
+  ASSERT_EQ(sites.size(), order.size());
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    EXPECT_EQ(sites[i].site, order[i]);
+}
+
+// ---------- Structural MTTF ----------
+
+TEST(StructuralMttf, BaselineMatchesEquation4) {
+  // For the baseline router, the first site failure kills it, so the
+  // structural lifetime is exponential with SOFR rate: MTTF = 1e9/2822.5.
+  StructuralMttfConfig cfg;
+  cfg.mode = core::RouterMode::Baseline;
+  cfg.trials = 40000;
+  const auto r = structural_mttf(cfg);
+  EXPECT_NEAR(r.total_site_fit, 2822.5, 1e-6);
+  EXPECT_NEAR(r.lifetime_hours.mean(), kBillionHours / 2822.5,
+              0.03 * kBillionHours / 2822.5);
+}
+
+TEST(StructuralMttf, ProtectedOutlivesBaseline) {
+  StructuralMttfConfig base, prot;
+  base.mode = core::RouterMode::Baseline;
+  base.trials = prot.trials = 20000;
+  const double mb = structural_mttf(base).lifetime_hours.mean();
+  const double mp = structural_mttf(prot).lifetime_hours.mean();
+  EXPECT_GT(mp, 3.0 * mb);  // big win, even with single-point P-selects
+}
+
+TEST(StructuralMttf, SinglePointFractionIsSignificant) {
+  // The P-select muxes are the protected router's only uncovered single
+  // points of failure; a visible fraction of lifetimes must end there.
+  StructuralMttfConfig cfg;
+  cfg.trials = 20000;
+  const auto r = structural_mttf(cfg);
+  EXPECT_GT(r.single_point_fraction, 0.10);
+  EXPECT_LT(r.single_point_fraction, 0.95);
+}
+
+TEST(StructuralMttf, DeterministicForSeed) {
+  StructuralMttfConfig cfg;
+  cfg.trials = 5000;
+  cfg.seed = 77;
+  EXPECT_DOUBLE_EQ(structural_mttf(cfg).lifetime_hours.mean(),
+                   structural_mttf(cfg).lifetime_hours.mean());
+}
+
+TEST(StructuralMttf, NetworkDiesWithFirstRouter) {
+  StructuralMttfConfig cfg;
+  cfg.trials = 600;
+  const auto one = structural_mttf([] {
+    StructuralMttfConfig c;
+    c.trials = 6000;
+    return c;
+  }());
+  const auto net16 = network_structural_mttf(cfg, 16);
+  // The minimum of 16 i.i.d. lifetimes is far below the single-router mean;
+  // for exponential tails it would be mean/16, wear-out shapes land near it.
+  EXPECT_LT(net16.lifetime_hours.mean(), 0.35 * one.lifetime_hours.mean());
+  EXPECT_GT(net16.lifetime_hours.mean(), 0.01 * one.lifetime_hours.mean());
+}
+
+TEST(StructuralMttf, NetworkOfOneMatchesSingleRouterScale) {
+  StructuralMttfConfig cfg;
+  cfg.trials = 4000;
+  const auto single = structural_mttf(cfg);
+  const auto net1 = network_structural_mttf(cfg, 1);
+  EXPECT_NEAR(net1.lifetime_hours.mean() / single.lifetime_hours.mean(), 1.0,
+              0.10);
+}
+
+TEST(StructuralMttf, HotterRunsDieFaster) {
+  StructuralMttfConfig cold, hot;
+  cold.trials = hot.trials = 10000;
+  hot.op.temp_kelvin = 360.0;
+  EXPECT_LT(structural_mttf(hot).lifetime_hours.mean(),
+            structural_mttf(cold).lifetime_hours.mean());
+}
+
+}  // namespace
+}  // namespace rnoc::rel

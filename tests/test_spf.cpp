@@ -1,0 +1,128 @@
+// Tests for core/spf_analysis and core/spf_montecarlo (paper §VIII).
+#include <gtest/gtest.h>
+
+#include "core/spf_analysis.hpp"
+#include "core/spf_montecarlo.hpp"
+
+namespace rnoc::core {
+namespace {
+
+TEST(AnalyticSpf, PaperNumbersForDefaultGeometry) {
+  const SpfAnalysis a = analytic_spf(5, 4, 0.31);
+  EXPECT_EQ(a.min_faults_to_failure, 2);
+  EXPECT_EQ(a.max_faults_tolerated, 27);
+  EXPECT_EQ(a.max_faults_to_failure, 28);
+  EXPECT_DOUBLE_EQ(a.mean_faults_to_failure, 15.0);
+  EXPECT_NEAR(a.spf, 11.45, 0.01);  // paper prints 11.4
+}
+
+TEST(AnalyticSpf, PerStageAccountingMatchesPaper) {
+  const SpfAnalysis a = analytic_spf(5, 4, 0.31);
+  ASSERT_EQ(a.stages.size(), 4u);
+  EXPECT_EQ(a.stages[0].stage, "RC");
+  EXPECT_EQ(a.stages[0].min_faults_to_failure, 2);
+  EXPECT_EQ(a.stages[0].max_faults_tolerated, 5);
+  EXPECT_EQ(a.stages[1].stage, "VA");
+  EXPECT_EQ(a.stages[1].min_faults_to_failure, 4);
+  EXPECT_EQ(a.stages[1].max_faults_tolerated, 15);
+  EXPECT_EQ(a.stages[2].stage, "SA");
+  EXPECT_EQ(a.stages[2].min_faults_to_failure, 2);
+  EXPECT_EQ(a.stages[2].max_faults_tolerated, 5);
+  EXPECT_EQ(a.stages[3].stage, "XB");
+  EXPECT_EQ(a.stages[3].min_faults_to_failure, 2);
+  EXPECT_EQ(a.stages[3].max_faults_tolerated, 2);
+}
+
+TEST(AnalyticSpf, MoreVcsRaiseSpf) {
+  // Paper §VIII-E: SPF rises beyond 11 with more than 4 VCs and drops to ~7
+  // with 2 VCs. (Fixed overhead here; the bench also varies the overhead.)
+  const double spf2 = analytic_spf(5, 2, 0.31).spf;
+  const double spf4 = analytic_spf(5, 4, 0.31).spf;
+  const double spf8 = analytic_spf(5, 8, 0.31).spf;
+  EXPECT_LT(spf2, spf4);
+  EXPECT_LT(spf4, spf8);
+}
+
+TEST(AnalyticSpf, RejectsBadInputs) {
+  EXPECT_THROW(analytic_spf(5, 4, 0.0), std::invalid_argument);
+  EXPECT_THROW(analytic_spf(2, 4, 0.31), std::invalid_argument);
+  EXPECT_THROW(analytic_spf(5, 1, 0.31), std::invalid_argument);
+}
+
+TEST(MonteCarloSpf, BaselineDiesAtFirstFault) {
+  SpfMcConfig cfg;
+  cfg.mode = RouterMode::Baseline;
+  cfg.trials = 2000;
+  const SpfMcResult r = monte_carlo_spf(cfg);
+  EXPECT_DOUBLE_EQ(r.faults_to_failure.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(r.faults_to_failure.min(), 1.0);
+  EXPECT_DOUBLE_EQ(r.faults_to_failure.max(), 1.0);
+}
+
+TEST(MonteCarloSpf, ProtectedStatisticsSane) {
+  SpfMcConfig cfg;
+  cfg.trials = 20000;
+  const SpfMcResult r = monte_carlo_spf(cfg);
+  const SpfAnalysis a = analytic_spf(5, 4, 0.31);
+  // With correction-circuitry sites in the population, a single P-select
+  // mux fault can kill an output port (min 1), and tolerable VA2/demux
+  // faults can push the max beyond the paper's pipeline-only 28.
+  EXPECT_GE(r.faults_to_failure.min(), 1.0);
+  EXPECT_LE(r.faults_to_failure.max(), 79.0);
+  EXPECT_GT(r.faults_to_failure.mean(), 3.0);
+  EXPECT_LT(r.faults_to_failure.mean(), a.mean_faults_to_failure);
+  EXPECT_GT(r.spf, 2.0);
+}
+
+TEST(MonteCarloSpf, PipelineOnlyNeverDiesFromOneFault) {
+  // The protected router tolerates any single pipeline fault, so with the
+  // pipeline-site population the minimum faults-to-failure is >= 2.
+  SpfMcConfig cfg;
+  cfg.trials = 20000;
+  cfg.include_correction_sites = false;
+  const SpfMcResult r = monte_carlo_spf(cfg);
+  EXPECT_GE(r.faults_to_failure.min(), 2.0);
+}
+
+TEST(MonteCarloSpf, DeterministicForSeed) {
+  SpfMcConfig cfg;
+  cfg.trials = 2000;
+  cfg.seed = 99;
+  const SpfMcResult a = monte_carlo_spf(cfg);
+  const SpfMcResult b = monte_carlo_spf(cfg);
+  EXPECT_DOUBLE_EQ(a.faults_to_failure.mean(), b.faults_to_failure.mean());
+}
+
+TEST(MonteCarloSpf, PipelineOnlySitesSurviveLonger) {
+  // Excluding correction-circuitry sites (fewer ways to break the
+  // protection) raises the mean faults-to-failure.
+  SpfMcConfig with{};
+  with.trials = 10000;
+  SpfMcConfig without = with;
+  without.include_correction_sites = false;
+  const double m_with = monte_carlo_spf(with).faults_to_failure.mean();
+  const double m_without = monte_carlo_spf(without).faults_to_failure.mean();
+  EXPECT_GT(m_without, m_with);
+}
+
+TEST(MonteCarloSpf, MoreVcsAbsorbMoreFaults) {
+  SpfMcConfig v2{};
+  v2.geometry = {5, 2};
+  v2.trials = 10000;
+  SpfMcConfig v8{};
+  v8.geometry = {5, 8};
+  v8.trials = 10000;
+  EXPECT_LT(monte_carlo_spf(v2).faults_to_failure.mean(),
+            monte_carlo_spf(v8).faults_to_failure.mean());
+}
+
+TEST(ProtectionInventory, GeometryScaling) {
+  const auto inv = protection_inventory(7, 6);
+  EXPECT_EQ(inv[0].max_faults_tolerated, 7);       // RC: one per port
+  EXPECT_EQ(inv[1].min_faults_to_failure, 6);      // VA: all sets of a port
+  EXPECT_EQ(inv[1].max_faults_tolerated, 7 * 5);   // VA: P*(V-1)
+  EXPECT_EQ(inv[3].max_faults_tolerated, 2);       // XB fixed
+}
+
+}  // namespace
+}  // namespace rnoc::core

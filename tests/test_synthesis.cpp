@@ -1,0 +1,166 @@
+// Tests for synthesis/: cell library, netlists, the paper §VI-A area/power
+// overheads and the §VI-B critical-path overheads.
+#include <gtest/gtest.h>
+
+#include "synthesis/cell_library.hpp"
+#include "synthesis/netlist.hpp"
+#include "synthesis/router_netlists.hpp"
+#include "synthesis/timing.hpp"
+
+namespace rnoc::synth {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::generic45(); }
+
+TEST(CellLibrary, AllCellsPopulated) {
+  for (std::size_t i = 0; i < kCellKinds; ++i) {
+    const Cell& c = lib().cell(static_cast<CellKind>(i));
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_GT(c.area_um2, 0.0);
+    EXPECT_GT(c.leak_uw, 0.0);
+    EXPECT_GT(c.dyn_uw_mhz, 0.0);
+    EXPECT_GT(c.delay_ps, 0.0);
+  }
+}
+
+TEST(CellLibrary, RelativeSizesSane) {
+  EXPECT_LT(lib().cell(CellKind::Inv).area_um2,
+            lib().cell(CellKind::Nand2).area_um2);
+  EXPECT_LT(lib().cell(CellKind::Mux2).area_um2,
+            lib().cell(CellKind::Dff).area_um2);
+}
+
+TEST(Netlist, AddAndCount) {
+  Netlist n("x");
+  n.add(CellKind::Inv, 3);
+  n.add(CellKind::Dff, 2);
+  EXPECT_EQ(n.count(CellKind::Inv), 3);
+  EXPECT_EQ(n.count(CellKind::Dff), 2);
+  EXPECT_EQ(n.total_cells(), 5);
+  EXPECT_THROW(n.add(CellKind::Inv, -1), std::invalid_argument);
+}
+
+TEST(Netlist, ComposeSubNetlists) {
+  Netlist sub("sub");
+  sub.add(CellKind::Mux2, 4);
+  Netlist top("top");
+  top.add(sub, 3);
+  EXPECT_EQ(top.count(CellKind::Mux2), 12);
+}
+
+TEST(Netlist, AreaIsSumOfCells) {
+  Netlist n("x");
+  n.add(CellKind::Dff, 10);
+  EXPECT_NEAR(n.area_um2(lib()), 10 * lib().cell(CellKind::Dff).area_um2, 1e-9);
+}
+
+TEST(Netlist, PowerSplitsLeakageAndDynamic) {
+  Netlist n("x");
+  n.add(CellKind::Dff, 10);
+  const Cell& d = lib().cell(CellKind::Dff);
+  const double idle = n.power_uw(lib(), 0.0, 1000.0);
+  const double active = n.power_uw(lib(), 1.0, 1000.0);
+  EXPECT_NEAR(idle, 10 * d.leak_uw, 1e-9);
+  EXPECT_NEAR(active, 10 * (d.leak_uw + d.dyn_uw_mhz * 1000.0), 1e-9);
+  EXPECT_THROW(n.power_uw(lib(), 1.5, 1000.0), std::invalid_argument);
+}
+
+TEST(Blocks, ShapesScale) {
+  EXPECT_EQ(blocks::mux(5, 32).count(CellKind::Mux2), 4 * 32);
+  EXPECT_EQ(blocks::dff_bank(7).count(CellKind::Dff), 7);
+  EXPECT_GT(blocks::rr_arbiter(20).total_cells(),
+            blocks::rr_arbiter(4).total_cells());
+  EXPECT_GT(blocks::comparator(8).total_cells(),
+            blocks::comparator(4).total_cells());
+}
+
+// ---- Paper §VI-A: area and power overheads ----
+
+TEST(SynthesisReport, AreaOverheadNearPaper) {
+  const SynthesisReport r = synthesize(rel::RouterGeometry{});
+  // Paper: correction circuitry alone 28%, with fault detection 31%.
+  EXPECT_NEAR(r.area_overhead, 0.28, 0.02);
+  EXPECT_NEAR(r.area_overhead_with_detection, 0.31, 0.02);
+}
+
+TEST(SynthesisReport, PowerOverheadNearPaper) {
+  const SynthesisReport r = synthesize(rel::RouterGeometry{});
+  // Paper: 29% (correction only), 30% with detection.
+  EXPECT_NEAR(r.power_overhead, 0.29, 0.02);
+  EXPECT_NEAR(r.power_overhead_with_detection, 0.30, 0.02);
+}
+
+TEST(SynthesisReport, AbsolutesArePositiveAndOrdered) {
+  const SynthesisReport r = synthesize(rel::RouterGeometry{});
+  EXPECT_GT(r.base_area_um2, 0.0);
+  EXPECT_GT(r.corr_area_um2, 0.0);
+  EXPECT_LT(r.corr_area_um2, r.base_area_um2);
+  EXPECT_GT(r.base_power_uw, r.corr_power_uw);
+}
+
+TEST(SynthesisReport, BaselineAreaGrowsWithVcs) {
+  rel::RouterGeometry g2{}, g8{};
+  g2.vcs = 2;
+  g8.vcs = 8;
+  EXPECT_LT(synthesize(g2).base_area_um2, synthesize(g8).base_area_um2);
+}
+
+TEST(SynthesisReport, OverheadShrinksWithVcs) {
+  // The correction circuitry is mostly per-port; the baseline allocators grow
+  // super-linearly with VCs, so the relative overhead falls as VCs rise
+  // (this drives the SPF-vs-VC trend of paper §VIII-E).
+  rel::RouterGeometry g2{}, g8{};
+  g2.vcs = 2;
+  g8.vcs = 8;
+  EXPECT_GT(synthesize(g2).area_overhead, synthesize(g8).area_overhead);
+}
+
+// ---- Paper §VI-B: critical path ----
+
+TEST(Timing, RcUnaffected) {
+  const TimingReport t = critical_path_report(rel::RouterGeometry{});
+  EXPECT_DOUBLE_EQ(t.rc.baseline_ps, t.rc.protected_ps);
+}
+
+TEST(Timing, VaOverheadNear20Percent) {
+  const TimingReport t = critical_path_report(rel::RouterGeometry{});
+  EXPECT_NEAR(t.va.overhead(), 0.20, 0.05);
+}
+
+TEST(Timing, SaOverheadNear10Percent) {
+  const TimingReport t = critical_path_report(rel::RouterGeometry{});
+  EXPECT_NEAR(t.sa.overhead(), 0.10, 0.04);
+}
+
+TEST(Timing, XbOverheadNear25Percent) {
+  const TimingReport t = critical_path_report(rel::RouterGeometry{});
+  EXPECT_NEAR(t.xb.overhead(), 0.25, 0.04);
+}
+
+TEST(Timing, ProtectedNeverFaster) {
+  const TimingReport t = critical_path_report(rel::RouterGeometry{});
+  for (const StageTiming* s : {&t.rc, &t.va, &t.sa, &t.xb})
+    EXPECT_GE(s->protected_ps, s->baseline_ps);
+}
+
+TEST(Timing, ZeroSlackPeriodEqualsPathDelay) {
+  const auto path = baseline_critical_path(Stage::VA, rel::RouterGeometry{});
+  const double delay = path_delay_ps(path, lib());
+  EXPECT_NEAR(zero_slack_period(path, lib()), delay, 1e-3);
+}
+
+TEST(Timing, ZeroSlackRejectsBadBracket) {
+  const auto path = baseline_critical_path(Stage::VA, rel::RouterGeometry{});
+  EXPECT_THROW(zero_slack_period(path, lib(), 1.0, 2.0), std::invalid_argument);
+}
+
+TEST(Timing, VaPathDeepensWithMoreVcs) {
+  rel::RouterGeometry g2{}, g16{};
+  g2.vcs = 2;
+  g16.vcs = 16;
+  EXPECT_LT(path_delay_ps(baseline_critical_path(Stage::VA, g2), lib()),
+            path_delay_ps(baseline_critical_path(Stage::VA, g16), lib()));
+}
+
+}  // namespace
+}  // namespace rnoc::synth

@@ -1,0 +1,119 @@
+// Tests for noc/telemetry: heatmaps and the occupancy sampler.
+#include <gtest/gtest.h>
+
+#include "noc/simulator.hpp"
+#include "noc/telemetry.hpp"
+#include "traffic/patterns.hpp"
+
+namespace rnoc::noc {
+namespace {
+
+TEST(Heatmap, GridShapeMatchesMesh) {
+  MeshConfig cfg;
+  cfg.dims = {5, 3};
+  Mesh m(cfg);
+  const std::string h = heatmap(m, HeatmapMetric::Traversals);
+  // 3 digit rows + 1 legend line.
+  int lines = 0;
+  for (char c : h)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(h.find("crossbar traversals"), std::string::npos);
+}
+
+TEST(Heatmap, UniformValuesRenderZero) {
+  MeshConfig cfg;
+  cfg.dims = {3, 3};
+  Mesh m(cfg);  // no traffic: all counters equal (0)
+  const std::string h = heatmap(m, HeatmapMetric::Traversals);
+  const std::string grid = h.substr(0, h.find('['));  // skip the legend
+  for (char c : grid)
+    if (c >= '1' && c <= '9') FAIL() << "expected flat heatmap";
+}
+
+TEST(Heatmap, HotspotShowsUp) {
+  SimConfig cfg;
+  cfg.mesh.dims = {5, 5};
+  cfg.warmup = 200;
+  cfg.measure = 3000;
+  cfg.drain_limit = 20000;
+  cfg.progress_timeout = 20000;
+  traffic::SyntheticConfig tc;
+  tc.pattern = traffic::Pattern::Hotspot;
+  tc.hotspots = {12};  // center of the 5x5
+  tc.hotspot_fraction = 0.9;
+  tc.injection_rate = 0.06;
+  Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  sim.run();
+  // The center router must carry the hottest traversal count.
+  const Mesh& m = sim.mesh();
+  std::uint64_t center = m.router(12).stats().flits_traversed;
+  for (NodeId n = 0; n < m.nodes(); ++n)
+    EXPECT_LE(m.router(n).stats().flits_traversed, center) << n;
+  const std::string h = heatmap(m, HeatmapMetric::Traversals);
+  EXPECT_NE(h.find('9'), std::string::npos);
+}
+
+TEST(Heatmap, FaultMetricCountsInjections) {
+  MeshConfig cfg;
+  cfg.dims = {2, 2};
+  Mesh m(cfg);
+  m.router(3).faults().inject({fault::SiteType::XbMux, 1, 0});
+  m.router(3).faults().inject({fault::SiteType::RcPrimary, 0, 0});
+  const std::string h = heatmap(m, HeatmapMetric::Faults);
+  EXPECT_NE(h.find('9'), std::string::npos);  // router 3 is the max
+}
+
+TEST(OccupancySampler, AveragesAccumulate) {
+  MeshConfig cfg;
+  cfg.dims = {2, 2};
+  Mesh m(cfg);
+  OccupancySampler s(m.nodes());
+  EXPECT_EQ(s.samples(), 0u);
+  EXPECT_DOUBLE_EQ(s.network_average(), 0.0);
+  s.sample(m);
+  s.sample(m);
+  EXPECT_EQ(s.samples(), 2u);
+  EXPECT_DOUBLE_EQ(s.average(0), 0.0);  // empty network
+}
+
+TEST(OccupancySampler, MeshSizeMismatchThrows) {
+  MeshConfig cfg;
+  cfg.dims = {2, 2};
+  Mesh m(cfg);
+  OccupancySampler s(9);
+  EXPECT_THROW(s.sample(m), std::invalid_argument);
+}
+
+TEST(OccupancySampler, SimulatorIntegration) {
+  SimConfig cfg;
+  cfg.mesh.dims = {4, 4};
+  cfg.warmup = 200;
+  cfg.measure = 2000;
+  cfg.drain_limit = 8000;
+  cfg.telemetry_interval = 10;
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.10;
+  Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  sim.run();
+  EXPECT_GT(sim.occupancy().samples(), 100u);
+  EXPECT_GT(sim.occupancy().network_average(), 0.0);
+  const std::string h = sim.occupancy().heatmap(cfg.mesh.dims);
+  EXPECT_NE(h.find("avg buffered flits"), std::string::npos);
+}
+
+TEST(OccupancySampler, OffByDefault) {
+  SimConfig cfg;
+  cfg.mesh.dims = {2, 2};
+  cfg.warmup = 100;
+  cfg.measure = 500;
+  cfg.drain_limit = 2000;
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.05;
+  Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  sim.run();
+  EXPECT_EQ(sim.occupancy().samples(), 0u);
+}
+
+}  // namespace
+}  // namespace rnoc::noc

@@ -1,0 +1,151 @@
+// Tests for traffic/trace: recording, serialization round trips, and replay
+// equivalence on the live simulator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "noc/simulator.hpp"
+#include "traffic/app_profiles.hpp"
+#include "traffic/trace.hpp"
+
+namespace rnoc::traffic {
+namespace {
+
+noc::SimConfig small_cfg() {
+  noc::SimConfig cfg;
+  cfg.mesh.dims = {4, 4};
+  cfg.warmup = 300;
+  cfg.measure = 2000;
+  cfg.drain_limit = 6000;
+  return cfg;
+}
+
+TEST(Trace, RecorderCapturesGeneratedPackets) {
+  SyntheticConfig tc;
+  tc.injection_rate = 0.2;
+  auto recorder =
+      std::make_shared<TraceRecorder>(std::make_shared<SyntheticTraffic>(tc));
+  noc::Simulator sim(small_cfg(), recorder);
+  const auto rep = sim.run();
+  EXPECT_EQ(recorder->trace().size(), rep.packets_sent);
+  for (const auto& e : recorder->trace()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_EQ(e.size_flits, 5);
+  }
+}
+
+TEST(Trace, RecorderCapturesCoherenceResponses) {
+  auto recorder =
+      std::make_shared<TraceRecorder>(make_traffic(find_profile("ocean")));
+  noc::Simulator sim(small_cfg(), recorder);
+  sim.run();
+  bool saw_request = false, saw_data = false;
+  for (const auto& e : recorder->trace()) {
+    if (e.traffic_class == static_cast<std::uint8_t>(CoherenceClass::Request))
+      saw_request = true;
+    if (e.traffic_class == static_cast<std::uint8_t>(CoherenceClass::Data))
+      saw_data = true;
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_data);
+}
+
+TEST(Trace, SaveParseRoundTrip) {
+  SyntheticConfig tc;
+  tc.injection_rate = 0.15;
+  auto recorder =
+      std::make_shared<TraceRecorder>(std::make_shared<SyntheticTraffic>(tc));
+  noc::Simulator sim(small_cfg(), recorder);
+  sim.run();
+
+  std::stringstream ss;
+  recorder->save(ss);
+  const auto parsed = TraceRecorder::parse(ss);
+  ASSERT_EQ(parsed.size(), recorder->trace().size());
+  // save() sorts by cycle; verify monotonicity and content preservation.
+  for (std::size_t i = 1; i < parsed.size(); ++i)
+    EXPECT_LE(parsed[i - 1].cycle, parsed[i].cycle);
+  std::multiset<std::uint64_t> a, b;
+  for (const auto& e : recorder->trace())
+    a.insert(e.cycle ^ (static_cast<std::uint64_t>(e.src) << 32) ^
+             (static_cast<std::uint64_t>(e.dst) << 48));
+  for (const auto& e : parsed)
+    b.insert(e.cycle ^ (static_cast<std::uint64_t>(e.src) << 32) ^
+             (static_cast<std::uint64_t>(e.dst) << 48));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Trace, ParseRejectsGarbage) {
+  std::stringstream ss("12 0 3 five 0 0\n");
+  EXPECT_THROW(TraceRecorder::parse(ss), std::invalid_argument);
+}
+
+TEST(Trace, ParseSkipsCommentsAndBlanks) {
+  std::stringstream ss("# a comment\n\n10 0 3 2 1 7\n");
+  const auto parsed = TraceRecorder::parse(ss);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].cycle, 10u);
+  EXPECT_EQ(parsed[0].dst, 3);
+  EXPECT_EQ(parsed[0].payload, 7u);
+}
+
+TEST(Trace, ReplayInjectsSamePacketCount) {
+  SyntheticConfig tc;
+  tc.injection_rate = 0.12;
+  auto recorder =
+      std::make_shared<TraceRecorder>(std::make_shared<SyntheticTraffic>(tc));
+  {
+    noc::Simulator sim(small_cfg(), recorder);
+    sim.run();
+  }
+  const std::size_t recorded = recorder->trace().size();
+
+  auto replay = std::make_shared<TraceReplay>(recorder->trace());
+  noc::Simulator sim(small_cfg(), replay);
+  const auto rep = sim.run();
+  EXPECT_EQ(rep.packets_sent, recorded);
+  EXPECT_EQ(rep.packets_received, recorded);
+  EXPECT_EQ(rep.undelivered_flits, 0u);
+}
+
+TEST(Trace, ReplayLatencyTracksOriginal) {
+  auto recorder =
+      std::make_shared<TraceRecorder>(make_traffic(find_profile("radix")));
+  double original_latency = 0.0;
+  {
+    noc::Simulator sim(small_cfg(), recorder);
+    original_latency = sim.run().avg_total_latency();
+  }
+  auto replay = std::make_shared<TraceReplay>(recorder->trace());
+  noc::Simulator sim(small_cfg(), replay);
+  const double replay_latency = sim.run().avg_total_latency();
+  // Replay breaks the response->request timing feedback, so allow slack;
+  // the load level and thus latency must still be in the same ballpark.
+  EXPECT_NEAR(replay_latency, original_latency, 0.25 * original_latency);
+}
+
+TEST(Trace, ReplayRejectsForeignMesh) {
+  std::vector<TraceEntry> entries = {{0, 0, 40, 1, 0, 0}};  // node 40
+  TraceReplay replay(entries);
+  EXPECT_THROW(replay.init(noc::MeshDims{4, 4}), std::invalid_argument);
+}
+
+TEST(Trace, ReplayIsDeterministic) {
+  std::vector<TraceEntry> entries;
+  for (Cycle c = 0; c < 50; ++c)
+    entries.push_back({c * 3, static_cast<NodeId>(c % 16),
+                       static_cast<NodeId>((c + 5) % 16), 2, 0, 0});
+  // Remove self-addressed entries.
+  std::erase_if(entries, [](const TraceEntry& e) { return e.src == e.dst; });
+  auto run = [&] {
+    noc::Simulator sim(small_cfg(), std::make_shared<TraceReplay>(entries));
+    return sim.run();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.packets_received, b.packets_received);
+  EXPECT_DOUBLE_EQ(a.avg_total_latency(), b.avg_total_latency());
+}
+
+}  // namespace
+}  // namespace rnoc::traffic

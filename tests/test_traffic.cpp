@@ -1,0 +1,260 @@
+// Tests for traffic/: synthetic patterns, coherence protocol reactions, and
+// the SPLASH-2 / PARSEC application profiles.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "traffic/app_profiles.hpp"
+#include "traffic/coherence.hpp"
+#include "traffic/patterns.hpp"
+
+namespace rnoc::traffic {
+namespace {
+
+noc::MeshDims dims8{8, 8};
+
+TEST(Patterns, TransposeMapsCoordinates) {
+  SyntheticConfig cfg;
+  cfg.pattern = Pattern::Transpose;
+  SyntheticTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(1);
+  // (2, 5) -> (5, 2).
+  EXPECT_EQ(t.destination(dims8.node_of({2, 5}), rng),
+            dims8.node_of({5, 2}));
+}
+
+TEST(Patterns, BitComplementMirrors) {
+  SyntheticConfig cfg;
+  cfg.pattern = Pattern::BitComplement;
+  SyntheticTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(1);
+  EXPECT_EQ(t.destination(0, rng), 63);
+  EXPECT_EQ(t.destination(21, rng), 42);
+}
+
+TEST(Patterns, TornadoHalfWay) {
+  SyntheticConfig cfg;
+  cfg.pattern = Pattern::Tornado;
+  SyntheticTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(1);
+  EXPECT_EQ(t.destination(dims8.node_of({1, 2}), rng),
+            dims8.node_of({5, 6}));
+}
+
+TEST(Patterns, NeighborWrapsAround) {
+  SyntheticConfig cfg;
+  cfg.pattern = Pattern::Neighbor;
+  SyntheticTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(1);
+  EXPECT_EQ(t.destination(dims8.node_of({7, 3}), rng),
+            dims8.node_of({0, 3}));
+}
+
+TEST(Patterns, UniformNeverSelf) {
+  SyntheticConfig cfg;
+  cfg.pattern = Pattern::UniformRandom;
+  SyntheticTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) EXPECT_NE(t.destination(20, rng), 20);
+}
+
+TEST(Patterns, UniformCoversAllDestinations) {
+  SyntheticConfig cfg;
+  cfg.pattern = Pattern::UniformRandom;
+  SyntheticTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(7);
+  std::map<NodeId, int> hist;
+  for (int i = 0; i < 12600; ++i) ++hist[t.destination(0, rng)];
+  EXPECT_EQ(hist.size(), 63u);
+}
+
+TEST(Patterns, HotspotFractionRespected) {
+  SyntheticConfig cfg;
+  cfg.pattern = Pattern::Hotspot;
+  cfg.hotspots = {27};
+  cfg.hotspot_fraction = 0.6;
+  SyntheticTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(3);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += t.destination(0, rng) == 27 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.6, 0.03);
+}
+
+TEST(Patterns, InjectionRateMatchesConfig) {
+  SyntheticConfig cfg;
+  cfg.injection_rate = 0.2;
+  cfg.packet_size = 5;
+  SyntheticTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(11);
+  std::vector<noc::PacketDesc> out;
+  const int cycles = 50000;
+  for (int c = 0; c < cycles; ++c) t.generate(static_cast<Cycle>(c), 0, rng, out);
+  // Expected packets = rate / size * cycles = 2000.
+  EXPECT_NEAR(static_cast<double>(out.size()), 2000.0, 150.0);
+  for (const auto& p : out) EXPECT_EQ(p.size_flits, 5);
+}
+
+TEST(Patterns, InvalidConfigRejected) {
+  SyntheticConfig cfg;
+  cfg.injection_rate = 1.5;
+  EXPECT_THROW(SyntheticTraffic{cfg}, std::invalid_argument);
+  cfg.injection_rate = 0.1;
+  cfg.packet_size = 0;
+  EXPECT_THROW(SyntheticTraffic{cfg}, std::invalid_argument);
+  cfg.packet_size = 5;
+  cfg.pattern = Pattern::Hotspot;  // no hotspots given
+  EXPECT_THROW(SyntheticTraffic{cfg}, std::invalid_argument);
+}
+
+// ---------- Coherence protocol ----------
+
+noc::Flit tail_of(CoherenceClass cls, NodeId src, NodeId dst,
+                  NodeId requester) {
+  noc::Flit f;
+  f.type = noc::FlitType::HeadTail;
+  f.src = src;
+  f.dst = dst;
+  f.traffic_class = static_cast<std::uint8_t>(cls);
+  f.payload = static_cast<std::uint64_t>(requester);
+  return f;
+}
+
+TEST(Coherence, RequestsCarryRequesterAndAreSingleFlit) {
+  CoherenceConfig cfg;
+  cfg.request_rate = 1.0;  // always generate
+  CoherenceTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(1);
+  std::vector<noc::PacketDesc> out;
+  t.generate(0, 5, rng, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size_flits, 1);
+  EXPECT_EQ(out[0].payload, 5u);
+  EXPECT_NE(out[0].dst, 5);
+  EXPECT_EQ(out[0].traffic_class,
+            static_cast<std::uint8_t>(CoherenceClass::Request));
+}
+
+TEST(Coherence, HomeAnswersRequestWithData) {
+  CoherenceConfig cfg;
+  cfg.forward_prob = 0.0;
+  cfg.invalidate_prob = 0.0;
+  CoherenceTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(2);
+  std::vector<Response> rs;
+  t.on_delivered(tail_of(CoherenceClass::Request, 5, 9, 5), 9, 100, rng, rs);
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].node, 9);
+  EXPECT_EQ(rs[0].desc.dst, 5);
+  EXPECT_EQ(rs[0].desc.size_flits, cfg.data_flits);
+  EXPECT_EQ(rs[0].ready, 100 + cfg.service_delay);
+  EXPECT_EQ(rs[0].desc.traffic_class,
+            static_cast<std::uint8_t>(CoherenceClass::Data));
+}
+
+TEST(Coherence, ForwardChainSuppliesRequester) {
+  CoherenceConfig cfg;
+  cfg.forward_prob = 1.0;
+  cfg.invalidate_prob = 0.0;
+  CoherenceTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(3);
+  std::vector<Response> rs;
+  t.on_delivered(tail_of(CoherenceClass::Request, 5, 9, 5), 9, 100, rng, rs);
+  ASSERT_EQ(rs.size(), 1u);
+  // Either forwarded to an owner, or answered directly when the drawn owner
+  // degenerates to the requester/home.
+  const auto cls = static_cast<CoherenceClass>(rs[0].desc.traffic_class);
+  ASSERT_TRUE(cls == CoherenceClass::Forward || cls == CoherenceClass::Data);
+  if (cls == CoherenceClass::Forward) {
+    EXPECT_EQ(rs[0].desc.size_flits, 1);
+    EXPECT_EQ(rs[0].desc.payload, 5u);
+    // The owner then supplies the data.
+    std::vector<Response> rs2;
+    t.on_delivered(
+        tail_of(CoherenceClass::Forward, 9, rs[0].desc.dst, 5),
+        rs[0].desc.dst, 200, rng, rs2);
+    ASSERT_EQ(rs2.size(), 1u);
+    EXPECT_EQ(rs2[0].desc.dst, 5);
+    EXPECT_EQ(rs2[0].desc.size_flits, cfg.data_flits);
+  }
+}
+
+TEST(Coherence, InvalidationsTriggerAcksToRequester) {
+  CoherenceConfig cfg;
+  cfg.forward_prob = 0.0;
+  cfg.invalidate_prob = 1.0;
+  cfg.sharers = 3;
+  CoherenceTraffic t(cfg);
+  t.init(dims8);
+  Rng rng(4);
+  std::vector<Response> rs;
+  t.on_delivered(tail_of(CoherenceClass::Request, 5, 9, 5), 9, 100, rng, rs);
+  int data = 0, inv = 0;
+  for (const auto& r : rs) {
+    const auto cls = static_cast<CoherenceClass>(r.desc.traffic_class);
+    if (cls == CoherenceClass::Data) ++data;
+    if (cls == CoherenceClass::Invalidate) ++inv;
+  }
+  EXPECT_EQ(data, 1);
+  EXPECT_GE(inv, 1);
+  EXPECT_LE(inv, 3);
+  // A sharer acks to the requester.
+  std::vector<Response> rs2;
+  t.on_delivered(tail_of(CoherenceClass::Invalidate, 9, 20, 5), 20, 150, rng,
+                 rs2);
+  ASSERT_EQ(rs2.size(), 1u);
+  EXPECT_EQ(rs2[0].desc.dst, 5);
+  EXPECT_EQ(rs2[0].desc.traffic_class,
+            static_cast<std::uint8_t>(CoherenceClass::Ack));
+}
+
+TEST(Coherence, TerminalMessagesProduceNothing) {
+  CoherenceTraffic t(CoherenceConfig{});
+  t.init(dims8);
+  Rng rng(5);
+  std::vector<Response> rs;
+  t.on_delivered(tail_of(CoherenceClass::Data, 9, 5, 5), 5, 100, rng, rs);
+  t.on_delivered(tail_of(CoherenceClass::Ack, 9, 5, 5), 5, 100, rng, rs);
+  EXPECT_TRUE(rs.empty());
+}
+
+// ---------- App profiles ----------
+
+TEST(AppProfiles, SuitesPopulated) {
+  EXPECT_EQ(splash2_profiles().size(), 10u);
+  EXPECT_EQ(parsec_profiles().size(), 11u);
+}
+
+TEST(AppProfiles, LookupByName) {
+  EXPECT_EQ(find_profile("ocean").suite, "SPLASH-2");
+  EXPECT_EQ(find_profile("canneal").suite, "PARSEC");
+  EXPECT_THROW(find_profile("doom3"), std::invalid_argument);
+}
+
+TEST(AppProfiles, ParsecLoadsNetworkHarderOnAverage) {
+  auto avg_rate = [](const std::vector<AppProfile>& ps) {
+    double sum = 0.0;
+    for (const auto& p : ps) sum += p.coherence.request_rate;
+    return sum / static_cast<double>(ps.size());
+  };
+  EXPECT_GT(avg_rate(parsec_profiles()), avg_rate(splash2_profiles()));
+}
+
+TEST(AppProfiles, AllProfilesConstructValidTraffic) {
+  for (const auto& p : splash2_profiles()) EXPECT_NE(make_traffic(p), nullptr);
+  for (const auto& p : parsec_profiles()) EXPECT_NE(make_traffic(p), nullptr);
+}
+
+}  // namespace
+}  // namespace rnoc::traffic
