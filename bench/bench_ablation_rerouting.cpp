@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "fault/fault_injector.hpp"
 #include "noc/simulator.hpp"
+#include "noc/sweep.hpp"
 #include "noc/table_routing.hpp"
 #include "traffic/patterns.hpp"
 
@@ -38,6 +39,15 @@ std::shared_ptr<traffic::TrafficModel> traffic_model() {
   tc.injection_rate = 0.10;
   tc.packet_size = 5;
   return std::make_shared<traffic::SyntheticTraffic>(tc);
+}
+
+noc::SweepJob make_job(core::RouterMode mode, const noc::FaultAwareTables* t,
+                       noc::RoutingAlgo algo = noc::RoutingAlgo::XY) {
+  noc::SweepJob job;
+  job.cfg = sim_config(mode, algo);
+  job.make_traffic = traffic_model;
+  job.tables = t;
+  return job;
 }
 
 /// `count` XbMux faults on distinct routers, on non-West mesh ports (the
@@ -85,14 +95,39 @@ struct RunResult {
 
 void print_study() {
   const noc::MeshDims dims{8, 8};
+  const int counts[] = {1, 2, 4, 8};
 
-  // Fault-free reference latency (XY, protected mode is identical fault-free).
-  double base_latency;
-  {
-    noc::Simulator sim(sim_config(core::RouterMode::Protected),
-                       traffic_model());
-    base_latency = sim.run().avg_total_latency();
+  // Build the fault sets and routing tables first (the tables must outlive
+  // the batch), then run the reference plus all four configurations per
+  // fault count as one parallel batch.
+  std::vector<MuxFaultSet> fault_sets;
+  std::vector<noc::FaultAwareTables> tables;
+  for (const int count : counts) {
+    fault_sets.push_back(make_faults(dims, count, 42 + count));
+    tables.push_back(
+        noc::FaultAwareTables::build(dims, fault_sets.back().dead_links));
   }
+
+  // Job 0: fault-free reference latency (XY; protected mode is identical
+  // fault-free). Then per count: XY, odd-even, reroute tables, protected.
+  std::vector<noc::SweepJob> jobs;
+  jobs.push_back(make_job(core::RouterMode::Protected, nullptr));
+  for (std::size_t ci = 0; ci < fault_sets.size(); ++ci) {
+    noc::SweepJob variants[] = {
+        make_job(core::RouterMode::Baseline, nullptr),
+        make_job(core::RouterMode::Baseline, nullptr,
+                 noc::RoutingAlgo::OddEven),
+        make_job(core::RouterMode::Baseline, &tables[ci]),
+        make_job(core::RouterMode::Protected, nullptr),
+    };
+    for (auto& job : variants) {
+      job.faults = fault_sets[ci].plan;
+      jobs.push_back(std::move(job));
+    }
+  }
+  const auto reports = noc::SweepRunner().run(jobs);
+
+  const double base_latency = reports[0].avg_total_latency();
   std::printf("Router-level protection vs network-level rerouting "
               "(ablation A5)\nuniform 0.10 flits/node/cycle, 8x8 mesh; "
               "fault-free latency %.2f cycles\n\n",
@@ -101,32 +136,14 @@ void print_study() {
               "baseline + XY", "baseline + odd-even",
               "baseline + reroute tables", "protected + XY (paper)");
 
-  for (const int count : {1, 2, 4, 8}) {
-    const MuxFaultSet faults = make_faults(dims, count, 42 + count);
-    const auto tables =
-        noc::FaultAwareTables::build(dims, faults.dead_links);
-
-    auto run_one = [&](core::RouterMode mode, const noc::FaultAwareTables* t,
-                       noc::RoutingAlgo algo = noc::RoutingAlgo::XY) {
-      noc::Simulator sim(sim_config(mode, algo), traffic_model());
-      if (t) sim.mesh().set_routing_tables(t);
-      fault::FaultPlan plan;
-      for (const auto& e : faults.plan.entries())
-        plan.add(e.at, e.router, e.site);
-      sim.set_fault_plan(std::move(plan));
-      const auto rep = sim.run();
+  for (std::size_t ci = 0; ci < fault_sets.size(); ++ci) {
+    auto result = [&](std::size_t variant) {
+      const noc::SimReport& rep = reports[1 + 4 * ci + variant];
       RunResult r;
       r.latency = rep.avg_total_latency();
       r.wedged = rep.deadlock_suspected || rep.undelivered_flits > 0;
       return r;
     };
-
-    const RunResult xy = run_one(core::RouterMode::Baseline, nullptr);
-    const RunResult oe = run_one(core::RouterMode::Baseline, nullptr,
-                                 noc::RoutingAlgo::OddEven);
-    const RunResult rt = run_one(core::RouterMode::Baseline, &tables);
-    const RunResult pr = run_one(core::RouterMode::Protected, nullptr);
-
     auto cell = [&](const RunResult& r, char* buf, std::size_t n) {
       if (r.wedged)
         std::snprintf(buf, n, "WEDGED");
@@ -135,11 +152,12 @@ void print_study() {
                       100 * (r.latency / base_latency - 1.0));
     };
     char a[64], b[64], c[64], d[64];
-    cell(xy, a, sizeof a);
-    cell(oe, b, sizeof b);
-    cell(rt, c, sizeof c);
-    cell(pr, d, sizeof d);
-    std::printf("%8d | %-24s | %-24s | %-24s | %-24s\n", count, a, b, c, d);
+    cell(result(0), a, sizeof a);
+    cell(result(1), b, sizeof b);
+    cell(result(2), c, sizeof c);
+    cell(result(3), d, sizeof d);
+    std::printf("%8d | %-24s | %-24s | %-24s | %-24s\n", counts[ci], a, b, c,
+                d);
   }
   std::printf("\nThe protected router pays less than rerouting (the detour "
               "lengthens paths and\nconcentrates load). Minimal-adaptive "

@@ -7,7 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "reliability/mttf.hpp"
 #include "reliability/structural_mttf.hpp"
 
@@ -15,39 +17,59 @@ using namespace rnoc::rel;
 
 namespace {
 
+constexpr double kVdds[] = {0.9, 1.0, 1.1};
+constexpr double kTemps[] = {300.0, 330.0, 360.0};
+constexpr double kShapes[] = {1.0, 1.5, 2.0, 3.0};
+
 void print_sweep() {
   const auto params = paper_calibrated_params();
   const RouterGeometry g;
+
+  // Evaluate the V/T grid in parallel, then print in order. The inner
+  // structural_mttf Monte-Carlo also uses global_pool(); its nested
+  // parallel_for runs inline on the worker (see common/thread_pool.hpp).
+  std::vector<MttfReport> grid(std::size(kVdds) * std::size(kTemps));
+  rnoc::global_pool().parallel_for(grid.size(), [&](std::size_t i,
+                                                    std::size_t) {
+    const double vdd = kVdds[i / std::size(kTemps)];
+    const double temp = kTemps[i % std::size(kTemps)];
+    grid[i] = mttf_report(g, params, /*as_printed=*/false, {vdd, temp});
+  });
 
   std::printf("Reliability vs operating point (ablation A7; paper point is "
               "1.0 V / 300 K)\n\n");
   std::printf("%8s %8s %14s %14s %12s\n", "Vdd", "T(K)", "baseline FIT",
               "MTTF base (h)", "improvement");
-  for (const double vdd : {0.9, 1.0, 1.1}) {
-    for (const double temp : {300.0, 330.0, 360.0}) {
-      OperatingPoint op{vdd, temp};
-      const auto rep = mttf_report(g, params, /*as_printed=*/false, op);
-      std::printf("%8.2f %8.0f %14.1f %14.0f %11.2fx\n", vdd, temp,
-                  rep.fit_baseline, rep.mttf_baseline_h, rep.improvement);
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::printf("%8.2f %8.0f %14.1f %14.0f %11.2fx\n",
+                kVdds[i / std::size(kTemps)], kTemps[i % std::size(kTemps)],
+                grid[i].fit_baseline, grid[i].mttf_baseline_h,
+                grid[i].improvement);
   }
   std::printf("\nFIT scales steeply with voltage and temperature (Eq. 2), "
               "but the improvement\nfactor is invariant: both the pipeline "
               "and its correction circuitry accelerate\ntogether. The "
               "paper's 6x claim is operating-point-independent.\n\n");
 
+  // shape x {baseline, protected} lifetimes, also fanned out on the pool.
+  std::vector<double> lifetimes(2 * std::size(kShapes));
+  rnoc::global_pool().parallel_for(
+      lifetimes.size(), [&](std::size_t i, std::size_t) {
+        StructuralMttfConfig cfg;
+        if (i % 2 == 0) cfg.mode = rnoc::core::RouterMode::Baseline;
+        cfg.trials = 20000;
+        cfg.weibull_shape = kShapes[i / 2];
+        lifetimes[i] = structural_mttf(cfg).lifetime_hours.mean();
+      });
+
   std::printf("Structural MTTF vs hazard shape (Weibull; 1.0 = exponential "
               "/ SOFR):\n");
   std::printf("%8s %16s %16s %12s\n", "shape", "baseline (h)",
               "protected (h)", "improvement");
-  for (const double shape : {1.0, 1.5, 2.0, 3.0}) {
-    StructuralMttfConfig base, prot;
-    base.mode = rnoc::core::RouterMode::Baseline;
-    base.trials = prot.trials = 20000;
-    base.weibull_shape = prot.weibull_shape = shape;
-    const double mb = structural_mttf(base).lifetime_hours.mean();
-    const double mp = structural_mttf(prot).lifetime_hours.mean();
-    std::printf("%8.1f %16.0f %16.0f %11.2fx\n", shape, mb, mp, mp / mb);
+  for (std::size_t s = 0; s < std::size(kShapes); ++s) {
+    const double mb = lifetimes[2 * s];
+    const double mp = lifetimes[2 * s + 1];
+    std::printf("%8.1f %16.0f %16.0f %11.2fx\n", kShapes[s], mb, mp, mp / mb);
   }
   std::printf("\nWear-out (shape > 1) squeezes the redundancy win: spare and "
               "primary age\ntogether, so the second failure follows the "

@@ -9,11 +9,17 @@
 #include "common/rng.hpp"
 #include "fault/fault_injector.hpp"
 #include "noc/simulator.hpp"
+#include "noc/sweep.hpp"
 #include "traffic/patterns.hpp"
 
 using namespace rnoc;
 
 namespace {
+
+constexpr traffic::Pattern kPatterns[] = {traffic::Pattern::UniformRandom,
+                                          traffic::Pattern::Transpose,
+                                          traffic::Pattern::Hotspot};
+constexpr double kRates[] = {0.02, 0.06, 0.10, 0.14, 0.18};
 
 noc::SimConfig sim_config() {
   noc::SimConfig cfg;
@@ -25,35 +31,51 @@ noc::SimConfig sim_config() {
   return cfg;
 }
 
-double run_once(traffic::Pattern pattern, double rate, bool faults) {
-  const auto cfg = sim_config();
+noc::SweepJob make_job(traffic::Pattern pattern, double rate, bool faults) {
+  noc::SweepJob job;
+  job.cfg = sim_config();
   traffic::SyntheticConfig tc;
   tc.pattern = pattern;
   tc.injection_rate = rate;
   tc.packet_size = 5;
   if (pattern == traffic::Pattern::Hotspot) tc.hotspots = {27, 36};
-  noc::Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  job.make_traffic = [tc] {
+    return std::make_shared<traffic::SyntheticTraffic>(tc);
+  };
   if (faults) {
     Rng rng(99);
-    sim.set_fault_plan(fault::FaultPlan::random(
-        cfg.mesh.dims, {noc::kMeshPorts, cfg.mesh.router.vcs},
-        core::RouterMode::Protected, 128, cfg.warmup, rng, true));
+    job.faults = fault::FaultPlan::random(
+        job.cfg.mesh.dims, {noc::kMeshPorts, job.cfg.mesh.router.vcs},
+        core::RouterMode::Protected, 128, job.cfg.warmup, rng, true);
   }
-  return sim.run().avg_total_latency();
+  return job;
+}
+
+double run_once(traffic::Pattern pattern, double rate, bool faults) {
+  const auto reports = noc::SweepRunner().run({make_job(pattern, rate, faults)});
+  return reports[0].avg_total_latency();
 }
 
 void print_sweep() {
+  // Whole grid (pattern x rate x {clean, faulty}) as one parallel batch.
+  std::vector<noc::SweepJob> jobs;
+  for (const auto pattern : kPatterns)
+    for (const double rate : kRates) {
+      jobs.push_back(make_job(pattern, rate, false));
+      jobs.push_back(make_job(pattern, rate, true));
+    }
+  const auto reports = noc::SweepRunner().run(jobs);
+
   std::printf("Load sweep: latency vs injection rate, fault-free vs 128 "
               "faults (protected 8x8)\n\n");
-  for (const auto pattern :
-       {traffic::Pattern::UniformRandom, traffic::Pattern::Transpose,
-        traffic::Pattern::Hotspot}) {
+  std::size_t i = 0;
+  for (const auto pattern : kPatterns) {
     std::printf("pattern: %s\n", traffic::pattern_name(pattern));
     std::printf("  %8s %12s %12s %10s\n", "rate", "fault-free", "faulty",
                 "penalty");
-    for (const double rate : {0.02, 0.06, 0.10, 0.14, 0.18}) {
-      const double clean = run_once(pattern, rate, false);
-      const double faulty = run_once(pattern, rate, true);
+    for (const double rate : kRates) {
+      const double clean = reports[i++].avg_total_latency();
+      const double faulty = reports[i++].avg_total_latency();
       std::printf("  %8.2f %9.2f cy %9.2f cy %+9.1f%%\n", rate, clean, faulty,
                   100 * (faulty / clean - 1.0));
     }

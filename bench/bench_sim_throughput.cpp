@@ -1,0 +1,182 @@
+// Simulator throughput: how fast the cycle-accurate model runs on the
+// Figure-7 workload.
+//
+// Reports simulated cycles/sec and flits/sec for single 8x8 fault-free and
+// faulted runs, then times the 16-run Figure-7 app sweep twice — full-sweep
+// sequential reference (the seed's loop structure: every router, every
+// stage, every cycle, one run after another) vs fast path (active-router
+// scheduling on the thread pool) — checking that every run's latency
+// statistics are bit-identical between the two.
+//
+// Note the in-binary reference is a *lower bound* on the speedup over the
+// seed implementation: it still benefits from the untoggleable fast-path
+// work (ring buffers, allocation-free allocators, O(1) accounting, fault
+// fast paths). EXPERIMENTS.md records the measured wall-clock ratio against
+// the actual seed commit; the absolute cycles/sec and sweep seconds emitted
+// in BENCH_sim_throughput.json are the numbers to track across commits.
+//
+// --smoke shrinks the workload for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "latency_common.hpp"
+#include "noc/sweep.hpp"
+#include "traffic/app_profiles.hpp"
+
+using namespace rnoc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The Figure-7 job list: (fault-free, faulted) pair per app, same config
+/// and seeds as bench_latency_splash2.
+std::vector<noc::SweepJob> figure7_jobs(const noc::SimConfig& cfg,
+                                        std::size_t napps,
+                                        bool active_scheduling) {
+  const auto& apps = traffic::splash2_profiles();
+  if (napps > apps.size()) napps = apps.size();
+  noc::SimConfig mode_cfg = cfg;
+  mode_cfg.mesh.active_scheduling = active_scheduling;
+  std::vector<noc::SweepJob> jobs;
+  for (std::size_t i = 0; i < napps; ++i) {
+    auto pair = benchx::app_jobs(apps[i], mode_cfg, 1000 + i);
+    for (auto& j : pair) jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+/// Runs the jobs the way the seed simulator did: one after another on the
+/// calling thread.
+std::vector<noc::SimReport> run_sequential(
+    const std::vector<noc::SweepJob>& jobs) {
+  std::vector<noc::SimReport> reports;
+  reports.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    noc::Simulator sim(job.cfg, job.make_traffic());
+    if (!job.faults.entries().empty()) sim.set_fault_plan(job.faults);
+    reports.push_back(sim.run());
+  }
+  return reports;
+}
+
+/// Latency statistics (and therefore simulated behaviour) identical?
+bool reports_match(const std::vector<noc::SimReport>& a,
+                   const std::vector<noc::SimReport>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].total_latency.count() != b[i].total_latency.count() ||
+        a[i].total_latency.mean() != b[i].total_latency.mean() ||
+        a[i].network_latency.mean() != b[i].network_latency.mean() ||
+        a[i].packets_received != b[i].packets_received ||
+        a[i].flits_received != b[i].flits_received ||
+        a[i].cycles_run != b[i].cycles_run)
+      return false;
+  }
+  return true;
+}
+
+struct SingleRunRate {
+  double cycles_per_sec = 0.0;
+  double flits_per_sec = 0.0;
+};
+
+SingleRunRate time_single_run(const noc::SweepJob& job) {
+  const auto t0 = Clock::now();
+  noc::Simulator sim(job.cfg, job.make_traffic());
+  if (!job.faults.entries().empty()) sim.set_fault_plan(job.faults);
+  const auto rep = sim.run();
+  const double dt = seconds_since(t0);
+  SingleRunRate r;
+  r.cycles_per_sec = static_cast<double>(rep.cycles_run) / dt;
+  // All flits the network moved end to end, not just measured-window ones.
+  r.flits_per_sec = static_cast<double>(rep.flits_received) / dt;
+  return r;
+}
+
+int run(bool smoke) {
+  noc::SimConfig cfg = benchx::figure_sim_config();
+  std::size_t napps = 8;  // 8 apps x {fault-free, faulted} = 16 runs
+  if (smoke) {
+    cfg.warmup = 500;
+    cfg.measure = 1500;
+    cfg.drain_limit = 5000;
+    napps = 2;
+  }
+
+  // Single-run rates, fast path.
+  const auto single_jobs = figure7_jobs(cfg, 1, /*active_scheduling=*/true);
+  const SingleRunRate clean = time_single_run(single_jobs[0]);
+  const SingleRunRate faulted = time_single_run(single_jobs[1]);
+  std::printf("Simulator throughput (8x8 mesh, coherence traffic)\n\n");
+  std::printf("  fault-free run: %10.0f cycles/s %12.0f flits/s\n",
+              clean.cycles_per_sec, clean.flits_per_sec);
+  std::printf("  faulted run:    %10.0f cycles/s %12.0f flits/s\n\n",
+              faulted.cycles_per_sec, faulted.flits_per_sec);
+
+  // Figure-7 sweep, full-sweep sequential reference vs fast path.
+  const auto ref_jobs = figure7_jobs(cfg, napps, /*active_scheduling=*/false);
+  const auto fast_jobs = figure7_jobs(cfg, napps, /*active_scheduling=*/true);
+
+  auto t0 = Clock::now();
+  const auto ref_reports = run_sequential(ref_jobs);
+  const double ref_s = seconds_since(t0);
+
+  t0 = Clock::now();
+  const auto fast_reports = noc::SweepRunner().run(fast_jobs);
+  const double fast_s = seconds_since(t0);
+
+  const bool match = reports_match(ref_reports, fast_reports);
+  const double speedup = ref_s / fast_s;
+  std::printf("Figure-7 sweep (%zu runs):\n", ref_jobs.size());
+  std::printf("  full-sweep sequential reference:    %8.2f s\n", ref_s);
+  std::printf("  fast (active scheduling, parallel): %8.2f s\n", fast_s);
+  std::printf("  speedup vs in-binary reference: %.2fx   "
+              "latencies identical: %s\n",
+              speedup, match ? "yes" : "NO (BUG)");
+  std::printf("  (lower bound: the reference shares the fast data "
+              "structures; see EXPERIMENTS.md\n"
+              "   for the measured ratio against the seed commit)\n\n");
+
+  std::FILE* out = std::fopen("BENCH_sim_throughput.json", "w");
+  if (out) {
+    std::fprintf(
+        out,
+        "{\"bench\": \"sim_throughput\", \"smoke\": %s, "
+        "\"mesh\": \"8x8\", \"sweep_runs\": %zu, "
+        "\"fault_free_cycles_per_sec\": %.0f, "
+        "\"fault_free_flits_per_sec\": %.0f, "
+        "\"faulted_cycles_per_sec\": %.0f, "
+        "\"faulted_flits_per_sec\": %.0f, "
+        "\"sweep_reference_seconds\": %.4f, \"sweep_fast_seconds\": %.4f, "
+        "\"speedup_vs_reference\": %.3f, \"latencies_identical\": %s}\n",
+        smoke ? "true" : "false", ref_jobs.size(), clean.cycles_per_sec,
+        clean.flits_per_sec, faulted.cycles_per_sec, faulted.flits_per_sec,
+        ref_s, fast_s, speedup, match ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote BENCH_sim_throughput.json\n");
+  }
+
+  if (!match) {
+    std::fprintf(stderr,
+                 "FAIL: fast-path reports differ from full-sweep reports\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  return run(smoke);
+}

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "fault/fault_injector.hpp"
 #include "noc/simulator.hpp"
+#include "noc/sweep.hpp"
 #include "traffic/app_profiles.hpp"
 
 namespace rnoc::benchx {
@@ -43,33 +44,49 @@ inline fault::FaultPlan figure_fault_plan(const noc::SimConfig& cfg,
       cfg.warmup / 5, rng);
 }
 
+/// The fault-free/faulted job pair for one application. The two jobs share
+/// a config and seed but own separate traffic-model instances, so they can
+/// run on different workers.
+inline std::vector<noc::SweepJob> app_jobs(const traffic::AppProfile& profile,
+                                           const noc::SimConfig& cfg,
+                                           std::uint64_t seed) {
+  noc::SweepJob clean;
+  clean.cfg = cfg;
+  clean.make_traffic = [profile] { return traffic::make_traffic(profile); };
+  noc::SweepJob faulty = clean;
+  faulty.faults = figure_fault_plan(cfg, seed);
+  return {std::move(clean), std::move(faulty)};
+}
+
+inline AppLatency check_app_pair(const std::string& name,
+                                 const noc::SimReport& clean,
+                                 const noc::SimReport& faulty) {
+  require(!clean.deadlock_suspected,
+          "latency bench: fault-free run deadlocked");
+  require(!faulty.deadlock_suspected, "latency bench: faulty run deadlocked");
+  require(faulty.undelivered_flits == 0,
+          "latency bench: protected run lost flits");
+  return {name, clean.avg_total_latency(), faulty.avg_total_latency()};
+}
+
 inline AppLatency run_app(const traffic::AppProfile& profile,
                           const noc::SimConfig& cfg, std::uint64_t seed) {
-  auto traffic = traffic::make_traffic(profile);
-  AppLatency r;
-  r.name = profile.name;
-  {
-    noc::Simulator sim(cfg, traffic);
-    const auto rep = sim.run();
-    require(!rep.deadlock_suspected,
-            "latency bench: fault-free run deadlocked");
-    r.fault_free = rep.avg_total_latency();
-  }
-  {
-    noc::Simulator sim(cfg, traffic);
-    sim.set_fault_plan(figure_fault_plan(cfg, seed));
-    const auto rep = sim.run();
-    require(!rep.deadlock_suspected, "latency bench: faulty run deadlocked");
-    require(rep.undelivered_flits == 0,
-            "latency bench: protected run lost flits");
-    r.with_faults = rep.avg_total_latency();
-  }
-  return r;
+  const auto reports = noc::SweepRunner().run(app_jobs(profile, cfg, seed));
+  return check_app_pair(profile.name, reports[0], reports[1]);
 }
 
 inline void print_figure(const char* title,
                          const std::vector<traffic::AppProfile>& apps,
                          double paper_overall_increase) {
+  // One batch of (fault-free, faulted) pairs across the whole figure; the
+  // sweep runner fans the 2 x apps simulations out over the thread pool.
+  std::vector<noc::SweepJob> jobs;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    auto pair = app_jobs(apps[i], figure_sim_config(), 1000 + i);
+    for (auto& j : pair) jobs.push_back(std::move(j));
+  }
+  const auto reports = noc::SweepRunner().run(jobs);
+
   std::printf("%s\n", title);
   std::printf("fault schedule: one permanent fault per pipeline stage per "
               "router (paper §IX, scaled)\n\n");
@@ -77,7 +94,8 @@ inline void print_figure(const char* title,
               "with faults", "increase");
   double sum_ff = 0.0, sum_f = 0.0;
   for (std::size_t i = 0; i < apps.size(); ++i) {
-    const AppLatency r = run_app(apps[i], figure_sim_config(), 1000 + i);
+    const AppLatency r =
+        check_app_pair(apps[i].name, reports[2 * i], reports[2 * i + 1]);
     std::printf("%-14s %9.2f cy %9.2f cy %+9.1f%%\n", r.name.c_str(),
                 r.fault_free, r.with_faults, 100 * r.increase());
     sum_ff += r.fault_free;

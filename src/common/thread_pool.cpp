@@ -2,6 +2,18 @@
 
 namespace rnoc {
 
+namespace {
+
+// Identity of the pool (and worker slot) the current thread belongs to, if
+// any. Lets parallel_for detect re-entrant use from one of its own workers:
+// blocking there would deadlock (the worker waiting on cv_done_ is also the
+// one expected to drain the job), and publishing a second Job would clobber
+// the outer one. Nested calls run inline instead.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker_index = 0;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -24,6 +36,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::parallel_for(
     std::size_t items, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (items == 0) return;
+  if (on_worker_thread()) {
+    for (std::size_t i = 0; i < items; ++i) fn(i, tls_worker_index);
+    return;
+  }
   Job job;
   job.items = items;
   job.fn = &fn;
@@ -44,7 +60,11 @@ void ThreadPool::parallel_for(
   if (job.error) std::rethrow_exception(job.error);
 }
 
+bool ThreadPool::on_worker_thread() const { return tls_pool == this; }
+
 void ThreadPool::worker_loop(std::size_t worker_index) {
+  tls_pool = this;
+  tls_worker_index = worker_index;
   std::uint64_t seen_generation = 0;
   for (;;) {
     Job* job = nullptr;

@@ -30,8 +30,16 @@ class ThreadPool {
   /// Runs fn(item_index, worker_index) for every item in [0, items).
   /// Blocks until all items complete. Exceptions thrown by fn propagate
   /// (the first one wins; remaining items may be skipped).
+  ///
+  /// Re-entrant: calling parallel_for from inside a task running on this
+  /// pool executes the nested loop inline on the calling worker (same
+  /// worker_index for every item) instead of deadlocking on the single
+  /// job slot.
   void parallel_for(std::size_t items,
                     const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
 
  private:
   struct Job {

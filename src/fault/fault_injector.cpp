@@ -174,6 +174,7 @@ int FaultInjector::apply_due(Cycle now, noc::Mesh& mesh) {
     if (mesh.router(e.router).faults().inject(e.site)) {
       ++injected_;
       ++n;
+      mesh.notify_fault(e.router);
       if (e.duration > 0) {
         expiries_.push_back({e.at + e.duration, e.router, e.site});
         std::sort(expiries_.begin(), expiries_.end(),
@@ -184,7 +185,10 @@ int FaultInjector::apply_due(Cycle now, noc::Mesh& mesh) {
   }
   while (!expiries_.empty() && expiries_.front().at <= now) {
     const Expiry& x = expiries_.front();
-    if (mesh.router(x.router).faults().remove(x.site)) ++expired_;
+    if (mesh.router(x.router).faults().remove(x.site)) {
+      ++expired_;
+      mesh.notify_fault(x.router);
+    }
     expiries_.erase(expiries_.begin());
   }
   return n;

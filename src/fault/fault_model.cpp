@@ -9,10 +9,6 @@ namespace {
 /// declaration order; per-port types use vc 0 only.
 constexpr int kTypeCount = 10;
 
-bool type_uses_vc(SiteType t) {
-  return t == SiteType::Va1ArbiterSet || t == SiteType::Va2Arbiter;
-}
-
 bool type_is_correction(SiteType t) {
   switch (t) {
     case SiteType::RcSpare:
@@ -59,22 +55,6 @@ RouterFaultState::RouterFaultState(const FaultGeometry& g) : geom_(g) {
                      static_cast<std::size_t>(g.ports) *
                      static_cast<std::size_t>(g.vcs),
                  false);
-}
-
-std::size_t RouterFaultState::index_of(SiteType t, int a, int b) const {
-  require(a >= 0 && a < geom_.ports, "RouterFaultState: port out of range");
-  require(b >= 0 && b < geom_.vcs, "RouterFaultState: vc out of range");
-  require(type_uses_vc(t) || b == 0,
-          "RouterFaultState: vc index on a per-port site");
-  const auto ti = static_cast<std::size_t>(t);
-  return (ti * static_cast<std::size_t>(geom_.ports) +
-          static_cast<std::size_t>(a)) *
-             static_cast<std::size_t>(geom_.vcs) +
-         static_cast<std::size_t>(b);
-}
-
-bool RouterFaultState::has(SiteType t, int a, int b) const {
-  return faulty_[index_of(t, a, b)];
 }
 
 bool RouterFaultState::inject(const FaultSite& s) {

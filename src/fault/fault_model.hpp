@@ -41,6 +41,11 @@ struct FaultSite {
 
 std::string to_string(const FaultSite& s);
 
+/// True for site types addressed per (port, vc) rather than per port.
+inline bool type_uses_vc(SiteType t) {
+  return t == SiteType::Va1ArbiterSet || t == SiteType::Va2Arbiter;
+}
+
 /// Geometry needed to enumerate and validate fault sites. `vnets` matters
 /// for the failure predicate: VA stage-2 redundancy (paper §V-B3) only works
 /// within a virtual network, so each vnet needs a surviving arbiter.
@@ -57,7 +62,11 @@ class RouterFaultState {
 
   const FaultGeometry& geometry() const { return geom_; }
 
-  bool has(SiteType t, int a, int b = 0) const;
+  /// Inline: this is the router pipeline's innermost predicate (called for
+  /// every candidate VC/port every cycle).
+  bool has(SiteType t, int a, int b = 0) const {
+    return faulty_[index_of(t, a, b)];
+  }
   bool has(const FaultSite& s) const { return has(s.type, s.a, s.b); }
 
   /// Marks a site permanently faulty. Injecting an already-faulty site is a
@@ -78,7 +87,17 @@ class RouterFaultState {
                                                 bool include_correction);
 
  private:
-  std::size_t index_of(SiteType t, int a, int b) const;
+  std::size_t index_of(SiteType t, int a, int b) const {
+    require(a >= 0 && a < geom_.ports, "RouterFaultState: port out of range");
+    require(b >= 0 && b < geom_.vcs, "RouterFaultState: vc out of range");
+    require(type_uses_vc(t) || b == 0,
+            "RouterFaultState: vc index on a per-port site");
+    const auto ti = static_cast<std::size_t>(t);
+    return (ti * static_cast<std::size_t>(geom_.ports) +
+            static_cast<std::size_t>(a)) *
+               static_cast<std::size_t>(geom_.vcs) +
+           static_cast<std::size_t>(b);
+  }
 
   FaultGeometry geom_;
   std::vector<bool> faulty_;

@@ -8,19 +8,6 @@ RoundRobinArbiter::RoundRobinArbiter(int inputs) : inputs_(inputs) {
   require(inputs >= 1, "RoundRobinArbiter: need at least one input");
 }
 
-int RoundRobinArbiter::arbitrate(const std::vector<bool>& requests) {
-  require(static_cast<int>(requests.size()) == inputs_,
-          "RoundRobinArbiter::arbitrate: request vector size mismatch");
-  for (int i = 0; i < inputs_; ++i) {
-    const int idx = (pointer_ + i) % inputs_;
-    if (requests[idx]) {
-      pointer_ = (idx + 1) % inputs_;
-      return idx;
-    }
-  }
-  return -1;
-}
-
 void RoundRobinArbiter::set_pointer(int p) {
   require(p >= 0 && p < inputs_, "RoundRobinArbiter::set_pointer: out of range");
   pointer_ = p;

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace rnoc::noc {
 
 /// Rotating-priority (round-robin) arbiter over a fixed number of request
@@ -16,8 +18,20 @@ class RoundRobinArbiter {
 
   /// Grants one of the asserted requests (requests.size() == inputs()),
   /// returns its index and rotates priority, or returns -1 when no request
-  /// is asserted. Must not be called on a faulty arbiter.
-  int arbitrate(const std::vector<bool>& requests);
+  /// is asserted. Must not be called on a faulty arbiter. Inline: runs for
+  /// every port/VC with requests every cycle.
+  int arbitrate(const std::vector<bool>& requests) {
+    require(static_cast<int>(requests.size()) == inputs_,
+            "RoundRobinArbiter::arbitrate: request vector size mismatch");
+    for (int i = 0; i < inputs_; ++i) {
+      const int idx = (pointer_ + i) % inputs_;
+      if (requests[static_cast<std::size_t>(idx)]) {
+        pointer_ = (idx + 1) % inputs_;
+        return idx;
+      }
+    }
+    return -1;
+  }
 
   /// Priority pointer (next input to be favoured); exposed for tests.
   int pointer() const { return pointer_; }

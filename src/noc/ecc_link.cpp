@@ -23,6 +23,7 @@ std::optional<Flit> EccLink::take_flit(Cycle now) {
     // independent double-error in the same flit is negligible).
     Flit f = held_->flit;
     held_.reset();
+    if (counters()) --counters()->link_flits;
     ++stats_.flits_delivered;
     return f;
   }
@@ -31,9 +32,13 @@ std::optional<Flit> EccLink::take_flit(Cycle now) {
 
   const double roll = rng_.next_double();
   if (roll < double_ber_) {
-    // Uncorrectable: detected by SECDED, retransmit (1 cycle penalty).
+    // Uncorrectable: detected by SECDED, retransmit (1 cycle penalty). The
+    // flit stays in flight (base take_flit already decremented) and the
+    // consumer must be re-woken for the delayed delivery.
     ++stats_.retransmissions;
     held_ = Held{*f, now + 1};
+    if (counters()) ++counters()->link_flits;
+    notify_flit_ready(now + 1);
     return std::nullopt;
   }
   if (roll < double_ber_ + single_ber_) {

@@ -36,13 +36,9 @@ InputPort::InputPort(int vcs, int depth) : depth_(depth) {
   require(vcs >= 1, "InputPort: need at least one VC");
   require(depth >= 1, "InputPort: VC depth must be positive");
   vcs_.resize(static_cast<std::size_t>(vcs));
+  for (auto& v : vcs_) v.buffer.reserve(static_cast<std::size_t>(depth));
   l2p_.resize(static_cast<std::size_t>(vcs));
   for (int i = 0; i < vcs; ++i) l2p_[static_cast<std::size_t>(i)] = i;
-}
-
-int InputPort::check(int v) const {
-  require(v >= 0 && v < vcs(), "InputPort: VC index out of range");
-  return v;
 }
 
 int InputPort::logical_of(int phys) const {
@@ -71,6 +67,18 @@ void InputPort::write(const Flit& f) {
             "InputPort::write: body/tail flit into an Idle VC");
   }
   v.buffer.push_back(f);
+  ++buffered_;
+  if (counters_) ++counters_->router_flits;
+}
+
+Flit InputPort::pop_front(int phys) {
+  VirtualChannel& v = vcs_[static_cast<std::size_t>(check(phys))];
+  require(!v.buffer.empty(), "InputPort::pop_front: empty VC");
+  Flit f = v.buffer.front();
+  v.buffer.pop_front();
+  --buffered_;
+  if (counters_) --counters_->router_flits;
+  return f;
 }
 
 void InputPort::transfer(int from, int to) {
@@ -87,8 +95,8 @@ void InputPort::transfer(int from, int to) {
   dst.sp = src.sp;
   dst.fsp = src.fsp;
   dst.excluded_out_vc = src.excluded_out_vc;
-  dst.buffer = std::move(src.buffer);
-  src.buffer.clear();
+  // Swap (not move) so both VCs keep their preallocated ring storage.
+  std::swap(dst.buffer, src.buffer);
   src.reset_to_idle();
 
   // Swap the logical ids of the two physical VCs so that in-flight flits of
@@ -98,12 +106,6 @@ void InputPort::transfer(int from, int to) {
   const int l_to = logical_of(to);
   std::swap(l2p_[static_cast<std::size_t>(l_from)],
             l2p_[static_cast<std::size_t>(l_to)]);
-}
-
-int InputPort::buffered_flits() const {
-  int n = 0;
-  for (const auto& v : vcs_) n += static_cast<int>(v.buffer.size());
-  return n;
 }
 
 }  // namespace rnoc::noc

@@ -4,10 +4,11 @@
 // VC-to-VC flit transfer (paper §V-C1) without corrupting in-flight traffic.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "noc/flit.hpp"
+#include "noc/net_counters.hpp"
+#include "noc/ring_buffer.hpp"
 
 namespace rnoc::noc {
 
@@ -29,7 +30,7 @@ struct VirtualChannel {
   VcState state = VcState::Idle;  // 'G'
   int route = -1;                 // 'R': output port of the current packet
   int out_vc = -1;                // 'O': allocated downstream VC (logical id)
-  std::deque<Flit> buffer;
+  RingBuffer<Flit> buffer;        ///< Fixed capacity vc_depth; see ring_buffer.hpp.
 
   // --- Correction-circuitry state fields (protected router only) ---
   int r2 = -1;      // 'R2': RC result a borrowing VC placed here
@@ -77,20 +78,34 @@ class InputPort {
   /// arriving at an Idle VC moves it to Routing.
   void write(const Flit& f);
 
+  /// Pops and returns the head flit of physical VC `phys` (switch
+  /// traversal). Keeps the port's flit count and shared accounting exact.
+  Flit pop_front(int phys);
+
   /// Moves the whole packet (flits + state fields) from physical VC `from`
   /// into the empty, Idle physical VC `to`, and swaps their logical ids so
   /// that flits/credits still in flight stay consistent (paper §V-C1;
   /// 1-cycle operation, the cost is charged by the caller).
   void transfer(int from, int to);
 
-  int buffered_flits() const;
+  int buffered_flits() const { return buffered_; }
+
+  /// Shared accounting sink (set by the Mesh); nullptr = standalone use.
+  void set_counters(NetCounters* c) { counters_ = c; }
 
  private:
-  int check(int v) const;
+  // Inline: every allocator stage addresses VCs through this every cycle.
+  int check(int v) const {
+    require(v >= 0 && v < static_cast<int>(vcs_.size()),
+            "InputPort: VC index out of range");
+    return v;
+  }
 
   std::vector<VirtualChannel> vcs_;
   std::vector<int> l2p_;  ///< logical -> physical VC index (a permutation)
   int depth_;
+  int buffered_ = 0;  ///< Flits across all VCs (kept exact by write/pop).
+  NetCounters* counters_ = nullptr;
 };
 
 }  // namespace rnoc::noc

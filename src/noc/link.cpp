@@ -4,7 +4,10 @@
 
 namespace rnoc::noc {
 
-Link::Link(Cycle latency) : latency_(latency) {
+Link::Link(Cycle latency)
+    : flits_(static_cast<std::size_t>(latency) + 1),
+      credits_(2 * (static_cast<std::size_t>(latency) + 1)),
+      latency_(latency) {
   require(latency >= 1, "Link: latency must be at least one cycle");
 }
 
@@ -12,18 +15,22 @@ void Link::push_flit(const Flit& f, Cycle now) {
   require(last_flit_push_ == kNeverCycle || last_flit_push_ != now,
           "Link::push_flit: two flits pushed in one cycle");
   last_flit_push_ = now;
-  flits_.emplace_back(f, now + latency_);
+  flits_.push_back({f, now + latency_});
+  if (counters_) ++counters_->link_flits;
+  if (flit_listener_) flit_listener_(now + latency_);
 }
 
 std::optional<Flit> Link::take_flit(Cycle now) {
   if (flits_.empty() || flits_.front().second > now) return std::nullopt;
   Flit f = flits_.front().first;
   flits_.pop_front();
+  if (counters_) --counters_->link_flits;
   return f;
 }
 
 void Link::push_credit(const Credit& c, Cycle now) {
-  credits_.emplace_back(c, now + latency_);
+  credits_.push_back({c, now + latency_});
+  if (credit_listener_) credit_listener_(now + latency_);
 }
 
 std::optional<Credit> Link::take_credit(Cycle now) {

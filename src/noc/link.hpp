@@ -2,11 +2,13 @@
 // upstream, each with a fixed latency (default 1 cycle).
 #pragma once
 
-#include <deque>
+#include <functional>
 #include <optional>
 #include <utility>
 
 #include "noc/flit.hpp"
+#include "noc/net_counters.hpp"
+#include "noc/ring_buffer.hpp"
 
 namespace rnoc::noc {
 
@@ -33,11 +35,30 @@ class Link {
     return static_cast<int>(flits_.size());
   }
 
+  /// Scheduling hooks (set by the Mesh): invoked with the cycle at which a
+  /// pushed flit / credit becomes takeable, so the consumer can be woken
+  /// exactly then instead of polling every cycle.
+  using Listener = std::function<void(Cycle ready)>;
+  void set_flit_listener(Listener l) { flit_listener_ = std::move(l); }
+  void set_credit_listener(Listener l) { credit_listener_ = std::move(l); }
+
+  /// Shared accounting sink (set by the Mesh); nullptr = standalone use.
+  void set_counters(NetCounters* c) { counters_ = c; }
+
+ protected:
+  NetCounters* counters() const { return counters_; }
+  void notify_flit_ready(Cycle ready) {
+    if (flit_listener_) flit_listener_(ready);
+  }
+
  private:
-  std::deque<std::pair<Flit, Cycle>> flits_;      ///< (flit, ready_cycle)
-  std::deque<std::pair<Credit, Cycle>> credits_;  ///< (credit, ready_cycle)
+  RingBuffer<std::pair<Flit, Cycle>> flits_;      ///< (flit, ready_cycle)
+  RingBuffer<std::pair<Credit, Cycle>> credits_;  ///< (credit, ready_cycle)
   Cycle latency_;
   Cycle last_flit_push_ = kNeverCycle;
+  Listener flit_listener_;
+  Listener credit_listener_;
+  NetCounters* counters_ = nullptr;
 };
 
 }  // namespace rnoc::noc

@@ -1,5 +1,7 @@
 #include "noc/mesh.hpp"
 
+#include <algorithm>
+
 namespace rnoc::noc {
 
 Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
@@ -13,10 +15,24 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
     routers_.emplace_back(i, cfg.dims, cfg.router);
     nis_.emplace_back(i, ni_cfg);
   }
+  runnable_.assign(static_cast<std::size_t>(2 * n), 0);
+  require(cfg.link_latency >= 1, "Mesh: link latency must be >= 1");
+  wake_buckets_.resize(static_cast<std::size_t>(cfg.link_latency) + 2);
+  last_wake_at_.assign(static_cast<std::size_t>(2 * n), 0);
+
+  for (NodeId i = 0; i < n; ++i) {
+    routers_[static_cast<std::size_t>(i)].set_counters(&counters_);
+    NetworkInterface& ni = nis_[static_cast<std::size_t>(i)];
+    ni.set_counters(&counters_);
+    ni.set_wake_hook([this, i, n] { schedule_wake(n + i, 0); });
+  }
 
   const bool ecc = cfg.link_single_ber > 0.0 || cfg.link_double_ber > 0.0;
   std::uint64_t link_seed = cfg.ecc_seed;
-  auto make_link = [&]() -> Link* {
+  // Each link wakes the consumer of its flits at the flit's arrival cycle
+  // and the consumer of its credits at the credit's arrival cycle; those
+  // are different components (flits flow downstream, credits upstream).
+  auto make_link = [&](int flit_sink, int credit_sink) -> Link* {
     if (ecc) {
       links_.push_back(std::make_unique<EccLink>(
           cfg.link_single_ber, cfg.link_double_ber, ++link_seed,
@@ -24,13 +40,23 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
     } else {
       links_.push_back(std::make_unique<Link>(cfg.link_latency));
     }
-    return links_.back().get();
+    Link* l = links_.back().get();
+    l->set_counters(&counters_);
+    l->set_flit_listener([this, flit_sink](Cycle at) {
+      schedule_wake(flit_sink, at);
+    });
+    l->set_credit_listener([this, credit_sink](Cycle at) {
+      schedule_wake(credit_sink, at);
+    });
+    return l;
   };
 
   // NI <-> router local-port links.
   for (NodeId i = 0; i < n; ++i) {
-    Link* inj = make_link();  // NI -> router (flits), router -> NI (credits)
-    Link* ej = make_link();   // router -> NI (flits), NI -> router (credits)
+    // NI -> router (flits), router -> NI (credits).
+    Link* inj = make_link(/*flit_sink=*/i, /*credit_sink=*/n + i);
+    // router -> NI (flits), NI -> router (credits).
+    Link* ej = make_link(/*flit_sink=*/n + i, /*credit_sink=*/i);
     routers_[static_cast<std::size_t>(i)].attach_input(
         port_of(Direction::Local), inj);
     routers_[static_cast<std::size_t>(i)].attach_output(
@@ -44,8 +70,8 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
     const Coord c = cfg.dims.coord_of(i);
     if (c.x + 1 < cfg.dims.x) {
       const NodeId e = cfg.dims.node_of({c.x + 1, c.y});
-      Link* right = make_link();  // i -> e
-      Link* left = make_link();   // e -> i
+      Link* right = make_link(/*flit_sink=*/e, /*credit_sink=*/i);  // i -> e
+      Link* left = make_link(/*flit_sink=*/i, /*credit_sink=*/e);   // e -> i
       routers_[static_cast<std::size_t>(i)].attach_output(
           port_of(Direction::East), right);
       routers_[static_cast<std::size_t>(e)].attach_input(
@@ -57,8 +83,8 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
     }
     if (c.y + 1 < cfg.dims.y) {
       const NodeId s = cfg.dims.node_of({c.x, c.y + 1});
-      Link* down = make_link();  // i -> s
-      Link* up = make_link();    // s -> i
+      Link* down = make_link(/*flit_sink=*/s, /*credit_sink=*/i);  // i -> s
+      Link* up = make_link(/*flit_sink=*/i, /*credit_sink=*/s);    // s -> i
       routers_[static_cast<std::size_t>(i)].attach_output(
           port_of(Direction::South), down);
       routers_[static_cast<std::size_t>(s)].attach_input(
@@ -95,16 +121,112 @@ void Mesh::set_routing_tables(const FaultAwareTables* tables) {
   for (auto& r : routers_) r.set_routing_tables(tables);
 }
 
-void Mesh::step(Cycle now) {
-  for (auto& r : routers_) r.step_accept(now);
-  for (auto& r : routers_) r.step_st(now);
-  for (auto& r : routers_) r.step_sa(now);
-  for (auto& r : routers_) r.step_va(now);
-  for (auto& r : routers_) r.step_rc(now);
-  for (auto& ni : nis_) ni.step(now);
+void Mesh::schedule_wake(int idx, Cycle at) {
+  if (!cfg_.active_scheduling) return;  // Full sweep steps everything anyway.
+  Cycle& last = last_wake_at_[static_cast<std::size_t>(idx)];
+  if (last == at + 1) return;  // This exact wake is already queued.
+  last = at + 1;
+  if (at < next_drain_) {
+    overdue_wakes_.push_back(idx);
+    return;
+  }
+  require(at - next_drain_ < static_cast<Cycle>(wake_buckets_.size()),
+          "Mesh::schedule_wake: wake beyond the link-latency horizon");
+  wake_buckets_[at % static_cast<Cycle>(wake_buckets_.size())].push_back(idx);
 }
 
-int Mesh::flits_in_network() const {
+void Mesh::mark_runnable(int idx) {
+  if (runnable_[static_cast<std::size_t>(idx)]) return;
+  runnable_[static_cast<std::size_t>(idx)] = 1;
+  if (idx < nodes())
+    active_routers_.push_back(idx);
+  else
+    active_nis_.push_back(idx - nodes());
+}
+
+void Mesh::notify_fault(NodeId router) {
+  require(router >= 0 && router < nodes(), "Mesh::notify_fault: bad node");
+  schedule_wake(static_cast<int>(router), 0);
+}
+
+void Mesh::step(Cycle now) {
+  if (!cfg_.active_scheduling) {
+    for (auto& r : routers_) r.step_accept(now);
+    for (auto& r : routers_) r.step_st(now);
+    for (auto& r : routers_) r.step_sa(now);
+    for (auto& r : routers_) r.step_va(now);
+    for (auto& r : routers_) r.step_rc(now);
+    for (auto& ni : nis_) ni.step(now);
+    stepped_last_cycle_ = nodes();
+    return;
+  }
+
+  // Pull wakes due this cycle into the runnable sets: everything overdue,
+  // plus the buckets of all cycles up to `now` (one bucket when stepped on
+  // consecutive cycles; the whole ring covers any larger gap).
+  const std::size_t routers_before = active_routers_.size();
+  const std::size_t nis_before = active_nis_.size();
+  for (const int idx : overdue_wakes_) {
+    last_wake_at_[static_cast<std::size_t>(idx)] = 0;
+    mark_runnable(idx);
+  }
+  overdue_wakes_.clear();
+  const Cycle nbuckets = static_cast<Cycle>(wake_buckets_.size());
+  Cycle from = next_drain_;
+  if (now >= nbuckets && from < now + 1 - nbuckets) from = now + 1 - nbuckets;
+  for (Cycle c = from; c <= now; ++c) {
+    auto& bucket = wake_buckets_[c % nbuckets];
+    for (const int idx : bucket) {
+      last_wake_at_[static_cast<std::size_t>(idx)] = 0;
+      mark_runnable(idx);
+    }
+    bucket.clear();
+  }
+  next_drain_ = now + 1;
+
+  // Step in ascending node order, mirroring the full sweep exactly; routers
+  // untouched here would execute pure no-ops (verified by the determinism
+  // tests against the full-sweep reference). The lists stay sorted across
+  // cycles (retirement preserves order), so only cycles that woke someone
+  // need the re-sort.
+  if (active_routers_.size() != routers_before)
+    std::sort(active_routers_.begin(), active_routers_.end());
+  if (active_nis_.size() != nis_before)
+    std::sort(active_nis_.begin(), active_nis_.end());
+  for (const int r : active_routers_)
+    routers_[static_cast<std::size_t>(r)].step_accept(now);
+  for (const int r : active_routers_)
+    routers_[static_cast<std::size_t>(r)].step_st(now);
+  for (const int r : active_routers_)
+    routers_[static_cast<std::size_t>(r)].step_sa(now);
+  for (const int r : active_routers_)
+    routers_[static_cast<std::size_t>(r)].step_va(now);
+  for (const int r : active_routers_)
+    routers_[static_cast<std::size_t>(r)].step_rc(now);
+  for (const int i : active_nis_) nis_[static_cast<std::size_t>(i)].step(now);
+  stepped_last_cycle_ = static_cast<int>(active_routers_.size());
+
+  // Retire quiescent components; anything retired here is re-woken by the
+  // wake queue when a link event, enqueue or fault next concerns it.
+  std::size_t keep = 0;
+  for (const int r : active_routers_) {
+    if (routers_[static_cast<std::size_t>(r)].has_pending_work())
+      active_routers_[keep++] = r;
+    else
+      runnable_[static_cast<std::size_t>(r)] = 0;
+  }
+  active_routers_.resize(keep);
+  keep = 0;
+  for (const int i : active_nis_) {
+    if (!nis_[static_cast<std::size_t>(i)].injection_idle())
+      active_nis_[keep++] = i;
+    else
+      runnable_[static_cast<std::size_t>(nodes() + i)] = 0;
+  }
+  active_nis_.resize(keep);
+}
+
+int Mesh::recount_flits_in_network() const {
   int n = 0;
   for (const auto& r : routers_) n += r.buffered_flits();
   for (const auto& l : links_) n += l->flits_in_flight();

@@ -1,4 +1,21 @@
 // 2D-mesh network: routers, NIs and the links wiring them together.
+//
+// The mesh offers two stepping modes. The default, active-router
+// scheduling, is event-driven: only routers with work (buffered flits,
+// pending switch-traversal grants, or a link event due this cycle) and NIs
+// with injection work are stepped; everything else is skipped. Quiescent
+// components are re-woken exactly at the cycle a link event becomes
+// takeable, so the schedule is bit-identical to the full sweep — at the
+// paper's injection rates, most of an 8x8 mesh is idle most cycles, and
+// skipping it is where the simulator's speedup comes from. Setting
+// MeshConfig::active_scheduling = false restores the seed's full sweep
+// (every router, every stage, every cycle), kept as the reference for the
+// determinism tests.
+//
+// Incremental accounting: a NetCounters instance shared with every link,
+// input port and NI makes flits_in_network(), packets_delivered() and
+// all_injection_idle() O(1) — the simulator's per-cycle watchdog and drain
+// checks no longer sweep the network.
 #pragma once
 
 #include <memory>
@@ -6,6 +23,7 @@
 
 #include "noc/ecc_link.hpp"
 #include "noc/link.hpp"
+#include "noc/net_counters.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
@@ -21,6 +39,10 @@ struct MeshConfig {
   double link_single_ber = 0.0;
   double link_double_ber = 0.0;
   std::uint64_t ecc_seed = 0x5ecded;
+  /// Event-driven stepping (skip quiescent routers/NIs). Bit-identical to
+  /// the full sweep; disable only to cross-check determinism or benchmark
+  /// the seed behaviour.
+  bool active_scheduling = true;
 };
 
 class Mesh {
@@ -46,8 +68,31 @@ class Mesh {
   /// The tables must outlive the mesh or the next call.
   void set_routing_tables(const FaultAwareTables* tables);
 
-  /// Flits currently buffered in routers or in flight on links.
-  int flits_in_network() const;
+  /// Flits currently buffered in routers or in flight on links. O(1).
+  int flits_in_network() const {
+    return static_cast<int>(counters_.flits_in_network());
+  }
+
+  /// O(nodes + links) recount of flits_in_network(), for validating the
+  /// incremental counters in tests.
+  int recount_flits_in_network() const;
+
+  /// Total packets delivered (tail ejections) across all NIs. O(1).
+  std::uint64_t packets_delivered() const {
+    return counters_.packets_delivered;
+  }
+
+  /// True when every NI's injection path is idle (no queued or partially
+  /// sent packets). O(1).
+  bool all_injection_idle() const { return counters_.active_injectors == 0; }
+
+  /// Tells the scheduler a fault was injected into / removed from `router`
+  /// so the router is re-evaluated even if currently quiescent.
+  void notify_fault(NodeId router);
+
+  /// Routers stepped by the most recent step() call (== nodes() when
+  /// active scheduling is off). Scheduling telemetry for benchmarks.
+  int routers_stepped_last_cycle() const { return stepped_last_cycle_; }
 
   /// Sum of all routers' event counters.
   RouterStats aggregate_router_stats() const;
@@ -56,10 +101,34 @@ class Mesh {
   EccLinkStats aggregate_ecc_stats() const;
 
  private:
+  /// Wake queue index space: routers are [0, nodes()), NIs are
+  /// [nodes(), 2 * nodes()).
+  void schedule_wake(int idx, Cycle at);
+  void mark_runnable(int idx);
+
   MeshConfig cfg_;
   std::vector<Router> routers_;
   std::vector<NetworkInterface> nis_;
   std::vector<std::unique_ptr<Link>> links_;
+  NetCounters counters_;
+
+  // --- Active-router scheduling state ---
+  std::vector<std::uint8_t> runnable_;  ///< [0,n): routers; [n,2n): NIs.
+  std::vector<int> active_routers_;
+  std::vector<int> active_nis_;
+  // Wake queue as a ring of per-cycle buckets instead of a priority queue:
+  // every wake is at most link_latency cycles out, so bucket `at % size`
+  // gives O(1) insert/drain with no heap churn on the per-cycle hot path.
+  // Wakes at already-drained cycles (fault notifications, NI enqueues) go
+  // to `overdue_wakes_`, drained first thing every step.
+  std::vector<std::vector<int>> wake_buckets_;
+  std::vector<int> overdue_wakes_;
+  Cycle next_drain_ = 0;  ///< First cycle whose bucket has not been drained.
+  /// Best-effort dedup: `at + 1` of the component's most recent queued wake
+  /// (0 = none queued). A busy router is woken by every link event it is
+  /// party to — up to ~10 identical (idx, cycle) wakes per cycle otherwise.
+  std::vector<Cycle> last_wake_at_;
+  int stepped_last_cycle_ = 0;
 };
 
 }  // namespace rnoc::noc

@@ -26,9 +26,14 @@ void NetworkInterface::enqueue(PacketDesc p) {
   require(p.src == node_, "NetworkInterface::enqueue: src mismatch");
   require(p.dst != node_, "NetworkInterface::enqueue: self-addressed packet");
   require(p.size_flits >= 1, "NetworkInterface::enqueue: empty packet");
+  const bool was_idle = injection_idle();
   queue_.push_back(p);
   ++stats_.packets_enqueued;
   stats_.queue_peak = std::max<std::uint64_t>(stats_.queue_peak, queue_.size());
+  if (was_idle) {
+    if (counters_) ++counters_->active_injectors;
+    if (wake_hook_) wake_hook_();
+  }
 }
 
 void NetworkInterface::set_measure_window(Cycle begin, Cycle end) {
@@ -68,6 +73,7 @@ void NetworkInterface::eject(Cycle now) {
     from_router_->push_credit({f->vc, f->is_tail()}, now);
     if (f->is_tail()) {
       ++stats_.packets_received;
+      if (counters_) ++counters_->packets_delivered;
       if (f->created >= measure_begin_ && f->created < measure_end_) {
         const double total = static_cast<double>(now - f->created);
         stats_.total_latency.add(total);
@@ -143,6 +149,7 @@ void NetworkInterface::inject(Cycle now) {
   if (is_tail) {
     sending_ = false;
     current_vc_ = -1;
+    if (counters_ && queue_.empty()) --counters_->active_injectors;
   }
 }
 

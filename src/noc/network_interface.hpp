@@ -10,6 +10,7 @@
 #include "common/stats.hpp"
 #include "noc/flit.hpp"
 #include "noc/link.hpp"
+#include "noc/net_counters.hpp"
 
 namespace rnoc::noc {
 
@@ -66,6 +67,15 @@ class NetworkInterface {
   std::size_t queued_packets() const { return queue_.size(); }
   bool injection_idle() const { return queue_.empty() && !sending_; }
 
+  /// Shared accounting sink (set by the Mesh); nullptr = standalone use.
+  /// Tracks delivered packets and whether this NI has injection work.
+  void set_counters(NetCounters* c) { counters_ = c; }
+
+  /// Scheduling hook (set by the Mesh): invoked when a packet is enqueued so
+  /// the mesh can mark this NI runnable without polling all NIs.
+  using WakeHook = std::function<void()>;
+  void set_wake_hook(WakeHook hook) { wake_hook_ = std::move(hook); }
+
  private:
   struct OutVc {
     bool busy = false;  ///< Allocated to an in-flight packet (until vc_free).
@@ -93,6 +103,8 @@ class NetworkInterface {
   Cycle measure_end_ = kNeverCycle;
   NiStats stats_;
   DeliveryHook hook_;
+  NetCounters* counters_ = nullptr;
+  WakeHook wake_hook_;
 
   /// Per-VC reassembly state for the protocol-integrity check: flits of a
   /// packet must arrive on one VC, in seq order, head first, tail last.

@@ -1,7 +1,5 @@
 #include "noc/router.hpp"
 
-#include <algorithm>
-
 namespace rnoc::noc {
 
 Router::Router(NodeId id, const MeshDims& dims, const RouterConfig& cfg)
@@ -93,8 +91,7 @@ void Router::step_st(Cycle now) {
       continue;
     }
 
-    Flit f = vc.buffer.front();
-    vc.buffer.pop_front();
+    Flit f = ip.pop_front(g.in_vc);
     if (Link* l = in_links_[static_cast<std::size_t>(g.in_port)])
       l->push_credit({f.vc, f.is_tail()}, now);
     const int out_vc = vc.out_vc;
@@ -109,7 +106,7 @@ void Router::step_st(Cycle now) {
 }
 
 void Router::step_sa(Cycle now) {
-  st_pending_ = sa_.step(now, inputs_, out_vcs_, faults_, stats_);
+  sa_.step(now, inputs_, out_vcs_, faults_, stats_, st_pending_);
 }
 
 void Router::step_va(Cycle) {
@@ -128,6 +125,7 @@ bool Router::try_output(VirtualChannel& vc, int out) {
   vc.route = out;
   vc.sp = -1;
   vc.fsp = false;
+  if (faults_.count() == 0) return true;  // Primary path trivially works.
   const bool primary_ok = !faults_.has(SiteType::XbMux, out) &&
                           !faults_.has(SiteType::Sa2Arbiter, out);
   if (cfg_.mode != core::RouterMode::Protected) return primary_ok;
@@ -148,7 +146,7 @@ bool Router::try_output(VirtualChannel& vc, int out) {
 bool Router::compute_route(VirtualChannel& vc, const Flit& head, int in_port) {
   using fault::SiteType;
   // Select a working RC unit for this input port (paper §V-A).
-  if (faults_.has(SiteType::RcPrimary, in_port)) {
+  if (faults_.count() != 0 && faults_.has(SiteType::RcPrimary, in_port)) {
     if (cfg_.mode == core::RouterMode::Baseline ||
         faults_.has(SiteType::RcSpare, in_port))
       return false;
@@ -157,29 +155,38 @@ bool Router::compute_route(VirtualChannel& vc, const Flit& head, int in_port) {
   ++stats_.rc_computations;
 
   // Candidate outputs: one for deterministic routing, possibly several for
-  // adaptive odd-even.
-  std::vector<int> candidates;
+  // adaptive odd-even. Fixed-size scratch — RC runs once per port per cycle,
+  // so a heap allocation here is pure overhead.
+  int candidates[kMeshPorts];
+  int ncand = 0;
   if (route_tables_) {
     const int out = route_tables_->next_port(id_, head.dst);
     if (out < 0) return false;  // destination unreachable (partitioned mesh)
-    candidates.push_back(out);
+    candidates[ncand++] = out;
   } else if (cfg_.routing == RoutingAlgo::OddEven) {
-    candidates = odd_even_candidates(dims_, id_, head.src, head.dst);
+    ncand = odd_even_candidates(dims_, id_, head.src, head.dst, candidates);
     // Adaptive selection: prefer the candidate with the most free
-    // downstream buffer space (congestion look-ahead).
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [this](int a, int b) {
-                       return free_credits(a) > free_credits(b);
-                     });
+    // downstream buffer space (congestion look-ahead). Stable insertion
+    // sort over <= kMeshPorts entries.
+    for (int i = 1; i < ncand; ++i) {
+      const int cand = candidates[i];
+      const int credit = free_credits(cand);
+      int j = i;
+      while (j > 0 && free_credits(candidates[j - 1]) < credit) {
+        candidates[j] = candidates[j - 1];
+        --j;
+      }
+      candidates[j] = cand;
+    }
   } else {
-    candidates.push_back(xy_route(dims_, id_, head.dst));
+    candidates[ncand++] = xy_route(dims_, id_, head.dst);
   }
 
   // Commit the first candidate whose crossbar path works; adaptivity thus
   // doubles as fault avoidance when an alternative minimal direction exists.
-  for (const int out : candidates)
-    if (try_output(vc, out)) return true;
-  vc.route = candidates.front();  // blocked; keep a stable R field
+  for (int i = 0; i < ncand; ++i)
+    if (try_output(vc, candidates[i])) return true;
+  vc.route = candidates[0];  // blocked; keep a stable R field
   vc.sp = -1;
   vc.fsp = false;
   return false;
@@ -190,6 +197,9 @@ void Router::step_rc(Cycle) {
   // round-robin over the VCs waiting in Routing state.
   for (int p = 0; p < kMeshPorts; ++p) {
     InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+    // Routing state implies a buffered head flit; an empty port has no RC
+    // work and its round-robin pointer only moves when a VC is served.
+    if (ip.buffered_flits() == 0) continue;
     int& ptr = rc_rr_[static_cast<std::size_t>(p)];
     for (int i = 0; i < cfg_.vcs; ++i) {
       const int v = (ptr + i) % cfg_.vcs;

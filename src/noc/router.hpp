@@ -80,7 +80,21 @@ class Router {
   const OutVcState& out_vc(int port, int vc) const;
 
   /// Flits buffered across all input ports (drain/deadlock detection).
+  /// O(ports): each port keeps an exact running count.
   int buffered_flits() const;
+
+  /// True when this router must be stepped next cycle even absent new link
+  /// events: it holds buffered flits (retries, blocked VCs, SA competition)
+  /// or switch-traversal grants issued by the previous SA stage.
+  bool has_pending_work() const {
+    return buffered_flits() > 0 || !st_pending_.empty();
+  }
+
+  /// Shared accounting sink for this router's input buffers (set by the
+  /// Mesh); nullptr = standalone use.
+  void set_counters(NetCounters* c) {
+    for (auto& ip : inputs_) ip.set_counters(c);
+  }
 
  private:
   friend class RouterTestPeer;

@@ -63,8 +63,8 @@ int xy_hops(const MeshDims& dims, NodeId src, NodeId dst) {
   return std::abs(s.x - d.x) + std::abs(s.y - d.y);
 }
 
-std::vector<int> odd_even_candidates(const MeshDims& dims, NodeId cur,
-                                     NodeId src, NodeId dst) {
+int odd_even_candidates(const MeshDims& dims, NodeId cur, NodeId src,
+                        NodeId dst, int out[kMeshPorts]) {
   // Chiu's ROUTE function, minimal version.
   const Coord c = dims.coord_of(cur);
   const Coord s = dims.coord_of(src);
@@ -72,28 +72,38 @@ std::vector<int> odd_even_candidates(const MeshDims& dims, NodeId cur,
   const int e0 = d.x - c.x;
   const int e1 = d.y - c.y;
 
-  if (e0 == 0 && e1 == 0) return {port_of(Direction::Local)};
+  if (e0 == 0 && e1 == 0) {
+    out[0] = port_of(Direction::Local);
+    return 1;
+  }
 
-  std::vector<int> avail;
+  int n = 0;
   const int dir_v =
       e1 < 0 ? port_of(Direction::North) : port_of(Direction::South);
   if (e0 == 0) {
-    avail.push_back(dir_v);
+    out[n++] = dir_v;
   } else if (e0 > 0) {
     // Eastbound: the vertical (an EN/ES turn) is only legal in odd columns —
     // or at the source column, where no turn has been taken yet.
-    if (e1 != 0 && (c.x % 2 == 1 || c.x == s.x)) avail.push_back(dir_v);
+    if (e1 != 0 && (c.x % 2 == 1 || c.x == s.x)) out[n++] = dir_v;
     // Continuing East is fine unless the destination column is even and one
     // hop away (the final EN/ES turn would land in an even column).
-    if (e1 == 0 || d.x % 2 == 1 || e0 != 1) avail.push_back(port_of(Direction::East));
+    if (e1 == 0 || d.x % 2 == 1 || e0 != 1) out[n++] = port_of(Direction::East);
   } else {
     // Westbound: NW/SW turns are forbidden in odd columns, so the vertical
     // is only offered in even columns; West itself is always admissible.
-    avail.push_back(port_of(Direction::West));
-    if (e1 != 0 && c.x % 2 == 0) avail.push_back(dir_v);
+    out[n++] = port_of(Direction::West);
+    if (e1 != 0 && c.x % 2 == 0) out[n++] = dir_v;
   }
-  require(!avail.empty(), "odd_even_candidates: empty candidate set");
-  return avail;
+  require(n > 0, "odd_even_candidates: empty candidate set");
+  return n;
+}
+
+std::vector<int> odd_even_candidates(const MeshDims& dims, NodeId cur,
+                                     NodeId src, NodeId dst) {
+  int buf[kMeshPorts];
+  const int n = odd_even_candidates(dims, cur, src, dst, buf);
+  return std::vector<int>(buf, buf + n);
 }
 
 }  // namespace rnoc::noc

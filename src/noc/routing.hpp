@@ -58,4 +58,9 @@ int xy_hops(const MeshDims& dims, NodeId src, NodeId dst);
 std::vector<int> odd_even_candidates(const MeshDims& dims, NodeId cur,
                                      NodeId src, NodeId dst);
 
+/// Allocation-free variant for the router's RC hot path: writes up to
+/// kMeshPorts candidate ports into `out` and returns the count (>= 1).
+int odd_even_candidates(const MeshDims& dims, NodeId cur, NodeId src,
+                        NodeId dst, int out[kMeshPorts]);
+
 }  // namespace rnoc::noc

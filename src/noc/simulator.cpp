@@ -82,18 +82,13 @@ SimReport Simulator::run() {
     if (cfg_.telemetry_interval > 0 && now % cfg_.telemetry_interval == 0)
       occupancy_.sample(mesh_);
 
-    // Progress watchdog.
-    std::uint64_t received = 0;
-    for (NodeId n = 0; n < mesh_.nodes(); ++n)
-      received += mesh_.ni(n).stats().packets_received;
+    // Progress watchdog (all checks O(1) via the mesh's running counters).
+    const std::uint64_t received = mesh_.packets_delivered();
     if (received != last_received) {
       last_received = received;
       last_progress = now;
     } else if (now - last_progress >= cfg_.progress_timeout) {
-      bool in_flight = mesh_.flits_in_network() > 0;
-      for (NodeId n = 0; !in_flight && n < mesh_.nodes(); ++n)
-        in_flight = !mesh_.ni(n).injection_idle();
-      if (in_flight) {
+      if (mesh_.flits_in_network() > 0 || !mesh_.all_injection_idle()) {
         rep.deadlock_suspected = true;
         ++now;
         break;
@@ -103,14 +98,9 @@ SimReport Simulator::run() {
 
     // Early exit once drained.
     if (now >= source_end && pending_responses_.empty() &&
-        mesh_.flits_in_network() == 0) {
-      bool idle = true;
-      for (NodeId n = 0; idle && n < mesh_.nodes(); ++n)
-        idle = mesh_.ni(n).injection_idle();
-      if (idle) {
-        ++now;
-        break;
-      }
+        mesh_.flits_in_network() == 0 && mesh_.all_injection_idle()) {
+      ++now;
+      break;
     }
   }
 

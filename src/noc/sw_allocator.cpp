@@ -1,5 +1,7 @@
 #include "noc/sw_allocator.hpp"
 
+#include <algorithm>
+
 namespace rnoc::noc {
 
 SwitchAllocator::SwitchAllocator(int ports, int vcs, core::RouterMode mode,
@@ -11,6 +13,9 @@ SwitchAllocator::SwitchAllocator(int ports, int vcs, core::RouterMode mode,
     stage1_.emplace_back(vcs);
     stage2_.emplace_back(ports);
   }
+  w1_.resize(static_cast<std::size_t>(ports), -1);
+  ready_.resize(static_cast<std::size_t>(vcs), false);
+  req_.resize(static_cast<std::size_t>(ports), false);
 }
 
 int SwitchAllocator::default_winner(Cycle now) const {
@@ -27,6 +32,10 @@ RoundRobinArbiter& SwitchAllocator::stage2(int out_port) {
 
 bool SwitchAllocator::crossbar_path_ok(
     VirtualChannel& vc, const fault::RouterFaultState& faults) const {
+  // Fault-free fast path. A stale FSP (from an expired transient fault)
+  // keeps pointing at the secondary path, exactly as the full evaluation
+  // below would re-derive it.
+  if (faults.count() == 0) return true;
   const int out = vc.route;
   using fault::SiteType;
   const bool primary_ok = !faults.has(SiteType::XbMux, out) &&
@@ -61,17 +70,24 @@ bool SwitchAllocator::crossbar_path_ok(
   return true;
 }
 
-std::vector<StGrant> SwitchAllocator::step(
-    Cycle now, std::vector<InputPort>& inputs,
-    std::vector<std::vector<OutVcState>>& out_vcs,
-    const fault::RouterFaultState& faults, RouterStats& stats) {
+void SwitchAllocator::step(Cycle now, std::vector<InputPort>& inputs,
+                           std::vector<std::vector<OutVcState>>& out_vcs,
+                           const fault::RouterFaultState& faults,
+                           RouterStats& stats, std::vector<StGrant>& grants) {
   using fault::SiteType;
+  grants.clear();
+  const bool no_faults = faults.count() == 0;
 
   // --- Stage 1: one winning VC per input port. ---
-  std::vector<int> w1(static_cast<std::size_t>(ports_), -1);
+  bool any_winner = false;
   for (int p = 0; p < ports_; ++p) {
+    w1_[static_cast<std::size_t>(p)] = -1;
     InputPort& port = inputs[static_cast<std::size_t>(p)];
-    std::vector<bool> ready(static_cast<std::size_t>(vcs_), false);
+    // A port with no buffered flits has no Active non-empty VC: no readiness,
+    // no bypass grant, no transferable packet. Skipping it is exact (arbiter
+    // pointers only move on grants, which require a ready VC).
+    if (port.buffered_flits() == 0) continue;
+    std::fill(ready_.begin(), ready_.end(), false);
     bool any_ready = false;
     for (int v = 0; v < vcs_; ++v) {
       VirtualChannel& vc = port.vc(v);
@@ -84,23 +100,27 @@ std::vector<StGrant> SwitchAllocator::step(
         ++stats.blocked_vc_cycles;
         continue;
       }
-      ready[static_cast<std::size_t>(v)] = true;
+      ready_[static_cast<std::size_t>(v)] = true;
       any_ready = true;
     }
 
-    if (!faults.has(SiteType::Sa1Arbiter, p)) {
-      if (any_ready) w1[static_cast<std::size_t>(p)] = stage1(p).arbitrate(ready);
+    if (no_faults || !faults.has(SiteType::Sa1Arbiter, p)) {
+      if (any_ready) {
+        const int w = stage1(p).arbitrate(ready_);
+        w1_[static_cast<std::size_t>(p)] = w;
+        any_winner = true;
+      }
       continue;
     }
     if (mode_ == core::RouterMode::Baseline) {
       // No bypass: every ready VC is stuck at switch allocation.
       for (int v = 0; v < vcs_; ++v)
-        if (ready[static_cast<std::size_t>(v)]) ++stats.blocked_vc_cycles;
+        if (ready_[static_cast<std::size_t>(v)]) ++stats.blocked_vc_cycles;
       continue;
     }
     if (faults.has(SiteType::Sa1Bypass, p)) {
       for (int v = 0; v < vcs_; ++v)
-        if (ready[static_cast<std::size_t>(v)]) ++stats.blocked_vc_cycles;
+        if (ready_[static_cast<std::size_t>(v)]) ++stats.blocked_vc_cycles;
       continue;
     }
     // Bypass path (paper §V-C1): the rotating default winner is granted
@@ -108,8 +128,9 @@ std::vector<StGrant> SwitchAllocator::step(
     // VC of this port holds flits, the packet (flits + state fields) is
     // transferred into it, costing this cycle.
     const int d = default_winner(now);
-    if (ready[static_cast<std::size_t>(d)]) {
-      w1[static_cast<std::size_t>(p)] = d;
+    if (ready_[static_cast<std::size_t>(d)]) {
+      w1_[static_cast<std::size_t>(p)] = d;
+      any_winner = true;
       ++stats.sa1_bypass_grants;
       continue;
     }
@@ -125,27 +146,27 @@ std::vector<StGrant> SwitchAllocator::step(
     }
     // Default winner not ready and no transfer possible: no grant this cycle.
   }
+  if (!any_winner) return;
 
   // --- Stage 2: one grant per output mux/arbiter. ---
-  std::vector<StGrant> grants;
   for (int m = 0; m < ports_; ++m) {
-    if (faults.has(SiteType::Sa2Arbiter, m)) continue;  // Arbiter is dead.
-    std::vector<bool> req(static_cast<std::size_t>(ports_), false);
+    if (!no_faults && faults.has(SiteType::Sa2Arbiter, m))
+      continue;  // Arbiter is dead.
     bool any = false;
     for (int p = 0; p < ports_; ++p) {
-      const int v = w1[static_cast<std::size_t>(p)];
-      if (v < 0) continue;
-      const VirtualChannel& vc = inputs[static_cast<std::size_t>(p)].vc(v);
-      const int mux = vc.fsp ? vc.sp : vc.route;
-      if (mux == m) {
-        req[static_cast<std::size_t>(p)] = true;
-        any = true;
+      const int v = w1_[static_cast<std::size_t>(p)];
+      bool wants = false;
+      if (v >= 0) {
+        const VirtualChannel& vc = inputs[static_cast<std::size_t>(p)].vc(v);
+        wants = (vc.fsp ? vc.sp : vc.route) == m;
       }
+      req_[static_cast<std::size_t>(p)] = wants;
+      any = any || wants;
     }
     if (!any) continue;
-    const int g = stage2(m).arbitrate(req);
+    const int g = stage2(m).arbitrate(req_);
     if (g < 0) continue;
-    const int v = w1[static_cast<std::size_t>(g)];
+    const int v = w1_[static_cast<std::size_t>(g)];
     VirtualChannel& vc = inputs[static_cast<std::size_t>(g)].vc(v);
     grants.push_back({g, v, vc.route, m, vc.out_vc});
     --out_vcs[static_cast<std::size_t>(vc.route)]
@@ -153,7 +174,6 @@ std::vector<StGrant> SwitchAllocator::step(
           .credits;
     if (m != vc.route) ++stats.xb_secondary_traversals;
   }
-  return grants;
 }
 
 }  // namespace rnoc::noc

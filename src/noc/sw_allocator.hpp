@@ -22,12 +22,14 @@ class SwitchAllocator {
   SwitchAllocator(int ports, int vcs, core::RouterMode mode,
                   Cycle default_winner_epoch);
 
-  /// Runs one SA cycle; returns the crossbar grants to execute next cycle.
-  /// Decrements the credit of each granted flit's downstream VC.
-  std::vector<StGrant> step(Cycle now, std::vector<InputPort>& inputs,
-                            std::vector<std::vector<OutVcState>>& out_vcs,
-                            const fault::RouterFaultState& faults,
-                            RouterStats& stats);
+  /// Runs one SA cycle; fills `grants` (cleared first) with the crossbar
+  /// grants to execute next cycle. Decrements the credit of each granted
+  /// flit's downstream VC. Out-param (not a returned vector) so the caller's
+  /// grant buffer is reused across cycles without reallocating.
+  void step(Cycle now, std::vector<InputPort>& inputs,
+            std::vector<std::vector<OutVcState>>& out_vcs,
+            const fault::RouterFaultState& faults, RouterStats& stats,
+            std::vector<StGrant>& grants);
 
   /// The bypass path's default winner at cycle `now` (physical VC index).
   int default_winner(Cycle now) const;
@@ -48,6 +50,12 @@ class SwitchAllocator {
   Cycle epoch_;
   std::vector<RoundRobinArbiter> stage1_;  ///< per input port, over VCs
   std::vector<RoundRobinArbiter> stage2_;  ///< per output mux, over input ports
+
+  // Scratch reused across step() calls to keep the per-cycle hot path
+  // allocation-free.
+  std::vector<int> w1_;      ///< stage-1 winner VC per input port, or -1
+  std::vector<bool> ready_;  ///< per-VC readiness of the port being scanned
+  std::vector<bool> req_;    ///< per-input-port requests for one output mux
 };
 
 }  // namespace rnoc::noc

@@ -1,0 +1,45 @@
+#include "noc/sweep.hpp"
+
+namespace rnoc::noc {
+
+std::vector<SimReport> SweepRunner::run(
+    const std::vector<SweepJob>& jobs) const {
+  std::vector<SimReport> reports(jobs.size());
+  ThreadPool& pool = pool_ ? *pool_ : global_pool();
+  pool.parallel_for(jobs.size(), [&](std::size_t i, std::size_t) {
+    const SweepJob& job = jobs[i];
+    require(static_cast<bool>(job.make_traffic),
+            "SweepRunner: job without a traffic factory");
+    Simulator sim(job.cfg, job.make_traffic());
+    if (job.tables) sim.mesh().set_routing_tables(job.tables);
+    if (!job.faults.entries().empty()) sim.set_fault_plan(job.faults);
+    reports[i] = sim.run();
+  });
+  return reports;
+}
+
+SimReport SweepRunner::merge(const std::vector<SimReport>& reports) {
+  SimReport m;
+  for (const SimReport& r : reports) {
+    m.total_latency.merge(r.total_latency);
+    m.network_latency.merge(r.network_latency);
+    m.latency_hist.merge(r.latency_hist);
+    m.packets_sent += r.packets_sent;
+    m.packets_received += r.packets_received;
+    m.flits_received += r.flits_received;
+    m.throughput_flits_node_cycle += r.throughput_flits_node_cycle;
+    m.deadlock_suspected = m.deadlock_suspected || r.deadlock_suspected;
+    m.undelivered_flits += r.undelivered_flits;
+    m.cycles_run += r.cycles_run;
+    m.router_events.merge(r.router_events);
+    m.energy.dynamic_pj += r.energy.dynamic_pj;
+    m.energy.protection_pj += r.energy.protection_pj;
+    m.energy.leakage_pj += r.energy.leakage_pj;
+    m.faults_injected += r.faults_injected;
+  }
+  if (!reports.empty())
+    m.throughput_flits_node_cycle /= static_cast<double>(reports.size());
+  return m;
+}
+
+}  // namespace rnoc::noc

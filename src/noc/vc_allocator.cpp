@@ -1,5 +1,7 @@
 #include "noc/vc_allocator.hpp"
 
+#include <algorithm>
+
 namespace rnoc::noc {
 
 VcAllocator::VcAllocator(int ports, int vcs, core::RouterMode mode, int vnets)
@@ -13,6 +15,11 @@ VcAllocator::VcAllocator(int ports, int vcs, core::RouterMode mode, int vnets)
     stage1_.emplace_back(vcs);          // choose among downstream VCs
     stage2_.emplace_back(ports * vcs);  // choose among requesting input VCs
   }
+  proposals_.reserve(static_cast<std::size_t>(ports * vcs));
+  set_used_.resize(static_cast<std::size_t>(vcs), false);
+  candidates_.resize(static_cast<std::size_t>(vcs), false);
+  requests_.resize(static_cast<std::size_t>(ports * vcs), false);
+  pair_has_.resize(static_cast<std::size_t>(ports * vcs), false);
 }
 
 RoundRobinArbiter& VcAllocator::stage1(int port, int vc) {
@@ -27,7 +34,8 @@ int VcAllocator::select_arbiter_set(InputPort& port, int p, int v,
                                     const fault::RouterFaultState& faults,
                                     std::vector<bool>& set_used,
                                     RouterStats& stats) {
-  if (!faults.has(fault::SiteType::Va1ArbiterSet, p, v)) {
+  if (faults.count() == 0 ||
+      !faults.has(fault::SiteType::Va1ArbiterSet, p, v)) {
     set_used[static_cast<std::size_t>(v)] = true;
     return v;
   }
@@ -66,28 +74,43 @@ void VcAllocator::step(std::vector<InputPort>& inputs,
                        const fault::RouterFaultState& faults,
                        RouterStats& stats) {
   // --- Stage 1: each VcAlloc-state VC proposes one empty downstream VC. ---
-  std::vector<Proposal> proposals;
-  std::vector<bool> set_used;
+  proposals_.clear();
+  const std::uint64_t borrows_before = stats.va1_borrows;
+  const bool no_faults = faults.count() == 0;
   for (int p = 0; p < ports_; ++p) {
     InputPort& port = inputs[static_cast<std::size_t>(p)];
-    set_used.assign(static_cast<std::size_t>(vcs_), false);
+    // VcAlloc state implies a buffered head flit, so an empty port has no
+    // work in this stage; a quick state scan filters the rest. Skipping is
+    // exact: no proposals, no borrows, no arbiter movement for such a port.
+    if (port.buffered_flits() == 0) continue;
+    bool any_vcalloc = false;
+    for (int v = 0; v < vcs_; ++v) {
+      if (port.vc(v).state == VcState::VcAlloc) {
+        any_vcalloc = true;
+        break;
+      }
+    }
+    if (!any_vcalloc) continue;
+
+    std::fill(set_used_.begin(), set_used_.end(), false);
     // VCs in VcAlloc with healthy sets implicitly occupy their own set.
     for (int v = 0; v < vcs_; ++v) {
       if (port.vc(v).state == VcState::VcAlloc &&
-          !faults.has(fault::SiteType::Va1ArbiterSet, p, v))
-        set_used[static_cast<std::size_t>(v)] = true;
+          (no_faults || !faults.has(fault::SiteType::Va1ArbiterSet, p, v)))
+        set_used_[static_cast<std::size_t>(v)] = true;
     }
     for (int v = 0; v < vcs_; ++v) {
       VirtualChannel& vc = port.vc(v);
       if (vc.state != VcState::VcAlloc) continue;
-      const int set_owner = select_arbiter_set(port, p, v, faults, set_used, stats);
+      const int set_owner =
+          select_arbiter_set(port, p, v, faults, set_used_, stats);
       if (set_owner < 0) continue;
 
       const int r = vc.route;
       require(!vc.buffer.empty() && vc.buffer.front().is_head(),
               "VcAllocator: VcAlloc state without a head flit");
       const std::uint8_t cls = vc.buffer.front().traffic_class;
-      std::vector<bool> candidates(static_cast<std::size_t>(vcs_), false);
+      std::fill(candidates_.begin(), candidates_.end(), false);
       bool any = false;
       for (int u = 0; u < vcs_; ++u) {
         if (out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(u)]
@@ -95,7 +118,7 @@ void VcAllocator::step(std::vector<InputPort>& inputs,
           continue;
         if (u == vc.excluded_out_vc) continue;
         if (!vc_allowed_for_class(u, cls, vcs_, vnets_)) continue;
-        candidates[static_cast<std::size_t>(u)] = true;
+        candidates_[static_cast<std::size_t>(u)] = true;
         any = true;
       }
       if (!any) {
@@ -110,58 +133,65 @@ void VcAllocator::step(std::vector<InputPort>& inputs,
                  .allocated &&
             vc_allowed_for_class(ex, cls, vcs_, vnets_)) {
           vc.excluded_out_vc = -1;
-          candidates[static_cast<std::size_t>(ex)] = true;
+          candidates_[static_cast<std::size_t>(ex)] = true;
           any = true;
         }
       }
       if (!any) continue;  // No empty downstream VC: ordinary congestion.
-      const int u = stage1(p, set_owner).arbitrate(candidates);
-      proposals.push_back({p, v, r, u});
+      const int u = stage1(p, set_owner).arbitrate(candidates_);
+      proposals_.push_back({p, v, r, u});
     }
   }
 
   // --- Stage 2: one arbiter per downstream VC resolves the proposals. ---
-  for (int r = 0; r < ports_; ++r) {
-    for (int u = 0; u < vcs_; ++u) {
-      std::vector<bool> requests(static_cast<std::size_t>(ports_ * vcs_), false);
-      bool any = false;
-      for (const Proposal& pr : proposals) {
-        if (pr.out_port == r && pr.out_vc == u) {
-          requests[static_cast<std::size_t>(pr.in_port * vcs_ + pr.in_vc)] = true;
-          any = true;
+  if (!proposals_.empty()) {
+    std::fill(pair_has_.begin(), pair_has_.end(), false);
+    for (const Proposal& pr : proposals_)
+      pair_has_[static_cast<std::size_t>(pr.out_port * vcs_ + pr.out_vc)] = true;
+    for (int r = 0; r < ports_; ++r) {
+      for (int u = 0; u < vcs_; ++u) {
+        if (!pair_has_[static_cast<std::size_t>(r * vcs_ + u)]) continue;
+        if (!no_faults && faults.has(fault::SiteType::Va2Arbiter, r, u)) {
+          // Paper §V-B3: the allocation fails; requesters recompute next
+          // cycle against a different downstream VC (+1 cycle, no extra
+          // circuitry).
+          for (const Proposal& pr : proposals_) {
+            if (pr.out_port != r || pr.out_vc != u) continue;
+            inputs[static_cast<std::size_t>(pr.in_port)].vc(pr.in_vc)
+                .excluded_out_vc = u;
+            ++stats.va2_retries;
+          }
+          continue;
         }
-      }
-      if (!any) continue;
-      if (faults.has(fault::SiteType::Va2Arbiter, r, u)) {
-        // Paper §V-B3: the allocation fails; requesters recompute next cycle
-        // against a different downstream VC (+1 cycle, no extra circuitry).
-        for (const Proposal& pr : proposals) {
-          if (pr.out_port != r || pr.out_vc != u) continue;
-          inputs[static_cast<std::size_t>(pr.in_port)].vc(pr.in_vc)
-              .excluded_out_vc = u;
-          ++stats.va2_retries;
+        std::fill(requests_.begin(), requests_.end(), false);
+        for (const Proposal& pr : proposals_) {
+          if (pr.out_port == r && pr.out_vc == u)
+            requests_[static_cast<std::size_t>(pr.in_port * vcs_ + pr.in_vc)] =
+                true;
         }
-        continue;
+        const int winner = stage2(r, u).arbitrate(requests_);
+        if (winner < 0) continue;
+        const int wp = winner / vcs_;
+        const int wv = winner % vcs_;
+        VirtualChannel& vc = inputs[static_cast<std::size_t>(wp)].vc(wv);
+        vc.out_vc = u;
+        vc.state = VcState::Active;
+        vc.excluded_out_vc = -1;
+        out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(u)]
+            .allocated = true;
+        ++stats.va_allocations;
       }
-      const int winner = stage2(r, u).arbitrate(requests);
-      if (winner < 0) continue;
-      const int wp = winner / vcs_;
-      const int wv = winner % vcs_;
-      VirtualChannel& vc = inputs[static_cast<std::size_t>(wp)].vc(wv);
-      vc.out_vc = u;
-      vc.state = VcState::Active;
-      vc.excluded_out_vc = -1;
-      out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(u)]
-          .allocated = true;
-      ++stats.va_allocations;
     }
   }
 
   // Borrow-request fields are per-cycle markers: the VA unit resets them
-  // after the allocation attempt completes (paper §V-B2).
-  for (int p = 0; p < ports_; ++p)
-    for (int v = 0; v < vcs_; ++v)
-      inputs[static_cast<std::size_t>(p)].vc(v).clear_borrow_fields();
+  // after the allocation attempt completes (paper §V-B2). They are only
+  // ever posted by a successful borrow, so the sweep runs only then.
+  if (stats.va1_borrows != borrows_before) {
+    for (int p = 0; p < ports_; ++p)
+      for (int v = 0; v < vcs_; ++v)
+        inputs[static_cast<std::size_t>(p)].vc(v).clear_borrow_fields();
+  }
 }
 
 }  // namespace rnoc::noc

@@ -50,6 +50,14 @@ class VcAllocator {
   int vnets_;
   std::vector<RoundRobinArbiter> stage1_;  ///< [port * vcs + vc]
   std::vector<RoundRobinArbiter> stage2_;  ///< [out_port * vcs + vc]
+
+  // Scratch reused across step() calls to keep the per-cycle hot path
+  // allocation-free.
+  std::vector<Proposal> proposals_;
+  std::vector<bool> set_used_;    ///< per-VC arbiter sets taken, one port at a time
+  std::vector<bool> candidates_;  ///< per-downstream-VC stage-1 candidates
+  std::vector<bool> requests_;    ///< per-input-VC stage-2 requests
+  std::vector<bool> pair_has_;    ///< [out_port * vcs + vc]: proposals exist
 };
 
 }  // namespace rnoc::noc

@@ -49,7 +49,9 @@ struct AllocRig {
 
   void run_va() { va.step(inputs, out_vcs, faults, stats); }
   std::vector<StGrant> run_sa(Cycle now = 0) {
-    return sa.step(now, inputs, out_vcs, faults, stats);
+    std::vector<StGrant> grants;
+    sa.step(now, inputs, out_vcs, faults, stats, grants);
+    return grants;
   }
 
   std::vector<InputPort> inputs;

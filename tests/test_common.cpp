@@ -231,5 +231,53 @@ TEST(ThreadPool, ZeroItemsIsNoop) {
   pool.parallel_for(0, [&](std::size_t, std::size_t) { FAIL(); });
 }
 
+// Regression: parallel_for from inside one of the pool's own tasks used to
+// deadlock (the worker published a second Job and then waited for itself).
+// Nested calls must run inline on the calling worker and cover every item.
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(8 * 16);
+  pool.parallel_for(8, [&](std::size_t outer, std::size_t) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(16, [&](std::size_t inner, std::size_t) {
+      ++hits[outer * 16 + inner];
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedCallOnOtherPoolStillDispatches) {
+  // A worker of one pool is an external caller to another pool; only
+  // same-pool re-entry runs inline. (One outer item: parallel_for does not
+  // support concurrent external submissions.)
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> n{0};
+  outer.parallel_for(1, [&](std::size_t, std::size_t) {
+    EXPECT_FALSE(inner.on_worker_thread());
+    EXPECT_TRUE(outer.on_worker_thread());
+    inner.parallel_for(4, [&](std::size_t, std::size_t) { ++n; });
+  });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(ThreadPool, OnWorkerThreadFalseOutside) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPool, NestedExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(2,
+                        [&](std::size_t, std::size_t) {
+                          pool.parallel_for(
+                              4, [&](std::size_t i, std::size_t) {
+                                if (i == 3) throw std::runtime_error("nested");
+                              });
+                        }),
+      std::runtime_error);
+}
+
 }  // namespace
 }  // namespace rnoc
