@@ -35,6 +35,11 @@ class EccLink : public Link {
   int flits_in_flight() const override {
     return Link::flits_in_flight() + (held_ ? 1 : 0);
   }
+  void for_each_flit(
+      const std::function<void(const Flit&)>& fn) const override {
+    Link::for_each_flit(fn);
+    if (held_) fn(held_->flit);
+  }
 
   const EccLinkStats& stats() const { return stats_; }
 

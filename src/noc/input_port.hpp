@@ -93,6 +93,16 @@ class InputPort {
   /// Shared accounting sink (set by the Mesh); nullptr = standalone use.
   void set_counters(NetCounters* c) { counters_ = c; }
 
+#ifdef RNOC_INVARIANTS
+  /// Test-only corruption hook (invariant-checked builds): overwrites a
+  /// physical VC's G field without any of the pipeline's legality checks,
+  /// so directed tests can seed an illegal state transition and assert the
+  /// NocChecker catches it.
+  void test_set_vc_state(int phys, VcState s) {
+    vcs_[static_cast<std::size_t>(check(phys))].state = s;
+  }
+#endif
+
  private:
   // Inline: every allocator stage addresses VCs through this every cycle.
   int check(int v) const {

@@ -35,6 +35,16 @@ class Link {
     return static_cast<int>(flits_.size());
   }
 
+  /// Invariant-checker introspection: visits every flit / credit currently
+  /// in flight (including, for subclasses, any held retransmission slot).
+  /// Not on the simulation hot path.
+  virtual void for_each_flit(const std::function<void(const Flit&)>& fn) const {
+    for (std::size_t i = 0; i < flits_.size(); ++i) fn(flits_.at(i).first);
+  }
+  void for_each_credit(const std::function<void(const Credit&)>& fn) const {
+    for (std::size_t i = 0; i < credits_.size(); ++i) fn(credits_.at(i).first);
+  }
+
   /// Scheduling hooks (set by the Mesh): invoked with the cycle at which a
   /// pushed flit / credit becomes takeable, so the consumer can be woken
   /// exactly then instead of polling every cycle.

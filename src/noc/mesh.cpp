@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#ifdef RNOC_INVARIANTS
+#include "noc/invariants.hpp"
+#endif
+
 namespace rnoc::noc {
+
+Mesh::~Mesh() = default;
+
+void Mesh::note_channel(Link* link, Router* up_router, int up_port,
+                        NetworkInterface* up_ni, Router* down_router,
+                        int down_port, NetworkInterface* down_ni) {
+#ifdef RNOC_INVARIANTS
+  NocChecker::Channel ch;
+  ch.link = link;
+  ch.up_router = up_router;
+  ch.up_port = up_port;
+  ch.up_ni = up_ni;
+  ch.down_router = down_router;
+  ch.down_port = down_port;
+  ch.down_ni = down_ni;
+  checker_->add_channel(ch);
+#else
+  (void)link;
+  (void)up_router;
+  (void)up_port;
+  (void)up_ni;
+  (void)down_router;
+  (void)down_port;
+  (void)down_ni;
+#endif
+}
 
 Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
   require(cfg.dims.x >= 2 && cfg.dims.y >= 2, "Mesh: need at least 2x2");
@@ -20,11 +50,21 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
   wake_buckets_.resize(static_cast<std::size_t>(cfg.link_latency) + 2);
   last_wake_at_.assign(static_cast<std::size_t>(2 * n), 0);
 
+#ifdef RNOC_INVARIANTS
+  checker_ = std::make_unique<NocChecker>();
+  checker_->set_mesh(this);
+#endif
+
   for (NodeId i = 0; i < n; ++i) {
     routers_[static_cast<std::size_t>(i)].set_counters(&counters_);
     NetworkInterface& ni = nis_[static_cast<std::size_t>(i)];
     ni.set_counters(&counters_);
     ni.set_wake_hook([this, i, n] { schedule_wake(n + i, 0); });
+#ifdef RNOC_INVARIANTS
+    checker_->add_router(&routers_[static_cast<std::size_t>(i)]);
+    checker_->add_ni(&ni);
+    ni.set_invariant_checker(checker_.get());
+#endif
   }
 
   const bool ecc = cfg.link_single_ber > 0.0 || cfg.link_double_ber > 0.0;
@@ -53,15 +93,19 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
 
   // NI <-> router local-port links.
   for (NodeId i = 0; i < n; ++i) {
+    Router& r = routers_[static_cast<std::size_t>(i)];
+    NetworkInterface& ni = nis_[static_cast<std::size_t>(i)];
     // NI -> router (flits), router -> NI (credits).
     Link* inj = make_link(/*flit_sink=*/i, /*credit_sink=*/n + i);
     // router -> NI (flits), NI -> router (credits).
     Link* ej = make_link(/*flit_sink=*/n + i, /*credit_sink=*/i);
-    routers_[static_cast<std::size_t>(i)].attach_input(
-        port_of(Direction::Local), inj);
-    routers_[static_cast<std::size_t>(i)].attach_output(
-        port_of(Direction::Local), ej);
-    nis_[static_cast<std::size_t>(i)].attach(inj, ej);
+    r.attach_input(port_of(Direction::Local), inj);
+    r.attach_output(port_of(Direction::Local), ej);
+    ni.attach(inj, ej);
+    note_channel(inj, nullptr, -1, &ni, &r, port_of(Direction::Local),
+                 nullptr);
+    note_channel(ej, &r, port_of(Direction::Local), nullptr, nullptr, -1,
+                 &ni);
   }
 
   // Inter-router links: for each node, wire East and South neighbours (the
@@ -70,29 +114,33 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
     const Coord c = cfg.dims.coord_of(i);
     if (c.x + 1 < cfg.dims.x) {
       const NodeId e = cfg.dims.node_of({c.x + 1, c.y});
+      Router& ri = routers_[static_cast<std::size_t>(i)];
+      Router& re = routers_[static_cast<std::size_t>(e)];
       Link* right = make_link(/*flit_sink=*/e, /*credit_sink=*/i);  // i -> e
       Link* left = make_link(/*flit_sink=*/i, /*credit_sink=*/e);   // e -> i
-      routers_[static_cast<std::size_t>(i)].attach_output(
-          port_of(Direction::East), right);
-      routers_[static_cast<std::size_t>(e)].attach_input(
-          port_of(Direction::West), right);
-      routers_[static_cast<std::size_t>(e)].attach_output(
-          port_of(Direction::West), left);
-      routers_[static_cast<std::size_t>(i)].attach_input(
-          port_of(Direction::East), left);
+      ri.attach_output(port_of(Direction::East), right);
+      re.attach_input(port_of(Direction::West), right);
+      re.attach_output(port_of(Direction::West), left);
+      ri.attach_input(port_of(Direction::East), left);
+      note_channel(right, &ri, port_of(Direction::East), nullptr, &re,
+                   port_of(Direction::West), nullptr);
+      note_channel(left, &re, port_of(Direction::West), nullptr, &ri,
+                   port_of(Direction::East), nullptr);
     }
     if (c.y + 1 < cfg.dims.y) {
       const NodeId s = cfg.dims.node_of({c.x, c.y + 1});
+      Router& ri = routers_[static_cast<std::size_t>(i)];
+      Router& rs = routers_[static_cast<std::size_t>(s)];
       Link* down = make_link(/*flit_sink=*/s, /*credit_sink=*/i);  // i -> s
       Link* up = make_link(/*flit_sink=*/i, /*credit_sink=*/s);    // s -> i
-      routers_[static_cast<std::size_t>(i)].attach_output(
-          port_of(Direction::South), down);
-      routers_[static_cast<std::size_t>(s)].attach_input(
-          port_of(Direction::North), down);
-      routers_[static_cast<std::size_t>(s)].attach_output(
-          port_of(Direction::North), up);
-      routers_[static_cast<std::size_t>(i)].attach_input(
-          port_of(Direction::South), up);
+      ri.attach_output(port_of(Direction::South), down);
+      rs.attach_input(port_of(Direction::North), down);
+      rs.attach_output(port_of(Direction::North), up);
+      ri.attach_input(port_of(Direction::South), up);
+      note_channel(down, &ri, port_of(Direction::South), nullptr, &rs,
+                   port_of(Direction::North), nullptr);
+      note_channel(up, &rs, port_of(Direction::North), nullptr, &ri,
+                   port_of(Direction::South), nullptr);
     }
   }
 }
@@ -158,6 +206,9 @@ void Mesh::step(Cycle now) {
     for (auto& r : routers_) r.step_rc(now);
     for (auto& ni : nis_) ni.step(now);
     stepped_last_cycle_ = nodes();
+#ifdef RNOC_INVARIANTS
+    checker_->on_cycle_end(now);
+#endif
     return;
   }
 
@@ -224,6 +275,9 @@ void Mesh::step(Cycle now) {
       runnable_[static_cast<std::size_t>(nodes() + i)] = 0;
   }
   active_nis_.resize(keep);
+#ifdef RNOC_INVARIANTS
+  checker_->on_cycle_end(now);
+#endif
 }
 
 int Mesh::recount_flits_in_network() const {

@@ -45,9 +45,12 @@ struct MeshConfig {
   bool active_scheduling = true;
 };
 
+class NocChecker;
+
 class Mesh {
  public:
   explicit Mesh(const MeshConfig& cfg);
+  ~Mesh();
 
   Mesh(const Mesh&) = delete;
   Mesh& operator=(const Mesh&) = delete;
@@ -100,7 +103,21 @@ class Mesh {
   /// Aggregate ECC-link statistics (all zeros when links are plain).
   EccLinkStats aggregate_ecc_stats() const;
 
+#ifdef RNOC_INVARIANTS
+  /// The runtime invariant checker wired across this mesh (checked builds
+  /// only). Tests use it to tune the watchdog and install a throwing
+  /// violation handler.
+  NocChecker& invariant_checker() { return *checker_; }
+#endif
+
  private:
+  /// Registers one link's endpoints with the invariant checker; compiles to
+  /// an empty inline call in unchecked builds. Upstream holds the credit
+  /// counters, downstream the buffers; per endpoint exactly one of
+  /// (router, ni) is non-null.
+  void note_channel(Link* link, Router* up_router, int up_port,
+                    NetworkInterface* up_ni, Router* down_router,
+                    int down_port, NetworkInterface* down_ni);
   /// Wake queue index space: routers are [0, nodes()), NIs are
   /// [nodes(), 2 * nodes()).
   void schedule_wake(int idx, Cycle at);
@@ -129,6 +146,9 @@ class Mesh {
   /// party to — up to ~10 identical (idx, cycle) wakes per cycle otherwise.
   std::vector<Cycle> last_wake_at_;
   int stepped_last_cycle_ = 0;
+#ifdef RNOC_INVARIANTS
+  std::unique_ptr<NocChecker> checker_;
+#endif
 };
 
 }  // namespace rnoc::noc

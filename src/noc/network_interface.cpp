@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/types.hpp"
+#ifdef RNOC_INVARIANTS
+#include "noc/invariants.hpp"
+#endif
 #include "noc/vnet.hpp"
 
 namespace rnoc::noc {
@@ -50,6 +53,11 @@ void NetworkInterface::eject(Cycle now) {
   if (from_router_ == nullptr) return;
   while (auto f = from_router_->take_flit(now)) {
     ++stats_.flits_received;
+#ifdef RNOC_INVARIANTS
+    // Checker first, so a delivery-order violation is reported with full
+    // cycle/node/VC context instead of the bare require() below.
+    if (checker_) checker_->on_ejected(node_, *f, now);
+#endif
     // Protocol-integrity check: one packet per VC, flits in order, head
     // first, tail last. A violation means the network corrupted, dropped or
     // duplicated a flit — fail loudly instead of producing silent garbage.

@@ -37,11 +37,21 @@ struct NiStats {
   Histogram latency_hist{0.0, kLatencyHistMax, kLatencyHistBins};
 };
 
+class NocChecker;
+
 class NetworkInterface {
  public:
   NetworkInterface(NodeId node, const NiConfig& cfg);
 
   NodeId node() const { return node_; }
+  const NiConfig& config() const { return cfg_; }
+
+  /// Free buffer credits this NI holds for logical VC `v` of the router's
+  /// local input port (invariant checking / diagnostics).
+  int out_vc_credits(int v) const {
+    require(v >= 0 && v < cfg_.vcs, "NetworkInterface: VC out of range");
+    return out_vcs_[static_cast<std::size_t>(v)].credits;
+  }
 
   /// `to_router` carries our flits in and the router's credits back;
   /// `from_router` delivers ejected flits and carries our credits back.
@@ -76,6 +86,13 @@ class NetworkInterface {
   using WakeHook = std::function<void()>;
   void set_wake_hook(WakeHook hook) { wake_hook_ = std::move(hook); }
 
+#ifdef RNOC_INVARIANTS
+  /// Invariant checker (set by the Mesh in checked builds): every ejected
+  /// flit is validated against the per-VC in-order delivery invariant
+  /// before the NI's own protocol checks run.
+  void set_invariant_checker(NocChecker* c) { checker_ = c; }
+#endif
+
  private:
   struct OutVc {
     bool busy = false;  ///< Allocated to an in-flight packet (until vc_free).
@@ -105,6 +122,9 @@ class NetworkInterface {
   DeliveryHook hook_;
   NetCounters* counters_ = nullptr;
   WakeHook wake_hook_;
+#ifdef RNOC_INVARIANTS
+  NocChecker* checker_ = nullptr;
+#endif
 
   /// Per-VC reassembly state for the protocol-integrity check: flits of a
   /// packet must arrive on one VC, in seq order, head first, tail last.

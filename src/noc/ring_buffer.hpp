@@ -95,9 +95,16 @@ class RingBuffer {
     while (count_ > 0) pop_front();
   }
 
+  /// Element `i` positions behind the front (0 == front). Read-only access
+  /// for introspection (invariant checking); FIFO mutation stays
+  /// push_back/pop_front only.
+  const T& at(std::size_t i) const {
+    require(i < count_, "RingBuffer::at: index out of range");
+    return buf_[(head_ + i) & mask_];
+  }
+
  private:
   T& at(std::size_t i) { return buf_[(head_ + i) & mask_]; }
-  const T& at(std::size_t i) const { return buf_[(head_ + i) & mask_]; }
 
   std::unique_ptr<T[]> buf_;
   std::size_t cap_ = 0;

@@ -42,6 +42,11 @@ InputPort& Router::input_port(int p) {
   return inputs_[static_cast<std::size_t>(p)];
 }
 
+const InputPort& Router::input_port(int p) const {
+  require(p >= 0 && p < kMeshPorts, "Router::input_port: bad port");
+  return inputs_[static_cast<std::size_t>(p)];
+}
+
 const OutVcState& Router::out_vc(int port, int vc) const {
   require(port >= 0 && port < kMeshPorts && vc >= 0 && vc < cfg_.vcs,
           "Router::out_vc: out of range");

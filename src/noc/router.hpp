@@ -77,7 +77,22 @@ class Router {
 
   const RouterStats& stats() const { return stats_; }
   InputPort& input_port(int p);
+  const InputPort& input_port(int p) const;
   const OutVcState& out_vc(int port, int vc) const;
+
+  /// Switch-traversal grants issued by this cycle's SA stage, consumed by
+  /// the next cycle's ST stage (invariant checking / diagnostics).
+  const std::vector<StGrant>& pending_grants() const { return st_pending_; }
+
+#ifdef RNOC_INVARIANTS
+  /// Test-only corruption hook (invariant-checked builds): skews an output
+  /// VC's credit counter by `delta`, so directed tests can break credit
+  /// conservation and assert the NocChecker catches it.
+  void test_corrupt_credit(int port, int vc, int delta) {
+    out_vcs_[static_cast<std::size_t>(port)][static_cast<std::size_t>(vc)]
+        .credits += delta;
+  }
+#endif
 
   /// Flits buffered across all input ports (drain/deadlock detection).
   /// O(ports): each port keeps an exact running count.

@@ -1,5 +1,9 @@
 #include "noc/simulator.hpp"
 
+#ifdef RNOC_INVARIANTS
+#include "noc/invariants.hpp"
+#endif
+
 namespace rnoc::noc {
 
 Simulator::Simulator(const SimConfig& cfg,
@@ -105,6 +109,11 @@ SimReport Simulator::run() {
   }
 
   rep.cycles_run = now;
+#ifdef RNOC_INVARIANTS
+  // Final sweep over the drained (or deadlocked) network regardless of the
+  // checker's cycle cadence, so every run ends invariant-validated.
+  mesh_.invariant_checker().on_run_end(now);
+#endif
   for (NodeId n = 0; n < mesh_.nodes(); ++n) {
     const NiStats& s = mesh_.ni(n).stats();
     rep.total_latency.merge(s.total_latency);

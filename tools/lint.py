@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Repo lint: enforces rnoc source rules that clang-tidy cannot express.
+
+Rules
+  rng            rand(), srand() and std::random_device appear only under
+                 src/common/ (the deterministic Rng wrapper is the sole
+                 randomness source; sweeps must be reproducible from seeds).
+  naked-new      no `new` expressions anywhere; ownership goes through
+                 containers and smart pointers.
+  iostream       no std::cout/std::cerr/printf in src/ library code; the
+                 library reports through return values and exceptions
+                 (stderr is allowed only in noc/invariants.cpp, whose
+                 abort path must print without touching the iostreams).
+  pragma-once    every header starts its include guard with #pragma once.
+  self-contained every src/noc header compiles on its own (include-what-
+                 you-use at the compile-or-fail level), checked with
+                 `c++ -fsyntax-only` unless --no-compile-headers.
+
+Exit status is non-zero when any rule fires; findings print as
+file:line: [rule] message, one per line, so editors and CI annotate them.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+CODE_DIRS = ("src", "tests", "tools", "bench", "examples")
+HEADER_EXT = (".hpp", ".h")
+SOURCE_EXT = (".cpp", ".cc") + HEADER_EXT
+
+RE_RNG = re.compile(r"\b(?:std::)?(?:rand|srand)\s*\(|std::random_device")
+RE_NEW = re.compile(r"\bnew\b(?!\s*\()\s*(?:\(\s*[\w:]+\s*\)\s*)?[\w:<(]")
+RE_COUT = re.compile(r"std::c(?:out|err)\b|\bprintf\s*\(")
+
+
+def strip_code(text):
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        two = text[i : i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_files(root):
+    for d in CODE_DIRS:
+        base = os.path.join(root, d)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXT):
+                    yield os.path.join(dirpath, name)
+
+
+def check_text_rules(root, path, findings):
+    rel = os.path.relpath(path, root)
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    code = strip_code(raw)
+
+    in_src = rel.startswith("src" + os.sep)
+    rng_exempt = rel.startswith(os.path.join("src", "common"))
+    cout_exempt = rel == os.path.join("src", "noc", "invariants.cpp")
+
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if not rng_exempt and RE_RNG.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [rng] raw libc/std randomness; use "
+                "common/rng (seeded, splittable) instead"
+            )
+        if RE_NEW.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [naked-new] new expression; use containers "
+                "or std::make_unique/make_shared"
+            )
+        if in_src and not cout_exempt and RE_COUT.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [iostream] stdout/stderr output from "
+                "library code; return data or throw instead"
+            )
+
+    if rel.endswith(HEADER_EXT) and "#pragma once" not in code:
+        findings.append(f"{rel}:1: [pragma-once] header without #pragma once")
+
+
+def check_self_contained(root, findings, compiler):
+    """Each src/noc header must compile standalone against -Isrc."""
+    noc = os.path.join(root, "src", "noc")
+    headers = sorted(
+        f for f in os.listdir(noc) if f.endswith(HEADER_EXT)
+    )
+    for name in headers:
+        path = os.path.join(noc, name)
+        cmd = [
+            compiler, "-std=c++20", "-fsyntax-only", "-x", "c++",
+            "-I", os.path.join(root, "src"), path,
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            first = (proc.stderr.strip().splitlines() or ["(no output)"])[0]
+            findings.append(
+                f"src/noc/{name}:1: [self-contained] header does not compile "
+                f"standalone: {first}"
+            )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--no-compile-headers", action="store_true",
+                    help="skip the noc header self-containment compile check")
+    args = ap.parse_args()
+    root = os.path.abspath(args.root)
+
+    findings = []
+    for path in iter_files(root):
+        check_text_rules(root, path, findings)
+
+    if not args.no_compile_headers:
+        compiler = (os.environ.get("CXX") or shutil.which("c++")
+                    or shutil.which("g++") or shutil.which("clang++"))
+        if compiler:
+            check_self_contained(root, findings, compiler)
+        else:
+            print("lint: no C++ compiler found; skipping self-contained check",
+                  file=sys.stderr)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
