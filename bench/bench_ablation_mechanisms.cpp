@@ -5,8 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <vector>
 
+#include "campaign/registry.hpp"
 #include "common/rng.hpp"
 #include "fault/fault_injector.hpp"
 #include "noc/simulator.hpp"
@@ -48,42 +48,14 @@ fault::FaultPlan plan_of(fault::SiteType type, const noc::SimConfig& cfg,
   return plan;
 }
 
+// Thin wrapper over the campaign registry: the experiment definition lives
+// in src/campaign/registry.cpp; this binary keeps the historical CLI.
 void print_study() {
-  const auto cfg = sim_config();
-  auto tm = traffic_model();
-
-  noc::Simulator clean(cfg, tm);
-  const double base = clean.run().avg_total_latency();
-  std::printf("Per-mechanism latency ablation: one fault of a single class "
-              "per router,\nuniform random traffic at 0.12 flits/node/cycle, "
-              "8x8 protected mesh\n\n");
-  std::printf("fault-free latency: %.2f cycles\n\n", base);
-  std::printf("%-22s %-34s %10s %10s\n", "fault class", "mechanism engaged",
-              "latency", "cost");
-
-  struct Row {
-    fault::SiteType type;
-    const char* mechanism;
-  };
-  const std::vector<Row> rows = {
-      {fault::SiteType::RcPrimary, "duplicate RC unit"},
-      {fault::SiteType::Va1ArbiterSet, "VA arbiter sharing"},
-      {fault::SiteType::Va2Arbiter, "VA stage-2 reallocation"},
-      {fault::SiteType::Sa1Arbiter, "SA bypass + VC transfer"},
-      {fault::SiteType::XbMux, "XB secondary path"},
-      {fault::SiteType::Sa2Arbiter, "XB secondary path (SA2 use)"},
-  };
-  for (const auto& row : rows) {
-    noc::Simulator sim(cfg, tm);
-    sim.set_fault_plan(plan_of(row.type, cfg, 42));
-    const auto rep = sim.run();
-    std::printf("%-22s %-34s %7.2f cy %+8.1f%%%s\n",
-                site_type_name(row.type).c_str(), row.mechanism,
-                rep.avg_total_latency(),
-                100 * (rep.avg_total_latency() / base - 1.0),
-                rep.undelivered_flits ? "  [LOST FLITS]" : "");
-  }
-  std::printf("\nExpected shape: RC ~free (spatial redundancy), VA2 small "
+  std::printf("%s",
+              rnoc::campaign::format_result(
+                  rnoc::campaign::run_registry_inline("ablation_mechanisms"))
+                  .c_str());
+  std::printf("Expected shape: RC ~free (spatial redundancy), VA2 small "
               "(+1 cycle on allocation),\nVA1 small under low VC contention, "
               "SA1 and XB largest (serialization).\n\n");
 }

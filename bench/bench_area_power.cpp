@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "campaign/registry.hpp"
 #include "synthesis/router_netlists.hpp"
 
 using namespace rnoc;
@@ -13,38 +14,14 @@ using namespace rnoc::synth;
 
 namespace {
 
+// Thin wrapper over the campaign registry: the experiment definition lives
+// in src/campaign/registry.cpp; this binary keeps the historical CLI.
 void print_report() {
-  const rel::RouterGeometry g;
-  const auto rep = synthesize(g);
-  const auto base = baseline_router_netlists(g);
-  const auto corr = correction_netlists(g);
-  const auto& lib = CellLibrary::generic45();
-
-  std::printf("Synthesis report (paper §VI-A), 45 nm, 5x5 router, 4 VCs\n\n");
-  std::printf("%-18s %12s %12s\n", "block", "area (um^2)", "cells");
-  auto row = [&](const char* n, const Netlist& nl) {
-    std::printf("%-18s %12.1f %12lld\n", n, nl.area_um2(lib),
-                static_cast<long long>(nl.total_cells()));
-  };
-  row("baseline RC", base.rc);
-  row("baseline VA", base.va);
-  row("baseline SA", base.sa);
-  row("baseline XB", base.xb);
-  row("correction RC", corr.rc);
-  row("correction VA", corr.va);
-  row("correction SA", corr.sa);
-  row("correction XB", corr.xb);
-
-  std::printf("\n                       area     power\n");
-  std::printf("baseline pipeline  %8.0f  %8.0f\n", rep.base_area_um2,
-              rep.base_power_uw);
-  std::printf("correction         %8.0f  %8.0f\n", rep.corr_area_um2,
-              rep.corr_power_uw);
-  std::printf("overhead            %6.1f%%   %6.1f%%   (paper: 28%% / 29%%)\n",
-              100 * rep.area_overhead, 100 * rep.power_overhead);
-  std::printf("with detection      %6.1f%%   %6.1f%%   (paper: 31%% / 30%%)\n\n",
-              100 * rep.area_overhead_with_detection,
-              100 * rep.power_overhead_with_detection);
+  std::printf("%s", rnoc::campaign::format_result(
+                        rnoc::campaign::run_registry_inline("area_power"))
+                        .c_str());
+  std::printf("paper reference: correction only +28%% area / +29%% power; "
+              "with detection +31%% / +30%%\n\n");
 }
 
 void BM_Synthesize(benchmark::State& state) {

@@ -5,53 +5,21 @@
 
 #include <cstdio>
 
+#include "campaign/registry.hpp"
 #include "synthesis/timing.hpp"
 
 using namespace rnoc::synth;
 
 namespace {
 
+// Thin wrapper over the campaign registry: the experiment definition lives
+// in src/campaign/registry.cpp; this binary keeps the historical CLI.
 void print_report() {
-  const rnoc::rel::RouterGeometry g;
-  const auto& lib = CellLibrary::generic45();
-  const TimingReport t = critical_path_report(g);
-
-  std::printf("Critical-path analysis (paper §VI-B), zero-slack clock sweep\n\n");
-  std::printf("%-6s %14s %15s %10s %10s\n", "stage", "baseline (ps)",
-              "protected (ps)", "overhead", "paper");
-  auto row = [&](const char* n, const StageTiming& s, const char* paper) {
-    std::printf("%-6s %14.0f %15.0f %9.1f%% %10s\n", n, s.baseline_ps,
-                s.protected_ps, 100 * s.overhead(), paper);
-  };
-  row("RC", t.rc, "~0%");
-  row("VA", t.va, "+20%");
-  row("SA", t.sa, "+10%");
-  row("XB", t.xb, "+25%");
-
-  // Demonstrate the zero-slack sweep itself on the protected VA stage.
-  const auto path = protected_critical_path(Stage::VA, g);
-  std::printf("\nzero-slack clock period for protected VA stage: %.1f ps "
-              "(path delay %.1f ps)\n\n",
-              zero_slack_period(path, lib), path_delay_ps(path, lib));
-
-  // Frequency-derating analysis (not in the paper): if the protected router
-  // must clock at its own worst stage instead of the baseline's, each cycle
-  // lengthens — a real-time cost on top of the cycle-count penalties of
-  // Figures 7/8.
-  double base_period = 0.0, prot_period = 0.0;
-  for (const StageTiming* s : {&t.rc, &t.va, &t.sa, &t.xb}) {
-    base_period = std::max(base_period, s->baseline_ps);
-    prot_period = std::max(prot_period, s->protected_ps);
-  }
-  std::printf("clock derating: baseline period %.0f ps (%.2f GHz) -> "
-              "protected %.0f ps (%.2f GHz), %+.1f%% per-cycle time\n",
-              base_period, 1000.0 / base_period, prot_period,
-              1000.0 / prot_period,
-              100.0 * (prot_period / base_period - 1.0));
-  std::printf("combined with Fig.7's +10%% cycles, wall-clock latency grows "
-              "~%+.0f%% if the\nprotected router cannot hide the slower "
-              "stage (the paper reports cycle counts).\n\n",
-              100.0 * (1.10 * prot_period / base_period - 1.0));
+  std::printf("%s", rnoc::campaign::format_result(
+                        rnoc::campaign::run_registry_inline("critical_path"))
+                        .c_str());
+  std::printf("paper reference: RC ~0%% | VA +20%% | SA +10%% | XB +25%% "
+              "critical-path overhead\n\n");
 }
 
 void BM_CriticalPathReport(benchmark::State& state) {

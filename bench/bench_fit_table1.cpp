@@ -5,23 +5,21 @@
 
 #include <cstdio>
 
+#include "campaign/registry.hpp"
 #include "reliability/fit.hpp"
 
 using namespace rnoc::rel;
 
 namespace {
 
+// Thin wrapper over the campaign registry: the experiment definition lives
+// in src/campaign/registry.cpp; this binary keeps the historical CLI.
 void print_table() {
-  const auto params = paper_calibrated_params();
-  const RouterGeometry g;
-  std::printf("%s\n", format_fit_table(baseline_fit_table(g, params),
-                                       "Table I: FIT of baseline pipeline "
-                                       "stages (failures per 1e9 hours)")
-                          .c_str());
-  const StageFits s = baseline_stage_fits(g, params);
-  std::printf("paper reference: RC 117 | VA 1478 | SA 203 | XB 1024 | total 2822\n");
-  std::printf("reproduced     : RC %.0f | VA %.0f | SA %.0f | XB %.0f | total %.0f\n\n",
-              s.rc, s.va, s.sa, s.xb, s.rounded().total());
+  std::printf("%s", rnoc::campaign::format_result(
+                        rnoc::campaign::run_registry_inline("fit_table1"))
+                        .c_str());
+  std::printf("paper reference: RC 117 | VA 1478 | SA 203 | XB 1024 | "
+              "total 2822\n\n");
 }
 
 void BM_BaselineFitTable(benchmark::State& state) {

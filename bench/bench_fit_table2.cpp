@@ -4,23 +4,21 @@
 
 #include <cstdio>
 
+#include "campaign/registry.hpp"
 #include "reliability/fit.hpp"
 
 using namespace rnoc::rel;
 
 namespace {
 
+// Thin wrapper over the campaign registry: the experiment definition lives
+// in src/campaign/registry.cpp; this binary keeps the historical CLI.
 void print_table() {
-  const auto params = paper_calibrated_params();
-  const RouterGeometry g;
-  std::printf("%s\n", format_fit_table(correction_fit_table(g, params),
-                                       "Table II: FIT of the correction "
-                                       "circuitry (failures per 1e9 hours)")
-                          .c_str());
-  const StageFits s = correction_stage_fits(g, params);
-  std::printf("paper reference: RC 117 | VA 60 | SA 53 | XB 416 | total 646\n");
-  std::printf("reproduced     : RC %.0f | VA %.0f | SA %.0f | XB %.0f | total %.0f\n\n",
-              s.rc, s.va, s.sa, s.xb, s.total());
+  std::printf("%s", rnoc::campaign::format_result(
+                        rnoc::campaign::run_registry_inline("fit_table2"))
+                        .c_str());
+  std::printf("paper reference: RC 117 | VA 60 | SA 53 | XB 416 | "
+              "total 646\n\n");
 }
 
 void BM_CorrectionFitTable(benchmark::State& state) {

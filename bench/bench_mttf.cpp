@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "campaign/registry.hpp"
 #include "common/rng.hpp"
 #include "reliability/mttf.hpp"
 #include "reliability/structural_mttf.hpp"
@@ -13,62 +14,16 @@ using namespace rnoc::rel;
 
 namespace {
 
+// Thin wrapper over the campaign registry: the experiment definition lives
+// in src/campaign/registry.cpp; this binary keeps the historical CLI.
 void print_report() {
-  const auto params = paper_calibrated_params();
-  const RouterGeometry g;
-  const auto rep = mttf_report(g, params);
-
-  std::printf("MTTF analysis (paper §VII-D)\n");
-  std::printf("  lambda1 (baseline pipeline FIT)   : %8.0f\n", rep.fit_baseline);
-  std::printf("  lambda2 (correction circuitry FIT): %8.0f\n", rep.fit_correction);
-  std::printf("  Eq.4 MTTF_baseline  = 1e9/%0.f%26s = %10.0f h (paper: 354,358)\n",
-              rep.fit_baseline, "", rep.mttf_baseline_h);
-  std::printf("  Eq.6 MTTF_protected = 1e9/l1 + 1e9/l2 + 1e9/(l1+l2) = %10.0f h (paper: 2,190,696)\n",
-              rep.mttf_protected_h);
-  std::printf("  Eq.7 improvement    = %.2fx (paper: ~6x)\n\n", rep.improvement);
-
-  rnoc::Rng rng(7);
-  const double mc = monte_carlo_parallel_mttf(rep.fit_baseline,
-                                              rep.fit_correction, 500000, rng);
-  std::printf("cross-checks:\n");
-  std::printf("  E[max(X1,X2)] analytic : %10.0f h\n",
-              parallel_pair_mttf(rep.fit_baseline, rep.fit_correction));
-  std::printf("  E[max(X1,X2)] MonteCarlo (500k trials): %10.0f h\n", mc);
-  std::printf("  (the paper's Eq.5 adds the 1/(l1+l2) term after Gaver 1963;\n"
-              "   see EXPERIMENTS.md for the discussion)\n\n");
-
-  // Extension: site-level structural MTTF against the real failure
-  // predicate, instead of the paper's two-aggregate-block abstraction.
-  StructuralMttfConfig base_cfg, prot_cfg;
-  base_cfg.mode = rnoc::core::RouterMode::Baseline;
-  base_cfg.trials = prot_cfg.trials = 50000;
-  const auto base = structural_mttf(base_cfg);
-  const auto prot = structural_mttf(prot_cfg);
-  std::printf("structural Monte-Carlo (per-site TDDB lifetimes + failure "
-              "predicate, 50k trials):\n");
-  std::printf("  baseline  MTTF : %10.0f h  (Eq.4 predicts %10.0f)\n",
-              base.lifetime_hours.mean(),
-              rnoc::kBillionHours / base.total_site_fit);
-  std::printf("  protected MTTF : %10.0f h -> improvement %.2fx\n",
-              prot.lifetime_hours.mean(),
-              prot.lifetime_hours.mean() / base.lifetime_hours.mean());
-  std::printf("  %.0f%% of protected lifetimes end at an uncovered P-select "
-              "mux\n  (single point of failure the two-block model cannot "
-              "see)\n\n",
-              100.0 * prot.single_point_fraction);
-
-  // Network view (the paper's motivation: one dead router can paralyze the
-  // chip): time to the FIRST failure among the 64 routers of the 8x8 mesh.
-  StructuralMttfConfig net_cfg;
-  net_cfg.trials = 800;
-  StructuralMttfConfig net_base = net_cfg;
-  net_base.mode = rnoc::core::RouterMode::Baseline;
-  const auto net_b = network_structural_mttf(net_base, 64);
-  const auto net_p = network_structural_mttf(net_cfg, 64);
-  std::printf("64-router network MTTF (first router failure):\n");
-  std::printf("  baseline  : %8.0f h   protected: %8.0f h   (%.2fx)\n\n",
-              net_b.lifetime_hours.mean(), net_p.lifetime_hours.mean(),
-              net_p.lifetime_hours.mean() / net_b.lifetime_hours.mean());
+  std::printf("%s", rnoc::campaign::format_result(
+                        rnoc::campaign::run_registry_inline("mttf"))
+                        .c_str());
+  std::printf("paper reference: MTTF_baseline 354,358 h | MTTF_protected "
+              "2,190,696 h | ~6x improvement\n"
+              "(the paper's Eq.5 adds the 1/(l1+l2) term after Gaver 1963; "
+              "see EXPERIMENTS.md)\n\n");
 }
 
 void BM_MttfReport(benchmark::State& state) {

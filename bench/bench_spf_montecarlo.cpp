@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "campaign/registry.hpp"
 #include "common/stats.hpp"
 #include "core/spf_analysis.hpp"
 #include "core/spf_montecarlo.hpp"
@@ -14,37 +15,13 @@ using namespace rnoc::core;
 
 namespace {
 
+// Thin wrapper over the campaign registry: the experiment definition lives
+// in src/campaign/registry.cpp; this binary keeps the historical CLI.
 void print_study() {
-  constexpr std::uint64_t kTrials = 100000;
-  const SpfAnalysis analytic = analytic_spf(5, 4, 0.31);
-
-  SpfMcConfig prot;
-  prot.trials = kTrials;
-  SpfMcConfig pipe_only = prot;
-  pipe_only.include_correction_sites = false;
-  SpfMcConfig base = prot;
-  base.mode = RouterMode::Baseline;
-
-  const auto r_prot = monte_carlo_spf(prot);
-  const auto r_pipe = monte_carlo_spf(pipe_only);
-  const auto r_base = monte_carlo_spf(base);
-
-  std::printf("Monte-Carlo faults-to-failure, %llu trials (ablation A3)\n\n",
-              static_cast<unsigned long long>(kTrials));
-  std::printf("%-38s %8s %6s %6s %8s\n", "model", "mean", "min", "max", "SPF");
-  auto row = [](const char* name, const SpfMcResult& r) {
-    std::printf("%-38s %8.2f %6.0f %6.0f %8.2f\n", name,
-                r.faults_to_failure.mean(), r.faults_to_failure.min(),
-                r.faults_to_failure.max(), r.spf);
-  };
-  row("baseline (unprotected)", r_base);
-  row("protected, all 79 sites", r_prot);
-  row("protected, pipeline sites only", r_pipe);
-  std::printf("%-38s %8.1f %6d %6d %8.2f   (paper Table III)\n",
-              "analytic mean-of-extremes", analytic.mean_faults_to_failure,
-              analytic.min_faults_to_failure, analytic.max_faults_to_failure,
-              analytic.spf);
-  std::printf("\nThe analytic number averages the best and worst adversarial "
+  std::printf("%s", rnoc::campaign::format_result(
+                        rnoc::campaign::run_registry_inline("spf_montecarlo"))
+                        .c_str());
+  std::printf("The analytic number averages the best and worst adversarial "
               "fault placements;\nrandom placement (the BulletProof/Vicis "
               "methodology) lands lower, as expected.\n\n");
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "baselines/bulletproof.hpp"
+#include "campaign/registry.hpp"
 #include "baselines/roco.hpp"
 #include "baselines/vicis.hpp"
 #include "core/spf_analysis.hpp"
@@ -17,38 +18,14 @@ using namespace rnoc;
 
 namespace {
 
+// Thin wrapper over the campaign registry: the experiment definition lives
+// in src/campaign/registry.cpp; this binary keeps the historical CLI.
 void print_table() {
-  constexpr std::uint64_t kTrials = 100000;
-  const auto bp_mc =
-      baselines::mc_faults_to_failure(baselines::bulletproof_model(), kTrials, 1);
-  const auto vc_mc =
-      baselines::mc_faults_to_failure(baselines::vicis_model(), kTrials, 1);
-  const auto rc_mc =
-      baselines::mc_faults_to_failure(baselines::roco_model(), kTrials, 1);
-
-  const auto synth = synth::synthesize(rel::RouterGeometry{});
-  const auto proposed =
-      core::analytic_spf(5, 4, synth.area_overhead_with_detection);
-
-  std::printf("Table III: SPF comparison (paper §VIII)\n");
-  std::printf("%-14s %8s %18s %8s   %s\n", "Architecture", "Area", "FaultsToFail",
-              "SPF", "our structural model (MC)");
-  const auto bp = baselines::bulletproof_published();
-  std::printf("%-14s %7.0f%% %18.2f %8.2f   ftf %.2f, spf %.2f\n", bp.name,
-              100 * bp.area_overhead, bp.faults_to_failure, bp.spf,
-              bp_mc.mean(), bp_mc.mean() / (1 + bp.area_overhead));
-  std::printf("%-14s %7.0f%% %18.2f %8.2f   ftf %.2f, spf %.2f\n", "Vicis",
-              100 * baselines::vicis_published_area(),
-              baselines::vicis_published_ftf(), baselines::vicis_published_spf(),
-              vc_mc.mean(),
-              vc_mc.mean() / (1 + baselines::vicis_published_area()));
-  std::printf("%-14s %8s %18.2f %7.2f*   ftf %.2f (*upper bound)\n", "RoCo",
-              "N/A", baselines::roco_published_ftf(),
-              baselines::roco_published_spf_upper_bound(), rc_mc.mean());
-  std::printf("%-14s %7.0f%% %18.2f %8.2f   analytic (min 2, max 28, mean 15)\n",
-              "Proposed", 100 * synth.area_overhead_with_detection,
-              proposed.mean_faults_to_failure, proposed.spf);
-  std::printf("\npaper reference row for the proposed router: 31%% | 15 | 11.4\n\n");
+  std::printf("%s", rnoc::campaign::format_result(
+                        rnoc::campaign::run_registry_inline("spf_table3"))
+                        .c_str());
+  std::printf("paper reference row for the proposed router: 31%% area | "
+              "15 faults-to-failure | SPF 11.4\n\n");
 }
 
 void BM_AnalyticSpf(benchmark::State& state) {

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "campaign/registry.hpp"
 #include "core/spf_analysis.hpp"
 #include "core/spf_montecarlo.hpp"
 #include "synthesis/router_netlists.hpp"
@@ -14,22 +15,14 @@ using namespace rnoc;
 
 namespace {
 
+// Thin wrapper over the campaign registry: the experiment definition lives
+// in src/campaign/registry.cpp; this binary keeps the historical CLI.
 void print_sweep() {
-  std::printf("SPF vs virtual-channel count (paper §VIII-E)\n\n");
-  std::printf("%4s %10s %8s %8s %8s %10s\n", "VCs", "overhead", "min", "maxtol",
-              "mean", "SPF");
-  for (const int vcs : {2, 3, 4, 6, 8}) {
-    rel::RouterGeometry g;
-    g.vcs = vcs;
-    const double overhead =
-        synth::synthesize(g).area_overhead_with_detection;
-    const auto a = core::analytic_spf(5, vcs, overhead);
-    std::printf("%4d %9.1f%% %8d %8d %8.1f %10.2f%s\n", vcs, 100 * overhead,
-                a.min_faults_to_failure, a.max_faults_tolerated,
-                a.mean_faults_to_failure, a.spf,
-                vcs == 4 ? "   <- paper: 11.4 (2 VCs: ~7)" : "");
-  }
-  std::printf("\n");
+  std::printf("%s", rnoc::campaign::format_result(
+                        rnoc::campaign::run_registry_inline("spf_vc_sweep"))
+                        .c_str());
+  std::printf("paper reference: SPF 11.4 at 4 VCs; falls to ~7 with 2 VCs "
+              "(paper §VIII-E)\n\n");
 }
 
 void BM_SpfSweepPoint(benchmark::State& state) {

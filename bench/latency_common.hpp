@@ -1,109 +1,29 @@
-// Shared harness for the Figure 7 / Figure 8 latency reproductions: run each
-// benchmark application on the 8x8 protected mesh fault-free and with the
-// paper's per-stage fault schedule, and report both latencies.
+// Forwarder: the Figure 7 / Figure 8 latency harness moved into the library
+// as src/campaign/figures.hpp so the campaign registry and these benches
+// share one definition of the experiment. This header keeps the historical
+// rnoc::benchx names used by the benchmark registrations.
 #pragma once
 
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "common/rng.hpp"
-#include "fault/fault_injector.hpp"
-#include "noc/simulator.hpp"
-#include "noc/sweep.hpp"
-#include "traffic/app_profiles.hpp"
+#include "campaign/figures.hpp"
+#include "campaign/registry.hpp"
 
 namespace rnoc::benchx {
 
-struct AppLatency {
-  std::string name;
-  double fault_free = 0.0;
-  double with_faults = 0.0;
-  double increase() const { return with_faults / fault_free - 1.0; }
-};
+using campaign::AppLatency;
 
 inline noc::SimConfig figure_sim_config() {
-  noc::SimConfig cfg;
-  cfg.mesh.dims = {8, 8};  // the paper's 64-core mesh
-  cfg.mesh.router.mode = core::RouterMode::Protected;
-  cfg.warmup = 3000;
-  cfg.measure = 10000;
-  cfg.drain_limit = 20000;
-  return cfg;
+  return campaign::figure_sim_config(/*smoke=*/false);
 }
 
-/// The paper's §IX schedule scaled to simulation length: one permanent fault
-/// per pipeline stage on every router, staggered through warmup.
-inline fault::FaultPlan figure_fault_plan(const noc::SimConfig& cfg,
-                                          std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<NodeId> all;
-  for (NodeId n = 0; n < cfg.mesh.dims.nodes(); ++n) all.push_back(n);
-  return fault::FaultPlan::per_stage(
-      cfg.mesh.dims, {noc::kMeshPorts, cfg.mesh.router.vcs}, all,
-      cfg.warmup / 5, rng);
-}
-
-/// The fault-free/faulted job pair for one application. The two jobs share
-/// a config and seed but own separate traffic-model instances, so they can
-/// run on different workers.
 inline std::vector<noc::SweepJob> app_jobs(const traffic::AppProfile& profile,
                                            const noc::SimConfig& cfg,
                                            std::uint64_t seed) {
-  noc::SweepJob clean;
-  clean.cfg = cfg;
-  clean.make_traffic = [profile] { return traffic::make_traffic(profile); };
-  noc::SweepJob faulty = clean;
-  faulty.faults = figure_fault_plan(cfg, seed);
-  return {std::move(clean), std::move(faulty)};
-}
-
-inline AppLatency check_app_pair(const std::string& name,
-                                 const noc::SimReport& clean,
-                                 const noc::SimReport& faulty) {
-  require(!clean.deadlock_suspected,
-          "latency bench: fault-free run deadlocked");
-  require(!faulty.deadlock_suspected, "latency bench: faulty run deadlocked");
-  require(faulty.undelivered_flits == 0,
-          "latency bench: protected run lost flits");
-  return {name, clean.avg_total_latency(), faulty.avg_total_latency()};
+  return campaign::figure_app_jobs(profile, cfg, seed);
 }
 
 inline AppLatency run_app(const traffic::AppProfile& profile,
                           const noc::SimConfig& cfg, std::uint64_t seed) {
-  const auto reports = noc::SweepRunner().run(app_jobs(profile, cfg, seed));
-  return check_app_pair(profile.name, reports[0], reports[1]);
-}
-
-inline void print_figure(const char* title,
-                         const std::vector<traffic::AppProfile>& apps,
-                         double paper_overall_increase) {
-  // One batch of (fault-free, faulted) pairs across the whole figure; the
-  // sweep runner fans the 2 x apps simulations out over the thread pool.
-  std::vector<noc::SweepJob> jobs;
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    auto pair = app_jobs(apps[i], figure_sim_config(), 1000 + i);
-    for (auto& j : pair) jobs.push_back(std::move(j));
-  }
-  const auto reports = noc::SweepRunner().run(jobs);
-
-  std::printf("%s\n", title);
-  std::printf("fault schedule: one permanent fault per pipeline stage per "
-              "router (paper §IX, scaled)\n\n");
-  std::printf("%-14s %12s %12s %10s\n", "benchmark", "fault-free",
-              "with faults", "increase");
-  double sum_ff = 0.0, sum_f = 0.0;
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    const AppLatency r =
-        check_app_pair(apps[i].name, reports[2 * i], reports[2 * i + 1]);
-    std::printf("%-14s %9.2f cy %9.2f cy %+9.1f%%\n", r.name.c_str(),
-                r.fault_free, r.with_faults, 100 * r.increase());
-    sum_ff += r.fault_free;
-    sum_f += r.with_faults;
-  }
-  const double overall = sum_f / sum_ff - 1.0;
-  std::printf("%-14s %12s %12s %+9.1f%%   (paper: ~%.0f%%)\n\n", "OVERALL", "",
-              "", 100 * overall, 100 * paper_overall_increase);
+  return campaign::run_figure_app(profile, cfg, seed);
 }
 
 }  // namespace rnoc::benchx

@@ -1,0 +1,63 @@
+#include "campaign/figures.hpp"
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rnoc::campaign {
+
+noc::SimConfig figure_sim_config(bool smoke) {
+  noc::SimConfig cfg;
+  cfg.mesh.dims = {8, 8};  // the paper's 64-core mesh
+  cfg.mesh.router.mode = core::RouterMode::Protected;
+  if (smoke) {
+    cfg.warmup = 500;
+    cfg.measure = 1500;
+    cfg.drain_limit = 5000;
+  } else {
+    cfg.warmup = 3000;
+    cfg.measure = 10000;
+    cfg.drain_limit = 20000;
+  }
+  return cfg;
+}
+
+fault::FaultPlan figure_fault_plan(const noc::SimConfig& cfg,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> all;
+  for (NodeId n = 0; n < cfg.mesh.dims.nodes(); ++n) all.push_back(n);
+  return fault::FaultPlan::per_stage(
+      cfg.mesh.dims, {noc::kMeshPorts, cfg.mesh.router.vcs}, all,
+      cfg.warmup / 5, rng);
+}
+
+std::vector<noc::SweepJob> figure_app_jobs(const traffic::AppProfile& profile,
+                                           const noc::SimConfig& cfg,
+                                           std::uint64_t seed) {
+  noc::SweepJob clean;
+  clean.cfg = cfg;
+  clean.make_traffic = [profile] { return traffic::make_traffic(profile); };
+  noc::SweepJob faulty = clean;
+  faulty.faults = figure_fault_plan(cfg, seed);
+  return {std::move(clean), std::move(faulty)};
+}
+
+AppLatency check_app_pair(const std::string& name, const noc::SimReport& clean,
+                          const noc::SimReport& faulty) {
+  require(!clean.deadlock_suspected,
+          "latency figure: fault-free run deadlocked (" + name + ")");
+  require(!faulty.deadlock_suspected,
+          "latency figure: faulty run deadlocked (" + name + ")");
+  require(faulty.undelivered_flits == 0,
+          "latency figure: protected run lost flits (" + name + ")");
+  return {name, clean.avg_total_latency(), faulty.avg_total_latency()};
+}
+
+AppLatency run_figure_app(const traffic::AppProfile& profile,
+                          const noc::SimConfig& cfg, std::uint64_t seed) {
+  const auto reports =
+      noc::SweepRunner().run(figure_app_jobs(profile, cfg, seed));
+  return check_app_pair(profile.name, reports[0], reports[1]);
+}
+
+}  // namespace rnoc::campaign

@@ -1,0 +1,350 @@
+#include "campaign/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/types.hpp"
+
+namespace rnoc::campaign {
+
+JsonValue JsonValue::make_null() { return JsonValue(); }
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.type_ = Type::Number;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::String;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue v;
+  v.type_ = Type::Array;
+  return v;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue v;
+  v.type_ = Type::Object;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  require(type_ == Type::Bool, "json: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  require(type_ == Type::Number, "json: not a number");
+  return num_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  const double d = as_number();
+  const auto i = static_cast<std::int64_t>(d);
+  require(static_cast<double>(i) == d, "json: number is not integral");
+  return i;
+}
+
+const std::string& JsonValue::as_string() const {
+  require(type_ == Type::String, "json: not a string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  require(type_ == Type::Array, "json: not an array");
+  return arr_;
+}
+
+std::vector<JsonValue>& JsonValue::items() {
+  require(type_ == Type::Array, "json: not an array");
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  require(type_ == Type::Object, "json: not an object");
+  return obj_;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  require(type_ == Type::Array, "json: push_back on non-array");
+  arr_.push_back(std::move(v));
+}
+
+void JsonValue::set(const std::string& key, JsonValue v) {
+  require(type_ == Type::Object, "json: set on non-object");
+  obj_.emplace_back(key, std::move(v));
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  require(type_ == Type::Object, "json: find on non-object");
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  require(v != nullptr, "json: missing key '" + key + "'");
+  return *v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    require(pos_ == text_.size(),
+            "json: trailing characters at offset " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) const {
+    throw std::invalid_argument("json: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::make_bool(true);
+        fail("bad literal");
+        break;
+      case 'f':
+        if (consume_literal("false")) return JsonValue::make_bool(false);
+        fail("bad literal");
+        break;
+      case 'n':
+        if (consume_literal("null")) return JsonValue::make_null();
+        fail("bad literal");
+        break;
+      default:
+        return parse_number();
+    }
+    return JsonValue();  // unreachable
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::make_object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      obj.set(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::make_array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        default: fail("unsupported string escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) fail("malformed number");
+    require(std::isfinite(v), "json: non-finite number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return JsonValue::make_number(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void serialize(const JsonValue& v, std::string& out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (v.type()) {
+    case JsonValue::Type::Null:
+      out += "null";
+      break;
+    case JsonValue::Type::Bool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Type::Number:
+      out += json_double(v.as_number());
+      break;
+    case JsonValue::Type::String:
+      out += json_quote(v.as_string());
+      break;
+    case JsonValue::Type::Array: {
+      const auto& items = v.items();
+      if (items.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        out += pad_in;
+        serialize(items[i], out, indent + 1);
+        out += i + 1 < items.size() ? ",\n" : "\n";
+      }
+      out += pad + "]";
+      break;
+    }
+    case JsonValue::Type::Object: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        out += pad_in + json_quote(members[i].first) + ": ";
+        serialize(members[i].second, out, indent + 1);
+        out += i + 1 < members.size() ? ",\n" : "\n";
+      }
+      out += pad + "}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+std::string to_json_text(const JsonValue& v) {
+  std::string out;
+  serialize(v, out, 0);
+  out += "\n";
+  return out;
+}
+
+std::string json_double(double v) {
+  require(std::isfinite(v), "json: campaign metric value is not finite");
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Exact round-trip: %.17g is lossless for IEEE doubles, and strtod maps
+  // the text back to the identical bit pattern.
+  return buf;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace rnoc::campaign

@@ -1,0 +1,76 @@
+// Minimal JSON reader/writer for campaign result and checkpoint files.
+//
+// The campaign engine needs exact double round-trips: a shard result written
+// to a checkpoint, read back after a crash and re-serialized must be
+// byte-identical to the uninterrupted run (the resume-determinism contract,
+// test-enforced). Doubles are therefore printed with %.17g — the shortest
+// fixed precision that strtod inverts exactly — and the writer is the only
+// producer of the files the parser consumes, so the dialect can stay small:
+// objects, arrays, strings (with the common escapes), finite numbers, bools
+// and null.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rnoc::campaign {
+
+/// Parsed JSON value. Object member order is preserved (serialization must
+/// be deterministic).
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array();
+  static JsonValue make_object();
+
+  Type type() const { return type_; }
+  bool is(Type t) const { return type_ == t; }
+
+  /// Typed accessors; throw std::invalid_argument on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  ///< Number checked to be integral.
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;             ///< Array.
+  std::vector<JsonValue>& items();                         ///< Array.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  void push_back(JsonValue v);                       ///< Array append.
+  void set(const std::string& key, JsonValue v);     ///< Object append.
+  /// Object member lookup; throws when the key is absent.
+  const JsonValue& at(const std::string& key) const;
+  const JsonValue* find(const std::string& key) const;  ///< Null if absent.
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Parses a complete JSON document; throws std::invalid_argument with a
+/// character offset on malformed input or trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+/// Serializes with 2-space indentation and deterministic layout.
+std::string to_json_text(const JsonValue& v);
+
+/// Formats a double so that parsing the result returns the same bits.
+/// Requires a finite value (campaign metrics must be finite).
+std::string json_double(double v);
+
+/// Escapes and quotes a string for JSON embedding.
+std::string json_quote(const std::string& s);
+
+}  // namespace rnoc::campaign

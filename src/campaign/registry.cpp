@@ -1,0 +1,621 @@
+#include "campaign/registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <memory>
+
+#include "baselines/bulletproof.hpp"
+#include "baselines/roco.hpp"
+#include "baselines/vicis.hpp"
+#include "campaign/figures.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/spf_analysis.hpp"
+#include "core/spf_montecarlo.hpp"
+#include "fault/fault_injector.hpp"
+#include "noc/simulator.hpp"
+#include "noc/sweep.hpp"
+#include "reliability/fit.hpp"
+#include "reliability/mttf.hpp"
+#include "reliability/structural_mttf.hpp"
+#include "synthesis/router_netlists.hpp"
+#include "synthesis/timing.hpp"
+#include "traffic/patterns.hpp"
+
+namespace rnoc::campaign {
+namespace {
+
+using Metrics = std::vector<Metric>;
+
+Metric ex(const char* name, double v) { return exact_metric(name, v); }
+
+/// Normal-approximation 95% CI half-width of a Bernoulli fraction.
+double fraction_ci95(double f, std::uint64_t trials) {
+  if (trials == 0) return 0.0;
+  return 1.96 * std::sqrt(std::max(f * (1.0 - f), 0.0) /
+                          static_cast<double>(trials));
+}
+
+std::vector<std::string> fixed_ids(std::vector<std::string> ids) {
+  return ids;
+}
+
+// --- Tables I & II: FIT of the baseline pipeline / correction circuitry ---
+
+Metrics run_fit_table(bool correction) {
+  const auto params = rel::paper_calibrated_params();
+  const rel::RouterGeometry g;
+  const rel::StageFits s = correction ? rel::correction_stage_fits(g, params)
+                                      : rel::baseline_stage_fits(g, params);
+  return {ex("rc_fit", s.rc),
+          ex("va_fit", s.va),
+          ex("sa_fit", s.sa),
+          ex("xb_fit", s.xb),
+          ex("total_fit", s.total()),
+          ex("total_fit_as_printed", s.rounded().total())};
+}
+
+CampaignSpec fit_table1_spec() {
+  CampaignSpec spec;
+  spec.name = "fit_table1";
+  spec.artifact = "Table I";
+  spec.description =
+      "FIT of the baseline pipeline stages (paper: RC 117, VA 1478, SA 203, "
+      "XB 1024)";
+  spec.point_ids = [](bool) { return fixed_ids({"stages"}); };
+  spec.run_point = [](std::size_t, std::uint64_t, bool) {
+    return run_fit_table(/*correction=*/false);
+  };
+  return spec;
+}
+
+CampaignSpec fit_table2_spec() {
+  CampaignSpec spec;
+  spec.name = "fit_table2";
+  spec.artifact = "Table II";
+  spec.description =
+      "FIT of the correction circuitry (paper: RC 117, VA 60, SA 53, XB 416)";
+  spec.point_ids = [](bool) { return fixed_ids({"stages"}); };
+  spec.run_point = [](std::size_t, std::uint64_t, bool) {
+    return run_fit_table(/*correction=*/true);
+  };
+  return spec;
+}
+
+// --- MTTF (paper §VII-D, Eqs. 4-7) plus the structural Monte Carlo ---
+
+CampaignSpec mttf_spec() {
+  CampaignSpec spec;
+  spec.name = "mttf";
+  spec.artifact = "Eqs. 4-7";
+  spec.description =
+      "MTTF of baseline vs protected router and the ~6x improvement, with "
+      "site-level structural Monte-Carlo cross-checks";
+  spec.point_ids = [](bool) {
+    return fixed_ids({"paper_eqs", "structural_mc", "network_64"});
+  };
+  spec.run_point = [](std::size_t index, std::uint64_t seed, bool smoke) {
+    const auto params = rel::paper_calibrated_params();
+    const rel::RouterGeometry g;
+    if (index == 0) {
+      const auto rep = rel::mttf_report(g, params);
+      return Metrics{ex("fit_baseline", rep.fit_baseline),
+                     ex("fit_correction", rep.fit_correction),
+                     ex("mttf_baseline_h", rep.mttf_baseline_h),
+                     ex("mttf_protected_h", rep.mttf_protected_h),
+                     ex("improvement", rep.improvement)};
+    }
+    if (index == 1) {
+      rel::StructuralMttfConfig base_cfg, prot_cfg;
+      base_cfg.mode = core::RouterMode::Baseline;
+      base_cfg.trials = prot_cfg.trials = smoke ? 2000 : 50000;
+      base_cfg.seed = seed;
+      prot_cfg.seed = seed + 1;
+      const auto base = rel::structural_mttf(base_cfg);
+      const auto prot = rel::structural_mttf(prot_cfg);
+      const double imp =
+          prot.lifetime_hours.mean() / base.lifetime_hours.mean();
+      const double rel_ci =
+          base.lifetime_hours.ci95_halfwidth() / base.lifetime_hours.mean() +
+          prot.lifetime_hours.ci95_halfwidth() / prot.lifetime_hours.mean();
+      return Metrics{
+          stat_metric("baseline_mttf_h", base.lifetime_hours),
+          stat_metric("protected_mttf_h", prot.lifetime_hours),
+          stat_metric("improvement", imp, imp * rel_ci),
+          stat_metric("single_point_fraction", prot.single_point_fraction,
+                      fraction_ci95(prot.single_point_fraction,
+                                    prot_cfg.trials))};
+    }
+    rel::StructuralMttfConfig net_cfg;
+    net_cfg.trials = smoke ? 100 : 800;
+    net_cfg.seed = seed;
+    rel::StructuralMttfConfig net_base = net_cfg;
+    net_base.mode = core::RouterMode::Baseline;
+    net_base.seed = seed + 1;
+    const auto net_p = rel::network_structural_mttf(net_cfg, 64);
+    const auto net_b = rel::network_structural_mttf(net_base, 64);
+    const double imp = net_p.lifetime_hours.mean() / net_b.lifetime_hours.mean();
+    return Metrics{stat_metric("baseline_first_failure_h",
+                               net_b.lifetime_hours),
+                   stat_metric("protected_first_failure_h",
+                               net_p.lifetime_hours),
+                   stat_metric("improvement", imp, 0.0)};
+  };
+  return spec;
+}
+
+// --- §VI-A: area & power overhead from the 45 nm synthesis model ---
+
+CampaignSpec area_power_spec() {
+  CampaignSpec spec;
+  spec.name = "area_power";
+  spec.artifact = "Sec. VI-A";
+  spec.description =
+      "45 nm area/power overhead of the correction circuitry (paper: +28%/+29%"
+      ", +31%/+30% with detection)";
+  spec.point_ids = [](bool) { return fixed_ids({"synthesis"}); };
+  spec.run_point = [](std::size_t, std::uint64_t, bool) {
+    const auto rep = synth::synthesize(rel::RouterGeometry{});
+    return Metrics{
+        ex("base_area_um2", rep.base_area_um2),
+        ex("corr_area_um2", rep.corr_area_um2),
+        ex("base_power_uw", rep.base_power_uw),
+        ex("corr_power_uw", rep.corr_power_uw),
+        ex("area_overhead", rep.area_overhead),
+        ex("power_overhead", rep.power_overhead),
+        ex("area_overhead_with_detection", rep.area_overhead_with_detection),
+        ex("power_overhead_with_detection",
+           rep.power_overhead_with_detection)};
+  };
+  return spec;
+}
+
+// --- §VI-B: per-stage critical-path impact ---
+
+CampaignSpec critical_path_spec() {
+  CampaignSpec spec;
+  spec.name = "critical_path";
+  spec.artifact = "Sec. VI-B";
+  spec.description =
+      "Zero-slack critical path per pipeline stage (paper: RC ~0%, VA +20%, "
+      "SA +10%, XB +25%)";
+  spec.point_ids = [](bool) {
+    return fixed_ids({"rc", "va", "sa", "xb", "derating"});
+  };
+  spec.run_point = [](std::size_t index, std::uint64_t, bool) {
+    const rel::RouterGeometry g;
+    const synth::TimingReport t = synth::critical_path_report(g);
+    const synth::StageTiming* stages[] = {&t.rc, &t.va, &t.sa, &t.xb};
+    if (index < 4) {
+      const synth::StageTiming& s = *stages[index];
+      return Metrics{ex("baseline_ps", s.baseline_ps),
+                     ex("protected_ps", s.protected_ps),
+                     ex("overhead", s.overhead())};
+    }
+    double base_period = 0.0, prot_period = 0.0;
+    for (const synth::StageTiming* s : stages) {
+      base_period = std::max(base_period, s->baseline_ps);
+      prot_period = std::max(prot_period, s->protected_ps);
+    }
+    return Metrics{ex("baseline_period_ps", base_period),
+                   ex("protected_period_ps", prot_period),
+                   ex("per_cycle_time_increase",
+                      prot_period / base_period - 1.0)};
+  };
+  return spec;
+}
+
+// --- Table III: SPF comparison against BulletProof, Vicis, RoCo ---
+
+CampaignSpec spf_table3_spec() {
+  CampaignSpec spec;
+  spec.name = "spf_table3";
+  spec.artifact = "Table III";
+  spec.description =
+      "SPF of the proposed router vs BulletProof/Vicis/RoCo, with structural "
+      "Monte-Carlo reconstructions of the competitors";
+  spec.point_ids = [](bool) {
+    return fixed_ids({"bulletproof", "vicis", "roco", "proposed"});
+  };
+  spec.run_point = [](std::size_t index, std::uint64_t seed, bool smoke) {
+    const std::uint64_t trials = smoke ? 5000 : 100000;
+    switch (index) {
+      case 0: {
+        const auto pub = baselines::bulletproof_published();
+        const auto mc = baselines::mc_faults_to_failure(
+            baselines::bulletproof_model(), trials, seed);
+        return Metrics{ex("published_ftf", pub.faults_to_failure),
+                       ex("published_spf", pub.spf),
+                       ex("published_area_overhead", pub.area_overhead),
+                       stat_metric("mc_ftf", mc),
+                       stat_metric("mc_spf",
+                                   mc.mean() / (1 + pub.area_overhead),
+                                   mc.ci95_halfwidth() /
+                                       (1 + pub.area_overhead))};
+      }
+      case 1: {
+        const auto mc = baselines::mc_faults_to_failure(
+            baselines::vicis_model(), trials, seed);
+        const double area = baselines::vicis_published_area();
+        return Metrics{ex("published_ftf", baselines::vicis_published_ftf()),
+                       ex("published_spf", baselines::vicis_published_spf()),
+                       ex("published_area_overhead", area),
+                       stat_metric("mc_ftf", mc),
+                       stat_metric("mc_spf", mc.mean() / (1 + area),
+                                   mc.ci95_halfwidth() / (1 + area))};
+      }
+      case 2: {
+        const auto mc = baselines::mc_faults_to_failure(
+            baselines::roco_model(), trials, seed);
+        return Metrics{ex("published_ftf", baselines::roco_published_ftf()),
+                       ex("published_spf_upper_bound",
+                          baselines::roco_published_spf_upper_bound()),
+                       stat_metric("mc_ftf", mc)};
+      }
+      default: {
+        const auto synth_rep = synth::synthesize(rel::RouterGeometry{});
+        const auto a = core::analytic_spf(
+            5, 4, synth_rep.area_overhead_with_detection);
+        return Metrics{ex("area_overhead",
+                          synth_rep.area_overhead_with_detection),
+                       ex("min_faults_to_failure", a.min_faults_to_failure),
+                       ex("max_faults_tolerated", a.max_faults_tolerated),
+                       ex("mean_faults_to_failure", a.mean_faults_to_failure),
+                       ex("spf", a.spf)};
+      }
+    }
+  };
+  return spec;
+}
+
+// --- §VIII-E: SPF vs virtual-channel count ---
+
+constexpr int kVcSweep[] = {2, 3, 4, 6, 8};
+
+CampaignSpec spf_vc_sweep_spec() {
+  CampaignSpec spec;
+  spec.name = "spf_vc_sweep";
+  spec.artifact = "Sec. VIII-E";
+  spec.description =
+      "SPF vs VC count (paper: SPF ~7 at 2 VCs, 11.4 at 4, rising beyond)";
+  spec.point_ids = [](bool) {
+    std::vector<std::string> ids;
+    for (const int vcs : kVcSweep) ids.push_back("vc" + std::to_string(vcs));
+    return ids;
+  };
+  spec.run_point = [](std::size_t index, std::uint64_t, bool) {
+    rel::RouterGeometry g;
+    g.vcs = kVcSweep[index];
+    const double overhead =
+        synth::synthesize(g).area_overhead_with_detection;
+    const auto a = core::analytic_spf(5, g.vcs, overhead);
+    return Metrics{ex("area_overhead", overhead),
+                   ex("min_faults_to_failure", a.min_faults_to_failure),
+                   ex("max_faults_tolerated", a.max_faults_tolerated),
+                   ex("mean_faults_to_failure", a.mean_faults_to_failure),
+                   ex("spf", a.spf)};
+  };
+  return spec;
+}
+
+// --- Ablation A3: Monte-Carlo faults-to-failure distribution ---
+
+CampaignSpec spf_montecarlo_spec() {
+  CampaignSpec spec;
+  spec.name = "spf_montecarlo";
+  spec.artifact = "Ablation A3";
+  spec.description =
+      "Monte-Carlo faults-to-failure of the protected router vs the paper's "
+      "analytic mean-of-extremes";
+  spec.point_ids = [](bool) {
+    return fixed_ids({"baseline", "protected_all_sites",
+                      "protected_pipeline_only", "analytic"});
+  };
+  spec.run_point = [](std::size_t index, std::uint64_t seed, bool smoke) {
+    if (index == 3) {
+      const auto a = core::analytic_spf(5, 4, 0.31);
+      return Metrics{ex("mean_faults_to_failure", a.mean_faults_to_failure),
+                     ex("min_faults_to_failure", a.min_faults_to_failure),
+                     ex("max_faults_to_failure", a.max_faults_to_failure),
+                     ex("spf", a.spf)};
+    }
+    core::SpfMcConfig cfg;
+    cfg.trials = smoke ? 5000 : 100000;
+    cfg.seed = seed;
+    if (index == 0) cfg.mode = core::RouterMode::Baseline;
+    if (index == 2) cfg.include_correction_sites = false;
+    const auto r = core::monte_carlo_spf(cfg);
+    return Metrics{stat_metric("mean_faults_to_failure", r.faults_to_failure),
+                   stat_metric("min_faults_to_failure",
+                               r.faults_to_failure.min(), 0.0),
+                   stat_metric("max_faults_to_failure",
+                               r.faults_to_failure.max(), 0.0),
+                   stat_metric("spf", r.spf,
+                               r.faults_to_failure.ci95_halfwidth() / 1.31)};
+  };
+  return spec;
+}
+
+// --- Figures 7 & 8: SPLASH-2 / PARSEC latency under faults ---
+
+CampaignSpec latency_spec(const char* name, const char* artifact,
+                          const char* description,
+                          const std::vector<traffic::AppProfile>& (*apps)()) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.artifact = artifact;
+  spec.description = description;
+  spec.point_ids = [apps](bool smoke) {
+    const auto& profiles = apps();
+    const std::size_t n = smoke ? std::min<std::size_t>(profiles.size(), 4)
+                                : profiles.size();
+    std::vector<std::string> ids;
+    for (std::size_t i = 0; i < n; ++i) ids.push_back(profiles[i].name);
+    return ids;
+  };
+  spec.run_point = [apps](std::size_t index, std::uint64_t seed, bool smoke) {
+    const auto cfg = figure_sim_config(smoke);
+    const AppLatency r = run_figure_app(apps()[index], cfg, seed);
+    return Metrics{ex("fault_free_latency", r.fault_free),
+                   ex("faulted_latency", r.with_faults),
+                   ex("latency_increase", r.increase())};
+  };
+  return spec;
+}
+
+// --- Ablation A4: latency vs offered load, fault-free vs faulted ---
+
+constexpr traffic::Pattern kLoadPatterns[] = {traffic::Pattern::UniformRandom,
+                                              traffic::Pattern::Transpose,
+                                              traffic::Pattern::Hotspot};
+constexpr double kLoadRatesFull[] = {0.02, 0.06, 0.10, 0.14, 0.18};
+constexpr double kLoadRatesSmoke[] = {0.06, 0.14};
+
+std::string load_point_id(traffic::Pattern p, double rate) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s_r%.2f", traffic::pattern_name(p), rate);
+  return buf;
+}
+
+CampaignSpec load_sweep_spec() {
+  CampaignSpec spec;
+  spec.name = "load_sweep";
+  spec.artifact = "Ablation A4";
+  spec.description =
+      "Latency vs injection rate for synthetic patterns, fault-free vs 128 "
+      "faults on the protected 8x8 mesh";
+  const auto grid = [](bool smoke) {
+    std::vector<std::pair<traffic::Pattern, double>> points;
+    for (const auto pattern : kLoadPatterns) {
+      if (smoke)
+        for (const double rate : kLoadRatesSmoke)
+          points.emplace_back(pattern, rate);
+      else
+        for (const double rate : kLoadRatesFull)
+          points.emplace_back(pattern, rate);
+    }
+    return points;
+  };
+  spec.point_ids = [grid](bool smoke) {
+    std::vector<std::string> ids;
+    for (const auto& [pattern, rate] : grid(smoke))
+      ids.push_back(load_point_id(pattern, rate));
+    return ids;
+  };
+  spec.run_point = [grid](std::size_t index, std::uint64_t seed, bool smoke) {
+    const auto [pattern, rate] = grid(smoke)[index];
+    noc::SimConfig cfg;
+    cfg.mesh.dims = {8, 8};
+    if (smoke) {
+      cfg.warmup = 500;
+      cfg.measure = 1500;
+      cfg.drain_limit = 10000;
+      cfg.progress_timeout = 10000;
+    } else {
+      cfg.warmup = 2000;
+      cfg.measure = 6000;
+      cfg.drain_limit = 25000;
+      cfg.progress_timeout = 25000;
+    }
+    traffic::SyntheticConfig tc;
+    tc.pattern = pattern;
+    tc.injection_rate = rate;
+    tc.packet_size = 5;
+    if (pattern == traffic::Pattern::Hotspot) tc.hotspots = {27, 36};
+
+    noc::SweepJob clean;
+    clean.cfg = cfg;
+    clean.make_traffic = [tc] {
+      return std::make_shared<traffic::SyntheticTraffic>(tc);
+    };
+    noc::SweepJob faulty = clean;
+    Rng rng(seed);
+    faulty.faults = fault::FaultPlan::random(
+        cfg.mesh.dims, {noc::kMeshPorts, cfg.mesh.router.vcs},
+        core::RouterMode::Protected, 128, cfg.warmup, rng, true);
+    const auto reports = noc::SweepRunner().run({clean, faulty});
+    const double ff = reports[0].avg_total_latency();
+    const double fl = reports[1].avg_total_latency();
+    return Metrics{ex("fault_free_latency", ff), ex("faulted_latency", fl),
+                   ex("latency_increase", fl / ff - 1.0)};
+  };
+  return spec;
+}
+
+// --- Ablation A7: reliability vs operating environment ---
+
+constexpr double kVdds[] = {0.9, 1.0, 1.1};
+constexpr double kTemps[] = {300.0, 330.0, 360.0};
+constexpr double kShapes[] = {1.0, 1.5, 2.0, 3.0};
+
+CampaignSpec environment_sweep_spec() {
+  CampaignSpec spec;
+  spec.name = "environment_sweep";
+  spec.artifact = "Ablation A7";
+  spec.description =
+      "FIT/MTTF/improvement across supply voltage, temperature and Weibull "
+      "hazard shape (paper evaluates 1 V / 300 K only)";
+  spec.point_ids = [](bool) {
+    std::vector<std::string> ids;
+    for (const double vdd : kVdds)
+      for (const double temp : kTemps) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "v%.1f_t%.0f", vdd, temp);
+        ids.push_back(buf);
+      }
+    for (const double shape : kShapes) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "shape%.1f", shape);
+      ids.push_back(buf);
+    }
+    return ids;
+  };
+  spec.run_point = [](std::size_t index, std::uint64_t seed, bool smoke) {
+    constexpr std::size_t kGrid = std::size(kVdds) * std::size(kTemps);
+    if (index < kGrid) {
+      const double vdd = kVdds[index / std::size(kTemps)];
+      const double temp = kTemps[index % std::size(kTemps)];
+      const auto rep =
+          rel::mttf_report(rel::RouterGeometry{},
+                           rel::paper_calibrated_params(),
+                           /*as_printed=*/false, {vdd, temp});
+      return Metrics{ex("fit_baseline", rep.fit_baseline),
+                     ex("mttf_baseline_h", rep.mttf_baseline_h),
+                     ex("improvement", rep.improvement)};
+    }
+    const double shape = kShapes[index - kGrid];
+    rel::StructuralMttfConfig prot_cfg;
+    prot_cfg.trials = smoke ? 2000 : 20000;
+    prot_cfg.weibull_shape = shape;
+    prot_cfg.seed = seed;
+    rel::StructuralMttfConfig base_cfg = prot_cfg;
+    base_cfg.mode = core::RouterMode::Baseline;
+    base_cfg.seed = seed + 1;
+    const auto base = rel::structural_mttf(base_cfg);
+    const auto prot = rel::structural_mttf(prot_cfg);
+    const double imp = prot.lifetime_hours.mean() / base.lifetime_hours.mean();
+    return Metrics{stat_metric("baseline_mttf_h", base.lifetime_hours),
+                   stat_metric("protected_mttf_h", prot.lifetime_hours),
+                   stat_metric("improvement", imp, 0.0)};
+  };
+  return spec;
+}
+
+// --- Ablation A2: per-mechanism latency cost ---
+
+struct MechanismRow {
+  const char* id;
+  fault::SiteType type;
+};
+
+constexpr MechanismRow kMechanisms[] = {
+    {"rc_primary", fault::SiteType::RcPrimary},
+    {"va1_arbiter_set", fault::SiteType::Va1ArbiterSet},
+    {"va2_arbiter", fault::SiteType::Va2Arbiter},
+    {"sa1_arbiter", fault::SiteType::Sa1Arbiter},
+    {"xb_mux", fault::SiteType::XbMux},
+    {"sa2_arbiter", fault::SiteType::Sa2Arbiter},
+};
+
+CampaignSpec ablation_mechanisms_spec() {
+  CampaignSpec spec;
+  spec.name = "ablation_mechanisms";
+  spec.artifact = "Ablation A2";
+  spec.description =
+      "Per-mechanism latency cost: one fault of a single pipeline-stage "
+      "class on every router";
+  spec.point_ids = [](bool) {
+    std::vector<std::string> ids = {"fault_free"};
+    for (const auto& m : kMechanisms) ids.emplace_back(m.id);
+    return ids;
+  };
+  spec.run_point = [](std::size_t index, std::uint64_t seed, bool smoke) {
+    noc::SimConfig cfg;
+    cfg.mesh.dims = {8, 8};
+    if (smoke) {
+      cfg.warmup = 500;
+      cfg.measure = 1500;
+      cfg.drain_limit = 5000;
+    } else {
+      cfg.warmup = 2000;
+      cfg.measure = 8000;
+      cfg.drain_limit = 15000;
+    }
+    traffic::SyntheticConfig tc;
+    tc.injection_rate = 0.12;
+    tc.packet_size = 5;
+    noc::SweepJob job;
+    job.cfg = cfg;
+    job.make_traffic = [tc] {
+      return std::make_shared<traffic::SyntheticTraffic>(tc);
+    };
+    if (index > 0) {
+      const fault::SiteType type = kMechanisms[index - 1].type;
+      Rng rng(seed);
+      fault::FaultPlan plan;
+      for (NodeId n = 0; n < cfg.mesh.dims.nodes(); ++n) {
+        const int port = static_cast<int>(rng.next_below(noc::kMeshPorts));
+        const int vc = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(cfg.mesh.router.vcs)));
+        const bool per_vc = type == fault::SiteType::Va1ArbiterSet ||
+                            type == fault::SiteType::Va2Arbiter;
+        plan.add(rng.next_below(cfg.warmup), n, {type, port, per_vc ? vc : 0});
+      }
+      job.faults = std::move(plan);
+    }
+    const auto reports = noc::SweepRunner().run({job});
+    return Metrics{
+        ex("latency", reports[0].avg_total_latency()),
+        ex("undelivered_flits",
+           static_cast<double>(reports[0].undelivered_flits))};
+  };
+  return spec;
+}
+
+std::vector<CampaignSpec> build_registry() {
+  std::vector<CampaignSpec> specs;
+  specs.push_back(fit_table1_spec());
+  specs.push_back(fit_table2_spec());
+  specs.push_back(mttf_spec());
+  specs.push_back(area_power_spec());
+  specs.push_back(critical_path_spec());
+  specs.push_back(spf_table3_spec());
+  specs.push_back(spf_vc_sweep_spec());
+  specs.push_back(spf_montecarlo_spec());
+  specs.push_back(latency_spec(
+      "latency_splash2", "Figure 7",
+      "SPLASH-2 latency, fault-free vs per-stage fault schedule (paper: "
+      "~10% overall increase)",
+      &traffic::splash2_profiles));
+  specs.push_back(latency_spec(
+      "latency_parsec", "Figure 8",
+      "PARSEC latency, fault-free vs per-stage fault schedule (paper: ~13% "
+      "overall increase)",
+      &traffic::parsec_profiles));
+  specs.push_back(load_sweep_spec());
+  specs.push_back(environment_sweep_spec());
+  specs.push_back(ablation_mechanisms_spec());
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<CampaignSpec>& campaign_registry() {
+  static const std::vector<CampaignSpec> registry = build_registry();
+  return registry;
+}
+
+const CampaignSpec* find_campaign(const std::string& name) {
+  for (const auto& spec : campaign_registry())
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+CampaignResult run_registry_inline(const std::string& name, bool smoke) {
+  const CampaignSpec* spec = find_campaign(name);
+  require(spec != nullptr, "campaign: unknown campaign '" + name + "'");
+  return run_inline(*spec, smoke);
+}
+
+}  // namespace rnoc::campaign

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""ctest harness for the rnoc_campaign CLI: run the two cheapest campaigns
+in smoke mode (one synthesis-only, one reliability) and diff the emitted
+result files against their committed goldens with compare_results.py.
+
+Exercises the whole stack end to end — registry lookup, engine sharding,
+checkpoint write/cleanup, JSON emission, and the comparator — in well under
+a second.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+CAMPAIGNS = ["fit_table1", "critical_path"]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--campaign-bin", required=True)
+    ap.add_argument("--compare", required=True)
+    ap.add_argument("--golden", required=True)
+    ap.add_argument("--work", required=True)
+    opts = ap.parse_args()
+
+    shutil.rmtree(opts.work, ignore_errors=True)
+    os.makedirs(opts.work)
+
+    for name in CAMPAIGNS:
+        run = subprocess.run(
+            [opts.campaign_bin, "--run", name, "--smoke", "--out", opts.work],
+            capture_output=True, text=True)
+        if run.returncode != 0:
+            print(f"rnoc_campaign --run {name} failed "
+                  f"(exit {run.returncode}):\n{run.stdout}{run.stderr}",
+                  file=sys.stderr)
+            return 1
+        golden = os.path.join(opts.golden, name + ".json")
+        if not os.path.exists(golden):
+            print(f"missing golden baseline {golden}; regenerate with "
+                  "rnoc_campaign --smoke --out results/golden",
+                  file=sys.stderr)
+            return 1
+        cmp = subprocess.run(
+            [sys.executable, opts.compare, golden,
+             os.path.join(opts.work, name + ".json")],
+            capture_output=True, text=True)
+        sys.stdout.write(cmp.stdout)
+        sys.stderr.write(cmp.stderr)
+        if cmp.returncode != 0:
+            return 1
+        # Checkpoints must have been cleaned up after the successful run.
+        ckpts = os.path.join(opts.work, ".checkpoints")
+        if os.path.isdir(ckpts) and any(
+                f.startswith(name + ".shard") for f in os.listdir(ckpts)):
+            print(f"stale checkpoints left behind for {name}",
+                  file=sys.stderr)
+            return 1
+    print(f"campaign CLI smoke ok ({', '.join(CAMPAIGNS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,13 @@ Rules
                  (stderr is allowed only in noc/invariants.cpp, whose
                  abort path must print without touching the iostreams).
   pragma-once    every header starts its include guard with #pragma once.
-  self-contained every src/noc header compiles on its own (include-what-
-                 you-use at the compile-or-fail level), checked with
-                 `c++ -fsyntax-only` unless --no-compile-headers.
+  determinism    src/campaign/ never reads wall-clock time, CPU time, or the
+                 environment (std::chrono, time(), clock(), getenv): campaign
+                 results must be pure functions of (spec, seed, smoke) or
+                 resume and golden-baseline comparison both break.
+  self-contained every src/noc and src/campaign header compiles on its own
+                 (include-what-you-use at the compile-or-fail level), checked
+                 with `c++ -fsyntax-only` unless --no-compile-headers.
 
 Exit status is non-zero when any rule fires; findings print as
 file:line: [rule] message, one per line, so editors and CI annotate them.
@@ -34,6 +38,8 @@ SOURCE_EXT = (".cpp", ".cc") + HEADER_EXT
 RE_RNG = re.compile(r"\b(?:std::)?(?:rand|srand)\s*\(|std::random_device")
 RE_NEW = re.compile(r"\bnew\b(?!\s*\()\s*(?:\(\s*[\w:]+\s*\)\s*)?[\w:<(]")
 RE_COUT = re.compile(r"std::c(?:out|err)\b|\bprintf\s*\(")
+RE_NONDET = re.compile(
+    r"std::chrono\b|\b(?:std::)?(?:time|clock|getenv)\s*\(")
 
 
 def strip_code(text):
@@ -78,6 +84,7 @@ def check_text_rules(root, path, findings):
     code = strip_code(raw)
 
     in_src = rel.startswith("src" + os.sep)
+    in_campaign = rel.startswith(os.path.join("src", "campaign"))
     rng_exempt = rel.startswith(os.path.join("src", "common"))
     cout_exempt = rel == os.path.join("src", "noc", "invariants.cpp")
 
@@ -97,30 +104,38 @@ def check_text_rules(root, path, findings):
                 f"{rel}:{lineno}: [iostream] stdout/stderr output from "
                 "library code; return data or throw instead"
             )
+        if in_campaign and RE_NONDET.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [determinism] wall-clock/environment read "
+                "in campaign code; results must be pure functions of "
+                "(spec, seed, smoke)"
+            )
 
     if rel.endswith(HEADER_EXT) and "#pragma once" not in code:
         findings.append(f"{rel}:1: [pragma-once] header without #pragma once")
 
 
 def check_self_contained(root, findings, compiler):
-    """Each src/noc header must compile standalone against -Isrc."""
-    noc = os.path.join(root, "src", "noc")
-    headers = sorted(
-        f for f in os.listdir(noc) if f.endswith(HEADER_EXT)
-    )
-    for name in headers:
-        path = os.path.join(noc, name)
-        cmd = [
-            compiler, "-std=c++20", "-fsyntax-only", "-x", "c++",
-            "-I", os.path.join(root, "src"), path,
-        ]
-        proc = subprocess.run(cmd, capture_output=True, text=True)
-        if proc.returncode != 0:
-            first = (proc.stderr.strip().splitlines() or ["(no output)"])[0]
-            findings.append(
-                f"src/noc/{name}:1: [self-contained] header does not compile "
-                f"standalone: {first}"
-            )
+    """Each src/noc and src/campaign header must compile standalone."""
+    for subdir in ("noc", "campaign"):
+        base = os.path.join(root, "src", subdir)
+        headers = sorted(
+            f for f in os.listdir(base) if f.endswith(HEADER_EXT)
+        )
+        for name in headers:
+            path = os.path.join(base, name)
+            cmd = [
+                compiler, "-std=c++20", "-fsyntax-only", "-x", "c++",
+                "-I", os.path.join(root, "src"), path,
+            ]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                first = (proc.stderr.strip().splitlines()
+                         or ["(no output)"])[0]
+                findings.append(
+                    f"src/{subdir}/{name}:1: [self-contained] header does "
+                    f"not compile standalone: {first}"
+                )
 
 
 def main():
