@@ -246,7 +246,10 @@ RunOutcome run_campaign(const CampaignSpec& spec, const RunOptions& opts) {
   out.shards_total = shards;
   std::vector<std::vector<PointResult>> shard_points(
       static_cast<std::size_t>(shards));
-  std::vector<bool> have(static_cast<std::size_t>(shards), false);
+  // vector<char>, not vector<bool>: pool workers set their own shard's flag
+  // concurrently, and vector<bool> packs bits so distinct indices share a
+  // word — a data race. Distinct char elements are distinct objects.
+  std::vector<char> have(static_cast<std::size_t>(shards), 0);
 
   std::vector<int> to_run;
   for (int k = 0; k < shards; ++k) {
@@ -257,7 +260,7 @@ RunOutcome run_campaign(const CampaignSpec& spec, const RunOptions& opts) {
       if (load_shard_checkpoint(shard_path(opts.checkpoint_dir, spec.name, k),
                                 spec.name, hash, k, slice,
                                 shard_points[static_cast<std::size_t>(k)])) {
-        have[static_cast<std::size_t>(k)] = true;
+        have[static_cast<std::size_t>(k)] = 1;
         ++out.shards_resumed;
         continue;
       }
@@ -285,7 +288,7 @@ RunOutcome run_campaign(const CampaignSpec& spec, const RunOptions& opts) {
                              shard_to_json_text(spec.name, hash, k, r.first,
                                                 pts));
     shard_points[static_cast<std::size_t>(k)] = std::move(pts);
-    have[static_cast<std::size_t>(k)] = true;
+    have[static_cast<std::size_t>(k)] = 1;
   };
 
   if (to_run.size() <= 1) {
@@ -342,7 +345,9 @@ std::string to_json(const CampaignResult& r) {
   o.set("config_hash", JsonValue::make_string(r.config_hash));
   o.set("git_sha", JsonValue::make_string(r.git_sha));
   o.set("smoke", JsonValue::make_bool(r.smoke));
-  o.set("seed", JsonValue::make_number(static_cast<double>(r.seed)));
+  // Decimal string, not a JSON number: a double only represents integers
+  // exactly up to 2^53, and the full uint64 seed range must round-trip.
+  o.set("seed", JsonValue::make_string(std::to_string(r.seed)));
   JsonValue points = JsonValue::make_array();
   for (const auto& p : r.points) points.push_back(point_to_json(p));
   o.set("points", std::move(points));
@@ -361,7 +366,16 @@ CampaignResult result_from_json(const std::string& text) {
   r.config_hash = v.at("config_hash").as_string();
   r.git_sha = v.at("git_sha").as_string();
   r.smoke = v.at("smoke").as_bool();
-  r.seed = static_cast<std::uint64_t>(v.at("seed").as_int());
+  const JsonValue& seed = v.at("seed");
+  if (seed.is(JsonValue::Type::String)) {
+    std::size_t used = 0;
+    r.seed = std::stoull(seed.as_string(), &used);
+    require(used == seed.as_string().size(),
+            "campaign: malformed seed '" + seed.as_string() + "'");
+  } else {
+    // Legacy files serialized the seed as a JSON number (exact < 2^53).
+    r.seed = static_cast<std::uint64_t>(seed.as_int());
+  }
   for (const auto& p : v.at("points").items())
     r.points.push_back(point_from_json(p));
   return r;

@@ -10,7 +10,8 @@
 //  * per-point RNG streams derive from (campaign seed, point index), never
 //    from the shard layout or thread schedule, so results are invariant
 //    under the shard count and worker interleaving;
-//  * checkpoints round-trip doubles exactly (%.17g), so a killed run that
+//  * checkpoints round-trip doubles exactly (std::to_chars shortest form,
+//    locale-independent), so a killed run that
 //    resumes from its shard files emits a byte-identical result file to an
 //    uninterrupted run (test-enforced in tests/test_campaign_engine.cpp);
 //  * result files carry schema_version, the git SHA, and a config hash over

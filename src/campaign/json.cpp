@@ -1,8 +1,8 @@
 #include "campaign/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/types.hpp"
 
@@ -239,12 +239,16 @@ class Parser {
 
   JsonValue parse_number() {
     skip_ws();
+    // std::from_chars, not strtod: strtod honours LC_NUMERIC, so an
+    // embedding binary with a ',' decimal locale would misparse our own
+    // checkpoints. from_chars is locale-independent and exact.
     const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    const double v = std::strtod(start, &end);
-    if (end == start) fail("malformed number");
+    const char* end = text_.c_str() + text_.size();
+    double v = 0.0;
+    const auto res = std::from_chars(start, end, v);
+    if (res.ec != std::errc() || res.ptr == start) fail("malformed number");
     require(std::isfinite(v), "json: non-finite number");
-    pos_ += static_cast<std::size_t>(end - start);
+    pos_ += static_cast<std::size_t>(res.ptr - start);
     return JsonValue::make_number(v);
   }
 
@@ -316,11 +320,13 @@ std::string to_json_text(const JsonValue& v) {
 
 std::string json_double(double v) {
   require(std::isfinite(v), "json: campaign metric value is not finite");
+  // std::to_chars (shortest form) is locale-independent — snprintf %g obeys
+  // LC_NUMERIC and can emit ',' decimals, which is invalid JSON — and
+  // guarantees from_chars recovers the identical bit pattern.
   char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // Exact round-trip: %.17g is lossless for IEEE doubles, and strtod maps
-  // the text back to the identical bit pattern.
-  return buf;
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  require(res.ec == std::errc(), "json: double formatting failed");
+  return std::string(buf, res.ptr);
 }
 
 std::string json_quote(const std::string& s) {

@@ -3,8 +3,9 @@
 // The campaign engine needs exact double round-trips: a shard result written
 // to a checkpoint, read back after a crash and re-serialized must be
 // byte-identical to the uninterrupted run (the resume-determinism contract,
-// test-enforced). Doubles are therefore printed with %.17g — the shortest
-// fixed precision that strtod inverts exactly — and the writer is the only
+// test-enforced). Doubles are therefore written with std::to_chars (shortest
+// round-trip form) and read with std::from_chars — exact and, unlike
+// printf/strtod, independent of LC_NUMERIC — and the writer is the only
 // producer of the files the parser consumes, so the dialect can stay small:
 // objects, arrays, strings (with the common escapes), finite numbers, bools
 // and null.

@@ -44,7 +44,7 @@ struct TempDir {
 
 /// A deterministic toy campaign: per-point pseudo-random metrics derived
 /// only from the point seed, with awkward double values to stress the
-/// %.17g round-trip.
+/// shortest-round-trip double serialization.
 CampaignSpec toy_spec(int points = 12) {
   CampaignSpec spec;
   spec.name = "toy";
@@ -152,6 +152,29 @@ TEST(CampaignEngine, SchemaRoundTripsLosslessly) {
       EXPECT_EQ(back.points[p].metrics[m].value, r.points[p].metrics[m].value);
       EXPECT_EQ(back.points[p].metrics[m].ci95, r.points[p].metrics[m].ci95);
     }
+}
+
+TEST(CampaignEngine, LargeSeedsRoundTripExactly) {
+  // Seeds are serialized as decimal strings: a JSON number (double) is only
+  // exact below 2^53, and the full uint64 range must survive the file layer.
+  CampaignSpec spec = toy_spec(2);
+  spec.seed = 0xfedcba9876543210ull;  // far above 2^53
+  const CampaignResult r = run_inline(spec, true);
+  const CampaignResult back = result_from_json(to_json(r));
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(to_json(back), to_json(r));
+  // Legacy files that wrote the seed as a JSON number still parse.
+  const CampaignResult legacy = result_from_json(
+      "{\"schema_version\": 1, \"campaign\": \"x\", \"artifact\": \"\", "
+      "\"config_hash\": \"h\", \"git_sha\": \"s\", \"smoke\": true, "
+      "\"seed\": 1234, \"points\": []}");
+  EXPECT_EQ(legacy.seed, 1234u);
+  EXPECT_THROW(result_from_json(
+                   "{\"schema_version\": 1, \"campaign\": \"x\", "
+                   "\"artifact\": \"\", \"config_hash\": \"h\", "
+                   "\"git_sha\": \"s\", \"smoke\": true, "
+                   "\"seed\": \"12x4\", \"points\": []}"),
+               std::invalid_argument);
 }
 
 TEST(CampaignEngine, StaleCheckpointsAreInvalidated) {

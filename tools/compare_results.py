@@ -29,7 +29,9 @@ regress downward). Booleans must match exactly.
 
     compare_results.py --perf-merge RUN1 RUN2 -o OUT
 Merges repeated perf runs into their best-of (min seconds, max rates) to
-damp scheduler noise before gating.
+damp scheduler noise before gating. A key present in only one run, or a
+non-numeric key the runs disagree on, is kept as null — symmetrically, so a
+metric that vanished from either run fails the gate instead of escaping it.
 
     compare_results.py --self-test
 Runs the built-in fixture suite (used by ctest) and exits non-zero on any
@@ -204,6 +206,11 @@ def run_perf_mode(opts):
                 drifts.append(Drift(key, "boolean metric changed",
                                     float(bv), float(nv)))
             continue
+        if not isinstance(bv, (int, float)) or not isinstance(nv, (int, float)):
+            # e.g. a None from --perf-merge marking a vanished/disagreeing
+            # metric — fail it rather than skipping or crashing.
+            drifts.append(Drift(key, "metric not numeric in one run"))
+            continue
         allowed = opts.rel_tol * max(abs(bv), 1e-12)
         delta = nv - bv if perf_higher_is_worse(key) else bv - nv
         if delta > allowed:
@@ -215,14 +222,19 @@ def run_perf_mode(opts):
 
 def run_perf_merge(opts):
     a, b = load_json(opts.golden), load_json(opts.new)
-    merged = dict(a)
-    for key, bv in b.items():
-        av = merged.get(key)
+    merged = {}
+    for key in list(a) + [k for k in b if k not in a]:
+        if key not in a or key not in b:
+            # A metric present in only one run has no valid best-of; keep the
+            # key as None (symmetrically) so the gate reports it rather than
+            # letting a vanished metric drop out silently.
+            merged[key] = None
+            continue
+        av, bv = a[key], b[key]
         if isinstance(av, bool) or not isinstance(av, (int, float)) \
                 or not isinstance(bv, (int, float)):
             # Non-numeric / boolean: runs must agree for the key to be kept.
-            if av != bv:
-                merged[key] = None
+            merged[key] = av if av == bv else None
             continue
         merged[key] = min(av, bv) if perf_higher_is_worse(key) else max(av, bv)
     with open(opts.output, "w", encoding="utf-8") as f:
@@ -261,8 +273,11 @@ def report(drifts, context, opts):
 
 def self_test():
     failures = []
+    fixtures = 0
 
     def expect(label, status, expected):
+        nonlocal fixtures
+        fixtures += 1
         if status != expected:
             failures.append(f"{label}: exit {status}, expected {expected}")
 
@@ -333,12 +348,37 @@ def self_test():
     run_perf_pair("perf identity bit flip fails",
                   dict(perf_base, latencies_identical=False), 1)
 
+    def run_merge(label, r1, r2, expected_merged):
+        with tempfile.TemporaryDirectory() as d:
+            p1, p2, out = (os.path.join(d, f) for f in
+                           ("r1.json", "r2.json", "merged.json"))
+            for path, data in ((p1, r1), (p2, r2)):
+                with open(path, "w", encoding="utf-8") as f:
+                    json.dump(data, f)
+            expect(label, main(["--perf-merge", p1, p2, "-o", out]), 0)
+            with open(out, encoding="utf-8") as f:
+                merged = json.load(f)
+            if merged != expected_merged:
+                failures.append(f"{label}: merged {merged}, "
+                                f"expected {expected_merged}")
+
+    run_merge("merge keeps best-of",
+              {"a_seconds": 1.0, "rate": 5, "ok": True},
+              {"a_seconds": 2.0, "rate": 7, "ok": True},
+              {"a_seconds": 1.0, "rate": 7, "ok": True})
+    run_merge("merge nulls keys missing from either run",
+              {"a_seconds": 1.0, "only_in_1": 3.0},
+              {"a_seconds": 2.0, "only_in_2": 4.0},
+              {"a_seconds": 1.0, "only_in_1": None, "only_in_2": None})
+    run_perf_pair("perf vanished (null) metric fails",
+                  dict(perf_base, fault_free_cycles_per_sec=None), 1)
+
     if failures:
         print("self-test FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("self-test ok (13 fixtures)")
+    print(f"self-test ok ({fixtures} fixtures)")
     return 0
 
 
