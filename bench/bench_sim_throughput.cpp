@@ -151,13 +151,23 @@ int run(bool smoke) {
         out,
         "{\"bench\": \"sim_throughput\", \"smoke\": %s, "
         "\"mesh\": \"8x8\", \"sweep_runs\": %zu, "
+        "\"trace_hooks_compiled\": %s, "
         "\"fault_free_cycles_per_sec\": %.0f, "
         "\"fault_free_flits_per_sec\": %.0f, "
         "\"faulted_cycles_per_sec\": %.0f, "
         "\"faulted_flits_per_sec\": %.0f, "
         "\"sweep_reference_seconds\": %.4f, \"sweep_fast_seconds\": %.4f, "
         "\"speedup_vs_reference\": %.3f, \"latencies_identical\": %s}\n",
-        smoke ? "true" : "false", ref_jobs.size(), clean.cycles_per_sec,
+        smoke ? "true" : "false", ref_jobs.size(),
+        // The perf gate compares throughput against an untraced baseline; a
+        // boolean (exact-match in the gate, unlike one-sided numerics) makes
+        // a mismatched RNOC_TRACE=ON binary fail loudly.
+#ifdef RNOC_TRACE
+        "true",
+#else
+        "false",
+#endif
+        clean.cycles_per_sec,
         clean.flits_per_sec, faulted.cycles_per_sec, faulted.flits_per_sec,
         ref_s, fast_s, speedup, match ? "true" : "false");
     std::fclose(out);

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <utility>
 
 #include "campaign/json.hpp"
@@ -109,6 +110,13 @@ JsonValue point_to_json(const PointResult& p) {
   JsonValue metrics = JsonValue::make_array();
   for (const auto& m : p.metrics) metrics.push_back(metric_to_json(m));
   o.set("metrics", std::move(metrics));
+  // Points without an observability block serialize without the key, so the
+  // analytic campaigns' files are unchanged apart from the version line.
+  if (!p.obs.empty()) {
+    JsonValue obs = JsonValue::make_array();
+    for (const auto& m : p.obs) obs.push_back(metric_to_json(m));
+    o.set("obs", std::move(obs));
+  }
   return o;
 }
 
@@ -117,6 +125,8 @@ PointResult point_from_json(const JsonValue& v) {
   p.id = v.at("id").as_string();
   for (const auto& m : v.at("metrics").items())
     p.metrics.push_back(metric_from_json(m));
+  if (const JsonValue* obs = v.find("obs"))
+    for (const auto& m : obs->items()) p.obs.push_back(metric_from_json(m));
   return p;
 }
 
@@ -275,14 +285,27 @@ RunOutcome run_campaign(const CampaignSpec& spec, const RunOptions& opts) {
     stopped = true;
   }
 
+  // Progress accounting: resumed checkpoints count as already done; the
+  // mutex serializes callback invocations across pool workers.
+  std::mutex progress_mu;
+  std::size_t points_done = 0;
+  for (int k = 0; k < shards; ++k)
+    if (have[static_cast<std::size_t>(k)])
+      points_done += shard_points[static_cast<std::size_t>(k)].size();
+
   const auto run_shard = [&](int k) {
     const ShardRange r = shard_range(ids.size(), shards, k);
     std::vector<PointResult> pts;
     pts.reserve(r.last - r.first);
-    for (std::size_t i = r.first; i < r.last; ++i)
-      pts.push_back(
-          {ids[i],
-           spec.run_point(i, derive_point_seed(spec.seed, i), opts.smoke)});
+    for (std::size_t i = r.first; i < r.last; ++i) {
+      PointOutput po =
+          spec.run_point(i, derive_point_seed(spec.seed, i), opts.smoke);
+      pts.push_back({ids[i], std::move(po.metrics), std::move(po.obs)});
+      if (opts.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mu);
+        opts.progress(++points_done, ids.size(), k, ids[i]);
+      }
+    }
     if (checkpointing)
       write_text_file_atomic(shard_path(opts.checkpoint_dir, spec.name, k),
                              shard_to_json_text(spec.name, hash, k, r.first,
@@ -358,7 +381,9 @@ CampaignResult result_from_json(const std::string& text) {
   const JsonValue v = parse_json(text);
   CampaignResult r;
   r.schema_version = static_cast<int>(v.at("schema_version").as_int());
-  require(r.schema_version == kSchemaVersion,
+  // v1 files are a strict subset of v2 (no per-point "obs" block), so they
+  // still parse; anything newer than this build is rejected.
+  require(r.schema_version >= 1 && r.schema_version <= kSchemaVersion,
           "campaign: unsupported schema_version " +
               std::to_string(r.schema_version));
   r.campaign = v.at("campaign").as_string();

@@ -29,7 +29,9 @@
 
 namespace rnoc::campaign {
 
-inline constexpr int kSchemaVersion = 1;
+// Version 2 added the optional per-point "obs" metric block (stall/protection
+// observability counters; absent when a point does not produce one).
+inline constexpr int kSchemaVersion = 2;
 
 enum class MetricKind {
   Exact,       ///< Deterministic output; compared bit-for-bit (latency, FIT).
@@ -51,6 +53,25 @@ Metric stat_metric(std::string name, const RunningStats& s);
 struct PointResult {
   std::string id;
   std::vector<Metric> metrics;
+  /// Observability block (schema v2): auxiliary counters that describe *how*
+  /// the point ran (stall cycles, protection events), kept separate from the
+  /// headline metrics so figure tooling can ignore them wholesale. Must be
+  /// derived from build-invariant sources (RouterStats), never from
+  /// RNOC_TRACE-only state, so result files stay byte-identical across
+  /// traced and untraced builds.
+  std::vector<Metric> obs;
+};
+
+/// What run_point returns. Implicitly constructible from a bare metric list
+/// so existing specs (`return Metrics{...};`) keep compiling; specs that
+/// attach an observability block build one explicitly.
+struct PointOutput {
+  std::vector<Metric> metrics;
+  std::vector<Metric> obs;
+
+  PointOutput() = default;
+  PointOutput(std::vector<Metric> m)  // NOLINT: implicit by design
+      : metrics(std::move(m)) {}
 };
 
 /// Declarative description of one experiment campaign.
@@ -68,8 +89,7 @@ struct CampaignSpec {
   /// Computes one point. Must be a pure function of its arguments — no
   /// wall-clock, no global RNG, no cross-point state — so points can run
   /// in any order, on any shard, and reproduce bit-identically.
-  std::function<std::vector<Metric>(std::size_t index, std::uint64_t seed,
-                                    bool smoke)>
+  std::function<PointOutput(std::size_t index, std::uint64_t seed, bool smoke)>
       run_point;
 };
 
@@ -101,6 +121,13 @@ struct RunOptions {
   int stop_after_shards = -1;
   /// Pool to fan shards out on; null = global_pool().
   ThreadPool* pool = nullptr;
+  /// Optional live-progress callback, invoked after every completed point.
+  /// Calls come from whichever worker ran the point but are serialized by
+  /// the engine (no two calls overlap), so a plain printf body is safe.
+  /// `done`/`total` count points; resumed checkpoints count as done.
+  std::function<void(std::size_t done, std::size_t total, int shard,
+                     const std::string& point_id)>
+      progress;
 };
 
 struct RunOutcome {

@@ -50,7 +50,21 @@ AppLatency check_app_pair(const std::string& name, const noc::SimReport& clean,
           "latency figure: faulty run deadlocked (" + name + ")");
   require(faulty.undelivered_flits == 0,
           "latency figure: protected run lost flits (" + name + ")");
-  return {name, clean.avg_total_latency(), faulty.avg_total_latency()};
+  return {name, clean.avg_total_latency(), faulty.avg_total_latency(),
+          faulty.router_events};
+}
+
+std::vector<Metric> obs_metrics(const noc::RouterStats& ev) {
+  const auto e = [](const char* name, std::uint64_t v) {
+    return exact_metric(name, static_cast<double>(v));
+  };
+  return {e("blocked_vc_cycles", ev.blocked_vc_cycles),
+          e("rc_spare_uses", ev.rc_spare_uses),
+          e("va1_borrows", ev.va1_borrows),
+          e("va2_retries", ev.va2_retries),
+          e("sa1_bypass_grants", ev.sa1_bypass_grants),
+          e("sa1_transfers", ev.sa1_transfers),
+          e("xb_secondary_traversals", ev.xb_secondary_traversals)};
 }
 
 AppLatency run_figure_app(const traffic::AppProfile& profile,

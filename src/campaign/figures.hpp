@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/engine.hpp"
 #include "fault/fault_injector.hpp"
 #include "noc/simulator.hpp"
 #include "noc/sweep.hpp"
@@ -39,8 +40,15 @@ struct AppLatency {
   std::string name;
   double fault_free = 0.0;
   double with_faults = 0.0;
+  /// Aggregate router events of the faulted run (source of the obs block).
+  noc::RouterStats faulted_events;
   double increase() const { return with_faults / fault_free - 1.0; }
 };
+
+/// Observability block for a campaign point, derived from a run's aggregate
+/// RouterStats. RouterStats is collected in every build configuration, so
+/// result files are byte-identical whether or not RNOC_TRACE is on.
+std::vector<Metric> obs_metrics(const noc::RouterStats& ev);
 
 /// Validates a (fault-free, faulted) report pair — no deadlock, no lost
 /// flits — and extracts the two latencies. Throws on violation.

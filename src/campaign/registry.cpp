@@ -357,9 +357,11 @@ CampaignSpec latency_spec(const char* name, const char* artifact,
   spec.run_point = [apps](std::size_t index, std::uint64_t seed, bool smoke) {
     const auto cfg = figure_sim_config(smoke);
     const AppLatency r = run_figure_app(apps()[index], cfg, seed);
-    return Metrics{ex("fault_free_latency", r.fault_free),
-                   ex("faulted_latency", r.with_faults),
-                   ex("latency_increase", r.increase())};
+    PointOutput out{Metrics{ex("fault_free_latency", r.fault_free),
+                            ex("faulted_latency", r.with_faults),
+                            ex("latency_increase", r.increase())}};
+    out.obs = obs_metrics(r.faulted_events);
+    return out;
   };
   return spec;
 }
@@ -437,8 +439,11 @@ CampaignSpec load_sweep_spec() {
     const auto reports = noc::SweepRunner().run({clean, faulty});
     const double ff = reports[0].avg_total_latency();
     const double fl = reports[1].avg_total_latency();
-    return Metrics{ex("fault_free_latency", ff), ex("faulted_latency", fl),
-                   ex("latency_increase", fl / ff - 1.0)};
+    PointOutput out{Metrics{ex("fault_free_latency", ff),
+                            ex("faulted_latency", fl),
+                            ex("latency_increase", fl / ff - 1.0)}};
+    out.obs = obs_metrics(reports[1].router_events);
+    return out;
   };
   return spec;
 }
@@ -565,10 +570,12 @@ CampaignSpec ablation_mechanisms_spec() {
       job.faults = std::move(plan);
     }
     const auto reports = noc::SweepRunner().run({job});
-    return Metrics{
+    PointOutput out{Metrics{
         ex("latency", reports[0].avg_total_latency()),
         ex("undelivered_flits",
-           static_cast<double>(reports[0].undelivered_flits))};
+           static_cast<double>(reports[0].undelivered_flits))}};
+    out.obs = obs_metrics(reports[0].router_events);
+    return out;
   };
   return spec;
 }

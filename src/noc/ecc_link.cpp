@@ -39,6 +39,13 @@ std::optional<Flit> EccLink::take_flit(Cycle now) {
     held_ = Held{*f, now + 1};
     if (counters()) ++counters()->link_flits;
     notify_flit_ready(now + 1);
+#ifdef RNOC_TRACE
+    if (obs_) {
+      obs_->on_event(obs::EventKind::EccRetx, now, f->packet, obs_node_, -1,
+                     f->vc);
+      obs_->metrics().counter_add("ecc_retransmissions");
+    }
+#endif
     return std::nullopt;
   }
   if (roll < double_ber_ + single_ber_) {

@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "noc/link.hpp"
+#include "obs/observer.hpp"
 
 namespace rnoc::noc {
 
@@ -43,6 +44,16 @@ class EccLink : public Link {
 
   const EccLinkStats& stats() const { return stats_; }
 
+#ifdef RNOC_TRACE
+  /// Observability sink (set by the Mesh in traced builds). Links carry no
+  /// endpoint identity of their own, so the mesh also passes the node the
+  /// flits flow into; retransmit instants are charged to that node.
+  void set_observer(obs::Observer* o, NodeId down_node) {
+    obs_ = o;
+    obs_node_ = down_node;
+  }
+#endif
+
  private:
   struct Held {
     Flit flit;
@@ -54,6 +65,10 @@ class EccLink : public Link {
   Rng rng_;
   std::optional<Held> held_;  ///< Flit awaiting retransmission delivery.
   EccLinkStats stats_;
+#ifdef RNOC_TRACE
+  obs::Observer* obs_ = nullptr;
+  NodeId obs_node_ = kInvalidNode;
+#endif
 };
 
 }  // namespace rnoc::noc

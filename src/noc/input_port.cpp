@@ -95,6 +95,9 @@ void InputPort::transfer(int from, int to) {
   dst.sp = src.sp;
   dst.fsp = src.fsp;
   dst.excluded_out_vc = src.excluded_out_vc;
+#ifdef RNOC_TRACE
+  dst.obs_arrived = src.obs_arrived;
+#endif
   // Swap (not move) so both VCs keep their preallocated ring storage.
   std::swap(dst.buffer, src.buffer);
   src.reset_to_idle();

@@ -44,6 +44,12 @@ struct VirtualChannel {
   // downstream VC whose allocation failed and must be excluded next cycle.
   int excluded_out_vc = -1;
 
+#ifdef RNOC_TRACE
+  /// Cycle the current packet's head flit was buffer-written (observability:
+  /// feeds the per-hop latency histogram at switch traversal).
+  Cycle obs_arrived = 0;
+#endif
+
   bool empty() const { return buffer.empty(); }
 
   /// Returns the VC to Idle after the tail flit departs (or on transfer).

@@ -54,6 +54,10 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
   checker_ = std::make_unique<NocChecker>();
   checker_->set_mesh(this);
 #endif
+#ifdef RNOC_TRACE
+  observer_ = std::make_unique<obs::Observer>(n, kMeshPorts, cfg.router.vcs,
+                                              cfg.obs);
+#endif
 
   for (NodeId i = 0; i < n; ++i) {
     routers_[static_cast<std::size_t>(i)].set_counters(&counters_);
@@ -64,6 +68,10 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
     checker_->add_router(&routers_[static_cast<std::size_t>(i)]);
     checker_->add_ni(&ni);
     ni.set_invariant_checker(checker_.get());
+#endif
+#ifdef RNOC_TRACE
+    routers_[static_cast<std::size_t>(i)].set_observer(observer_.get());
+    ni.set_observer(observer_.get());
 #endif
   }
 
@@ -82,6 +90,14 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
     }
     Link* l = links_.back().get();
     l->set_counters(&counters_);
+#ifdef RNOC_TRACE
+    if (ecc) {
+      // Retransmit instants are charged to the flit consumer's node so they
+      // show up on that router's timeline next to the stall they cause.
+      const NodeId down = flit_sink < n ? flit_sink : flit_sink - n;
+      static_cast<EccLink*>(l)->set_observer(observer_.get(), down);
+    }
+#endif
     l->set_flit_listener([this, flit_sink](Cycle at) {
       schedule_wake(flit_sink, at);
     });
@@ -291,6 +307,14 @@ RouterStats Mesh::aggregate_router_stats() const {
   RouterStats s;
   for (const auto& r : routers_) s.merge(r.stats());
   return s;
+}
+
+std::vector<std::uint64_t> Mesh::stall_cycles_per_router() const {
+#ifdef RNOC_TRACE
+  return observer_->metrics().stall_cycles_per_router();
+#else
+  return std::vector<std::uint64_t>(static_cast<std::size_t>(nodes()), 0);
+#endif
 }
 
 EccLinkStats Mesh::aggregate_ecc_stats() const {

@@ -27,6 +27,7 @@
 #include "noc/network_interface.hpp"
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
+#include "obs/observer.hpp"
 
 namespace rnoc::noc {
 
@@ -43,6 +44,9 @@ struct MeshConfig {
   /// the full sweep; disable only to cross-check determinism or benchmark
   /// the seed behaviour.
   bool active_scheduling = true;
+  /// Observability layer settings; only consulted in builds configured
+  /// with -DRNOC_TRACE=ON (a POD, so it is embedded unconditionally).
+  obs::ObsConfig obs{};
 };
 
 class NocChecker;
@@ -110,6 +114,17 @@ class Mesh {
   NocChecker& invariant_checker() { return *checker_; }
 #endif
 
+#ifdef RNOC_TRACE
+  /// The observability layer wired across this mesh (traced builds only):
+  /// flit trace ring plus the stall-cause metrics registry.
+  obs::Observer& observer() { return *observer_; }
+  const obs::Observer& observer() const { return *observer_; }
+#endif
+
+  /// Total stall cycles charged to each router by the metrics registry
+  /// (HeatmapMetric::StallCycles); all zeros in untraced builds.
+  std::vector<std::uint64_t> stall_cycles_per_router() const;
+
  private:
   /// Registers one link's endpoints with the invariant checker; compiles to
   /// an empty inline call in unchecked builds. Upstream holds the credit
@@ -148,6 +163,9 @@ class Mesh {
   int stepped_last_cycle_ = 0;
 #ifdef RNOC_INVARIANTS
   std::unique_ptr<NocChecker> checker_;
+#endif
+#ifdef RNOC_TRACE
+  std::unique_ptr<obs::Observer> observer_;
 #endif
 };
 

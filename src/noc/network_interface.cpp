@@ -82,6 +82,11 @@ void NetworkInterface::eject(Cycle now) {
     if (f->is_tail()) {
       ++stats_.packets_received;
       if (counters_) ++counters_->packets_delivered;
+#ifdef RNOC_TRACE
+      if (obs_)
+        obs_->on_event(obs::EventKind::Eject, now, f->packet, node_, -1,
+                       f->vc);
+#endif
       if (f->created >= measure_begin_ && f->created < measure_end_) {
         const double total = static_cast<double>(now - f->created);
         stats_.total_latency.add(total);
@@ -153,7 +158,14 @@ void NetworkInterface::inject(Cycle now) {
   --ov.credits;
   ++stats_.flits_injected;
   ++next_seq_;
-  if (is_head) ++stats_.packets_injected;
+  if (is_head) {
+    ++stats_.packets_injected;
+#ifdef RNOC_TRACE
+    if (obs_)
+      obs_->on_event(obs::EventKind::Inject, now, f.packet, node_, -1,
+                     current_vc_);
+#endif
+  }
   if (is_tail) {
     sending_ = false;
     current_vc_ = -1;

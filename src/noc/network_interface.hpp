@@ -11,6 +11,7 @@
 #include "noc/flit.hpp"
 #include "noc/link.hpp"
 #include "noc/net_counters.hpp"
+#include "obs/observer.hpp"
 
 namespace rnoc::noc {
 
@@ -93,6 +94,12 @@ class NetworkInterface {
   void set_invariant_checker(NocChecker* c) { checker_ = c; }
 #endif
 
+#ifdef RNOC_TRACE
+  /// Observability sink (set by the Mesh in traced builds): records the
+  /// inject/eject endpoints of each sampled packet's lifecycle.
+  void set_observer(obs::Observer* o) { obs_ = o; }
+#endif
+
  private:
   struct OutVc {
     bool busy = false;  ///< Allocated to an in-flight packet (until vc_free).
@@ -124,6 +131,9 @@ class NetworkInterface {
   WakeHook wake_hook_;
 #ifdef RNOC_INVARIANTS
   NocChecker* checker_ = nullptr;
+#endif
+#ifdef RNOC_TRACE
+  obs::Observer* obs_ = nullptr;
 #endif
 
   /// Per-VC reassembly state for the protocol-integrity check: flits of a

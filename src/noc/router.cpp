@@ -65,6 +65,14 @@ void Router::step_accept(Cycle now) {
       if (auto f = l->take_flit(now)) {
         inputs_[static_cast<std::size_t>(p)].write(*f);
         ++stats_.buffer_writes;
+#ifdef RNOC_TRACE
+        if (obs_ && f->is_head()) {
+          InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+          ip.vc(ip.physical_of(f->vc)).obs_arrived = now;
+          obs_->on_event(obs::EventKind::BufWrite, now, f->packet, id_, p,
+                         ip.physical_of(f->vc));
+        }
+#endif
       }
     }
     if (Link* l = out_links_[static_cast<std::size_t>(p)]) {
@@ -86,6 +94,9 @@ void Router::step_st(Cycle now) {
     VirtualChannel& vc = ip.vc(g.in_vc);
     require(!vc.buffer.empty(), "Router::step_st: granted VC has no flit");
 
+#ifdef RNOC_TRACE
+    if (obs_) obs_->metrics().add_request(id_, obs::Stage::St);
+#endif
     if (!xb_.can_traverse(g, faults_)) {
       // A fault struck between SA and ST: cancel the traversal, refund the
       // credit; the flit re-arbitrates with the fault now visible.
@@ -93,9 +104,27 @@ void Router::step_st(Cycle now) {
                 [static_cast<std::size_t>(g.out_vc)]
             .credits;
       ++stats_.blocked_vc_cycles;
+#ifdef RNOC_TRACE
+      if (obs_) {
+        obs_->metrics().add_stall(id_, obs::Stage::St,
+                                  obs::StallCause::FaultBlocked);
+        obs_->on_event(obs::EventKind::FaultBlock, now,
+                       vc.buffer.front().packet, id_, g.in_port, g.in_vc);
+      }
+#endif
       continue;
     }
 
+#ifdef RNOC_TRACE
+    if (obs_) {
+      obs_->metrics().add_grant(id_, obs::Stage::St);
+      if (vc.buffer.front().is_head()) {
+        obs_->metrics().add_hop_latency(now - vc.obs_arrived);
+        obs_->on_event(obs::EventKind::St, now, vc.buffer.front().packet, id_,
+                       g.in_port, g.in_vc);
+      }
+    }
+#endif
     Flit f = ip.pop_front(g.in_vc);
     if (Link* l = in_links_[static_cast<std::size_t>(g.in_port)])
       l->push_credit({f.vc, f.is_tail()}, now);
@@ -114,8 +143,8 @@ void Router::step_sa(Cycle now) {
   sa_.step(now, inputs_, out_vcs_, faults_, stats_, st_pending_);
 }
 
-void Router::step_va(Cycle) {
-  va_.step(inputs_, out_vcs_, faults_, stats_);
+void Router::step_va(Cycle now) {
+  va_.step(now, inputs_, out_vcs_, faults_, stats_);
 }
 
 int Router::free_credits(int out) const {
@@ -197,7 +226,8 @@ bool Router::compute_route(VirtualChannel& vc, const Flit& head, int in_port) {
   return false;
 }
 
-void Router::step_rc(Cycle) {
+void Router::step_rc(Cycle now) {
+  (void)now;
   // One RC computation per input port per cycle (one RC unit per port),
   // round-robin over the VCs waiting in Routing state.
   for (int p = 0; p < kMeshPorts; ++p) {
@@ -206,6 +236,23 @@ void Router::step_rc(Cycle) {
     // work and its round-robin pointer only moves when a VC is served.
     if (ip.buffered_flits() == 0) continue;
     int& ptr = rc_rr_[static_cast<std::size_t>(p)];
+#ifdef RNOC_TRACE
+    int routing_vcs = 0;
+    if (obs_) {
+      for (int i = 0; i < cfg_.vcs; ++i)
+        if (ip.vc(i).state == VcState::Routing) ++routing_vcs;
+      if (routing_vcs != 0) {
+        obs_->metrics().add_request(id_, obs::Stage::Rc,
+                                    static_cast<std::uint64_t>(routing_vcs));
+        // The single per-port RC unit serves exactly one VC; the rest never
+        // reach it this cycle.
+        if (routing_vcs > 1)
+          obs_->metrics().add_stall(id_, obs::Stage::Rc,
+                                    obs::StallCause::Starved,
+                                    static_cast<std::uint64_t>(routing_vcs - 1));
+      }
+    }
+#endif
     for (int i = 0; i < cfg_.vcs; ++i) {
       const int v = (ptr + i) % cfg_.vcs;
       VirtualChannel& vc = ip.vc(v);
@@ -214,8 +261,23 @@ void Router::step_rc(Cycle) {
               "Router::step_rc: Routing VC without a head flit");
       if (compute_route(vc, vc.buffer.front(), p)) {
         vc.state = VcState::VcAlloc;
+#ifdef RNOC_TRACE
+        if (obs_) {
+          obs_->metrics().add_grant(id_, obs::Stage::Rc);
+          obs_->on_event(obs::EventKind::Rc, now, vc.buffer.front().packet,
+                         id_, p, v);
+        }
+#endif
       } else {
         ++stats_.blocked_vc_cycles;
+#ifdef RNOC_TRACE
+        if (obs_) {
+          obs_->metrics().add_stall(id_, obs::Stage::Rc,
+                                    obs::StallCause::FaultBlocked);
+          obs_->on_event(obs::EventKind::FaultBlock, now,
+                         vc.buffer.front().packet, id_, p, v);
+        }
+#endif
       }
       ptr = (v + 1) % cfg_.vcs;
       break;

@@ -24,6 +24,7 @@
 #include "noc/sw_allocator.hpp"
 #include "noc/table_routing.hpp"
 #include "noc/vc_allocator.hpp"
+#include "obs/observer.hpp"
 
 namespace rnoc::noc {
 
@@ -94,6 +95,16 @@ class Router {
   }
 #endif
 
+#ifdef RNOC_TRACE
+  /// Wires the observability layer (set once by the Mesh; traced builds
+  /// only). Forwarded to both allocators for stall attribution.
+  void set_observer(obs::Observer* o) {
+    obs_ = o;
+    va_.set_observer(o, id_);
+    sa_.set_observer(o, id_);
+  }
+#endif
+
   /// Flits buffered across all input ports (drain/deadlock detection).
   /// O(ports): each port keeps an exact running count.
   int buffered_flits() const;
@@ -141,6 +152,9 @@ class Router {
   std::vector<int> rc_rr_;  ///< Per-port RC round-robin pointer over VCs.
   std::vector<StGrant> st_pending_;
   RouterStats stats_;
+#ifdef RNOC_TRACE
+  obs::Observer* obs_ = nullptr;
+#endif
 };
 
 }  // namespace rnoc::noc

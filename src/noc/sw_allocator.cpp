@@ -16,7 +16,24 @@ SwitchAllocator::SwitchAllocator(int ports, int vcs, core::RouterMode mode,
   w1_.resize(static_cast<std::size_t>(ports), -1);
   ready_.resize(static_cast<std::size_t>(vcs), false);
   req_.resize(static_cast<std::size_t>(ports), false);
+#ifdef RNOC_TRACE
+  obs_pending_.resize(static_cast<std::size_t>(ports * vcs), 0);
+#endif
 }
+
+#ifdef RNOC_TRACE
+void SwitchAllocator::obs_flush_pending() {
+  if (obs_npending_ == 0) return;
+  for (auto& pend : obs_pending_) {
+    if (!pend) continue;
+    pend = 0;
+    if (obs_)
+      obs_->metrics().add_stall(router_, obs::Stage::Sa,
+                                obs::StallCause::LostSa);
+  }
+  obs_npending_ = 0;
+}
+#endif
 
 int SwitchAllocator::default_winner(Cycle now) const {
   return static_cast<int>((now / epoch_) % static_cast<Cycle>(vcs_));
@@ -92,16 +109,40 @@ void SwitchAllocator::step(Cycle now, std::vector<InputPort>& inputs,
     for (int v = 0; v < vcs_; ++v) {
       VirtualChannel& vc = port.vc(v);
       if (vc.state != VcState::Active || vc.buffer.empty()) continue;
+#ifdef RNOC_TRACE
+      if (obs_) obs_->metrics().add_request(router_, obs::Stage::Sa);
+#endif
       if (out_vcs[static_cast<std::size_t>(vc.route)]
                  [static_cast<std::size_t>(vc.out_vc)]
-              .credits <= 0)
-        continue;  // Ordinary credit stall.
+              .credits <= 0) {
+#ifdef RNOC_TRACE
+        // Ordinary credit stall.
+        if (obs_)
+          obs_->metrics().add_stall(router_, obs::Stage::Sa,
+                                    obs::StallCause::NoCredit);
+#endif
+        continue;
+      }
       if (!crossbar_path_ok(vc, faults)) {
         ++stats.blocked_vc_cycles;
+#ifdef RNOC_TRACE
+        if (obs_) {
+          obs_->metrics().add_stall(router_, obs::Stage::Sa,
+                                    obs::StallCause::FaultBlocked);
+          obs_->on_event(obs::EventKind::FaultBlock, now,
+                         vc.buffer.front().packet, router_, p, v);
+        }
+#endif
         continue;
       }
       ready_[static_cast<std::size_t>(v)] = true;
       any_ready = true;
+#ifdef RNOC_TRACE
+      if (!obs_pending_[static_cast<std::size_t>(p * vcs_ + v)]) {
+        obs_pending_[static_cast<std::size_t>(p * vcs_ + v)] = 1;
+        ++obs_npending_;
+      }
+#endif
     }
 
     if (no_faults || !faults.has(SiteType::Sa1Arbiter, p)) {
@@ -114,13 +155,37 @@ void SwitchAllocator::step(Cycle now, std::vector<InputPort>& inputs,
     }
     if (mode_ == core::RouterMode::Baseline) {
       // No bypass: every ready VC is stuck at switch allocation.
-      for (int v = 0; v < vcs_; ++v)
-        if (ready_[static_cast<std::size_t>(v)]) ++stats.blocked_vc_cycles;
+      for (int v = 0; v < vcs_; ++v) {
+        if (!ready_[static_cast<std::size_t>(v)]) continue;
+        ++stats.blocked_vc_cycles;
+#ifdef RNOC_TRACE
+        obs_pending_[static_cast<std::size_t>(p * vcs_ + v)] = 0;
+        --obs_npending_;
+        if (obs_) {
+          obs_->metrics().add_stall(router_, obs::Stage::Sa,
+                                    obs::StallCause::FaultBlocked);
+          obs_->on_event(obs::EventKind::FaultBlock, now,
+                         port.vc(v).buffer.front().packet, router_, p, v);
+        }
+#endif
+      }
       continue;
     }
     if (faults.has(SiteType::Sa1Bypass, p)) {
-      for (int v = 0; v < vcs_; ++v)
-        if (ready_[static_cast<std::size_t>(v)]) ++stats.blocked_vc_cycles;
+      for (int v = 0; v < vcs_; ++v) {
+        if (!ready_[static_cast<std::size_t>(v)]) continue;
+        ++stats.blocked_vc_cycles;
+#ifdef RNOC_TRACE
+        obs_pending_[static_cast<std::size_t>(p * vcs_ + v)] = 0;
+        --obs_npending_;
+        if (obs_) {
+          obs_->metrics().add_stall(router_, obs::Stage::Sa,
+                                    obs::StallCause::FaultBlocked);
+          obs_->on_event(obs::EventKind::FaultBlock, now,
+                         port.vc(v).buffer.front().packet, router_, p, v);
+        }
+#endif
+      }
       continue;
     }
     // Bypass path (paper §V-C1): the rotating default winner is granted
@@ -146,7 +211,14 @@ void SwitchAllocator::step(Cycle now, std::vector<InputPort>& inputs,
     }
     // Default winner not ready and no transfer possible: no grant this cycle.
   }
+#ifdef RNOC_TRACE
+  if (!any_winner) {
+    obs_flush_pending();
+    return;
+  }
+#else
   if (!any_winner) return;
+#endif
 
   // --- Stage 2: one grant per output mux/arbiter. ---
   for (int m = 0; m < ports_; ++m) {
@@ -173,7 +245,22 @@ void SwitchAllocator::step(Cycle now, std::vector<InputPort>& inputs,
              [static_cast<std::size_t>(vc.out_vc)]
           .credits;
     if (m != vc.route) ++stats.xb_secondary_traversals;
+#ifdef RNOC_TRACE
+    if (obs_pending_[static_cast<std::size_t>(g * vcs_ + v)]) {
+      obs_pending_[static_cast<std::size_t>(g * vcs_ + v)] = 0;
+      --obs_npending_;
+    }
+    if (obs_) {
+      obs_->metrics().add_grant(router_, obs::Stage::Sa);
+      if (vc.buffer.front().is_head())
+        obs_->on_event(obs::EventKind::Sa, now, vc.buffer.front().packet,
+                       router_, g, v);
+    }
+#endif
   }
+#ifdef RNOC_TRACE
+  obs_flush_pending();
+#endif
 }
 
 }  // namespace rnoc::noc

@@ -12,6 +12,7 @@
 #include "noc/arbiter.hpp"
 #include "noc/input_port.hpp"
 #include "noc/router_state.hpp"
+#include "obs/observer.hpp"
 
 namespace rnoc::noc {
 
@@ -37,7 +38,20 @@ class SwitchAllocator {
   RoundRobinArbiter& stage1(int port);
   RoundRobinArbiter& stage2(int out_port);
 
+#ifdef RNOC_TRACE
+  /// Observability sink for SA stall attribution (set by the owning Router).
+  void set_observer(obs::Observer* o, NodeId router) {
+    obs_ = o;
+    router_ = router;
+  }
+#endif
+
  private:
+#ifdef RNOC_TRACE
+  /// Charges every still-pending ready VC a lost-arbitration stall and
+  /// clears the pending set (end of the SA cycle).
+  void obs_flush_pending();
+#endif
   /// True when the flit in (p, v) can reach its output port through the
   /// crossbar this cycle; resolves/validates the secondary path and updates
   /// the VC's SP/FSP fields for faults that appeared after RC ran.
@@ -56,6 +70,14 @@ class SwitchAllocator {
   std::vector<int> w1_;      ///< stage-1 winner VC per input port, or -1
   std::vector<bool> ready_;  ///< per-VC readiness of the port being scanned
   std::vector<bool> req_;    ///< per-input-port requests for one output mux
+#ifdef RNOC_TRACE
+  obs::Observer* obs_ = nullptr;
+  NodeId router_ = kInvalidNode;
+  /// [port * vcs + vc]: ready this cycle, stall not yet attributed. Whatever
+  /// is still set after stage 2 lost an arbitration.
+  std::vector<std::uint8_t> obs_pending_;
+  int obs_npending_ = 0;
+#endif
 };
 
 }  // namespace rnoc::noc

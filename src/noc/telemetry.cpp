@@ -27,7 +27,12 @@ std::string render_grid(const MeshDims& dims, const std::vector<double>& v,
     }
     os << '\n';
   }
-  os << "  [" << label << ": 0=" << lo << " .. 9=" << hi << "]\n";
+  // A flat field has no scale to map; say so instead of the misleading
+  // "0=x .. 9=x" a naive legend would print.
+  if (hi > lo)
+    os << "  [" << label << ": 0=" << lo << " .. 9=" << hi << "]\n";
+  else
+    os << "  [" << label << ": all=" << lo << "]\n";
   return os.str();
 }
 
@@ -37,8 +42,12 @@ std::string heatmap(const Mesh& mesh, HeatmapMetric metric) {
   std::vector<double> v;
   v.reserve(static_cast<std::size_t>(mesh.nodes()));
   const char* label = "";
+  if (metric == HeatmapMetric::StallCycles) {
+    for (auto cycles : mesh.stall_cycles_per_router())
+      v.push_back(static_cast<double>(cycles));
+    return render_grid(mesh.dims(), v, "stall cycles");
+  }
   for (NodeId n = 0; n < mesh.nodes(); ++n) {
-    
     const Router& r = mesh.router(n);
     switch (metric) {
       case HeatmapMetric::Traversals:
@@ -53,6 +62,8 @@ std::string heatmap(const Mesh& mesh, HeatmapMetric metric) {
         v.push_back(static_cast<double>(r.faults().count()));
         label = "injected faults";
         break;
+      case HeatmapMetric::StallCycles:
+        break;  // Handled above.
     }
   }
   return render_grid(mesh.dims(), v, label);
@@ -94,6 +105,18 @@ std::string OccupancySampler::heatmap(const MeshDims& dims) const {
   for (NodeId n = 0; n < static_cast<NodeId>(totals_.size()); ++n)
     v.push_back(average(n));
   return render_grid(dims, v, "avg buffered flits");
+}
+
+std::string OccupancySampler::to_csv(const MeshDims& dims) const {
+  require(static_cast<int>(totals_.size()) == dims.nodes(),
+          "OccupancySampler::to_csv: mesh size mismatch");
+  std::ostringstream os;
+  os << "node,x,y,avg_buffered_flits\n";
+  for (NodeId n = 0; n < static_cast<NodeId>(totals_.size()); ++n) {
+    const Coord c = dims.coord_of(n);
+    os << n << ',' << c.x << ',' << c.y << ',' << average(n) << '\n';
+  }
+  return os.str();
 }
 
 }  // namespace rnoc::noc

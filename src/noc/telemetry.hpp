@@ -16,6 +16,7 @@ enum class HeatmapMetric {
   Traversals,    ///< Cumulative crossbar traversals.
   BlockedCycles, ///< Cumulative fault-blocked VC cycles.
   Faults,        ///< Injected fault count.
+  StallCycles,   ///< Stall-cause registry total (all zeros unless RNOC_TRACE).
 };
 
 /// Renders the metric across the mesh as rows of 0-9 digits (plus a legend
@@ -37,6 +38,8 @@ class OccupancySampler {
   double network_average() const;
   /// ASCII heatmap of the per-router averages.
   std::string heatmap(const MeshDims& dims) const;
+  /// Per-router averages as CSV (`node,x,y,avg_buffered_flits` header).
+  std::string to_csv(const MeshDims& dims) const;
 
  private:
   std::vector<std::uint64_t> totals_;

@@ -69,12 +69,16 @@ int VcAllocator::select_arbiter_set(InputPort& port, int p, int v,
   return -1;
 }
 
-void VcAllocator::step(std::vector<InputPort>& inputs,
+void VcAllocator::step(Cycle now, std::vector<InputPort>& inputs,
                        std::vector<std::vector<OutVcState>>& out_vcs,
                        const fault::RouterFaultState& faults,
                        RouterStats& stats) {
+  (void)now;
   // --- Stage 1: each VcAlloc-state VC proposes one empty downstream VC. ---
   proposals_.clear();
+#ifdef RNOC_TRACE
+  obs_blocked_.clear();
+#endif
   const std::uint64_t borrows_before = stats.va1_borrows;
   const bool no_faults = faults.count() == 0;
   for (int p = 0; p < ports_; ++p) {
@@ -102,9 +106,24 @@ void VcAllocator::step(std::vector<InputPort>& inputs,
     for (int v = 0; v < vcs_; ++v) {
       VirtualChannel& vc = port.vc(v);
       if (vc.state != VcState::VcAlloc) continue;
+#ifdef RNOC_TRACE
+      if (obs_) obs_->metrics().add_request(router_, obs::Stage::Va);
+#endif
       const int set_owner =
           select_arbiter_set(port, p, v, faults, set_used_, stats);
-      if (set_owner < 0) continue;
+      if (set_owner < 0) {
+#ifdef RNOC_TRACE
+        // Baseline arbiter-set fault or borrow wait: the fault (not
+        // congestion or arbitration) cost this VC the cycle.
+        if (obs_) {
+          obs_->metrics().add_stall(router_, obs::Stage::Va,
+                                    obs::StallCause::FaultBlocked);
+          obs_->on_event(obs::EventKind::FaultBlock, now,
+                         vc.buffer.front().packet, router_, p, v);
+        }
+#endif
+        continue;
+      }
 
       const int r = vc.route;
       require(!vc.buffer.empty() && vc.buffer.front().is_head(),
@@ -137,9 +156,20 @@ void VcAllocator::step(std::vector<InputPort>& inputs,
           any = true;
         }
       }
-      if (!any) continue;  // No empty downstream VC: ordinary congestion.
+      if (!any) {
+#ifdef RNOC_TRACE
+        // No empty downstream VC: ordinary congestion.
+        if (obs_)
+          obs_->metrics().add_stall(router_, obs::Stage::Va,
+                                    obs::StallCause::NoCredit);
+#endif
+        continue;
+      }
       const int u = stage1(p, set_owner).arbitrate(candidates_);
       proposals_.push_back({p, v, r, u});
+#ifdef RNOC_TRACE
+      obs_blocked_.push_back(0);
+#endif
     }
   }
 
@@ -155,11 +185,24 @@ void VcAllocator::step(std::vector<InputPort>& inputs,
           // Paper §V-B3: the allocation fails; requesters recompute next
           // cycle against a different downstream VC (+1 cycle, no extra
           // circuitry).
-          for (const Proposal& pr : proposals_) {
+          for (std::size_t pi = 0; pi < proposals_.size(); ++pi) {
+            const Proposal& pr = proposals_[pi];
             if (pr.out_port != r || pr.out_vc != u) continue;
             inputs[static_cast<std::size_t>(pr.in_port)].vc(pr.in_vc)
                 .excluded_out_vc = u;
             ++stats.va2_retries;
+#ifdef RNOC_TRACE
+            obs_blocked_[pi] = 1;
+            if (obs_) {
+              obs_->metrics().add_stall(router_, obs::Stage::Va,
+                                        obs::StallCause::FaultBlocked);
+              obs_->on_event(
+                  obs::EventKind::FaultBlock, now,
+                  inputs[static_cast<std::size_t>(pr.in_port)]
+                      .vc(pr.in_vc).buffer.front().packet,
+                  router_, pr.in_port, pr.in_vc);
+            }
+#endif
           }
           continue;
         }
@@ -180,8 +223,30 @@ void VcAllocator::step(std::vector<InputPort>& inputs,
         out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(u)]
             .allocated = true;
         ++stats.va_allocations;
+#ifdef RNOC_TRACE
+        if (obs_) {
+          obs_->metrics().add_grant(router_, obs::Stage::Va);
+          obs_->on_event(obs::EventKind::Va, now, vc.buffer.front().packet,
+                         router_, wp, wv);
+        }
+#endif
       }
     }
+
+#ifdef RNOC_TRACE
+    // Proposals that were not fault-blocked and did not end Active lost a
+    // stage-1 or stage-2 arbitration to another VC.
+    if (obs_) {
+      for (std::size_t pi = 0; pi < proposals_.size(); ++pi) {
+        if (obs_blocked_[pi]) continue;
+        const Proposal& pr = proposals_[pi];
+        if (inputs[static_cast<std::size_t>(pr.in_port)].vc(pr.in_vc).state !=
+            VcState::Active)
+          obs_->metrics().add_stall(router_, obs::Stage::Va,
+                                    obs::StallCause::LostVa);
+      }
+    }
+#endif
   }
 
   // Borrow-request fields are per-cycle markers: the VA unit resets them

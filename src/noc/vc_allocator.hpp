@@ -11,6 +11,7 @@
 #include "noc/input_port.hpp"
 #include "noc/router_state.hpp"
 #include "noc/vnet.hpp"
+#include "obs/observer.hpp"
 
 namespace rnoc::noc {
 
@@ -20,8 +21,9 @@ class VcAllocator {
 
   /// Runs one VA cycle: input VCs in VcAlloc state try to obtain an empty
   /// downstream VC at their routed output port. Winners move to Active and
-  /// get `out_vc` set; `out_vcs[port][vc].allocated` is updated.
-  void step(std::vector<InputPort>& inputs,
+  /// get `out_vc` set; `out_vcs[port][vc].allocated` is updated. `now` only
+  /// timestamps observability records; allocation itself is time-free.
+  void step(Cycle now, std::vector<InputPort>& inputs,
             std::vector<std::vector<OutVcState>>& out_vcs,
             const fault::RouterFaultState& faults, RouterStats& stats);
 
@@ -29,6 +31,14 @@ class VcAllocator {
   RoundRobinArbiter& stage1(int port, int vc);
   /// Stage-2 arbiter of downstream VC (out_port, vc); exposed for tests.
   RoundRobinArbiter& stage2(int out_port, int vc);
+
+#ifdef RNOC_TRACE
+  /// Observability sink for VA stall attribution (set by the owning Router).
+  void set_observer(obs::Observer* o, NodeId router) {
+    obs_ = o;
+    router_ = router;
+  }
+#endif
 
  private:
   struct Proposal {
@@ -58,6 +68,13 @@ class VcAllocator {
   std::vector<bool> candidates_;  ///< per-downstream-VC stage-1 candidates
   std::vector<bool> requests_;    ///< per-input-VC stage-2 requests
   std::vector<bool> pair_has_;    ///< [out_port * vcs + vc]: proposals exist
+#ifdef RNOC_TRACE
+  obs::Observer* obs_ = nullptr;
+  NodeId router_ = kInvalidNode;
+  /// Parallel to proposals_: 1 when the proposal's stall was already
+  /// attributed (stage-2 fault), so the lost-arbitration post-pass skips it.
+  std::vector<std::uint8_t> obs_blocked_;
+#endif
 };
 
 }  // namespace rnoc::noc

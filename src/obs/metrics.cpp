@@ -1,0 +1,238 @@
+#include "obs/metrics.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace rnoc::obs {
+namespace {
+
+// Shortest exact round-trip form, locale-independent (the same contract as
+// the campaign JSON writer; obs must not depend on src/campaign, so the few
+// lines are duplicated here).
+std::string fmt_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec != std::errc{}) throw std::runtime_error("fmt_double failed");
+  return std::string(buf, res.ptr);
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v,
+               bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += std::to_string(v);
+  if (comma) out += ", ";
+}
+
+}  // namespace
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::Rc: return "RC";
+    case Stage::Va: return "VA";
+    case Stage::Sa: return "SA";
+    case Stage::St: return "ST";
+  }
+  return "?";
+}
+
+const char* stall_cause_name(StallCause c) {
+  switch (c) {
+    case StallCause::NoCredit: return "no_credit";
+    case StallCause::LostVa: return "lost_va";
+    case StallCause::LostSa: return "lost_sa";
+    case StallCause::FaultBlocked: return "fault_blocked";
+    case StallCause::Starved: return "starved";
+  }
+  return "?";
+}
+
+MetricsRegistry::MetricsRegistry(int nodes)
+    : nodes_(nodes),
+      requests_(static_cast<std::size_t>(nodes) * kStageCount, 0),
+      grants_(static_cast<std::size_t>(nodes) * kStageCount, 0),
+      stalls_(static_cast<std::size_t>(nodes) * kStageCount * kStallCauseCount,
+              0),
+      hop_latency_(0.0, 256.0, 64) {
+  require(nodes > 0, "MetricsRegistry: nodes must be positive");
+}
+
+std::size_t MetricsRegistry::cell(NodeId r, Stage s) const {
+  return static_cast<std::size_t>(r) * kStageCount + static_cast<int>(s);
+}
+
+void MetricsRegistry::add_request(NodeId router, Stage s, std::uint64_t n) {
+  requests_[cell(router, s)] += n;
+}
+
+void MetricsRegistry::add_grant(NodeId router, Stage s, std::uint64_t n) {
+  grants_[cell(router, s)] += n;
+}
+
+void MetricsRegistry::add_stall(NodeId router, Stage s, StallCause c,
+                                std::uint64_t n) {
+  stalls_[cell(router, s) * kStallCauseCount + static_cast<int>(c)] += n;
+}
+
+void MetricsRegistry::add_hop_latency(Cycle cycles) {
+  hop_latency_.add(static_cast<double>(cycles));
+}
+
+std::uint64_t MetricsRegistry::requests(NodeId router, Stage s) const {
+  return requests_[cell(router, s)];
+}
+
+std::uint64_t MetricsRegistry::grants(NodeId router, Stage s) const {
+  return grants_[cell(router, s)];
+}
+
+std::uint64_t MetricsRegistry::stalls(NodeId router, Stage s,
+                                      StallCause c) const {
+  return stalls_[cell(router, s) * kStallCauseCount + static_cast<int>(c)];
+}
+
+std::uint64_t MetricsRegistry::stall_cycles(NodeId router) const {
+  std::uint64_t sum = 0;
+  for (int s = 0; s < kStageCount; ++s)
+    for (int c = 0; c < kStallCauseCount; ++c)
+      sum += stalls_[cell(router, static_cast<Stage>(s)) * kStallCauseCount +
+                     c];
+  return sum;
+}
+
+std::vector<std::uint64_t> MetricsRegistry::stall_cycles_per_router() const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(nodes_), 0);
+  for (int r = 0; r < nodes_; ++r) out[r] = stall_cycles(r);
+  return out;
+}
+
+std::uint64_t MetricsRegistry::total_stalls(StallCause c) const {
+  std::uint64_t sum = 0;
+  for (int r = 0; r < nodes_; ++r)
+    for (int s = 0; s < kStageCount; ++s)
+      sum += stalls(r, static_cast<Stage>(s), c);
+  return sum;
+}
+
+void MetricsRegistry::counter_add(const std::string& name, std::uint64_t n) {
+  counters_[name] += n;
+}
+
+void MetricsRegistry::gauge_set(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::histogram_add(const std::string& name, double value,
+                                    double lo, double hi, std::size_t bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, Histogram(lo, hi, bins)).first;
+  it->second.add(value);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::string MetricsRegistry::snapshot_text() const {
+  std::string out = "stall-cause breakdown (cycles):\n";
+  for (int r = 0; r < nodes_; ++r) {
+    std::uint64_t active = stall_cycles(r);
+    for (int s = 0; s < kStageCount; ++s)
+      active += requests(r, static_cast<Stage>(s));
+    if (active == 0) continue;
+    out += "  router " + std::to_string(r) + ":\n";
+    for (int s = 0; s < kStageCount; ++s) {
+      const Stage st = static_cast<Stage>(s);
+      out += "    " + std::string(stage_name(st)) +
+             ": requests=" + std::to_string(requests(r, st)) +
+             " grants=" + std::to_string(grants(r, st));
+      for (int c = 0; c < kStallCauseCount; ++c) {
+        const StallCause cc = static_cast<StallCause>(c);
+        const std::uint64_t v = stalls(r, st, cc);
+        if (v != 0) {
+          out += ' ';
+          out += stall_cause_name(cc);
+          out += '=';
+          out += std::to_string(v);
+        }
+      }
+      out += '\n';
+    }
+  }
+  out += "  totals:";
+  for (int c = 0; c < kStallCauseCount; ++c) {
+    const StallCause cc = static_cast<StallCause>(c);
+    out += ' ';
+    out += stall_cause_name(cc);
+    out += '=';
+    out += std::to_string(total_stalls(cc));
+  }
+  out += '\n';
+  if (hop_latency_.total() != 0) {
+    out += "  hop latency: n=" + std::to_string(hop_latency_.total()) +
+           " p50=" + fmt_double(hop_latency_.quantile(0.5)) +
+           " p99=" + fmt_double(hop_latency_.quantile(0.99)) + '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::string out = "{\n  \"routers\": [\n";
+  for (int r = 0; r < nodes_; ++r) {
+    out += "    {\"router\": " + std::to_string(r) + ", \"stages\": {";
+    for (int s = 0; s < kStageCount; ++s) {
+      const Stage st = static_cast<Stage>(s);
+      if (s != 0) out += ", ";
+      out += '"';
+      out += stage_name(st);
+      out += "\": {";
+      append_kv(out, "requests", requests(r, st));
+      append_kv(out, "grants", grants(r, st));
+      for (int c = 0; c < kStallCauseCount; ++c) {
+        const StallCause cc = static_cast<StallCause>(c);
+        append_kv(out, stall_cause_name(cc), stalls(r, st, cc),
+                  c + 1 != kStallCauseCount);
+      }
+      out += '}';
+    }
+    out += "}}";
+    if (r + 1 != nodes_) out += ',';
+    out += '\n';
+  }
+  out += "  ],\n  \"totals\": {";
+  for (int c = 0; c < kStallCauseCount; ++c) {
+    const StallCause cc = static_cast<StallCause>(c);
+    append_kv(out, stall_cause_name(cc), total_stalls(cc),
+              c + 1 != kStallCauseCount);
+  }
+  out += "},\n  \"hop_latency\": {";
+  append_kv(out, "count", hop_latency_.total());
+  out += "\"p50\": " + fmt_double(hop_latency_.quantile(0.5)) +
+         ", \"p99\": " + fmt_double(hop_latency_.quantile(0.99)) + "},\n";
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + name + "\": " + std::to_string(v);
+  }
+  out += "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + name + "\": " + fmt_double(v);
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+}  // namespace rnoc::obs

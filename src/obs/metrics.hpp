@@ -1,0 +1,100 @@
+// Stall-cause metrics registry: named counters/gauges/histograms plus a
+// structured per-router, per-stage stall-attribution matrix.
+//
+// The registry is the metrics half of the observability layer (the tracing
+// half lives in obs/trace.hpp). It is deterministic — every value derives
+// from simulation cycles and flit counts, never from wall-clock time — and
+// it only exists in builds configured with -DRNOC_TRACE=ON; the hooks that
+// feed it compile to nothing otherwise.
+//
+// Attribution contract (enforced by tests/test_obs.cpp): for every router
+// and pipeline stage, each requester that fails to advance in a cycle is
+// charged exactly one stall cause, so
+//
+//   requests(r, stage) - grants(r, stage) == sum over causes of
+//                                            stalls(r, stage, cause).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace rnoc::obs {
+
+/// Router pipeline stages that can stall a flit.
+enum class Stage : std::uint8_t { Rc = 0, Va, Sa, St };
+inline constexpr int kStageCount = 4;
+
+/// Why a requester failed to advance through a stage this cycle.
+enum class StallCause : std::uint8_t {
+  NoCredit = 0,  ///< No downstream VC/credit available (congestion).
+  LostVa,        ///< Lost VC-allocation arbitration to another VC.
+  LostSa,        ///< Lost switch-allocation arbitration to another VC.
+  FaultBlocked,  ///< A hardware fault blocked the stage this cycle.
+  Starved        ///< Never reached the arbiter (e.g. RC serves 1 VC/port).
+};
+inline constexpr int kStallCauseCount = 5;
+
+const char* stage_name(Stage s);
+const char* stall_cause_name(StallCause c);
+
+/// Per-simulator metrics store. All mutators are O(1) array updates on the
+/// structured paths; the named-instrument API is map-backed and meant for
+/// occasional (per-run, not per-cycle) use.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(int nodes);
+
+  // --- Structured stall attribution (hot path) ---
+  void add_request(NodeId router, Stage s, std::uint64_t n = 1);
+  void add_grant(NodeId router, Stage s, std::uint64_t n = 1);
+  void add_stall(NodeId router, Stage s, StallCause c, std::uint64_t n = 1);
+  void add_hop_latency(Cycle cycles);
+
+  std::uint64_t requests(NodeId router, Stage s) const;
+  std::uint64_t grants(NodeId router, Stage s) const;
+  std::uint64_t stalls(NodeId router, Stage s, StallCause c) const;
+  /// Sum of all stall causes charged to `router` across all stages.
+  std::uint64_t stall_cycles(NodeId router) const;
+  /// stall_cycles() for every router, indexed by NodeId.
+  std::vector<std::uint64_t> stall_cycles_per_router() const;
+  /// Network-wide sum of one cause across routers and stages.
+  std::uint64_t total_stalls(StallCause c) const;
+  const Histogram& hop_latency() const { return hop_latency_; }
+
+  // --- Named instruments ---
+  void counter_add(const std::string& name, std::uint64_t n = 1);
+  void gauge_set(const std::string& name, double value);
+  /// Creates the histogram on first use with the given shape; later calls
+  /// with the same name ignore the shape and just add the sample.
+  void histogram_add(const std::string& name, double value, double lo = 0.0,
+                     double hi = 1024.0, std::size_t bins = 64);
+
+  std::uint64_t counter(const std::string& name) const;  ///< 0 when absent.
+  double gauge(const std::string& name) const;           ///< 0 when absent.
+
+  // --- Snapshots ---
+  /// Human-readable stall breakdown: one block per router with nonzero
+  /// activity, plus network totals and the hop-latency quantiles.
+  std::string snapshot_text() const;
+  /// The same data as a deterministic JSON document.
+  std::string snapshot_json() const;
+
+ private:
+  std::size_t cell(NodeId r, Stage s) const;
+
+  int nodes_;
+  std::vector<std::uint64_t> requests_;  ///< [router * kStageCount + stage]
+  std::vector<std::uint64_t> grants_;    ///< [router * kStageCount + stage]
+  std::vector<std::uint64_t> stalls_;    ///< [cell * kStallCauseCount + cause]
+  Histogram hop_latency_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace rnoc::obs

@@ -1,0 +1,64 @@
+// Observability facade: one Observer per Mesh, owning the trace ring and
+// the metrics registry. NoC components hold a raw pointer and call the
+// inline hooks; every hook call site is compiled out unless the build was
+// configured with -DRNOC_TRACE=ON (same gating pattern as the invariant
+// checker), so the default build's hot path is untouched.
+//
+// Depends only on src/common — the NoC layer includes this header, never
+// the other way around.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rnoc::obs {
+
+/// Runtime configuration, embedded in MeshConfig unconditionally (a couple
+/// of PODs; the Observer itself only exists in traced builds).
+struct ObsConfig {
+  /// Trace packets whose id % trace_sample == 0; 0 disables tracing
+  /// (metrics are still collected in traced builds).
+  std::uint64_t trace_sample = 0;
+  /// Trace ring capacity in events; oldest events are overwritten.
+  std::size_t trace_capacity = std::size_t{1} << 20;
+};
+
+class Observer {
+ public:
+  Observer(int nodes, int ports, int vcs, const ObsConfig& cfg)
+      : ports_(ports),
+        vcs_(vcs),
+        metrics_(nodes),
+        trace_(cfg.trace_sample, cfg.trace_capacity) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+  /// Records a lifecycle event for `packet` if it is sampled.
+  void on_event(EventKind k, Cycle now, PacketId packet, NodeId router,
+                int port, int vc) {
+    if (trace_.sampled(packet))
+      trace_.record({now, packet, router, static_cast<std::int16_t>(port),
+                     static_cast<std::int16_t>(vc), k});
+  }
+
+  /// Chrome trace-event JSON of everything retained in the ring.
+  std::string chrome_trace_json() const {
+    return obs::chrome_trace_json(trace_.events(), ports_, vcs_);
+  }
+
+ private:
+  int ports_;
+  int vcs_;
+  MetricsRegistry metrics_;
+  TraceBuffer trace_;
+};
+
+}  // namespace rnoc::obs

@@ -1,0 +1,224 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace rnoc::obs {
+namespace {
+
+/// Reconstructed duration span on one (pid, tid) lane.
+struct Span {
+  Cycle begin = 0;
+  Cycle end = 0;
+  const char* name = "";
+  PacketId packet = 0;
+};
+
+struct Instant {
+  Cycle cycle = 0;
+  const char* name = "";
+  PacketId packet = 0;
+};
+
+struct Lane {
+  std::vector<Span> spans;
+  std::vector<Instant> instants;
+};
+
+using LaneKey = std::pair<int, int>;  ///< (pid = router, tid)
+
+int lane_tid(const TraceEvent& e, int vcs) {
+  if (e.port < 0) return 0;  // NI lane
+  return 1 + e.port * vcs + e.vc;
+}
+
+void append_event(std::string& out, const char* name, const char* ph,
+                  Cycle ts, int pid, int tid, PacketId packet) {
+  out += "{\"name\": \"";
+  out += name;
+  out += "\", \"cat\": \"flit\", \"ph\": \"";
+  out += ph;
+  out += "\"";
+  if (ph[0] == 'i') out += ", \"s\": \"t\"";
+  out += ", \"ts\": " + std::to_string(ts) +
+         ", \"pid\": " + std::to_string(pid) +
+         ", \"tid\": " + std::to_string(tid) +
+         ", \"args\": {\"packet\": " + std::to_string(packet) + "}},\n";
+}
+
+void append_metadata(std::string& out, const char* what, int pid, int tid,
+                     const std::string& name) {
+  out += "{\"name\": \"";
+  out += what;
+  out += "\", \"ph\": \"M\", \"pid\": " + std::to_string(pid) +
+         ", \"tid\": " + std::to_string(tid) +
+         ", \"args\": {\"name\": \"" + name + "\"}},\n";
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::Inject: return "Inject";
+    case EventKind::BufWrite: return "BufWrite";
+    case EventKind::Rc: return "RC";
+    case EventKind::Va: return "VA";
+    case EventKind::Sa: return "SA";
+    case EventKind::St: return "XB";
+    case EventKind::Eject: return "Eject";
+    case EventKind::FaultBlock: return "FaultBlock";
+    case EventKind::EccRetx: return "EccRetx";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::uint64_t sample, std::size_t capacity)
+    : sample_(sample), capacity_(capacity) {
+  require(capacity > 0, "TraceBuffer: capacity must be positive");
+  if (sample_ != 0) ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void TraceBuffer::record(const TraceEvent& e) {
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  return recorded_ - ring_.size();
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events, int ports,
+                              int vcs) {
+  require(ports > 0 && vcs > 0, "chrome_trace_json: bad geometry");
+  const int link_tid = 1 + ports * vcs;
+
+  // Group events per packet, preserving recording (cycle) order.
+  std::map<PacketId, std::vector<TraceEvent>> by_packet;
+  for (const TraceEvent& e : events) by_packet[e.packet].push_back(e);
+
+  // Walk each packet's lifecycle and rebuild per-hop spans. The exporter
+  // tolerates missing predecessors (ring overwrite, packets still in
+  // flight): a span is only drawn when both endpoints were retained.
+  std::map<LaneKey, Lane> lanes;
+  for (const auto& [packet, evs] : by_packet) {
+    Cycle move = 0;   // last crossbar traversal / injection
+    Cycle stage = 0;  // last completed stage on the current hop
+    bool have_move = false, have_stage = false;
+    for (const TraceEvent& e : evs) {
+      Lane& lane = lanes[{e.router, e.kind == EventKind::EccRetx
+                                        ? link_tid
+                                        : lane_tid(e, vcs)}];
+      switch (e.kind) {
+        case EventKind::Inject:
+          lane.instants.push_back({e.cycle, "Inject", packet});
+          move = e.cycle;
+          have_move = true;
+          have_stage = false;
+          break;
+        case EventKind::BufWrite:
+          if (have_move) lane.spans.push_back({move, e.cycle, "link", packet});
+          stage = e.cycle;
+          have_stage = true;
+          break;
+        case EventKind::Rc:
+        case EventKind::Va:
+        case EventKind::Sa:
+          if (have_stage)
+            lane.spans.push_back(
+                {stage, e.cycle, event_kind_name(e.kind), packet});
+          stage = e.cycle;
+          have_stage = true;
+          break;
+        case EventKind::St:
+          if (have_stage)
+            lane.spans.push_back({stage, e.cycle, "XB", packet});
+          move = e.cycle;
+          have_move = true;
+          have_stage = false;
+          break;
+        case EventKind::Eject:
+          if (have_move) lane.spans.push_back({move, e.cycle, "link", packet});
+          lane.instants.push_back({e.cycle, "Eject", packet});
+          have_move = false;
+          have_stage = false;
+          break;
+        case EventKind::FaultBlock:
+          lane.instants.push_back({e.cycle, "FaultBlock", packet});
+          break;
+        case EventKind::EccRetx:
+          lane.instants.push_back({e.cycle, "EccRetx", packet});
+          break;
+      }
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+
+  // Metadata: stable names for every lane that carries data.
+  int last_pid = kInvalidNode;
+  for (const auto& [key, lane] : lanes) {
+    const auto [pid, tid] = key;
+    if (pid != last_pid) {
+      append_metadata(out, "process_name", pid, 0,
+                      "router " + std::to_string(pid));
+      last_pid = pid;
+    }
+    std::string tname;
+    if (tid == 0) {
+      tname = "NI";
+    } else if (tid == link_tid) {
+      tname = "link";
+    } else {
+      tname = "in p" + std::to_string((tid - 1) / vcs) + " vc" +
+              std::to_string((tid - 1) % vcs);
+    }
+    append_metadata(out, "thread_name", pid, tid, tname);
+    (void)lane;
+  }
+
+  // Spans, one lane at a time. Within a lane spans never overlap (a VC
+  // buffer holds one packet at a time), but clamp defensively so the output
+  // is well-nested even for exotic protection-event interleavings.
+  for (auto& [key, lane] : lanes) {
+    const auto [pid, tid] = key;
+    std::stable_sort(lane.spans.begin(), lane.spans.end(),
+                     [](const Span& a, const Span& b) {
+                       return a.begin != b.begin ? a.begin < b.begin
+                                                 : a.end < b.end;
+                     });
+    Cycle last_end = 0;
+    for (Span& s : lane.spans) {
+      s.begin = std::max(s.begin, last_end);
+      s.end = std::max(s.end, s.begin);
+      last_end = s.end;
+      append_event(out, s.name, "B", s.begin, pid, tid, s.packet);
+      append_event(out, s.name, "E", s.end, pid, tid, s.packet);
+    }
+    for (const Instant& i : lane.instants)
+      append_event(out, i.name, "i", i.cycle, pid, tid, i.packet);
+  }
+
+  // Chrome's parser accepts trailing commas in traceEvents, but emit a
+  // strictly valid document anyway so any JSON tool can read it.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace rnoc::obs

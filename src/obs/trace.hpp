@@ -1,0 +1,84 @@
+// Flit-lifecycle tracing: cycle-stamped event records in a per-simulator
+// ring buffer, sampled by packet id, exported as Chrome trace-event JSON
+// that loads directly in ui.perfetto.dev.
+//
+// Recording is deliberately dumb and cheap — a POD append into a
+// preallocated ring — so the hooks stay off the critical path even in
+// traced builds. All reconstruction (turning per-stage timestamps into
+// Perfetto duration spans) happens at export time.
+//
+// Export layout: pid = router (NIs share their router's pid), tid 0 = the
+// network interface, tids 1.. = one lane per input (port, vc) buffer, and a
+// final per-router "link" lane for ECC retransmit instants. Per-hop spans
+// rendered on the flit's input lane: link -> RC -> VA -> SA -> XB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rnoc::obs {
+
+/// One cycle-stamped lifecycle event. Kept POD-small: the ring holds a
+/// million of these by default.
+enum class EventKind : std::uint8_t {
+  Inject = 0,  ///< Head flit entered the network at the source NI.
+  BufWrite,    ///< Head flit written into an input VC buffer.
+  Rc,          ///< Route computed for the packet.
+  Va,          ///< Output VC allocated.
+  Sa,          ///< Switch allocation granted (head flit).
+  St,          ///< Head flit traversed the crossbar onto the output link.
+  Eject,       ///< Tail flit left the network at the destination NI.
+  FaultBlock,  ///< A fault blocked this packet's pipeline stage this cycle.
+  EccRetx      ///< ECC link detected a double error; flit retransmitted.
+};
+
+const char* event_kind_name(EventKind k);
+
+struct TraceEvent {
+  Cycle cycle = 0;
+  PacketId packet = 0;
+  NodeId router = kInvalidNode;
+  std::int16_t port = -1;  ///< Input port, -1 at the NI.
+  std::int16_t vc = -1;    ///< Physical VC, -1 when not applicable.
+  EventKind kind = EventKind::Inject;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Fixed-capacity ring of TraceEvents. When full, the oldest records are
+/// overwritten — the exporter tolerates packets whose early events are gone.
+class TraceBuffer {
+ public:
+  /// `sample` selects packets with id % sample == 0; 0 disables recording
+  /// entirely. `capacity` is the ring size in events.
+  TraceBuffer(std::uint64_t sample, std::size_t capacity);
+
+  bool enabled() const { return sample_ != 0; }
+  bool sampled(PacketId p) const { return sample_ != 0 && p % sample_ == 0; }
+  void record(const TraceEvent& e);
+
+  /// Retained events, oldest first (recording order, cycles nondecreasing).
+  std::vector<TraceEvent> events() const;
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring overwrite.
+  std::uint64_t dropped() const;
+  std::uint64_t sample() const { return sample_; }
+
+ private:
+  std::uint64_t sample_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< Next write slot once the ring has wrapped.
+  std::uint64_t recorded_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+/// Renders events as a Chrome trace-event JSON document ("traceEvents"
+/// object form, ts in microseconds == cycles). `ports`/`vcs` shape the
+/// tid layout. Deterministic: equal event lists produce equal strings.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events, int ports,
+                              int vcs);
+
+}  // namespace rnoc::obs

@@ -47,7 +47,7 @@ struct AllocRig {
     return ch;
   }
 
-  void run_va() { va.step(inputs, out_vcs, faults, stats); }
+  void run_va(Cycle now = 0) { va.step(now, inputs, out_vcs, faults, stats); }
   std::vector<StGrant> run_sa(Cycle now = 0) {
     std::vector<StGrant> grants;
     sa.step(now, inputs, out_vcs, faults, stats, grants);

@@ -61,13 +61,19 @@ CampaignSpec toy_spec(int points = 12) {
     Rng rng(seed);
     RunningStats stats;
     for (int i = 0; i < 100; ++i) stats.add(rng.next_double());
-    return std::vector<Metric>{
+    PointOutput out{std::vector<Metric>{
         exact_metric("index", static_cast<double>(index)),
         exact_metric("awkward", 0.1 + 1e-9 * rng.next_double()),
         exact_metric("large", 1e17 + static_cast<double>(seed % 1000)),
         stat_metric("mc", stats),
         exact_metric("smoke_flag", smoke ? 1.0 : 0.0),
-    };
+    }};
+    // Schema v2 observability block on every other point, so the round-trip
+    // and kill/resume tests cover both the present and the absent case.
+    if (index % 2 == 0)
+      out.obs = {exact_metric("stall_cycles",
+                              static_cast<double>(seed % 9973))};
+    return out;
   };
   return spec;
 }
@@ -152,6 +158,15 @@ TEST(CampaignEngine, SchemaRoundTripsLosslessly) {
       EXPECT_EQ(back.points[p].metrics[m].value, r.points[p].metrics[m].value);
       EXPECT_EQ(back.points[p].metrics[m].ci95, r.points[p].metrics[m].ci95);
     }
+  // The v2 obs block round-trips too, including its absence.
+  for (std::size_t p = 0; p < r.points.size(); ++p) {
+    ASSERT_EQ(back.points[p].obs.size(), r.points[p].obs.size());
+    EXPECT_EQ(r.points[p].obs.empty(), p % 2 != 0);
+    for (std::size_t m = 0; m < r.points[p].obs.size(); ++m) {
+      EXPECT_EQ(back.points[p].obs[m].name, r.points[p].obs[m].name);
+      EXPECT_EQ(back.points[p].obs[m].value, r.points[p].obs[m].value);
+    }
+  }
 }
 
 TEST(CampaignEngine, LargeSeedsRoundTripExactly) {

@@ -4,8 +4,10 @@ tolerances — the CI regression gate behind results/golden/.
 
 Campaign mode (default):
     compare_results.py GOLDEN NEW [options]
-GOLDEN/NEW are rnoc_campaign result files (schema_version 1) or directories
+GOLDEN/NEW are rnoc_campaign result files (schema_version 2) or directories
 of them (matching stems are compared; files present on only one side fail).
+A point's optional "obs" block (stall/protection observability counters) is
+gated like its metrics, addressed as obs.<name>.
 Per-metric policy:
   exact  metrics (deterministic latency/FIT/synthesis numbers) must agree to
          --exact-rel-tol (default 1e-9 — identical code and seeds reproduce
@@ -49,7 +51,7 @@ import os
 import sys
 import tempfile
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 class Drift:
@@ -80,7 +82,13 @@ def load_json(path):
 def index_metrics(result):
     points = {}
     for p in result.get("points", []):
-        points[p["id"]] = {m["name"]: m for m in p.get("metrics", [])}
+        metrics = {m["name"]: m for m in p.get("metrics", [])}
+        # Schema v2: the optional observability block is gated with the same
+        # per-kind policy, namespaced so it cannot collide with headline
+        # metric names.
+        for m in p.get("obs", []):
+            metrics["obs." + m["name"]] = m
+        points[p["id"]] = metrics
     return points
 
 
@@ -281,7 +289,8 @@ def self_test():
         if status != expected:
             failures.append(f"{label}: exit {status}, expected {expected}")
 
-    def make_result(exact=117.0, stat=15.0, ci=0.1, config_hash="h1"):
+    def make_result(exact=117.0, stat=15.0, ci=0.1, config_hash="h1",
+                    obs_stalls=42.0):
         return {
             "schema_version": SCHEMA_VERSION,
             "campaign": "fixture",
@@ -297,6 +306,10 @@ def self_test():
                      "kind": "exact"},
                     {"name": "stat_m", "value": stat, "ci95": ci,
                      "kind": "stat"},
+                ],
+                "obs": [
+                    {"name": "stall_cycles", "value": obs_stalls, "ci95": 0,
+                     "kind": "exact"},
                 ],
             }],
         }
@@ -323,9 +336,15 @@ def self_test():
     missing = make_result()
     missing["points"][0]["metrics"] = missing["points"][0]["metrics"][:1]
     run_pair("missing metric fails", make_result(), missing, 1)
+    run_pair("obs drift fails", make_result(), make_result(obs_stalls=43.0), 1)
+    no_obs = make_result()
+    del no_obs["points"][0]["obs"]
+    run_pair("missing obs block fails", make_result(), no_obs, 1)
+    run_pair("extra obs block ignored with plain golden", no_obs,
+             make_result(), 0)
 
     perf_base = {"sweep_fast_seconds": 1.0, "fault_free_cycles_per_sec": 20000,
-                 "latencies_identical": True}
+                 "latencies_identical": True, "trace_hooks_compiled": False}
 
     def run_perf_pair(label, new, expected):
         with tempfile.TemporaryDirectory() as d:
@@ -347,6 +366,8 @@ def self_test():
                   dict(perf_base, fault_free_cycles_per_sec=10000), 1)
     run_perf_pair("perf identity bit flip fails",
                   dict(perf_base, latencies_identical=False), 1)
+    run_perf_pair("perf traced binary fails",
+                  dict(perf_base, trace_hooks_compiled=True), 1)
 
     def run_merge(label, r1, r2, expected_merged):
         with tempfile.TemporaryDirectory() as d:

@@ -12,13 +12,14 @@ Rules
                  (stderr is allowed only in noc/invariants.cpp, whose
                  abort path must print without touching the iostreams).
   pragma-once    every header starts its include guard with #pragma once.
-  determinism    src/campaign/ never reads wall-clock time, CPU time, or the
-                 environment (std::chrono, time(), clock(), getenv): campaign
-                 results must be pure functions of (spec, seed, smoke) or
-                 resume and golden-baseline comparison both break.
-  self-contained every src/noc and src/campaign header compiles on its own
-                 (include-what-you-use at the compile-or-fail level), checked
-                 with `c++ -fsyntax-only` unless --no-compile-headers.
+  determinism    src/campaign/ and src/obs/ never read wall-clock time, CPU
+                 time, or the environment (std::chrono, time(), clock(),
+                 getenv): campaign results must be pure functions of
+                 (spec, seed, smoke) and traces/metrics must be byte-stable
+                 across reruns, or resume and golden-baseline comparison break.
+  self-contained every src/noc, src/campaign and src/obs header compiles on
+                 its own (include-what-you-use at the compile-or-fail level),
+                 checked with `c++ -fsyntax-only` unless --no-compile-headers.
 
 Exit status is non-zero when any rule fires; findings print as
 file:line: [rule] message, one per line, so editors and CI annotate them.
@@ -84,7 +85,12 @@ def check_text_rules(root, path, findings):
     code = strip_code(raw)
 
     in_src = rel.startswith("src" + os.sep)
-    in_campaign = rel.startswith(os.path.join("src", "campaign"))
+    # Determinism rule: campaign results and obs traces/metrics must both be
+    # reproducible from seeds alone, so neither layer may consult the clock
+    # or the environment.
+    in_campaign = rel.startswith(
+        os.path.join("src", "campaign")
+    ) or rel.startswith(os.path.join("src", "obs"))
     rng_exempt = rel.startswith(os.path.join("src", "common"))
     cout_exempt = rel == os.path.join("src", "noc", "invariants.cpp")
 
@@ -117,7 +123,7 @@ def check_text_rules(root, path, findings):
 
 def check_self_contained(root, findings, compiler):
     """Each src/noc and src/campaign header must compile standalone."""
-    for subdir in ("noc", "campaign"):
+    for subdir in ("noc", "campaign", "obs"):
         base = os.path.join(root, "src", subdir)
         headers = sorted(
             f for f in os.listdir(base) if f.endswith(HEADER_EXT)

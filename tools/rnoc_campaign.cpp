@@ -66,7 +66,18 @@ int run_campaigns(const Options& opt) {
   run_opts.checkpoint_dir = ckpt_dir;
   run_opts.git_sha = opt.get("git-sha", campaign::read_git_sha("."));
 
+  std::string current;  // Campaign being run; read only by the callback.
+  if (opt.get_bool("progress", false)) {
+    run_opts.progress = [&current](std::size_t done, std::size_t total,
+                                   int shard, const std::string& id) {
+      std::printf("  [%s] point %zu/%zu (shard %d): %s\n", current.c_str(),
+                  done, total, shard, id.c_str());
+      std::fflush(stdout);
+    };
+  }
+
   for (const campaign::CampaignSpec* spec : specs) {
+    current = spec->name;
     if (opt.get_bool("fresh", false))
       campaign::remove_checkpoints(*spec, run_opts);
     const campaign::RunOutcome outcome =
@@ -98,12 +109,12 @@ int main(int argc, char** argv) {
     const Options opt(argc, argv,
                       {"list", "run", "smoke", "out", "checkpoint-dir",
                        "shards", "git-sha", "fresh", "keep-checkpoints",
-                       "print", "help"});
+                       "print", "progress", "help"});
     if (opt.get_bool("help", false)) {
       std::printf(
           "usage: rnoc_campaign [--list] [--run NAME] [--smoke] [--out DIR]\n"
           "                     [--shards N] [--checkpoint-dir DIR] [--fresh]\n"
-          "                     [--keep-checkpoints] [--print] "
+          "                     [--keep-checkpoints] [--print] [--progress] "
           "[--git-sha SHA]\n");
       return 0;
     }

@@ -9,11 +9,13 @@
 //   rnoc_sim --transients 200 --transient-duration 50
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "common/options.hpp"
 #include "fault/fault_injector.hpp"
 #include "noc/simulator.hpp"
+#include "noc/telemetry.hpp"
 #include "reliability/site_fit.hpp"
 #include "traffic/app_profiles.hpp"
 #include "traffic/bursty.hpp"
@@ -27,7 +29,8 @@ const std::set<std::string> kKeys = {
     "mesh",     "vcs",     "depth",   "mode",        "traffic",
     "rate",     "packet",  "warmup",  "measure",     "drain",
     "faults",   "seed",    "fit-weighted", "transients",
-    "transient-duration", "routing", "vnets", "help"};
+    "transient-duration", "routing", "vnets", "trace-out",
+    "trace-sample", "metrics-out", "heatmap", "help"};
 
 void usage() {
   std::printf(
@@ -47,7 +50,12 @@ void usage() {
       "  --fit-weighted        draw fault sites proportional to their FIT\n"
       "  --transients N        transient faults over the whole run (extension)\n"
       "  --transient-duration N  cycles each transient lasts (default 100)\n"
-      "  --seed S              RNG seed (default 1)\n");
+      "  --seed S              RNG seed (default 1)\n"
+      "  --trace-out FILE      write a Chrome trace-event JSON timeline\n"
+      "                        (load in ui.perfetto.dev; needs -DRNOC_TRACE=ON)\n"
+      "  --trace-sample N      trace packets with id %% N == 0 (default 1)\n"
+      "  --metrics-out FILE    write the stall-cause metrics snapshot as JSON\n"
+      "  --heatmap             print per-router heatmaps after the run\n");
 }
 
 std::shared_ptr<traffic::TrafficModel> build_traffic(const Options& opt) {
@@ -115,6 +123,21 @@ int main(int argc, char** argv) {
     cfg.measure = static_cast<Cycle>(opt.get_int("measure", 10000));
     cfg.drain_limit = static_cast<Cycle>(opt.get_int("drain", 20000));
     cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+
+    const std::string trace_out = opt.get("trace-out", "");
+    const std::string metrics_out = opt.get("metrics-out", "");
+    const auto trace_sample =
+        static_cast<std::uint64_t>(opt.get_int("trace-sample", 1));
+    require(trace_sample >= 1, "--trace-sample must be >= 1");
+#ifdef RNOC_TRACE
+    if (!trace_out.empty()) cfg.mesh.obs.trace_sample = trace_sample;
+#else
+    require(trace_out.empty() && metrics_out.empty(),
+            "--trace-out/--metrics-out need an observability build "
+            "(rebuild with -DRNOC_TRACE=ON)");
+#endif
+    const bool heatmaps = opt.get_bool("heatmap", false);
+    if (heatmaps && cfg.telemetry_interval == 0) cfg.telemetry_interval = 100;
 
     noc::Simulator sim(cfg, build_traffic(opt));
 
@@ -194,6 +217,42 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(ev.sa1_bypass_grants),
                   static_cast<unsigned long long>(ev.sa1_transfers),
                   static_cast<unsigned long long>(ev.xb_secondary_traversals));
+    }
+#ifdef RNOC_TRACE
+    const obs::Observer& observer = sim.mesh().observer();
+    if (!trace_out.empty()) {
+      std::ofstream os(trace_out);
+      require(static_cast<bool>(os),
+              "--trace-out: cannot open '" + trace_out + "'");
+      os << observer.chrome_trace_json();
+      std::printf("  trace               : %zu events (%llu dropped) -> %s "
+                  "[sample 1/%llu]\n",
+                  observer.trace().events().size(),
+                  static_cast<unsigned long long>(observer.trace().dropped()),
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(trace_sample));
+      std::printf("%s", observer.metrics().snapshot_text().c_str());
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      require(static_cast<bool>(os),
+              "--metrics-out: cannot open '" + metrics_out + "'");
+      os << observer.metrics().snapshot_json();
+    }
+#endif
+    if (heatmaps) {
+      const noc::Mesh& mesh = sim.mesh();
+      std::printf("crossbar traversals:\n%s",
+                  noc::heatmap(mesh, noc::HeatmapMetric::Traversals).c_str());
+      std::printf("blocked VC cycles:\n%s",
+                  noc::heatmap(mesh, noc::HeatmapMetric::BlockedCycles).c_str());
+      std::printf("injected faults:\n%s",
+                  noc::heatmap(mesh, noc::HeatmapMetric::Faults).c_str());
+      std::printf("stall cycles:\n%s",
+                  noc::heatmap(mesh, noc::HeatmapMetric::StallCycles).c_str());
+      if (sim.occupancy().samples() > 0)
+        std::printf("buffer occupancy:\n%s",
+                    sim.occupancy().heatmap(cfg.mesh.dims).c_str());
     }
     return 0;
   } catch (const std::exception& e) {

@@ -18,13 +18,49 @@ namespace {
 
 const std::set<std::string> kKeys = {"traffic", "out", "in",   "mesh",
                                      "warmup",  "measure", "drain", "faults",
-                                     "mode",    "seed", "rate", "help"};
+                                     "mode",    "seed", "rate", "trace-out",
+                                     "trace-sample", "help"};
 
 void usage() {
   std::printf(
       "rnoc_trace record --traffic <name|uniform> --out FILE [--rate R]\n"
       "rnoc_trace replay --in FILE [--faults N] [--mode baseline|protected]\n"
-      "common: --mesh WxH --warmup N --measure N --drain N --seed S\n");
+      "common: --mesh WxH --warmup N --measure N --drain N --seed S\n"
+      "        --trace-out FILE [--trace-sample N]   flit-level Perfetto\n"
+      "        timeline of the run (needs -DRNOC_TRACE=ON)\n");
+}
+
+/// Applies the --trace-out/--trace-sample flags to the mesh config; errors
+/// out in untraced builds where the hooks are compiled away.
+void apply_trace_flags(const Options& opt, noc::SimConfig& cfg) {
+  const std::string trace_out = opt.get("trace-out", "");
+  const auto sample = static_cast<std::uint64_t>(opt.get_int("trace-sample", 1));
+  require(sample >= 1, "--trace-sample must be >= 1");
+#ifdef RNOC_TRACE
+  if (!trace_out.empty()) cfg.mesh.obs.trace_sample = sample;
+#else
+  (void)cfg;
+  require(trace_out.empty(),
+          "--trace-out needs an observability build "
+          "(rebuild with -DRNOC_TRACE=ON)");
+#endif
+}
+
+/// Writes the Chrome trace JSON after a run if --trace-out was given.
+void write_trace(const Options& opt, noc::Simulator& sim) {
+  const std::string trace_out = opt.get("trace-out", "");
+  if (trace_out.empty()) return;
+#ifdef RNOC_TRACE
+  const obs::Observer& observer = sim.mesh().observer();
+  std::ofstream os(trace_out);
+  require(static_cast<bool>(os),
+          "--trace-out: cannot open '" + trace_out + "'");
+  os << observer.chrome_trace_json();
+  std::printf("wrote %zu trace events -> %s\n",
+              observer.trace().events().size(), trace_out.c_str());
+#else
+  (void)sim;
+#endif
 }
 
 noc::SimConfig sim_config(const Options& opt) {
@@ -60,8 +96,11 @@ int do_record(const Options& opt) {
   }
   auto recorder = std::make_shared<traffic::TraceRecorder>(inner);
 
-  noc::Simulator sim(sim_config(opt), recorder);
+  auto cfg = sim_config(opt);
+  apply_trace_flags(opt, cfg);
+  noc::Simulator sim(cfg, recorder);
   const auto rep = sim.run();
+  write_trace(opt, sim);
 
   std::ofstream os(out);
   require(static_cast<bool>(os), "record: cannot open '" + out + "'");
@@ -83,6 +122,7 @@ int do_replay(const Options& opt) {
   std::printf("replaying %zu packets from %s\n", entries.size(), in.c_str());
 
   auto cfg = sim_config(opt);
+  apply_trace_flags(opt, cfg);
   noc::Simulator sim(cfg, std::make_shared<traffic::TraceReplay>(entries));
   const int faults = static_cast<int>(opt.get_int("faults", 0));
   if (faults > 0) {
@@ -93,6 +133,7 @@ int do_replay(const Options& opt) {
         cfg.mesh.router.mode == core::RouterMode::Protected));
   }
   const auto rep = sim.run();
+  write_trace(opt, sim);
   std::printf("delivered %llu/%llu packets, avg latency %.2f cy%s\n",
               static_cast<unsigned long long>(rep.packets_received),
               static_cast<unsigned long long>(rep.packets_sent),
