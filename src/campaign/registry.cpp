@@ -580,6 +580,77 @@ CampaignSpec ablation_mechanisms_spec() {
   return spec;
 }
 
+// --- P5: graceful degradation after router death ---
+
+constexpr int kDeathCounts[] = {0, 1, 2, 4};
+
+CampaignSpec degraded_mode_spec() {
+  CampaignSpec spec;
+  spec.name = "degraded_mode";
+  spec.artifact = "P5";
+  spec.description =
+      "Delivery ratio and latency vs number of router deaths on an 8x8 "
+      "uniform mesh: protected routers (lethal fault set tolerated in "
+      "place) vs baseline routers that die and degrade gracefully "
+      "(online west-first reroute + end-to-end retry)";
+  spec.point_ids = [](bool) {
+    std::vector<std::string> ids;
+    for (const char* arm : {"protect", "reroute"})
+      for (const int k : kDeathCounts)
+        ids.push_back(std::string(arm) + "_k" + std::to_string(k));
+    return ids;
+  };
+  spec.run_point = [](std::size_t index, std::uint64_t seed, bool smoke) {
+    constexpr std::size_t kPerArm = std::size(kDeathCounts);
+    const bool protect = index < kPerArm;
+    const int deaths = kDeathCounts[index % kPerArm];
+    noc::SimConfig cfg;
+    cfg.mesh.dims = {8, 8};
+    cfg.mesh.router.mode =
+        protect ? core::RouterMode::Protected : core::RouterMode::Baseline;
+    if (smoke) {
+      cfg.warmup = 500;
+      cfg.measure = 2000;
+      cfg.drain_limit = 30000;
+    } else {
+      cfg.warmup = 2000;
+      cfg.measure = 8000;
+      cfg.drain_limit = 60000;
+    }
+    cfg.degraded.enabled = true;
+    traffic::SyntheticConfig tc;
+    tc.injection_rate = 0.05;
+    tc.packet_size = 5;
+    noc::Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+    if (deaths > 0) {
+      // The same Baseline-lethal plan on both arms: it kills baseline
+      // routers outright, while the protected router's spare RC unit
+      // tolerates it — the paper's protect-vs-reroute comparison.
+      Rng rng(seed);
+      sim.set_fault_plan(fault::FaultPlan::lethal(
+          cfg.mesh.dims, {noc::kMeshPorts, cfg.mesh.router.vcs},
+          core::RouterMode::Baseline, deaths, cfg.warmup + cfg.measure / 4,
+          rng));
+    }
+    const noc::SimReport rep = sim.run();
+    PointOutput out{Metrics{
+        ex("delivery_ratio", rep.degraded.delivery_ratio()),
+        ex("avg_latency", rep.avg_total_latency()),
+        ex("router_deaths", static_cast<double>(rep.degraded.router_deaths)),
+        ex("retransmits", static_cast<double>(rep.degraded.retransmits)),
+        ex("dropped_unreachable",
+           static_cast<double>(rep.degraded.dropped_unreachable)),
+        ex("dropped_at_source",
+           static_cast<double>(rep.degraded.dropped_at_source)),
+        ex("flits_blackholed",
+           static_cast<double>(rep.degraded.flits_blackholed)),
+        ex("deadlock", rep.deadlock_suspected ? 1.0 : 0.0)}};
+    out.obs = obs_metrics(rep.router_events);
+    return out;
+  };
+  return spec;
+}
+
 std::vector<CampaignSpec> build_registry() {
   std::vector<CampaignSpec> specs;
   specs.push_back(fit_table1_spec());
@@ -603,6 +674,7 @@ std::vector<CampaignSpec> build_registry() {
   specs.push_back(load_sweep_spec());
   specs.push_back(environment_sweep_spec());
   specs.push_back(ablation_mechanisms_spec());
+  specs.push_back(degraded_mode_spec());
   return specs;
 }
 

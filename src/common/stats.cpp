@@ -54,6 +54,8 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (x < lo_) ++underflow_;
+  if (x >= hi_) ++overflow_;
   const double t = (x - lo_) / (hi_ - lo_);
   auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
   idx = std::clamp<std::ptrdiff_t>(idx, 0,
@@ -67,6 +69,8 @@ void Histogram::merge(const Histogram& o) {
           "Histogram::merge: shape mismatch");
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
   total_ += o.total_;
+  underflow_ += o.underflow_;
+  overflow_ += o.overflow_;
 }
 
 double Histogram::bin_lo(std::size_t i) const {
@@ -79,12 +83,18 @@ double Histogram::quantile(double q) const {
   if (total_ == 0) return lo_;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_);
-  double cum = 0.0;
+  // Clamped mass saturates: a target inside the underflow (overflow)
+  // mass can only be bounded by lo (hi), never interpolated.
+  if (target <= static_cast<double>(underflow_)) return lo_;
+  if (target > static_cast<double>(total_ - overflow_)) return hi_;
+  double cum = static_cast<double>(underflow_);
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    const double next = cum + static_cast<double>(counts_[i]);
+    double in_bin = static_cast<double>(counts_[i]);
+    if (i == 0) in_bin -= static_cast<double>(underflow_);
+    if (i + 1 == counts_.size()) in_bin -= static_cast<double>(overflow_);
+    const double next = cum + in_bin;
     if (next >= target) {
-      const double frac =
-          counts_[i] ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+      const double frac = in_bin > 0.0 ? (target - cum) / in_bin : 0.0;
       return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
     }
     cum = next;

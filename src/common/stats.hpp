@@ -36,7 +36,9 @@ class RunningStats {
 };
 
 /// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
-/// edge bins so nothing is silently dropped.
+/// edge bins so nothing is silently dropped, and the clamped mass is
+/// tracked separately so quantiles never pretend to know where inside
+/// the range an out-of-range sample landed.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -49,8 +51,13 @@ class Histogram {
   std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
+  std::uint64_t underflow() const { return underflow_; }  ///< samples < lo
+  std::uint64_t overflow() const { return overflow_; }    ///< samples >= hi
 
   /// Value at quantile q in [0,1], linear within the containing bin.
+  /// An empty histogram reports lo. Quantiles that fall inside clamped
+  /// mass saturate to lo (underflow) or hi (overflow) instead of
+  /// interpolating through samples whose true position is unknown.
   double quantile(double q) const;
 
   std::string to_string(std::size_t max_rows = 16) const;
@@ -59,6 +66,8 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace rnoc

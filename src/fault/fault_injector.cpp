@@ -62,7 +62,10 @@ FaultPlan FaultPlan::random(const noc::MeshDims& dims, const FaultGeometry& g,
       plan.add(at, r, site);
       placed = true;
     }
-    require(placed, "FaultPlan::random: could not place a tolerable fault");
+    require(placed,
+            "FaultPlan::random: placement attempts exhausted; num_faults "
+            "exceeds what the router mode can tolerate with tolerable_only "
+            "(Baseline tolerates none; Protected is bounded by its spares)");
   }
   return plan;
 }
@@ -142,7 +145,11 @@ FaultPlan FaultPlan::fit_weighted(const noc::MeshDims& dims,
       plan.add(static_cast<Cycle>(rng.next_below(horizon)), r, site);
       placed = true;
     }
-    require(placed, "FaultPlan::fit_weighted: could not place a fault");
+    require(placed,
+            "FaultPlan::fit_weighted: placement attempts exhausted; "
+            "num_faults exceeds what the router mode can tolerate with "
+            "tolerable_only, or every positive-weight site is already "
+            "faulty");
   }
   return plan;
 }
@@ -164,22 +171,78 @@ FaultPlan FaultPlan::transient_burst(const noc::MeshDims& dims,
   return plan;
 }
 
+FaultPlan FaultPlan::lethal(const noc::MeshDims& dims, const FaultGeometry& g,
+                            core::RouterMode mode, int victims, Cycle at,
+                            Rng& rng) {
+  require(victims >= 0 && victims <= dims.nodes(),
+          "FaultPlan::lethal: victim count exceeds mesh size");
+  // Distinct victims via partial Fisher-Yates over the node ids.
+  std::vector<NodeId> ids(static_cast<std::size_t>(dims.nodes()));
+  for (int i = 0; i < dims.nodes(); ++i) ids[static_cast<std::size_t>(i)] = i;
+  FaultPlan plan;
+  for (int k = 0; k < victims; ++k) {
+    const auto pick = static_cast<std::size_t>(k) + static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(dims.nodes() - k)));
+    std::swap(ids[static_cast<std::size_t>(k)], ids[pick]);
+    const NodeId r = ids[static_cast<std::size_t>(k)];
+    const int port = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(g.ports)));
+    RouterFaultState shadow(g);
+    plan.add(at, r, {SiteType::RcPrimary, port, 0});
+    shadow.inject({SiteType::RcPrimary, port, 0});
+    if (!core::router_failed(shadow, mode)) {
+      // Protected survives a lone RC fault; exhaust the spare too.
+      plan.add(at, r, {SiteType::RcSpare, port, 0});
+      shadow.inject({SiteType::RcSpare, port, 0});
+    }
+    require(core::router_failed(shadow, mode),
+            "FaultPlan::lethal: generated site set does not trip the "
+            "failure predicate");
+  }
+  return plan;
+}
+
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+std::vector<FaultInjector::Expiry>::iterator FaultInjector::find_expiry(
+    NodeId router, const FaultSite& site) {
+  return std::find_if(expiries_.begin(), expiries_.end(),
+                      [&](const Expiry& x) {
+                        return x.router == router && x.site == site;
+                      });
+}
 
 int FaultInjector::apply_due(Cycle now, noc::Mesh& mesh) {
   int n = 0;
   const auto& es = plan_.entries();
   while (next_ < es.size() && es[next_].at <= now) {
     const auto& e = es[next_];
-    if (mesh.router(e.router).faults().inject(e.site)) {
+    const bool fresh = mesh.router(e.router).faults().inject(e.site);
+    if (fresh) {
       ++injected_;
       ++n;
       mesh.notify_fault(e.router);
-      if (e.duration > 0) {
+    }
+    if (e.duration > 0) {
+      // Transient: arm (or, if the site already carries a pending expiry
+      // from an overlapping transient, extend) the healing deadline. A
+      // site that is faulty with *no* pending expiry is permanently
+      // faulty: the transient adds nothing and must not arm a heal.
+      const auto it = find_expiry(e.router, e.site);
+      if (it != expiries_.end()) {
+        it->at = std::max(it->at, e.at + e.duration);
+        std::sort(expiries_.begin(), expiries_.end(),
+                  [](const Expiry& a, const Expiry& b) { return a.at < b.at; });
+      } else if (fresh) {
         expiries_.push_back({e.at + e.duration, e.router, e.site});
         std::sort(expiries_.begin(), expiries_.end(),
                   [](const Expiry& a, const Expiry& b) { return a.at < b.at; });
       }
+    } else {
+      // Permanent: upgrade the site. Cancel any pending transient expiry
+      // so it cannot heal a fault that is now permanent.
+      const auto it = find_expiry(e.router, e.site);
+      if (it != expiries_.end()) expiries_.erase(it);
     }
     ++next_;
   }

@@ -76,6 +76,16 @@ class FaultPlan {
                                    const FaultGeometry& g, int num_faults,
                                    Cycle horizon, Cycle duration, Rng& rng);
 
+  /// Lethal plan (degraded-mode experiments): permanent faults on `victims`
+  /// distinct random routers at cycle `at`, chosen so each victim's failure
+  /// predicate trips under `mode`. Baseline mode dies from any single
+  /// pipeline fault; Protected mode needs its redundancy exhausted (primary
+  /// + spare RC on one input port), so the same Baseline-lethal site set is
+  /// extended rather than replaced when mode == Protected.
+  static FaultPlan lethal(const noc::MeshDims& dims, const FaultGeometry& g,
+                          core::RouterMode mode, int victims, Cycle at,
+                          Rng& rng);
+
  private:
   std::vector<ScheduledFault> entries_;  ///< Kept sorted by `at`.
 };
@@ -101,6 +111,11 @@ class FaultInjector {
     NodeId router;
     FaultSite site;
   };
+
+  /// Pending expiry for (router, site), or end(). At most one exists per
+  /// site: overlapping transients extend it, a permanent cancels it.
+  std::vector<Expiry>::iterator find_expiry(NodeId router,
+                                            const FaultSite& site);
 
   FaultPlan plan_;
   std::size_t next_ = 0;

@@ -1,0 +1,220 @@
+#include "noc/degraded.hpp"
+
+#include <algorithm>
+
+namespace rnoc::noc {
+
+DegradedModeController::DegradedModeController(Mesh& mesh,
+                                               const DegradedConfig& cfg)
+    : mesh_(mesh),
+      cfg_(cfg),
+      mode_(mesh.config().router.mode),
+      dead_(static_cast<std::size_t>(mesh.nodes()), 0),
+      outstanding_(static_cast<std::size_t>(mesh.nodes()), 0) {
+  require(cfg_.ack_delay >= 1, "DegradedConfig: ack_delay must be >= 1");
+  require(cfg_.retx_timeout >= 1, "DegradedConfig: retx_timeout must be >= 1");
+  require(cfg_.retx_timeout_cap >= cfg_.retx_timeout,
+          "DegradedConfig: retx_timeout_cap below retx_timeout");
+  require(cfg_.backoff >= 1.0, "DegradedConfig: backoff must be >= 1");
+  require(cfg_.max_retries >= 0, "DegradedConfig: max_retries negative");
+  require(cfg_.retx_window >= 1, "DegradedConfig: retx_window must be >= 1");
+  for (NodeId n = 0; n < mesh_.nodes(); ++n) {
+    NetworkInterface& ni = mesh_.ni(n);
+    ni.set_inject_gate(
+        [this, n](const PacketDesc& p) { return allow_inject(n, p); });
+    ni.set_sent_hook(
+        [this, n](const PacketDesc& p, Cycle now) { on_sent(n, p, now); });
+  }
+}
+
+bool DegradedModeController::pair_connected(NodeId src, NodeId dst) const {
+  if (node_dead(src) || node_dead(dst)) return false;
+  // During a drain the post-switch tables do not exist yet; the dead set is
+  // the only thing known to be wrong, so be optimistic about the rest (the
+  // epoch-switch sweep re-filters queued packets once the tables exist).
+  if (tables_ == nullptr || draining_) return true;
+  return tables_->reachable(src, dst);
+}
+
+bool DegradedModeController::admit(const PacketDesc& p) {
+  if (pair_connected(p.src, p.dst)) return true;
+  ++stats_.dropped_at_source;
+  return false;
+}
+
+bool DegradedModeController::allow_inject(NodeId src,
+                                          const PacketDesc& p) const {
+  (void)p;
+  if (draining_) return false;
+  return outstanding_[static_cast<std::size_t>(src)] < cfg_.retx_window;
+}
+
+void DegradedModeController::on_sent(NodeId src, const PacketDesc& p,
+                                     Cycle now) {
+  auto it = entries_.find(p.id);
+  if (it == entries_.end()) {
+    Entry e;
+    e.desc = p;
+    e.timeout = cfg_.retx_timeout;
+    it = entries_.emplace(p.id, std::move(e)).first;
+    ++stats_.packets_tracked;
+    ++outstanding_[static_cast<std::size_t>(src)];
+  }
+  Entry& e = it->second;
+  e.in_flight = true;
+  e.deadline = now + e.timeout;
+  timeout_due_.push({e.deadline, p.id});
+}
+
+bool DegradedModeController::on_delivered(const Flit& tail, Cycle now) {
+  if (!delivered_ids_.insert(tail.packet).second)
+    return false;  // Duplicate from a retransmission: suppress.
+  const auto it = entries_.find(tail.packet);
+  if (it != entries_.end()) {
+    it->second.delivered = true;
+    it->second.deadline = kNeverCycle;  // Disarm pending timeouts.
+    ack_due_.push({now + cfg_.ack_delay, tail.packet});
+  }
+  return true;
+}
+
+void DegradedModeController::drop_entry(
+    std::map<PacketId, Entry>::iterator it) {
+  --outstanding_[static_cast<std::size_t>(it->second.desc.src)];
+  entries_.erase(it);
+}
+
+void DegradedModeController::on_faults_injected(Cycle now) {
+  bool killed = false;
+  for (NodeId n = 0; n < mesh_.nodes(); ++n) {
+    if (node_dead(n)) continue;
+    if (!core::router_failed(mesh_.router(n).faults(), mode_)) continue;
+    mesh_.kill_router(n, now);
+    dead_[static_cast<std::size_t>(n)] = 1;
+    ++stats_.router_deaths;
+    killed = true;
+#ifdef RNOC_TRACE
+    mesh_.observer().on_event(obs::EventKind::RouterDeath, now, 0, n, -1, -1);
+#endif
+  }
+  if (killed && !draining_) begin_drain(now);
+}
+
+void DegradedModeController::begin_drain(Cycle now) {
+  (void)now;
+  // The inject gates consult draining_, so flipping it freezes every NI at
+  // its next packet boundary; packets already serializing run out into the
+  // network (or the dead routers' black holes).
+  draining_ = true;
+}
+
+void DegradedModeController::switch_epoch(Cycle now) {
+  mesh_.reset_flow_control();
+
+  // Every link touching a dead router is gone: its own four outgoing
+  // directions plus each live neighbour's link toward it.
+  std::vector<DeadLink> dead_links;
+  const MeshDims& dims = mesh_.dims();
+  for (NodeId n = 0; n < mesh_.nodes(); ++n) {
+    if (!node_dead(n)) continue;
+    const Coord c = dims.coord_of(n);
+    const Coord neighbours[] = {{c.x, c.y - 1}, {c.x + 1, c.y},
+                                {c.x, c.y + 1}, {c.x - 1, c.y}};
+    const Direction dirs[] = {Direction::North, Direction::East,
+                              Direction::South, Direction::West};
+    for (int d = 0; d < 4; ++d) {
+      if (!dims.contains(neighbours[d])) continue;
+      const int out = port_of(dirs[d]);
+      dead_links.push_back({n, out});
+      dead_links.push_back({dims.node_of(neighbours[d]), opposite_port(out)});
+    }
+  }
+  auto next = std::make_unique<FaultAwareTables>(
+      FaultAwareTables::build(dims, dead_links));
+  mesh_.set_routing_tables(next.get());
+  tables_ = std::move(next);  // Old epoch's tables die after the re-point.
+  ++epoch_;
+  ++stats_.reroute_epochs;
+  draining_ = false;  // Thaws the gates; pair_connected now uses the tables.
+
+  // Queued packets that the new epoch cannot serve are dropped now. A
+  // queued retransmission still has a tracked entry — erase it with the
+  // packet or it would wait on a deadline that will never be armed. Only
+  // tracked packets (sent at least once) count as dropped_unreachable;
+  // a never-sent packet is a source-side refusal, exactly like admit(),
+  // which keeps dropped_unreachable <= packets_tracked and the delivery
+  // ratio's denominator consistent.
+  for (NodeId n = 0; n < mesh_.nodes(); ++n) {
+    mesh_.ni(n).drop_queued_if([&](const PacketDesc& p) {
+      if (pair_connected(n, p.dst)) return false;
+      const auto it = entries_.find(p.id);
+      if (it != entries_.end()) {
+        ++stats_.dropped_unreachable;
+        drop_entry(it);
+      } else {
+        ++stats_.dropped_at_source;
+      }
+      return true;
+    });
+  }
+
+#ifdef RNOC_TRACE
+  mesh_.observer().on_event(obs::EventKind::Reroute, now, 0, kInvalidNode, -1,
+                            -1);
+#endif
+  (void)now;
+}
+
+void DegradedModeController::step(Cycle now) {
+  if (draining_) {
+    // Timeouts are deferred while draining (retransmissions could not be
+    // injected anyway); acknowledgements keep flowing below.
+    if (mesh_.flits_in_network() == 0 && mesh_.links_idle() &&
+        !mesh_.any_ni_sending())
+      switch_epoch(now);
+  }
+
+  while (!ack_due_.empty() && ack_due_.top().first <= now) {
+    const PacketId id = ack_due_.top().second;
+    ack_due_.pop();
+    const auto it = entries_.find(id);
+    if (it == entries_.end() || !it->second.delivered) continue;
+    ++stats_.packets_acked;
+    drop_entry(it);
+  }
+
+  if (draining_) return;
+  while (!timeout_due_.empty() && timeout_due_.top().first <= now) {
+    const auto [deadline, id] = timeout_due_.top();
+    timeout_due_.pop();
+    const auto it = entries_.find(id);
+    // Lazy invalidation: honour the pop only if it matches the armed
+    // deadline (acked/delivered/re-armed entries moved on without us).
+    if (it == entries_.end() || it->second.deadline != deadline) continue;
+    Entry& e = it->second;
+    if (!pair_connected(e.desc.src, e.desc.dst)) {
+      ++stats_.dropped_unreachable;
+      drop_entry(it);
+      continue;
+    }
+    if (e.retries >= cfg_.max_retries) {
+      ++stats_.gave_up;
+      drop_entry(it);
+      continue;
+    }
+    ++e.retries;
+    ++stats_.retransmits;
+    e.timeout = std::min<Cycle>(
+        cfg_.retx_timeout_cap,
+        static_cast<Cycle>(static_cast<double>(e.timeout) * cfg_.backoff));
+    e.in_flight = false;
+    e.deadline = kNeverCycle;  // Re-armed when the tail re-enters the wire.
+#ifdef RNOC_TRACE
+    mesh_.observer().on_event(obs::EventKind::E2eRetx, now, e.desc.id,
+                              e.desc.src, -1, -1);
+#endif
+    mesh_.ni(e.desc.src).enqueue(e.desc);
+  }
+}
+
+}  // namespace rnoc::noc

@@ -114,6 +114,17 @@ void NocChecker::on_cycle_end(Cycle now) {
 
 void NocChecker::on_run_end(Cycle now) { run_sweep(now); }
 
+void NocChecker::reset_history(bool clear_delivery_tracks) {
+  shadow_primed_ = false;
+  for (RouterEntry& e : routers_) {
+    for (auto& s : e.shadow) s = VcShadow{};
+    for (auto& w : e.watch) w = WatchSlot{};
+  }
+  if (clear_delivery_tracks)
+    for (NiEntry& e : nis_)
+      for (auto& t : e.tracks) t = SeqTrack{};
+}
+
 void NocChecker::run_sweep(Cycle now) {
   check_channels(now);
   check_router_states(now);

@@ -127,6 +127,15 @@ class NocChecker {
   /// Final sweep regardless of check_interval; called by Simulator::run.
   void on_run_end(Cycle now);
 
+  /// Degraded-mode hook: forget per-cycle history after the Mesh mutates
+  /// flow-control state out-of-band (router death, drain-barrier reset).
+  /// The VC-state shadow re-primes on the next sweep and the starvation
+  /// watchdog restarts its clocks. `clear_delivery_tracks` additionally
+  /// abandons the per-VC ejection expectations — only safe at a drain
+  /// barrier, when the network provably holds no flits; at a router death
+  /// they must survive so in-flight deliveries keep being validated.
+  void reset_history(bool clear_delivery_tracks);
+
   /// Full check sweeps executed so far (tests assert the checker ran).
   std::uint64_t sweeps_run() const { return sweeps_run_; }
 

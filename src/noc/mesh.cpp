@@ -213,6 +213,49 @@ void Mesh::notify_fault(NodeId router) {
   schedule_wake(static_cast<int>(router), 0);
 }
 
+bool Mesh::kill_router(NodeId n, Cycle now) {
+  require(n >= 0 && n < nodes(), "Mesh::kill_router: node out of range");
+  Router& r = routers_[static_cast<std::size_t>(n)];
+  if (r.dead()) return false;
+  r.decommission(now);
+#ifdef RNOC_INVARIANTS
+  // The purge moved VCs to Idle outside the pipeline's legal transitions;
+  // re-prime the checker's shadow. Delivery tracks stay: packets still in
+  // flight past the dead router must keep validating in order.
+  checker_->reset_history(/*clear_delivery_tracks=*/false);
+#endif
+  // The decommission refunds woke the upstream credit consumers via the
+  // link listeners; wake the dead router itself so it swallows anything
+  // already heading its way.
+  notify_fault(n);
+  return true;
+}
+
+bool Mesh::links_idle() const {
+  for (const auto& l : links_)
+    if (!l->idle()) return false;
+  return true;
+}
+
+bool Mesh::any_ni_sending() const {
+  for (const auto& ni : nis_)
+    if (ni.sending()) return true;
+  return false;
+}
+
+void Mesh::reset_flow_control() {
+  require(counters_.flits_in_network() == 0 && links_idle() &&
+              !any_ni_sending(),
+          "Mesh::reset_flow_control: network not drained");
+  for (auto& r : routers_) r.reset_flow_state();
+  for (auto& ni : nis_) ni.reset_flow_state();
+#ifdef RNOC_INVARIANTS
+  // Truncated reassemblies left by mid-packet deaths are gone with the
+  // reset; the checker's delivery expectations must go with them.
+  checker_->reset_history(/*clear_delivery_tracks=*/true);
+#endif
+}
+
 void Mesh::step(Cycle now) {
   if (!cfg_.active_scheduling) {
     for (auto& r : routers_) r.step_accept(now);

@@ -97,6 +97,25 @@ class Mesh {
   /// so the router is re-evaluated even if currently quiescent.
   void notify_fault(NodeId router);
 
+  // --- Degraded mode (router death + online reroute) ---
+
+  /// Declares router `n` dead: purges its buffers with upstream credit
+  /// refunds and turns it into a credit-neutral black hole (see
+  /// Router::decommission). Returns false if it was already dead.
+  bool kill_router(NodeId n, Cycle now);
+
+  /// True when no link holds an in-flight flit or credit. O(links); only
+  /// polled while waiting at a degraded-mode drain barrier.
+  bool links_idle() const;
+
+  /// True when some NI is mid-serialization of a packet.
+  bool any_ni_sending() const;
+
+  /// Hard reset of every router's and NI's flow-control state to power-on
+  /// values (degraded-mode drain barrier). Requires an empty network:
+  /// no buffered flits, idle links, no NI mid-packet.
+  void reset_flow_control();
+
   /// Routers stepped by the most recent step() call (== nodes() when
   /// active scheduling is off). Scheduling telemetry for benchmarks.
   int routers_stepped_last_cycle() const { return stepped_last_cycle_; }

@@ -111,6 +111,7 @@ void NetworkInterface::inject(Cycle now) {
 
   if (!sending_) {
     if (queue_.empty()) return;
+    if (inject_gate_ && !inject_gate_(queue_.front())) return;
     // Allocate a free VC of the router's local input port for the next
     // packet (the NI plays the upstream router's VA role for this port),
     // restricted to the packet's virtual network.
@@ -167,10 +168,29 @@ void NetworkInterface::inject(Cycle now) {
 #endif
   }
   if (is_tail) {
+    if (sent_hook_) sent_hook_(current_, now);
     sending_ = false;
     current_vc_ = -1;
     if (counters_ && queue_.empty()) --counters_->active_injectors;
   }
+}
+
+std::size_t NetworkInterface::drop_queued_if(
+    const std::function<bool(const PacketDesc&)>& pred) {
+  const bool was_idle = injection_idle();
+  const auto it = std::remove_if(queue_.begin(), queue_.end(), pred);
+  const auto dropped = static_cast<std::size_t>(queue_.end() - it);
+  queue_.erase(it, queue_.end());
+  if (!was_idle && injection_idle() && counters_)
+    --counters_->active_injectors;
+  return dropped;
+}
+
+void NetworkInterface::reset_flow_state() {
+  require(!sending_,
+          "NetworkInterface::reset_flow_state: packet partially injected");
+  for (auto& ov : out_vcs_) ov = OutVc{false, cfg_.vc_depth};
+  for (auto& re : reassembly_) re = Reassembly{};
 }
 
 }  // namespace rnoc::noc

@@ -77,6 +77,34 @@ class NetworkInterface {
   const NiStats& stats() const { return stats_; }
   std::size_t queued_packets() const { return queue_.size(); }
   bool injection_idle() const { return queue_.empty() && !sending_; }
+  /// True while a packet is partially serialized into the network.
+  bool sending() const { return sending_; }
+
+  /// Degraded-mode admission gate (optional): consulted before a queued
+  /// packet starts serializing. Returning false holds the whole queue —
+  /// packets already in flight are unaffected. Used to freeze injection
+  /// during a reroute drain and to bound the end-to-end retransmit window.
+  using InjectGate = std::function<bool(const PacketDesc&)>;
+  void set_inject_gate(InjectGate gate) { inject_gate_ = std::move(gate); }
+
+  /// Callback invoked when a packet's tail flit has been injected (the
+  /// packet is now fully in the network). Degraded mode arms the
+  /// end-to-end delivery timeout here, not at enqueue, so queued packets
+  /// cannot time out before they ever hit a wire.
+  using SentHook = std::function<void(const PacketDesc& p, Cycle now)>;
+  void set_sent_hook(SentHook hook) { sent_hook_ = std::move(hook); }
+
+  /// Removes queued (not yet serializing) packets matching `pred`,
+  /// keeping the shared active-injector accounting exact. Returns the
+  /// number dropped. Degraded mode uses it to discard packets whose
+  /// destination became unreachable at an epoch switch.
+  std::size_t drop_queued_if(const std::function<bool(const PacketDesc&)>& pred);
+
+  /// Returns VC allocation, credit counters and reassembly state to
+  /// power-on values. Only legal at a degraded-mode drain barrier (no
+  /// packet partially serialized, network empty); truncated reassemblies
+  /// left by a mid-packet router death are discarded here.
+  void reset_flow_state();
 
   /// Shared accounting sink (set by the Mesh); nullptr = standalone use.
   /// Tracks delivered packets and whether this NI has injection work.
@@ -129,6 +157,8 @@ class NetworkInterface {
   DeliveryHook hook_;
   NetCounters* counters_ = nullptr;
   WakeHook wake_hook_;
+  InjectGate inject_gate_;
+  SentHook sent_hook_;
 #ifdef RNOC_INVARIANTS
   NocChecker* checker_ = nullptr;
 #endif

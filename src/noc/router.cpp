@@ -37,6 +37,49 @@ void Router::set_routing_tables(const FaultAwareTables* tables) {
   route_tables_ = tables;
 }
 
+void Router::decommission(Cycle now) {
+  if (dead_) return;
+  dead_ = true;
+  // Cancel pending switch traversals: SA already consumed a downstream
+  // credit for each grant, and the flit will never be sent, so refund it.
+  for (const StGrant& g : st_pending_)
+    ++out_vcs_[static_cast<std::size_t>(g.out_port)]
+              [static_cast<std::size_t>(g.out_vc)]
+          .credits;
+  st_pending_.clear();
+  // Purge every buffered flit, returning its credit upstream (naming the
+  // logical VC the upstream targeted) so neighbour flow control stays
+  // conserved. A purged mid-packet leaves a truncated fragment downstream;
+  // the degraded-mode drain barrier cleans those up.
+  for (int p = 0; p < kMeshPorts; ++p) {
+    InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      VirtualChannel& vc = ip.vc(v);
+      while (!vc.buffer.empty()) {
+        const Flit f = ip.pop_front(v);
+        if (Link* l = in_links_[static_cast<std::size_t>(p)])
+          l->push_credit({f.vc, f.is_tail()}, now);
+        ++stats_.flits_swallowed;
+      }
+      vc.reset_to_idle();
+    }
+  }
+}
+
+void Router::reset_flow_state() {
+  for (auto& ip : inputs_) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      VirtualChannel& vc = ip.vc(v);
+      require(vc.buffer.empty(),
+              "Router::reset_flow_state: network not drained");
+      vc.reset_to_idle();
+    }
+  }
+  for (auto& port : out_vcs_)
+    for (auto& ov : port) ov = OutVcState{false, cfg_.vc_depth};
+  st_pending_.clear();
+}
+
 InputPort& Router::input_port(int p) {
   require(p >= 0 && p < kMeshPorts, "Router::input_port: bad port");
   return inputs_[static_cast<std::size_t>(p)];
@@ -63,16 +106,23 @@ void Router::step_accept(Cycle now) {
   for (int p = 0; p < kMeshPorts; ++p) {
     if (Link* l = in_links_[static_cast<std::size_t>(p)]) {
       if (auto f = l->take_flit(now)) {
-        inputs_[static_cast<std::size_t>(p)].write(*f);
-        ++stats_.buffer_writes;
+        if (dead_) {
+          // Black hole: swallow the flit but return its credit at once, so
+          // the upstream neighbour's flow control stays conserved.
+          l->push_credit({f->vc, f->is_tail()}, now);
+          ++stats_.flits_swallowed;
+        } else {
+          inputs_[static_cast<std::size_t>(p)].write(*f);
+          ++stats_.buffer_writes;
 #ifdef RNOC_TRACE
-        if (obs_ && f->is_head()) {
-          InputPort& ip = inputs_[static_cast<std::size_t>(p)];
-          ip.vc(ip.physical_of(f->vc)).obs_arrived = now;
-          obs_->on_event(obs::EventKind::BufWrite, now, f->packet, id_, p,
-                         ip.physical_of(f->vc));
-        }
+          if (obs_ && f->is_head()) {
+            InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+            ip.vc(ip.physical_of(f->vc)).obs_arrived = now;
+            obs_->on_event(obs::EventKind::BufWrite, now, f->packet, id_, p,
+                           ip.physical_of(f->vc));
+          }
 #endif
+        }
       }
     }
     if (Link* l = out_links_[static_cast<std::size_t>(p)]) {
@@ -89,6 +139,7 @@ void Router::step_accept(Cycle now) {
 }
 
 void Router::step_st(Cycle now) {
+  if (dead_) return;
   for (const StGrant& g : st_pending_) {
     InputPort& ip = inputs_[static_cast<std::size_t>(g.in_port)];
     VirtualChannel& vc = ip.vc(g.in_vc);
@@ -140,10 +191,12 @@ void Router::step_st(Cycle now) {
 }
 
 void Router::step_sa(Cycle now) {
+  if (dead_) return;
   sa_.step(now, inputs_, out_vcs_, faults_, stats_, st_pending_);
 }
 
 void Router::step_va(Cycle now) {
+  if (dead_) return;
   va_.step(now, inputs_, out_vcs_, faults_, stats_);
 }
 
@@ -177,13 +230,14 @@ bool Router::try_output(VirtualChannel& vc, int out) {
   return true;
 }
 
-bool Router::compute_route(VirtualChannel& vc, const Flit& head, int in_port) {
+RcOutcome Router::compute_route(VirtualChannel& vc, const Flit& head,
+                                int in_port) {
   using fault::SiteType;
   // Select a working RC unit for this input port (paper §V-A).
   if (faults_.count() != 0 && faults_.has(SiteType::RcPrimary, in_port)) {
     if (cfg_.mode == core::RouterMode::Baseline ||
         faults_.has(SiteType::RcSpare, in_port))
-      return false;
+      return RcOutcome::Blocked;
     ++stats_.rc_spare_uses;
   }
   ++stats_.rc_computations;
@@ -195,7 +249,8 @@ bool Router::compute_route(VirtualChannel& vc, const Flit& head, int in_port) {
   int ncand = 0;
   if (route_tables_) {
     const int out = route_tables_->next_port(id_, head.dst);
-    if (out < 0) return false;  // destination unreachable (partitioned mesh)
+    if (out < 0)  // a dead router partitioned the mesh
+      return RcOutcome::Unreachable;
     candidates[ncand++] = out;
   } else if (cfg_.routing == RoutingAlgo::OddEven) {
     ncand = odd_even_candidates(dims_, id_, head.src, head.dst, candidates);
@@ -219,15 +274,16 @@ bool Router::compute_route(VirtualChannel& vc, const Flit& head, int in_port) {
   // Commit the first candidate whose crossbar path works; adaptivity thus
   // doubles as fault avoidance when an alternative minimal direction exists.
   for (int i = 0; i < ncand; ++i)
-    if (try_output(vc, candidates[i])) return true;
+    if (try_output(vc, candidates[i])) return RcOutcome::Granted;
   vc.route = candidates[0];  // blocked; keep a stable R field
   vc.sp = -1;
   vc.fsp = false;
-  return false;
+  return RcOutcome::Blocked;
 }
 
 void Router::step_rc(Cycle now) {
   (void)now;
+  if (dead_) return;
   // One RC computation per input port per cycle (one RC unit per port),
   // round-robin over the VCs waiting in Routing state.
   for (int p = 0; p < kMeshPorts; ++p) {
@@ -259,7 +315,8 @@ void Router::step_rc(Cycle now) {
       if (vc.state != VcState::Routing) continue;
       require(!vc.buffer.empty() && vc.buffer.front().is_head(),
               "Router::step_rc: Routing VC without a head flit");
-      if (compute_route(vc, vc.buffer.front(), p)) {
+      const RcOutcome outcome = compute_route(vc, vc.buffer.front(), p);
+      if (outcome == RcOutcome::Granted) {
         vc.state = VcState::VcAlloc;
 #ifdef RNOC_TRACE
         if (obs_) {
@@ -273,7 +330,9 @@ void Router::step_rc(Cycle now) {
 #ifdef RNOC_TRACE
         if (obs_) {
           obs_->metrics().add_stall(id_, obs::Stage::Rc,
-                                    obs::StallCause::FaultBlocked);
+                                    outcome == RcOutcome::Unreachable
+                                        ? obs::StallCause::RouterDead
+                                        : obs::StallCause::FaultBlocked);
           obs_->on_event(obs::EventKind::FaultBlock, now,
                          vc.buffer.front().packet, id_, p, v);
         }

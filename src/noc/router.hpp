@@ -35,6 +35,13 @@ enum class RoutingAlgo {
   OddEven,  ///< Minimal adaptive under the odd-even turn model.
 };
 
+/// What the RC stage decided for one head flit.
+enum class RcOutcome {
+  Granted,     ///< Route committed; the VC advances to VcAlloc.
+  Blocked,     ///< An untolerated fault blocks the VC this cycle (retry).
+  Unreachable  ///< Fault-aware tables have no path to the destination.
+};
+
 struct RouterConfig {
   int vcs = 4;       ///< Virtual channels per input port.
   int vc_depth = 4;  ///< Flit slots per VC.
@@ -75,6 +82,22 @@ class Router {
   /// level rerouting). Pass nullptr to return to XY. The tables must outlive
   /// the router.
   void set_routing_tables(const FaultAwareTables* tables);
+
+  /// True once decommission() ran: the router is a dead black hole.
+  bool dead() const { return dead_; }
+
+  /// Declares the router dead (degraded mode). Cancels pending switch
+  /// traversals with credit refunds, purges every buffered flit while
+  /// returning its credit upstream (so neighbours' flow control stays
+  /// conserved), and from then on step_accept swallows arriving flits with
+  /// an immediate credit return; the pipeline stages become no-ops.
+  void decommission(Cycle now);
+
+  /// Returns all flow-control state (input VCs, output-VC credit counters,
+  /// pending grants) to power-on values. Only legal at a degraded-mode
+  /// drain barrier, when the network provably holds no flits and no
+  /// credits are in flight.
+  void reset_flow_state();
 
   const RouterStats& stats() const { return stats_; }
   InputPort& input_port(int p);
@@ -126,9 +149,9 @@ class Router {
   friend class RouterTestPeer;
 
   /// Route computation for one head flit, including the SP/FSP secondary
-  /// path determination (paper §V-A, §V-D). Returns false when an
-  /// untolerated fault blocks the VC.
-  bool compute_route(VirtualChannel& vc, const Flit& head, int in_port);
+  /// path determination (paper §V-A, §V-D). Blocked = an untolerated fault
+  /// stalls the VC; Unreachable = the fault-aware tables have no path.
+  RcOutcome compute_route(VirtualChannel& vc, const Flit& head, int in_port);
 
   /// Commits output `out` into the VC's R/SP/FSP fields if the crossbar can
   /// still reach it under the current faults and mode.
@@ -152,6 +175,7 @@ class Router {
   std::vector<int> rc_rr_;  ///< Per-port RC round-robin pointer over VCs.
   std::vector<StGrant> st_pending_;
   RouterStats stats_;
+  bool dead_ = false;
 #ifdef RNOC_TRACE
   obs::Observer* obs_ = nullptr;
 #endif

@@ -41,6 +41,7 @@ struct RouterStats {
   std::uint64_t sa1_transfers = 0;      ///< VC-to-VC flit/state transfers.
   std::uint64_t xb_secondary_traversals = 0;
   std::uint64_t blocked_vc_cycles = 0;  ///< Cycles a VC was stalled by an untolerated fault.
+  std::uint64_t flits_swallowed = 0;    ///< Flits sunk by this router after it died.
 
   void merge(const RouterStats& o) {
     flits_traversed += o.flits_traversed;
@@ -55,6 +56,7 @@ struct RouterStats {
     sa1_transfers += o.sa1_transfers;
     xb_secondary_traversals += o.xb_secondary_traversals;
     blocked_vc_cycles += o.blocked_vc_cycles;
+    flits_swallowed += o.flits_swallowed;
   }
 };
 

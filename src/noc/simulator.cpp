@@ -16,6 +16,8 @@ Simulator::Simulator(const SimConfig& cfg,
       occupancy_(cfg.mesh.dims.nodes()) {
   require(traffic_ != nullptr, "Simulator: traffic model required");
   traffic_->init(cfg_.mesh.dims);
+  if (cfg_.degraded.enabled)
+    degraded_ = std::make_unique<DegradedModeController>(mesh_, cfg_.degraded);
   Rng master(cfg_.seed);
   node_rngs_.reserve(static_cast<std::size_t>(mesh_.nodes()));
   for (int i = 0; i < mesh_.nodes(); ++i) node_rngs_.push_back(master.split());
@@ -26,10 +28,14 @@ Simulator::Simulator(const SimConfig& cfg,
     NetworkInterface& ni = mesh_.ni(n);
     ni.set_measure_window(mbegin, mend);
     ni.set_delivery_hook([this, n](const Flit& tail, Cycle now) {
+      // The reliability layer sees every delivery first; a duplicate from a
+      // retransmission is acknowledged but hidden from the traffic model.
+      if (degraded_ && !degraded_->on_delivered(tail, now)) return;
       std::vector<traffic::Response> responses;
       traffic_->on_delivered(tail, n, now, resp_rng_, responses);
       for (auto& r : responses)
-        pending_responses_.push({std::max(r.ready, now + 1), std::move(r)});
+        pending_responses_.push(
+            {std::max(r.ready, now + 1), next_response_seq_++, std::move(r)});
     });
   }
 }
@@ -48,6 +54,7 @@ void Simulator::release_responses(Cycle now) {
     r.desc.created = now;
     r.desc.src = r.node;
     if (r.desc.dst == r.node) continue;  // Degenerate self-reply: drop.
+    if (degraded_ && !degraded_->admit(r.desc)) continue;
     mesh_.ni(r.node).enqueue(r.desc);
   }
 }
@@ -66,7 +73,8 @@ SimReport Simulator::run() {
 
   Cycle now = 0;
   for (; now < hard_end; ++now) {
-    injector_.apply_due(now, mesh_);
+    const int fresh_faults = injector_.apply_due(now, mesh_);
+    if (degraded_ && fresh_faults > 0) degraded_->on_faults_injected(now);
     if (now < source_end) {
       for (NodeId n = 0; n < mesh_.nodes(); ++n) {
         created.clear();
@@ -77,12 +85,14 @@ SimReport Simulator::run() {
           p.src = n;
           p.created = now;
           if (p.dst == n) continue;
+          if (degraded_ && !degraded_->admit(p)) continue;
           mesh_.ni(n).enqueue(p);
         }
       }
     }
     release_responses(now);
     mesh_.step(now);
+    if (degraded_) degraded_->step(now);
     if (cfg_.telemetry_interval > 0 && now % cfg_.telemetry_interval == 0)
       occupancy_.sample(mesh_);
 
@@ -100,9 +110,12 @@ SimReport Simulator::run() {
       last_progress = now;  // Genuinely idle: nothing to deliver.
     }
 
-    // Early exit once drained.
+    // Early exit once drained (and, in degraded mode, once every tracked
+    // packet is acknowledged or dropped — a pending retransmission keeps
+    // the run alive even with an empty network).
     if (now >= source_end && pending_responses_.empty() &&
-        mesh_.flits_in_network() == 0 && mesh_.all_injection_idle()) {
+        mesh_.flits_in_network() == 0 && mesh_.all_injection_idle() &&
+        (!degraded_ || degraded_->quiescent())) {
       ++now;
       break;
     }
@@ -136,6 +149,10 @@ SimReport Simulator::run() {
       static_cast<std::uint64_t>(mesh_.nodes()) * rep.cycles_run,
       cfg_.mesh.router.mode == core::RouterMode::Protected);
   rep.faults_injected = injector_.injected();
+  if (degraded_) {
+    rep.degraded = degraded_->stats();
+    rep.degraded.flits_blackholed = rep.router_events.flits_swallowed;
+  }
   return rep;
 }
 

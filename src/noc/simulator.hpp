@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "fault/fault_injector.hpp"
+#include "noc/degraded.hpp"
 #include "noc/energy.hpp"
 #include "noc/mesh.hpp"
 #include "noc/telemetry.hpp"
@@ -29,6 +30,10 @@ struct SimConfig {
   EnergyModel energy{};
   /// Buffer-occupancy sampling interval in cycles (0 = telemetry off).
   Cycle telemetry_interval = 0;
+  /// Degraded-mode subsystem (router death -> online reroute -> end-to-end
+  /// retry). Disabled by default: the fault-free fast path is untouched and
+  /// bit-identical to pre-degraded builds.
+  DegradedConfig degraded{};
 };
 
 struct SimReport {
@@ -46,6 +51,8 @@ struct SimReport {
   RouterStats router_events;
   EnergyReport energy;
   int faults_injected = 0;
+  /// Degraded-mode accounting (all zeros when the subsystem is disabled).
+  DegradedStats degraded;
 
   double avg_total_latency() const { return total_latency.mean(); }
   double avg_network_latency() const { return network_latency.mean(); }
@@ -65,17 +72,30 @@ class Simulator {
 
   Mesh& mesh() { return mesh_; }
 
+  /// Degraded-mode controller (nullptr unless SimConfig::degraded.enabled).
+  const DegradedModeController* degraded_controller() const {
+    return degraded_.get();
+  }
+
   /// Occupancy telemetry gathered during run(); empty (0 samples) unless
   /// SimConfig::telemetry_interval was set.
   const OccupancySampler& occupancy() const { return occupancy_; }
 
- private:
+  /// A response waiting for its ready cycle. `seq` is a monotonic enqueue
+  /// counter used as tie-break: std::priority_queue is not stable, so
+  /// equal-`ready` responses would otherwise pop in an implementation-
+  /// defined order and runs would not reproduce across standard libraries.
   struct PendingResponse {
     Cycle ready;
+    std::uint64_t seq;
     traffic::Response response;
-    bool operator>(const PendingResponse& o) const { return ready > o.ready; }
+    bool operator>(const PendingResponse& o) const {
+      if (ready != o.ready) return ready > o.ready;
+      return seq > o.seq;
+    }
   };
 
+ private:
   void release_responses(Cycle now);
 
   SimConfig cfg_;
@@ -87,8 +107,10 @@ class Simulator {
   std::priority_queue<PendingResponse, std::vector<PendingResponse>,
                       std::greater<>>
       pending_responses_;
+  std::uint64_t next_response_seq_ = 0;
   PacketId next_packet_id_ = 1;
   OccupancySampler occupancy_;
+  std::unique_ptr<DegradedModeController> degraded_;
   bool ran_ = false;
 };
 

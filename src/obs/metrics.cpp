@@ -44,6 +44,7 @@ const char* stall_cause_name(StallCause c) {
     case StallCause::LostSa: return "lost_sa";
     case StallCause::FaultBlocked: return "fault_blocked";
     case StallCause::Starved: return "starved";
+    case StallCause::RouterDead: return "router_dead";
   }
   return "?";
 }

@@ -35,9 +35,10 @@ enum class StallCause : std::uint8_t {
   LostVa,        ///< Lost VC-allocation arbitration to another VC.
   LostSa,        ///< Lost switch-allocation arbitration to another VC.
   FaultBlocked,  ///< A hardware fault blocked the stage this cycle.
-  Starved        ///< Never reached the arbiter (e.g. RC serves 1 VC/port).
+  Starved,       ///< Never reached the arbiter (e.g. RC serves 1 VC/port).
+  RouterDead     ///< Destination unreachable: a dead router partitioned it.
 };
-inline constexpr int kStallCauseCount = 5;
+inline constexpr int kStallCauseCount = 6;
 
 const char* stage_name(Stage s);
 const char* stall_cause_name(StallCause c);

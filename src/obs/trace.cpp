@@ -69,6 +69,9 @@ const char* event_kind_name(EventKind k) {
     case EventKind::Eject: return "Eject";
     case EventKind::FaultBlock: return "FaultBlock";
     case EventKind::EccRetx: return "EccRetx";
+    case EventKind::RouterDeath: return "RouterDeath";
+    case EventKind::Reroute: return "Reroute";
+    case EventKind::E2eRetx: return "E2eRetx";
   }
   return "?";
 }
@@ -161,6 +164,15 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events, int ports,
           break;
         case EventKind::EccRetx:
           lane.instants.push_back({e.cycle, "EccRetx", packet});
+          break;
+        case EventKind::RouterDeath:
+          lane.instants.push_back({e.cycle, "RouterDeath", packet});
+          break;
+        case EventKind::Reroute:
+          lane.instants.push_back({e.cycle, "Reroute", packet});
+          break;
+        case EventKind::E2eRetx:
+          lane.instants.push_back({e.cycle, "E2eRetx", packet});
           break;
       }
     }

@@ -32,7 +32,10 @@ enum class EventKind : std::uint8_t {
   St,          ///< Head flit traversed the crossbar onto the output link.
   Eject,       ///< Tail flit left the network at the destination NI.
   FaultBlock,  ///< A fault blocked this packet's pipeline stage this cycle.
-  EccRetx      ///< ECC link detected a double error; flit retransmitted.
+  EccRetx,     ///< ECC link detected a double error; flit retransmitted.
+  RouterDeath, ///< Router declared dead; it now swallows traffic (packet 0).
+  Reroute,     ///< Epoch switch: fault-aware tables installed (packet 0).
+  E2eRetx      ///< End-to-end timeout fired; packet retransmitted at the NI.
 };
 
 const char* event_kind_name(EventKind k);

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""ctest harness for the rnoc_campaign CLI: run the two cheapest campaigns
-in smoke mode (one synthesis-only, one reliability) and diff the emitted
-result files against their committed goldens with compare_results.py.
+"""ctest harness for the rnoc_campaign CLI: run the cheapest campaigns in
+smoke mode (one synthesis-only, one reliability, one simulation — the
+degraded-mode protect-vs-reroute sweep) and diff the emitted result files
+against their committed goldens with compare_results.py.
 
 Exercises the whole stack end to end — registry lookup, engine sharding,
-checkpoint write/cleanup, JSON emission, and the comparator — in well under
-a second.
+checkpoint write/cleanup, JSON emission, and the comparator — in seconds.
 """
 
 import argparse
@@ -14,7 +14,7 @@ import shutil
 import subprocess
 import sys
 
-CAMPAIGNS = ["fit_table1", "critical_path"]
+CAMPAIGNS = ["fit_table1", "critical_path", "degraded_mode"]
 
 
 def main():

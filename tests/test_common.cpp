@@ -175,6 +175,63 @@ TEST(Histogram, QuantileMonotone) {
   EXPECT_NEAR(q50, 50.0, 3.0);
 }
 
+TEST(Histogram, EmptyQuantileReportsLo) {
+  Histogram h(2.0, 10.0, 8);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OverflowMassClampsQuantile) {
+  // 90 in-range samples, 10 clamped above hi: any quantile landing in the
+  // clamped mass must report hi exactly, not extrapolate inside the last
+  // bin as if the overflow samples' positions were known.
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 90; ++i) h.add(static_cast<double>(i));
+  for (int i = 0; i < 10; ++i) h.add(1e6);
+  EXPECT_EQ(h.overflow(), 10u);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  // In-range quantiles are untouched by the clamped tail's position.
+  EXPECT_LT(h.quantile(0.5), 60.0);
+  EXPECT_GE(h.quantile(0.5), 40.0);
+}
+
+TEST(Histogram, UnderflowMassClampsQuantile) {
+  Histogram h(10.0, 20.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(-100.0);
+  for (int i = 0; i < 90; ++i) h.add(10.0 + (static_cast<double>(i) / 9.0));
+  EXPECT_EQ(h.underflow(), 10u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_GT(h.quantile(0.5), 10.0);
+}
+
+TEST(Histogram, AllOverflowReportsHi) {
+  Histogram h(0.0, 4096.0, 16);
+  h.add(5000.0);
+  h.add(9000.0);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4096.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4096.0);
+}
+
+TEST(Histogram, MergePropagatesClampedMass) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(-1.0);
+  a.add(5.0);
+  b.add(100.0);
+  b.add(200.0);
+  a.merge(b);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 2u);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.99), 10.0);
+}
+
 TEST(Histogram, MergeShapeMismatchThrows) {
   Histogram a(0, 1, 4), b(0, 1, 5);
   EXPECT_THROW(a.merge(b), std::invalid_argument);

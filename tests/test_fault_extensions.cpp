@@ -44,6 +44,68 @@ TEST(TransientFaults, InjectorExpiresThem) {
   EXPECT_TRUE(inj.done());
 }
 
+TEST(TransientFaults, PermanentOverLiveTransientSurvivesExpiry) {
+  // Regression: a permanent fault injected at a site while a transient is
+  // live used to be healed by the transient's expiry.
+  noc::MeshConfig mcfg;
+  mcfg.dims = {2, 2};
+  noc::Mesh mesh(mcfg);
+  FaultPlan plan;
+  plan.add(10, 1, {SiteType::XbMux, 2, 0}, /*duration=*/10);  // expires @20
+  plan.add(15, 1, {SiteType::XbMux, 2, 0});                   // permanent
+  FaultInjector inj(plan);
+
+  inj.apply_due(15, mesh);
+  EXPECT_TRUE(mesh.router(1).faults().has(SiteType::XbMux, 2));
+  inj.apply_due(25, mesh);
+  // The permanent upgrade cancelled the pending expiry: still faulty.
+  EXPECT_TRUE(mesh.router(1).faults().has(SiteType::XbMux, 2));
+  EXPECT_EQ(inj.expired(), 0);
+  EXPECT_TRUE(inj.done());
+}
+
+TEST(TransientFaults, OverlappingTransientsExtendExpiry) {
+  // Two transients at the same site overlap; the site must stay faulty
+  // until the *later* expiry (the second used to be dropped entirely).
+  noc::MeshConfig mcfg;
+  mcfg.dims = {2, 2};
+  noc::Mesh mesh(mcfg);
+  FaultPlan plan;
+  plan.add(10, 1, {SiteType::XbMux, 2, 0}, /*duration=*/5);   // expires @15
+  plan.add(12, 1, {SiteType::XbMux, 2, 0}, /*duration=*/10);  // expires @22
+  FaultInjector inj(plan);
+
+  inj.apply_due(12, mesh);
+  EXPECT_TRUE(mesh.router(1).faults().has(SiteType::XbMux, 2));
+  inj.apply_due(16, mesh);  // Past the first expiry, inside the second.
+  EXPECT_TRUE(mesh.router(1).faults().has(SiteType::XbMux, 2));
+  inj.apply_due(22, mesh);
+  EXPECT_FALSE(mesh.router(1).faults().has(SiteType::XbMux, 2));
+  EXPECT_EQ(inj.expired(), 1);
+  EXPECT_TRUE(inj.done());
+}
+
+TEST(FaultPlanRandom, OverSubscribedTolerableThrows) {
+  // Baseline routers tolerate zero faults, so a tolerable-only plan with
+  // any faults is over-subscribed: it must fail fast with a clear message,
+  // not spin re-drawing.
+  Rng rng(13);
+  EXPECT_THROW(FaultPlan::random(dims4, geom, core::RouterMode::Baseline, 1,
+                                 1000, rng, /*tolerable_only=*/true),
+               std::invalid_argument);
+}
+
+TEST(FitWeighted, OverSubscribedTolerableThrows) {
+  std::vector<FaultPlan::WeightedSiteRef> refs;
+  for (const auto& s : RouterFaultState::enumerate_sites(geom, false))
+    refs.push_back({s, 1.0});
+  Rng rng(17);
+  EXPECT_THROW(
+      FaultPlan::fit_weighted(dims4, geom, core::RouterMode::Baseline, refs, 1,
+                              1000, rng, /*tolerable_only=*/true),
+      std::invalid_argument);
+}
+
 TEST(TransientFaults, RouterRecoversPrimaryPath) {
   // A transient crossbar-mux fault forces the secondary path only while it
   // lasts; afterwards traffic rides the primary mux again.

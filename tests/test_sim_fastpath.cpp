@@ -20,6 +20,36 @@ namespace {
 
 // --- RingBuffer ---
 
+// --- Response-queue determinism ---
+
+TEST(PendingResponseOrder, EqualReadyPopsInEnqueueOrder) {
+  // Regression: the response queue was keyed on `ready` alone, so
+  // equal-cycle responses popped in an implementation-defined heap order.
+  // The monotonic `seq` tie-break pins FIFO order among equals.
+  std::priority_queue<Simulator::PendingResponse,
+                      std::vector<Simulator::PendingResponse>, std::greater<>>
+      q;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    traffic::Response r;
+    r.node = static_cast<NodeId>(i);
+    q.push({/*ready=*/100, seq++, r});
+  }
+  // An earlier-ready straggler pushed last must still pop first.
+  traffic::Response early;
+  early.node = 99;
+  q.push({/*ready=*/50, seq++, early});
+
+  EXPECT_EQ(q.top().response.node, 99);
+  q.pop();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(q.top().ready, 100u);
+    EXPECT_EQ(q.top().response.node, static_cast<NodeId>(i));
+    q.pop();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(RingBuffer, FifoOrderAcrossWrap) {
   RingBuffer<int> rb;
   rb.reserve(4);

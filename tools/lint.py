@@ -12,14 +12,18 @@ Rules
                  (stderr is allowed only in noc/invariants.cpp, whose
                  abort path must print without touching the iostreams).
   pragma-once    every header starts its include guard with #pragma once.
-  determinism    src/campaign/ and src/obs/ never read wall-clock time, CPU
-                 time, or the environment (std::chrono, time(), clock(),
-                 getenv): campaign results must be pure functions of
-                 (spec, seed, smoke) and traces/metrics must be byte-stable
-                 across reruns, or resume and golden-baseline comparison break.
-  self-contained every src/noc, src/campaign and src/obs header compiles on
-                 its own (include-what-you-use at the compile-or-fail level),
-                 checked with `c++ -fsyntax-only` unless --no-compile-headers.
+  determinism    src/campaign/, src/obs/, src/noc/ and src/fault/ never read
+                 wall-clock time, CPU time, or the environment (std::chrono,
+                 time(), clock(), getenv): campaign results must be pure
+                 functions of (spec, seed, smoke), traces/metrics must be
+                 byte-stable across reruns, and simulator/fault-injection
+                 runs must replay bit-identically from their seeds, or
+                 resume, golden-baseline comparison and the degraded-mode
+                 determinism tests break.
+  self-contained every src/noc, src/campaign, src/obs and src/fault header
+                 compiles on its own (include-what-you-use at the
+                 compile-or-fail level), checked with `c++ -fsyntax-only`
+                 unless --no-compile-headers.
 
 Exit status is non-zero when any rule fires; findings print as
 file:line: [rule] message, one per line, so editors and CI annotate them.
@@ -85,12 +89,13 @@ def check_text_rules(root, path, findings):
     code = strip_code(raw)
 
     in_src = rel.startswith("src" + os.sep)
-    # Determinism rule: campaign results and obs traces/metrics must both be
-    # reproducible from seeds alone, so neither layer may consult the clock
-    # or the environment.
-    in_campaign = rel.startswith(
-        os.path.join("src", "campaign")
-    ) or rel.startswith(os.path.join("src", "obs"))
+    # Determinism rule: campaign results, obs traces/metrics, simulator runs
+    # and fault injection must all be reproducible from seeds alone, so none
+    # of these layers may consult the clock or the environment.
+    in_deterministic = any(
+        rel.startswith(os.path.join("src", d))
+        for d in ("campaign", "obs", "noc", "fault")
+    )
     rng_exempt = rel.startswith(os.path.join("src", "common"))
     cout_exempt = rel == os.path.join("src", "noc", "invariants.cpp")
 
@@ -110,11 +115,11 @@ def check_text_rules(root, path, findings):
                 f"{rel}:{lineno}: [iostream] stdout/stderr output from "
                 "library code; return data or throw instead"
             )
-        if in_campaign and RE_NONDET.search(line):
+        if in_deterministic and RE_NONDET.search(line):
             findings.append(
                 f"{rel}:{lineno}: [determinism] wall-clock/environment read "
-                "in campaign code; results must be pure functions of "
-                "(spec, seed, smoke)"
+                "in seed-deterministic code (campaign/obs/noc/fault); "
+                "results must be pure functions of their seeds"
             )
 
     if rel.endswith(HEADER_EXT) and "#pragma once" not in code:
@@ -122,8 +127,8 @@ def check_text_rules(root, path, findings):
 
 
 def check_self_contained(root, findings, compiler):
-    """Each src/noc and src/campaign header must compile standalone."""
-    for subdir in ("noc", "campaign", "obs"):
+    """Each covered subsystem header must compile standalone."""
+    for subdir in ("noc", "campaign", "obs", "fault"):
         base = os.path.join(root, "src", subdir)
         headers = sorted(
             f for f in os.listdir(base) if f.endswith(HEADER_EXT)
