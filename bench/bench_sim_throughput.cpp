@@ -1,30 +1,41 @@
-// Simulator throughput: how fast the cycle-accurate model runs on the
-// Figure-7 workload.
+// Simulator throughput: how fast the cycle-accurate model runs.
 //
-// Reports simulated cycles/sec and flits/sec for single 8x8 fault-free and
-// faulted runs, then times the 16-run Figure-7 app sweep twice — full-sweep
-// sequential reference (the seed's loop structure: every router, every
-// stage, every cycle, one run after another) vs fast path (active-router
-// scheduling on the thread pool) — checking that every run's latency
-// statistics are bit-identical between the two.
+// Two sections:
 //
-// Note the in-binary reference is a *lower bound* on the speedup over the
-// seed implementation: it still benefits from the untoggleable fast-path
-// work (ring buffers, allocation-free allocators, O(1) accounting, fault
-// fast paths). EXPERIMENTS.md records the measured wall-clock ratio against
-// the actual seed commit; the absolute cycles/sec and sweep seconds emitted
-// in BENCH_sim_throughput.json are the numbers to track across commits.
+//  1. Low/medium-load sweep (the PR-6 headline): 8x8 uniform-random runs at
+//     0.05 / 0.20 / 0.40 flits/node/cycle, timed under the ActiveList core
+//     and the EventDriven core. Construction is excluded from the timed
+//     window (the timer starts after the Simulator — mesh, NIs, links — is
+//     built) and each core is warmed with a small untimed run first.
+//     Reported per load: simulated cycles/s and flit-hops/s (crossbar
+//     traversals per wall second — work actually done, so an idle-skipping
+//     core cannot inflate it by skipping cycles), plus the event/active
+//     speedup and a bit-identity check of the two reports.
+//
+//  2. The Figure-7 app sweep timed twice — full-sweep sequential reference
+//     (the seed's loop structure: every router, every stage, every cycle,
+//     one run after another) vs fast path (event core on the thread pool) —
+//     checking every run's latency statistics are bit-identical.
+//
+// The in-binary reference is a *lower bound* on the speedup over the seed
+// implementation: it still benefits from the untoggleable fast-path work
+// (ring buffers, allocation-free allocators, O(1) accounting). EXPERIMENTS.md
+// records measured ratios; BENCH_sim_throughput.json carries the numbers the
+// CI perf gate tracks across commits.
 //
 // --smoke shrinks the workload for CI smoke runs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "latency_common.hpp"
 #include "noc/sweep.hpp"
 #include "traffic/app_profiles.hpp"
+#include "traffic/patterns.hpp"
 
 using namespace rnoc;
 
@@ -36,15 +47,112 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// Latency statistics (and therefore simulated behaviour) identical?
+bool report_equal(const noc::SimReport& a, const noc::SimReport& b) {
+  return a.total_latency.count() == b.total_latency.count() &&
+         a.total_latency.mean() == b.total_latency.mean() &&
+         a.network_latency.mean() == b.network_latency.mean() &&
+         a.packets_received == b.packets_received &&
+         a.flits_received == b.flits_received &&
+         a.router_events.flits_traversed == b.router_events.flits_traversed &&
+         a.cycles_run == b.cycles_run;
+}
+
+bool reports_match(const std::vector<noc::SimReport>& a,
+                   const std::vector<noc::SimReport>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!report_equal(a[i], b[i])) return false;
+  return true;
+}
+
+// --- Section 1: low/medium-load core comparison ---
+
+noc::SimConfig load_sweep_config(bool smoke) {
+  noc::SimConfig cfg;
+  cfg.mesh.dims = {8, 8};
+  cfg.warmup = smoke ? 200 : 1000;
+  cfg.measure = smoke ? 2000 : 20000;
+  cfg.drain_limit = smoke ? 5000 : 30000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+struct TimedRun {
+  noc::SimReport rep;
+  double seconds = 0.0;
+};
+
+TimedRun time_load_run(const noc::SimConfig& base, double load,
+                       noc::SimCore core) {
+  noc::SimConfig cfg = base;
+  cfg.mesh.core = core;
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = load;
+  tc.packet_size = 5;
+  noc::Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+  // Timer starts here: mesh/NI/link construction is setup, not simulation.
+  const auto t0 = Clock::now();
+  TimedRun r;
+  r.rep = sim.run();
+  r.seconds = seconds_since(t0);
+  return r;
+}
+
+struct LoadPoint {
+  double load = 0.0;
+  const char* key;  ///< JSON key stem, e.g. "load05".
+  double active_cps = 0.0, active_fhps = 0.0;
+  double event_cps = 0.0, event_fhps = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+std::vector<LoadPoint> run_load_sweep(bool smoke) {
+  const noc::SimConfig base = load_sweep_config(smoke);
+  // Warm each core once (icache, allocator pools) outside any timed window.
+  {
+    noc::SimConfig warm = base;
+    warm.warmup = 100;
+    warm.measure = 400;
+    warm.drain_limit = 2000;
+    time_load_run(warm, 0.1, noc::SimCore::ActiveList);
+    time_load_run(warm, 0.1, noc::SimCore::EventDriven);
+  }
+  std::vector<LoadPoint> points = {
+      {0.05, "load05", 0, 0, 0, 0, 0, false},
+      {0.20, "load20", 0, 0, 0, 0, 0, false},
+      {0.40, "load40", 0, 0, 0, 0, 0, false},
+  };
+  for (LoadPoint& p : points) {
+    const TimedRun active =
+        time_load_run(base, p.load, noc::SimCore::ActiveList);
+    const TimedRun event =
+        time_load_run(base, p.load, noc::SimCore::EventDriven);
+    p.active_cps = static_cast<double>(active.rep.cycles_run) / active.seconds;
+    p.active_fhps =
+        static_cast<double>(active.rep.router_events.flits_traversed) /
+        active.seconds;
+    p.event_cps = static_cast<double>(event.rep.cycles_run) / event.seconds;
+    p.event_fhps =
+        static_cast<double>(event.rep.router_events.flits_traversed) /
+        event.seconds;
+    p.speedup = p.event_cps / p.active_cps;
+    p.identical = report_equal(active.rep, event.rep);
+  }
+  return points;
+}
+
+// --- Section 2: Figure-7 app sweep ---
+
 /// The Figure-7 job list: (fault-free, faulted) pair per app, same config
 /// and seeds as bench_latency_splash2.
 std::vector<noc::SweepJob> figure7_jobs(const noc::SimConfig& cfg,
-                                        std::size_t napps,
-                                        bool active_scheduling) {
+                                        std::size_t napps, noc::SimCore core) {
   const auto& apps = traffic::splash2_profiles();
   if (napps > apps.size()) napps = apps.size();
   noc::SimConfig mode_cfg = cfg;
-  mode_cfg.mesh.active_scheduling = active_scheduling;
+  mode_cfg.mesh.core = core;
   std::vector<noc::SweepJob> jobs;
   for (std::size_t i = 0; i < napps; ++i) {
     auto pair = benchx::app_jobs(apps[i], mode_cfg, 1000 + i);
@@ -67,31 +175,15 @@ std::vector<noc::SimReport> run_sequential(
   return reports;
 }
 
-/// Latency statistics (and therefore simulated behaviour) identical?
-bool reports_match(const std::vector<noc::SimReport>& a,
-                   const std::vector<noc::SimReport>& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i].total_latency.count() != b[i].total_latency.count() ||
-        a[i].total_latency.mean() != b[i].total_latency.mean() ||
-        a[i].network_latency.mean() != b[i].network_latency.mean() ||
-        a[i].packets_received != b[i].packets_received ||
-        a[i].flits_received != b[i].flits_received ||
-        a[i].cycles_run != b[i].cycles_run)
-      return false;
-  }
-  return true;
-}
-
 struct SingleRunRate {
   double cycles_per_sec = 0.0;
   double flits_per_sec = 0.0;
 };
 
 SingleRunRate time_single_run(const noc::SweepJob& job) {
-  const auto t0 = Clock::now();
   noc::Simulator sim(job.cfg, job.make_traffic());
   if (!job.faults.entries().empty()) sim.set_fault_plan(job.faults);
+  const auto t0 = Clock::now();
   const auto rep = sim.run();
   const double dt = seconds_since(t0);
   SingleRunRate r;
@@ -102,6 +194,26 @@ SingleRunRate time_single_run(const noc::SweepJob& job) {
 }
 
 int run(bool smoke) {
+  // Low/medium-load core comparison.
+  const auto points = run_load_sweep(smoke);
+  bool load_identical = true;
+  double speedup_min = 0.0;
+  std::printf("Simulator cores, 8x8 uniform random (size-5 packets)\n\n");
+  std::printf("  %-6s %14s %14s %14s %14s %9s %s\n", "load", "active cyc/s",
+              "event cyc/s", "active fh/s", "event fh/s", "speedup",
+              "identical");
+  for (const auto& p : points) {
+    std::printf("  %-6.2f %14.0f %14.0f %14.0f %14.0f %8.1fx %s\n", p.load,
+                p.active_cps, p.event_cps, p.active_fhps, p.event_fhps,
+                p.speedup, p.identical ? "yes" : "NO (BUG)");
+    load_identical = load_identical && p.identical;
+    speedup_min = speedup_min == 0.0 ? p.speedup
+                                     : std::min(speedup_min, p.speedup);
+  }
+  const bool meets_10x = speedup_min >= 10.0;
+  std::printf("\n  min event speedup: %.1fx (>=10x: %s)\n\n", speedup_min,
+              meets_10x ? "yes" : "NO");
+
   noc::SimConfig cfg = benchx::figure_sim_config();
   std::size_t napps = 8;  // 8 apps x {fault-free, faulted} = 16 runs
   if (smoke) {
@@ -111,19 +223,19 @@ int run(bool smoke) {
     napps = 2;
   }
 
-  // Single-run rates, fast path.
-  const auto single_jobs = figure7_jobs(cfg, 1, /*active_scheduling=*/true);
+  // Single-run rates, event core.
+  const auto single_jobs = figure7_jobs(cfg, 1, noc::SimCore::EventDriven);
   const SingleRunRate clean = time_single_run(single_jobs[0]);
   const SingleRunRate faulted = time_single_run(single_jobs[1]);
-  std::printf("Simulator throughput (8x8 mesh, coherence traffic)\n\n");
+  std::printf("Coherence traffic (8x8 mesh, event core)\n\n");
   std::printf("  fault-free run: %10.0f cycles/s %12.0f flits/s\n",
               clean.cycles_per_sec, clean.flits_per_sec);
   std::printf("  faulted run:    %10.0f cycles/s %12.0f flits/s\n\n",
               faulted.cycles_per_sec, faulted.flits_per_sec);
 
   // Figure-7 sweep, full-sweep sequential reference vs fast path.
-  const auto ref_jobs = figure7_jobs(cfg, napps, /*active_scheduling=*/false);
-  const auto fast_jobs = figure7_jobs(cfg, napps, /*active_scheduling=*/true);
+  const auto ref_jobs = figure7_jobs(cfg, napps, noc::SimCore::FullSweep);
+  const auto fast_jobs = figure7_jobs(cfg, napps, noc::SimCore::EventDriven);
 
   auto t0 = Clock::now();
   const auto ref_reports = run_sequential(ref_jobs);
@@ -136,8 +248,8 @@ int run(bool smoke) {
   const bool match = reports_match(ref_reports, fast_reports);
   const double speedup = ref_s / fast_s;
   std::printf("Figure-7 sweep (%zu runs):\n", ref_jobs.size());
-  std::printf("  full-sweep sequential reference:    %8.2f s\n", ref_s);
-  std::printf("  fast (active scheduling, parallel): %8.2f s\n", fast_s);
+  std::printf("  full-sweep sequential reference: %8.2f s\n", ref_s);
+  std::printf("  fast (event core, parallel):     %8.2f s\n", fast_s);
   std::printf("  speedup vs in-binary reference: %.2fx   "
               "latencies identical: %s\n",
               speedup, match ? "yes" : "NO (BUG)");
@@ -147,34 +259,49 @@ int run(bool smoke) {
 
   std::FILE* out = std::fopen("BENCH_sim_throughput.json", "w");
   if (out) {
+    std::fprintf(out,
+                 "{\"bench\": \"sim_throughput\", \"smoke\": %s, "
+                 "\"mesh\": \"8x8\", \"sweep_runs\": %zu, "
+                 "\"trace_hooks_compiled\": %s",
+                 smoke ? "true" : "false", ref_jobs.size(),
+                 // The perf gate compares throughput against an untraced
+                 // baseline; a boolean (exact-match in the gate, unlike
+                 // one-sided numerics) makes a mismatched RNOC_TRACE=ON
+                 // binary fail loudly.
+#ifdef RNOC_TRACE
+                 "true"
+#else
+                 "false"
+#endif
+    );
+    for (const auto& p : points)
+      std::fprintf(out,
+                   ", \"%s_active_cycles_per_sec\": %.0f"
+                   ", \"%s_event_cycles_per_sec\": %.0f"
+                   ", \"%s_active_flit_hops_per_sec\": %.0f"
+                   ", \"%s_event_flit_hops_per_sec\": %.0f"
+                   ", \"%s_event_speedup\": %.3f",
+                   p.key, p.active_cps, p.key, p.event_cps, p.key,
+                   p.active_fhps, p.key, p.event_fhps, p.key, p.speedup);
     std::fprintf(
         out,
-        "{\"bench\": \"sim_throughput\", \"smoke\": %s, "
-        "\"mesh\": \"8x8\", \"sweep_runs\": %zu, "
-        "\"trace_hooks_compiled\": %s, "
+        ", \"event_speedup_min\": %.3f, \"meets_10x\": %s, "
+        "\"load_reports_identical\": %s, "
         "\"fault_free_cycles_per_sec\": %.0f, "
         "\"fault_free_flits_per_sec\": %.0f, "
         "\"faulted_cycles_per_sec\": %.0f, "
         "\"faulted_flits_per_sec\": %.0f, "
         "\"sweep_reference_seconds\": %.4f, \"sweep_fast_seconds\": %.4f, "
         "\"speedup_vs_reference\": %.3f, \"latencies_identical\": %s}\n",
-        smoke ? "true" : "false", ref_jobs.size(),
-        // The perf gate compares throughput against an untraced baseline; a
-        // boolean (exact-match in the gate, unlike one-sided numerics) makes
-        // a mismatched RNOC_TRACE=ON binary fail loudly.
-#ifdef RNOC_TRACE
-        "true",
-#else
-        "false",
-#endif
-        clean.cycles_per_sec,
+        speedup_min, meets_10x ? "true" : "false",
+        load_identical ? "true" : "false", clean.cycles_per_sec,
         clean.flits_per_sec, faulted.cycles_per_sec, faulted.flits_per_sec,
         ref_s, fast_s, speedup, match ? "true" : "false");
     std::fclose(out);
     std::printf("wrote BENCH_sim_throughput.json\n");
   }
 
-  if (!match) {
+  if (!match || !load_identical) {
     std::fprintf(stderr,
                  "FAIL: fast-path reports differ from full-sweep reports\n");
     return 1;

@@ -105,6 +105,18 @@ class FaultInjector {
     return next_ >= plan_.entries().size() && expiries_.empty();
   }
 
+  /// Earliest cycle at which apply_due has work (next scheduled injection
+  /// or transient expiry), or kNeverCycle when done. Both simulator cores
+  /// skip the apply_due call entirely until this cycle: apply_due is a
+  /// no-op (returns 0) before it, so the gate is exact.
+  Cycle next_due_cycle() const {
+    Cycle due = kNeverCycle;
+    if (next_ < plan_.entries().size()) due = plan_.entries()[next_].at;
+    if (!expiries_.empty() && expiries_.front().at < due)
+      due = expiries_.front().at;
+    return due;
+  }
+
  private:
   struct Expiry {
     Cycle at;

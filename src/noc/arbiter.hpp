@@ -1,6 +1,8 @@
 // Round-robin arbiter — the fundamental allocator building block (paper §II-B).
 #pragma once
 
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
@@ -31,6 +33,26 @@ class RoundRobinArbiter {
       }
     }
     return -1;
+  }
+
+  /// Bitmask variant of `arbitrate` for inputs() <= 64: bit i of `requests`
+  /// asserts input i. Same winner and pointer update as the vector form —
+  /// the rotated mask's lowest set bit is the first asserted input at or
+  /// after the priority pointer. Avoids the per-iteration modulo of the
+  /// scan loop; this is the event core's hot path.
+  int arbitrate_mask(std::uint64_t requests) {
+    if (requests == 0) return -1;
+    const unsigned p = static_cast<unsigned>(pointer_);
+    // Rotate within inputs_ bits so the pointer's input lands at bit 0
+    // (guard p == 0: a shift by inputs_ can be a full-width shift, UB).
+    const std::uint64_t rot =
+        p == 0 ? requests
+               : (requests >> p) |
+                     (requests << (static_cast<unsigned>(inputs_) - p));
+    int idx = pointer_ + std::countr_zero(rot);
+    if (idx >= inputs_) idx -= inputs_;
+    pointer_ = idx + 1 == inputs_ ? 0 : idx + 1;
+    return idx;
   }
 
   /// Priority pointer (next input to be favoured); exposed for tests.

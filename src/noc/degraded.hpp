@@ -143,6 +143,20 @@ class DegradedModeController {
   /// draining, and every tracked packet was acknowledged or dropped.
   bool quiescent() const { return !draining_ && entries_.empty(); }
 
+  /// Earliest cycle at which step() can do anything, for the event core's
+  /// idle fast-forward. While draining, the barrier must be re-checked
+  /// every cycle (the network empties through mesh steps), so this returns
+  /// 0; otherwise the next ack/timeout heap head (which may be stale — a
+  /// wake on a lazily-invalidated entry makes step() a harmless no-op).
+  Cycle next_due_cycle() const {
+    if (draining_) return 0;
+    Cycle due = kNeverCycle;
+    if (!ack_due_.empty()) due = ack_due_.top().first;
+    if (!timeout_due_.empty() && timeout_due_.top().first < due)
+      due = timeout_due_.top().first;
+    return due;
+  }
+
   const DegradedStats& stats() const { return stats_; }
   /// Routing tables of the current epoch (nullptr before the first death).
   const FaultAwareTables* tables() const { return tables_.get(); }

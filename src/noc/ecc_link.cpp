@@ -10,6 +10,7 @@ EccLink::EccLink(double single_ber, double double_ber, std::uint64_t seed,
     : Link(latency),
       single_ber_(single_ber),
       double_ber_(double_ber),
+      seed_(seed),
       rng_(seed) {
   require(single_ber >= 0.0 && single_ber <= 1.0 && double_ber >= 0.0 &&
               double_ber <= 1.0 && single_ber + double_ber <= 1.0,
@@ -23,6 +24,7 @@ std::optional<Flit> EccLink::take_flit(Cycle now) {
     // independent double-error in the same flit is negligible).
     Flit f = held_->flit;
     held_.reset();
+    set_held_ready(kNeverCycle);
     if (counters()) --counters()->link_flits;
     ++stats_.flits_delivered;
     return f;
@@ -37,6 +39,7 @@ std::optional<Flit> EccLink::take_flit(Cycle now) {
     // consumer must be re-woken for the delayed delivery.
     ++stats_.retransmissions;
     held_ = Held{*f, now + 1};
+    set_held_ready(now + 1);
     if (counters()) ++counters()->link_flits;
     notify_flit_ready(now + 1);
 #ifdef RNOC_TRACE

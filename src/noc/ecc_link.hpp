@@ -44,6 +44,17 @@ class EccLink : public Link {
 
   const EccLinkStats& stats() const { return stats_; }
 
+  void reset_for_run() override {
+    Link::reset_for_run();
+    held_.reset();
+    stats_ = EccLinkStats{};
+    rng_ = Rng(seed_);
+  }
+
+#ifdef RNOC_TRACE
+  NodeId obs_node() const { return obs_node_; }
+#endif
+
 #ifdef RNOC_TRACE
   /// Observability sink (set by the Mesh in traced builds). Links carry no
   /// endpoint identity of their own, so the mesh also passes the node the
@@ -62,6 +73,7 @@ class EccLink : public Link {
 
   double single_ber_;
   double double_ber_;
+  std::uint64_t seed_;
   Rng rng_;
   std::optional<Held> held_;  ///< Flit awaiting retransmission delivery.
   EccLinkStats stats_;

@@ -1,0 +1,93 @@
+// Cycle-stamped event queue for the event-driven simulator core.
+//
+// A thin min-heap keyed on (cycle, order, seq). `order` is the caller's
+// tie-break for events due on the same cycle (e.g. node id, so same-cycle
+// injections pop in the same ascending-node order the cycle sweep uses);
+// `seq` is an internal monotonic counter that makes pops FIFO-stable when
+// both cycle and order collide. Pop order is therefore deterministic and
+// matches the oracle sweep's iteration order by construction.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rnoc::noc {
+
+template <typename T>
+class EventQueue {
+ public:
+  /// Schedules `payload` at `at`; `order` breaks same-cycle ties (ascending).
+  void push(Cycle at, std::uint64_t order, T payload) {
+    heap_.push_back(Entry{at, order, seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Schedules `payload` at `at`, FIFO-stable among same-cycle pushes.
+  void push(Cycle at, T payload) { push(at, seq_, std::move(payload)); }
+
+  /// Cycle of the earliest pending event, or kNeverCycle when empty.
+  Cycle next_cycle() const { return heap_.empty() ? kNeverCycle : heap_.front().at; }
+
+  /// Removes and returns the earliest event's payload.
+  T pop() {
+    require(!heap_.empty(), "EventQueue::pop: queue is empty");
+    T payload = std::move(heap_.front().payload);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return payload;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  void clear() {
+    heap_.clear();
+    seq_ = 0;
+  }
+
+ private:
+  struct Entry {
+    Cycle at = 0;
+    std::uint64_t order = 0;
+    std::uint64_t seq = 0;
+    T payload;
+  };
+
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.order != b.order) return a.order < b.order;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && before(heap_[l], heap_[best])) best = l;
+      if (r < n && before(heap_[r], heap_[best])) best = r;
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace rnoc::noc

@@ -41,6 +41,19 @@ InputPort::InputPort(int vcs, int depth) : depth_(depth) {
   for (int i = 0; i < vcs; ++i) l2p_[static_cast<std::size_t>(i)] = i;
 }
 
+void InputPort::set_mask_sink(RouterVcMasks* m, int port) {
+  if (m != nullptr) {
+    require(vcs() <= 32, "InputPort::set_mask_sink: masks need vcs <= 32");
+    require(port >= 0 && port < RouterVcMasks::kMaxPorts,
+            "InputPort::set_mask_sink: port index out of range");
+  }
+  masks_ = m;
+  port_ = port;
+  port_bit_ = m == nullptr ? 0 : 1u << static_cast<unsigned>(port);
+  if (m != nullptr)
+    for (int v = 0; v < vcs(); ++v) refresh_vc(v);
+}
+
 int InputPort::logical_of(int phys) const {
   check(phys);
   for (int l = 0; l < vcs(); ++l)
@@ -55,7 +68,8 @@ bool InputPort::can_accept(const Flit& f) const {
 }
 
 void InputPort::write(const Flit& f) {
-  VirtualChannel& v = vcs_[static_cast<std::size_t>(physical_of(f.vc))];
+  const int phys = physical_of(f.vc);
+  VirtualChannel& v = vcs_[static_cast<std::size_t>(phys)];
   require(static_cast<int>(v.buffer.size()) < depth_,
           "InputPort::write: buffer overflow (credit protocol violated)");
   if (f.is_head()) {
@@ -69,6 +83,7 @@ void InputPort::write(const Flit& f) {
   v.buffer.push_back(f);
   ++buffered_;
   if (counters_) ++counters_->router_flits;
+  refresh_vc(phys);
 }
 
 Flit InputPort::pop_front(int phys) {
@@ -78,6 +93,7 @@ Flit InputPort::pop_front(int phys) {
   v.buffer.pop_front();
   --buffered_;
   if (counters_) --counters_->router_flits;
+  refresh_vc(phys);
   return f;
 }
 
@@ -109,6 +125,23 @@ void InputPort::transfer(int from, int to) {
   const int l_to = logical_of(to);
   std::swap(l2p_[static_cast<std::size_t>(l_from)],
             l2p_[static_cast<std::size_t>(l_to)]);
+  refresh_vc(from);
+  refresh_vc(to);
+}
+
+void InputPort::reset_for_run() {
+  for (auto& v : vcs_) {
+    v.buffer.clear();
+    v.reset_to_idle();
+#ifdef RNOC_TRACE
+    v.obs_arrived = 0;
+#endif
+  }
+  for (int i = 0; i < static_cast<int>(l2p_.size()); ++i)
+    l2p_[static_cast<std::size_t>(i)] = i;
+  buffered_ = 0;
+  if (masks_ != nullptr)
+    for (int v = 0; v < vcs(); ++v) refresh_vc(v);
 }
 
 }  // namespace rnoc::noc

@@ -4,6 +4,7 @@
 // VC-to-VC flit transfer (paper §V-C1) without corrupting in-flight traffic.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "noc/flit.hpp"
@@ -59,6 +60,27 @@ struct VirtualChannel {
   void clear_borrow_fields();
 };
 
+/// Per-router aggregate of the pipeline-state VC masks the event core's
+/// allocator fast paths consult instead of scanning every VC of every port.
+/// Bit v of `routing[p]` / `vcalloc[p]` / `ready[p]` is set iff physical VC v
+/// of port p is in Routing / in VcAlloc / Active with a buffered flit. The
+/// `*_ports` summaries have bit p set iff the corresponding per-port mask is
+/// non-zero, so an idle stage costs one load. Owned by the Router behind a
+/// move-stable allocation; each InputPort holds a sink pointer plus its port
+/// index and keeps its slice exact on every VC mutation (InputPort::refresh_vc
+/// is idempotent — it recomputes one VC's bits from the current state). Only
+/// usable when vcs <= 32; routers with more VCs leave the sink unset and the
+/// event stages fall back to the scanning paths.
+struct RouterVcMasks {
+  static constexpr int kMaxPorts = 8;
+  std::uint32_t routing[kMaxPorts]{};
+  std::uint32_t vcalloc[kMaxPorts]{};
+  std::uint32_t ready[kMaxPorts]{};
+  std::uint32_t routing_ports = 0;
+  std::uint32_t vcalloc_ports = 0;
+  std::uint32_t ready_ports = 0;
+};
+
 /// An input port: `vcs` virtual channels of `depth` flits each, plus the
 /// logical->physical VC map. Upstream nodes address VCs by *logical* id
 /// (the id carried in flits and credits); the SA-stage transfer mechanism
@@ -96,8 +118,32 @@ class InputPort {
 
   int buffered_flits() const { return buffered_; }
 
+  /// Restores the port to its just-constructed state (Mesh::reset_for_run):
+  /// empties every VC, resets all state fields and the logical->physical map.
+  /// The caller owns the shared counters and zeroes them wholesale.
+  void reset_for_run();
+
   /// Shared accounting sink (set by the Mesh); nullptr = standalone use.
   void set_counters(NetCounters* c) { counters_ = c; }
+
+  /// Wires this port's slice of the router's VC-state mask aggregate.
+  /// nullptr (standalone or > 32 VCs) disables mask maintenance.
+  void set_mask_sink(RouterVcMasks* m, int port);
+
+  /// Recomputes VC `phys`'s bits in the mask aggregate from its current
+  /// state. Idempotent; a no-op without a sink. Every mutation of a VC's G
+  /// field or buffer occupancy must be followed by a call for that VC.
+  void refresh_vc(int phys) {
+    if (masks_ == nullptr) return;
+    const VirtualChannel& v = vcs_[static_cast<std::size_t>(check(phys))];
+    const std::uint32_t bit = 1u << static_cast<unsigned>(phys);
+    set_mask_bit(masks_->routing[port_], masks_->routing_ports, bit,
+                 v.state == VcState::Routing);
+    set_mask_bit(masks_->vcalloc[port_], masks_->vcalloc_ports, bit,
+                 v.state == VcState::VcAlloc);
+    set_mask_bit(masks_->ready[port_], masks_->ready_ports, bit,
+                 v.state == VcState::Active && !v.buffer.empty());
+  }
 
 #ifdef RNOC_INVARIANTS
   /// Test-only corruption hook (invariant-checked builds): overwrites a
@@ -106,6 +152,7 @@ class InputPort {
   /// NocChecker catches it.
   void test_set_vc_state(int phys, VcState s) {
     vcs_[static_cast<std::size_t>(check(phys))].state = s;
+    refresh_vc(phys);
   }
 #endif
 
@@ -117,11 +164,28 @@ class InputPort {
     return v;
   }
 
+  // Sets/clears `bit` in the per-port mask and keeps the port-summary bit
+  // consistent with "per-port mask non-zero".
+  void set_mask_bit(std::uint32_t& mask, std::uint32_t& ports,
+                    std::uint32_t bit, bool on) const {
+    if (on)
+      mask |= bit;
+    else
+      mask &= ~bit;
+    if (mask != 0)
+      ports |= port_bit_;
+    else
+      ports &= ~port_bit_;
+  }
+
   std::vector<VirtualChannel> vcs_;
   std::vector<int> l2p_;  ///< logical -> physical VC index (a permutation)
   int depth_;
   int buffered_ = 0;  ///< Flits across all VCs (kept exact by write/pop).
   NetCounters* counters_ = nullptr;
+  RouterVcMasks* masks_ = nullptr;  ///< Event-core state masks; see above.
+  int port_ = -1;                   ///< This port's index in the sink.
+  std::uint32_t port_bit_ = 0;      ///< 1 << port_, cached.
 };
 
 }  // namespace rnoc::noc

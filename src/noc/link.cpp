@@ -17,7 +17,7 @@ void Link::push_flit(const Flit& f, Cycle now) {
   last_flit_push_ = now;
   flits_.push_back({f, now + latency_});
   if (counters_) ++counters_->link_flits;
-  if (flit_listener_) flit_listener_(now + latency_);
+  notify_flit_ready(now + latency_);
 }
 
 std::optional<Flit> Link::take_flit(Cycle now) {
@@ -30,7 +30,7 @@ std::optional<Flit> Link::take_flit(Cycle now) {
 
 void Link::push_credit(const Credit& c, Cycle now) {
   credits_.push_back({c, now + latency_});
-  if (credit_listener_) credit_listener_(now + latency_);
+  notify_credit_ready(now + latency_);
 }
 
 std::optional<Credit> Link::take_credit(Cycle now) {

@@ -35,6 +35,28 @@ class Link {
     return static_cast<int>(flits_.size());
   }
 
+  /// Cycle at which the next flit (resp. credit) becomes takeable, or
+  /// kNeverCycle when none is in flight. The event core consults these to
+  /// skip take_flit/take_credit calls that would return nullopt; a
+  /// subclass holding a flit outside the ring (EccLink retransmission)
+  /// publishes it via set_held_ready. Not virtual: this runs per port per
+  /// active cycle.
+  Cycle next_flit_ready() const {
+    const Cycle ring = flits_.empty() ? kNeverCycle : flits_.front().second;
+    return held_ready_ < ring ? held_ready_ : ring;
+  }
+  Cycle next_credit_ready() const {
+    return credits_.empty() ? kNeverCycle : credits_.front().second;
+  }
+
+  /// Restores the link to its just-constructed state (Mesh::reset_for_run).
+  virtual void reset_for_run() {
+    flits_.clear();
+    credits_.clear();
+    last_flit_push_ = kNeverCycle;
+    held_ready_ = kNeverCycle;
+  }
+
   /// Invariant-checker introspection: visits every flit / credit currently
   /// in flight (including, for subclasses, any held retransmission slot).
   /// Not on the simulation hot path.
@@ -45,12 +67,26 @@ class Link {
     for (std::size_t i = 0; i < credits_.size(); ++i) fn(credits_.at(i).first);
   }
 
-  /// Scheduling hooks (set by the Mesh): invoked with the cycle at which a
-  /// pushed flit / credit becomes takeable, so the consumer can be woken
-  /// exactly then instead of polling every cycle.
+  /// Scheduling hooks (standalone / test use): invoked with the cycle at
+  /// which a pushed flit / credit becomes takeable, so the consumer can be
+  /// woken exactly then instead of polling every cycle.
   using Listener = std::function<void(Cycle ready)>;
   void set_flit_listener(Listener l) { flit_listener_ = std::move(l); }
   void set_credit_listener(Listener l) { credit_listener_ = std::move(l); }
+
+  /// Mesh fast-path hook: a plain function pointer plus two precomputed
+  /// event records (one per direction), dispatched instead of the
+  /// std::function listeners. The Mesh wires every link it owns through
+  /// this — millions of flit/credit pushes per simulated second make the
+  /// type-erased listener dispatch measurable.
+  using EventHook = void (*)(void* ctx, std::uint32_t rec, Cycle ready);
+  void set_event_hook(EventHook fn, void* ctx, std::uint32_t flit_rec,
+                      std::uint32_t credit_rec) {
+    hook_ = fn;
+    hook_ctx_ = ctx;
+    hook_flit_rec_ = flit_rec;
+    hook_credit_rec_ = credit_rec;
+  }
 
   /// Shared accounting sink (set by the Mesh); nullptr = standalone use.
   void set_counters(NetCounters* c) { counters_ = c; }
@@ -58,16 +94,32 @@ class Link {
  protected:
   NetCounters* counters() const { return counters_; }
   void notify_flit_ready(Cycle ready) {
-    if (flit_listener_) flit_listener_(ready);
+    if (hook_ != nullptr)
+      hook_(hook_ctx_, hook_flit_rec_, ready);
+    else if (flit_listener_)
+      flit_listener_(ready);
   }
+  void notify_credit_ready(Cycle ready) {
+    if (hook_ != nullptr)
+      hook_(hook_ctx_, hook_credit_rec_, ready);
+    else if (credit_listener_)
+      credit_listener_(ready);
+  }
+  /// Subclass hook backing next_flit_ready for flits held outside the ring.
+  void set_held_ready(Cycle ready) { held_ready_ = ready; }
 
  private:
   RingBuffer<std::pair<Flit, Cycle>> flits_;      ///< (flit, ready_cycle)
   RingBuffer<std::pair<Credit, Cycle>> credits_;  ///< (credit, ready_cycle)
   Cycle latency_;
   Cycle last_flit_push_ = kNeverCycle;
+  Cycle held_ready_ = kNeverCycle;
   Listener flit_listener_;
   Listener credit_listener_;
+  EventHook hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
+  std::uint32_t hook_flit_rec_ = 0;
+  std::uint32_t hook_credit_rec_ = 0;
   NetCounters* counters_ = nullptr;
 };
 

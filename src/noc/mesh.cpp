@@ -1,12 +1,22 @@
 #include "noc/mesh.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #ifdef RNOC_INVARIANTS
 #include "noc/invariants.hpp"
 #endif
 
 namespace rnoc::noc {
+
+const char* sim_core_name(SimCore core) {
+  switch (core) {
+    case SimCore::FullSweep: return "full_sweep";
+    case SimCore::ActiveList: return "active_list";
+    case SimCore::EventDriven: return "event";
+  }
+  return "?";
+}
 
 Mesh::~Mesh() = default;
 
@@ -46,8 +56,15 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
     nis_.emplace_back(i, ni_cfg);
   }
   runnable_.assign(static_cast<std::size_t>(2 * n), 0);
+  active_router_words_.assign(static_cast<std::size_t>(n + 63) / 64, 0);
+  active_ni_words_.assign(static_cast<std::size_t>(n + 63) / 64, 0);
   require(cfg.link_latency >= 1, "Mesh: link latency must be >= 1");
   wake_buckets_.resize(static_cast<std::size_t>(cfg.link_latency) + 2);
+  // Delivery bitmaps: one bit per possible record value (16 per router).
+  const std::size_t dwords = (static_cast<std::size_t>(n) * 16 + 63) / 64;
+  delivery_buckets_.assign(wake_buckets_.size(),
+                           std::vector<std::uint64_t>(dwords, 0));
+  due_delivery_words_.assign(dwords, 0);
   last_wake_at_.assign(static_cast<std::size_t>(2 * n), 0);
 
 #ifdef RNOC_INVARIANTS
@@ -77,10 +94,16 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
 
   const bool ecc = cfg.link_single_ber > 0.0 || cfg.link_double_ber > 0.0;
   std::uint64_t link_seed = cfg.ecc_seed;
-  // Each link wakes the consumer of its flits at the flit's arrival cycle
+  // Each link notifies the consumer of its flits at the flit's arrival cycle
   // and the consumer of its credits at the credit's arrival cycle; those
   // are different components (flits flow downstream, credits upstream).
-  auto make_link = [&](int flit_sink, int credit_sink) -> Link* {
+  // When the consumer is a router (port >= 0) the record is a delivery —
+  // the event core dispatches those instead of scanning every active
+  // router's links (ActiveList turns them into wakes); NIs gate their own
+  // link peeks in step_event, so a wake alone suffices for them (marker
+  // record, low nibble 0xE).
+  auto make_link = [&](int flit_sink, int flit_port, int credit_sink,
+                       int credit_port) -> Link* {
     if (ecc) {
       links_.push_back(std::make_unique<EccLink>(
           cfg.link_single_ber, cfg.link_double_ber, ++link_seed,
@@ -98,12 +121,17 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
       static_cast<EccLink*>(l)->set_observer(observer_.get(), down);
     }
 #endif
-    l->set_flit_listener([this, flit_sink](Cycle at) {
-      schedule_wake(flit_sink, at);
-    });
-    l->set_credit_listener([this, credit_sink](Cycle at) {
-      schedule_wake(credit_sink, at);
-    });
+    const std::uint32_t frec =
+        flit_port >= 0
+            ? static_cast<std::uint32_t>(flit_sink) << 4 |
+                  static_cast<std::uint32_t>(flit_port) << 1
+            : static_cast<std::uint32_t>(flit_sink - n) << 4 | 0xEu;
+    const std::uint32_t crec =
+        credit_port >= 0
+            ? static_cast<std::uint32_t>(credit_sink) << 4 |
+                  static_cast<std::uint32_t>(credit_port) << 1 | 1u
+            : static_cast<std::uint32_t>(credit_sink - n) << 4 | 0xEu;
+    l->set_event_hook(&Mesh::link_event_hook, this, frec, crec);
     return l;
   };
 
@@ -112,9 +140,11 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
     Router& r = routers_[static_cast<std::size_t>(i)];
     NetworkInterface& ni = nis_[static_cast<std::size_t>(i)];
     // NI -> router (flits), router -> NI (credits).
-    Link* inj = make_link(/*flit_sink=*/i, /*credit_sink=*/n + i);
+    Link* inj = make_link(/*flit_sink=*/i, port_of(Direction::Local),
+                          /*credit_sink=*/n + i, -1);
     // router -> NI (flits), NI -> router (credits).
-    Link* ej = make_link(/*flit_sink=*/n + i, /*credit_sink=*/i);
+    Link* ej = make_link(/*flit_sink=*/n + i, -1,
+                         /*credit_sink=*/i, port_of(Direction::Local));
     r.attach_input(port_of(Direction::Local), inj);
     r.attach_output(port_of(Direction::Local), ej);
     ni.attach(inj, ej);
@@ -132,8 +162,12 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
       const NodeId e = cfg.dims.node_of({c.x + 1, c.y});
       Router& ri = routers_[static_cast<std::size_t>(i)];
       Router& re = routers_[static_cast<std::size_t>(e)];
-      Link* right = make_link(/*flit_sink=*/e, /*credit_sink=*/i);  // i -> e
-      Link* left = make_link(/*flit_sink=*/i, /*credit_sink=*/e);   // e -> i
+      // i -> e: flits land on e's West input; credits return to i's East
+      // output. The reverse link mirrors both.
+      Link* right = make_link(/*flit_sink=*/e, port_of(Direction::West),
+                              /*credit_sink=*/i, port_of(Direction::East));
+      Link* left = make_link(/*flit_sink=*/i, port_of(Direction::East),
+                             /*credit_sink=*/e, port_of(Direction::West));
       ri.attach_output(port_of(Direction::East), right);
       re.attach_input(port_of(Direction::West), right);
       re.attach_output(port_of(Direction::West), left);
@@ -147,8 +181,12 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
       const NodeId s = cfg.dims.node_of({c.x, c.y + 1});
       Router& ri = routers_[static_cast<std::size_t>(i)];
       Router& rs = routers_[static_cast<std::size_t>(s)];
-      Link* down = make_link(/*flit_sink=*/s, /*credit_sink=*/i);  // i -> s
-      Link* up = make_link(/*flit_sink=*/i, /*credit_sink=*/s);    // s -> i
+      // i -> s: flits land on s's North input; credits return to i's South
+      // output. The reverse link mirrors both.
+      Link* down = make_link(/*flit_sink=*/s, port_of(Direction::North),
+                             /*credit_sink=*/i, port_of(Direction::South));
+      Link* up = make_link(/*flit_sink=*/i, port_of(Direction::South),
+                           /*credit_sink=*/s, port_of(Direction::North));
       ri.attach_output(port_of(Direction::South), down);
       rs.attach_input(port_of(Direction::North), down);
       rs.attach_output(port_of(Direction::North), up);
@@ -186,7 +224,7 @@ void Mesh::set_routing_tables(const FaultAwareTables* tables) {
 }
 
 void Mesh::schedule_wake(int idx, Cycle at) {
-  if (!cfg_.active_scheduling) return;  // Full sweep steps everything anyway.
+  if (cfg_.core == SimCore::FullSweep) return;  // Steps everything anyway.
   Cycle& last = last_wake_at_[static_cast<std::size_t>(idx)];
   if (last == at + 1) return;  // This exact wake is already queued.
   last = at + 1;
@@ -197,6 +235,28 @@ void Mesh::schedule_wake(int idx, Cycle at) {
   require(at - next_drain_ < static_cast<Cycle>(wake_buckets_.size()),
           "Mesh::schedule_wake: wake beyond the link-latency horizon");
   wake_buckets_[at % static_cast<Cycle>(wake_buckets_.size())].push_back(idx);
+}
+
+void Mesh::schedule_delivery(std::uint32_t rec, Cycle at) {
+  if (at < next_drain_) {
+    overdue_deliveries_.push_back(rec);
+    return;
+  }
+  const Cycle nbuckets = static_cast<Cycle>(delivery_buckets_.size());
+  require(at - next_drain_ < nbuckets,
+          "Mesh::schedule_delivery: delivery beyond the link-latency horizon");
+  delivery_buckets_[at % nbuckets][rec >> 6] |= std::uint64_t{1} << (rec & 63u);
+}
+
+void Mesh::link_event(std::uint32_t rec, Cycle at) {
+  if ((rec & 0xEu) == 0xEu) {  // NI marker: wake NI `rec >> 4`.
+    schedule_wake(nodes() + static_cast<int>(rec >> 4), at);
+    return;
+  }
+  if (cfg_.core == SimCore::EventDriven)
+    schedule_delivery(rec, at);
+  else
+    schedule_wake(static_cast<int>(rec >> 4), at);
 }
 
 void Mesh::mark_runnable(int idx) {
@@ -257,7 +317,7 @@ void Mesh::reset_flow_control() {
 }
 
 void Mesh::step(Cycle now) {
-  if (!cfg_.active_scheduling) {
+  if (cfg_.core == SimCore::FullSweep) {
     for (auto& r : routers_) r.step_accept(now);
     for (auto& r : routers_) r.step_st(now);
     for (auto& r : routers_) r.step_sa(now);
@@ -268,6 +328,11 @@ void Mesh::step(Cycle now) {
 #ifdef RNOC_INVARIANTS
     checker_->on_cycle_end(now);
 #endif
+    return;
+  }
+
+  if (cfg_.core == SimCore::EventDriven) {
+    step_event_core(now);
     return;
   }
 
@@ -303,6 +368,8 @@ void Mesh::step(Cycle now) {
     std::sort(active_routers_.begin(), active_routers_.end());
   if (active_nis_.size() != nis_before)
     std::sort(active_nis_.begin(), active_nis_.end());
+
+  std::size_t keep = 0;
   for (const int r : active_routers_)
     routers_[static_cast<std::size_t>(r)].step_accept(now);
   for (const int r : active_routers_)
@@ -313,12 +380,12 @@ void Mesh::step(Cycle now) {
     routers_[static_cast<std::size_t>(r)].step_va(now);
   for (const int r : active_routers_)
     routers_[static_cast<std::size_t>(r)].step_rc(now);
-  for (const int i : active_nis_) nis_[static_cast<std::size_t>(i)].step(now);
+  for (const int i : active_nis_)
+    nis_[static_cast<std::size_t>(i)].step(now);
   stepped_last_cycle_ = static_cast<int>(active_routers_.size());
 
   // Retire quiescent components; anything retired here is re-woken by the
   // wake queue when a link event, enqueue or fault next concerns it.
-  std::size_t keep = 0;
   for (const int r : active_routers_) {
     if (routers_[static_cast<std::size_t>(r)].has_pending_work())
       active_routers_[keep++] = r;
@@ -336,6 +403,216 @@ void Mesh::step(Cycle now) {
   active_nis_.resize(keep);
 #ifdef RNOC_INVARIANTS
   checker_->on_cycle_end(now);
+#endif
+}
+
+void Mesh::step_event_core(Cycle now) {
+  // Drain wakes into the active bitmask words and merge the delivery
+  // bitmaps due this step: everything overdue, plus the buckets of all
+  // cycles up to `now` (one bucket when stepped on consecutive cycles; the
+  // whole ring covers any larger gap). Delivery buckets of cycles skipped by
+  // the idle fast-forward are provably empty: a pending delivery bounds
+  // next_event_cycle(), which scans the delivery bitmaps alongside the wake
+  // buckets.
+  for (const int idx : overdue_wakes_) {
+    last_wake_at_[static_cast<std::size_t>(idx)] = 0;
+    mark_active_event(idx);
+  }
+  overdue_wakes_.clear();
+  for (const std::uint32_t rec : overdue_deliveries_)
+    due_delivery_words_[rec >> 6] |= std::uint64_t{1} << (rec & 63u);
+  overdue_deliveries_.clear();
+  const Cycle nbuckets = static_cast<Cycle>(wake_buckets_.size());
+  Cycle from = next_drain_;
+  if (now >= nbuckets && from < now + 1 - nbuckets) from = now + 1 - nbuckets;
+  for (Cycle c = from; c <= now; ++c) {
+    auto& bucket = wake_buckets_[c % nbuckets];
+    for (const int idx : bucket) {
+      last_wake_at_[static_cast<std::size_t>(idx)] = 0;
+      mark_active_event(idx);
+    }
+    bucket.clear();
+    auto& dbucket = delivery_buckets_[c % nbuckets];
+    for (std::size_t w = 0; w < dbucket.size(); ++w) {
+      due_delivery_words_[w] |= dbucket[w];
+      dbucket[w] = 0;
+    }
+  }
+  next_drain_ = now + 1;
+
+  // Accept stage: dispatch exactly the due deliveries instead of scanning
+  // every active router's links. Ascending set-bit iteration reproduces the
+  // full sweep's order (router asc, port asc, flit before credit) and the
+  // bitmap collapses duplicates (the sweep takes at most one flit per port
+  // per cycle, while a record can be queued twice for the same cycle: the
+  // original arrival notification plus a reschedule). Each dispatched record
+  // marks its router active, so deliveries need no companion wake. When a
+  // further flit is already takeable behind the one just taken — an ECC
+  // retransmission colliding with the next in-flight flit — it is
+  // re-delivered next cycle, again matching the one-per-cycle sweep.
+  for (std::size_t w = 0; w < due_delivery_words_.size(); ++w) {
+    std::uint64_t bits = due_delivery_words_[w];
+    if (bits == 0) continue;
+    due_delivery_words_[w] = 0;
+    const std::uint32_t rbase = static_cast<std::uint32_t>(w) << 6;
+    do {
+      const std::uint32_t rec =
+          rbase + static_cast<std::uint32_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::size_t r = rec >> 4;
+      active_router_words_[r >> 6] |= std::uint64_t{1} << (r & 63u);
+      Router& rt = routers_[r];
+      const int p = static_cast<int>(rec >> 1 & 0x7u);
+      if (rec & 1u) {
+        rt.drain_credits_due(p, now);
+      } else if (rt.accept_flit_due(p, now) <= now) {
+        schedule_delivery(rec, now + 1);
+      }
+    } while (bits != 0);
+  }
+
+  int stepped = 0;
+#ifndef RNOC_TRACE
+  // Fused per-router pass: each active router runs its whole post-accept
+  // cycle (ST -> SA -> VA -> RC) and its retirement check in one visit.
+  // Legal because the stages only touch router-local state — link pushes
+  // mature next cycle and were all dispatched above — so per-router order
+  // equals the sweep's stage-major order. Retirement (Router::
+  // step_cycle_event) drops *stalled* fault-free routers: buffered flits
+  // but no pending ST grants and no digest progress. Every future change
+  // to such a router arrives through a wake (flit/credit listener, fault
+  // notification), and until one fires, stepping it would repeat the exact
+  // same no-op.
+  for (std::size_t w = 0; w < active_router_words_.size(); ++w) {
+    std::uint64_t bits = active_router_words_[w];
+    if (bits == 0) continue;
+    std::uint64_t keep_bits = bits;
+    const int base = static_cast<int>(w) << 6;
+    do {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      ++stepped;
+      if (!routers_[static_cast<std::size_t>(base + b)].step_cycle_event(now))
+        keep_bits &= ~(std::uint64_t{1} << static_cast<unsigned>(b));
+    } while (bits != 0);
+    active_router_words_[w] = keep_bits;
+  }
+#else
+  // Traced builds keep the stage-major order (cross-router trace-event
+  // ordering within a cycle matches the sweep) and keep stepping stalled
+  // routers: their per-cycle NoCredit / LostSa / LostVa stall metrics must
+  // accrue every cycle, so retirement is has_pending_work() only.
+  const auto for_each_active = [&](auto&& fn) {
+    for (std::size_t w = 0; w < active_router_words_.size(); ++w) {
+      std::uint64_t bits = active_router_words_[w];
+      const int base = static_cast<int>(w) << 6;
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        fn(routers_[static_cast<std::size_t>(base + b)]);
+      }
+    }
+  };
+  for_each_active([&](Router& r) { r.step_st(now); });
+  for_each_active([&](Router& r) { r.step_sa_event(now); });
+  for_each_active([&](Router& r) { r.step_va_event(now); });
+  for_each_active([&](Router& r) { r.step_rc_event(now); });
+  for (std::size_t w = 0; w < active_router_words_.size(); ++w) {
+    std::uint64_t bits = active_router_words_[w];
+    if (bits == 0) continue;
+    std::uint64_t keep_bits = bits;
+    const int base = static_cast<int>(w) << 6;
+    do {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      ++stepped;
+      if (!routers_[static_cast<std::size_t>(base + b)].has_pending_work())
+        keep_bits &= ~(std::uint64_t{1} << static_cast<unsigned>(b));
+    } while (bits != 0);
+    active_router_words_[w] = keep_bits;
+  }
+#endif
+  stepped_last_cycle_ = stepped;
+
+  for (std::size_t w = 0; w < active_ni_words_.size(); ++w) {
+    std::uint64_t bits = active_ni_words_[w];
+    if (bits == 0) continue;
+    std::uint64_t keep_bits = bits;
+    const int base = static_cast<int>(w) << 6;
+    do {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      NetworkInterface& ni = nis_[static_cast<std::size_t>(base + b)];
+      ni.step_event(now);
+      if (ni.injection_idle())
+        keep_bits &= ~(std::uint64_t{1} << static_cast<unsigned>(b));
+    } while (bits != 0);
+    active_ni_words_[w] = keep_bits;
+  }
+#ifdef RNOC_INVARIANTS
+  checker_->on_cycle_end(now);
+#endif
+}
+
+Cycle Mesh::next_event_cycle() const {
+  if (cfg_.core == SimCore::EventDriven) {
+    std::uint64_t any = 0;
+    for (const std::uint64_t w : active_router_words_) any |= w;
+    for (const std::uint64_t w : active_ni_words_) any |= w;
+    if (any != 0 || !overdue_wakes_.empty() || !overdue_deliveries_.empty())
+      return next_drain_;
+  } else if (!active_routers_.empty() || !active_nis_.empty() ||
+             !overdue_wakes_.empty()) {
+    return next_drain_;
+  }
+  // No active component: the next possible change is the earliest queued
+  // wake or delivery. Buckets cover exactly [next_drain_, next_drain_ +
+  // nbuckets).
+  const Cycle nbuckets = static_cast<Cycle>(wake_buckets_.size());
+  for (Cycle c = next_drain_; c < next_drain_ + nbuckets; ++c) {
+    if (!wake_buckets_[c % nbuckets].empty()) return c;
+    if (cfg_.core == SimCore::EventDriven) {
+      std::uint64_t any = 0;
+      for (const std::uint64_t w : delivery_buckets_[c % nbuckets]) any |= w;
+      if (any != 0) return c;
+    }
+  }
+  return kNeverCycle;
+}
+
+void Mesh::reset_for_run() {
+  for (auto& r : routers_) r.reset_for_run();
+  for (auto& ni : nis_) ni.reset_for_run();
+  for (auto& l : links_) l->reset_for_run();
+  counters_ = NetCounters{};
+  std::fill(runnable_.begin(), runnable_.end(), 0);
+  active_routers_.clear();
+  active_nis_.clear();
+  std::fill(active_router_words_.begin(), active_router_words_.end(), 0);
+  std::fill(active_ni_words_.begin(), active_ni_words_.end(), 0);
+  for (auto& b : wake_buckets_) b.clear();
+  overdue_wakes_.clear();
+  for (auto& b : delivery_buckets_) std::fill(b.begin(), b.end(), 0);
+  overdue_deliveries_.clear();
+  std::fill(due_delivery_words_.begin(), due_delivery_words_.end(), 0);
+  next_drain_ = 0;
+  std::fill(last_wake_at_.begin(), last_wake_at_.end(), 0);
+  stepped_last_cycle_ = 0;
+#ifdef RNOC_INVARIANTS
+  checker_->reset_history(/*clear_delivery_tracks=*/true);
+#endif
+#ifdef RNOC_TRACE
+  // The observer accumulates a whole run's trace and metrics; a fresh run
+  // needs a fresh one, re-wired everywhere the constructor wired it.
+  observer_ = std::make_unique<obs::Observer>(nodes(), kMeshPorts,
+                                              cfg_.router.vcs, cfg_.obs);
+  for (NodeId i = 0; i < nodes(); ++i) {
+    routers_[static_cast<std::size_t>(i)].set_observer(observer_.get());
+    nis_[static_cast<std::size_t>(i)].set_observer(observer_.get());
+  }
+  for (auto& l : links_)
+    if (auto* e = dynamic_cast<EccLink*>(l.get()))
+      e->set_observer(observer_.get(), e->obs_node());
 #endif
 }
 

@@ -1,16 +1,19 @@
 // 2D-mesh network: routers, NIs and the links wiring them together.
 //
-// The mesh offers two stepping modes. The default, active-router
-// scheduling, is event-driven: only routers with work (buffered flits,
-// pending switch-traversal grants, or a link event due this cycle) and NIs
-// with injection work are stepped; everything else is skipped. Quiescent
-// components are re-woken exactly at the cycle a link event becomes
-// takeable, so the schedule is bit-identical to the full sweep — at the
-// paper's injection rates, most of an 8x8 mesh is idle most cycles, and
-// skipping it is where the simulator's speedup comes from. Setting
-// MeshConfig::active_scheduling = false restores the seed's full sweep
-// (every router, every stage, every cycle), kept as the reference for the
-// determinism tests.
+// The mesh offers three stepping cores (MeshConfig::core):
+//
+//  - FullSweep: the seed behaviour — every router, every stage, every
+//    cycle. Kept as the bit-identity oracle for the determinism tests.
+//  - ActiveList: active-router scheduling — only routers with work
+//    (buffered flits, pending switch-traversal grants, or a link event due
+//    this cycle) and NIs with injection work are stepped. Quiescent
+//    components are re-woken exactly at the cycle a link event becomes
+//    takeable, so the schedule is bit-identical to the full sweep.
+//  - EventDriven (default): the ActiveList wake machinery plus per-stage
+//    event gating (link ready peeks, mask-based allocator fast paths) and
+//    stalled-router retirement; with Simulator's idle fast-forward it jumps
+//    the clock across cycles in which no component can make progress.
+//    Bit-identical to both other cores (test-enforced).
 //
 // Incremental accounting: a NetCounters instance shared with every link,
 // input port and NI makes flits_in_network(), packets_delivered() and
@@ -18,6 +21,7 @@
 // checks no longer sweep the network.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -31,6 +35,16 @@
 
 namespace rnoc::noc {
 
+/// Simulation core selection (see the file comment). All three produce
+/// bit-identical SimReports; they differ only in how much work they skip.
+enum class SimCore : std::uint8_t {
+  FullSweep,    ///< Seed reference: step everything every cycle.
+  ActiveList,   ///< Skip quiescent routers/NIs (wake scheduling).
+  EventDriven,  ///< ActiveList + stage gating + idle fast-forward.
+};
+
+const char* sim_core_name(SimCore core);
+
 struct MeshConfig {
   MeshDims dims{8, 8};
   RouterConfig router{};
@@ -40,13 +54,14 @@ struct MeshConfig {
   double link_single_ber = 0.0;
   double link_double_ber = 0.0;
   std::uint64_t ecc_seed = 0x5ecded;
-  /// Event-driven stepping (skip quiescent routers/NIs). Bit-identical to
-  /// the full sweep; disable only to cross-check determinism or benchmark
-  /// the seed behaviour.
-  bool active_scheduling = true;
+  /// Which stepping core runs this mesh. All cores are bit-identical;
+  /// FullSweep / ActiveList exist as oracles and for benchmarking.
+  SimCore core = SimCore::EventDriven;
   /// Observability layer settings; only consulted in builds configured
   /// with -DRNOC_TRACE=ON (a POD, so it is embedded unconditionally).
   obs::ObsConfig obs{};
+
+  friend bool operator==(const MeshConfig&, const MeshConfig&) = default;
 };
 
 class NocChecker;
@@ -70,6 +85,27 @@ class Mesh {
 
   /// Advances the whole network by one cycle.
   void step(Cycle now);
+
+ private:
+  /// The EventDriven body of step(): bitmask active sets, delivery-record
+  /// dispatch, fused per-router stepping (stage-major in traced builds).
+  void step_event_core(Cycle now);
+
+ public:
+
+  /// Earliest future cycle at which any network component can make
+  /// progress, or kNeverCycle when the network is fully quiescent (no
+  /// active component, no queued wake). Only meaningful for the
+  /// EventDriven core, evaluated right after step(now): every cycle before
+  /// the returned one is provably a network no-op, so the simulator's idle
+  /// fast-forward may skip straight to it.
+  Cycle next_event_cycle() const;
+
+  /// Restores the whole network (routers, NIs, links, counters, wake
+  /// scheduling, checker/observer state) to its just-constructed state so
+  /// a fresh Simulator can run on it without reallocating anything.
+  /// Validated bit-identical to fresh construction by the sweep tests.
+  void reset_for_run();
 
   /// Installs fault-aware routing tables on every router (nullptr -> XY).
   /// The tables must outlive the mesh or the next call.
@@ -157,6 +193,38 @@ class Mesh {
   void schedule_wake(int idx, Cycle at);
   void mark_runnable(int idx);
 
+  /// EventDriven counterpart of mark_runnable: sets the component's bit in
+  /// the active bitmask words (idempotent, no dedup byte needed).
+  void mark_active_event(int idx) {
+    if (idx < nodes()) {
+      active_router_words_[static_cast<std::size_t>(idx) >> 6] |=
+          std::uint64_t{1} << (idx & 63);
+    } else {
+      const int i = idx - nodes();
+      active_ni_words_[static_cast<std::size_t>(i) >> 6] |= std::uint64_t{1}
+                                                            << (i & 63);
+    }
+  }
+
+  /// Queues a link-delivery record (EventDriven core). A record encodes
+  /// `router << 4 | port << 1 | kind` (kind 0 = flit due on the router's
+  /// input port, 1 = credit due on its output port); records live in
+  /// per-cycle bitmaps (bit `rec`), so draining a cycle's set bits in
+  /// ascending order reproduces the full sweep's accept order — router
+  /// ascending, port ascending, flit before credit — with dedup for free.
+  /// Draining a delivery also marks its router active, so deliveries need no
+  /// companion wake.
+  void schedule_delivery(std::uint32_t rec, Cycle at);
+
+  /// Link event-hook target (see Link::set_event_hook): one precomputed
+  /// record per link direction. Router sinks become delivery records under
+  /// the EventDriven core and plain wakes under ActiveList; a record with
+  /// the NI marker (low nibble 0xE) wakes NI `rec >> 4` under either core.
+  void link_event(std::uint32_t rec, Cycle at);
+  static void link_event_hook(void* ctx, std::uint32_t rec, Cycle at) {
+    static_cast<Mesh*>(ctx)->link_event(rec, at);
+  }
+
   MeshConfig cfg_;
   std::vector<Router> routers_;
   std::vector<NetworkInterface> nis_;
@@ -167,6 +235,13 @@ class Mesh {
   std::vector<std::uint8_t> runnable_;  ///< [0,n): routers; [n,2n): NIs.
   std::vector<int> active_routers_;
   std::vector<int> active_nis_;
+  /// EventDriven active sets as bitmask words (bit b of word w = component
+  /// 64w + b): set-bit iteration visits components in ascending order with
+  /// no sort, no dedup byte and no compaction, and retirement is a bit
+  /// clear. The ActiveList core keeps the sorted-vector machinery above as
+  /// the benchmark baseline.
+  std::vector<std::uint64_t> active_router_words_;
+  std::vector<std::uint64_t> active_ni_words_;
   // Wake queue as a ring of per-cycle buckets instead of a priority queue:
   // every wake is at most link_latency cycles out, so bucket `at % size`
   // gives O(1) insert/drain with no heap churn on the per-cycle hot path.
@@ -179,6 +254,15 @@ class Mesh {
   /// (0 = none queued). A busy router is woken by every link event it is
   /// party to — up to ~10 identical (idx, cycle) wakes per cycle otherwise.
   std::vector<Cycle> last_wake_at_;
+  /// Link-delivery queue (EventDriven core): same bucket-ring layout as the
+  /// wake queue, but each bucket is a bitmap over record values (see
+  /// schedule_delivery) — insertion is one OR, duplicates collapse, and
+  /// set-bit iteration yields the sweep's accept order with no sorting.
+  /// Replaces the per-active-router scan of all ten link peeks per cycle
+  /// with a dispatch of exactly the deliveries that are due.
+  std::vector<std::vector<std::uint64_t>> delivery_buckets_;
+  std::vector<std::uint32_t> overdue_deliveries_;
+  std::vector<std::uint64_t> due_delivery_words_;  ///< Per-step scratch.
   int stepped_last_cycle_ = 0;
 #ifdef RNOC_INVARIANTS
   std::unique_ptr<NocChecker> checker_;

@@ -49,6 +49,16 @@ void NetworkInterface::step(Cycle now) {
   inject(now);
 }
 
+void NetworkInterface::step_event(Cycle now) {
+  // Identical to step(): eject and the credit drain are no-ops when the
+  // link peeks lie in the future, so gating them is exact.
+  if (from_router_ != nullptr && from_router_->next_flit_ready() <= now)
+    eject(now);
+  if (to_router_ == nullptr) return;
+  if (to_router_->next_credit_ready() <= now) drain_router_credits(now);
+  inject_after_credits(now);
+}
+
 void NetworkInterface::eject(Cycle now) {
   if (from_router_ == nullptr) return;
   while (auto f = from_router_->take_flit(now)) {
@@ -100,7 +110,12 @@ void NetworkInterface::eject(Cycle now) {
 
 void NetworkInterface::inject(Cycle now) {
   if (to_router_ == nullptr) return;
-  // Drain credits from the router's local input port.
+  drain_router_credits(now);
+  inject_after_credits(now);
+}
+
+/// Drains credits from the router's local input port.
+void NetworkInterface::drain_router_credits(Cycle now) {
   while (auto c = to_router_->take_credit(now)) {
     auto& vc = out_vcs_[static_cast<std::size_t>(c->vc)];
     ++vc.credits;
@@ -108,7 +123,9 @@ void NetworkInterface::inject(Cycle now) {
             "NetworkInterface: credit overflow (protocol violation)");
     if (c->vc_free) vc.busy = false;
   }
+}
 
+void NetworkInterface::inject_after_credits(Cycle now) {
   if (!sending_) {
     if (queue_.empty()) return;
     if (inject_gate_ && !inject_gate_(queue_.front())) return;
@@ -191,6 +208,23 @@ void NetworkInterface::reset_flow_state() {
           "NetworkInterface::reset_flow_state: packet partially injected");
   for (auto& ov : out_vcs_) ov = OutVc{false, cfg_.vc_depth};
   for (auto& re : reassembly_) re = Reassembly{};
+}
+
+void NetworkInterface::reset_for_run() {
+  for (auto& ov : out_vcs_) ov = OutVc{false, cfg_.vc_depth};
+  for (auto& re : reassembly_) re = Reassembly{};
+  queue_.clear();
+  sending_ = false;
+  current_ = PacketDesc{};
+  next_seq_ = 0;
+  current_vc_ = -1;
+  current_injected_ = 0;
+  measure_begin_ = 0;
+  measure_end_ = kNeverCycle;
+  stats_ = NiStats{};
+  hook_ = nullptr;
+  inject_gate_ = nullptr;
+  sent_hook_ = nullptr;
 }
 
 }  // namespace rnoc::noc

@@ -69,6 +69,17 @@ class NetworkInterface {
   /// credits), then injects at most one flit of the packet in flight.
   void step(Cycle now);
 
+  /// Event-core variant of step(): bit-identical, but consults the links'
+  /// ready peeks so an idle ejection path / credit channel costs a compare
+  /// instead of a virtual take call.
+  void step_event(Cycle now);
+
+  /// Restores the NI to its just-constructed state (Mesh::reset_for_run).
+  /// Simulator-owned hooks (delivery, inject gate, sent) are cleared — the
+  /// next Simulator re-wires them; mesh wiring (links, wake hook, counters,
+  /// checker, observer) is kept.
+  void reset_for_run();
+
   /// Callback invoked when a packet's tail flit is ejected (used by
   /// request/response traffic models to generate replies).
   using DeliveryHook = std::function<void(const Flit& tail, Cycle now)>;
@@ -136,6 +147,8 @@ class NetworkInterface {
 
   void eject(Cycle now);
   void inject(Cycle now);
+  void drain_router_credits(Cycle now);
+  void inject_after_credits(Cycle now);
 
   NodeId node_;
   NiConfig cfg_;

@@ -1,5 +1,7 @@
 #include "noc/router.hpp"
 
+#include <algorithm>
+
 namespace rnoc::noc {
 
 Router::Router(NodeId id, const MeshDims& dims, const RouterConfig& cfg)
@@ -16,6 +18,11 @@ Router::Router(NodeId id, const MeshDims& dims, const RouterConfig& cfg)
   inputs_.reserve(kMeshPorts);
   for (int p = 0; p < kMeshPorts; ++p)
     inputs_.emplace_back(cfg.vcs, cfg.vc_depth);
+  if (cfg.vcs <= 32) {
+    vc_masks_ = std::make_unique<RouterVcMasks>();
+    for (int p = 0; p < kMeshPorts; ++p)
+      inputs_[static_cast<std::size_t>(p)].set_mask_sink(vc_masks_.get(), p);
+  }
   out_vcs_.assign(kMeshPorts, std::vector<OutVcState>(
                                   static_cast<std::size_t>(cfg.vcs),
                                   OutVcState{false, cfg.vc_depth}));
@@ -62,6 +69,7 @@ void Router::decommission(Cycle now) {
         ++stats_.flits_swallowed;
       }
       vc.reset_to_idle();
+      ip.refresh_vc(v);
     }
   }
 }
@@ -73,6 +81,7 @@ void Router::reset_flow_state() {
       require(vc.buffer.empty(),
               "Router::reset_flow_state: network not drained");
       vc.reset_to_idle();
+      ip.refresh_vc(v);
     }
   }
   for (auto& port : out_vcs_)
@@ -102,44 +111,125 @@ int Router::buffered_flits() const {
   return n;
 }
 
-void Router::step_accept(Cycle now) {
-  for (int p = 0; p < kMeshPorts; ++p) {
-    if (Link* l = in_links_[static_cast<std::size_t>(p)]) {
-      if (auto f = l->take_flit(now)) {
-        if (dead_) {
-          // Black hole: swallow the flit but return its credit at once, so
-          // the upstream neighbour's flow control stays conserved.
-          l->push_credit({f->vc, f->is_tail()}, now);
-          ++stats_.flits_swallowed;
-        } else {
-          inputs_[static_cast<std::size_t>(p)].write(*f);
-          ++stats_.buffer_writes;
+void Router::accept_flit_from(Link& l, int p, Cycle now) {
+  auto f = l.take_flit(now);
+  if (!f) return;
+  if (dead_) {
+    // Black hole: swallow the flit but return its credit at once, so
+    // the upstream neighbour's flow control stays conserved.
+    l.push_credit({f->vc, f->is_tail()}, now);
+    ++stats_.flits_swallowed;
+  } else {
+    inputs_[static_cast<std::size_t>(p)].write(*f);
+    ++stats_.buffer_writes;
 #ifdef RNOC_TRACE
-          if (obs_ && f->is_head()) {
-            InputPort& ip = inputs_[static_cast<std::size_t>(p)];
-            ip.vc(ip.physical_of(f->vc)).obs_arrived = now;
-            obs_->on_event(obs::EventKind::BufWrite, now, f->packet, id_, p,
-                           ip.physical_of(f->vc));
-          }
+    if (obs_ && f->is_head()) {
+      InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+      ip.vc(ip.physical_of(f->vc)).obs_arrived = now;
+      obs_->on_event(obs::EventKind::BufWrite, now, f->packet, id_, p,
+                     ip.physical_of(f->vc));
+    }
 #endif
-        }
-      }
-    }
-    if (Link* l = out_links_[static_cast<std::size_t>(p)]) {
-      while (auto c = l->take_credit(now)) {
-        auto& ov = out_vcs_[static_cast<std::size_t>(p)]
-                           [static_cast<std::size_t>(c->vc)];
-        ++ov.credits;
-        require(ov.credits <= cfg_.vc_depth,
-                "Router: credit overflow (protocol violation)");
-        if (c->vc_free) ov.allocated = false;
-      }
-    }
   }
 }
 
+void Router::drain_credits_from(Link& l, int p, Cycle now) {
+  while (auto c = l.take_credit(now)) {
+    auto& ov = out_vcs_[static_cast<std::size_t>(p)]
+                       [static_cast<std::size_t>(c->vc)];
+    ++ov.credits;
+    require(ov.credits <= cfg_.vc_depth,
+            "Router: credit overflow (protocol violation)");
+    if (c->vc_free) ov.allocated = false;
+  }
+}
+
+void Router::step_accept(Cycle now) {
+  for (int p = 0; p < kMeshPorts; ++p) {
+    if (Link* l = in_links_[static_cast<std::size_t>(p)])
+      accept_flit_from(*l, p, now);
+    if (Link* l = out_links_[static_cast<std::size_t>(p)])
+      drain_credits_from(*l, p, now);
+  }
+}
+
+void Router::step_accept_event(Cycle now) {
+  // Identical to step_accept: a take_flit / take_credit call whose peek lies
+  // in the future returns nullopt without side effects (the EccLink error
+  // roll only happens on an actual in-ring delivery, which the peek covers),
+  // so gating the calls is exact.
+  for (int p = 0; p < kMeshPorts; ++p) {
+    if (Link* l = in_links_[static_cast<std::size_t>(p)];
+        l && l->next_flit_ready() <= now)
+      accept_flit_from(*l, p, now);
+    if (Link* l = out_links_[static_cast<std::size_t>(p)];
+        l && l->next_credit_ready() <= now)
+      drain_credits_from(*l, p, now);
+  }
+}
+
+Cycle Router::accept_flit_due(int p, Cycle now) {
+  Link* l = in_links_[static_cast<std::size_t>(p)];
+  if (l == nullptr) return kNeverCycle;
+  // The peek guard keeps spurious deliveries (an already-taken or retimed
+  // flit) side-effect free, exactly like step_accept_event.
+  if (l->next_flit_ready() <= now) accept_flit_from(*l, p, now);
+  return l->next_flit_ready();
+}
+
+void Router::drain_credits_due(int p, Cycle now) {
+  if (Link* l = out_links_[static_cast<std::size_t>(p)];
+      l && l->next_credit_ready() <= now)
+    drain_credits_from(*l, p, now);
+}
+
+bool Router::step_cycle_event(Cycle now) {
+  if (dead_) return false;
+  if (faults_.count() != 0 || vc_masks_ == nullptr) {
+    // Faulty (or mask-less) routers run every stage and never stall-retire:
+    // they are re-evaluated every cycle while they hold work, exactly like
+    // the stage-major path. Over-staying is always bit-identical — the
+    // stages are idempotent no-ops on a stalled router.
+    step_st(now);
+    step_sa_event(now);
+    step_va_event(now);
+    step_rc_event(now);
+    return has_pending_work();
+  }
+  // Fault-free masked fast path: each stage runs only when its mask says
+  // some VC is in that stage (the allocators early-return on empty masks,
+  // so the skip is exact), and `progressed` tracks whether any stage did
+  // something this cycle without summing the stats digest:
+  //  - pending ST grants always traverse when fault-free (can_traverse is
+  //    identically true), so entering ST with grants is progress;
+  //  - SA progress is visible as new grants in st_pending_;
+  //  - VA progress means va_allocations moved (an allocation also needs a
+  //    downstream VC, so a non-empty mask alone does not imply progress);
+  //  - a non-empty routing mask guarantees RC serves at least one VC
+  //    (compute_route always counts as progress, Granted or not — a
+  //    Blocked/Unreachable retry repeats every cycle, like the sweep).
+  // Retirement (return false) therefore fires exactly when the digest
+  // comparison would have found zero progress: a stalled fault-free router
+  // whose every un-stalling input (flit, credit, fault) arrives through a
+  // wake or delivery.
+  bool progressed = !st_pending_.empty();
+  if (progressed) step_st(now);
+  if (vc_masks_->ready_ports != 0) step_sa_event(now);
+  if (vc_masks_->vcalloc_ports != 0) {
+    const std::uint64_t va_before = stats_.va_allocations;
+    step_va_event(now);
+    progressed |= stats_.va_allocations != va_before;
+  }
+  if (vc_masks_->routing_ports != 0) {
+    step_rc_event(now);
+    progressed = true;
+  }
+  if (!st_pending_.empty()) return true;
+  return progressed && has_pending_work();
+}
+
 void Router::step_st(Cycle now) {
-  if (dead_) return;
+  if (dead_ || st_pending_.empty()) return;
   for (const StGrant& g : st_pending_) {
     InputPort& ip = inputs_[static_cast<std::size_t>(g.in_port)];
     VirtualChannel& vc = ip.vc(g.in_vc);
@@ -180,7 +270,10 @@ void Router::step_st(Cycle now) {
     if (Link* l = in_links_[static_cast<std::size_t>(g.in_port)])
       l->push_credit({f.vc, f.is_tail()}, now);
     const int out_vc = vc.out_vc;
-    if (f.is_tail()) vc.reset_to_idle();
+    if (f.is_tail()) {
+      vc.reset_to_idle();
+      ip.refresh_vc(g.in_vc);
+    }
     f.vc = out_vc;
     Link* out = out_links_[static_cast<std::size_t>(g.out_port)];
     require(out != nullptr, "Router::step_st: unwired output port");
@@ -198,6 +291,24 @@ void Router::step_sa(Cycle now) {
 void Router::step_va(Cycle now) {
   if (dead_) return;
   va_.step(now, inputs_, out_vcs_, faults_, stats_);
+}
+
+void Router::step_sa_event(Cycle now) {
+  if (dead_) return;
+  if (faults_.count() != 0 || vc_masks_ == nullptr || !sa_.mask_capable()) {
+    sa_.step(now, inputs_, out_vcs_, faults_, stats_, st_pending_);
+    return;
+  }
+  sa_.step_event(now, inputs_, out_vcs_, stats_, st_pending_, *vc_masks_);
+}
+
+void Router::step_va_event(Cycle now) {
+  if (dead_) return;
+  if (faults_.count() != 0 || vc_masks_ == nullptr || !va_.mask_capable()) {
+    va_.step(now, inputs_, out_vcs_, faults_, stats_);
+    return;
+  }
+  va_.step_event(now, inputs_, out_vcs_, stats_, *vc_masks_);
 }
 
 int Router::free_credits(int out) const {
@@ -318,6 +429,7 @@ void Router::step_rc(Cycle now) {
       const RcOutcome outcome = compute_route(vc, vc.buffer.front(), p);
       if (outcome == RcOutcome::Granted) {
         vc.state = VcState::VcAlloc;
+        ip.refresh_vc(v);
 #ifdef RNOC_TRACE
         if (obs_) {
           obs_->metrics().add_grant(id_, obs::Stage::Rc);
@@ -342,6 +454,88 @@ void Router::step_rc(Cycle now) {
       break;
     }
   }
+}
+
+void Router::step_rc_event(Cycle now) {
+  (void)now;
+  if (dead_) return;
+  // Identical to step_rc (including under faults: compute_route carries the
+  // RC-unit fault logic internally). Ports are pre-filtered through the
+  // routing mask where available — a port with no Routing VC does nothing in
+  // step_rc (the round-robin scan finds no candidate and the pointer only
+  // moves when a VC is served), so the skip is exact — and the round-robin
+  // modulo is replaced by conditional subtraction.
+  const std::uint32_t routing_ports =
+      vc_masks_ != nullptr ? vc_masks_->routing_ports : ~0u;
+  for (int p = 0; p < kMeshPorts; ++p) {
+    if ((routing_ports >> static_cast<unsigned>(p) & 1u) == 0) continue;
+    InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+    if (ip.buffered_flits() == 0) continue;
+    int& ptr = rc_rr_[static_cast<std::size_t>(p)];
+#ifdef RNOC_TRACE
+    int routing_vcs = 0;
+    if (obs_) {
+      for (int i = 0; i < cfg_.vcs; ++i)
+        if (ip.vc(i).state == VcState::Routing) ++routing_vcs;
+      if (routing_vcs != 0) {
+        obs_->metrics().add_request(id_, obs::Stage::Rc,
+                                    static_cast<std::uint64_t>(routing_vcs));
+        if (routing_vcs > 1)
+          obs_->metrics().add_stall(id_, obs::Stage::Rc,
+                                    obs::StallCause::Starved,
+                                    static_cast<std::uint64_t>(routing_vcs - 1));
+      }
+    }
+#endif
+    for (int i = 0; i < cfg_.vcs; ++i) {
+      int v = ptr + i;
+      if (v >= cfg_.vcs) v -= cfg_.vcs;
+      VirtualChannel& vc = ip.vc(v);
+      if (vc.state != VcState::Routing) continue;
+      require(!vc.buffer.empty() && vc.buffer.front().is_head(),
+              "Router::step_rc: Routing VC without a head flit");
+      const RcOutcome outcome = compute_route(vc, vc.buffer.front(), p);
+      if (outcome == RcOutcome::Granted) {
+        vc.state = VcState::VcAlloc;
+        ip.refresh_vc(v);
+#ifdef RNOC_TRACE
+        if (obs_) {
+          obs_->metrics().add_grant(id_, obs::Stage::Rc);
+          obs_->on_event(obs::EventKind::Rc, now, vc.buffer.front().packet,
+                         id_, p, v);
+        }
+#endif
+      } else {
+        ++stats_.blocked_vc_cycles;
+#ifdef RNOC_TRACE
+        if (obs_) {
+          obs_->metrics().add_stall(id_, obs::Stage::Rc,
+                                    outcome == RcOutcome::Unreachable
+                                        ? obs::StallCause::RouterDead
+                                        : obs::StallCause::FaultBlocked);
+          obs_->on_event(obs::EventKind::FaultBlock, now,
+                         vc.buffer.front().packet, id_, p, v);
+        }
+#endif
+      }
+      ptr = v + 1 == cfg_.vcs ? 0 : v + 1;
+      break;
+    }
+  }
+}
+
+void Router::reset_for_run() {
+  for (auto& ip : inputs_) ip.reset_for_run();
+  for (auto& port : out_vcs_)
+    for (auto& ov : port) ov = OutVcState{false, cfg_.vc_depth};
+  faults_ = fault::RouterFaultState({kMeshPorts, cfg_.vcs, cfg_.vnets});
+  route_tables_ = nullptr;
+  va_.reset_for_run();
+  sa_.reset_for_run();
+  std::fill(rc_rr_.begin(), rc_rr_.end(), 0);
+  st_pending_.clear();
+  stats_ = RouterStats{};
+  dead_ = false;
 }
 
 }  // namespace rnoc::noc

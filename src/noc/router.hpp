@@ -12,6 +12,7 @@
 // link this gives the canonical 4-stage-pipeline hop latency.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/protection.hpp"
@@ -52,6 +53,8 @@ struct RouterConfig {
   /// Virtual networks (protocol classes). Must divide vcs evenly. Packets
   /// of traffic class c are confined to the VCs of vnet (c mod vnets).
   int vnets = 1;
+
+  friend bool operator==(const RouterConfig&, const RouterConfig&) = default;
 };
 
 class Router {
@@ -74,6 +77,57 @@ class Router {
   void step_sa(Cycle now);
   void step_va(Cycle now);
   void step_rc(Cycle now);
+
+  /// Event-core stage variants: bit-identical to the step_* counterparts.
+  /// step_accept_event consults the links' next_flit_ready / next_credit_ready
+  /// peeks so idle ports cost two compares; the SA/VA/RC variants consult the
+  /// VC-state mask aggregate so only ports with eligible VCs are visited,
+  /// falling back to the full fault-aware step whenever this router carries
+  /// any fault (or has too many VCs for the masks).
+  void step_accept_event(Cycle now);
+  void step_sa_event(Cycle now);
+  void step_va_event(Cycle now);
+  void step_rc_event(Cycle now);
+
+  /// Delivery-event entry points (event core): called by the Mesh when a
+  /// link's scheduled delivery cycle arrives, instead of scanning every
+  /// port's links. accept_flit_due takes at most one ready flit from input
+  /// port `p` (exactly what one step_accept visit does) and returns the
+  /// link's next ready cycle afterwards, so the Mesh can reschedule when a
+  /// further flit is already waiting behind the one just taken (kNeverCycle
+  /// when none). drain_credits_due drains every ready credit from output
+  /// port `p`'s return link.
+  Cycle accept_flit_due(int p, Cycle now);
+  void drain_credits_due(int p, Cycle now);
+
+  /// Fused event-core cycle: runs ST -> SA -> VA -> RC (the post-accept
+  /// stages; deliveries were already dispatched by the Mesh) and evaluates
+  /// the retirement condition in one pass. Returns true when the router must
+  /// stay active next cycle: it holds pending work AND (grants are pending,
+  /// a fault is present, or some stage made progress this cycle). A stalled
+  /// fault-free router whose digest did not change is a provable no-op until
+  /// the next wake. The stages only touch router-local state and push onto
+  /// links whose deliveries mature next cycle, so fusing per router is
+  /// order-equivalent to the sweep's stage-major order.
+  bool step_cycle_event(Cycle now);
+
+  /// Monotonic counter summarising every form of pipeline progress a
+  /// fault-free router can make in a cycle (buffer writes, swallows,
+  /// traversals, blocked-VC retries, VA allocations, RC computations, SA
+  /// packet transfers). The event core retires a fault-free router whose
+  /// digest did not change over a stepped cycle and whose ST queue is empty:
+  /// every input that could un-stall it (flit, credit, fault) arrives
+  /// through a wake.
+  std::uint64_t progress_digest() const {
+    return stats_.buffer_writes + stats_.flits_swallowed +
+           stats_.flits_traversed + stats_.blocked_vc_cycles +
+           stats_.va_allocations + stats_.rc_computations +
+           stats_.sa1_transfers;
+  }
+
+  /// Restores the router to its just-constructed state (Mesh::reset_for_run):
+  /// buffers, VC/flow-control state, arbiter pointers, stats, faults, death.
+  void reset_for_run();
 
   fault::RouterFaultState& faults() { return faults_; }
   const fault::RouterFaultState& faults() const { return faults_; }
@@ -134,9 +188,17 @@ class Router {
 
   /// True when this router must be stepped next cycle even absent new link
   /// events: it holds buffered flits (retries, blocked VCs, SA competition)
-  /// or switch-traversal grants issued by the previous SA stage.
+  /// or switch-traversal grants issued by the previous SA stage. With the
+  /// VC-state masks wired, "some flit buffered" is equivalent to "some VC in
+  /// Routing, VcAlloc, or non-empty Active" (a non-empty VC is never Idle:
+  /// a head write leaves Idle and the tail pop returns to it), so the check
+  /// is two loads instead of a walk over every input port.
   bool has_pending_work() const {
-    return buffered_flits() > 0 || !st_pending_.empty();
+    if (!st_pending_.empty()) return true;
+    if (vc_masks_ != nullptr)
+      return (vc_masks_->routing_ports | vc_masks_->vcalloc_ports |
+              vc_masks_->ready_ports) != 0;
+    return buffered_flits() > 0;
   }
 
   /// Shared accounting sink for this router's input buffers (set by the
@@ -147,6 +209,11 @@ class Router {
 
  private:
   friend class RouterTestPeer;
+
+  /// Shared bodies of step_accept / step_accept_event: processing of one
+  /// taken flit and one output link's credit drain.
+  void accept_flit_from(Link& l, int p, Cycle now);
+  void drain_credits_from(Link& l, int p, Cycle now);
 
   /// Route computation for one head flit, including the SP/FSP secondary
   /// path determination (paper §V-A, §V-D). Blocked = an untolerated fault
@@ -163,6 +230,10 @@ class Router {
   NodeId id_;
   MeshDims dims_;
   RouterConfig cfg_;
+  /// VC pipeline-state masks for the event core's allocator fast paths.
+  /// Heap-allocated so the input ports' sink pointers survive a Router move;
+  /// null when cfg_.vcs > 32 (the event stages then use the scanning paths).
+  std::unique_ptr<RouterVcMasks> vc_masks_;
   std::vector<InputPort> inputs_;
   std::vector<std::vector<OutVcState>> out_vcs_;  ///< [port][logical vc]
   std::vector<Link*> in_links_;

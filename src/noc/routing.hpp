@@ -37,6 +37,8 @@ struct MeshDims {
   Coord coord_of(NodeId n) const;
   NodeId node_of(Coord c) const;
   bool contains(Coord c) const;
+
+  friend bool operator==(const MeshDims&, const MeshDims&) = default;
 };
 
 /// Dimension-order XY routing: correct X (East/West) first, then Y

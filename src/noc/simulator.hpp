@@ -11,6 +11,7 @@
 #include "fault/fault_injector.hpp"
 #include "noc/degraded.hpp"
 #include "noc/energy.hpp"
+#include "noc/event_queue.hpp"
 #include "noc/mesh.hpp"
 #include "noc/telemetry.hpp"
 #include "traffic/patterns.hpp"
@@ -64,13 +65,23 @@ class Simulator {
   Simulator(const SimConfig& cfg,
             std::shared_ptr<traffic::TrafficModel> traffic);
 
+  /// Runs on an externally owned mesh (e.g. a SweepRunner's cached mesh,
+  /// restored via Mesh::reset_for_run). `mesh.config()` must equal
+  /// `cfg.mesh`; the mesh must be in its just-constructed state.
+  Simulator(const SimConfig& cfg,
+            std::shared_ptr<traffic::TrafficModel> traffic, Mesh& mesh);
+
   /// Schedules permanent faults (must be called before run()).
   void set_fault_plan(fault::FaultPlan plan);
 
   /// Runs warmup + measurement + drain and returns the report. One-shot.
+  /// Dispatches on SimConfig::mesh.core: the EventDriven core additionally
+  /// fast-forwards the clock across provably idle stretches; all cores
+  /// return bit-identical reports (test-enforced).
   SimReport run();
 
   Mesh& mesh() { return mesh_; }
+  const SimConfig& config() const { return cfg_; }
 
   /// Degraded-mode controller (nullptr unless SimConfig::degraded.enabled).
   const DegradedModeController* degraded_controller() const {
@@ -85,6 +96,9 @@ class Simulator {
   /// counter used as tie-break: std::priority_queue is not stable, so
   /// equal-`ready` responses would otherwise pop in an implementation-
   /// defined order and runs would not reproduce across standard libraries.
+  /// (The simulator itself now queues responses on the seq-stable
+  /// EventQueue; this struct remains as the documented ordering contract,
+  /// exercised directly by the determinism tests.)
   struct PendingResponse {
     Cycle ready;
     std::uint64_t seq;
@@ -96,18 +110,31 @@ class Simulator {
   };
 
  private:
+  Simulator(const SimConfig& cfg,
+            std::shared_ptr<traffic::TrafficModel> traffic,
+            std::unique_ptr<Mesh> owned, Mesh* external);
+
+  SimReport run_sweep();
+  SimReport run_event();
+  void finish_report(SimReport& rep, Cycle end);
   void release_responses(Cycle now);
+  /// Event core: scans `node`'s source from `from` (exclusive horizon
+  /// `source_end`) and queues its next injection cycle, packets parked in
+  /// pending_inj_ until the clock reaches it.
+  void schedule_injection(NodeId node, Cycle from, Cycle source_end);
 
   SimConfig cfg_;
   std::shared_ptr<traffic::TrafficModel> traffic_;
-  Mesh mesh_;
+  std::unique_ptr<Mesh> owned_mesh_;  ///< Null when running on an external mesh.
+  Mesh& mesh_;
   fault::FaultInjector injector_;
   std::vector<Rng> node_rngs_;
   Rng resp_rng_;
-  std::priority_queue<PendingResponse, std::vector<PendingResponse>,
-                      std::greater<>>
-      pending_responses_;
-  std::uint64_t next_response_seq_ = 0;
+  EventQueue<traffic::Response> pending_responses_;
+  /// Event core: per-node next-injection events, tie-broken by node id so
+  /// same-cycle injections enqueue in the sweep's ascending-node order.
+  EventQueue<NodeId> traffic_events_;
+  std::vector<std::vector<PacketDesc>> pending_inj_;
   PacketId next_packet_id_ = 1;
   OccupancySampler occupancy_;
   std::unique_ptr<DegradedModeController> degraded_;

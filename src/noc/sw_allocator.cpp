@@ -1,6 +1,7 @@
 #include "noc/sw_allocator.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace rnoc::noc {
 
@@ -16,6 +17,7 @@ SwitchAllocator::SwitchAllocator(int ports, int vcs, core::RouterMode mode,
   w1_.resize(static_cast<std::size_t>(ports), -1);
   ready_.resize(static_cast<std::size_t>(vcs), false);
   req_.resize(static_cast<std::size_t>(ports), false);
+  mux_req_.resize(static_cast<std::size_t>(ports), 0);
 #ifdef RNOC_TRACE
   obs_pending_.resize(static_cast<std::size_t>(ports * vcs), 0);
 #endif
@@ -260,6 +262,115 @@ void SwitchAllocator::step(Cycle now, std::vector<InputPort>& inputs,
   }
 #ifdef RNOC_TRACE
   obs_flush_pending();
+#endif
+}
+
+void SwitchAllocator::step_event(Cycle now,
+                                 std::vector<InputPort>& inputs,
+                                 std::vector<std::vector<OutVcState>>& out_vcs,
+                                 RouterStats& stats,
+                                 std::vector<StGrant>& grants,
+                                 const RouterVcMasks& masks) {
+  (void)now;
+  grants.clear();
+  // Fault-free mirror of step(): the bypass/transfer and fault-blocked
+  // branches cannot trigger and crossbar_path_ok is identically true (a
+  // stale FSP from an expired transient fault is honoured by the same
+  // fsp ? sp : route mux selection), so only readiness, arbitration and
+  // the grant commit remain. The state masks are exact (bit v of ready[p]
+  // <=> VC v of port p is Active with a buffered flit), so iterating their
+  // set bits ascending visits exactly the VCs the scanning loop serves, in
+  // the same order; mux request slots are lazily cleared on first use, so a
+  // cycle's cost never includes ports that requested nothing.
+  if (masks.ready_ports == 0) return;
+  std::uint32_t mux_mask = 0;
+  bool any_winner = false;
+
+  // --- Stage 1: one winning VC per input port. ---
+  for (std::uint32_t pm = masks.ready_ports; pm != 0; pm &= pm - 1) {
+    const int p = std::countr_zero(pm);
+    InputPort& port = inputs[static_cast<std::size_t>(p)];
+    std::uint64_t ready = 0;
+    for (std::uint32_t vm = masks.ready[p]; vm != 0; vm &= vm - 1) {
+      const int v = std::countr_zero(vm);
+      const VirtualChannel& vc = port.vc(v);
+#ifdef RNOC_TRACE
+      if (obs_) obs_->metrics().add_request(router_, obs::Stage::Sa);
+#endif
+      if (out_vcs[static_cast<std::size_t>(vc.route)]
+                 [static_cast<std::size_t>(vc.out_vc)]
+              .credits <= 0) {
+#ifdef RNOC_TRACE
+        if (obs_)
+          obs_->metrics().add_stall(router_, obs::Stage::Sa,
+                                    obs::StallCause::NoCredit);
+#endif
+        continue;
+      }
+      ready |= std::uint64_t{1} << static_cast<unsigned>(v);
+#ifdef RNOC_TRACE
+      if (!obs_pending_[static_cast<std::size_t>(p * vcs_ + v)]) {
+        obs_pending_[static_cast<std::size_t>(p * vcs_ + v)] = 1;
+        ++obs_npending_;
+      }
+#endif
+    }
+    if (ready == 0) continue;
+    const int w = stage1(p).arbitrate_mask(ready);
+    w1_[static_cast<std::size_t>(p)] = w;
+    const VirtualChannel& vc = port.vc(w);
+    const int m = vc.fsp ? vc.sp : vc.route;
+    if ((mux_mask >> static_cast<unsigned>(m) & 1u) == 0) {
+      mux_mask |= 1u << static_cast<unsigned>(m);
+      mux_req_[static_cast<std::size_t>(m)] = 0;
+    }
+    mux_req_[static_cast<std::size_t>(m)] |= std::uint64_t{1}
+                                            << static_cast<unsigned>(p);
+    any_winner = true;
+  }
+  if (!any_winner) {
+#ifdef RNOC_TRACE
+    obs_flush_pending();
+#endif
+    return;
+  }
+
+  // --- Stage 2: one grant per requested output mux, ascending. ---
+  for (; mux_mask != 0; mux_mask &= mux_mask - 1) {
+    const int m = std::countr_zero(mux_mask);
+    const std::uint64_t req = mux_req_[static_cast<std::size_t>(m)];
+    const int g = stage2(m).arbitrate_mask(req);
+    const int v = w1_[static_cast<std::size_t>(g)];
+    VirtualChannel& vc = inputs[static_cast<std::size_t>(g)].vc(v);
+    grants.push_back({g, v, vc.route, m, vc.out_vc});
+    --out_vcs[static_cast<std::size_t>(vc.route)]
+             [static_cast<std::size_t>(vc.out_vc)]
+          .credits;
+    if (m != vc.route) ++stats.xb_secondary_traversals;
+#ifdef RNOC_TRACE
+    if (obs_pending_[static_cast<std::size_t>(g * vcs_ + v)]) {
+      obs_pending_[static_cast<std::size_t>(g * vcs_ + v)] = 0;
+      --obs_npending_;
+    }
+    if (obs_) {
+      obs_->metrics().add_grant(router_, obs::Stage::Sa);
+      if (vc.buffer.front().is_head())
+        obs_->on_event(obs::EventKind::Sa, now, vc.buffer.front().packet,
+                       router_, g, v);
+    }
+#endif
+  }
+#ifdef RNOC_TRACE
+  obs_flush_pending();
+#endif
+}
+
+void SwitchAllocator::reset_for_run() {
+  for (auto& a : stage1_) a.set_pointer(0);
+  for (auto& a : stage2_) a.set_pointer(0);
+#ifdef RNOC_TRACE
+  std::fill(obs_pending_.begin(), obs_pending_.end(), 0);
+  obs_npending_ = 0;
 #endif
 }
 

@@ -5,6 +5,7 @@
 // stage 2.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/protection.hpp"
@@ -31,6 +32,24 @@ class SwitchAllocator {
             std::vector<std::vector<OutVcState>>& out_vcs,
             const fault::RouterFaultState& faults, RouterStats& stats,
             std::vector<StGrant>& grants);
+
+  /// Fault-free mirror of step() for the event core: bit-identical grants,
+  /// credits, stats and trace events when the router carries no fault, but
+  /// stage 1 visits only the VCs set in the router's Active-ready state
+  /// masks, arbitration runs on request bitmasks and stage 2 only visits
+  /// requested muxes. The caller must fall back to step() whenever the
+  /// router's fault count is non-zero or !mask_capable().
+  void step_event(Cycle now, std::vector<InputPort>& inputs,
+                  std::vector<std::vector<OutVcState>>& out_vcs,
+                  RouterStats& stats, std::vector<StGrant>& grants,
+                  const RouterVcMasks& masks);
+
+  /// Whether the geometry fits the masks step_event uses (32-bit VC-state
+  /// and mux masks).
+  bool mask_capable() const { return vcs_ <= 32 && ports_ <= 32; }
+
+  /// Resets arbiter pointers and trace scratch (Mesh::reset_for_run).
+  void reset_for_run();
 
   /// The bypass path's default winner at cycle `now` (physical VC index).
   int default_winner(Cycle now) const;
@@ -70,6 +89,7 @@ class SwitchAllocator {
   std::vector<int> w1_;      ///< stage-1 winner VC per input port, or -1
   std::vector<bool> ready_;  ///< per-VC readiness of the port being scanned
   std::vector<bool> req_;    ///< per-input-port requests for one output mux
+  std::vector<std::uint64_t> mux_req_;  ///< step_event: port mask per mux
 #ifdef RNOC_TRACE
   obs::Observer* obs_ = nullptr;
   NodeId router_ = kInvalidNode;

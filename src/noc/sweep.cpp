@@ -6,14 +6,30 @@ std::vector<SimReport> SweepRunner::run(
     const std::vector<SweepJob>& jobs) const {
   std::vector<SimReport> reports(jobs.size());
   ThreadPool& pool = pool_ ? *pool_ : global_pool();
-  pool.parallel_for(jobs.size(), [&](std::size_t i, std::size_t) {
+  // Per-worker mesh cache. Worker indices are stable in [0, pool.size())
+  // and only one job runs per worker at a time, so slots are race-free.
+  std::vector<std::unique_ptr<Mesh>> mesh_cache(pool.size());
+  pool.parallel_for(jobs.size(), [&](std::size_t i, std::size_t w) {
     const SweepJob& job = jobs[i];
     require(static_cast<bool>(job.make_traffic),
             "SweepRunner: job without a traffic factory");
-    Simulator sim(job.cfg, job.make_traffic());
-    if (job.tables) sim.mesh().set_routing_tables(job.tables);
-    if (!job.faults.entries().empty()) sim.set_fault_plan(job.faults);
-    reports[i] = sim.run();
+    auto run_job = [&](Simulator& sim) {
+      if (job.tables) sim.mesh().set_routing_tables(job.tables);
+      if (!job.faults.entries().empty()) sim.set_fault_plan(job.faults);
+      reports[i] = sim.run();
+    };
+    if (reuse_mesh_) {
+      std::unique_ptr<Mesh>& slot = mesh_cache[w];
+      if (slot && slot->config() == job.cfg.mesh)
+        slot->reset_for_run();
+      else
+        slot = std::make_unique<Mesh>(job.cfg.mesh);
+      Simulator sim(job.cfg, job.make_traffic(), *slot);
+      run_job(sim);
+    } else {
+      Simulator sim(job.cfg, job.make_traffic());
+      run_job(sim);
+    }
   });
   return reports;
 }

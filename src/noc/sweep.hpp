@@ -42,7 +42,15 @@ class SweepRunner {
 
   /// Runs every job and returns the reports in job order. Safe to call from
   /// a worker of the same pool (the batch then runs inline, sequentially).
+  ///
+  /// Each worker keeps one cached Mesh across consecutive jobs that share a
+  /// MeshConfig (the common case — sweeps vary load, seed or traffic, not
+  /// the mesh), restored with Mesh::reset_for_run instead of reconstructed.
   std::vector<SimReport> run(const std::vector<SweepJob>& jobs) const;
+
+  /// Disables the mesh cache: every job constructs a fresh Mesh. Used by
+  /// the tests that validate reset_for_run against fresh construction.
+  void set_reuse_mesh(bool reuse) { reuse_mesh_ = reuse; }
 
   /// Pools the reports of a batch into one: latency statistics are merged,
   /// event counters and energies summed, deadlock flags OR-ed. Throughput
@@ -51,6 +59,7 @@ class SweepRunner {
 
  private:
   ThreadPool* pool_;
+  bool reuse_mesh_ = true;
 };
 
 }  // namespace rnoc::noc

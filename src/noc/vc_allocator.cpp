@@ -1,6 +1,7 @@
 #include "noc/vc_allocator.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace rnoc::noc {
 
@@ -220,6 +221,7 @@ void VcAllocator::step(Cycle now, std::vector<InputPort>& inputs,
         vc.out_vc = u;
         vc.state = VcState::Active;
         vc.excluded_out_vc = -1;
+        inputs[static_cast<std::size_t>(wp)].refresh_vc(wv);
         out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(u)]
             .allocated = true;
         ++stats.va_allocations;
@@ -257,6 +259,130 @@ void VcAllocator::step(Cycle now, std::vector<InputPort>& inputs,
       for (int v = 0; v < vcs_; ++v)
         inputs[static_cast<std::size_t>(p)].vc(v).clear_borrow_fields();
   }
+}
+
+void VcAllocator::step_event(Cycle now, std::vector<InputPort>& inputs,
+                             std::vector<std::vector<OutVcState>>& out_vcs,
+                             RouterStats& stats,
+                             const RouterVcMasks& masks) {
+  (void)now;
+  // Fault-free mirror of step(): every VC owns its own healthy arbiter set
+  // (no borrows, so no borrow-field sweep either), stage-2 arbiters never
+  // fault. The excluded_out_vc handling is kept verbatim — a stale exclusion
+  // posted under a transient fault can outlive it and must keep shaping
+  // candidate masks and the retry path until the VC wins an allocation.
+  if (masks.vcalloc_ports == 0) return;
+  proposals_.clear();
+#ifdef RNOC_TRACE
+  obs_blocked_.clear();
+#endif
+
+  // --- Stage 1: each VcAlloc-state VC proposes one empty downstream VC.
+  // The state masks are exact (bit v of vcalloc[p] <=> VC v of port p is in
+  // VcAlloc), so iterating their set bits ascending visits exactly the VCs
+  // the scanning loop serves, in the same order. ---
+  for (std::uint32_t pm = masks.vcalloc_ports; pm != 0; pm &= pm - 1) {
+    const int p = std::countr_zero(pm);
+    InputPort& port = inputs[static_cast<std::size_t>(p)];
+    for (std::uint32_t vm = masks.vcalloc[p]; vm != 0; vm &= vm - 1) {
+      const int v = std::countr_zero(vm);
+      VirtualChannel& vc = port.vc(v);
+#ifdef RNOC_TRACE
+      if (obs_) obs_->metrics().add_request(router_, obs::Stage::Va);
+#endif
+      const int r = vc.route;
+      require(!vc.buffer.empty() && vc.buffer.front().is_head(),
+              "VcAllocator: VcAlloc state without a head flit");
+      const std::uint8_t cls = vc.buffer.front().traffic_class;
+      std::uint64_t cand = 0;
+      for (int u = 0; u < vcs_; ++u) {
+        if (out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(u)]
+                .allocated)
+          continue;
+        if (u == vc.excluded_out_vc) continue;
+        if (!vc_allowed_for_class(u, cls, vcs_, vnets_)) continue;
+        cand |= std::uint64_t{1} << static_cast<unsigned>(u);
+      }
+      if (cand == 0) {
+        const int ex = vc.excluded_out_vc;
+        if (ex >= 0 &&
+            !out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(ex)]
+                 .allocated &&
+            vc_allowed_for_class(ex, cls, vcs_, vnets_)) {
+          vc.excluded_out_vc = -1;
+          cand |= std::uint64_t{1} << static_cast<unsigned>(ex);
+        }
+      }
+      if (cand == 0) {
+#ifdef RNOC_TRACE
+        if (obs_)
+          obs_->metrics().add_stall(router_, obs::Stage::Va,
+                                    obs::StallCause::NoCredit);
+#endif
+        continue;
+      }
+      const int u = stage1(p, v).arbitrate_mask(cand);
+      proposals_.push_back({p, v, r, u});
+#ifdef RNOC_TRACE
+      obs_blocked_.push_back(0);
+#endif
+    }
+  }
+  if (proposals_.empty()) return;
+
+  // --- Stage 2: one arbiter per proposed downstream VC, (r, u) ascending. ---
+  keys_.clear();
+  for (const Proposal& pr : proposals_)
+    keys_.push_back(pr.out_port * vcs_ + pr.out_vc);
+  std::sort(keys_.begin(), keys_.end());
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+  for (const int key : keys_) {
+    std::uint64_t req = 0;
+    for (const Proposal& pr : proposals_) {
+      if (pr.out_port * vcs_ + pr.out_vc == key)
+        req |= std::uint64_t{1}
+               << static_cast<unsigned>(pr.in_port * vcs_ + pr.in_vc);
+    }
+    const int winner = stage2_[static_cast<std::size_t>(key)]
+                           .arbitrate_mask(req);
+    const int wp = winner / vcs_;
+    const int wv = winner % vcs_;
+    const int r = key / vcs_;
+    const int u = key % vcs_;
+    VirtualChannel& vc = inputs[static_cast<std::size_t>(wp)].vc(wv);
+    vc.out_vc = u;
+    vc.state = VcState::Active;
+    vc.excluded_out_vc = -1;
+    inputs[static_cast<std::size_t>(wp)].refresh_vc(wv);
+    out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(u)]
+        .allocated = true;
+    ++stats.va_allocations;
+#ifdef RNOC_TRACE
+    if (obs_) {
+      obs_->metrics().add_grant(router_, obs::Stage::Va);
+      obs_->on_event(obs::EventKind::Va, now, vc.buffer.front().packet,
+                     router_, wp, wv);
+    }
+#endif
+  }
+
+#ifdef RNOC_TRACE
+  if (obs_) {
+    for (std::size_t pi = 0; pi < proposals_.size(); ++pi) {
+      if (obs_blocked_[pi]) continue;
+      const Proposal& pr = proposals_[pi];
+      if (inputs[static_cast<std::size_t>(pr.in_port)].vc(pr.in_vc).state !=
+          VcState::Active)
+        obs_->metrics().add_stall(router_, obs::Stage::Va,
+                                  obs::StallCause::LostVa);
+    }
+  }
+#endif
+}
+
+void VcAllocator::reset_for_run() {
+  for (auto& a : stage1_) a.set_pointer(0);
+  for (auto& a : stage2_) a.set_pointer(0);
 }
 
 }  // namespace rnoc::noc

@@ -3,6 +3,7 @@
 // between VCs of an input port, and stage-2 reallocation retry.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/protection.hpp"
@@ -26,6 +27,23 @@ class VcAllocator {
   void step(Cycle now, std::vector<InputPort>& inputs,
             std::vector<std::vector<OutVcState>>& out_vcs,
             const fault::RouterFaultState& faults, RouterStats& stats);
+
+  /// Fault-free mirror of step() for the event core: bit-identical
+  /// allocations, stats and trace events when the router carries no fault,
+  /// but stage 1 visits only the VCs set in the router's VcAlloc state masks,
+  /// arbitration runs on bitmasks, and stage 2 visits only proposed
+  /// (out_port, out_vc) pairs. The caller must fall back to step() whenever
+  /// the router's fault count is non-zero or !mask_capable().
+  void step_event(Cycle now, std::vector<InputPort>& inputs,
+                  std::vector<std::vector<OutVcState>>& out_vcs,
+                  RouterStats& stats, const RouterVcMasks& masks);
+
+  /// Whether the geometry fits the masks step_event uses (32-bit VC-state
+  /// masks; stage 2 arbitrates over ports * vcs inputs in a 64-bit mask).
+  bool mask_capable() const { return vcs_ <= 32 && ports_ * vcs_ <= 64; }
+
+  /// Resets arbiter pointers (Mesh::reset_for_run).
+  void reset_for_run();
 
   /// Stage-1 arbiter of input VC (port, vc); exposed for tests.
   RoundRobinArbiter& stage1(int port, int vc);
@@ -68,6 +86,7 @@ class VcAllocator {
   std::vector<bool> candidates_;  ///< per-downstream-VC stage-1 candidates
   std::vector<bool> requests_;    ///< per-input-VC stage-2 requests
   std::vector<bool> pair_has_;    ///< [out_port * vcs + vc]: proposals exist
+  std::vector<int> keys_;         ///< step_event: sorted distinct (r,u) keys
 #ifdef RNOC_TRACE
   obs::Observer* obs_ = nullptr;
   NodeId router_ = kInvalidNode;

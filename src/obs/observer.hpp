@@ -26,6 +26,8 @@ struct ObsConfig {
   std::uint64_t trace_sample = 0;
   /// Trace ring capacity in events; oldest events are overwritten.
   std::size_t trace_capacity = std::size_t{1} << 20;
+
+  friend bool operator==(const ObsConfig&, const ObsConfig&) = default;
 };
 
 class Observer {

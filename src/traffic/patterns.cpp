@@ -73,4 +73,27 @@ void SyntheticTraffic::generate(Cycle, NodeId node, Rng& rng,
   out.push_back(p);
 }
 
+Cycle SyntheticTraffic::next_injection(Cycle from, Cycle horizon, NodeId node,
+                                       Rng& rng,
+                                       std::vector<noc::PacketDesc>& out) {
+  // Draw-for-draw replay of per-cycle generate() calls: one Bernoulli draw
+  // per quiet cycle, destination draws on a hit, self-addressed hits
+  // swallowed with their draws consumed — the node's RNG stream is
+  // bit-identical to the cycle sweep's.
+  const double packet_rate =
+      cfg_.injection_rate / static_cast<double>(cfg_.packet_size);
+  for (Cycle c = from; c < horizon; ++c) {
+    if (!rng.next_bool(packet_rate)) continue;
+    const NodeId dst = destination(node, rng);
+    if (dst == node) continue;  // degenerate patterns (e.g. transpose diagonal)
+    noc::PacketDesc p;
+    p.src = node;
+    p.dst = dst;
+    p.size_flits = cfg_.packet_size;
+    out.push_back(p);
+    return c;
+  }
+  return kNeverCycle;
+}
+
 }  // namespace rnoc::traffic

@@ -33,6 +33,23 @@ class TrafficModel {
   virtual void generate(Cycle now, NodeId node, Rng& rng,
                         std::vector<noc::PacketDesc>& out) = 0;
 
+  /// True when next_injection() below is implemented with draws identical
+  /// to per-cycle generate() calls, letting the event-driven simulator core
+  /// skip source cycles instead of sweeping every node every cycle. Models
+  /// keeping the default are stepped cycle-by-cycle while sources run.
+  virtual bool supports_event_injection() const { return false; }
+
+  /// Event-core source scan: advances `node`'s private RNG exactly as
+  /// per-cycle generate() calls for cycles [from, horizon) would, appends
+  /// the packets of the first cycle that creates any, and returns that
+  /// cycle (kNeverCycle when the whole range is quiet). Only called when
+  /// supports_event_injection() is true.
+  virtual Cycle next_injection(Cycle /*from*/, Cycle /*horizon*/,
+                               NodeId /*node*/, Rng& /*rng*/,
+                               std::vector<noc::PacketDesc>& /*out*/) {
+    return kNeverCycle;
+  }
+
   /// Reaction to a delivered packet (tail flit) at node `at`.
   virtual void on_delivered(const noc::Flit& /*tail*/, NodeId /*at*/,
                             Cycle /*now*/, Rng& /*rng*/,
@@ -69,6 +86,10 @@ class SyntheticTraffic : public TrafficModel {
 
   void generate(Cycle now, NodeId node, Rng& rng,
                 std::vector<noc::PacketDesc>& out) override;
+
+  bool supports_event_injection() const override { return true; }
+  Cycle next_injection(Cycle from, Cycle horizon, NodeId node, Rng& rng,
+                       std::vector<noc::PacketDesc>& out) override;
 
   /// The pattern's destination for `node` (hotspot/uniform consult `rng`).
   NodeId destination(NodeId node, Rng& rng) const;

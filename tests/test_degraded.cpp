@@ -13,11 +13,11 @@ namespace {
 
 const fault::FaultGeometry geom{5, 4};
 
-SimConfig base_cfg(bool degraded_enabled, bool active_scheduling = true) {
+SimConfig base_cfg(bool degraded_enabled, SimCore core = SimCore::EventDriven) {
   SimConfig cfg;
   cfg.mesh.dims = {8, 8};
   cfg.mesh.router.mode = core::RouterMode::Baseline;
-  cfg.mesh.active_scheduling = active_scheduling;
+  cfg.mesh.core = core;
   cfg.warmup = 500;
   cfg.measure = 4000;
   cfg.drain_limit = 60000;
@@ -100,21 +100,24 @@ TEST(DegradedMode, NoDeathsMatchesDisabledRun) {
 }
 
 TEST(DegradedMode, ActiveSchedulingMatchesFullSweep) {
-  // The event-driven scheduler must stay bit-identical to the full sweep
-  // through deaths, drains, table switches and retransmissions.
-  const auto active = run_with_deaths(2, base_cfg(true, true));
-  const auto sweep = run_with_deaths(2, base_cfg(true, false));
-  EXPECT_EQ(active.cycles_run, sweep.cycles_run);
-  EXPECT_EQ(active.packets_sent, sweep.packets_sent);
-  EXPECT_EQ(active.packets_received, sweep.packets_received);
-  EXPECT_EQ(active.flits_received, sweep.flits_received);
-  EXPECT_EQ(active.total_latency.count(), sweep.total_latency.count());
-  EXPECT_EQ(active.total_latency.mean(), sweep.total_latency.mean());
-  EXPECT_EQ(active.degraded.retransmits, sweep.degraded.retransmits);
-  EXPECT_EQ(active.degraded.packets_acked, sweep.degraded.packets_acked);
-  EXPECT_EQ(active.degraded.dropped_unreachable,
-            sweep.degraded.dropped_unreachable);
-  EXPECT_EQ(active.degraded.flits_blackholed, sweep.degraded.flits_blackholed);
+  // Both fast cores must stay bit-identical to the full sweep through
+  // deaths, drains, table switches and retransmissions.
+  const auto sweep = run_with_deaths(2, base_cfg(true, SimCore::FullSweep));
+  for (const SimCore c : {SimCore::ActiveList, SimCore::EventDriven}) {
+    SCOPED_TRACE(sim_core_name(c));
+    const auto fast = run_with_deaths(2, base_cfg(true, c));
+    EXPECT_EQ(fast.cycles_run, sweep.cycles_run);
+    EXPECT_EQ(fast.packets_sent, sweep.packets_sent);
+    EXPECT_EQ(fast.packets_received, sweep.packets_received);
+    EXPECT_EQ(fast.flits_received, sweep.flits_received);
+    EXPECT_EQ(fast.total_latency.count(), sweep.total_latency.count());
+    EXPECT_EQ(fast.total_latency.mean(), sweep.total_latency.mean());
+    EXPECT_EQ(fast.degraded.retransmits, sweep.degraded.retransmits);
+    EXPECT_EQ(fast.degraded.packets_acked, sweep.degraded.packets_acked);
+    EXPECT_EQ(fast.degraded.dropped_unreachable,
+              sweep.degraded.dropped_unreachable);
+    EXPECT_EQ(fast.degraded.flits_blackholed, sweep.degraded.flits_blackholed);
+  }
 }
 
 TEST(DegradedMode, ProtectedRouterToleratesBaselineLethalPlan) {

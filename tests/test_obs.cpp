@@ -186,6 +186,32 @@ TEST(ObsTrace, SamplingIsDeterministicAndExact) {
   EXPECT_EQ(c.observer().trace().events(), expected);
 }
 
+TEST(ObsTrace, EventCoreRecordsSweepIdenticalTraceUnderSampling) {
+  // PR-6 combination: the EventDriven core's fused stepping is replaced by a
+  // stage-major pass in traced builds precisely so the cross-router ordering
+  // of trace events inside a cycle matches the sweep. Under sampling, all
+  // three cores must record byte-identical event streams and identical
+  // per-router stall metrics.
+  const SimCore cores[] = {SimCore::FullSweep, SimCore::ActiveList,
+                           SimCore::EventDriven};
+  std::vector<obs::TraceEvent> streams[3];
+  std::uint64_t stalls[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    MeshConfig cfg = traced_config(4, 4, /*sample=*/2);
+    cfg.core = cores[i];
+    Mesh m(cfg);
+    run_all_to_all(m, 3);
+    streams[i] = m.observer().trace().events();
+    const auto per_router = m.stall_cycles_per_router();
+    for (const std::uint64_t s : per_router) stalls[i] += s;
+  }
+  EXPECT_FALSE(streams[0].empty());
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(streams[0], streams[2]);
+  EXPECT_EQ(stalls[0], stalls[1]);
+  EXPECT_EQ(stalls[0], stalls[2]);
+}
+
 TEST(ObsTrace, SampleZeroRecordsNoEventsButKeepsMetrics) {
   Mesh m(traced_config(4, 4, /*sample=*/0));
   run_all_to_all(m, 4);

@@ -172,11 +172,11 @@ struct Scenario {
   bool ecc;
 };
 
-SimConfig scenario_config(const Scenario& s, bool active) {
+SimConfig scenario_config(const Scenario& s, SimCore core) {
   SimConfig cfg;
   cfg.mesh.dims = {4, 4};
   cfg.mesh.router.mode = s.mode;
-  cfg.mesh.active_scheduling = active;
+  cfg.mesh.core = core;
   if (s.ecc) {
     cfg.mesh.link_single_ber = 1e-3;
     cfg.mesh.link_double_ber = 1e-4;
@@ -188,8 +188,8 @@ SimConfig scenario_config(const Scenario& s, bool active) {
   return cfg;
 }
 
-SimReport run_scenario(const Scenario& s, bool active) {
-  const SimConfig cfg = scenario_config(s, active);
+SimReport run_scenario(const Scenario& s, SimCore core) {
+  const SimConfig cfg = scenario_config(s, core);
   traffic::SyntheticConfig tc;
   tc.injection_rate = 0.08;
   tc.packet_size = 4;
@@ -237,29 +237,34 @@ TEST(ActiveScheduling, BitIdenticalToFullSweep) {
   };
   for (const Scenario& s : scenarios) {
     SCOPED_TRACE(s.name);
-    const SimReport swept = run_scenario(s, /*active=*/false);
-    const SimReport active = run_scenario(s, /*active=*/true);
+    const SimReport swept = run_scenario(s, SimCore::FullSweep);
+    const SimReport active = run_scenario(s, SimCore::ActiveList);
+    const SimReport event = run_scenario(s, SimCore::EventDriven);
     expect_identical(swept, active);
-    EXPECT_GT(active.packets_received, 0u);
+    expect_identical(swept, event);
+    EXPECT_GT(event.packets_received, 0u);
   }
 }
 
 TEST(ActiveScheduling, CoherenceTrafficIdentical) {
+  const SimCore cores[] = {SimCore::FullSweep, SimCore::ActiveList,
+                           SimCore::EventDriven};
   const auto& app = traffic::splash2_profiles().front();
-  SimReport reports[2];
-  for (int active = 0; active < 2; ++active) {
+  SimReport reports[3];
+  for (int i = 0; i < 3; ++i) {
     SimConfig cfg;
     cfg.mesh.dims = {4, 4};
     cfg.mesh.router.mode = core::RouterMode::Protected;
-    cfg.mesh.active_scheduling = active == 1;
+    cfg.mesh.core = cores[i];
     cfg.warmup = 300;
     cfg.measure = 1500;
     cfg.drain_limit = 4000;
     cfg.seed = 9;
     Simulator sim(cfg, traffic::make_traffic(app));
-    reports[active] = sim.run();
+    reports[i] = sim.run();
   }
   expect_identical(reports[0], reports[1]);
+  expect_identical(reports[0], reports[2]);
 }
 
 // --- SweepRunner ---

@@ -19,11 +19,16 @@ Rules
                  byte-stable across reruns, and simulator/fault-injection
                  runs must replay bit-identically from their seeds, or
                  resume, golden-baseline comparison and the degraded-mode
-                 determinism tests break.
+                 determinism tests break. This covers the event-driven core
+                 (noc/event_queue.hpp and the scheduling paths in mesh/
+                 router/link): event timestamps and intra-cycle FIFO order
+                 are part of the bit-identity contract with the sweep
+                 oracle, so the event clock must never touch real time.
   self-contained every src/noc, src/campaign, src/obs and src/fault header
                  compiles on its own (include-what-you-use at the
                  compile-or-fail level), checked with `c++ -fsyntax-only`
-                 unless --no-compile-headers.
+                 unless --no-compile-headers. New event-queue headers under
+                 src/noc are swept automatically.
 
 Exit status is non-zero when any rule fires; findings print as
 file:line: [rule] message, one per line, so editors and CI annotate them.
