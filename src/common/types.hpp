@@ -23,6 +23,17 @@ inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 
 /// Throws std::invalid_argument with `msg` when `cond` is false.
 /// Used to validate user-facing configuration at API boundaries.
+///
+/// The const char* overload is the one string-literal call sites bind to:
+/// it keeps the passing path allocation-free (no std::string temporary is
+/// materialised just to be discarded when the check holds), which the
+/// hotpath-alloc static-analysis rule enforces for everything reachable
+/// from the router step/allocator/crossbar/link paths. The std::string
+/// overload remains for callers that build a formatted message.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw std::invalid_argument(msg);
 }

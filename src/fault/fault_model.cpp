@@ -16,9 +16,15 @@ bool type_is_correction(SiteType t) {
     case SiteType::XbDemux:
     case SiteType::XbPSelect:
       return true;
-    default:
+    case SiteType::RcPrimary:
+    case SiteType::Va1ArbiterSet:
+    case SiteType::Va2Arbiter:
+    case SiteType::Sa1Arbiter:
+    case SiteType::Sa2Arbiter:
+    case SiteType::XbMux:
       return false;
   }
+  return false;
 }
 
 }  // namespace

@@ -16,6 +16,10 @@ Router::Router(NodeId id, const MeshDims& dims, const RouterConfig& cfg)
   require(id >= 0 && id < dims.nodes(), "Router: id outside mesh");
   require(cfg.vcs >= 1 && cfg.vc_depth >= 1, "Router: bad VC config");
   inputs_.reserve(kMeshPorts);
+  // SA grants at most one input VC per output port, so kMeshPorts bounds
+  // st_pending_; reserving here keeps the per-cycle push_backs in
+  // SwitchAllocator::step growth-free (hotpath-alloc rule).
+  st_pending_.reserve(kMeshPorts);
   for (int p = 0; p < kMeshPorts; ++p)
     inputs_.emplace_back(cfg.vcs, cfg.vc_depth);
   if (cfg.vcs <= 32) {

@@ -17,6 +17,13 @@ VcAllocator::VcAllocator(int ports, int vcs, core::RouterMode mode, int vnets)
     stage2_.emplace_back(ports * vcs);  // choose among requesting input VCs
   }
   proposals_.reserve(static_cast<std::size_t>(ports * vcs));
+  // step_event scratch: reserved to their geometric maxima here so the
+  // per-cycle push_backs never grow (hotpath-alloc rule: the growth
+  // branch must stay dynamically dead).
+  keys_.reserve(static_cast<std::size_t>(ports * vcs));
+#ifdef RNOC_TRACE
+  obs_blocked_.reserve(static_cast<std::size_t>(ports * vcs));
+#endif
   set_used_.resize(static_cast<std::size_t>(vcs), false);
   candidates_.resize(static_cast<std::size_t>(vcs), false);
   requests_.resize(static_cast<std::size_t>(ports * vcs), false);

@@ -1,0 +1,15 @@
+// Positive fixture: lives in a determinism-rooted namespace, is compiled
+// into the mini repo's database and walked by every rule — and none of
+// them may fire. Guards against false positives on plain arithmetic code.
+#include <cstdint>
+
+namespace rnoc::campaign {
+
+std::uint64_t mix_fixture(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace rnoc::campaign

@@ -1,0 +1,20 @@
+// Negative fixture for the `determinism` rule.
+//
+// The wall-clock read is NOT in the campaign entry point itself: it hides
+// behind a TU-local helper, so a regex over the entry point's body would
+// never see it. The analyzer must follow the call graph from
+// rnoc::campaign::* through helper() to ::time and flag the transitive
+// violation.
+#include <ctime>
+
+namespace {
+
+long helper() { return static_cast<long>(::time(nullptr)); }
+
+}  // namespace
+
+namespace rnoc::campaign {
+
+long run_fixture_sweep() { return helper(); }
+
+}  // namespace rnoc::campaign

@@ -1,0 +1,19 @@
+// Negative fixture for the `hotpath-alloc` rule.
+//
+// push_back on an unreserved vector reaches operator new through
+// _M_realloc_insert. The analyzer must flag Router::step_* as an
+// allocating hot path even though no `new` token appears anywhere in
+// this file — the allocation lives inside libstdc++, reached via the
+// template instantiation chain.
+#include <vector>
+
+namespace rnoc::noc {
+
+struct Router {
+  std::vector<int> scratch_;
+  void step_rc(int x);
+};
+
+void Router::step_rc(int x) { scratch_.push_back(x); }
+
+}  // namespace rnoc::noc

@@ -1,0 +1,20 @@
+// Negative fixture for the `exhaustive-switch` rule. Two violations:
+//   1. Gamma and Delta are not enumerated.
+//   2. A `default:` is present, so adding a FixtureKind member would be
+//      silently swallowed instead of failing compilation.
+#include "noc/switch_kinds.hpp"
+
+namespace rnoc::noc {
+
+int classify(FixtureKind k) {
+  switch (k) {
+    case FixtureKind::Alpha:
+      return 1;
+    case FixtureKind::Beta:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace rnoc::noc

@@ -1,0 +1,9 @@
+// Support header for the `exhaustive-switch` fixture: a domain enum the
+// analyzer discovers by scanning src/ headers of the mini repo.
+#pragma once
+
+namespace rnoc::noc {
+
+enum class FixtureKind { Alpha, Beta, Gamma, Delta };
+
+}  // namespace rnoc::noc

@@ -1,0 +1,10 @@
+// Negative fixture for the token-level rules folded in from tools/lint.py:
+//   * naked-new — the `new` expression below.
+//   * raw-rng   — std::rand outside src/common.
+#include <cstdlib>
+
+namespace rnoc::noc {
+
+int* make_fixture() { return new int(std::rand()); }
+
+}  // namespace rnoc::noc

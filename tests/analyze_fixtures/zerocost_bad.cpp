@@ -1,0 +1,16 @@
+// Negative fixture for the `zero-cost-off` rule.
+//
+// This TU is compiled WITHOUT -DRNOC_TRACE (see the self-test's synthetic
+// compile database) yet references an rnoc::obs:: symbol unconditionally.
+// The rule inspects the produced object file with nm and must find the
+// undefined reference — proof that the tracing layer would be paid for
+// even in untraced builds.
+namespace rnoc::obs {
+void trace_flit(int flit);
+}
+
+namespace rnoc::noc {
+
+void step_fixture(int flit) { rnoc::obs::trace_flit(flit); }
+
+}  // namespace rnoc::noc

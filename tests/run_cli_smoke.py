@@ -23,6 +23,11 @@ def main():
     ap.add_argument("--compare", required=True)
     ap.add_argument("--golden", required=True)
     ap.add_argument("--work", required=True)
+    ap.add_argument("--analyze",
+                    help="path to rnoc_analyze.py; when given, the fast "
+                         "source-level analyzer rules must pass on the "
+                         "clean tree (the call-graph rules run in the "
+                         "dedicated static_analysis.analyze test)")
     opts = ap.parse_args()
 
     shutil.rmtree(opts.work, ignore_errors=True)
@@ -58,7 +63,19 @@ def main():
             print(f"stale checkpoints left behind for {name}",
                   file=sys.stderr)
             return 1
-    print(f"campaign CLI smoke ok ({', '.join(CAMPAIGNS)})")
+    if opts.analyze:
+        ana = subprocess.run(
+            [sys.executable, opts.analyze,
+             "--rules", "exhaustive-switch,naked-new,raw-rng"],
+            capture_output=True, text=True)
+        if ana.returncode != 0:
+            print(f"clean-tree analyzer smoke failed "
+                  f"(exit {ana.returncode}):\n{ana.stdout}{ana.stderr}",
+                  file=sys.stderr)
+            return 1
+
+    print(f"campaign CLI smoke ok ({', '.join(CAMPAIGNS)})"
+          + (" + analyzer source rules clean" if opts.analyze else ""))
     return 0
 
 

@@ -1,0 +1,353 @@
+"""Compile-database-driven whole-program call graph for the rnoc analyzer.
+
+The graph is extracted from the compiler, not from source text:
+
+* GCC backend (default): every translation unit in compile_commands.json
+  is re-driven through the build's own compiler with
+  `-fcallgraph-info=su,da -O0 -S`, and the emitted VCG .ci files (one
+  node per function with mangled name, demangled signature and
+  declaration location; one edge per call site with file:line) are parsed
+  and merged into one program graph. -O0 keeps every call explicit (no
+  inlining), so transitive reachability is exact at the
+  template-instantiation level — std::vector::push_back shows its path
+  to operator new, a chrono clock shows its ::now() call, etc.
+
+* libclang backend (optional): the same TU set walked through the Clang
+  Python bindings when `clang.cindex` is importable. Gated because the
+  container toolchain ships GCC only; `--backend libclang` fails with a
+  clear message when the bindings are absent.
+
+Per-TU results are cached under <cache-dir> keyed by the compile command
+and the mtimes of the TU plus every header it includes (from `-MM`), so
+a clean re-run after an unrelated change only re-extracts what changed.
+"""
+
+import hashlib
+import json
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    name: str                # mangled (or plain C) symbol name
+    demangled: str = ""
+    decl: str = ""           # "file:line" of the definition when known
+    external: bool = False   # declared but not defined in any scanned TU
+
+
+@dataclass
+class ProgramGraph:
+    nodes: dict = field(default_factory=dict)   # name -> Node
+    edges: dict = field(default_factory=dict)   # name -> [(callee, site)]
+
+    def add_node(self, name, demangled="", decl="", external=False):
+        node = self.nodes.get(name)
+        if node is None:
+            node = Node(name, demangled, decl, external)
+            self.nodes[name] = node
+        else:
+            if demangled and not node.demangled:
+                node.demangled = demangled
+            if decl and (not node.decl or node.external):
+                node.decl = decl
+            node.external = node.external and external
+        return node
+
+    def add_edge(self, caller, callee, site=""):
+        self.edges.setdefault(caller, []).append((callee, site))
+
+    def match_nodes(self, patterns):
+        """All node names whose demangled (or raw) name matches any of the
+        compiled regex `patterns` (searched, not fullmatched)."""
+        out = []
+        for name, node in self.nodes.items():
+            label = node.demangled or name
+            if any(p.search(label) for p in patterns):
+                out.append(name)
+        return out
+
+    def _matches(self, name, patterns):
+        node = self.nodes.get(name)
+        if node is None:
+            return any(p.search(name) for p in patterns)
+        return any(p.search(name) or
+                   (node.demangled and p.search(node.demangled))
+                   for p in patterns)
+
+    def reach(self, roots, banned, prune):
+        """BFS from `roots`. Traversal does not descend into nodes whose
+        name/demangled name matches a `prune` pattern. Returns a list of
+        (root, path) for every first hit of a `banned`-matching node,
+        where path is [(name, site), ...] from root (site empty) to the
+        hit, each site being the "file:line" of the call edge into that
+        node."""
+        hits = []
+        for root in sorted(roots):
+            seen = {root}
+            queue = [(root, [(root, "")])]
+            while queue:
+                cur, path = queue.pop(0)
+                for callee, site in self.edges.get(cur, ()):  # noqa: B020
+                    if self._matches(callee, banned):
+                        hits.append((root, path + [(callee, site)]))
+                        continue
+                    if callee in seen:
+                        continue
+                    seen.add(callee)
+                    if self._matches(callee, prune):
+                        continue
+                    queue.append((callee, path + [(callee, site)]))
+        return hits
+
+    def label(self, name):
+        node = self.nodes.get(name)
+        return (node.demangled or name) if node else name
+
+
+# --------------------------------------------------------------------------
+# Compile database
+# --------------------------------------------------------------------------
+
+def load_compile_db(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def entry_argv(entry):
+    if "arguments" in entry:
+        return list(entry["arguments"])
+    return shlex.split(entry["command"])
+
+
+def entry_defines(entry):
+    return {a[2:].split("=")[0] for a in entry_argv(entry)
+            if a.startswith("-D")}
+
+
+def entry_source(entry):
+    return os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+
+
+def select_tus(db, root, subdir="src", want_defines=frozenset(),
+               reject_defines=frozenset()):
+    """One entry per source file under <root>/<subdir>, preferring entries
+    whose -D set contains `want_defines` and avoids `reject_defines`
+    (used to pick the plain-library variant of each TU)."""
+    prefix = os.path.join(os.path.abspath(root), subdir) + os.sep
+    chosen = {}
+    for entry in db:
+        src = entry_source(entry)
+        if not src.startswith(prefix):
+            continue
+        defs = entry_defines(entry)
+        score = (len(defs & reject_defines), -len(defs & want_defines))
+        prev = chosen.get(src)
+        if prev is None or score < prev[0]:
+            chosen[src] = (score, entry)
+    return {src: e for src, (_, e) in sorted(chosen.items())}
+
+
+# --------------------------------------------------------------------------
+# GCC backend
+# --------------------------------------------------------------------------
+
+_RE_NODE = re.compile(
+    r'^node: \{ title: "(.*?)" label: "(.*?)"(?: shape : (\w+))? \}')
+_RE_EDGE = re.compile(
+    r'^edge: \{ sourcename: "(.*?)" targetname: "(.*?)"'
+    r'(?: label: "(.*?)")? \}')
+
+_STRIP_ARGS = {"-c", "-S", "-E"}
+_STRIP_NEXT = {"-o", "-MF", "-MT", "-MQ", "-MD", "-MMD"}
+
+
+def _cgraph_command(entry, out_path):
+    """Rewrites a compile-db command into a callgraph extraction command:
+    -O0 (no inlining — keep every call edge), -S to out_path, warnings
+    silenced, dependency generation stripped."""
+    argv = entry_argv(entry)
+    out = [argv[0]]
+    skip = False
+    for a in argv[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in _STRIP_NEXT:
+            skip = True
+            continue
+        if a in _STRIP_ARGS or a.startswith("-O") or a == "-Werror" \
+                or a.startswith("-fdiagnostics") or a.startswith("-M"):
+            continue
+        out.append(a)
+    out += ["-O0", "-w", "-fcallgraph-info=su,da", "-S", "-o", out_path]
+    return out
+
+
+def _split_title(title):
+    """VCG node titles are `mangled` for public symbols and externals,
+    `<tu-file>:mangled` for TU-local/comdat symbols. The mangled part
+    never contains ':', so split on the last one."""
+    if ":" in title:
+        return title.rsplit(":", 1)[1]
+    return title
+
+
+def parse_ci(text, graph):
+    for line in text.splitlines():
+        m = _RE_NODE.match(line)
+        if m:
+            title, label, shape = m.groups()
+            name = _split_title(title)
+            parts = label.split("\\n")
+            demangled = parts[0]
+            decl = parts[1] if len(parts) > 1 else ""
+            graph.add_node(name, demangled, decl,
+                           external=(shape == "ellipse"))
+            continue
+        m = _RE_EDGE.match(line)
+        if m:
+            src, dst, site = m.groups()
+            graph.add_edge(_split_title(src), _split_title(dst), site or "")
+
+
+def _tu_cache_key(entry, source):
+    """Command + mtimes of the TU and all its includes (via -MM)."""
+    h = hashlib.sha256()
+    h.update(" ".join(entry_argv(entry)).encode())
+    deps = [source]
+    argv = [a for a in entry_argv(entry)
+            if not (a in _STRIP_ARGS or a == source or a == entry["file"])]
+    cmd = [argv[0]] + [a for a in argv[1:] if a.startswith(("-I", "-D",
+                                                            "-std"))]
+    cmd += ["-MM", "-MT", "x", source]
+    try:
+        out = subprocess.run(cmd, capture_output=True, text=True,
+                             cwd=entry["directory"], timeout=120)
+        if out.returncode == 0:
+            text = out.stdout.replace("\\\n", " ")
+            deps += [d for d in text.split()[1:] if os.path.exists(d)]
+    except OSError:
+        pass
+    for d in sorted(set(deps)):
+        try:
+            h.update(f"{d}:{os.stat(d).st_mtime_ns}".encode())
+        except OSError:
+            h.update(f"{d}:gone".encode())
+    return h.hexdigest()
+
+
+def _extract_tu_gcc(entry, cache_dir):
+    source = entry_source(entry)
+    cached = None
+    if cache_dir:
+        key = _tu_cache_key(entry, source)
+        cached = os.path.join(cache_dir, key + ".ci")
+        if os.path.exists(cached):
+            with open(cached, encoding="utf-8") as f:
+                return source, f.read(), None
+    with tempfile.TemporaryDirectory(prefix="rnoc_cg_") as tmp:
+        out_s = os.path.join(tmp, "tu.s")
+        cmd = _cgraph_command(entry, out_s)
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              cwd=entry["directory"], timeout=600)
+        ci_path = os.path.join(tmp, "tu.ci")
+        if proc.returncode != 0 or not os.path.exists(ci_path):
+            lines = proc.stderr.strip().splitlines()
+            err = next((ln for ln in lines if "error:" in ln),
+                       lines[-1] if lines else "no .ci emitted")
+            return source, None, err
+        with open(ci_path, encoding="utf-8") as f:
+            text = f.read()
+    if cached:
+        os.makedirs(cache_dir, exist_ok=True)
+        tmp_path = cached + f".tmp{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as f:
+            f.write(text)
+        os.replace(tmp_path, cached)
+    return source, text, None
+
+
+def build_graph_gcc(entries, jobs, cache_dir=None):
+    """Merged ProgramGraph over `entries` (compile-db entries). Returns
+    (graph, errors) where errors is [(source, message)]."""
+    graph = ProgramGraph()
+    errors = []
+    with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
+        for source, text, err in pool.map(
+                lambda e: _extract_tu_gcc(e, cache_dir), entries):
+            if err is not None:
+                errors.append((source, err))
+            else:
+                parse_ci(text, graph)
+    return graph, errors
+
+
+# --------------------------------------------------------------------------
+# libclang backend (gated: the container toolchain has no libclang)
+# --------------------------------------------------------------------------
+
+def libclang_available():
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def build_graph_libclang(entries, jobs):  # noqa: ARG001 (jobs unused)
+    """AST-level graph via the Clang Python bindings. Functionally the
+    same shape as the GCC backend's graph, but edges carry the spelling
+    location of each call expression and nodes use USRs mapped to mangled
+    names where available."""
+    from clang import cindex
+
+    index = cindex.Index.create()
+    graph = ProgramGraph()
+    errors = []
+    for entry in entries:
+        source = entry_source(entry)
+        args = [a for a in entry_argv(entry)[1:]
+                if a not in _STRIP_ARGS and a != entry["file"]
+                and not a.startswith("-o")]
+        try:
+            tu = index.parse(source, args=args)
+        except cindex.TranslationUnitLoadError as exc:
+            errors.append((source, str(exc)))
+            continue
+
+        def name_of(cursor):
+            return cursor.mangled_name or cursor.spelling
+
+        def walk(cursor, current):
+            kind = cursor.kind
+            if kind in (cindex.CursorKind.FUNCTION_DECL,
+                        cindex.CursorKind.CXX_METHOD,
+                        cindex.CursorKind.CONSTRUCTOR,
+                        cindex.CursorKind.DESTRUCTOR,
+                        cindex.CursorKind.FUNCTION_TEMPLATE) and \
+                    cursor.is_definition():
+                loc = cursor.location
+                current = name_of(cursor)
+                graph.add_node(current, cursor.displayname,
+                               f"{loc.file}:{loc.line}" if loc.file else "")
+            elif kind == cindex.CursorKind.CALL_EXPR and current:
+                ref = cursor.referenced
+                if ref is not None:
+                    callee = name_of(ref)
+                    graph.add_node(callee, ref.displayname, "",
+                                   external=not ref.is_definition())
+                    loc = cursor.location
+                    site = f"{loc.file}:{loc.line}" if loc.file else ""
+                    graph.add_edge(current, callee, site)
+            for child in cursor.get_children():
+                walk(child, current)
+
+        walk(tu.cursor, None)
+    return graph, errors

@@ -1,0 +1,354 @@
+"""Shared C++ lexer and token-level extraction for the rnoc analyzer.
+
+This is deliberately not a regex-over-lines scanner: source text is lexed
+into a token stream (comments, string/char literals — including raw
+strings — and preprocessor directives handled properly), and every rule
+below works on token sequences. That gives the token-family rules the
+precision the old tools/lint.py regexes lacked (no false hits inside
+strings or comments, multi-line constructs handled) without requiring a
+full C++ parser.
+
+Provided extractors:
+  tokenize(text)               -> [Token]
+  find_enum_classes(tokens)    -> {enum_name: [enumerator, ...]}
+  find_switches(tokens)        -> [Switch] (case labels, default?, span)
+  find_new_expressions(tokens) -> [Token] (allocating `new` keywords)
+  find_raw_rng(tokens)         -> [Token] (rand/srand/std::random_device)
+  find_unordered_iteration(tokens) -> [(Token, reason)]
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Token:
+    kind: str  # 'ident', 'number', 'punct', 'pp' (preprocessor directive)
+    text: str
+    line: int
+
+
+KEYWORDS_NOT_NAMES = {
+    "if", "else", "for", "while", "do", "return", "switch", "case",
+    "default", "break", "continue", "new", "delete", "operator", "enum",
+    "class", "struct", "using", "namespace", "template", "typename",
+    "const", "constexpr", "static", "inline", "virtual", "override",
+    "public", "private", "protected", "sizeof", "throw", "try", "catch",
+}
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+
+
+def tokenize(text):
+    """Lex C++ source into tokens; comments and literals are dropped,
+    preprocessor directives become single 'pp' tokens (with continuation
+    lines folded), everything else becomes ident/number/punct tokens."""
+    toks = []
+    i, n, line = 0, len(text), 1
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        two = text[i:i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if two == "/*":
+            j = text.find("*/", i + 2)
+            if j < 0:
+                break
+            line += text.count("\n", i, j + 2)
+            i = j + 2
+            continue
+        if c == "#" and at_line_start:
+            # Fold backslash-continued directive lines into one token.
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k < 0:
+                    k = n
+                if text[k - 1:k] == "\\" or text[k - 2:k] == "\\\r":
+                    j = k + 1
+                else:
+                    break
+            directive = text[i:k]
+            toks.append(Token("pp", directive.split("\n")[0].strip(), line))
+            line += directive.count("\n") + 1
+            i = k + 1
+            continue
+        at_line_start = False
+        # Raw string literal  R"delim( ... )delim"
+        if c == "R" and text[i + 1:i + 2] == '"':
+            j = text.find("(", i + 2)
+            if 0 < j < i + 20:
+                delim = text[i + 2:j]
+                end = text.find(")" + delim + '"', j)
+                if end < 0:
+                    break
+                line += text.count("\n", i, end)
+                i = end + len(delim) + 2
+                continue
+        if c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            line += text.count("\n", i, j)
+            i = min(j + 1, n)
+            continue
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            toks.append(Token("ident", text[i:j], line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i + 1
+            while j < n and (text[j] in _IDENT_CONT or text[j] in ".'"):
+                j += 1
+            toks.append(Token("number", text[i:j], line))
+            i = j
+            continue
+        # Multi-char punctuation we care about as units.
+        for p in ("::", "->", "<<", ">>", "=="):
+            if text.startswith(p, i):
+                toks.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            toks.append(Token("punct", c, line))
+            i += 1
+    return toks
+
+
+def find_enum_classes(tokens):
+    """Returns {name: [enumerators]} for every `enum class`/`enum struct`
+    definition in the token stream (forward declarations are skipped)."""
+    enums = {}
+    i, n = 0, len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind == "ident" and t.text == "enum" and i + 2 < n and \
+                tokens[i + 1].text in ("class", "struct") and \
+                tokens[i + 2].kind == "ident":
+            name = tokens[i + 2].text
+            j = i + 3
+            # Skip optional ": underlying_type" up to '{' or ';'.
+            while j < n and tokens[j].text not in ("{", ";"):
+                j += 1
+            if j < n and tokens[j].text == "{":
+                members = []
+                depth = 1
+                j += 1
+                expect_name = True
+                while j < n and depth > 0:
+                    tt = tokens[j]
+                    if tt.text == "{":
+                        depth += 1
+                    elif tt.text == "}":
+                        depth -= 1
+                    elif depth == 1:
+                        if expect_name and tt.kind == "ident":
+                            members.append(tt.text)
+                            expect_name = False
+                        elif tt.text == ",":
+                            expect_name = True
+                    j += 1
+                enums[name] = members
+            i = j
+        else:
+            i += 1
+    return enums
+
+
+@dataclass
+class Switch:
+    line: int                      # line of the `switch` keyword
+    cases: list = field(default_factory=list)   # [(line, [label tokens])]
+    has_default: bool = False
+    default_line: int = 0
+
+
+def find_switches(tokens):
+    """Returns every switch statement with its top-level case labels.
+    Nested switches are returned as their own entries; their labels are
+    not attributed to the outer switch."""
+    switches = []
+    _scan_switches(tokens, 0, len(tokens), switches)
+    return switches
+
+
+def _skip_parens(tokens, i, n):
+    """tokens[i] == '('; returns index just past the matching ')'."""
+    depth = 0
+    while i < n:
+        if tokens[i].text == "(":
+            depth += 1
+        elif tokens[i].text == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _scan_switches(tokens, i, n, out):
+    while i < n:
+        t = tokens[i]
+        if t.kind == "ident" and t.text == "switch" and i + 1 < n and \
+                tokens[i + 1].text == "(":
+            body = _skip_parens(tokens, i + 1, n)
+            if body < n and tokens[body].text == "{":
+                sw = Switch(line=t.line)
+                end = _parse_switch_body(tokens, body, n, sw, out)
+                out.append(sw)
+                i = end
+                continue
+        i += 1
+
+
+def _parse_switch_body(tokens, i, n, sw, out):
+    """tokens[i] == '{' of a switch body. Collects case/default labels at
+    any brace depth of this switch, recursing into nested switches."""
+    depth = 0
+    while i < n:
+        t = tokens[i]
+        if t.text == "{":
+            depth += 1
+            i += 1
+        elif t.text == "}":
+            depth -= 1
+            i += 1
+            if depth == 0:
+                return i
+        elif t.kind == "ident" and t.text == "switch" and i + 1 < n and \
+                tokens[i + 1].text == "(":
+            body = _skip_parens(tokens, i + 1, n)
+            if body < n and tokens[body].text == "{":
+                inner = Switch(line=t.line)
+                i = _parse_switch_body(tokens, body, n, inner, out)
+                out.append(inner)
+            else:
+                i = body
+        elif t.kind == "ident" and t.text == "case":
+            j = i + 1
+            label = []
+            while j < n and tokens[j].text not in (":", ";", "{", "}"):
+                label.append(tokens[j])
+                j += 1
+            sw.cases.append((t.line, label))
+            i = j
+        elif t.kind == "ident" and t.text == "default" and i + 1 < n and \
+                tokens[i + 1].text == ":":
+            sw.has_default = True
+            sw.default_line = t.line
+            i += 2
+        else:
+            i += 1
+    return i
+
+
+def case_label_enum(label_tokens):
+    """For a case label like `SiteType::RcSpare` (optionally namespace-
+    qualified), returns (enum_name, enumerator) or None."""
+    idents = [t.text for t in label_tokens if t.kind == "ident"]
+    seps = [t.text for t in label_tokens if t.kind == "punct"]
+    if len(idents) >= 2 and "::" in seps:
+        return idents[-2], idents[-1]
+    return None
+
+
+def find_new_expressions(tokens):
+    """Allocating `new` keyword tokens. `operator new` declarations and
+    `::new (ptr) T` placement forms used by allocator internals are still
+    reported — the repo bans them all outside approved code."""
+    hits = []
+    for i, t in enumerate(tokens):
+        if t.kind == "ident" and t.text == "new":
+            prev = tokens[i - 1] if i > 0 else None
+            if prev and prev.kind == "ident" and prev.text == "operator":
+                continue  # declaring/overriding operator new, not allocating
+            hits.append(t)
+    return hits
+
+
+def find_raw_rng(tokens):
+    """rand()/srand() calls and std::random_device mentions."""
+    hits = []
+    for i, t in enumerate(tokens):
+        if t.kind != "ident":
+            continue
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        if t.text in ("rand", "srand") and nxt and nxt.text == "(":
+            prev = tokens[i - 1] if i > 0 else None
+            if prev and prev.text in (".", "->"):
+                continue  # member named rand on some object, not libc
+            hits.append(t)
+        elif t.text == "random_device":
+            hits.append(t)
+    return hits
+
+
+_UNORDERED = {"unordered_map", "unordered_set",
+              "unordered_multimap", "unordered_multiset"}
+
+
+def find_unordered_iteration(tokens):
+    """Iteration over unordered associative containers: range-for over an
+    expression mentioning an unordered container (by type or by a variable
+    declared with one earlier in the file), or .begin()/.cbegin() on such
+    a variable. Iteration order is implementation-defined, so any result
+    derived from it breaks seed-determinism."""
+    # Pass 1: names declared with an unordered container type.
+    unordered_vars = set()
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind == "ident" and t.text in _UNORDERED:
+            # Find '<' ... matching '>' then the declared name(s).
+            j = i + 1
+            if j < n and tokens[j].text == "<":
+                depth = 0
+                while j < n:
+                    if tokens[j].text == "<":
+                        depth += 1
+                    elif tokens[j].text == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif tokens[j].text == ">>":
+                        depth -= 2
+                        if depth <= 0:
+                            break
+                    j += 1
+                j += 1
+                if j < n and tokens[j].kind == "ident":
+                    unordered_vars.add(tokens[j].text)
+    hits = []
+    # Pass 2: range-for and explicit iterator loops.
+    for i, t in enumerate(tokens):
+        if t.kind == "ident" and t.text == "for" and i + 1 < n and \
+                tokens[i + 1].text == "(":
+            end = _skip_parens(tokens, i + 1, n)
+            inner = tokens[i + 2:end - 1]
+            if any(x.text == ":" for x in inner):
+                names = {x.text for x in inner if x.kind == "ident"}
+                if names & _UNORDERED:
+                    hits.append((t, "range-for over an unordered container"))
+                elif names & unordered_vars:
+                    hits.append((t, "range-for over unordered container "
+                                    "variable"))
+        elif t.kind == "ident" and t.text in ("begin", "cbegin") and \
+                i + 1 < n and tokens[i + 1].text == "(" and i >= 2 and \
+                tokens[i - 1].text in (".", "->") and \
+                tokens[i - 2].text in unordered_vars:
+            hits.append((t, "iterator over unordered container variable"))
+    return hits

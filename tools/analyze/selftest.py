@@ -1,0 +1,168 @@
+"""Fixture-driven self-test for the rnoc analyzer (`rnoc_analyze --self-test`).
+
+Builds a throwaway mini repo in a temp directory from the negative
+fixtures under tests/analyze_fixtures (each a deliberate violation of one
+rule family), synthesises a compile_commands.json for the TUs the
+call-graph and zero-cost rules need, and runs the real analyzer CLI
+against it. Asserted scenarios:
+
+  1. Every fixture's expected rule fires on the expected file, the clean
+     fixture stays clean, and the dirty tree exits non-zero.
+  2. A baseline suppressing every finding (with justifications) turns the
+     same tree green.
+  3. A stale suppression (fingerprint with no matching finding) fails.
+  4. A suppression without a written justification fails.
+  5. A mini repo containing only the clean fixture passes with no
+     baseline at all.
+
+The scenarios share one mini repo (and therefore one per-TU call-graph
+cache), so the graph is extracted once and replayed for the baseline
+mechanics runs.
+"""
+
+import json
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+import tempfile
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ANALYZE = os.path.join(_HERE, "rnoc_analyze.py")
+
+
+def _build_mini_repo(tmp, name, fixtures_dir, manifest, only=None):
+    """Copies fixtures into <tmp>/<name>/ per the manifest and writes a
+    synthetic compile database (absolute paths, no defines — so every
+    zero-cost guard counts as off). Returns (repo_root, compile_db)."""
+    repo = os.path.join(tmp, name)
+    build = os.path.join(repo, "build")
+    os.makedirs(build)
+    cxx = os.environ.get("CXX", "c++")
+    entries = []
+    for fx in manifest["fixtures"]:
+        if only is not None and fx["file"] not in only:
+            continue
+        dest = os.path.join(repo, *fx["dest"].split("/"))
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        shutil.copyfile(os.path.join(fixtures_dir, fx["file"]), dest)
+        if fx.get("compile"):
+            obj = os.path.join(build, fx["file"] + ".o")
+            entries.append({
+                "directory": build,
+                "command": " ".join(shlex.quote(a) for a in [
+                    cxx, "-std=c++20", "-I" + os.path.join(repo, "src"),
+                    "-c", dest, "-o", obj]),
+                "file": dest,
+            })
+    db = os.path.join(build, "compile_commands.json")
+    with open(db, "w", encoding="utf-8") as f:
+        json.dump(entries, f, indent=1)
+    return repo, db
+
+
+def _run(repo, db, baseline=""):
+    out_json = os.path.join(repo, "findings.json")
+    cmd = [sys.executable, _ANALYZE, "--root", repo, "--compile-db", db,
+           "--baseline", baseline, "--json", out_json]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=900)
+    data = {}
+    if os.path.exists(out_json):
+        with open(out_json, encoding="utf-8") as f:
+            data = json.load(f)
+    return proc, data
+
+
+def run(repo_root):
+    fixtures_dir = os.path.join(repo_root, "tests", "analyze_fixtures")
+    manifest_path = os.path.join(fixtures_dir, "manifest.json")
+    if not os.path.exists(manifest_path):
+        print(f"selftest: missing {manifest_path}", file=sys.stderr)
+        return 1
+    with open(manifest_path, encoding="utf-8") as f:
+        manifest = json.load(f)
+
+    failures = []
+
+    def check(cond, what):
+        print(f"  {'ok  ' if cond else 'FAIL'} {what}")
+        if not cond:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory(prefix="rnoc_selftest_") as tmp:
+        # -- scenario 1: every fixture fires its rule ------------------
+        print("selftest: dirty mini repo (all fixtures, no baseline)")
+        repo, db = _build_mini_repo(tmp, "dirty", fixtures_dir, manifest)
+        proc, data = _run(repo, db)
+        check(proc.returncode == 1,
+              f"dirty tree exits 1 (got {proc.returncode}: "
+              f"{proc.stderr.strip().splitlines()[-1:]})")
+        findings = data.get("findings", [])
+        for fx in manifest["fixtures"]:
+            dest = os.path.join(*fx["dest"].split("/"))
+            for rule, want in fx.get("expect", {}).items():
+                got = sum(1 for f in findings
+                          if f["rule"] == rule and f["file"] == dest)
+                check(got >= want,
+                      f"{rule} fires on {fx['file']} "
+                      f"(got {got}, want >= {want})")
+            if not fx.get("expect"):
+                stray = [f for f in findings if f["file"] == dest]
+                check(not stray,
+                      f"no findings on clean fixture {fx['file']} "
+                      f"(got {[(f['rule'], f['line']) for f in stray]})")
+
+        # -- scenario 2: baseline suppresses everything ----------------
+        print("selftest: fully-suppressed baseline")
+        sup = [{"fingerprint": fp, "rule": r, "file": fi,
+                "justification": "deliberate fixture violation "
+                                 "(self-test suppression)"}
+               for fp, r, fi in sorted({(f["fingerprint"], f["rule"],
+                                         f["file"]) for f in findings})]
+        bl_path = os.path.join(tmp, "baseline.json")
+        with open(bl_path, "w", encoding="utf-8") as f:
+            json.dump({"schema": 1, "suppressions": sup}, f)
+        proc, data = _run(repo, db, baseline=bl_path)
+        check(proc.returncode == 0,
+              f"fully-suppressed tree exits 0 (got {proc.returncode})")
+        check(not data.get("findings"), "no unsuppressed findings remain")
+        check(len(data.get("suppressed", [])) == len(findings),
+              "every finding is accounted for as suppressed")
+
+        # -- scenario 3: stale suppression fails -----------------------
+        print("selftest: stale suppression")
+        with open(bl_path, "w", encoding="utf-8") as f:
+            json.dump({"schema": 1, "suppressions": sup + [{
+                "fingerprint": "deadbeef0000", "rule": "naked-new",
+                "file": "src/nowhere.cpp",
+                "justification": "points at nothing (self-test)"}]}, f)
+        proc, data = _run(repo, db, baseline=bl_path)
+        check(proc.returncode == 1,
+              f"stale suppression exits 1 (got {proc.returncode})")
+        check("stale" in proc.stderr, "stale suppression is reported")
+
+        # -- scenario 4: suppression without justification fails -------
+        print("selftest: suppression without justification")
+        nojust = [dict(s, justification="") for s in sup]
+        with open(bl_path, "w", encoding="utf-8") as f:
+            json.dump({"schema": 1, "suppressions": nojust}, f)
+        proc, _ = _run(repo, db, baseline=bl_path)
+        check(proc.returncode == 1,
+              f"missing justification exits 1 (got {proc.returncode})")
+        check("justification" in proc.stderr,
+              "missing justification is reported")
+
+        # -- scenario 5: clean-only mini repo passes -------------------
+        print("selftest: clean mini repo")
+        repo2, db2 = _build_mini_repo(tmp, "clean", fixtures_dir, manifest,
+                                      only={"clean_ok.cpp"})
+        proc, data = _run(repo2, db2)
+        check(proc.returncode == 0,
+              f"clean mini repo exits 0 (got {proc.returncode}; "
+              f"findings: {data.get('findings')})")
+
+    n_checks = "all" if not failures else f"{len(failures)} failed"
+    print(f"selftest: {n_checks} checks passed"
+          if not failures else f"selftest: {len(failures)} check(s) FAILED")
+    return 1 if failures else 0
