@@ -130,7 +130,9 @@ PointResult point_from_json(const JsonValue& v) {
   return p;
 }
 
-std::string read_text_file(const std::string& path) {
+}  // namespace
+
+std::string read_text(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   require(in.good(), "campaign: cannot open " + path);
   std::string text((std::istreambuf_iterator<char>(in)),
@@ -140,7 +142,7 @@ std::string read_text_file(const std::string& path) {
 
 /// Writes atomically: tmp file in the target directory, then rename, so a
 /// kill mid-write never leaves a truncated checkpoint behind.
-void write_text_file_atomic(const std::string& path, const std::string& text) {
+void write_text_atomic(const std::string& path, const std::string& text) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -151,6 +153,8 @@ void write_text_file_atomic(const std::string& path, const std::string& text) {
   }
   fs::rename(tmp, path);
 }
+
+namespace {
 
 std::string shard_path(const std::string& dir, const std::string& campaign,
                        int shard) {
@@ -186,7 +190,7 @@ bool load_shard_checkpoint(const std::string& path,
   std::error_code ec;
   if (!fs::exists(path, ec)) return false;
   try {
-    const JsonValue v = parse_json(read_text_file(path));
+    const JsonValue v = parse_json(read_text(path));
     if (v.at("schema_version").as_int() != kSchemaVersion) return false;
     if (v.at("campaign").as_string() != campaign) return false;
     if (v.at("config_hash").as_string() != config_hash) return false;
@@ -239,6 +243,40 @@ std::string spec_config_hash(const CampaignSpec& spec, bool smoke,
   return hex64(h);
 }
 
+std::string fnv1a_hex(const std::string& data) {
+  return hex64(fnv1a(0xcbf29ce484222325ull, data));
+}
+
+std::string point_to_json_text(const PointResult& p) {
+  return to_json_text(point_to_json(p));
+}
+
+PointResult point_from_json_text(const std::string& text) {
+  return point_from_json(parse_json(text));
+}
+
+std::vector<PointUnit> expand_point_units(const CampaignSpec& spec,
+                                          bool smoke) {
+  require(!spec.name.empty(), "campaign: spec has no name");
+  require(static_cast<bool>(spec.point_ids), "campaign " + spec.name +
+                                                 ": no point_ids function");
+  std::vector<std::string> ids = spec.point_ids(smoke);
+  require(!ids.empty(), "campaign " + spec.name + ": empty point grid");
+  std::vector<PointUnit> units;
+  units.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    units.push_back({i, std::move(ids[i]), derive_point_seed(spec.seed, i)});
+  return units;
+}
+
+PointResult run_point_unit(const CampaignSpec& spec, const PointUnit& u,
+                           bool smoke) {
+  require(static_cast<bool>(spec.run_point), "campaign " + spec.name +
+                                                 ": no run_point function");
+  PointOutput po = spec.run_point(u.index, u.seed, smoke);
+  return {u.id, std::move(po.metrics), std::move(po.obs)};
+}
+
 RunOutcome run_campaign(const CampaignSpec& spec, const RunOptions& opts) {
   require(!spec.name.empty(), "campaign: spec has no name");
   require(static_cast<bool>(spec.point_ids), "campaign " + spec.name +
@@ -286,9 +324,12 @@ RunOutcome run_campaign(const CampaignSpec& spec, const RunOptions& opts) {
   }
 
   // Progress accounting: resumed checkpoints count as already done; the
-  // mutex serializes callback invocations across pool workers.
+  // mutex serializes callback invocations across pool workers and guards
+  // the cache hit/computed counters.
   std::mutex progress_mu;
   std::size_t points_done = 0;
+  std::size_t points_cached = 0;
+  std::size_t points_computed = 0;
   for (int k = 0; k < shards; ++k)
     if (have[static_cast<std::size_t>(k)])
       points_done += shard_points[static_cast<std::size_t>(k)].size();
@@ -298,16 +339,26 @@ RunOutcome run_campaign(const CampaignSpec& spec, const RunOptions& opts) {
     std::vector<PointResult> pts;
     pts.reserve(r.last - r.first);
     for (std::size_t i = r.first; i < r.last; ++i) {
-      PointOutput po =
-          spec.run_point(i, derive_point_seed(spec.seed, i), opts.smoke);
-      pts.push_back({ids[i], std::move(po.metrics), std::move(po.obs)});
-      if (opts.progress) {
+      PointResult p;
+      // The id check defends against a hook returning a stale or foreign
+      // entry: a mismatch is a miss, never an error.
+      bool hit = opts.cache_lookup && opts.cache_lookup(hash, ids[i], p) &&
+                 p.id == ids[i];
+      if (!hit) {
+        PointOutput po =
+            spec.run_point(i, derive_point_seed(spec.seed, i), opts.smoke);
+        p = {ids[i], std::move(po.metrics), std::move(po.obs)};
+        if (opts.cache_store) opts.cache_store(hash, p);
+      }
+      pts.push_back(std::move(p));
+      {
         const std::lock_guard<std::mutex> lock(progress_mu);
-        opts.progress(++points_done, ids.size(), k, ids[i]);
+        ++(hit ? points_cached : points_computed);
+        if (opts.progress) opts.progress(++points_done, ids.size(), k, ids[i]);
       }
     }
     if (checkpointing)
-      write_text_file_atomic(shard_path(opts.checkpoint_dir, spec.name, k),
+      write_text_atomic(shard_path(opts.checkpoint_dir, spec.name, k),
                              shard_to_json_text(spec.name, hash, k, r.first,
                                                 pts));
     shard_points[static_cast<std::size_t>(k)] = std::move(pts);
@@ -323,6 +374,8 @@ RunOutcome run_campaign(const CampaignSpec& spec, const RunOptions& opts) {
     });
   }
   out.shards_run = static_cast<int>(to_run.size());
+  out.points_cached = points_cached;
+  out.points_computed = points_computed;
   if (stopped) return out;
 
   CampaignResult res;
@@ -409,11 +462,11 @@ CampaignResult result_from_json(const std::string& text) {
 void write_result_file(const CampaignResult& r, const std::string& path) {
   const fs::path p(path);
   if (p.has_parent_path()) fs::create_directories(p.parent_path());
-  write_text_file_atomic(path, to_json(r));
+  write_text_atomic(path, to_json(r));
 }
 
 CampaignResult read_result_file(const std::string& path) {
-  return result_from_json(read_text_file(path));
+  return result_from_json(read_text(path));
 }
 
 std::string format_result(const CampaignResult& r) {
@@ -446,11 +499,11 @@ std::string read_git_sha(const std::string& start_dir) {
     const fs::path git = dir / ".git";
     if (fs::is_directory(git, ec)) {
       try {
-        std::string head = read_text_file((git / "HEAD").string());
+        std::string head = read_text((git / "HEAD").string());
         while (!head.empty() && (head.back() == '\n' || head.back() == '\r'))
           head.pop_back();
         if (head.rfind("ref: ", 0) == 0) {
-          std::string ref = read_text_file((git / head.substr(5)).string());
+          std::string ref = read_text((git / head.substr(5)).string());
           while (!ref.empty() && (ref.back() == '\n' || ref.back() == '\r'))
             ref.pop_back();
           return ref.empty() ? "unknown" : ref;

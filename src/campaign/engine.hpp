@@ -74,6 +74,16 @@ struct PointOutput {
       : metrics(std::move(m)) {}
 };
 
+/// One schedulable unit of campaign work — the atom the serve layer ships
+/// between workers and caches on disk. index and seed are engine-derived
+/// (derive_point_seed), so a unit run anywhere, in any order, reproduces
+/// the exact point the sharded local run would have produced.
+struct PointUnit {
+  std::size_t index = 0;
+  std::string id;
+  std::uint64_t seed = 0;
+};
+
 /// Declarative description of one experiment campaign.
 struct CampaignSpec {
   std::string name;         ///< Registry key and result-file stem.
@@ -128,6 +138,18 @@ struct RunOptions {
   std::function<void(std::size_t done, std::size_t total, int shard,
                      const std::string& point_id)>
       progress;
+  /// Optional persistent point cache (serve::ResultCache adapts to these
+  /// two hooks so the engine never depends on the serve layer). lookup is
+  /// consulted before a point runs; a hit whose id matches skips the run.
+  /// store receives every freshly computed point. Both get the expanded
+  /// spec's config hash, which keys the cache together with the schema
+  /// version and git SHA. Hooks may be called concurrently from shard
+  /// workers and must synchronize internally.
+  std::function<bool(const std::string& config_hash,
+                     const std::string& point_id, PointResult& out)>
+      cache_lookup;
+  std::function<void(const std::string& config_hash, const PointResult& p)>
+      cache_store;
 };
 
 struct RunOutcome {
@@ -136,6 +158,11 @@ struct RunOutcome {
   int shards_total = 0;
   int shards_resumed = 0;  ///< Loaded from valid checkpoints.
   int shards_run = 0;      ///< Newly computed by this invocation.
+  /// Point-level accounting for the cache hooks: hits served from
+  /// cache_lookup vs. points computed by run_point this invocation.
+  /// Points restored from shard checkpoints count as neither.
+  std::size_t points_cached = 0;
+  std::size_t points_computed = 0;
 };
 
 /// Runs (or resumes) a campaign. Throws std::invalid_argument on malformed
@@ -159,6 +186,22 @@ CampaignResult read_result_file(const std::string& path);
 /// this; the library itself never writes to stdout).
 std::string format_result(const CampaignResult& r);
 
+/// Serialization of a single point (the cache-entry payload). The text is
+/// deterministic and round-trips exactly, so a re-serialized parse is
+/// byte-identical — serve::ResultCache checksums rely on that.
+std::string point_to_json_text(const PointResult& p);
+PointResult point_from_json_text(const std::string& text);
+
+// --- Point-unit decomposition (the serve layer's schedulable atoms) ---
+/// Expands the spec's (possibly smoke-shrunk) grid into units carrying the
+/// engine-derived per-point seeds. Throws on malformed specs.
+std::vector<PointUnit> expand_point_units(const CampaignSpec& spec,
+                                          bool smoke);
+/// Runs one unit to a finished PointResult. Pure: safe to call from any
+/// thread, in any order, and bit-reproducible for a given (spec, unit).
+PointResult run_point_unit(const CampaignSpec& spec, const PointUnit& u,
+                           bool smoke);
+
 // --- Determinism plumbing (exposed for tests) ---
 /// SplitMix64-style mix of the campaign seed and point index.
 std::uint64_t derive_point_seed(std::uint64_t campaign_seed,
@@ -166,6 +209,14 @@ std::uint64_t derive_point_seed(std::uint64_t campaign_seed,
 /// FNV-1a over name, tag, seed, smoke flag and the expanded point ids.
 std::string spec_config_hash(const CampaignSpec& spec, bool smoke,
                              const std::vector<std::string>& ids);
+/// 16-hex-digit FNV-1a over arbitrary bytes (the hash family behind
+/// spec_config_hash), exposed for cache keys and entry checksums.
+std::string fnv1a_hex(const std::string& data);
+/// Whole-file text I/O with the engine's atomicity discipline: write goes
+/// to a same-directory temp file then renames, so a kill mid-write never
+/// leaves a truncated file at the target path. Both throw on I/O errors.
+std::string read_text(const std::string& path);
+void write_text_atomic(const std::string& path, const std::string& text);
 /// Best-effort HEAD commit hash found by walking up from `start_dir` to the
 /// enclosing .git; "unknown" when not in a repository.
 std::string read_git_sha(const std::string& start_dir);

@@ -1,0 +1,301 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "campaign/json.hpp"
+#include "common/types.hpp"
+
+namespace fs = std::filesystem;
+
+namespace rnoc::serve {
+
+namespace {
+
+/// Filesystem-safe rendering of a point id: readable prefix plus the
+/// FNV-1a hash of the full id, so exotic ids cannot collide or escape the
+/// entry directory.
+std::string point_file_name(const std::string& point_id) {
+  std::string safe;
+  for (const char c : point_id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    safe.push_back(ok ? c : '_');
+    if (safe.size() >= 40) break;
+  }
+  return safe + "-" + campaign::fnv1a_hex(point_id) + ".json";
+}
+
+std::string index_name() { return "index.json"; }
+
+}  // namespace
+
+ResultCache::ResultCache(Config cfg) : cfg_(std::move(cfg)) {
+  require(!cfg_.root.empty(), "serve: cache root must not be empty");
+  fs::create_directories(cfg_.root);
+  scavenge_and_reconcile();
+}
+
+ResultCache::~ResultCache() {
+  try {
+    flush();
+  } catch (const std::exception&) {
+    // Destructor must not throw; a stale index only degrades LRU order.
+  }
+}
+
+std::string ResultCache::entry_path(const std::string& config_hash,
+                                    const std::string& point_id) const {
+  std::string schema_dir = "v";
+  schema_dir += std::to_string(campaign::kSchemaVersion);
+  return (fs::path(cfg_.root) / schema_dir / cfg_.git_sha / config_hash /
+          point_file_name(point_id))
+      .string();
+}
+
+std::string ResultCache::quarantine_dir() const {
+  return (fs::path(cfg_.root) / "quarantine").string();
+}
+
+void ResultCache::scavenge_and_reconcile() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Load the persisted index first (best-effort: a corrupt index is
+  // discarded and rebuilt from the directory scan below).
+  std::map<std::string, Entry> loaded;
+  std::uint64_t loaded_next_seq = 1;
+  const std::string index_path =
+      (fs::path(cfg_.root) / index_name()).string();
+  std::error_code ec;
+  if (fs::exists(index_path, ec)) {
+    try {
+      const campaign::JsonValue v =
+          campaign::parse_json(campaign::read_text(index_path));
+      loaded_next_seq =
+          static_cast<std::uint64_t>(v.at("next_seq").as_int());
+      for (const auto& e : v.at("entries").items()) {
+        Entry ent;
+        ent.bytes = static_cast<std::uint64_t>(e.at("bytes").as_int());
+        ent.seq = static_cast<std::uint64_t>(e.at("seq").as_int());
+        loaded[e.at("path").as_string()] = ent;
+      }
+    } catch (const std::exception&) {
+      loaded.clear();
+      loaded_next_seq = 1;
+    }
+  }
+
+  // Scan the tree: scavenge temp files from killed writers, collect the
+  // entry files that actually exist.
+  const fs::path root(cfg_.root);
+  const fs::path qdir(quarantine_dir());
+  std::vector<std::string> present;
+  for (auto it = fs::recursive_directory_iterator(
+           root, fs::directory_options::skip_permission_denied, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    const fs::path& p = it->path();
+    if (it->is_directory(ec)) {
+      if (p == qdir) it.disable_recursion_pending();
+      continue;
+    }
+    const std::string name = p.filename().string();
+    if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(p, ec);  // Torn write that never reached its rename.
+      continue;
+    }
+    if (p.parent_path() == root) continue;  // index.json lives at the root.
+    if (name.size() >= 5 && name.compare(name.size() - 5, 5, ".json") == 0)
+      present.push_back(fs::relative(p, root, ec).generic_string());
+  }
+
+  // Reconcile: keep index rows whose file survives; adopt files the index
+  // never saw (sorted path order, so rebuilt sequence numbers are
+  // deterministic); drop rows whose file is gone.
+  std::sort(present.begin(), present.end());
+  entries_.clear();
+  total_bytes_ = 0;
+  next_seq_ = loaded_next_seq;
+  for (const std::string& relpath : present) {
+    Entry ent;
+    const auto it = loaded.find(relpath);
+    const std::uint64_t size =
+        fs::file_size(fs::path(cfg_.root) / relpath, ec);
+    ent.bytes = ec ? 0 : size;
+    ent.seq = it != loaded.end() ? it->second.seq : next_seq_++;
+    entries_[relpath] = ent;
+    total_bytes_ += ent.bytes;
+  }
+  for (const auto& [relpath, ent] : entries_)
+    if (ent.seq >= next_seq_) next_seq_ = ent.seq + 1;
+  stats_.entries = entries_.size();
+  stats_.bytes = total_bytes_;
+  index_dirty_ = true;
+}
+
+void ResultCache::touch_locked(const std::string& relpath) {
+  const auto it = entries_.find(relpath);
+  if (it != entries_.end()) {
+    it->second.seq = next_seq_++;
+    index_dirty_ = true;
+  }
+}
+
+void ResultCache::drop_locked(const std::string& relpath) {
+  const auto it = entries_.find(relpath);
+  if (it != entries_.end()) {
+    total_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    stats_.entries = entries_.size();
+    stats_.bytes = total_bytes_;
+    index_dirty_ = true;
+  }
+}
+
+void ResultCache::quarantine(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(quarantine_dir(), ec);
+  const std::string dest =
+      (fs::path(quarantine_dir()) /
+       (fs::path(path).filename().string() + ".q" +
+        std::to_string(quarantine_counter_++)))
+          .string();
+  fs::rename(path, dest, ec);
+  if (ec) fs::remove(path, ec);  // Cross-device fallback: drop it.
+  ++stats_.quarantined;
+  drop_locked(fs::relative(path, cfg_.root, ec).generic_string());
+}
+
+bool ResultCache::lookup(const std::string& config_hash,
+                         const std::string& point_id,
+                         campaign::PointResult& out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = entry_path(config_hash, point_id);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    ++stats_.misses;
+    return false;
+  }
+  try {
+    const campaign::JsonValue v =
+        campaign::parse_json(campaign::read_text(path));
+    // The path encodes the key, but the entry restates it; any
+    // disagreement (tampering, renamed files, a schema bump racing an old
+    // writer) is a miss, never an error.
+    const bool key_ok =
+        v.at("schema_version").as_int() == campaign::kSchemaVersion &&
+        v.at("config_hash").as_string() == config_hash &&
+        v.at("git_sha").as_string() == cfg_.git_sha;
+    if (!key_ok) {
+      quarantine(path);
+      ++stats_.misses;
+      return false;
+    }
+    const std::string point_text =
+        campaign::to_json_text(v.at("point"));
+    if (campaign::fnv1a_hex(point_text) != v.at("check").as_string()) {
+      quarantine(path);
+      ++stats_.misses;
+      return false;
+    }
+    campaign::PointResult p = campaign::point_from_json_text(point_text);
+    if (p.id != point_id) {
+      quarantine(path);
+      ++stats_.misses;
+      return false;
+    }
+    out = std::move(p);
+  } catch (const std::exception&) {
+    quarantine(path);
+    ++stats_.misses;
+    return false;
+  }
+  touch_locked(fs::relative(path, cfg_.root, ec).generic_string());
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::store(const std::string& config_hash,
+                        const campaign::PointResult& p) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = entry_path(config_hash, p.id);
+  fs::create_directories(fs::path(path).parent_path());
+
+  const std::string point_text = campaign::point_to_json_text(p);
+  campaign::JsonValue entry = campaign::JsonValue::make_object();
+  entry.set("schema_version",
+            campaign::JsonValue::make_number(campaign::kSchemaVersion));
+  entry.set("config_hash", campaign::JsonValue::make_string(config_hash));
+  entry.set("git_sha", campaign::JsonValue::make_string(cfg_.git_sha));
+  entry.set("check", campaign::JsonValue::make_string(
+                         campaign::fnv1a_hex(point_text)));
+  entry.set("point", campaign::parse_json(point_text));
+  const std::string text = campaign::to_json_text(entry);
+  campaign::write_text_atomic(path, text);
+
+  std::error_code ec;
+  const std::string relpath =
+      fs::relative(path, cfg_.root, ec).generic_string();
+  const auto it = entries_.find(relpath);
+  if (it != entries_.end()) total_bytes_ -= it->second.bytes;
+  entries_[relpath] = {text.size(), next_seq_++};
+  total_bytes_ += text.size();
+  ++stats_.stores;
+  stats_.entries = entries_.size();
+  stats_.bytes = total_bytes_;
+  index_dirty_ = true;
+  evict_lru();
+  flush_index_locked();
+}
+
+void ResultCache::evict_lru() {
+  if (cfg_.max_bytes == 0) return;
+  while (total_bytes_ > cfg_.max_bytes && entries_.size() > 1) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+      if (it->second.seq < victim->second.seq) victim = it;
+    std::error_code ec;
+    fs::remove(fs::path(cfg_.root) / victim->first, ec);
+    total_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  stats_.entries = entries_.size();
+  stats_.bytes = total_bytes_;
+}
+
+void ResultCache::flush_index_locked() {
+  if (!index_dirty_) return;
+  campaign::JsonValue o = campaign::JsonValue::make_object();
+  o.set("next_seq", campaign::JsonValue::make_number(
+                        static_cast<double>(next_seq_)));
+  campaign::JsonValue arr = campaign::JsonValue::make_array();
+  for (const auto& [relpath, ent] : entries_) {
+    campaign::JsonValue e = campaign::JsonValue::make_object();
+    e.set("path", campaign::JsonValue::make_string(relpath));
+    e.set("bytes", campaign::JsonValue::make_number(
+                       static_cast<double>(ent.bytes)));
+    e.set("seq",
+          campaign::JsonValue::make_number(static_cast<double>(ent.seq)));
+    arr.push_back(std::move(e));
+  }
+  o.set("entries", std::move(arr));
+  campaign::write_text_atomic(
+      (fs::path(cfg_.root) / index_name()).string(),
+      campaign::to_json_text(o));
+  index_dirty_ = false;
+}
+
+void ResultCache::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  flush_index_locked();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace rnoc::serve

@@ -1,0 +1,111 @@
+// Persistent on-disk point-result cache: the store layer of the campaign
+// results service.
+//
+// One file per campaign point, keyed by the triple the engine already
+// stamps into every result — schema version, FNV-1a config hash of the
+// expanded spec, and git SHA — so a repeated or overlapping sweep (same
+// spec, same code) is served from disk instead of resimulated, while any
+// change to the spec, the schema, or the commit is automatically a miss.
+//
+// Robustness discipline:
+//  * writes are atomic (same-directory temp file + rename), so a kill -9
+//    mid-store never corrupts the entry at its final path;
+//  * every entry carries an FNV-1a checksum over its payload; an entry
+//    that fails to parse, fails its checksum, or disagrees with the key
+//    that addressed it is quarantined (moved aside, never deleted in
+//    place, never served) and reported as a miss — cache damage degrades
+//    to recomputation, not to errors or wrong results;
+//  * total size is capped (optionally) with LRU eviction ordered by a
+//    persisted access sequence number, not wall-clock mtimes, so the
+//    cache layer stays inside the determinism analyzer's no-clock
+//    discipline for the execute path.
+//
+// Thread-safe; all operations serialize on one internal mutex (point
+// simulation dominates cache I/O by orders of magnitude).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "campaign/engine.hpp"
+
+namespace rnoc::serve {
+
+class ResultCache {
+ public:
+  struct Config {
+    std::string root;             ///< Cache directory (created if absent).
+    std::uint64_t max_bytes = 0;  ///< LRU size cap; 0 = unlimited.
+    std::string git_sha = "unknown";  ///< Third component of the entry key.
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t entries = 0;  ///< Currently resident.
+    std::uint64_t bytes = 0;    ///< Currently resident payload bytes.
+  };
+
+  /// Opens (or creates) the cache at cfg.root: scavenges temp files left
+  /// by killed writers, reconciles the LRU index with the files actually
+  /// on disk, and loads the access-sequence state.
+  explicit ResultCache(Config cfg);
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Fetches the entry for (schema, config_hash, git_sha, point_id).
+  /// True and fills `out` on a valid hit; false on absence, key mismatch,
+  /// or a corrupt/truncated entry (which is quarantined as a side effect).
+  bool lookup(const std::string& config_hash, const std::string& point_id,
+              campaign::PointResult& out);
+
+  /// Inserts or overwrites the entry for (schema, config_hash, git_sha,
+  /// p.id) atomically, then enforces the size cap by evicting the least
+  /// recently used entries.
+  void store(const std::string& config_hash, const campaign::PointResult& p);
+
+  /// Persists the LRU index now (also done by the destructor). The index
+  /// is advisory: if it is lost, order degrades gracefully to a scan.
+  void flush();
+
+  Stats stats() const;
+
+  /// Entry file path for a key (exposed so tests can corrupt entries the
+  /// way a crashed writer would).
+  std::string entry_path(const std::string& config_hash,
+                         const std::string& point_id) const;
+  std::string quarantine_dir() const;
+
+ private:
+  struct Entry {
+    std::uint64_t bytes = 0;
+    std::uint64_t seq = 0;  ///< Access order; higher = more recent.
+  };
+
+  void scavenge_and_reconcile();
+  void quarantine(const std::string& path);
+  void evict_lru();
+  void flush_index_locked();
+  void touch_locked(const std::string& relpath);
+  void drop_locked(const std::string& relpath);
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  /// Relative entry path -> LRU state. std::map (ordered) so the rebuild
+  /// and the persisted index are deterministic.
+  std::map<std::string, Entry> entries_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t quarantine_counter_ = 0;
+  Stats stats_;
+  bool index_dirty_ = false;
+};
+
+}  // namespace rnoc::serve

@@ -1,0 +1,139 @@
+#include "serve/client.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+#include "campaign/json.hpp"
+#include "serve/socket.hpp"
+#include "serve/wire.hpp"
+
+namespace rnoc::serve {
+
+using campaign::JsonValue;
+
+namespace {
+
+/// Sends one request line and reads one response line; throws
+/// std::runtime_error on connection failures.
+JsonValue round_trip(const std::string& socket_path,
+                     const std::string& line) {
+  const Fd fd = connect_unix(socket_path);
+  if (!send_line(fd.get(), line))
+    throw std::runtime_error("serve: daemon closed the connection");
+  LineReader reader(fd.get());
+  std::string reply;
+  if (!reader.read_line(reply))
+    throw std::runtime_error("serve: daemon closed the connection");
+  return campaign::parse_json(reply);
+}
+
+std::string reply_error(const JsonValue& v) {
+  const JsonValue* err = v.find("error");
+  return err ? err->as_string() : "daemon refused the request";
+}
+
+}  // namespace
+
+ClientOutcome run_campaign_via_daemon(const std::string& socket_path,
+                                      const std::string& name, bool smoke,
+                                      Lane lane, const std::string& git_sha,
+                                      const ClientProgress& progress) {
+  ClientOutcome out;
+  out.campaign = name;
+  try {
+    const Fd fd = connect_unix(socket_path);
+    JsonValue req = JsonValue::make_object();
+    req.set("op", JsonValue::make_string("submit"));
+    req.set("campaign", JsonValue::make_string(name));
+    req.set("smoke", JsonValue::make_bool(smoke));
+    req.set("lane", JsonValue::make_string(lane_name(lane)));
+    if (!git_sha.empty())
+      req.set("git_sha", JsonValue::make_string(git_sha));
+    if (!send_line(fd.get(), to_wire_line(req)))
+      throw std::runtime_error("serve: daemon closed the connection");
+
+    LineReader reader(fd.get());
+    std::string line;
+    while (reader.read_line(line)) {
+      const JsonValue ev = campaign::parse_json(line);
+      if (const JsonValue* ok = ev.find("ok");
+          ok && !ok->as_bool()) {  // Refused before acceptance.
+        out.error = reply_error(ev);
+        return out;
+      }
+      const std::string kind = ev.at("event").as_string();
+      if (kind == "accepted") {
+        out.config_hash = ev.at("config_hash").as_string();
+        out.points = static_cast<std::size_t>(ev.at("points").as_int());
+      } else if (kind == "point") {
+        if (progress)
+          progress(static_cast<std::size_t>(ev.at("done").as_int()),
+                   static_cast<std::size_t>(ev.at("total").as_int()),
+                   ev.at("id").as_string(), ev.at("cached").as_bool());
+      } else if (kind == "done") {
+        out.config_hash = ev.at("config_hash").as_string();
+        out.points = static_cast<std::size_t>(ev.at("points").as_int());
+        out.cache_hits =
+            static_cast<std::size_t>(ev.at("cache_hits").as_int());
+        out.executed = static_cast<std::size_t>(ev.at("executed").as_int());
+        out.result_text = ev.at("result").as_string();
+        out.ok = true;
+        return out;
+      } else if (kind == "failed") {
+        out.error = ev.at("error").as_string();
+        return out;
+      } else {
+        out.error = "serve: unexpected event '" + kind + "'";
+        return out;
+      }
+    }
+    out.error =
+        "serve: connection lost before the campaign finished (daemon "
+        "killed? — rerun to resume from its cache)";
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+bool ping_daemon(const std::string& socket_path, std::string& error) {
+  try {
+    JsonValue req = JsonValue::make_object();
+    req.set("op", JsonValue::make_string("ping"));
+    const JsonValue reply = round_trip(socket_path, to_wire_line(req));
+    if (reply.at("ok").as_bool()) return true;
+    error = reply_error(reply);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  return false;
+}
+
+std::string daemon_stats_line(const std::string& socket_path,
+                              std::string& error) {
+  try {
+    JsonValue req = JsonValue::make_object();
+    req.set("op", JsonValue::make_string("stats"));
+    const JsonValue reply = round_trip(socket_path, to_wire_line(req));
+    if (reply.at("ok").as_bool()) return to_wire_line(reply);
+    error = reply_error(reply);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  return "";
+}
+
+bool shutdown_daemon(const std::string& socket_path, std::string& error) {
+  try {
+    JsonValue req = JsonValue::make_object();
+    req.set("op", JsonValue::make_string("shutdown"));
+    const JsonValue reply = round_trip(socket_path, to_wire_line(req));
+    if (reply.at("ok").as_bool()) return true;
+    error = reply_error(reply);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  return false;
+}
+
+}  // namespace rnoc::serve

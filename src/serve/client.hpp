@@ -1,0 +1,54 @@
+// Client side of the campaign results service: what `rnoc_campaign
+// --connect` is built on.
+//
+// run_campaign_via_daemon submits one campaign and streams it to
+// completion; the returned result_text is the daemon's exact
+// to_json(CampaignResult) bytes, which the caller writes verbatim — that
+// is the whole byte-identity story of client mode (no re-serialization on
+// the client side, nothing to drift).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/scheduler.hpp"
+
+namespace rnoc::serve {
+
+struct ClientOutcome {
+  bool ok = false;
+  std::string error;  ///< Set when !ok (refused, failed, or daemon died).
+  std::string campaign;
+  std::string config_hash;
+  std::size_t points = 0;
+  std::size_t cache_hits = 0;  ///< Points served without fresh computation.
+  std::size_t executed = 0;    ///< Points computed for this submission.
+  std::string result_text;     ///< Exact result JSON bytes; "" when !ok.
+};
+
+/// Per-point progress as streamed by the daemon.
+using ClientProgress = std::function<void(
+    std::size_t done, std::size_t total, const std::string& id, bool cached)>;
+
+/// Submits `name` and blocks until the daemon's terminal event. Never
+/// throws: connection failures and daemon-side errors come back in
+/// .error (a daemon killed mid-campaign reads as a lost connection; the
+/// next attempt resumes from the daemon's persistent cache).
+ClientOutcome run_campaign_via_daemon(const std::string& socket_path,
+                                      const std::string& name, bool smoke,
+                                      Lane lane, const std::string& git_sha,
+                                      const ClientProgress& progress = {});
+
+/// Round-trips a ping. False with `error` set when the daemon is absent.
+bool ping_daemon(const std::string& socket_path, std::string& error);
+
+/// Fetches the daemon's stats line (raw single-line JSON; "" on failure
+/// with `error` set). Tools pretty-print or grep it as they see fit.
+std::string daemon_stats_line(const std::string& socket_path,
+                              std::string& error);
+
+/// Asks the daemon to shut down cleanly. False with `error` set on failure.
+bool shutdown_daemon(const std::string& socket_path, std::string& error);
+
+}  // namespace rnoc::serve

@@ -1,0 +1,263 @@
+#include "serve/server.hpp"
+
+#include <unistd.h>
+
+#include <exception>
+#include <utility>
+
+#include "campaign/registry.hpp"
+#include "serve/wire.hpp"
+
+namespace rnoc::serve {
+
+using campaign::JsonValue;
+
+namespace {
+
+std::string get_string(const JsonValue& v, const std::string& key,
+                       const std::string& fallback) {
+  const JsonValue* m = v.find(key);
+  return m ? m->as_string() : fallback;
+}
+
+bool get_bool(const JsonValue& v, const std::string& key, bool fallback) {
+  const JsonValue* m = v.find(key);
+  return m ? m->as_bool() : fallback;
+}
+
+JsonValue num(std::uint64_t n) {
+  return JsonValue::make_number(static_cast<double>(n));
+}
+
+}  // namespace
+
+Server::Server(Config cfg, CampaignService& service)
+    : cfg_(std::move(cfg)), service_(service) {
+  listener_ = listen_unix(cfg_.socket_path);
+}
+
+Server::~Server() {
+  // run() owns the shutdown sequence; if it never ran, just release the
+  // socket file.
+  listener_.reset();
+  ::unlink(cfg_.socket_path.c_str());
+}
+
+void Server::log(const std::string& msg) {
+  if (cfg_.log) cfg_.log(msg);
+}
+
+void Server::request_stop() {
+  stop_.store(true);
+  listener_.shutdown_both();
+}
+
+void Server::send_to(const std::shared_ptr<Conn>& conn,
+                     const std::string& line) {
+  const std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->alive.load()) return;
+  if (!send_line(conn->fd.get(), line)) conn->alive.store(false);
+}
+
+void Server::run() {
+  log("serve: listening on " + cfg_.socket_path);
+  while (!stop_.load()) {
+    Fd client = accept_unix(listener_);
+    if (!client.valid()) {
+      if (stop_.load()) break;
+      break;  // Listener is broken; wind down rather than spin.
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = std::move(client);
+    {
+      const std::lock_guard<std::mutex> lock(conns_mu_);
+      // Reap finished connections so a long-lived daemon does not hold one
+      // thread object per historical client.
+      for (std::size_t i = 0; i < conns_.size();) {
+        if (!conns_[i]->alive.load()) {
+          if (threads_[i].joinable()) threads_[i].join();
+          conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+          threads_.erase(threads_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      conns_.push_back(conn);
+      threads_.emplace_back([this, conn] { handle_connection(conn); });
+    }
+  }
+
+  // Shutdown contract: fail in-flight jobs first (their waiters are the
+  // connection threads), then unblock any thread parked in recv, then join.
+  log("serve: shutting down");
+  service_.stop();
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::shared_ptr<Conn>& conn : conns_) conn->fd.shutdown_both();
+    for (std::thread& t : threads_)
+      if (t.joinable()) t.join();
+    conns_.clear();
+    threads_.clear();
+  }
+  listener_.reset();
+  ::unlink(cfg_.socket_path.c_str());
+  log("serve: stopped");
+}
+
+void Server::handle_connection(const std::shared_ptr<Conn>& conn) {
+  LineReader reader(conn->fd.get());
+  std::string line;
+  while (!stop_.load() && reader.read_line(line)) {
+    if (line.empty()) continue;
+    handle_request(conn, line);
+  }
+  conn->alive.store(false);
+}
+
+void Server::handle_request(const std::shared_ptr<Conn>& conn,
+                            const std::string& line) {
+  JsonValue req;
+  std::string op;
+  try {
+    req = campaign::parse_json(line);
+    op = req.at("op").as_string();
+  } catch (const std::exception& e) {
+    send_to(conn, wire_error_line(std::string("bad request: ") + e.what()));
+    return;
+  }
+  try {
+    if (op == "ping") {
+      JsonValue o = JsonValue::make_object();
+      o.set("ok", JsonValue::make_bool(true));
+      o.set("op", JsonValue::make_string("ping"));
+      send_to(conn, to_wire_line(o));
+    } else if (op == "list") {
+      JsonValue arr = JsonValue::make_array();
+      for (const campaign::CampaignSpec& spec :
+           campaign::campaign_registry()) {
+        JsonValue c = JsonValue::make_object();
+        c.set("name", JsonValue::make_string(spec.name));
+        c.set("artifact", JsonValue::make_string(spec.artifact));
+        c.set("points", num(spec.point_ids(false).size()));
+        c.set("smoke_points", num(spec.point_ids(true).size()));
+        c.set("description", JsonValue::make_string(spec.description));
+        arr.push_back(std::move(c));
+      }
+      JsonValue o = JsonValue::make_object();
+      o.set("ok", JsonValue::make_bool(true));
+      o.set("campaigns", std::move(arr));
+      send_to(conn, to_wire_line(o));
+    } else if (op == "stats") {
+      const CampaignService::Stats s = service_.stats();
+      const PointScheduler::Stats sch = service_.scheduler_stats();
+      const ResultCache::Stats c = service_.cache_stats();
+      JsonValue o = JsonValue::make_object();
+      o.set("ok", JsonValue::make_bool(true));
+      JsonValue sv = JsonValue::make_object();
+      sv.set("jobs_submitted", num(s.jobs_submitted));
+      sv.set("jobs_coalesced", num(s.jobs_coalesced));
+      sv.set("points_computed", num(s.points_computed));
+      sv.set("points_cached", num(s.points_cached));
+      o.set("service", std::move(sv));
+      JsonValue sc = JsonValue::make_object();
+      sc.set("executed", num(sch.executed));
+      sc.set("steals", num(sch.steals));
+      sc.set("dropped", num(sch.dropped));
+      o.set("scheduler", std::move(sc));
+      JsonValue cc = JsonValue::make_object();
+      cc.set("hits", num(c.hits));
+      cc.set("misses", num(c.misses));
+      cc.set("stores", num(c.stores));
+      cc.set("evictions", num(c.evictions));
+      cc.set("quarantined", num(c.quarantined));
+      cc.set("entries", num(c.entries));
+      cc.set("bytes", num(c.bytes));
+      o.set("cache", std::move(cc));
+      send_to(conn, to_wire_line(o));
+    } else if (op == "submit") {
+      handle_submit(conn, req);
+    } else if (op == "shutdown") {
+      JsonValue o = JsonValue::make_object();
+      o.set("ok", JsonValue::make_bool(true));
+      o.set("op", JsonValue::make_string("shutdown"));
+      send_to(conn, to_wire_line(o));
+      log("serve: shutdown requested by client");
+      request_stop();
+    } else {
+      send_to(conn, wire_error_line("unknown op '" + op + "'"));
+    }
+  } catch (const std::exception& e) {
+    send_to(conn, wire_error_line(e.what()));
+  }
+}
+
+void Server::handle_submit(const std::shared_ptr<Conn>& conn,
+                           const JsonValue& req) {
+  CampaignService::Request r;
+  r.campaign = req.at("campaign").as_string();
+  r.smoke = get_bool(req, "smoke", false);
+  r.lane = lane_from_name(get_string(req, "lane", "bulk"));
+  r.git_sha = get_string(req, "git_sha", "");
+
+  // The accepted line must precede every point event, including the replay
+  // a coalescing submit delivers from inside submit() itself — so describe
+  // the job (pure, cheap) before handing the sink over.
+  const campaign::CampaignSpec* spec = campaign::find_campaign(r.campaign);
+  if (!spec) {
+    send_to(conn, wire_error_line("unknown campaign '" + r.campaign +
+                                  "' (use op list)"));
+    return;
+  }
+  const std::vector<campaign::PointUnit> units =
+      campaign::expand_point_units(*spec, r.smoke);
+  std::vector<std::string> ids;
+  ids.reserve(units.size());
+  for (const campaign::PointUnit& u : units) ids.push_back(u.id);
+  const std::string config_hash =
+      campaign::spec_config_hash(*spec, r.smoke, ids);
+
+  JsonValue acc = JsonValue::make_object();
+  acc.set("event", JsonValue::make_string("accepted"));
+  acc.set("campaign", JsonValue::make_string(r.campaign));
+  acc.set("smoke", JsonValue::make_bool(r.smoke));
+  acc.set("lane", JsonValue::make_string(lane_name(r.lane)));
+  acc.set("points", num(units.size()));
+  acc.set("config_hash", JsonValue::make_string(config_hash));
+  send_to(conn, to_wire_line(acc));
+  log("serve: submit " + r.campaign + (r.smoke ? " (smoke, " : " (full, ") +
+      lane_name(r.lane) + ", " + std::to_string(units.size()) + " points)");
+
+  CampaignService::Sink sink;
+  sink.on_point = [this, conn](const CampaignService::PointEvent& ev) {
+    JsonValue o = JsonValue::make_object();
+    o.set("event", JsonValue::make_string("point"));
+    o.set("done", num(ev.done));
+    o.set("total", num(ev.total));
+    o.set("id", JsonValue::make_string(ev.id));
+    o.set("cached", JsonValue::make_bool(ev.cached));
+    send_to(conn, to_wire_line(o));
+  };
+  sink.on_done = [this, conn](const CampaignService::JobResult& jr) {
+    JsonValue o = JsonValue::make_object();
+    if (jr.error.empty()) {
+      o.set("event", JsonValue::make_string("done"));
+      o.set("campaign", JsonValue::make_string(jr.campaign));
+      o.set("config_hash", JsonValue::make_string(jr.config_hash));
+      o.set("points", num(jr.points));
+      o.set("cache_hits", num(jr.cache_hits));
+      o.set("executed", num(jr.executed));
+      o.set("result", JsonValue::make_string(jr.result_text));
+    } else {
+      o.set("event", JsonValue::make_string("failed"));
+      o.set("campaign", JsonValue::make_string(jr.campaign));
+      o.set("error", JsonValue::make_string(jr.error));
+    }
+    send_to(conn, to_wire_line(o));
+  };
+
+  const std::uint64_t ticket = service_.submit(r, std::move(sink));
+  service_.wait(ticket);
+  log("serve: finished " + r.campaign);
+}
+
+}  // namespace rnoc::serve

@@ -1,0 +1,83 @@
+// The daemon front end: accepts unix-socket connections and speaks the
+// line-delimited JSON wire protocol on each, one thread per connection.
+//
+// A connection is a sequence of requests; `submit` streams accepted/point
+// events and blocks the connection (not the daemon — other connections
+// keep their own threads) until the job's terminal done/failed line.
+// Worker threads deliver point events through the connection's write
+// mutex, so event lines never interleave mid-line.
+//
+// Shutdown contract (the serve-smoke CI job asserts it): request_stop()
+// is async-signal-safe (atomic flag + shutdown(2) of the listener);
+// run() then stops the CampaignService — failing incomplete jobs with
+// terminal error lines, flushing the cache index — unblocks and joins
+// every connection thread, and unlinks the socket file. Nothing is left
+// behind but the cache directory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/json.hpp"
+#include "serve/service.hpp"
+#include "serve/socket.hpp"
+
+namespace rnoc::serve {
+
+class Server {
+ public:
+  struct Config {
+    std::string socket_path;
+    /// Connection/job log sink (the daemon prints these); may be null.
+    std::function<void(const std::string&)> log;
+  };
+
+  /// Binds and listens immediately (throws std::runtime_error on failure);
+  /// `service` must outlive the server.
+  Server(Config cfg, CampaignService& service);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until request_stop(); performs the full shutdown contract
+  /// before returning.
+  void run();
+
+  /// Signals run() to wind down. Safe from signal handlers and other
+  /// threads; idempotent.
+  void request_stop();
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::mutex write_mu;
+    std::atomic<bool> alive{true};
+  };
+
+  void handle_connection(const std::shared_ptr<Conn>& conn);
+  void handle_request(const std::shared_ptr<Conn>& conn,
+                      const std::string& line);
+  void handle_submit(const std::shared_ptr<Conn>& conn,
+                     const campaign::JsonValue& req);
+  /// Sends under the connection's write mutex; marks the connection dead
+  /// on failure so later events become no-ops instead of errors.
+  void send_to(const std::shared_ptr<Conn>& conn, const std::string& line);
+  void log(const std::string& msg);
+
+  Config cfg_;
+  CampaignService& service_;
+  Fd listener_;
+  std::atomic<bool> stop_{false};
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rnoc::serve

@@ -1,0 +1,289 @@
+#include "serve/service.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "campaign/registry.hpp"
+#include "common/types.hpp"
+
+namespace rnoc::serve {
+
+/// One in-flight (or just-finished) campaign execution. Shared by the
+/// scheduler tasks, every coalesced sink, and wait() tickets.
+struct CampaignService::Job {
+  const campaign::CampaignSpec* spec = nullptr;
+  bool smoke = false;
+  std::string key;
+  std::string config_hash;
+  std::string git_sha;
+  std::vector<campaign::PointUnit> units;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<campaign::PointResult> points;  ///< Indexed like units.
+  std::vector<char> have;                     ///< Per-point completion.
+  std::size_t completed_tasks = 0;
+  std::string error;  ///< First failure; non-empty poisons the job.
+  bool done = false;
+
+  /// Per-sink delivery state. A sink attached by coalescing sees every
+  /// point as cached: the computation was already owned by another
+  /// submission, so from its perspective everything is served, not run.
+  struct SinkState {
+    Sink sink;
+    bool coalesced = false;
+    std::size_t delivered = 0;
+    std::size_t hits = 0;
+    std::size_t executed = 0;
+  };
+  std::vector<SinkState> sinks;
+};
+
+CampaignService::CampaignService(Config cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.cache_root.empty())
+    cache_ = std::make_unique<ResultCache>(ResultCache::Config{
+        cfg_.cache_root, cfg_.cache_max_bytes, cfg_.git_sha});
+  scheduler_ = std::make_unique<PointScheduler>(cfg_.workers);
+}
+
+CampaignService::~CampaignService() { stop(); }
+
+campaign::PointResult CampaignService::execute_point(
+    const campaign::CampaignSpec& spec, const campaign::PointUnit& unit,
+    bool smoke, const std::string& config_hash, bool& cached) {
+  campaign::PointResult p;
+  if (cache_ && cache_->lookup(config_hash, unit.id, p) && p.id == unit.id) {
+    cached = true;
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.points_cached;
+    return p;
+  }
+  cached = false;
+  p = campaign::run_point_unit(spec, unit, smoke);
+  if (cache_) cache_->store(config_hash, p);
+  std::uint64_t computed = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.points_computed;
+    computed = ++computed_total_;
+  }
+  if (cfg_.on_point_computed) cfg_.on_point_computed(computed);
+  return p;
+}
+
+void CampaignService::run_unit_task(const std::shared_ptr<Job>& job,
+                                    std::size_t i) {
+  bool skip = false;
+  {
+    const std::lock_guard<std::mutex> lock(job->mu);
+    skip = !job->error.empty();
+  }
+  bool cached = false;
+  campaign::PointResult p;
+  std::string err;
+  if (!skip) {
+    try {
+      p = execute_point(*job->spec, job->units[i], job->smoke,
+                        job->config_hash, cached);
+    } catch (const std::exception& e) {
+      err = e.what();
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(job->mu);
+  ++job->completed_tasks;
+  if (!err.empty() && job->error.empty())
+    job->error = "point '" + job->units[i].id + "': " + err;
+  if (err.empty() && !skip) {
+    job->points[i] = std::move(p);
+    job->have[i] = 1;
+    for (Job::SinkState& s : job->sinks) {
+      const bool as_cached = s.coalesced || cached;
+      ++(as_cached ? s.hits : s.executed);
+      if (s.sink.on_point)
+        s.sink.on_point(
+            {++s.delivered, job->units.size(), job->units[i].id, as_cached});
+    }
+  }
+  if (job->completed_tasks == job->units.size()) finalize_locked(*job);
+}
+
+void CampaignService::finalize_locked(Job& job) {
+  if (job.done) return;
+  JobResult base;
+  base.campaign = job.spec->name;
+  base.config_hash = job.config_hash;
+  base.points = job.units.size();
+  base.error = job.error;
+  if (job.error.empty()) {
+    campaign::CampaignResult r;
+    r.campaign = job.spec->name;
+    r.artifact = job.spec->artifact;
+    r.config_hash = job.config_hash;
+    r.git_sha = job.git_sha;
+    r.smoke = job.smoke;
+    r.seed = job.spec->seed;
+    r.points.reserve(job.points.size());
+    for (campaign::PointResult& p : job.points) r.points.push_back(std::move(p));
+    base.result_text = campaign::to_json(r);
+  }
+  for (Job::SinkState& s : job.sinks) {
+    JobResult jr = base;
+    jr.cache_hits = s.hits;
+    jr.executed = s.executed;
+    if (s.sink.on_done) s.sink.on_done(jr);
+  }
+  job.done = true;
+  job.cv.notify_all();
+}
+
+std::uint64_t CampaignService::submit(const Request& req, Sink sink) {
+  const campaign::CampaignSpec* spec = campaign::find_campaign(req.campaign);
+  require(spec != nullptr,
+          "serve: unknown campaign '" + req.campaign + "' (see list)");
+  const std::string git_sha =
+      req.git_sha.empty() ? cfg_.git_sha : req.git_sha;
+  const std::string key = req.campaign + "|" +
+                          (req.smoke ? "smoke" : "full") + "|" + git_sha;
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  require(!stopped_, "serve: service is stopped");
+
+  // Bounded bookkeeping: drop tickets whose job has finished so a
+  // long-running daemon does not grow one entry per historical job.
+  if (tickets_.size() > 1024) {
+    for (auto it = tickets_.begin(); it != tickets_.end();) {
+      const std::lock_guard<std::mutex> jlock(it->second->mu);
+      it = it->second->done ? tickets_.erase(it) : std::next(it);
+    }
+  }
+
+  const auto active_it = active_.find(key);
+  if (active_it != active_.end()) {
+    const std::shared_ptr<Job> job = active_it->second;
+    const std::lock_guard<std::mutex> jlock(job->mu);
+    if (!job->done) {
+      ++stats_.jobs_coalesced;
+      Job::SinkState ss;
+      ss.sink = std::move(sink);
+      ss.coalesced = true;
+      // Replay the points that finished before this sink attached, in
+      // index order, so the late client still streams a full campaign.
+      for (std::size_t i = 0; i < job->units.size(); ++i) {
+        if (!job->have[i]) continue;
+        ++ss.hits;
+        if (ss.sink.on_point)
+          ss.sink.on_point(
+              {++ss.delivered, job->units.size(), job->units[i].id, true});
+      }
+      job->sinks.push_back(std::move(ss));
+      const std::uint64_t ticket = next_ticket_++;
+      tickets_[ticket] = job;
+      return ticket;
+    }
+    active_.erase(active_it);
+  }
+
+  auto job = std::make_shared<Job>();
+  job->spec = spec;
+  job->smoke = req.smoke;
+  job->key = key;
+  job->git_sha = git_sha;
+  job->units = campaign::expand_point_units(*spec, req.smoke);
+  std::vector<std::string> ids;
+  ids.reserve(job->units.size());
+  for (const campaign::PointUnit& u : job->units) ids.push_back(u.id);
+  job->config_hash = campaign::spec_config_hash(*spec, req.smoke, ids);
+  job->points.resize(job->units.size());
+  job->have.assign(job->units.size(), 0);
+  Job::SinkState ss;
+  ss.sink = std::move(sink);
+  job->sinks.push_back(std::move(ss));
+  ++stats_.jobs_submitted;
+  active_[key] = job;
+  const std::uint64_t ticket = next_ticket_++;
+  tickets_[ticket] = job;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(job->units.size());
+  for (std::size_t i = 0; i < job->units.size(); ++i)
+    tasks.push_back([this, job, i] { run_unit_task(job, i); });
+  const std::uint64_t sched_id =
+      scheduler_->submit(req.lane, std::move(tasks));
+  if (sched_id == 0) {
+    const std::lock_guard<std::mutex> jlock(job->mu);
+    if (job->units.empty()) {
+      finalize_locked(*job);  // Degenerate empty grid: trivially complete.
+    } else {
+      job->error = "serve: scheduler rejected the job (stopping?)";
+      finalize_locked(*job);
+    }
+  }
+  return ticket;
+}
+
+void CampaignService::wait(std::uint64_t ticket) {
+  std::shared_ptr<Job> job;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = tickets_.find(ticket);
+    if (it == tickets_.end()) return;
+    job = it->second;
+  }
+  {
+    std::unique_lock<std::mutex> jlock(job->mu);
+    job->cv.wait(jlock, [&] { return job->done; });
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  tickets_.erase(ticket);
+}
+
+void CampaignService::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  // Must not hold mu_ here: in-flight tasks take it via execute_point and
+  // stop() joins them.
+  scheduler_->stop();
+  std::vector<std::shared_ptr<Job>> jobs;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    jobs.reserve(active_.size());
+    for (const auto& [key, job] : active_) jobs.push_back(job);
+    active_.clear();
+  }
+  for (const std::shared_ptr<Job>& job : jobs) {
+    const std::lock_guard<std::mutex> jlock(job->mu);
+    if (!job->done) {
+      if (job->error.empty())
+        job->error = "serve: service stopped before the campaign completed";
+      finalize_locked(*job);
+    }
+  }
+  if (cache_) {
+    try {
+      cache_->flush();
+    } catch (const std::exception&) {
+      // stop() runs on shutdown paths (including server threads); a lost
+      // index only degrades LRU order and must not take the daemon down.
+    }
+  }
+}
+
+CampaignService::Stats CampaignService::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+PointScheduler::Stats CampaignService::scheduler_stats() const {
+  return scheduler_->stats();
+}
+
+ResultCache::Stats CampaignService::cache_stats() const {
+  return cache_ ? cache_->stats() : ResultCache::Stats{};
+}
+
+}  // namespace rnoc::serve

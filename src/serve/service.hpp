@@ -1,0 +1,144 @@
+// CampaignService: the spec -> schedule -> execute -> store core of the
+// campaign results daemon.
+//
+// A submission names a registered campaign; the service expands it into
+// engine point units (campaign::expand_point_units), deals the units to the
+// two-lane work-stealing PointScheduler, executes each through one choke
+// point — execute_point, which consults the persistent ResultCache before
+// running the unit and stores every fresh result — and assembles the points
+// back into a CampaignResult in point-index order. The serialized result is
+// therefore byte-identical to what a local `rnoc_campaign` run of the same
+// spec produces: worker count, steal order, lane, cache hits and daemon
+// restarts are all invisible in the output (test-enforced).
+//
+// Identical in-flight submissions coalesce: a submit whose
+// (campaign, smoke, git_sha) matches a running job attaches as an extra
+// sink instead of scheduling duplicate work, and every point it receives is
+// reported as served-from-cache — the work was already paid for. Combined
+// with the disk cache this makes "a second overlapping client sees hits for
+// every point" a deterministic invariant, not a race outcome.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "serve/cache.hpp"
+#include "serve/scheduler.hpp"
+
+namespace rnoc::serve {
+
+class CampaignService {
+ public:
+  struct Config {
+    int workers = 0;  ///< Scheduler threads; 0 = hardware concurrency.
+    std::string cache_root;  ///< Empty disables the persistent cache.
+    std::uint64_t cache_max_bytes = 0;  ///< 0 = unlimited.
+    std::string git_sha = "unknown";    ///< Stamps results, keys the cache.
+    /// Test hook: called after every freshly computed (non-cached) point
+    /// with the process-wide count so far. The daemon's --exit-after-points
+    /// flag uses it to simulate a mid-campaign kill deterministically.
+    std::function<void(std::uint64_t computed_so_far)> on_point_computed;
+  };
+
+  /// One submission.
+  struct Request {
+    std::string campaign;
+    bool smoke = false;
+    Lane lane = Lane::Bulk;
+    /// Stamped into the result header; empty = the service's git_sha. Does
+    /// not affect cache keying (the daemon is one build; its own SHA keys
+    /// the cache).
+    std::string git_sha;
+  };
+
+  /// Per-point progress, in completion order for the sink.
+  struct PointEvent {
+    std::size_t done = 0;  ///< Points delivered to this sink so far.
+    std::size_t total = 0;
+    std::string id;
+    bool cached = false;  ///< Served from cache or a coalesced job.
+  };
+
+  /// Terminal event, delivered exactly once per submission.
+  struct JobResult {
+    std::string campaign;
+    std::string config_hash;
+    std::size_t points = 0;
+    std::size_t cache_hits = 0;  ///< As seen by this sink (see coalescing).
+    std::size_t executed = 0;    ///< Freshly computed for this sink.
+    std::string result_text;     ///< Exact to_json(CampaignResult) bytes.
+    std::string error;           ///< Empty on success.
+  };
+
+  struct Sink {
+    std::function<void(const PointEvent&)> on_point;  ///< May be null.
+    std::function<void(const JobResult&)> on_done;    ///< May be null.
+  };
+
+  struct Stats {
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_coalesced = 0;
+    std::uint64_t points_computed = 0;
+    std::uint64_t points_cached = 0;
+  };
+
+  explicit CampaignService(Config cfg);
+  ~CampaignService();
+
+  CampaignService(const CampaignService&) = delete;
+  CampaignService& operator=(const CampaignService&) = delete;
+
+  /// Schedules `req` (or attaches to a matching in-flight job) and returns
+  /// a ticket for wait(). Sink callbacks fire from worker threads,
+  /// serialized per job. Throws std::invalid_argument on unknown campaigns.
+  std::uint64_t submit(const Request& req, Sink sink);
+
+  /// Blocks until the submission's terminal event has been delivered.
+  void wait(std::uint64_t ticket);
+
+  /// Stops the scheduler, fails every incomplete job's sinks with a
+  /// shutdown error, and flushes the cache index. Idempotent.
+  void stop();
+
+  Stats stats() const;
+  PointScheduler::Stats scheduler_stats() const;
+  /// Zeroed when no cache is configured.
+  ResultCache::Stats cache_stats() const;
+
+  /// The execute path: cache lookup, else run the unit and store it. This
+  /// is the determinism root the static analyzer audits — everything
+  /// reachable from here must be free of wall-clock, RNG and environment
+  /// sinks, because these results are the bytes campaigns are made of.
+  campaign::PointResult execute_point(const campaign::CampaignSpec& spec,
+                                      const campaign::PointUnit& unit,
+                                      bool smoke,
+                                      const std::string& config_hash,
+                                      bool& cached);
+
+ private:
+  struct Job;
+
+  void finalize_locked(Job& job);
+  void run_unit_task(const std::shared_ptr<Job>& job, std::size_t i);
+
+  Config cfg_;
+  std::unique_ptr<ResultCache> cache_;  ///< Null when no cache_root.
+  std::unique_ptr<PointScheduler> scheduler_;
+
+  mutable std::mutex mu_;
+  /// (campaign|smoke|git_sha) -> in-flight job, for coalescing.
+  std::map<std::string, std::shared_ptr<Job>> active_;
+  /// Ticket -> job, for wait(); finished entries pruned lazily.
+  std::map<std::uint64_t, std::shared_ptr<Job>> tickets_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t computed_total_ = 0;
+  Stats stats_;
+  bool stopped_ = false;
+};
+
+}  // namespace rnoc::serve

@@ -1,0 +1,63 @@
+// Thin AF_UNIX stream-socket layer for the campaign results service:
+// RAII file descriptors, listen/accept/connect, and newline framing for
+// the line-delimited JSON wire protocol. POSIX-only, like the rest of the
+// daemon (the simulator library itself stays portable).
+#pragma once
+
+#include <string>
+
+namespace rnoc::serve {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor (if any).
+  void reset();
+  /// shutdown(2) both directions — unblocks a peer thread stuck in
+  /// accept/recv without closing the fd out from under it.
+  void shutdown_both();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a unix-domain socket at `path` (which must fit in
+/// sockaddr_un; keep it short). Removes a stale socket file at that path
+/// first. Throws std::runtime_error on failure.
+Fd listen_unix(const std::string& path, int backlog = 16);
+
+/// Accepts one connection; invalid Fd on error (including shutdown of the
+/// listener, the server's stop signal).
+Fd accept_unix(const Fd& listener);
+
+/// Connects to the daemon socket; throws std::runtime_error on failure.
+Fd connect_unix(const std::string& path);
+
+/// Writes `line` plus '\n', retrying partial writes. False once the peer
+/// is gone (EPIPE/ECONNRESET); SIGPIPE is suppressed per call.
+bool send_line(int fd, const std::string& line);
+
+/// Buffers a socket and yields one '\n'-terminated line at a time.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+  /// True with the next line (newline stripped); false on EOF or error.
+  bool read_line(std::string& out);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace rnoc::serve

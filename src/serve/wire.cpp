@@ -1,0 +1,64 @@
+#include "serve/wire.hpp"
+
+namespace rnoc::serve {
+
+namespace {
+
+void write_compact(const campaign::JsonValue& v, std::string& out) {
+  using Type = campaign::JsonValue::Type;
+  switch (v.type()) {
+    case Type::Null:
+      out += "null";
+      return;
+    case Type::Bool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case Type::Number:
+      out += campaign::json_double(v.as_number());
+      return;
+    case Type::String:
+      out += campaign::json_quote(v.as_string());
+      return;
+    case Type::Array: {
+      out.push_back('[');
+      bool first = true;
+      for (const campaign::JsonValue& item : v.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        write_compact(item, out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Type::Object: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members()) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += campaign::json_quote(key);
+        out.push_back(':');
+        write_compact(value, out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_wire_line(const campaign::JsonValue& v) {
+  std::string out;
+  write_compact(v, out);
+  return out;
+}
+
+std::string wire_error_line(const std::string& msg) {
+  campaign::JsonValue o = campaign::JsonValue::make_object();
+  o.set("ok", campaign::JsonValue::make_bool(false));
+  o.set("error", campaign::JsonValue::make_string(msg));
+  return to_wire_line(o);
+}
+
+}  // namespace rnoc::serve

@@ -1,0 +1,34 @@
+// Wire format of the campaign results service: line-delimited JSON over a
+// byte stream.
+//
+// Every request and every response/event is one JSON object on one line,
+// terminated by '\n'. The serializer here is the compact single-line
+// counterpart of campaign::to_json_text (same escaping, same exact
+// round-trip doubles via json_double, same member order preservation) so
+// both ends parse with campaign::parse_json and large payloads — a full
+// CampaignResult text travels as one escaped string member — survive the
+// trip byte-exactly.
+//
+// Requests:   {"op":"ping"} | {"op":"list"} | {"op":"stats"} |
+//             {"op":"shutdown"} |
+//             {"op":"submit","campaign":N,"smoke":B,"lane":L,"git_sha":S}
+// Responses:  {"ok":true,...} or {"ok":false,"error":...}; a submit streams
+//             {"event":"accepted"|"point"|"done"|"failed",...} lines and
+//             "done"/"failed" is always the last line of the job.
+#pragma once
+
+#include <string>
+
+#include "campaign/json.hpp"
+
+namespace rnoc::serve {
+
+/// Serializes compactly onto one line (no spaces, no newline). The inverse
+/// of campaign::parse_json; strings that round-trip through to_json_text
+/// round-trip here too.
+std::string to_wire_line(const campaign::JsonValue& v);
+
+/// {"ok":false,"error":msg} — the uniform failure line.
+std::string wire_error_line(const std::string& msg);
+
+}  // namespace rnoc::serve

@@ -1,0 +1,22 @@
+// Negative fixture for the `determinism` rule over the campaign service
+// execute path. A cache layer that timestamps entries (the obvious LRU
+// implementation) would smuggle a wall-clock read into point execution;
+// the read hides behind a TU-local helper so only the transitive
+// call-graph walk from rnoc::serve::ResultCache::* can see it.
+#include <ctime>
+
+namespace {
+
+long stamp_now() { return static_cast<long>(::time(nullptr)); }
+
+}  // namespace
+
+namespace rnoc::serve {
+
+struct ResultCache {
+  long lookup(int key);
+};
+
+long ResultCache::lookup(int key) { return key + stamp_now(); }
+
+}  // namespace rnoc::serve

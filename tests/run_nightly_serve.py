@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Nightly deep-campaign harness: start an rnoc_served daemon, push the
+full (non-smoke) campaign registry through it with rnoc_campaign
+--connect, and report per-campaign cache hit rates as a markdown table.
+
+CI runs this twice: a cold pass that executes every point and uploads the
+persistent result cache as an artifact, then a warm pass against the
+restored cache that must serve >90% of every campaign's points from disk
+(--min-hit-rate 0.9). Locally it doubles as a one-shot benchmark of the
+cache (see EXPERIMENTS.md P8).
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def start_daemon(served_bin, sock, cache, git_sha, cache_max_mb):
+    if os.path.exists(sock):
+        os.unlink(sock)
+    cmd = [served_bin, "--socket", sock, "--cache", cache,
+           "--git-sha", git_sha, "--cache-max-mb", str(cache_max_mb)]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    deadline = time.time() + 15
+    while not os.path.exists(sock):
+        if proc.poll() is not None or time.time() > deadline:
+            out = proc.communicate()[0] if proc.poll() is not None else ""
+            raise RuntimeError(f"daemon failed to start: {out}")
+        time.sleep(0.05)
+    return proc
+
+
+def parse_campaign_lines(stdout):
+    """Yields (name, points, cached, computed) from the client summary
+    lines: 'campaign NAME  N points  X cached, Y computed (daemon) ...'."""
+    for line in stdout.splitlines():
+        tok = line.split()
+        if len(tok) >= 8 and tok[0] == "campaign" and tok[3] == "points":
+            yield tok[1], int(tok[2]), int(tok[4]), int(tok[6])
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--served-bin", required=True)
+    ap.add_argument("--campaign-bin", required=True)
+    ap.add_argument("--cache", required=True)
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--git-sha", required=True)
+    ap.add_argument("--label", default="nightly",
+                    help="pass name used in the markdown summary heading")
+    ap.add_argument("--min-hit-rate", type=float, default=None,
+                    help="fail unless every campaign's cache hit rate "
+                         "meets this fraction (e.g. 0.9 for the warm pass)")
+    ap.add_argument("--cache-max-mb", type=int, default=256)
+    ap.add_argument("--summary-md", default=None,
+                    help="append the per-campaign table to this file")
+    opts = ap.parse_args()
+
+    sockdir = tempfile.mkdtemp(prefix="rnoc_nightly_")
+    sock = os.path.join(sockdir, "rnoc.sock")
+    daemon = None
+    try:
+        daemon = start_daemon(opts.served_bin, sock, opts.cache,
+                              opts.git_sha, opts.cache_max_mb)
+        t0 = time.monotonic()
+        run = subprocess.run(
+            [opts.campaign_bin, "--connect", sock, "--out", opts.out,
+             "--git-sha", opts.git_sha],
+            capture_output=True, text=True)
+        elapsed = time.monotonic() - t0
+        sys.stdout.write(run.stdout)
+        if run.returncode != 0:
+            print(f"nightly serve: client failed:\n{run.stderr}",
+                  file=sys.stderr)
+            return 1
+
+        rows = list(parse_campaign_lines(run.stdout))
+        if not rows:
+            print("nightly serve: no campaign summary lines parsed",
+                  file=sys.stderr)
+            return 1
+        total_pts = sum(r[1] for r in rows)
+        total_hits = sum(r[2] for r in rows)
+
+        lines = [f"### Nightly campaigns ({opts.label}): "
+                 f"{len(rows)} campaigns, {total_pts} points, "
+                 f"{total_hits} cache hits, {elapsed:.1f}s",
+                 "",
+                 "| campaign | points | cached | computed | hit rate |",
+                 "|---|---|---|---|---|"]
+        low = []
+        for name, pts, cached, computed in rows:
+            rate = cached / pts if pts else 1.0
+            lines.append(f"| {name} | {pts} | {cached} | {computed} "
+                         f"| {rate:.0%} |")
+            if opts.min_hit_rate is not None and rate < opts.min_hit_rate:
+                low.append(f"{name} ({rate:.0%})")
+        md = "\n".join(lines) + "\n"
+        print(md)
+        if opts.summary_md:
+            with open(opts.summary_md, "a", encoding="utf-8") as f:
+                f.write(md + "\n")
+
+        if low:
+            print("nightly serve: cache hit rate below "
+                  f"{opts.min_hit_rate:.0%} for: {', '.join(low)} — the "
+                  "restored cache did not serve the rerun", file=sys.stderr)
+            return 1
+
+        daemon.send_signal(signal.SIGTERM)
+        out = daemon.communicate(timeout=60)[0]
+        if daemon.returncode != 0:
+            print(f"nightly serve: daemon exited {daemon.returncode} after "
+                  f"SIGTERM:\n{out}", file=sys.stderr)
+            return 1
+        daemon = None
+        return 0
+    finally:
+        if daemon is not None and daemon.poll() is None:
+            daemon.kill()
+            daemon.communicate()
+        if os.path.exists(sock):
+            os.unlink(sock)
+        os.rmdir(sockdir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""ctest/CI harness for the campaign results service: start an rnoc_served
+daemon, drive it with rnoc_campaign --connect, and enforce the service's
+three headline contracts end to end:
+
+  1. byte identity — client-mode result files are byte-for-byte equal to
+     local-mode execution of the same campaigns (and tolerant-diff clean
+     against the committed goldens);
+  2. overlap hits — two concurrent clients submitting the same sweep share
+     one execution: the second reports every point served from cache;
+  3. kill-and-resume — a daemon killed (simulated kill -9 via
+     --exit-after-points) mid-campaign leaves a usable cache; a restarted
+     daemon finishes the campaign from it, still byte-identical, and the
+     final SIGTERM shutdown leaves no socket, temp or lock files behind.
+"""
+
+import argparse
+import filecmp
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+CAMPAIGNS = ["fit_table1", "critical_path", "degraded_mode"]
+OVERLAP_CAMPAIGN = "critical_path"
+RESUME_CAMPAIGN = "critical_path"
+GIT_SHA = "serve-smoke"  # Pinned so every run/mode stamps identical bytes.
+
+
+def fail(msg):
+    print(f"serve smoke: {msg}", file=sys.stderr)
+    return 1
+
+
+def start_daemon(opts, sock, cache, extra=None):
+    # A daemon that died hard leaves its socket file behind; remove it so
+    # the wait below observes the NEW daemon's bind, not the stale file.
+    if os.path.exists(sock):
+        os.unlink(sock)
+    cmd = [opts.served_bin, "--socket", sock, "--cache", cache,
+           "--git-sha", GIT_SHA] + (extra or [])
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    deadline = time.time() + 15
+    while not os.path.exists(sock):
+        if proc.poll() is not None or time.time() > deadline:
+            out = proc.communicate()[0] if proc.poll() is not None else ""
+            raise RuntimeError(f"daemon failed to start: {out}")
+        time.sleep(0.05)
+    return proc
+
+
+def run_client(opts, sock, out_dir, name):
+    return subprocess.run(
+        [opts.campaign_bin, "--connect", sock, "--run", name, "--smoke",
+         "--out", out_dir, "--git-sha", GIT_SHA],
+        capture_output=True, text=True)
+
+
+def cached_count(client_stdout):
+    """Parses '... N cached, M computed (daemon) ...' from the client."""
+    for tok_line in client_stdout.splitlines():
+        if "cached," in tok_line:
+            return int(tok_line.split("cached,")[0].split()[-1])
+    return -1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--served-bin", required=True)
+    ap.add_argument("--campaign-bin", required=True)
+    ap.add_argument("--compare", required=True)
+    ap.add_argument("--golden", required=True)
+    ap.add_argument("--work", required=True)
+    opts = ap.parse_args()
+
+    shutil.rmtree(opts.work, ignore_errors=True)
+    os.makedirs(opts.work)
+    # Unix socket paths are limited to ~107 bytes; the build tree can be
+    # deeper than that, so sockets live in a short-lived temp dir.
+    sockdir = tempfile.mkdtemp(prefix="rnoc_serve_")
+    sock = os.path.join(sockdir, "rnoc.sock")
+    cache = os.path.join(opts.work, "cache")
+    local_dir = os.path.join(opts.work, "local")
+    daemons = []
+
+    def tracked_daemon(*args, **kwargs):
+        proc = start_daemon(*args, **kwargs)
+        daemons.append(proc)
+        return proc
+
+    try:
+        # Local-mode reference files (the byte-identity baseline).
+        for name in CAMPAIGNS:
+            run = subprocess.run(
+                [opts.campaign_bin, "--run", name, "--smoke", "--out",
+                 local_dir, "--git-sha", GIT_SHA],
+                capture_output=True, text=True)
+            if run.returncode != 0:
+                return fail(f"local run of {name} failed:\n"
+                            f"{run.stdout}{run.stderr}")
+
+        daemon = tracked_daemon(opts, sock, cache)
+
+        # --- Contract 2: concurrent overlapping submissions share work ---
+        overlap_dirs = [os.path.join(opts.work, f"overlap{i}")
+                        for i in (0, 1)]
+        results = [None, None]
+
+        def client(i):
+            results[i] = run_client(opts, sock, overlap_dirs[i],
+                                    OVERLAP_CAMPAIGN)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in (0, 1):
+            if results[i].returncode != 0:
+                return fail(f"overlap client {i} failed:\n"
+                            f"{results[i].stdout}{results[i].stderr}")
+        hits = [cached_count(r.stdout) for r in results]
+        # Submissions serialize on the service: whichever lands second
+        # either coalesces onto the in-flight job or hits the fresh disk
+        # cache — both deterministically report every point as cached.
+        if max(hits) < 1:
+            return fail("no overlap cache hits (clients reported "
+                        f"{hits[0]} and {hits[1]} cached)")
+        ref = os.path.join(local_dir, OVERLAP_CAMPAIGN + ".json")
+        for d in overlap_dirs:
+            got = os.path.join(d, OVERLAP_CAMPAIGN + ".json")
+            if not filecmp.cmp(ref, got, shallow=False):
+                return fail(f"overlap client output {got} is not "
+                            f"byte-identical to local execution {ref}")
+        print(f"serve smoke: overlap ok (cache hits {hits[0]}/{hits[1]})")
+
+        # --- Contract 1: client mode is byte-identical + golden-clean ---
+        client_dir = os.path.join(opts.work, "client")
+        for name in CAMPAIGNS:
+            run = run_client(opts, sock, client_dir, name)
+            if run.returncode != 0:
+                return fail(f"client run of {name} failed:\n"
+                            f"{run.stdout}{run.stderr}")
+            got = os.path.join(client_dir, name + ".json")
+            ref = os.path.join(local_dir, name + ".json")
+            if not filecmp.cmp(ref, got, shallow=False):
+                return fail(f"client-mode {got} differs from local-mode "
+                            f"{ref} (byte identity broken)")
+            golden = os.path.join(opts.golden, name + ".json")
+            cmp_run = subprocess.run(
+                [sys.executable, opts.compare, golden, got],
+                capture_output=True, text=True)
+            if cmp_run.returncode != 0:
+                return fail(f"golden diff failed for {name}:\n"
+                            f"{cmp_run.stdout}{cmp_run.stderr}")
+        print(f"serve smoke: byte identity ok ({', '.join(CAMPAIGNS)})")
+
+        # --- Clean SIGTERM shutdown: no socket/temp/lock files left ---
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            out = daemon.communicate(timeout=30)[0]
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            return fail("daemon did not exit within 30s of SIGTERM")
+        if daemon.returncode != 0:
+            return fail(f"daemon exited {daemon.returncode} after SIGTERM:"
+                        f"\n{out}")
+        if os.path.exists(sock):
+            return fail("daemon left its socket file behind after SIGTERM")
+        leftovers = [os.path.join(root, f)
+                     for root, _dirs, files in os.walk(cache)
+                     for f in files if f.endswith(".tmp")]
+        if leftovers:
+            return fail(f"daemon left temp files in the cache: {leftovers}")
+        if os.path.isdir(os.path.join(client_dir, ".checkpoints")):
+            return fail("client mode created checkpoint files")
+        print("serve smoke: clean SIGTERM shutdown ok")
+
+        # --- Contract 3: kill mid-campaign, restart, resume from cache ---
+        resume_cache = os.path.join(opts.work, "cache_resume")
+        daemon = tracked_daemon(opts, sock, resume_cache,
+                                ["--exit-after-points", "2"])
+        broken = run_client(opts, sock, os.path.join(opts.work, "broken"),
+                            RESUME_CAMPAIGN)
+        if broken.returncode == 0:
+            return fail("client unexpectedly succeeded against a daemon "
+                        "configured to die mid-campaign")
+        daemon.wait(timeout=30)
+
+        daemon = tracked_daemon(opts, sock, resume_cache)
+        resume_dir = os.path.join(opts.work, "resumed")
+        resumed = run_client(opts, sock, resume_dir, RESUME_CAMPAIGN)
+        if resumed.returncode != 0:
+            return fail(f"post-restart client failed:\n"
+                        f"{resumed.stdout}{resumed.stderr}")
+        if cached_count(resumed.stdout) < 1:
+            return fail("restarted daemon served no cached points — the "
+                        "mid-campaign cache was lost:\n" + resumed.stdout)
+        got = os.path.join(resume_dir, RESUME_CAMPAIGN + ".json")
+        ref = os.path.join(local_dir, RESUME_CAMPAIGN + ".json")
+        if not filecmp.cmp(ref, got, shallow=False):
+            return fail("kill-and-resume output is not byte-identical to "
+                        "local execution")
+        daemon.send_signal(signal.SIGTERM)
+        daemon.communicate(timeout=30)
+        print(f"serve smoke: kill-and-resume ok "
+              f"({cached_count(resumed.stdout)} points from the dead "
+              "daemon's cache)")
+
+        print("serve smoke: all contracts hold")
+        return 0
+    finally:
+        for proc in daemons:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        shutil.rmtree(sockdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+// ResultCache robustness tests — the satellite contract of the results
+// service: a kill -9 mid-write leaves the store readable with the torn
+// entry scavenged or quarantined (never served), key mismatches (schema
+// version, config hash, git SHA) are misses rather than errors, the LRU
+// cap evicts by persisted access sequence, and state survives reopen.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "campaign/json.hpp"
+#include "serve/cache.hpp"
+
+namespace fs = std::filesystem;
+using namespace rnoc;
+using namespace rnoc::serve;
+
+namespace {
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("rnoc_serve_cache_" + tag + "_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter.fetch_add(1)));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+campaign::PointResult make_point(const std::string& id, double v) {
+  campaign::PointResult p;
+  p.id = id;
+  p.metrics.push_back(campaign::exact_metric("value", v));
+  p.obs.push_back(campaign::exact_metric("stalls", v * 3));
+  return p;
+}
+
+ResultCache::Config config(const TempDir& dir, std::uint64_t max_bytes = 0,
+                           const std::string& sha = "sha1") {
+  return ResultCache::Config{dir.str(), max_bytes, sha};
+}
+
+const std::string kHash = "0123456789abcdef";
+
+}  // namespace
+
+TEST(ServeCache, StoreLookupRoundTrip) {
+  TempDir dir("roundtrip");
+  ResultCache cache(config(dir));
+  const campaign::PointResult p = make_point("alpha", 0.1);
+  cache.store(kHash, p);
+
+  campaign::PointResult out;
+  ASSERT_TRUE(cache.lookup(kHash, "alpha", out));
+  EXPECT_EQ(campaign::point_to_json_text(out),
+            campaign::point_to_json_text(p));
+  EXPECT_FALSE(cache.lookup(kHash, "beta", out));
+  EXPECT_FALSE(cache.lookup("fedcba9876543210", "alpha", out));
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ServeCache, PersistsAcrossReopen) {
+  TempDir dir("reopen");
+  {
+    ResultCache cache(config(dir));
+    cache.store(kHash, make_point("alpha", 1.25));
+    cache.store(kHash, make_point("beta", -7.5e-3));
+  }
+  ResultCache cache(config(dir));
+  campaign::PointResult out;
+  EXPECT_TRUE(cache.lookup(kHash, "alpha", out));
+  EXPECT_TRUE(cache.lookup(kHash, "beta", out));
+  EXPECT_EQ(out.id, "beta");
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ServeCache, DifferentGitShaIsAMissNotAnError) {
+  TempDir dir("sha");
+  {
+    ResultCache cache(config(dir, 0, "sha1"));
+    cache.store(kHash, make_point("alpha", 2.0));
+  }
+  ResultCache cache(config(dir, 0, "sha2"));
+  campaign::PointResult out;
+  EXPECT_FALSE(cache.lookup(kHash, "alpha", out));
+  // The sha1 entry is untouched — a rebuilt daemon must not eat history.
+  ResultCache old(config(dir, 0, "sha1"));
+  EXPECT_TRUE(old.lookup(kHash, "alpha", out));
+}
+
+// A half-written entry — what kill -9 leaves when it lands inside the
+// write before the rename — must be quarantined and reported as a miss,
+// and the rest of the store must keep serving.
+TEST(ServeCache, TruncatedEntryIsQuarantinedNotServed) {
+  TempDir dir("truncated");
+  std::string victim_path;
+  {
+    ResultCache cache(config(dir));
+    cache.store(kHash, make_point("good", 1.0));
+    cache.store(kHash, make_point("victim", 2.0));
+    victim_path = cache.entry_path(kHash, "victim");
+  }
+  // Truncate mid-entry, as a torn page after a crash would.
+  const std::string text = campaign::read_text(victim_path);
+  std::ofstream(victim_path, std::ios::trunc)
+      << text.substr(0, text.size() / 2);
+
+  ResultCache cache(config(dir));
+  campaign::PointResult out;
+  EXPECT_FALSE(cache.lookup(kHash, "victim", out));
+  EXPECT_TRUE(cache.lookup(kHash, "good", out));
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  EXPECT_FALSE(fs::exists(victim_path));  // Moved aside, not served again.
+  EXPECT_FALSE(fs::is_empty(cache.quarantine_dir()));
+}
+
+// A checksum-valid entry whose embedded key disagrees with the path that
+// addressed it (e.g. a schema bump racing an old writer) is also a miss.
+TEST(ServeCache, MismatchedSchemaOrHashIsAMissNotAnError) {
+  TempDir dir("key");
+  ResultCache cache(config(dir));
+  cache.store(kHash, make_point("alpha", 3.0));
+  const std::string path = cache.entry_path(kHash, "alpha");
+
+  campaign::JsonValue v = campaign::parse_json(campaign::read_text(path));
+  campaign::JsonValue forged = campaign::JsonValue::make_object();
+  forged.set("schema_version", campaign::JsonValue::make_number(
+                                   campaign::kSchemaVersion + 1));
+  forged.set("config_hash", v.at("config_hash"));
+  forged.set("git_sha", v.at("git_sha"));
+  forged.set("check", v.at("check"));
+  forged.set("point", v.at("point"));
+  campaign::write_text_atomic(path, campaign::to_json_text(forged));
+
+  campaign::PointResult out;
+  EXPECT_FALSE(cache.lookup(kHash, "alpha", out));
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  // Recomputation heals the slot.
+  cache.store(kHash, make_point("alpha", 3.0));
+  EXPECT_TRUE(cache.lookup(kHash, "alpha", out));
+}
+
+// Temp files from writers killed before their rename are scavenged at
+// open; the entries they were replacing stay valid.
+TEST(ServeCache, ScavengesTornTempFilesAtOpen) {
+  TempDir dir("scavenge");
+  std::string entry_dir;
+  {
+    ResultCache cache(config(dir));
+    cache.store(kHash, make_point("alpha", 4.0));
+    entry_dir = fs::path(cache.entry_path(kHash, "alpha"))
+                    .parent_path()
+                    .string();
+  }
+  const std::string tmp = entry_dir + "/leftover.json.tmp";
+  std::ofstream(tmp) << "{\"half\": writ";
+  ASSERT_TRUE(fs::exists(tmp));
+
+  ResultCache cache(config(dir));
+  EXPECT_FALSE(fs::exists(tmp));
+  campaign::PointResult out;
+  EXPECT_TRUE(cache.lookup(kHash, "alpha", out));
+}
+
+TEST(ServeCache, LruEvictionUsesPersistedAccessOrder) {
+  TempDir dir("lru");
+  const campaign::PointResult a = make_point("aa", 1.0);
+  const std::uint64_t entry_bytes = [&] {
+    TempDir probe("lru_probe");
+    ResultCache cache(config(probe));
+    cache.store(kHash, a);
+    return cache.stats().bytes;
+  }();
+
+  // Room for three entries of this shape, not four.
+  ResultCache cache(config(dir, entry_bytes * 3 + entry_bytes / 2));
+  cache.store(kHash, make_point("aa", 1.0));
+  cache.store(kHash, make_point("bb", 2.0));
+  cache.store(kHash, make_point("cc", 3.0));
+  // Touch "aa" so "bb" becomes least recently used, then overflow.
+  campaign::PointResult out;
+  ASSERT_TRUE(cache.lookup(kHash, "aa", out));
+  cache.store(kHash, make_point("dd", 4.0));
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.lookup(kHash, "bb", out));
+  EXPECT_TRUE(cache.lookup(kHash, "aa", out));
+  EXPECT_TRUE(cache.lookup(kHash, "cc", out));
+  EXPECT_TRUE(cache.lookup(kHash, "dd", out));
+}
+
+TEST(ServeCache, AwkwardPointIdsStaySafeOnDisk) {
+  TempDir dir("ids");
+  ResultCache cache(config(dir));
+  const std::vector<std::string> ids = {
+      "a/b/../c", "k=8,vc=4 50%", "x" + std::string(100, 'y'), "..",
+      "quote\"newline\n"};
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    cache.store(kHash, make_point(ids[i], static_cast<double>(i)));
+  for (const std::string& id : ids) {
+    campaign::PointResult out;
+    ASSERT_TRUE(cache.lookup(kHash, id, out)) << id;
+    EXPECT_EQ(out.id, id);
+    // Nothing escaped the cache root.
+    const fs::path p = fs::path(cache.entry_path(kHash, id));
+    const std::string rel =
+        fs::relative(p, fs::path(dir.str())).generic_string();
+    EXPECT_TRUE(rel.rfind("..", 0) != 0) << rel;
+  }
+  EXPECT_EQ(cache.stats().entries, ids.size());
+}

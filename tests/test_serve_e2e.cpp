@@ -1,0 +1,195 @@
+// End-to-end service tests over a real unix socket: a Server thread
+// fronting a CampaignService, exercised through the public client API —
+// ping, stats, submit (byte-identical result text, cache hits on rerun),
+// concurrent clients, protocol errors, and the clean-shutdown contract
+// (socket file removed, no thread left behind).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "campaign/json.hpp"
+#include "campaign/registry.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "serve/socket.hpp"
+#include "serve/wire.hpp"
+
+namespace fs = std::filesystem;
+using namespace rnoc;
+using namespace rnoc::serve;
+
+namespace {
+
+/// A live daemon in this process: service + server + accept thread, torn
+/// down (and asserted clean) on scope exit.
+struct TestDaemon {
+  std::string socket_path;
+  CampaignService service;
+  Server server;
+  std::thread runner;
+
+  explicit TestDaemon(const CampaignService::Config& cfg = {})
+      : socket_path(make_socket_path()),
+        service(cfg),
+        server(Server::Config{socket_path, {}}, service),
+        runner([this] { server.run(); }) {}
+
+  ~TestDaemon() {
+    server.request_stop();
+    runner.join();
+    EXPECT_FALSE(fs::exists(socket_path));
+  }
+
+  static std::string make_socket_path() {
+    static std::atomic<int> counter{0};
+    return (fs::temp_directory_path() /
+            ("rnoc_e2e_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)) + ".sock"))
+        .string();
+  }
+};
+
+}  // namespace
+
+TEST(ServeE2E, PingAndStats) {
+  TestDaemon daemon;
+  std::string error;
+  EXPECT_TRUE(ping_daemon(daemon.socket_path, error)) << error;
+
+  const std::string stats = daemon_stats_line(daemon.socket_path, error);
+  ASSERT_FALSE(stats.empty()) << error;
+  const campaign::JsonValue v = campaign::parse_json(stats);
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("service").at("jobs_submitted").as_int(), 0);
+  EXPECT_EQ(v.at("cache").at("entries").as_int(), 0);
+}
+
+TEST(ServeE2E, PingFailsCleanlyWithoutADaemon) {
+  std::string error;
+  EXPECT_FALSE(ping_daemon("/tmp/rnoc_e2e_no_such.sock", error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeE2E, SubmitStreamsAndMatchesLocalBytes) {
+  TestDaemon daemon;
+  std::vector<std::string> seen;
+  const ClientOutcome out = run_campaign_via_daemon(
+      daemon.socket_path, "critical_path", /*smoke=*/true, Lane::Interactive,
+      "", [&seen](std::size_t done, std::size_t total, const std::string& id,
+                  bool cached) {
+        EXPECT_EQ(done, seen.size() + 1);
+        EXPECT_GT(total, 0u);
+        EXPECT_FALSE(cached);
+        seen.push_back(id);
+      });
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_EQ(seen.size(), out.points);
+  EXPECT_EQ(out.executed, out.points);
+  EXPECT_EQ(out.cache_hits, 0u);
+  EXPECT_EQ(out.result_text, campaign::to_json(campaign::run_registry_inline(
+                                 "critical_path", true)));
+  const campaign::CampaignResult parsed =
+      campaign::result_from_json(out.result_text);
+  EXPECT_EQ(parsed.config_hash, out.config_hash);
+}
+
+TEST(ServeE2E, WarmRerunHitsCacheOverTheSocket) {
+  const std::string cache_root =
+      (fs::temp_directory_path() /
+       ("rnoc_e2e_cache_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(cache_root);
+  {
+    CampaignService::Config cfg;
+    cfg.cache_root = cache_root;
+    TestDaemon daemon(cfg);
+    const ClientOutcome cold = run_campaign_via_daemon(
+        daemon.socket_path, "fit_table1", true, Lane::Interactive, "");
+    ASSERT_TRUE(cold.ok) << cold.error;
+    const ClientOutcome warm = run_campaign_via_daemon(
+        daemon.socket_path, "fit_table1", true, Lane::Interactive, "");
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_EQ(warm.cache_hits, warm.points);
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.result_text, cold.result_text);
+  }
+  fs::remove_all(cache_root);
+}
+
+TEST(ServeE2E, ConcurrentClientsBothComplete) {
+  TestDaemon daemon;
+  ClientOutcome a, b;
+  std::thread ta([&] {
+    a = run_campaign_via_daemon(daemon.socket_path, "fit_table1", true,
+                                Lane::Interactive, "");
+  });
+  std::thread tb([&] {
+    b = run_campaign_via_daemon(daemon.socket_path, "fit_table1", true,
+                                Lane::Bulk, "");
+  });
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.result_text, b.result_text);
+}
+
+TEST(ServeE2E, ProtocolErrorsAreErrorLinesNotDisconnects) {
+  TestDaemon daemon;
+  const Fd fd = connect_unix(daemon.socket_path);
+  LineReader reader(fd.get());
+  std::string line;
+
+  ASSERT_TRUE(send_line(fd.get(), "this is not json"));
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_FALSE(campaign::parse_json(line).at("ok").as_bool());
+
+  ASSERT_TRUE(send_line(fd.get(), "{\"op\":\"frobnicate\"}"));
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_FALSE(campaign::parse_json(line).at("ok").as_bool());
+
+  ASSERT_TRUE(send_line(
+      fd.get(), "{\"op\":\"submit\",\"campaign\":\"no_such_campaign\"}"));
+  ASSERT_TRUE(reader.read_line(line));
+  const campaign::JsonValue v = campaign::parse_json(line);
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_NE(v.at("error").as_string().find("no_such_campaign"),
+            std::string::npos);
+
+  // The connection survived all three; a good request still works.
+  ASSERT_TRUE(send_line(fd.get(), "{\"op\":\"ping\"}"));
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_TRUE(campaign::parse_json(line).at("ok").as_bool());
+}
+
+TEST(ServeE2E, ShutdownOpStopsTheDaemonCleanly) {
+  std::optional<TestDaemon> daemon;
+  daemon.emplace();
+  const std::string path = daemon->socket_path;
+  std::string error;
+  EXPECT_TRUE(shutdown_daemon(path, error)) << error;
+  daemon.reset();  // Joins run(); the dtor asserts the socket is gone.
+  EXPECT_FALSE(ping_daemon(path, error));
+}
+
+TEST(ServeE2E, UnknownLaneIsRejected) {
+  TestDaemon daemon;
+  const Fd fd = connect_unix(daemon.socket_path);
+  ASSERT_TRUE(send_line(fd.get(),
+                        "{\"op\":\"submit\",\"campaign\":\"fit_table1\","
+                        "\"smoke\":true,\"lane\":\"warp\"}"));
+  LineReader reader(fd.get());
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_FALSE(campaign::parse_json(line).at("ok").as_bool());
+}

@@ -1,0 +1,238 @@
+// CampaignService contract tests: daemon-executed campaigns serialize
+// byte-identically to local in-process runs, the persistent cache turns
+// resubmissions into all-hit jobs, identical concurrent submissions
+// coalesce onto one execution (every coalesced point reported as cached),
+// and the engine's run_campaign cache hooks interoperate with the same
+// store.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "campaign/registry.hpp"
+#include "serve/cache.hpp"
+#include "serve/service.hpp"
+
+namespace fs = std::filesystem;
+using namespace rnoc;
+using namespace rnoc::serve;
+
+namespace {
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("rnoc_serve_service_" + tag + "_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter.fetch_add(1)));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+/// Submits and blocks until the terminal event; returns it.
+CampaignService::JobResult run_blocking(CampaignService& service,
+                                        const std::string& name, bool smoke,
+                                        Lane lane = Lane::Interactive) {
+  CampaignService::JobResult result;
+  CampaignService::Request req;
+  req.campaign = name;
+  req.smoke = smoke;
+  req.lane = lane;
+  CampaignService::Sink sink;
+  sink.on_done = [&result](const CampaignService::JobResult& jr) {
+    result = jr;
+  };
+  service.wait(service.submit(req, std::move(sink)));
+  return result;
+}
+
+}  // namespace
+
+TEST(ServeService, MatchesLocalExecutionByteForByte) {
+  CampaignService service({});
+  const CampaignService::JobResult jr =
+      run_blocking(service, "fit_table1", /*smoke=*/true);
+  ASSERT_TRUE(jr.error.empty()) << jr.error;
+  EXPECT_EQ(jr.points, 1u);
+  EXPECT_EQ(jr.executed, 1u);
+  // The daemon path must be invisible in the bytes: same expansion, same
+  // seeds, same serializer as the local engine.
+  const std::string local =
+      campaign::to_json(campaign::run_registry_inline("fit_table1", true));
+  EXPECT_EQ(jr.result_text, local);
+}
+
+TEST(ServeService, UnknownCampaignIsRejected) {
+  CampaignService service({});
+  CampaignService::Request req;
+  req.campaign = "no_such_campaign";
+  EXPECT_THROW(service.submit(req, {}), std::invalid_argument);
+}
+
+TEST(ServeService, ResubmissionIsServedEntirelyFromCache) {
+  TempDir dir("resubmit");
+  CampaignService::Config cfg;
+  cfg.cache_root = dir.str();
+  CampaignService service(cfg);
+
+  const CampaignService::JobResult cold =
+      run_blocking(service, "critical_path", /*smoke=*/true);
+  ASSERT_TRUE(cold.error.empty()) << cold.error;
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.executed, cold.points);
+
+  const CampaignService::JobResult warm =
+      run_blocking(service, "critical_path", /*smoke=*/true);
+  ASSERT_TRUE(warm.error.empty()) << warm.error;
+  EXPECT_EQ(warm.cache_hits, warm.points);
+  EXPECT_EQ(warm.executed, 0u);
+  EXPECT_EQ(warm.result_text, cold.result_text);
+  EXPECT_EQ(service.cache_stats().hits, warm.points);
+}
+
+TEST(ServeService, CacheSurvivesServiceRestart) {
+  TempDir dir("restart");
+  CampaignService::Config cfg;
+  cfg.cache_root = dir.str();
+  std::string cold_text;
+  {
+    CampaignService service(cfg);
+    cold_text = run_blocking(service, "fit_table1", true).result_text;
+    ASSERT_FALSE(cold_text.empty());
+  }
+  CampaignService service(cfg);
+  const CampaignService::JobResult warm =
+      run_blocking(service, "fit_table1", true);
+  ASSERT_TRUE(warm.error.empty()) << warm.error;
+  EXPECT_EQ(warm.cache_hits, warm.points);
+  EXPECT_EQ(warm.result_text, cold_text);
+}
+
+// Identical submissions coalesce: with one worker, the first computed
+// point blocks in the on_point_computed hook while the second submission
+// arrives, so it must attach to the in-flight job (never recompute) and
+// report every point as cached.
+TEST(ServeService, ConcurrentIdenticalSubmissionsCoalesce) {
+  std::promise<void> second_submitted;
+  const std::shared_future<void> gate(second_submitted.get_future());
+  std::atomic<bool> gate_armed{true};
+
+  CampaignService::Config cfg;
+  cfg.workers = 1;
+  cfg.on_point_computed = [gate, &gate_armed](std::uint64_t) {
+    if (gate_armed.exchange(false)) gate.wait();
+  };
+  CampaignService service(cfg);
+
+  CampaignService::Request req;
+  req.campaign = "critical_path";
+  req.smoke = true;
+  req.lane = Lane::Bulk;
+
+  CampaignService::JobResult first_result;
+  CampaignService::Sink first_sink;
+  first_sink.on_done = [&first_result](const CampaignService::JobResult& jr) {
+    first_result = jr;
+  };
+  const std::uint64_t first = service.submit(req, std::move(first_sink));
+
+  CampaignService::JobResult second_result;
+  std::size_t second_points_cached = 0;
+  CampaignService::Sink second_sink;
+  second_sink.on_point =
+      [&second_points_cached](const CampaignService::PointEvent& ev) {
+        if (ev.cached) ++second_points_cached;
+      };
+  second_sink.on_done =
+      [&second_result](const CampaignService::JobResult& jr) {
+        second_result = jr;
+      };
+  const std::uint64_t second = service.submit(req, std::move(second_sink));
+  second_submitted.set_value();
+
+  service.wait(first);
+  service.wait(second);
+  ASSERT_TRUE(first_result.error.empty()) << first_result.error;
+  ASSERT_TRUE(second_result.error.empty()) << second_result.error;
+  EXPECT_EQ(service.stats().jobs_submitted, 1u);
+  EXPECT_EQ(service.stats().jobs_coalesced, 1u);
+  // The coalesced client paid for nothing and saw every point as served.
+  EXPECT_EQ(second_result.cache_hits, second_result.points);
+  EXPECT_EQ(second_result.executed, 0u);
+  EXPECT_EQ(second_points_cached, second_result.points);
+  EXPECT_EQ(second_result.result_text, first_result.result_text);
+  // One execution total: the campaign's points were computed exactly once.
+  EXPECT_EQ(service.stats().points_computed, first_result.points);
+}
+
+TEST(ServeService, SubmitAfterStopIsRefused) {
+  CampaignService service({});
+  service.stop();
+  CampaignService::Request req;
+  req.campaign = "fit_table1";
+  req.smoke = true;
+  EXPECT_THROW(service.submit(req, {}), std::invalid_argument);
+}
+
+// The engine's RunOptions cache hooks and the service share one on-disk
+// format: a local sharded run with hooks primes the store, and the
+// service then serves the same campaign entirely from it (and vice
+// versa) — that interop is what makes daemon and local runs one cache
+// domain.
+TEST(ServeService, EngineCacheHooksShareTheStore) {
+  TempDir dir("hooks");
+  const campaign::CampaignSpec* spec =
+      campaign::find_campaign("critical_path");
+  ASSERT_NE(spec, nullptr);
+
+  {
+    ResultCache cache(ResultCache::Config{dir.str(), 0, "unknown"});
+    campaign::RunOptions opts;
+    opts.smoke = true;
+    opts.cache_lookup = [&cache](const std::string& hash,
+                                 const std::string& id,
+                                 campaign::PointResult& out) {
+      return cache.lookup(hash, id, out);
+    };
+    opts.cache_store = [&cache](const std::string& hash,
+                                const campaign::PointResult& p) {
+      cache.store(hash, p);
+    };
+    const campaign::RunOutcome out = campaign::run_campaign(*spec, opts);
+    ASSERT_TRUE(out.complete);
+    EXPECT_EQ(out.points_cached, 0u);
+    EXPECT_EQ(out.points_computed, out.result.points.size());
+
+    // Second local run: all hits through the engine's own lookup path.
+    const campaign::RunOutcome again = campaign::run_campaign(*spec, opts);
+    ASSERT_TRUE(again.complete);
+    EXPECT_EQ(again.points_cached, again.result.points.size());
+    EXPECT_EQ(again.points_computed, 0u);
+    EXPECT_EQ(campaign::to_json(again.result),
+              campaign::to_json(out.result));
+  }
+
+  // The service reads the store the local hooks populated.
+  CampaignService::Config cfg;
+  cfg.cache_root = dir.str();
+  CampaignService service(cfg);
+  const CampaignService::JobResult warm =
+      run_blocking(service, "critical_path", true);
+  ASSERT_TRUE(warm.error.empty()) << warm.error;
+  EXPECT_EQ(warm.cache_hits, warm.points);
+  EXPECT_EQ(warm.executed, 0u);
+}

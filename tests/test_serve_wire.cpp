@@ -1,0 +1,82 @@
+// Wire-format tests: the compact single-line serializer is a faithful
+// inverse of campaign::parse_json, preserves member order, round-trips
+// doubles exactly, and — the load-bearing property for client-mode byte
+// identity — carries a full multi-line CampaignResult text through an
+// escaped string member without changing a byte.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "campaign/json.hpp"
+#include "campaign/registry.hpp"
+#include "serve/wire.hpp"
+
+using namespace rnoc;
+using namespace rnoc::serve;
+using campaign::JsonValue;
+
+TEST(ServeWire, CompactFormIsSingleLineAndStable) {
+  JsonValue o = JsonValue::make_object();
+  o.set("op", JsonValue::make_string("submit"));
+  o.set("smoke", JsonValue::make_bool(true));
+  o.set("points", JsonValue::make_number(42));
+  JsonValue arr = JsonValue::make_array();
+  arr.push_back(JsonValue::make_number(0.5));
+  arr.push_back(JsonValue::make_null());
+  arr.push_back(JsonValue::make_bool(false));
+  o.set("extras", std::move(arr));
+
+  const std::string line = to_wire_line(o);
+  EXPECT_EQ(line,
+            "{\"op\":\"submit\",\"smoke\":true,\"points\":42,"
+            "\"extras\":[0.5,null,false]}");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(ServeWire, RoundTripsThroughParseJson) {
+  JsonValue o = JsonValue::make_object();
+  o.set("text", JsonValue::make_string("line1\nline2\t\"quoted\\\""));
+  o.set("tiny", JsonValue::make_number(5e-324));  // Smallest denormal.
+  o.set("big", JsonValue::make_number(1.7976931348623157e308));
+  o.set("third", JsonValue::make_number(1.0 / 3.0));
+  JsonValue inner = JsonValue::make_object();
+  inner.set("z_first", JsonValue::make_number(1));
+  inner.set("a_second", JsonValue::make_number(2));  // Order, not sorting.
+  o.set("nested", std::move(inner));
+
+  const std::string line = to_wire_line(o);
+  const JsonValue back = campaign::parse_json(line);
+  // Re-serialization is a fixed point: nothing drifts on a second pass.
+  EXPECT_EQ(to_wire_line(back), line);
+  EXPECT_EQ(back.at("text").as_string(), "line1\nline2\t\"quoted\\\"");
+  EXPECT_EQ(back.at("tiny").as_number(), 5e-324);
+  EXPECT_EQ(back.at("third").as_number(), 1.0 / 3.0);
+  EXPECT_EQ(back.at("nested").members()[0].first, "z_first");
+}
+
+TEST(ServeWire, ErrorLineIsParseable) {
+  const JsonValue v =
+      campaign::parse_json(wire_error_line("unknown op 'x'"));
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("error").as_string(), "unknown op 'x'");
+}
+
+// The byte-identity keystone: a complete pretty-printed CampaignResult —
+// newlines, indentation, exact doubles — survives a trip as an escaped
+// string member of a wire line.
+TEST(ServeWire, CarriesAFullResultTextByteExactly) {
+  const std::string result_text =
+      campaign::to_json(campaign::run_registry_inline("fit_table1", true));
+  ASSERT_FALSE(result_text.empty());
+  ASSERT_NE(result_text.find('\n'), std::string::npos);
+
+  JsonValue o = JsonValue::make_object();
+  o.set("event", JsonValue::make_string("done"));
+  o.set("result", JsonValue::make_string(result_text));
+  const std::string line = to_wire_line(o);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const JsonValue back = campaign::parse_json(line);
+  EXPECT_EQ(back.at("result").as_string(), result_text);
+}

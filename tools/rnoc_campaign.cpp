@@ -6,6 +6,10 @@
 //       Run every campaign and write results/<campaign>.json files.
 //   rnoc_campaign --run NAME [--smoke] ...
 //       Run one campaign.
+//   rnoc_campaign --connect SOCKET [--lane interactive|bulk] ...
+//       Same runs, executed by an rnoc_served daemon: points come off its
+//       work-stealing scheduler and persistent result cache, and the
+//       result files are byte-identical to local execution (test-enforced).
 //
 // Runs checkpoint completed shards under <out>/.checkpoints/: a killed run
 // re-invoked with the same arguments resumes from the finished shards and
@@ -14,12 +18,14 @@
 // to retain them, or --fresh to discard existing ones up front.
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "campaign/engine.hpp"
 #include "campaign/registry.hpp"
 #include "common/options.hpp"
+#include "serve/client.hpp"
 
 using namespace rnoc;
 
@@ -38,13 +44,8 @@ int list_campaigns() {
   return 0;
 }
 
-int run_campaigns(const Options& opt) {
-  const bool smoke = opt.get_bool("smoke", false);
-  const std::string out_dir = opt.get("out", "results");
-  const std::string ckpt_dir =
-      opt.get("checkpoint-dir", out_dir + "/.checkpoints");
-
-  std::vector<const campaign::CampaignSpec*> specs;
+int select_specs(const Options& opt,
+                 std::vector<const campaign::CampaignSpec*>& specs) {
   if (opt.has("run")) {
     const std::string name = opt.get("run", "");
     const campaign::CampaignSpec* spec = campaign::find_campaign(name);
@@ -59,6 +60,68 @@ int run_campaigns(const Options& opt) {
     for (const auto& spec : campaign::campaign_registry())
       specs.push_back(&spec);
   }
+  return 0;
+}
+
+/// Client mode: submit to an rnoc_served daemon and write its result bytes
+/// verbatim (that verbatim write is the byte-identity contract).
+int run_connected(const Options& opt) {
+  const bool smoke = opt.get_bool("smoke", false);
+  const std::string out_dir = opt.get("out", "results");
+  const std::string socket_path = opt.get("connect", "");
+  // Smoke sweeps are what humans wait on; deep campaigns ride the bulk lane.
+  const serve::Lane lane =
+      serve::lane_from_name(opt.get("lane", smoke ? "interactive" : "bulk"));
+  const std::string git_sha =
+      opt.get("git-sha", campaign::read_git_sha("."));
+
+  std::vector<const campaign::CampaignSpec*> specs;
+  if (const int rc = select_specs(opt, specs); rc != 0) return rc;
+
+  serve::ClientProgress progress;
+  std::string current;  // Campaign in flight; read only by the callback.
+  if (opt.get_bool("progress", false)) {
+    progress = [&current](std::size_t done, std::size_t total,
+                          const std::string& id, bool cached) {
+      std::printf("  [%s] point %zu/%zu%s: %s\n", current.c_str(), done,
+                  total, cached ? " (cached)" : "", id.c_str());
+      std::fflush(stdout);
+    };
+  }
+
+  for (const campaign::CampaignSpec* spec : specs) {
+    current = spec->name;
+    const serve::ClientOutcome out = serve::run_campaign_via_daemon(
+        socket_path, spec->name, smoke, lane, git_sha, progress);
+    if (!out.ok) {
+      std::fprintf(stderr, "rnoc_campaign: %s: %s\n", spec->name.c_str(),
+                   out.error.c_str());
+      return 1;
+    }
+    std::filesystem::create_directories(out_dir);
+    const std::string path = out_dir + "/" + spec->name + ".json";
+    campaign::write_text_atomic(path, out.result_text);
+    std::printf("campaign %-22s %3zu points  %zu cached, %zu computed "
+                "(daemon)  -> %s\n",
+                spec->name.c_str(), out.points, out.cache_hits,
+                out.executed, path.c_str());
+    if (opt.get_bool("print", false)) {
+      const campaign::CampaignResult r =
+          campaign::result_from_json(out.result_text);
+      std::printf("%s\n", campaign::format_result(r).c_str());
+    }
+  }
+  return 0;
+}
+
+int run_campaigns(const Options& opt) {
+  const bool smoke = opt.get_bool("smoke", false);
+  const std::string out_dir = opt.get("out", "results");
+  const std::string ckpt_dir =
+      opt.get("checkpoint-dir", out_dir + "/.checkpoints");
+
+  std::vector<const campaign::CampaignSpec*> specs;
+  if (const int rc = select_specs(opt, specs); rc != 0) return rc;
 
   campaign::RunOptions run_opts;
   run_opts.smoke = smoke;
@@ -109,16 +172,18 @@ int main(int argc, char** argv) {
     const Options opt(argc, argv,
                       {"list", "run", "smoke", "out", "checkpoint-dir",
                        "shards", "git-sha", "fresh", "keep-checkpoints",
-                       "print", "progress", "help"});
+                       "print", "progress", "connect", "lane", "help"});
     if (opt.get_bool("help", false)) {
       std::printf(
           "usage: rnoc_campaign [--list] [--run NAME] [--smoke] [--out DIR]\n"
           "                     [--shards N] [--checkpoint-dir DIR] [--fresh]\n"
           "                     [--keep-checkpoints] [--print] [--progress] "
-          "[--git-sha SHA]\n");
+          "[--git-sha SHA]\n"
+          "                     [--connect SOCKET [--lane interactive|bulk]]\n");
       return 0;
     }
     if (opt.get_bool("list", false)) return list_campaigns();
+    if (opt.has("connect")) return run_connected(opt);
     return run_campaigns(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rnoc_campaign: %s\n", e.what());

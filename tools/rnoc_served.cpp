@@ -1,0 +1,116 @@
+// rnoc_served — the campaign results daemon.
+//
+//   rnoc_served --socket PATH [--cache DIR] [--cache-max-mb N]
+//               [--workers N] [--git-sha SHA] [--quiet]
+//               [--exit-after-points N]
+//
+// Long-running service that executes registered campaigns on a two-lane
+// work-stealing scheduler and serves repeated points from a persistent
+// on-disk cache keyed by (schema version, config hash, git SHA). Clients
+// speak line-delimited JSON over the unix socket; `rnoc_campaign
+// --connect PATH` is the stock client and produces byte-identical result
+// files to local execution.
+//
+// SIGTERM/SIGINT shut down cleanly: in-flight jobs fail with a terminal
+// error line, the cache index is flushed, and the socket file is removed.
+// --exit-after-points N is a test hook: the process _exit()s the instant
+// the Nth point has been computed (cached hits do not count), simulating
+// a kill -9 mid-campaign for the resume-determinism tests.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <unistd.h>
+
+#include "campaign/engine.hpp"
+#include "common/options.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+using namespace rnoc;
+
+namespace {
+
+serve::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  // request_stop is async-signal-safe: atomic flag + shutdown(2).
+  if (g_server) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt(argc, argv,
+                      {"socket", "cache", "cache-max-mb", "workers",
+                       "git-sha", "quiet", "exit-after-points", "help"});
+    if (opt.get_bool("help", false)) {
+      std::printf(
+          "usage: rnoc_served --socket PATH [--cache DIR] [--cache-max-mb N]\n"
+          "                   [--workers N] [--git-sha SHA] [--quiet]\n"
+          "                   [--exit-after-points N]\n");
+      return 0;
+    }
+    const std::string socket_path = opt.get("socket", "");
+    if (socket_path.empty()) {
+      std::fprintf(stderr, "rnoc_served: --socket PATH is required\n");
+      return 2;
+    }
+    const bool quiet = opt.get_bool("quiet", false);
+    const std::int64_t exit_after = opt.get_int("exit-after-points", 0);
+
+    serve::CampaignService::Config scfg;
+    scfg.workers = static_cast<int>(opt.get_int("workers", 0));
+    scfg.cache_root = opt.get("cache", "");
+    scfg.cache_max_bytes = static_cast<std::uint64_t>(
+                               opt.get_int("cache-max-mb", 0)) *
+                           1024 * 1024;
+    scfg.git_sha = opt.get("git-sha", campaign::read_git_sha("."));
+    if (exit_after > 0) {
+      scfg.on_point_computed = [exit_after](std::uint64_t computed) {
+        if (computed >= static_cast<std::uint64_t>(exit_after)) {
+          // Simulated kill -9: no destructors, no cache flush, no socket
+          // cleanup — the recovery paths have to cope with all of that.
+          _exit(9);
+        }
+      };
+    }
+    serve::CampaignService service(scfg);
+
+    serve::Server::Config cfg;
+    cfg.socket_path = socket_path;
+    if (!quiet) {
+      cfg.log = [](const std::string& msg) {
+        std::printf("%s\n", msg.c_str());
+        std::fflush(stdout);
+      };
+    }
+    serve::Server server(cfg, service);
+    g_server = &server;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    server.run();  // Stops the service (failing in-flight jobs) on exit.
+    g_server = nullptr;
+
+    if (!quiet) {
+      const serve::CampaignService::Stats s = service.stats();
+      const serve::ResultCache::Stats c = service.cache_stats();
+      std::printf(
+          "rnoc_served: %llu jobs (%llu coalesced), %llu points computed, "
+          "%llu served from cache (%llu entries on disk)\n",
+          static_cast<unsigned long long>(s.jobs_submitted),
+          static_cast<unsigned long long>(s.jobs_coalesced),
+          static_cast<unsigned long long>(s.points_computed),
+          static_cast<unsigned long long>(s.points_cached),
+          static_cast<unsigned long long>(c.entries));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rnoc_served: %s\n", e.what());
+    return 1;
+  }
+}
