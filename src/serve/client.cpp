@@ -109,18 +109,84 @@ bool ping_daemon(const std::string& socket_path, std::string& error) {
   return false;
 }
 
-std::string daemon_stats_line(const std::string& socket_path,
-                              std::string& error) {
+DaemonStats daemon_stats(const std::string& socket_path) {
+  DaemonStats out;
   try {
     JsonValue req = JsonValue::make_object();
     req.set("op", JsonValue::make_string("stats"));
     const JsonValue reply = round_trip(socket_path, to_wire_line(req));
-    if (reply.at("ok").as_bool()) return to_wire_line(reply);
-    error = reply_error(reply);
+    if (!reply.at("ok").as_bool()) {
+      out.error = reply_error(reply);
+      return out;
+    }
+    out.line = to_wire_line(reply);
+    // Version fields are absent from pre-telemetry daemons; report them
+    // as zero/empty rather than failing the whole stats call.
+    if (const JsonValue* v = reply.find("schema_version"))
+      out.schema_version = v->as_int();
+    if (const JsonValue* v = reply.find("git_sha")) out.git_sha = v->as_string();
+    if (const JsonValue* v = reply.find("uptime_seconds"))
+      out.uptime_seconds = v->as_number();
+    out.ok = true;
   } catch (const std::exception& e) {
-    error = e.what();
+    out.error = e.what();
   }
-  return "";
+  return out;
+}
+
+MetricsReply daemon_metrics(const std::string& socket_path,
+                            const std::string& format) {
+  MetricsReply out;
+  try {
+    JsonValue req = JsonValue::make_object();
+    req.set("op", JsonValue::make_string("metrics"));
+    req.set("format", JsonValue::make_string(format));
+    const JsonValue reply = round_trip(socket_path, to_wire_line(req));
+    if (!reply.at("ok").as_bool()) {
+      out.error = reply_error(reply);
+      return out;
+    }
+    out.body = reply.at("body").as_string();
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+WatchOutcome watch_daemon(const std::string& socket_path,
+                          const WatchHandler& handler) {
+  WatchOutcome out;
+  try {
+    const Fd fd = connect_unix(socket_path);
+    JsonValue req = JsonValue::make_object();
+    req.set("op", JsonValue::make_string("watch"));
+    if (!send_line(fd.get(), to_wire_line(req)))
+      throw std::runtime_error("serve: daemon closed the connection");
+    LineReader reader(fd.get());
+    std::string line;
+    if (!reader.read_line(line))
+      throw std::runtime_error("serve: daemon closed the connection");
+    const JsonValue ack = campaign::parse_json(line);
+    if (!ack.at("ok").as_bool()) {
+      out.error = reply_error(ack);
+      return out;
+    }
+    while (reader.read_line(line)) {
+      const JsonValue ev = campaign::parse_json(line);
+      ++out.events;
+      if (handler && !handler(ev)) {
+        out.ok = true;  // Client-initiated end of the watch.
+        return out;
+      }
+    }
+    out.error =
+        "serve: watch stream ended unexpectedly (daemon stopped or was "
+        "killed)";
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
 }
 
 bool shutdown_daemon(const std::string& socket_path, std::string& error) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <string>
 
+#include "campaign/json.hpp"
 #include "serve/scheduler.hpp"
 
 namespace rnoc::serve {
@@ -43,10 +44,45 @@ ClientOutcome run_campaign_via_daemon(const std::string& socket_path,
 /// Round-trips a ping. False with `error` set when the daemon is absent.
 bool ping_daemon(const std::string& socket_path, std::string& error);
 
-/// Fetches the daemon's stats line (raw single-line JSON; "" on failure
-/// with `error` set). Tools pretty-print or grep it as they see fit.
-std::string daemon_stats_line(const std::string& socket_path,
-                              std::string& error);
+/// Daemon stats with an explicit status: an empty daemon and an absent
+/// daemon are different answers, and the versioned reply fields let
+/// clients detect a mismatched daemon (different build or result schema)
+/// before trusting anything it says.
+struct DaemonStats {
+  bool ok = false;
+  std::string error;  ///< Set when !ok.
+  std::string line;   ///< Raw single-line stats JSON; "" when !ok.
+  std::int64_t schema_version = 0;
+  std::string git_sha;
+  double uptime_seconds = 0.0;
+};
+DaemonStats daemon_stats(const std::string& socket_path);
+
+/// One `metrics` scrape. `body` is the exposition text (Prometheus) or
+/// the compact metrics JSON, exactly as the daemon produced it.
+struct MetricsReply {
+  bool ok = false;
+  std::string error;  ///< Set when !ok.
+  std::string body;
+};
+MetricsReply daemon_metrics(const std::string& socket_path,
+                            const std::string& format);
+
+/// Called once per streamed telemetry event; return false to stop
+/// watching (a clean, client-initiated end).
+using WatchHandler = std::function<bool(const campaign::JsonValue& event)>;
+
+struct WatchOutcome {
+  bool ok = false;    ///< True only when the handler ended the watch.
+  std::string error;  ///< Refusal, or the stream dying under the watcher.
+  std::uint64_t events = 0;
+};
+
+/// Subscribes to the daemon's telemetry event stream and pumps events
+/// into `handler` until it returns false (ok) or the connection dies
+/// (!ok, with a daemon-died explanation in .error). Never throws.
+WatchOutcome watch_daemon(const std::string& socket_path,
+                          const WatchHandler& handler);
 
 /// Asks the daemon to shut down cleanly. False with `error` set on failure.
 bool shutdown_daemon(const std::string& socket_path, std::string& error);

@@ -3,8 +3,16 @@
 #include <utility>
 
 #include "common/types.hpp"
+#include "serve/telemetry.hpp"
 
 namespace rnoc::serve {
+
+namespace {
+/// Worker index of the calling thread; -1 on non-pool threads. Lets the
+/// service attribute execute spans to the worker that ran them without
+/// threading an index through every task closure.
+thread_local int tl_current_worker = -1;
+}  // namespace
 
 const char* lane_name(Lane lane) {
   switch (lane) {
@@ -21,7 +29,8 @@ Lane lane_from_name(const std::string& name) {
   return Lane::Bulk;
 }
 
-PointScheduler::PointScheduler(int workers) {
+PointScheduler::PointScheduler(int workers, TelemetryHub* telemetry)
+    : telemetry_(telemetry) {
   std::size_t n = workers > 0 ? static_cast<std::size_t>(workers)
                               : std::thread::hardware_concurrency();
   if (n == 0) n = 1;
@@ -59,10 +68,12 @@ std::uint64_t PointScheduler::submit(
     next_worker_ = (next_worker_ + tasks.size()) % queues_.size();
   }
   const auto li = static_cast<std::size_t>(lane);
+  // One clock read per submission, shared by every task's queue-wait span.
+  const std::uint64_t enqueue_us = telemetry_ ? telemetry_->now_us() : 0;
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     WorkerQueues& q = *queues_[(start + t) % queues_.size()];
     const std::lock_guard<std::mutex> lock(q.mu);
-    q.lane[li].push_back({std::move(tasks[t]), id});
+    q.lane[li].push_back({std::move(tasks[t]), id, enqueue_us});
   }
   pending_[li].fetch_add(tasks.size());
   cv_work_.notify_all();
@@ -81,6 +92,7 @@ bool PointScheduler::try_claim(std::size_t self, Lane lane, Task& out) {
       return true;
     }
   }
+  if (queues_.size() > 1) steal_attempts_.fetch_add(1);
   for (std::size_t k = 1; k < queues_.size(); ++k) {
     WorkerQueues& victim = *queues_[(self + k) % queues_.size()];
     const std::lock_guard<std::mutex> lock(victim.mu);
@@ -114,13 +126,37 @@ void PointScheduler::finish_task(const Task& t) {
 }
 
 void PointScheduler::worker_loop(std::size_t self) {
+  tl_current_worker = static_cast<int>(self);
   for (;;) {
     Task t;
     // Interactive first, everywhere: only when no interactive task is
     // queued on any deque may this worker pick up bulk work.
+    Lane lane = Lane::Interactive;
     bool got = try_claim(self, Lane::Interactive, t);
-    if (!got && pending_[0].load() == 0) got = try_claim(self, Lane::Bulk, t);
     if (got) {
+      // Bulk work was queued but an interactive task ran first: that is
+      // the priority lane actually deferring something.
+      if (pending_[1].load() > 0) preemptions_.fetch_add(1);
+    } else if (pending_[0].load() == 0) {
+      got = try_claim(self, Lane::Bulk, t);
+      lane = Lane::Bulk;
+    }
+    if (got) {
+      if (telemetry_ && t.enqueue_us != 0) {
+        SpanRecord span;
+        span.kind = SpanKind::QueueWait;
+        span.start_us = t.enqueue_us;
+        span.end_us = telemetry_->now_us();
+        span.job = t.job;  // Scheduler job id (not the service's).
+        span.worker = static_cast<int>(self);
+        span.lane = static_cast<int>(lane);
+        telemetry_->observe_us(lane == Lane::Interactive
+                                   ? "queue_wait_interactive_us"
+                                   : "queue_wait_bulk_us",
+                               static_cast<double>(span.end_us -
+                                                   span.start_us));
+        telemetry_->record_span(std::move(span));
+      }
       t.fn();
       finish_task(t);
       continue;
@@ -174,7 +210,14 @@ bool PointScheduler::finished(std::uint64_t job) const {
 }
 
 PointScheduler::Stats PointScheduler::stats() const {
-  return {executed_.load(), steals_.load(), dropped_.load()};
+  return {executed_.load(), steals_.load(), dropped_.load(),
+          steal_attempts_.load(), preemptions_.load()};
 }
+
+std::size_t PointScheduler::queue_depth(Lane lane) const {
+  return pending_[static_cast<std::size_t>(lane)].load();
+}
+
+int PointScheduler::current_worker() { return tl_current_worker; }
 
 }  // namespace rnoc::serve

@@ -30,6 +30,8 @@
 
 namespace rnoc::serve {
 
+class TelemetryHub;
+
 /// Priority lanes. Interactive (smoke sweeps, humans waiting) preempts
 /// Bulk (deep campaigns) at task granularity.
 enum class Lane { Interactive = 0, Bulk = 1 };
@@ -43,8 +45,9 @@ Lane lane_from_name(const std::string& name);
 class PointScheduler {
  public:
   /// Creates `workers` worker threads (0 = hardware_concurrency, at
-  /// least 1).
-  explicit PointScheduler(int workers = 0);
+  /// least 1). `telemetry`, when set, receives queue-wait spans and
+  /// latency samples; it must outlive the scheduler.
+  explicit PointScheduler(int workers = 0, TelemetryHub* telemetry = nullptr);
   ~PointScheduler();
 
   PointScheduler(const PointScheduler&) = delete;
@@ -74,13 +77,27 @@ class PointScheduler {
     std::uint64_t executed = 0;  ///< Tasks run to completion.
     std::uint64_t steals = 0;    ///< Tasks taken from another worker's deque.
     std::uint64_t dropped = 0;   ///< Tasks discarded by stop().
+    /// Claims that found the worker's own deque empty and probed its
+    /// peers (successfully or not) — the numerator's denominator for
+    /// `steals`, and the contention signal the telemetry layer exposes.
+    std::uint64_t steal_attempts = 0;
+    /// Interactive tasks claimed while bulk work was queued somewhere:
+    /// each one is a bulk task actually deferred by the priority lane.
+    std::uint64_t preemptions = 0;
   };
   Stats stats() const;
+
+  /// Tasks currently queued (not yet claimed) on `lane`.
+  std::size_t queue_depth(Lane lane) const;
+
+  /// Index of the worker running the calling thread, -1 off the pool.
+  static int current_worker();
 
  private:
   struct Task {
     std::function<void()> fn;
     std::uint64_t job = 0;
+    std::uint64_t enqueue_us = 0;  ///< Telemetry clock at submit(); 0 = none.
   };
 
   /// One worker's deques, individually locked so stealing contends with
@@ -110,7 +127,10 @@ class PointScheduler {
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> steal_attempts_{0};
+  std::atomic<std::uint64_t> preemptions_{0};
   std::atomic<bool> stop_{false};
+  TelemetryHub* telemetry_ = nullptr;
 
   std::mutex sleep_mu_;
   std::condition_variable cv_work_;

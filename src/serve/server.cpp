@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "campaign/registry.hpp"
+#include "serve/telemetry.hpp"
 #include "serve/wire.hpp"
 
 namespace rnoc::serve {
@@ -112,6 +113,9 @@ void Server::handle_connection(const std::shared_ptr<Conn>& conn) {
     handle_request(conn, line);
   }
   conn->alive.store(false);
+  if (const std::uint64_t watch = conn->watch_id.exchange(0);
+      watch != 0 && cfg_.telemetry)
+    cfg_.telemetry->unsubscribe(watch);
 }
 
 void Server::handle_request(const std::shared_ptr<Conn>& conn,
@@ -153,6 +157,14 @@ void Server::handle_request(const std::shared_ptr<Conn>& conn,
       const ResultCache::Stats c = service_.cache_stats();
       JsonValue o = JsonValue::make_object();
       o.set("ok", JsonValue::make_bool(true));
+      // Versioned so clients can detect a mismatched daemon (different
+      // build, different result schema) before trusting its cache.
+      o.set("schema_version", num(campaign::kSchemaVersion));
+      o.set("git_sha", JsonValue::make_string(service_.git_sha()));
+      o.set("uptime_seconds",
+            JsonValue::make_number(cfg_.telemetry
+                                       ? cfg_.telemetry->uptime_seconds()
+                                       : 0.0));
       JsonValue sv = JsonValue::make_object();
       sv.set("jobs_submitted", num(s.jobs_submitted));
       sv.set("jobs_coalesced", num(s.jobs_coalesced));
@@ -162,6 +174,8 @@ void Server::handle_request(const std::shared_ptr<Conn>& conn,
       JsonValue sc = JsonValue::make_object();
       sc.set("executed", num(sch.executed));
       sc.set("steals", num(sch.steals));
+      sc.set("steal_attempts", num(sch.steal_attempts));
+      sc.set("preemptions", num(sch.preemptions));
       sc.set("dropped", num(sch.dropped));
       o.set("scheduler", std::move(sc));
       JsonValue cc = JsonValue::make_object();
@@ -174,6 +188,49 @@ void Server::handle_request(const std::shared_ptr<Conn>& conn,
       cc.set("bytes", num(c.bytes));
       o.set("cache", std::move(cc));
       send_to(conn, to_wire_line(o));
+    } else if (op == "metrics") {
+      if (!cfg_.telemetry) {
+        send_to(conn, wire_error_line("telemetry is disabled"));
+        return;
+      }
+      const std::string format = get_string(req, "format", "prometheus");
+      std::string body;
+      if (format == "prometheus") {
+        body = cfg_.telemetry->prometheus_text();
+      } else if (format == "json") {
+        body = cfg_.telemetry->metrics_json();
+      } else {
+        send_to(conn, wire_error_line("unknown metrics format '" + format +
+                                      "' (prometheus|json)"));
+        return;
+      }
+      JsonValue o = JsonValue::make_object();
+      o.set("ok", JsonValue::make_bool(true));
+      o.set("op", JsonValue::make_string("metrics"));
+      o.set("format", JsonValue::make_string(format));
+      o.set("body", JsonValue::make_string(body));
+      send_to(conn, to_wire_line(o));
+    } else if (op == "watch") {
+      if (!cfg_.telemetry) {
+        send_to(conn, wire_error_line("telemetry is disabled"));
+        return;
+      }
+      if (conn->watch_id.load() != 0) {
+        send_to(conn, wire_error_line("connection is already watching"));
+        return;
+      }
+      // Ack first: the subscription fans out from other threads the
+      // moment it registers, and the ack must precede every event line.
+      JsonValue o = JsonValue::make_object();
+      o.set("ok", JsonValue::make_bool(true));
+      o.set("op", JsonValue::make_string("watch"));
+      send_to(conn, to_wire_line(o));
+      conn->watch_id.store(cfg_.telemetry->subscribe(
+          [this, conn](const std::string& event_line) {
+            send_to(conn, event_line);
+            return conn->alive.load();
+          }));
+      log("serve: watch subscribed");
     } else if (op == "submit") {
       handle_submit(conn, req);
     } else if (op == "shutdown") {

@@ -36,6 +36,9 @@ class Server {
     std::string socket_path;
     /// Connection/job log sink (the daemon prints these); may be null.
     std::function<void(const std::string&)> log;
+    /// Enables the `metrics` and `watch` wire ops when set (normally the
+    /// same hub the service reports into); must outlive the server.
+    TelemetryHub* telemetry = nullptr;
   };
 
   /// Binds and listens immediately (throws std::runtime_error on failure);
@@ -59,6 +62,9 @@ class Server {
     Fd fd;
     std::mutex write_mu;
     std::atomic<bool> alive{true};
+    /// Nonzero while subscribed to telemetry events (the `watch` op);
+    /// unsubscribed when the connection winds down.
+    std::atomic<std::uint64_t> watch_id{0};
   };
 
   void handle_connection(const std::shared_ptr<Conn>& conn);

@@ -7,8 +7,19 @@
 
 #include "campaign/registry.hpp"
 #include "common/types.hpp"
+#include "serve/telemetry.hpp"
 
 namespace rnoc::serve {
+
+namespace {
+
+using campaign::JsonValue;
+
+JsonValue jnum(std::uint64_t n) {
+  return JsonValue::make_number(static_cast<double>(n));
+}
+
+}  // namespace
 
 /// One in-flight (or just-finished) campaign execution. Shared by the
 /// scheduler tasks, every coalesced sink, and wait() tickets.
@@ -19,6 +30,9 @@ struct CampaignService::Job {
   std::string config_hash;
   std::string git_sha;
   std::vector<campaign::PointUnit> units;
+  std::uint64_t id = 0;  ///< Telemetry job id (groups spans/events).
+  Lane lane = Lane::Bulk;
+  std::uint64_t accept_us = 0;  ///< Telemetry clock at submit(); 0 = none.
 
   std::mutex mu;
   std::condition_variable cv;
@@ -45,7 +59,15 @@ CampaignService::CampaignService(Config cfg) : cfg_(std::move(cfg)) {
   if (!cfg_.cache_root.empty())
     cache_ = std::make_unique<ResultCache>(ResultCache::Config{
         cfg_.cache_root, cfg_.cache_max_bytes, cfg_.git_sha});
-  scheduler_ = std::make_unique<PointScheduler>(cfg_.workers);
+  scheduler_ = std::make_unique<PointScheduler>(cfg_.workers, cfg_.telemetry);
+  if (cfg_.telemetry) {
+    // Seed the push-model gauges so a scrape before any work still
+    // exposes the full family set, then serve pull-model metrics.
+    cfg_.telemetry->gauge_set("points_in_flight", 0.0);
+    cfg_.telemetry->gauge_set("coalesced_waiters", 0.0);
+    cfg_.telemetry->set_scrape_provider(
+        [this](TelemetryHub& hub) { publish_metrics(hub); });
+  }
 }
 
 CampaignService::~CampaignService() { stop(); }
@@ -83,12 +105,43 @@ void CampaignService::run_unit_task(const std::shared_ptr<Job>& job,
   bool cached = false;
   campaign::PointResult p;
   std::string err;
+  // Timing wraps execute_point from the outside: the execute path itself
+  // is a determinism root (no clock reads inside it, analyzer-enforced),
+  // and the result bytes in `p` never depend on these timestamps.
+  TelemetryHub* const hub = cfg_.telemetry;
+  const std::uint64_t t0 = hub ? hub->now_us() : 0;
+  if (hub) hub->gauge_add("points_in_flight", 1.0);
   if (!skip) {
     try {
       p = execute_point(*job->spec, job->units[i], job->smoke,
                         job->config_hash, cached);
     } catch (const std::exception& e) {
       err = e.what();
+    }
+  }
+  if (hub) {
+    const std::uint64_t t1 = hub->now_us();
+    hub->gauge_add("points_in_flight", -1.0);
+    if (!skip && err.empty()) {
+      SpanRecord span;
+      span.kind = cached ? SpanKind::CacheHit : SpanKind::Execute;
+      span.start_us = t0;
+      span.end_us = t1;
+      span.job = job->id;
+      span.worker = PointScheduler::current_worker();
+      span.lane = static_cast<int>(job->lane);
+      span.id = job->units[i].id;
+      hub->record_span(std::move(span));
+      hub->observe_us(cached ? "point_cache_hit_us" : "point_execute_us",
+                      static_cast<double>(t1 - t0));
+      JsonValue fields = JsonValue::make_object();
+      fields.set("job", jnum(job->id));
+      fields.set("id", JsonValue::make_string(job->units[i].id));
+      fields.set("cached", JsonValue::make_bool(cached));
+      fields.set("worker", JsonValue::make_number(
+                               PointScheduler::current_worker()));
+      fields.set("dur_us", jnum(t1 - t0));
+      hub->event("point", std::move(fields));
     }
   }
 
@@ -137,6 +190,34 @@ void CampaignService::finalize_locked(Job& job) {
   }
   job.done = true;
   job.cv.notify_all();
+
+  if (TelemetryHub* const hub = cfg_.telemetry; hub && job.accept_us != 0) {
+    SpanRecord span;
+    span.kind = SpanKind::Request;
+    span.start_us = job.accept_us;
+    span.end_us = hub->now_us();
+    span.job = job.id;
+    span.lane = static_cast<int>(job.lane);
+    span.id = job.spec->name;
+    span.aux = job.units.size();
+    span.ok = job.error.empty();
+    hub->observe_us("request_us",
+                    static_cast<double>(span.end_us - span.start_us));
+    hub->record_span(std::move(span));
+    std::size_t coalesced = 0;
+    for (const Job::SinkState& s : job.sinks) coalesced += s.coalesced ? 1 : 0;
+    if (coalesced > 0)
+      hub->gauge_add("coalesced_waiters",
+                     -static_cast<double>(coalesced));
+    JsonValue fields = JsonValue::make_object();
+    fields.set("job", jnum(job.id));
+    fields.set("campaign", JsonValue::make_string(job.spec->name));
+    fields.set("points", jnum(job.units.size()));
+    fields.set("sinks", jnum(job.sinks.size()));
+    if (!job.error.empty())
+      fields.set("error", JsonValue::make_string(job.error));
+    hub->event(job.error.empty() ? "done" : "failed", std::move(fields));
+  }
 }
 
 std::uint64_t CampaignService::submit(const Request& req, Sink sink) {
@@ -178,9 +259,18 @@ std::uint64_t CampaignService::submit(const Request& req, Sink sink) {
           ss.sink.on_point(
               {++ss.delivered, job->units.size(), job->units[i].id, true});
       }
+      const std::uint64_t ss_replayed = ss.delivered;
       job->sinks.push_back(std::move(ss));
       const std::uint64_t ticket = next_ticket_++;
       tickets_[ticket] = job;
+      if (TelemetryHub* const hub = cfg_.telemetry) {
+        hub->gauge_add("coalesced_waiters", 1.0);
+        JsonValue fields = JsonValue::make_object();
+        fields.set("job", jnum(job->id));
+        fields.set("campaign", JsonValue::make_string(req.campaign));
+        fields.set("replayed", jnum(ss_replayed));
+        hub->event("coalesce", std::move(fields));
+      }
       return ticket;
     }
     active_.erase(active_it);
@@ -191,11 +281,26 @@ std::uint64_t CampaignService::submit(const Request& req, Sink sink) {
   job->smoke = req.smoke;
   job->key = key;
   job->git_sha = git_sha;
+  job->lane = req.lane;
+  TelemetryHub* const hub = cfg_.telemetry;
+  job->accept_us = hub ? hub->now_us() : 0;
+  job->id = next_job_id_++;
   job->units = campaign::expand_point_units(*spec, req.smoke);
   std::vector<std::string> ids;
   ids.reserve(job->units.size());
   for (const campaign::PointUnit& u : job->units) ids.push_back(u.id);
   job->config_hash = campaign::spec_config_hash(*spec, req.smoke, ids);
+  if (hub && job->accept_us != 0) {
+    SpanRecord span;
+    span.kind = SpanKind::Expand;
+    span.start_us = job->accept_us;
+    span.end_us = hub->now_us();
+    span.job = job->id;
+    span.lane = static_cast<int>(job->lane);
+    span.id = spec->name;
+    span.aux = job->units.size();
+    hub->record_span(std::move(span));
+  }
   job->points.resize(job->units.size());
   job->have.assign(job->units.size(), 0);
   Job::SinkState ss;
@@ -205,6 +310,16 @@ std::uint64_t CampaignService::submit(const Request& req, Sink sink) {
   active_[key] = job;
   const std::uint64_t ticket = next_ticket_++;
   tickets_[ticket] = job;
+  if (hub) {
+    JsonValue fields = JsonValue::make_object();
+    fields.set("job", jnum(job->id));
+    fields.set("campaign", JsonValue::make_string(spec->name));
+    fields.set("smoke", JsonValue::make_bool(req.smoke));
+    fields.set("lane", JsonValue::make_string(lane_name(req.lane)));
+    fields.set("points", jnum(job->units.size()));
+    fields.set("config_hash", JsonValue::make_string(job->config_hash));
+    hub->event("submit", std::move(fields));
+  }
 
   std::vector<std::function<void()>> tasks;
   tasks.reserve(job->units.size());
@@ -245,6 +360,9 @@ void CampaignService::stop() {
     const std::lock_guard<std::mutex> lock(mu_);
     stopped_ = true;
   }
+  // The provider captures `this`; a scrape racing stop() is safe (it only
+  // reads stats), but nothing may call back in once destruction begins.
+  if (cfg_.telemetry) cfg_.telemetry->set_scrape_provider(nullptr);
   // Must not hold mu_ here: in-flight tasks take it via execute_point and
   // stop() joins them.
   scheduler_->stop();
@@ -284,6 +402,34 @@ PointScheduler::Stats CampaignService::scheduler_stats() const {
 
 ResultCache::Stats CampaignService::cache_stats() const {
   return cache_ ? cache_->stats() : ResultCache::Stats{};
+}
+
+void CampaignService::publish_metrics(TelemetryHub& hub) const {
+  const Stats s = stats();
+  hub.counter_set("jobs_submitted", s.jobs_submitted);
+  hub.counter_set("jobs_coalesced", s.jobs_coalesced);
+  hub.counter_set("points_computed", s.points_computed);
+  hub.counter_set("points_cached", s.points_cached);
+  const PointScheduler::Stats sch = scheduler_->stats();
+  hub.counter_set("sched_executed", sch.executed);
+  hub.counter_set("sched_steals", sch.steals);
+  hub.counter_set("sched_steal_attempts", sch.steal_attempts);
+  hub.counter_set("sched_preemptions", sch.preemptions);
+  hub.counter_set("sched_dropped", sch.dropped);
+  hub.gauge_set("workers", static_cast<double>(scheduler_->workers()));
+  hub.gauge_set("queue_depth{lane=\"interactive\"}",
+                static_cast<double>(scheduler_->queue_depth(
+                    Lane::Interactive)));
+  hub.gauge_set("queue_depth{lane=\"bulk\"}",
+                static_cast<double>(scheduler_->queue_depth(Lane::Bulk)));
+  const ResultCache::Stats c = cache_stats();
+  hub.counter_set("cache_hits", c.hits);
+  hub.counter_set("cache_misses", c.misses);
+  hub.counter_set("cache_stores", c.stores);
+  hub.counter_set("cache_evictions", c.evictions);
+  hub.counter_set("cache_quarantined", c.quarantined);
+  hub.gauge_set("cache_entries", static_cast<double>(c.entries));
+  hub.gauge_set("cache_bytes", static_cast<double>(c.bytes));
 }
 
 }  // namespace rnoc::serve

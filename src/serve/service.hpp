@@ -32,6 +32,8 @@
 
 namespace rnoc::serve {
 
+class TelemetryHub;
+
 class CampaignService {
  public:
   struct Config {
@@ -39,6 +41,12 @@ class CampaignService {
     std::string cache_root;  ///< Empty disables the persistent cache.
     std::uint64_t cache_max_bytes = 0;  ///< 0 = unlimited.
     std::string git_sha = "unknown";    ///< Stamps results, keys the cache.
+    /// Optional telemetry hub (must outlive the service). Receives span
+    /// records, lifecycle events and latency samples, and is installed as
+    /// its own scrape provider so `metrics` scrapes see live stats.
+    /// Telemetry never touches result bytes: campaign output is
+    /// byte-identical with or without it (test-enforced).
+    TelemetryHub* telemetry = nullptr;
     /// Test hook: called after every freshly computed (non-cached) point
     /// with the process-wide count so far. The daemon's --exit-after-points
     /// flag uses it to simulate a mid-campaign kill deterministically.
@@ -109,6 +117,12 @@ class CampaignService {
   PointScheduler::Stats scheduler_stats() const;
   /// Zeroed when no cache is configured.
   ResultCache::Stats cache_stats() const;
+  const std::string& git_sha() const { return cfg_.git_sha; }
+
+  /// Pushes the pull-model metrics (service/scheduler/cache counters,
+  /// queue depths, cache size gauges) into `hub`. Installed as the hub's
+  /// scrape provider by the constructor; callable directly in tests.
+  void publish_metrics(TelemetryHub& hub) const;
 
   /// The execute path: cache lookup, else run the unit and store it. This
   /// is the determinism root the static analyzer audits — everything
@@ -136,6 +150,7 @@ class CampaignService {
   /// Ticket -> job, for wait(); finished entries pruned lazily.
   std::map<std::uint64_t, std::shared_ptr<Job>> tickets_;
   std::uint64_t next_ticket_ = 1;
+  std::uint64_t next_job_id_ = 1;  ///< Telemetry job ids (spans/events).
   std::uint64_t computed_total_ = 0;
   Stats stats_;
   bool stopped_ = false;

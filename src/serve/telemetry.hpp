@@ -1,0 +1,206 @@
+// TelemetryHub: the observability spine of the campaign results daemon.
+//
+// The scheduler, service and server report into one hub; everything the
+// hub stores is derived data about *when* things happened, never *what*
+// the results are — campaign result bytes are produced entirely outside
+// this TU and are byte-identical with the hub attached or absent
+// (test-enforced against the committed goldens). That split is also the
+// determinism story: this TU is the only place in src/serve that reads a
+// clock, and the static analyzer's wall-clock rule prunes exactly
+// `rnoc::serve::TelemetryHub::` on that basis (see
+// tools/analyze/rnoc_analyze.py).
+//
+// What the hub holds:
+//   - a capacity-capped ring of span records (request lifecycle: submit ->
+//     expand -> queue-wait per lane -> execute / cache-hit), exported in
+//     the same Chrome/Perfetto trace-event JSON dialect as src/obs/trace
+//     (pid = worker, tid = lane) but emitted locally — plain serve TUs
+//     must not reference rnoc::obs:: symbols (the zero-cost-off rule);
+//   - latency histograms with quantiles, built on the shared
+//     rnoc::Histogram over log2(1+us) so microsecond cache hits and
+//     minute-long points share one resolution-proportional scale;
+//   - monotone counters and instantaneous gauges the cumulative Stats
+//     structs cannot express (queue depth per lane, in-flight points,
+//     cache bytes/entries, coalesced waiters);
+//   - a size-capped structured JSONL event journal with atomic rotation
+//     (rename to "<path>.1", then a fresh file);
+//   - line-JSON event subscribers (the wire `watch` op) fed by the same
+//     event calls that feed the journal, plus an optional ticker thread
+//     that emits a periodic "metrics" snapshot event while anyone is
+//     subscribed.
+//
+// Locking: one mutex guards all hub state; every recording call is a
+// short critical section (append/increment), and the expensive paths
+// (exposition, trace export) run at scrape time. Subscriber sinks are
+// invoked *outside* the hub mutex so a slow watcher can only delay the
+// thread that produced the event, never every thread that touches the
+// hub. The scrape provider (pull-model counters/gauges, see
+// set_scrape_provider) is likewise invoked unlocked because it calls back
+// into service/scheduler/cache locks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/json.hpp"
+#include "common/stats.hpp"
+
+namespace rnoc::serve {
+
+/// Phases of the request/point lifecycle a span can describe.
+enum class SpanKind {
+  Request,    ///< submit() accepted -> terminal done/failed, per job.
+  Expand,     ///< Point-unit expansion + config hashing inside submit().
+  QueueWait,  ///< Task enqueue -> claimed by a worker, per point.
+  Execute,    ///< Freshly computed point (cache miss).
+  CacheHit,   ///< Point served from the persistent cache.
+};
+
+const char* span_kind_name(SpanKind kind);
+
+/// One recorded interval. `worker` is -1 for service/connection-thread
+/// spans (Request/Expand); `lane` is the scheduler lane index.
+struct SpanRecord {
+  SpanKind kind = SpanKind::Execute;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  std::uint64_t job = 0;  ///< Service job id (groups points to requests).
+  int worker = -1;
+  int lane = 1;        ///< static_cast<int>(Lane): 0 interactive, 1 bulk.
+  std::string id;      ///< Point id; campaign name for Request/Expand.
+  std::uint64_t aux = 0;  ///< Request/Expand: the job's point count.
+  bool ok = true;      ///< Request: false when the job failed/was dropped.
+};
+
+class TelemetryHub {
+ public:
+  struct Config {
+    /// JSONL event journal path; empty disables journaling (events still
+    /// reach subscribers).
+    std::string journal_path;
+    /// Rotate the journal (atomic rename to "<path>.1") before a write
+    /// would push it past this size.
+    std::uint64_t journal_max_bytes = 4ull << 20;
+    /// Span ring capacity; 0 disables span recording entirely.
+    std::size_t span_capacity = 1 << 16;
+    /// Period of the background "metrics" snapshot event while watchers
+    /// are subscribed; 0 disables the ticker thread.
+    std::uint64_t tick_interval_ms = 0;
+    std::string git_sha = "unknown";
+  };
+
+  /// Written by subscribers; false = the sink is dead, drop it.
+  using EventSink = std::function<bool(const std::string& line)>;
+  /// Called (unlocked) before every metrics snapshot; pushes current
+  /// pull-model counter/gauge values into the hub.
+  using ScrapeProvider = std::function<void(TelemetryHub&)>;
+
+  explicit TelemetryHub(Config cfg);
+  ~TelemetryHub();  ///< Stops the ticker and closes the journal.
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  /// Monotonic microseconds since hub construction — the one clock every
+  /// span/event timestamp is expressed in, and the only wall-clock read
+  /// in the serve layer.
+  std::uint64_t now_us() const;
+  double uptime_seconds() const { return static_cast<double>(now_us()) / 1e6; }
+
+  // --- recording (cheap, called from hot service/scheduler paths) -------
+  void record_span(SpanRecord span);
+  void counter_add(const std::string& name, std::uint64_t delta = 1);
+  /// Pull-model mirror: overwrites a monotone counter with its source of
+  /// truth (service/scheduler/cache Stats) at scrape time.
+  void counter_set(const std::string& name, std::uint64_t value);
+  void gauge_set(const std::string& name, double value);
+  void gauge_add(const std::string& name, double delta);
+  /// Records a latency sample into the named quantile histogram.
+  void observe_us(const std::string& name, double us);
+
+  /// Journals one structured event ({"event":"telemetry","type":type,
+  /// "t_us":now,...fields}) and fans it out to subscribers. `fields`
+  /// must be an object (or null for none).
+  void event(const std::string& type, campaign::JsonValue fields);
+
+  // --- subscriptions (the wire `watch` op) ------------------------------
+  /// Registers `sink` and returns its id. The sink is called outside the
+  /// hub mutex with complete wire lines; returning false unsubscribes it.
+  std::uint64_t subscribe(EventSink sink);
+  void unsubscribe(std::uint64_t id);
+  std::size_t subscribers() const;
+
+  /// Installs (or clears, with nullptr) the pull-metrics provider invoked
+  /// before every exposition/snapshot. The provider must outlive its
+  /// registration — clear it before destroying what it captures.
+  void set_scrape_provider(ScrapeProvider provider);
+
+  // --- exposition -------------------------------------------------------
+  /// Prometheus text exposition (families sorted, HELP/TYPE lines,
+  /// summaries with p50/p90/p99 quantiles). Invokes the scrape provider.
+  std::string prometheus_text();
+  /// Versioned JSON snapshot of the same data:
+  /// {"telemetry_schema":1,"schema_version":...,"git_sha":...,...}.
+  /// Invokes the scrape provider.
+  std::string metrics_json();
+  /// Chrome trace-event JSON of the span ring (pid 0 = service, pid w+1 =
+  /// worker w; tid = lane for execute spans, kLanes+lane for queue-wait).
+  std::string span_trace_json() const;
+  /// Atomically writes span_trace_json() to `path`.
+  void write_span_trace(const std::string& path) const;
+
+  struct Stats {
+    std::uint64_t spans_recorded = 0;
+    std::uint64_t spans_dropped = 0;  ///< Overwritten ring slots.
+    std::uint64_t events = 0;
+    std::uint64_t journal_rotations = 0;
+    std::uint64_t journal_bytes = 0;  ///< Current journal file size.
+  };
+  Stats hub_stats() const;
+
+ private:
+  struct LatencySummary {
+    Histogram log2_hist{0.0, 64.0, 256};  ///< Samples stored as log2(1+us).
+    double sum_us = 0.0;
+  };
+
+  void journal_append_locked(const std::string& line);
+  void run_scrape_provider();
+  void emit_metrics_event();
+  void ticker_loop();
+  /// Sorted snapshot of counters/gauges/histograms as JSON objects.
+  campaign::JsonValue snapshot_locked() const;
+
+  Config cfg_;
+  std::uint64_t epoch_ns_ = 0;  ///< steady_clock at construction.
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;  ///< Ring buffer, capacity cfg_.
+  std::size_t span_head_ = 0;
+  std::uint64_t spans_recorded_ = 0;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, LatencySummary> histograms_;
+  std::map<std::uint64_t, EventSink> sinks_;
+  std::uint64_t next_sink_ = 1;
+  std::uint64_t events_ = 0;
+  ScrapeProvider provider_;
+
+  std::ofstream journal_;
+  std::uint64_t journal_bytes_ = 0;
+  std::uint64_t journal_rotations_ = 0;
+
+  std::thread ticker_;
+  std::mutex tick_mu_;
+  std::condition_variable tick_cv_;
+  bool tick_stop_ = false;
+};
+
+}  // namespace rnoc::serve

@@ -11,10 +11,15 @@
 //
 // Requests:   {"op":"ping"} | {"op":"list"} | {"op":"stats"} |
 //             {"op":"shutdown"} |
+//             {"op":"metrics","format":"prometheus"|"json"} |
+//             {"op":"watch"} |
 //             {"op":"submit","campaign":N,"smoke":B,"lane":L,"git_sha":S}
 // Responses:  {"ok":true,...} or {"ok":false,"error":...}; a submit streams
 //             {"event":"accepted"|"point"|"done"|"failed",...} lines and
-//             "done"/"failed" is always the last line of the job.
+//             "done"/"failed" is always the last line of the job. A watch
+//             acks {"ok":true,"op":"watch"} and then streams
+//             {"event":"telemetry","type":...,"t_us":...,...} lines until
+//             the client disconnects or the daemon stops.
 #pragma once
 
 #include <string>

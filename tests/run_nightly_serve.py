@@ -11,6 +11,7 @@ cache (see EXPERIMENTS.md P8).
 """
 
 import argparse
+import json
 import os
 import signal
 import subprocess
@@ -42,6 +43,49 @@ def parse_campaign_lines(stdout):
         tok = line.split()
         if len(tok) >= 8 and tok[0] == "campaign" and tok[3] == "points":
             yield tok[1], int(tok[2]), int(tok[4]), int(tok[6])
+
+
+def telemetry_md(opts, sock):
+    """One scrape of the daemon's `metrics` op (json format), rendered as
+    a markdown block: overall hit rate, point-latency quantiles and the
+    scheduler's contention counters. Best-effort — a scrape failure is
+    reported in the summary, never a nightly failure."""
+    scrape = subprocess.run(
+        [opts.campaign_bin, "--connect", sock, "--metrics",
+         "--metrics-format", "json"],
+        capture_output=True, text=True)
+    if scrape.returncode != 0:
+        return f"\n_telemetry scrape failed: {scrape.stderr.strip()}_\n"
+    snap = json.loads(scrape.stdout)
+    counters = snap.get("counters", {})
+    hists = snap.get("histograms", {})
+    hits = counters.get("cache_hits", 0)
+    lookups = hits + counters.get("cache_misses", 0)
+    execute = hists.get("point_execute_us", {})
+    lines = [
+        "",
+        f"**Daemon telemetry** (uptime "
+        f"{snap.get('uptime_seconds', 0):.1f}s, schema "
+        f"{snap.get('telemetry_schema', '?')})",
+        "",
+        "| metric | value |",
+        "|---|---|",
+        f"| cache hit rate | "
+        f"{hits / lookups if lookups else 0:.1%} ({hits:.0f}/"
+        f"{lookups:.0f}) |",
+        f"| point execute p50 / p99 | {execute.get('p50', 0) / 1e3:.2f} ms"
+        f" / {execute.get('p99', 0) / 1e3:.2f} ms |",
+        f"| point executes | {execute.get('count', 0):.0f} |",
+        f"| scheduler steals / attempts | "
+        f"{counters.get('sched_steals', 0):.0f} / "
+        f"{counters.get('sched_steal_attempts', 0):.0f} |",
+        f"| interactive preemptions | "
+        f"{counters.get('sched_preemptions', 0):.0f} |",
+        f"| spans recorded (dropped) | "
+        f"{snap.get('spans', {}).get('recorded', 0):.0f} "
+        f"({snap.get('spans', {}).get('dropped', 0):.0f}) |",
+    ]
+    return "\n".join(lines) + "\n"
 
 
 def main():
@@ -100,7 +144,7 @@ def main():
                          f"| {rate:.0%} |")
             if opts.min_hit_rate is not None and rate < opts.min_hit_rate:
                 low.append(f"{name} ({rate:.0%})")
-        md = "\n".join(lines) + "\n"
+        md = "\n".join(lines) + "\n" + telemetry_md(opts, sock)
         print(md)
         if opts.summary_md:
             with open(opts.summary_md, "a", encoding="utf-8") as f:

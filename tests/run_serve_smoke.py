@@ -12,10 +12,19 @@ three headline contracts end to end:
      --exit-after-points) mid-campaign leaves a usable cache; a restarted
      daemon finishes the campaign from it, still byte-identical, and the
      final SIGTERM shutdown leaves no socket, temp or lock files behind.
+
+The main daemon runs with full telemetry (journal, span trace, fast
+ticker), so contract 1 doubles as the telemetry byte-identity proof. On
+top of that the harness scrapes the `metrics` op (validated by
+tools/check_metrics.py), validates the shutdown span trace with
+tools/check_trace.py --daemon, checks the JSONL journal parses, and
+kill -9s a daemon under a live `--watch` client, which must exit nonzero
+with a clear connection-lost message.
 """
 
 import argparse
 import filecmp
+import json
 import os
 import shutil
 import signal
@@ -78,6 +87,10 @@ def main():
     ap.add_argument("--work", required=True)
     opts = ap.parse_args()
 
+    tools_dir = os.path.dirname(os.path.abspath(opts.compare))
+    check_metrics = os.path.join(tools_dir, "check_metrics.py")
+    check_trace = os.path.join(tools_dir, "check_trace.py")
+
     shutil.rmtree(opts.work, ignore_errors=True)
     os.makedirs(opts.work)
     # Unix socket paths are limited to ~107 bytes; the build tree can be
@@ -104,7 +117,14 @@ def main():
                 return fail(f"local run of {name} failed:\n"
                             f"{run.stdout}{run.stderr}")
 
-        daemon = tracked_daemon(opts, sock, cache)
+        # Full telemetry on the main daemon: contracts 1 and 2 below then
+        # double as the "telemetry never touches result bytes" proof.
+        journal = os.path.join(opts.work, "events.jsonl")
+        span_trace = os.path.join(opts.work, "spans.json")
+        daemon = tracked_daemon(opts, sock, cache,
+                                ["--telemetry-out", journal,
+                                 "--span-trace-out", span_trace,
+                                 "--tick-ms", "200"])
 
         # --- Contract 2: concurrent overlapping submissions share work ---
         overlap_dirs = [os.path.join(opts.work, f"overlap{i}")
@@ -161,6 +181,39 @@ def main():
                             f"{cmp_run.stdout}{cmp_run.stderr}")
         print(f"serve smoke: byte identity ok ({', '.join(CAMPAIGNS)})")
 
+        # --- Telemetry exposition: scrape both formats, validate the
+        # Prometheus text with the real checker CI uses ---
+        scrape = subprocess.run(
+            [opts.campaign_bin, "--connect", sock, "--metrics"],
+            capture_output=True, text=True)
+        if scrape.returncode != 0:
+            return fail(f"metrics scrape failed:\n{scrape.stderr}")
+        checked = subprocess.run(
+            [sys.executable, check_metrics,
+             "--require", "rnoc_jobs_submitted_total",
+             "--require", "rnoc_points_computed_total",
+             "--require", "rnoc_cache_hits_total",
+             "--require", "rnoc_point_execute_us",
+             "--require", "rnoc_queue_depth"],
+            input=scrape.stdout, capture_output=True, text=True)
+        if checked.returncode != 0:
+            return fail(f"Prometheus exposition invalid:\n{checked.stdout}")
+        json_scrape = subprocess.run(
+            [opts.campaign_bin, "--connect", sock, "--metrics",
+             "--metrics-format", "json"],
+            capture_output=True, text=True)
+        if json_scrape.returncode != 0:
+            return fail(f"json metrics scrape failed:\n{json_scrape.stderr}")
+        snap = json.loads(json_scrape.stdout)
+        if snap["telemetry_schema"] != 1 or snap["git_sha"] != GIT_SHA:
+            return fail(f"json metrics misidentify the daemon: {snap}")
+        if snap["counters"]["points_computed"] < 1:
+            return fail("json metrics report no computed points after "
+                        "three campaigns")
+        print("serve smoke: metrics exposition ok "
+              f"({snap['counters']['points_computed']:.0f} points computed, "
+              f"{snap['counters']['cache_hits']:.0f} cache hits)")
+
         # --- Clean SIGTERM shutdown: no socket/temp/lock files left ---
         daemon.send_signal(signal.SIGTERM)
         try:
@@ -181,6 +234,29 @@ def main():
         if os.path.isdir(os.path.join(client_dir, ".checkpoints")):
             return fail("client mode created checkpoint files")
         print("serve smoke: clean SIGTERM shutdown ok")
+
+        # --- Telemetry artifacts the shutdown left behind ---
+        # Span trace: balanced, ordered, and the per-job accounting must be
+        # exact (every submitted point traced exactly once as execute or
+        # cache-hit). At least 4 jobs ran: >=1 overlap job + 3 client runs.
+        trace_check = subprocess.run(
+            [sys.executable, check_trace, "--daemon", "--min-jobs", "4",
+             span_trace],
+            capture_output=True, text=True)
+        if trace_check.returncode != 0:
+            return fail(f"span trace invalid:\n{trace_check.stdout}")
+        # Journal: non-empty, every line one parseable telemetry event.
+        if not os.path.getsize(journal):
+            return fail("telemetry journal is empty")
+        with open(journal, encoding="utf-8") as f:
+            journal_lines = 0
+            for line in f:
+                ev = json.loads(line)
+                if ev.get("event") != "telemetry" or "type" not in ev:
+                    return fail(f"malformed journal line: {line!r}")
+                journal_lines += 1
+        print(f"serve smoke: telemetry artifacts ok "
+              f"({journal_lines} journal events, span trace exact)")
 
         # --- Contract 3: kill mid-campaign, restart, resume from cache ---
         resume_cache = os.path.join(opts.work, "cache_resume")
@@ -212,6 +288,38 @@ def main():
         print(f"serve smoke: kill-and-resume ok "
               f"({cached_count(resumed.stdout)} points from the dead "
               "daemon's cache)")
+
+        # --- Kill the daemon under a live watcher: the client must exit
+        # nonzero with a clear connection-lost message, not hang ---
+        daemon = tracked_daemon(opts, sock, cache, ["--tick-ms", "100"])
+        watcher = subprocess.Popen(
+            [opts.campaign_bin, "--connect", sock, "--watch"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        first_line = [None]
+
+        def read_one():
+            first_line[0] = watcher.stdout.readline()
+
+        reader = threading.Thread(target=read_one)
+        reader.start()
+        reader.join(timeout=30)  # The 100ms ticker feeds a subscribed watch.
+        if reader.is_alive() or not first_line[0]:
+            watcher.kill()
+            return fail("watch client printed nothing within 30s")
+        daemon.kill()  # SIGKILL: no clean shutdown, the stream just dies.
+        try:
+            _, watch_err = watcher.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            watcher.kill()
+            return fail("watch client hung after the daemon was killed")
+        if watcher.returncode == 0:
+            return fail("watch client exited 0 although the daemon died "
+                        "under it")
+        if "watch" not in watch_err or "daemon" not in watch_err:
+            return fail("watch client died without a clear explanation:\n"
+                        + watch_err)
+        print("serve smoke: kill-mid-watch ok "
+              f"(client exit {watcher.returncode}: {watch_err.strip()})")
 
         print("serve smoke: all contracts hold")
         return 0

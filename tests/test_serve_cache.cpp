@@ -206,6 +206,50 @@ TEST(ServeCache, LruEvictionUsesPersistedAccessOrder) {
   EXPECT_TRUE(cache.lookup(kHash, "dd", out));
 }
 
+// The live entries/bytes accounting must agree with what a fresh open
+// recounts from disk — after every disturbance that mutates the store
+// sideways: quarantining a torn entry, LRU eviction, and scavenging a
+// leftover temp file. Drift here is how "cache_bytes" telemetry lies.
+TEST(ServeCache, StatsMatchReopenRecountAfterDisturbances) {
+  TempDir dir("recount");
+  const std::uint64_t entry_bytes = [&] {
+    TempDir probe("recount_probe");
+    ResultCache cache(config(probe));
+    cache.store(kHash, make_point("aa", 1.0));
+    return cache.stats().bytes;
+  }();
+
+  std::string victim_path;
+  {
+    // Cap sized for three entries: storing a fourth forces one eviction.
+    ResultCache cache(config(dir, entry_bytes * 3 + entry_bytes / 2));
+    cache.store(kHash, make_point("aa", 1.0));
+    cache.store(kHash, make_point("bb", 2.0));
+    cache.store(kHash, make_point("cc", 3.0));
+    cache.store(kHash, make_point("dd", 4.0));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    victim_path = cache.entry_path(kHash, "cc");
+  }
+  // Tear one surviving entry and drop a stale temp file next to it, as a
+  // kill -9 mid-write would.
+  const std::string text = campaign::read_text(victim_path);
+  std::ofstream(victim_path, std::ios::trunc)
+      << text.substr(0, text.size() / 2);
+  std::ofstream(fs::path(victim_path).parent_path() / "left.json.tmp")
+      << "{\"half\": writ";
+
+  ResultCache cache(config(dir, entry_bytes * 3 + entry_bytes / 2));
+  campaign::PointResult out;
+  EXPECT_FALSE(cache.lookup(kHash, "cc", out));  // Quarantined.
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+
+  const ResultCache::Stats live = cache.stats();
+  ResultCache recount(config(dir, entry_bytes * 3 + entry_bytes / 2));
+  EXPECT_EQ(live.entries, recount.stats().entries);
+  EXPECT_EQ(live.bytes, recount.stats().bytes);
+  EXPECT_EQ(live.entries, 2u);  // bb and dd; aa evicted, cc quarantined.
+}
+
 TEST(ServeCache, AwkwardPointIdsStaySafeOnDisk) {
   TempDir dir("ids");
   ResultCache cache(config(dir));

@@ -1,15 +1,18 @@
 // End-to-end service tests over a real unix socket: a Server thread
 // fronting a CampaignService, exercised through the public client API —
-// ping, stats, submit (byte-identical result text, cache hits on rerun),
-// concurrent clients, protocol errors, and the clean-shutdown contract
-// (socket file removed, no thread left behind).
+// ping, versioned stats, submit (byte-identical result text, cache hits
+// on rerun), concurrent clients, telemetry (metrics exposition, watch
+// streaming, byte-identity with a hub attached), protocol errors, and the
+// clean-shutdown contract (socket file removed, no thread left behind).
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -22,6 +25,7 @@
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/socket.hpp"
+#include "serve/telemetry.hpp"
 #include "serve/wire.hpp"
 
 namespace fs = std::filesystem;
@@ -31,18 +35,30 @@ using namespace rnoc::serve;
 namespace {
 
 /// A live daemon in this process: service + server + accept thread, torn
-/// down (and asserted clean) on scope exit.
+/// down (and asserted clean) on scope exit. `with_telemetry` wires a
+/// TelemetryHub through service and server exactly like rnoc_served does.
 struct TestDaemon {
   std::string socket_path;
+  std::unique_ptr<TelemetryHub> hub;  ///< Outlives service and server.
   CampaignService service;
   Server server;
   std::thread runner;
 
-  explicit TestDaemon(const CampaignService::Config& cfg = {})
+  explicit TestDaemon(const CampaignService::Config& cfg = {},
+                      bool with_telemetry = false)
       : socket_path(make_socket_path()),
-        service(cfg),
-        server(Server::Config{socket_path, {}}, service),
+        hub(with_telemetry
+                ? std::make_unique<TelemetryHub>(TelemetryHub::Config{})
+                : nullptr),
+        service(with_hub(cfg, hub.get())),
+        server(Server::Config{socket_path, {}, hub.get()}, service),
         runner([this] { server.run(); }) {}
+
+  static CampaignService::Config with_hub(CampaignService::Config cfg,
+                                          TelemetryHub* h) {
+    if (h) cfg.telemetry = h;
+    return cfg;
+  }
 
   ~TestDaemon() {
     server.request_stop();
@@ -66,12 +82,26 @@ TEST(ServeE2E, PingAndStats) {
   std::string error;
   EXPECT_TRUE(ping_daemon(daemon.socket_path, error)) << error;
 
-  const std::string stats = daemon_stats_line(daemon.socket_path, error);
-  ASSERT_FALSE(stats.empty()) << error;
-  const campaign::JsonValue v = campaign::parse_json(stats);
+  const DaemonStats stats = daemon_stats(daemon.socket_path);
+  ASSERT_TRUE(stats.ok) << stats.error;
+  ASSERT_FALSE(stats.line.empty());
+  const campaign::JsonValue v = campaign::parse_json(stats.line);
   EXPECT_TRUE(v.at("ok").as_bool());
   EXPECT_EQ(v.at("service").at("jobs_submitted").as_int(), 0);
   EXPECT_EQ(v.at("cache").at("entries").as_int(), 0);
+  // An empty daemon and an absent daemon are different answers: the
+  // versioned reply identifies which build/schema is talking back.
+  EXPECT_EQ(stats.schema_version, campaign::kSchemaVersion);
+  EXPECT_EQ(v.at("scheduler").at("steal_attempts").as_int(), 0);
+  EXPECT_EQ(v.at("scheduler").at("preemptions").as_int(), 0);
+}
+
+TEST(ServeE2E, StatsReportsUptimeWithTelemetry) {
+  TestDaemon daemon({}, /*with_telemetry=*/true);
+  const DaemonStats stats = daemon_stats(daemon.socket_path);
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.schema_version, campaign::kSchemaVersion);
+  EXPECT_GT(stats.uptime_seconds, 0.0);
 }
 
 TEST(ServeE2E, PingFailsCleanlyWithoutADaemon) {
@@ -180,6 +210,113 @@ TEST(ServeE2E, ShutdownOpStopsTheDaemonCleanly) {
   EXPECT_TRUE(shutdown_daemon(path, error)) << error;
   daemon.reset();  // Joins run(); the dtor asserts the socket is gone.
   EXPECT_FALSE(ping_daemon(path, error));
+}
+
+TEST(ServeE2E, MetricsOpRefusedWithoutTelemetry) {
+  TestDaemon daemon;  // No hub: the op must refuse, not crash or hang.
+  const MetricsReply reply = daemon_metrics(daemon.socket_path, "prometheus");
+  EXPECT_FALSE(reply.ok);
+  EXPECT_NE(reply.error.find("disabled"), std::string::npos) << reply.error;
+}
+
+TEST(ServeE2E, MetricsOpServesPrometheusAndJson) {
+  TestDaemon daemon({}, /*with_telemetry=*/true);
+  const ClientOutcome out = run_campaign_via_daemon(
+      daemon.socket_path, "fit_table1", true, Lane::Interactive, "");
+  ASSERT_TRUE(out.ok) << out.error;
+
+  const MetricsReply prom = daemon_metrics(daemon.socket_path, "prometheus");
+  ASSERT_TRUE(prom.ok) << prom.error;
+  EXPECT_NE(prom.body.find("# TYPE rnoc_jobs_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("rnoc_build_info{git_sha="), std::string::npos);
+  EXPECT_NE(prom.body.find("rnoc_points_computed_total"), std::string::npos);
+  EXPECT_NE(prom.body.find("rnoc_point_execute_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("rnoc_queue_depth{lane=\"bulk\"}"),
+            std::string::npos);
+
+  const MetricsReply json = daemon_metrics(daemon.socket_path, "json");
+  ASSERT_TRUE(json.ok) << json.error;
+  const campaign::JsonValue v = campaign::parse_json(json.body);
+  EXPECT_EQ(v.at("telemetry_schema").as_int(), 1);
+  EXPECT_EQ(v.at("schema_version").as_int(), campaign::kSchemaVersion);
+  EXPECT_EQ(v.at("counters").at("jobs_submitted").as_int(), 1);
+  EXPECT_EQ(static_cast<std::size_t>(
+                v.at("counters").at("points_computed").as_int()),
+            out.points);
+  EXPECT_GT(v.at("spans").at("recorded").as_int(), 0);
+
+  const MetricsReply bad = daemon_metrics(daemon.socket_path, "xml");
+  EXPECT_FALSE(bad.ok);
+}
+
+TEST(ServeE2E, WatchStreamsJobLifecycleEvents) {
+  TestDaemon daemon({}, /*with_telemetry=*/true);
+
+  std::vector<std::string> types;
+  WatchOutcome outcome;
+  std::thread watcher([&] {
+    outcome = watch_daemon(
+        daemon.socket_path, [&](const campaign::JsonValue& ev) {
+          const std::string type = ev.at("type").as_string();
+          types.push_back(type);
+          return type != "done" && type != "failed";  // Stop at terminal.
+        });
+  });
+  // The ack races the server-side subscription; the job may only be
+  // submitted once the sink is actually registered.
+  while (daemon.hub->subscribers() == 0) std::this_thread::yield();
+
+  const ClientOutcome out = run_campaign_via_daemon(
+      daemon.socket_path, "fit_table1", true, Lane::Interactive, "");
+  ASSERT_TRUE(out.ok) << out.error;
+  watcher.join();
+
+  ASSERT_TRUE(outcome.ok) << outcome.error;  // Handler-initiated end.
+  EXPECT_GT(outcome.events, 0u);
+  ASSERT_FALSE(types.empty());
+  EXPECT_EQ(types.front(), "submit");
+  EXPECT_EQ(types.back(), "done");
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(types.begin(), types.end(), "point")),
+            out.points);
+
+  // The subscription dies with the connection, not with the daemon (the
+  // server-side teardown races the client's close; wait it out).
+  while (daemon.hub->subscribers() != 0) std::this_thread::yield();
+}
+
+TEST(ServeE2E, WatchReportsDaemonDeathAsAnError) {
+  std::optional<TestDaemon> daemon;
+  daemon.emplace(CampaignService::Config{}, /*with_telemetry=*/true);
+
+  WatchOutcome outcome;
+  std::thread watcher([&, path = daemon->socket_path] {
+    outcome = watch_daemon(path, [](const campaign::JsonValue&) {
+      return true;  // Watch forever; only the daemon dying ends this.
+    });
+  });
+  while (daemon->hub->subscribers() == 0) std::this_thread::yield();
+
+  daemon.reset();  // Full shutdown: connection threads are unblocked.
+  watcher.join();
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_FALSE(outcome.error.empty());
+}
+
+TEST(ServeE2E, ResultBytesIdenticalWithTelemetryAttached) {
+  TestDaemon daemon({}, /*with_telemetry=*/true);
+  const ClientOutcome out = run_campaign_via_daemon(
+      daemon.socket_path, "critical_path", true, Lane::Bulk, "");
+  ASSERT_TRUE(out.ok) << out.error;
+  // The telemetry hub observed the whole request; the result bytes are
+  // still exactly the local engine's serialization.
+  EXPECT_EQ(out.result_text, campaign::to_json(campaign::run_registry_inline(
+                                 "critical_path", true)));
+  const TelemetryHub::Stats hs = daemon.hub->hub_stats();
+  EXPECT_GT(hs.spans_recorded, 0u);
+  EXPECT_EQ(hs.spans_dropped, 0u);
 }
 
 TEST(ServeE2E, UnknownLaneIsRejected) {

@@ -137,6 +137,87 @@ TEST(ServeScheduler, InteractivePreemptsQueuedBulk) {
   EXPECT_EQ(order, expected);
 }
 
+// Same two-worker steal setup as above, but directed at the contention
+// counters: the stealing worker's own deque is empty when it probes its
+// peer, so every steal is preceded by at least one counted attempt (an
+// attempt is a probe, not a success — attempts can exceed steals when a
+// probe finds the victim's deque already drained).
+TEST(ServeScheduler, CountsStealAttemptsWhenOwnDequeRunsDry) {
+  PointScheduler sched(2);
+  std::promise<void> release;
+  const std::shared_future<void> released(release.get_future());
+  std::atomic<int> others{0};
+
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([released] { released.wait(); });
+  for (int i = 0; i < 3; ++i)
+    tasks.push_back([&others] { others.fetch_add(1); });
+  const std::uint64_t job = sched.submit(Lane::Bulk, std::move(tasks));
+
+  while (others.load() < 3) std::this_thread::yield();
+  release.set_value();
+  sched.wait(job);
+  const PointScheduler::Stats s = sched.stats();
+  EXPECT_GE(s.steals, 1u);
+  EXPECT_GE(s.steal_attempts, s.steals);
+}
+
+// One worker pinned inside b0 with bulk work queued behind it; an
+// interactive task submitted meanwhile must be claimed ahead of that
+// queued bulk work, and that claim is exactly one counted preemption.
+TEST(ServeScheduler, CountsPreemptionsUnderLaneContention) {
+  PointScheduler sched(1);
+  std::promise<void> interactive_submitted;
+  const std::shared_future<void> gate(interactive_submitted.get_future());
+  std::atomic<bool> b0_started{false};
+
+  std::vector<std::function<void()>> bulk;
+  bulk.push_back([&b0_started, gate] {
+    b0_started.store(true);
+    gate.wait();
+  });
+  bulk.push_back([] {});
+  bulk.push_back([] {});
+  const std::uint64_t bulk_job = sched.submit(Lane::Bulk, std::move(bulk));
+  while (!b0_started.load()) std::this_thread::yield();
+
+  std::vector<std::function<void()>> inter;
+  inter.push_back([] {});
+  const std::uint64_t inter_job =
+      sched.submit(Lane::Interactive, std::move(inter));
+  interactive_submitted.set_value();
+
+  sched.wait(bulk_job);
+  sched.wait(inter_job);
+  EXPECT_EQ(sched.stats().preemptions, 1u);
+  // A bulk-only run has nothing to preempt.
+  EXPECT_EQ(sched.stats().executed, 4u);
+}
+
+TEST(ServeScheduler, QueueDepthReflectsPendingWork) {
+  PointScheduler sched(1);
+  std::promise<void> release;
+  const std::shared_future<void> released(release.get_future());
+  std::atomic<bool> started{false};
+
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&started, released] {
+    started.store(true);
+    released.wait();
+  });
+  tasks.push_back([] {});
+  tasks.push_back([] {});
+  const std::uint64_t job = sched.submit(Lane::Bulk, std::move(tasks));
+  while (!started.load()) std::this_thread::yield();
+
+  // The pinned task has been claimed; exactly the other two are pending.
+  EXPECT_EQ(sched.queue_depth(Lane::Bulk), 2u);
+  EXPECT_EQ(sched.queue_depth(Lane::Interactive), 0u);
+  release.set_value();
+  sched.wait(job);
+  EXPECT_EQ(sched.queue_depth(Lane::Bulk), 0u);
+}
+
 TEST(ServeScheduler, StopDropsQueuedWorkWithoutStrandingWaiters) {
   PointScheduler sched(1);
   std::promise<void> release;

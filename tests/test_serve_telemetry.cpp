@@ -1,0 +1,323 @@
+// TelemetryHub unit tests: the clock contract (strictly positive,
+// monotonic), Prometheus/JSON exposition shapes, span-ring overwrite
+// accounting, Chrome-trace balance per (pid, tid) track, the JSONL
+// journal with size-capped atomic rotation, subscriber fan-out with dead
+// sink removal, the pull-model scrape provider, and the ticker's
+// nobody-watching silence. Event delivery is awaited through the sink
+// itself (gates, never sleeps).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "campaign/json.hpp"
+#include "serve/telemetry.hpp"
+
+namespace fs = std::filesystem;
+using namespace rnoc;
+using namespace rnoc::serve;
+
+namespace {
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("rnoc_telemetry_" + tag + "_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1)));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+SpanRecord span(SpanKind kind, std::uint64_t start, std::uint64_t end,
+                std::uint64_t job, int worker = 0, int lane = 1,
+                const std::string& id = "p") {
+  SpanRecord s;
+  s.kind = kind;
+  s.start_us = start;
+  s.end_us = end;
+  s.job = job;
+  s.worker = worker;
+  s.lane = lane;
+  s.id = id;
+  return s;
+}
+
+}  // namespace
+
+TEST(ServeTelemetry, NowUsIsStrictlyPositiveAndMonotonic) {
+  TelemetryHub hub({});
+  // 0 means "no telemetry timestamp" to every caller; the hub must never
+  // hand it out, even within its first microsecond of life.
+  std::uint64_t prev = hub.now_us();
+  EXPECT_GT(prev, 0u);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t t = hub.now_us();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ServeTelemetry, PrometheusExpositionShape) {
+  TelemetryHub::Config cfg;
+  cfg.git_sha = "cafe1234";
+  TelemetryHub hub(cfg);
+  hub.counter_add("points_computed", 5);
+  hub.gauge_set("queue_depth{lane=\"interactive\"}", 1.0);
+  hub.gauge_set("queue_depth{lane=\"bulk\"}", 3.0);
+  hub.gauge_set("points_in_flight", 2.0);
+  hub.observe_us("point_execute_us", 100.0);
+  hub.observe_us("point_execute_us", 10000.0);
+
+  const std::string text = hub.prometheus_text();
+  EXPECT_NE(text.find("rnoc_build_info{git_sha=\"cafe1234\""),
+            std::string::npos);
+  // Counters: one family per counter, prefixed and suffixed.
+  EXPECT_NE(text.find("# TYPE rnoc_points_computed_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rnoc_points_computed_total 5"), std::string::npos);
+  // Labeled gauges share one family header.
+  EXPECT_EQ(text.find("# TYPE rnoc_queue_depth gauge"),
+            text.rfind("# TYPE rnoc_queue_depth gauge"));
+  EXPECT_NE(text.find("rnoc_queue_depth{lane=\"bulk\"} 3"),
+            std::string::npos);
+  // Summaries: quantiles plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE rnoc_point_execute_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("rnoc_point_execute_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("rnoc_point_execute_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("rnoc_point_execute_us_sum 10100"), std::string::npos);
+}
+
+TEST(ServeTelemetry, MetricsJsonIsVersionedAndParses) {
+  TelemetryHub::Config cfg;
+  cfg.git_sha = "cafe1234";
+  cfg.span_capacity = 8;
+  TelemetryHub hub(cfg);
+  hub.counter_add("cache_hits", 3);
+  hub.gauge_set("workers", 4.0);
+  hub.observe_us("request_us", 2500.0);
+  hub.record_span(span(SpanKind::Execute, 10, 20, 1));
+
+  const campaign::JsonValue v = campaign::parse_json(hub.metrics_json());
+  EXPECT_EQ(v.at("telemetry_schema").as_int(), 1);
+  EXPECT_EQ(v.at("schema_version").as_int(), campaign::kSchemaVersion);
+  EXPECT_EQ(v.at("git_sha").as_string(), "cafe1234");
+  EXPECT_GT(v.at("uptime_seconds").as_number(), 0.0);
+  EXPECT_EQ(v.at("counters").at("cache_hits").as_int(), 3);
+  EXPECT_EQ(v.at("gauges").at("workers").as_number(), 4.0);
+  EXPECT_EQ(v.at("histograms").at("request_us").at("count").as_int(), 1);
+  // The p50 of a single sample inverts back into its own bucket: the
+  // log2-domain histogram must round-trip the magnitude, not the exact us.
+  const double p50 =
+      v.at("histograms").at("request_us").at("p50").as_number();
+  EXPECT_GT(p50, 1000.0);
+  EXPECT_LT(p50, 6000.0);
+  EXPECT_EQ(v.at("spans").at("recorded").as_int(), 1);
+  EXPECT_EQ(v.at("spans").at("dropped").as_int(), 0);
+}
+
+TEST(ServeTelemetry, SpanRingOverwritesOldestAndCountsDrops) {
+  TelemetryHub::Config cfg;
+  cfg.span_capacity = 4;
+  TelemetryHub hub(cfg);
+  for (std::uint64_t i = 0; i < 6; ++i)
+    hub.record_span(span(SpanKind::Execute, 10 * i, 10 * i + 5, i));
+  const TelemetryHub::Stats s = hub.hub_stats();
+  EXPECT_EQ(s.spans_recorded, 6u);
+  EXPECT_EQ(s.spans_dropped, 2u);
+
+  // The trace holds the surviving four spans: jobs 2..5, oldest first.
+  const campaign::JsonValue v = campaign::parse_json(hub.span_trace_json());
+  int begins = 0;
+  for (const campaign::JsonValue& e : v.at("traceEvents").items()) {
+    if (e.at("ph").as_string() != "B") continue;
+    ++begins;
+    EXPECT_GE(e.at("args").at("job").as_int(), 2);
+  }
+  EXPECT_EQ(begins, 4);
+  EXPECT_EQ(v.at("otherData").at("spans_dropped").as_int(), 2);
+}
+
+TEST(ServeTelemetry, SpanTraceIsBalancedPerTrackEvenWhenOverlapping) {
+  TelemetryHub hub({});
+  // Overlapping and back-to-back intervals on one worker lane, plus a
+  // zero-length span and an end-before-start one (clamped): the exported
+  // B/E stream must still balance within every (pid, tid) track.
+  hub.record_span(span(SpanKind::Execute, 10, 30, 1, 0, 1, "a"));
+  hub.record_span(span(SpanKind::QueueWait, 5, 10, 1, 0, 1, "a"));
+  hub.record_span(span(SpanKind::CacheHit, 30, 30, 1, 0, 1, "b"));
+  hub.record_span(span(SpanKind::Execute, 50, 40, 1, 0, 1, "c"));
+  SpanRecord req = span(SpanKind::Request, 1, 60, 1, -1, 0, "camp");
+  req.aux = 3;
+  req.ok = true;
+  hub.record_span(req);
+
+  const campaign::JsonValue v = campaign::parse_json(hub.span_trace_json());
+  std::map<std::pair<std::int64_t, std::int64_t>, int> depth;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> last_ts;
+  for (const campaign::JsonValue& e : v.at("traceEvents").items()) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M") continue;
+    const auto track = std::make_pair(e.at("pid").as_int(),
+                                      e.at("tid").as_int());
+    const std::int64_t ts = e.at("ts").as_int();
+    if (last_ts.count(track)) {
+      EXPECT_GE(ts, last_ts[track]);
+    }
+    last_ts[track] = ts;
+    if (ph == "B") {
+      ++depth[track];
+    } else {
+      ASSERT_EQ(ph, "E");
+      ASSERT_GT(depth[track], 0) << "E with no open B";
+      --depth[track];
+    }
+  }
+  for (const auto& [track, d] : depth) EXPECT_EQ(d, 0);
+
+  // Request spans carry the job accounting the daemon trace checker uses.
+  bool saw_request = false;
+  for (const campaign::JsonValue& e : v.at("traceEvents").items()) {
+    if (e.at("ph").as_string() != "B" ||
+        e.at("name").as_string() != "request")
+      continue;
+    saw_request = true;
+    EXPECT_EQ(e.at("args").at("campaign").as_string(), "camp");
+    EXPECT_EQ(e.at("args").at("points").as_int(), 3);
+    EXPECT_TRUE(e.at("args").at("ok").as_bool());
+  }
+  EXPECT_TRUE(saw_request);
+}
+
+TEST(ServeTelemetry, JournalWritesParseableLinesAndRotatesAtomically) {
+  TempDir dir("journal");
+  const std::string path = dir.str() + "/events.jsonl";
+  TelemetryHub::Config cfg;
+  cfg.journal_path = path;
+  cfg.journal_max_bytes = 256;  // A handful of lines per generation.
+  TelemetryHub hub(cfg);
+
+  for (int i = 0; i < 32; ++i) {
+    campaign::JsonValue fields = campaign::JsonValue::make_object();
+    fields.set("i", campaign::JsonValue::make_number(i));
+    hub.event("probe", std::move(fields));
+  }
+  const TelemetryHub::Stats s = hub.hub_stats();
+  EXPECT_EQ(s.events, 32u);
+  EXPECT_GE(s.journal_rotations, 1u);
+  EXPECT_LE(s.journal_bytes, 256u);
+  ASSERT_TRUE(fs::exists(path));
+  ASSERT_TRUE(fs::exists(path + ".1"));  // The rotated-out generation.
+
+  // Every surviving line is one complete JSON event — rotation never
+  // tears a line in half.
+  for (const std::string& p : {path, path + ".1"}) {
+    std::ifstream in(p);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+      ++lines;
+      const campaign::JsonValue v = campaign::parse_json(line);
+      EXPECT_EQ(v.at("event").as_string(), "telemetry");
+      EXPECT_EQ(v.at("type").as_string(), "probe");
+      EXPECT_GT(v.at("t_us").as_int(), 0);
+    }
+    EXPECT_GT(lines, 0) << p;
+  }
+}
+
+TEST(ServeTelemetry, SubscribersReceiveEventsAndDeadSinksAreDropped) {
+  TelemetryHub hub({});
+  std::mutex mu;
+  std::vector<std::string> seen;
+  const std::uint64_t alive = hub.subscribe([&](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(line);
+    return true;
+  });
+  const std::uint64_t dead =
+      hub.subscribe([](const std::string&) { return false; });
+  (void)dead;
+  EXPECT_EQ(hub.subscribers(), 2u);
+
+  hub.event("tick", campaign::JsonValue());
+  EXPECT_EQ(hub.subscribers(), 1u);  // The dead sink was dropped inline.
+  hub.event("tock", campaign::JsonValue());
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_NE(seen[0].find("\"type\":\"tick\""), std::string::npos);
+    EXPECT_NE(seen[1].find("\"type\":\"tock\""), std::string::npos);
+  }
+  hub.unsubscribe(alive);
+  EXPECT_EQ(hub.subscribers(), 0u);
+  hub.event("silent", campaign::JsonValue());
+  const std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(ServeTelemetry, ScrapeProviderFeedsEveryExposition) {
+  TelemetryHub hub({});
+  int scrapes = 0;
+  hub.set_scrape_provider([&scrapes](TelemetryHub& h) {
+    ++scrapes;
+    h.counter_set("pull_model", static_cast<std::uint64_t>(scrapes));
+  });
+  EXPECT_NE(hub.prometheus_text().find("rnoc_pull_model_total 1"),
+            std::string::npos);
+  const campaign::JsonValue v = campaign::parse_json(hub.metrics_json());
+  EXPECT_EQ(v.at("counters").at("pull_model").as_int(), 2);
+  EXPECT_EQ(scrapes, 2);
+  // Cleared provider: exposition still works, values just go stale.
+  hub.set_scrape_provider(nullptr);
+  EXPECT_NE(hub.prometheus_text().find("rnoc_pull_model_total 2"),
+            std::string::npos);
+  EXPECT_EQ(scrapes, 2);
+}
+
+TEST(ServeTelemetry, TickerEmitsMetricsEventsOnlyWhileWatched) {
+  TelemetryHub::Config cfg;
+  cfg.tick_interval_ms = 2;
+  TelemetryHub hub(cfg);
+
+  std::atomic<int> metrics_events{0};
+  const std::uint64_t id = hub.subscribe([&](const std::string& line) {
+    if (line.find("\"type\":\"metrics\"") != std::string::npos)
+      metrics_events.fetch_add(1);
+    return true;
+  });
+  while (metrics_events.load() < 2) std::this_thread::yield();
+  hub.unsubscribe(id);
+
+  // With nobody subscribed the ticker stays quiet: the journaled event
+  // count must stop moving once in-flight ticks drain.
+  const std::uint64_t settled = [&] {
+    std::uint64_t prev = hub.hub_stats().events;
+    for (;;) {
+      std::this_thread::yield();
+      const std::uint64_t now = hub.hub_stats().events;
+      if (now == prev) return now;
+      prev = now;
+    }
+  }();
+  EXPECT_GE(metrics_events.load(), 2);
+  EXPECT_GE(settled, 2u);
+}

@@ -107,6 +107,14 @@ DET_PRUNE = [
     r"\brnoc::ThreadPool::",
     r"\brnoc::serve::(Server|PointScheduler|Fd|LineReader)::",
     r"\brnoc::serve::(send_line|listen_unix|accept_unix|connect_unix)\(",
+    # The telemetry hub is, by design, the one wall-clock site in the
+    # serve layer: every span/event timestamp is steady_clock read inside
+    # its TU. It only ever *observes* the request lifecycle — nothing in
+    # it feeds back into point values, and the serve smoke harness
+    # enforces that client results stay byte-identical to local execution
+    # with the hub attached. Reaching it from a determinism root means
+    # "this code reports telemetry", not "this code depends on time".
+    r"\brnoc::serve::TelemetryHub::",
     r"std::__throw_",
     r"__cxa_",
 ]

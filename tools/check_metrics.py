@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition as served by rnoc_served's
+`metrics` op (`rnoc_campaign --connect SOCK --metrics | check_metrics.py`).
+
+Checks:
+  - every non-comment line matches the sample grammar
+    `name{label="value",...} value` with a finite or +Inf/-Inf/NaN value,
+  - every sample belongs to a family announced by a preceding # TYPE line,
+  - # TYPE declares a known type (counter/gauge/summary/histogram/untyped)
+    and appears at most once per family,
+  - counter family names end in _total; summary families may emit
+    quantile-labeled samples plus NAME_sum / NAME_count,
+  - no duplicate (name, labels) sample,
+  - --require FAMILY (repeatable) fails unless that family has >= 1 sample.
+
+Reads stdin, or a file given as the positional argument. Exit 0 = valid,
+1 = violation, 2 = usage/IO error. --self-test runs built-in fixtures.
+
+Usage: check_metrics.py [--require FAMILY]... [FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_RE = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+SAMPLE_RE = re.compile(
+    rf"^({NAME_RE})(?:\{{({LABEL_RE}(?:,{LABEL_RE})*)?\}})?"
+    rf" (-?(?:[0-9.eE+-]+|Inf)|\+Inf|NaN)(?: -?[0-9]+)?$"
+)
+VALUE_RE = re.compile(r"^[+-]?(Inf|NaN|[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)$")
+
+
+def family_of(name: str, types: dict[str, str]) -> str:
+    """Maps a sample name to its declared family: summary/histogram
+    samples may carry the _sum/_count/_bucket suffix of their family."""
+    if name in types:
+        return name
+    for suffix in ("_sum", "_count", "_bucket"):
+        base = name.removesuffix(suffix)
+        if base != name and base in types:
+            return base
+    return name
+
+
+def check(text: str, require: list[str]) -> list[str]:
+    """Returns the list of violations (empty = valid exposition)."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    samples_seen: set[str] = set()
+    family_samples: dict[str, int] = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed # TYPE line")
+                continue
+            family, mtype = parts[2], parts[3]
+            if mtype not in TYPES:
+                errors.append(f"line {lineno}: unknown type {mtype!r}")
+            if family in types:
+                errors.append(f"line {lineno}: duplicate # TYPE for {family}")
+            types[family] = mtype
+            if mtype == "counter" and not family.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter family {family!r} must end "
+                    f"in _total"
+                )
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: unknown comment {line[:40]!r}")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: not a valid sample: {line[:60]!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        if not VALUE_RE.match(value):
+            errors.append(f"line {lineno}: bad sample value {value!r}")
+        family = family_of(name, types)
+        if family not in types:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE"
+            )
+        else:
+            mtype = types[family]
+            if name != family and mtype not in ("summary", "histogram"):
+                errors.append(
+                    f"line {lineno}: suffixed sample {name!r} under "
+                    f"{mtype} family {family!r}"
+                )
+            if 'quantile="' in labels and mtype != "summary":
+                errors.append(
+                    f"line {lineno}: quantile label outside a summary"
+                )
+        key = f"{name}{{{labels}}}"
+        if key in samples_seen:
+            errors.append(f"line {lineno}: duplicate sample {key}")
+        samples_seen.add(key)
+        family_samples[family] = family_samples.get(family, 0) + 1
+
+    for family in require:
+        if family_samples.get(family, 0) < 1:
+            errors.append(f"required family {family!r} has no samples")
+    return errors
+
+
+SELF_TESTS = [
+    # (name, text, required families, should_pass)
+    (
+        "minimal-valid",
+        "# HELP rnoc_jobs_total jobs\n# TYPE rnoc_jobs_total counter\n"
+        "rnoc_jobs_total 3\n"
+        "# TYPE rnoc_queue_depth gauge\n"
+        'rnoc_queue_depth{lane="bulk"} 0\n'
+        'rnoc_queue_depth{lane="interactive"} 2\n'
+        "# TYPE rnoc_request_us summary\n"
+        'rnoc_request_us{quantile="0.5"} 120.5\n'
+        "rnoc_request_us_sum 950\nrnoc_request_us_count 4\n",
+        ["rnoc_jobs_total", "rnoc_request_us"],
+        True,
+    ),
+    ("no-type", "rnoc_lost 1\n", [], False),
+    (
+        "dup-sample",
+        "# TYPE rnoc_x gauge\nrnoc_x 1\nrnoc_x 2\n",
+        [],
+        False,
+    ),
+    (
+        "counter-suffix",
+        "# TYPE rnoc_jobs counter\nrnoc_jobs 1\n",
+        [],
+        False,
+    ),
+    (
+        "quantile-on-gauge",
+        '# TYPE rnoc_x gauge\nrnoc_x{quantile="0.5"} 1\n',
+        [],
+        False,
+    ),
+    (
+        "missing-required",
+        "# TYPE rnoc_x gauge\nrnoc_x 1\n",
+        ["rnoc_absent_total"],
+        False,
+    ),
+    ("bad-value", "# TYPE rnoc_x gauge\nrnoc_x lots\n", [], False),
+]
+
+
+def self_test() -> None:
+    failures = 0
+    for name, text, require, should_pass in SELF_TESTS:
+        errors = check(text, require)
+        ok = not errors if should_pass else bool(errors)
+        if not ok:
+            failures += 1
+            print(f"check_metrics: self-test {name!r} FAILED")
+            for e in errors:
+                print(f"  {e}")
+    if failures:
+        sys.exit(1)
+    print(f"check_metrics: self-test OK ({len(SELF_TESTS)} fixtures)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="check_metrics.py",
+        description="Validate Prometheus text exposition.",
+    )
+    parser.add_argument("file", nargs="?", help="exposition file (default stdin)")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="FAMILY",
+        help="fail unless FAMILY has at least one sample (repeatable)",
+    )
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+
+    try:
+        if args.file:
+            with open(args.file, encoding="utf-8") as f:
+                text = f.read()
+        else:
+            text = sys.stdin.read()
+    except OSError as e:
+        print(f"check_metrics: cannot read input: {e}")
+        sys.exit(2)
+
+    errors = check(text, args.require)
+    if errors:
+        for e in errors:
+            print(f"check_metrics: FAIL: {e}")
+        sys.exit(1)
+    lines = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"check_metrics: OK: {lines} samples")
+
+
+if __name__ == "__main__":
+    main()

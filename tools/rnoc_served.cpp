@@ -2,6 +2,8 @@
 //
 //   rnoc_served --socket PATH [--cache DIR] [--cache-max-mb N]
 //               [--workers N] [--git-sha SHA] [--quiet]
+//               [--telemetry-out FILE] [--telemetry-max-mb N]
+//               [--span-trace-out FILE] [--tick-ms N]
 //               [--exit-after-points N]
 //
 // Long-running service that executes registered campaigns on a two-lane
@@ -10,6 +12,14 @@
 // speak line-delimited JSON over the unix socket; `rnoc_campaign
 // --connect PATH` is the stock client and produces byte-identical result
 // files to local execution.
+//
+// Telemetry is always on (the `metrics` and `watch` wire ops): spans,
+// latency quantiles, queue/cache gauges and a structured event stream,
+// all derived data that never touches result bytes (client output stays
+// byte-identical, test-enforced). --telemetry-out journals the events to
+// a size-capped JSONL file with atomic rotation; --span-trace-out writes
+// a Chrome/Perfetto trace of the span ring at clean shutdown; --tick-ms
+// sets the cadence of the periodic "metrics" event watchers receive.
 //
 // SIGTERM/SIGINT shut down cleanly: in-flight jobs fail with a terminal
 // error line, the cache index is flushed, and the socket file is removed.
@@ -27,6 +37,7 @@
 #include "common/options.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/telemetry.hpp"
 
 using namespace rnoc;
 
@@ -45,11 +56,15 @@ int main(int argc, char** argv) {
   try {
     const Options opt(argc, argv,
                       {"socket", "cache", "cache-max-mb", "workers",
-                       "git-sha", "quiet", "exit-after-points", "help"});
+                       "git-sha", "quiet", "exit-after-points",
+                       "telemetry-out", "telemetry-max-mb",
+                       "span-trace-out", "tick-ms", "help"});
     if (opt.get_bool("help", false)) {
       std::printf(
           "usage: rnoc_served --socket PATH [--cache DIR] [--cache-max-mb N]\n"
           "                   [--workers N] [--git-sha SHA] [--quiet]\n"
+          "                   [--telemetry-out FILE] [--telemetry-max-mb N]\n"
+          "                   [--span-trace-out FILE] [--tick-ms N]\n"
           "                   [--exit-after-points N]\n");
       return 0;
     }
@@ -61,13 +76,29 @@ int main(int argc, char** argv) {
     const bool quiet = opt.get_bool("quiet", false);
     const std::int64_t exit_after = opt.get_int("exit-after-points", 0);
 
+    const std::string span_trace_out = opt.get("span-trace-out", "");
+    const std::string git_sha = opt.get("git-sha", campaign::read_git_sha("."));
+
+    // The hub outlives service and server (declared first, destroyed
+    // last): both hold raw pointers into it.
+    serve::TelemetryHub::Config tcfg;
+    tcfg.journal_path = opt.get("telemetry-out", "");
+    tcfg.journal_max_bytes = static_cast<std::uint64_t>(
+                                 opt.get_int("telemetry-max-mb", 4)) *
+                             1024 * 1024;
+    tcfg.tick_interval_ms =
+        static_cast<std::uint64_t>(opt.get_int("tick-ms", 1000));
+    tcfg.git_sha = git_sha;
+    serve::TelemetryHub telemetry(tcfg);
+
     serve::CampaignService::Config scfg;
     scfg.workers = static_cast<int>(opt.get_int("workers", 0));
     scfg.cache_root = opt.get("cache", "");
     scfg.cache_max_bytes = static_cast<std::uint64_t>(
                                opt.get_int("cache-max-mb", 0)) *
                            1024 * 1024;
-    scfg.git_sha = opt.get("git-sha", campaign::read_git_sha("."));
+    scfg.git_sha = git_sha;
+    scfg.telemetry = &telemetry;
     if (exit_after > 0) {
       scfg.on_point_computed = [exit_after](std::uint64_t computed) {
         if (computed >= static_cast<std::uint64_t>(exit_after)) {
@@ -81,6 +112,7 @@ int main(int argc, char** argv) {
 
     serve::Server::Config cfg;
     cfg.socket_path = socket_path;
+    cfg.telemetry = &telemetry;
     if (!quiet) {
       cfg.log = [](const std::string& msg) {
         std::printf("%s\n", msg.c_str());
@@ -95,6 +127,12 @@ int main(int argc, char** argv) {
 
     server.run();  // Stops the service (failing in-flight jobs) on exit.
     g_server = nullptr;
+
+    if (!span_trace_out.empty()) {
+      telemetry.write_span_trace(span_trace_out);
+      if (!quiet)
+        std::printf("rnoc_served: span trace -> %s\n", span_trace_out.c_str());
+    }
 
     if (!quiet) {
       const serve::CampaignService::Stats s = service.stats();
