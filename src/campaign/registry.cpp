@@ -651,6 +651,83 @@ CampaignSpec degraded_mode_spec() {
   return spec;
 }
 
+// --- P10: self-healing adaptive routing vs the drain-barrier reroute ---
+
+constexpr int kSelfHealDeaths[] = {1, 2, 4, 8};
+
+CampaignSpec self_heal_spec() {
+  CampaignSpec spec;
+  spec.name = "self_heal";
+  spec.artifact = "P10";
+  spec.description =
+      "Availability head-to-head at K router deaths under live odd-even "
+      "load on an 8x8 mesh: drain-barrier reroute (injection frozen until "
+      "the network empties) vs self-healing adaptive routing (hop-by-hop "
+      "fault-vector flood + west-first escape VC; injection never freezes)";
+  spec.point_ids = [](bool) {
+    std::vector<std::string> ids;
+    for (const char* arm : {"drain", "selfheal"})
+      for (const int k : kSelfHealDeaths)
+        ids.push_back(std::string(arm) + "_k" + std::to_string(k));
+    return ids;
+  };
+  spec.run_point = [](std::size_t index, std::uint64_t seed, bool smoke) {
+    constexpr std::size_t kPerArm = std::size(kSelfHealDeaths);
+    const bool selfheal = index >= kPerArm;
+    const int deaths = kSelfHealDeaths[index % kPerArm];
+    noc::SimConfig cfg;
+    cfg.mesh.dims = {8, 8};
+    cfg.mesh.router.mode = core::RouterMode::Baseline;
+    cfg.mesh.router.routing = noc::RoutingAlgo::OddEven;
+    if (smoke) {
+      cfg.warmup = 500;
+      cfg.measure = 2000;
+      cfg.drain_limit = 30000;
+    } else {
+      cfg.warmup = 2000;
+      cfg.measure = 8000;
+      cfg.drain_limit = 60000;
+    }
+    cfg.degraded.enabled = true;
+    cfg.degraded.strategy = selfheal ? noc::DegradedStrategy::SelfHeal
+                                     : noc::DegradedStrategy::DrainReroute;
+    traffic::SyntheticConfig tc;
+    tc.injection_rate = 0.05;
+    tc.packet_size = 5;
+    noc::Simulator sim(cfg, std::make_shared<traffic::SyntheticTraffic>(tc));
+    // Identical lethal plan on both arms: same victims at the same cycle,
+    // so the only variable is how the network recovers.
+    Rng rng(seed);
+    sim.set_fault_plan(fault::FaultPlan::lethal(
+        cfg.mesh.dims, {noc::kMeshPorts, cfg.mesh.router.vcs},
+        core::RouterMode::Baseline, deaths, cfg.warmup + cfg.measure / 4,
+        rng));
+    const noc::SimReport rep = sim.run();
+    PointOutput out{Metrics{
+        ex("delivery_ratio", rep.degraded.delivery_ratio()),
+        ex("avg_latency", rep.avg_total_latency()),
+        ex("p99_latency", rep.latency_percentile(0.99)),
+        ex("throughput", rep.throughput_flits_node_cycle),
+        ex("frozen_cycles", static_cast<double>(rep.degraded.frozen_cycles)),
+        ex("router_deaths", static_cast<double>(rep.degraded.router_deaths)),
+        ex("reroute_epochs",
+           static_cast<double>(rep.degraded.reroute_epochs)),
+        ex("retransmits", static_cast<double>(rep.degraded.retransmits)),
+        ex("escape_reroutes",
+           static_cast<double>(rep.router_events.escape_reroutes)),
+        ex("flits_purged",
+           static_cast<double>(rep.router_events.flits_dropped)),
+        ex("flits_blackholed",
+           static_cast<double>(rep.degraded.flits_blackholed)),
+        ex("dropped_unreachable",
+           static_cast<double>(rep.degraded.dropped_unreachable)),
+        ex("deadlock", rep.deadlock_suspected ? 1.0 : 0.0)}};
+    out.obs = obs_metrics(rep.router_events);
+    return out;
+  };
+  return spec;
+}
+
 std::vector<CampaignSpec> build_registry() {
   std::vector<CampaignSpec> specs;
   specs.push_back(fit_table1_spec());
@@ -675,6 +752,7 @@ std::vector<CampaignSpec> build_registry() {
   specs.push_back(environment_sweep_spec());
   specs.push_back(ablation_mechanisms_spec());
   specs.push_back(degraded_mode_spec());
+  specs.push_back(self_heal_spec());
   return specs;
 }
 

@@ -38,6 +38,15 @@ inline void require(bool cond, const std::string& msg) {
   if (!cond) throw std::invalid_argument(msg);
 }
 
+/// Marks code that is statically unreachable (e.g. the fall-through after an
+/// exhaustive domain-enum switch). Unlike a silent fallback value, this makes
+/// enum growth loud: a new enumerator that slips past -Werror=switch lands
+/// here and throws instead of returning garbage. Allocation-free, so it is
+/// callable from hot paths guarded by the static analyzer.
+[[noreturn]] inline void unreachable(const char* what) {
+  throw std::logic_error(what);
+}
+
 /// (x, y) coordinate of a router in a 2D mesh. x is the column, y the row.
 struct Coord {
   int x = 0;

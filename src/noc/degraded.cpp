@@ -4,6 +4,24 @@
 
 namespace rnoc::noc {
 
+const char* degraded_strategy_name(DegradedStrategy s) {
+  switch (s) {
+    case DegradedStrategy::DrainReroute: return "drain_reroute";
+    case DegradedStrategy::SelfHeal: return "self_heal";
+  }
+  unreachable("degraded_strategy_name: unhandled DegradedStrategy");
+}
+
+void validate_degraded_config(const DegradedConfig& cfg) {
+  require(cfg.ack_delay >= 1, "DegradedConfig: ack_delay must be >= 1");
+  require(cfg.retx_timeout >= 1, "DegradedConfig: retx_timeout must be >= 1");
+  require(cfg.retx_timeout_cap >= cfg.retx_timeout,
+          "DegradedConfig: retx_timeout_cap below retx_timeout");
+  require(cfg.backoff >= 1.0, "DegradedConfig: backoff must be >= 1");
+  require(cfg.max_retries >= 0, "DegradedConfig: max_retries negative");
+  require(cfg.retx_window >= 1, "DegradedConfig: retx_window must be >= 1");
+}
+
 DegradedModeController::DegradedModeController(Mesh& mesh,
                                                const DegradedConfig& cfg)
     : mesh_(mesh),
@@ -11,13 +29,18 @@ DegradedModeController::DegradedModeController(Mesh& mesh,
       mode_(mesh.config().router.mode),
       dead_(static_cast<std::size_t>(mesh.nodes()), 0),
       outstanding_(static_cast<std::size_t>(mesh.nodes()), 0) {
-  require(cfg_.ack_delay >= 1, "DegradedConfig: ack_delay must be >= 1");
-  require(cfg_.retx_timeout >= 1, "DegradedConfig: retx_timeout must be >= 1");
-  require(cfg_.retx_timeout_cap >= cfg_.retx_timeout,
-          "DegradedConfig: retx_timeout_cap below retx_timeout");
-  require(cfg_.backoff >= 1.0, "DegradedConfig: backoff must be >= 1");
-  require(cfg_.max_retries >= 0, "DegradedConfig: max_retries negative");
-  require(cfg_.retx_window >= 1, "DegradedConfig: retx_window must be >= 1");
+  validate_degraded_config(cfg_);
+  if (cfg_.strategy == DegradedStrategy::SelfHeal) {
+    // The escape discipline leans on odd-even's any-subset legality and
+    // reserves one whole VC as the west-first escape class.
+    require(mesh.config().router.routing == RoutingAlgo::OddEven,
+            "DegradedConfig: SelfHeal requires odd-even adaptive routing");
+    require(mesh.config().router.vnets == 1,
+            "DegradedConfig: SelfHeal requires a single virtual network");
+    require(mesh.config().router.vcs >= 2,
+            "DegradedConfig: SelfHeal needs >= 2 VCs (one escape)");
+    updated_scratch_.reserve(static_cast<std::size_t>(mesh.nodes()));
+  }
   for (NodeId n = 0; n < mesh_.nodes(); ++n) {
     NetworkInterface& ni = mesh_.ni(n);
     ni.set_inject_gate(
@@ -33,7 +56,73 @@ bool DegradedModeController::pair_connected(NodeId src, NodeId dst) const {
   // the only thing known to be wrong, so be optimistic about the rest (the
   // epoch-switch sweep re-filters queued packets once the tables exist).
   if (tables_ == nullptr || draining_) return true;
+  if (cfg_.strategy == DegradedStrategy::SelfHeal && !serveable_.empty()) {
+    const std::size_t bit =
+        static_cast<std::size_t>(src) * static_cast<std::size_t>(mesh_.nodes()) +
+        static_cast<std::size_t>(dst);
+    return (serveable_[bit >> 6] >> (bit & 63)) & 1u;
+  }
   return tables_->reachable(src, dst);
+}
+
+void DegradedModeController::compute_serveable() {
+  // The timeout path must distinguish "temporarily lost" from "the healed
+  // datapath can never serve this pair". Escape-table reachability from the
+  // source is too weak: minimal-adaptive RC steers by downstream credits,
+  // so a packet can be forced down the single minimal direction into a node
+  // whose candidates are all dead and whose west-first detour is illegal
+  // from there (west-after-east) — a deterministic purge/retransmit loop
+  // that burns every retry. A pair is serveable only if every adaptive
+  // excursion ends at the destination or at a node the RC filter hands to
+  // the escape tables with a complete route. Minimal moves strictly shrink
+  // the distance, so each pair's walk is a DAG and a memoised DFS settles
+  // it in one pass.
+  const NodeId n = mesh_.nodes();
+  serveable_.assign((static_cast<std::size_t>(n) * n + 63) / 64, 0);
+  std::vector<std::uint8_t> memo(static_cast<std::size_t>(n), 0);
+  for (NodeId s = 0; s < n; ++s) {
+    if (node_dead(s)) continue;
+    for (NodeId d = 0; d < n; ++d) {
+      if (d == s || node_dead(d)) continue;
+      std::fill(memo.begin(), memo.end(), 0);
+      if (serveable_dfs(s, d, s, memo)) {
+        const std::size_t bit = static_cast<std::size_t>(s) * n + d;
+        serveable_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+      }
+    }
+  }
+}
+
+bool DegradedModeController::serveable_dfs(
+    NodeId src, NodeId dst, NodeId at, std::vector<std::uint8_t>& memo) const {
+  if (at == dst) return true;
+  std::uint8_t& m = memo[static_cast<std::size_t>(at)];
+  if (m != 0) return m == 1;  // 1 = serveable, 2 = trapped.
+  const MeshDims& dims = mesh_.dims();
+  int cands[kMeshPorts];
+  const int nc = odd_even_candidates(dims, at, src, dst, cands);
+  const Coord c = dims.coord_of(at);
+  int live = 0;
+  bool ok = true;
+  for (int i = 0; i < nc; ++i) {
+    Coord nb = c;
+    switch (direction_of(cands[i])) {
+      case Direction::Local: continue;  // Emitted only at dst (handled above).
+      case Direction::North: --nb.y; break;
+      case Direction::East: ++nb.x; break;
+      case Direction::South: ++nb.y; break;
+      case Direction::West: --nb.x; break;
+    }
+    const NodeId next = dims.node_of(nb);
+    if (node_dead(next)) continue;  // The RC filter drops this candidate.
+    ++live;
+    if (ok && !serveable_dfs(src, dst, next, memo)) ok = false;
+  }
+  // Whole minimal set filtered: RC diverts onto the escape VC, which needs
+  // a complete west-first route from here (a mid-chain gap purges).
+  if (live == 0) ok = tables_ != nullptr && tables_->reachable(at, dst);
+  m = ok ? 1 : 2;
+  return ok;
 }
 
 bool DegradedModeController::admit(const PacketDesc& p) {
@@ -96,8 +185,33 @@ void DegradedModeController::on_faults_injected(Cycle now) {
 #ifdef RNOC_TRACE
     mesh_.observer().on_event(obs::EventKind::RouterDeath, now, 0, n, -1, -1);
 #endif
+    if (cfg_.strategy == DegradedStrategy::SelfHeal) {
+      // Lazy arming: the first death reserves the escape VC and starts the
+      // RC filter; before it, the enabled-but-unfaulted run is bit-identical
+      // to a disabled one.
+      if (!mesh_.self_heal().active())
+        mesh_.activate_self_heal(mesh_.config().router.vcs - 1);
+      mesh_.self_heal().mark_dead(n);
+    }
   }
-  if (killed && !draining_) begin_drain(now);
+  if (!killed) return;
+  if (cfg_.strategy == DegradedStrategy::SelfHeal) {
+    // Reclaim the packets the decommission purges truncated mid-forward:
+    // their headless remainders would otherwise wedge a VC at every hop
+    // they touch (no drain barrier cleans them here), starving the escape
+    // class of its install condition. Their end-to-end entries retransmit
+    // them over the healed topology.
+    mesh_.reclaim_truncated(now);
+    // No barrier: keep injecting. Restart the knowledge flood; a death
+    // during a pending install supersedes that generation (the rebuilt
+    // tables will cover the full dead set). The class stays frozen if it
+    // was — sticky continuations keep the currently installed tables.
+    converging_ = true;
+    pending_install_ = false;
+    pending_tables_.reset();
+  } else if (!draining_) {
+    begin_drain(now);
+  }
 }
 
 void DegradedModeController::begin_drain(Cycle now) {
@@ -108,9 +222,7 @@ void DegradedModeController::begin_drain(Cycle now) {
   draining_ = true;
 }
 
-void DegradedModeController::switch_epoch(Cycle now) {
-  mesh_.reset_flow_control();
-
+std::vector<DeadLink> DegradedModeController::collect_dead_links() const {
   // Every link touching a dead router is gone: its own four outgoing
   // directions plus each live neighbour's link toward it.
   std::vector<DeadLink> dead_links;
@@ -129,8 +241,14 @@ void DegradedModeController::switch_epoch(Cycle now) {
       dead_links.push_back({dims.node_of(neighbours[d]), opposite_port(out)});
     }
   }
+  return dead_links;
+}
+
+void DegradedModeController::switch_epoch(Cycle now) {
+  mesh_.reset_flow_control();
+
   auto next = std::make_unique<FaultAwareTables>(
-      FaultAwareTables::build(dims, dead_links));
+      FaultAwareTables::build(mesh_.dims(), collect_dead_links()));
   mesh_.set_routing_tables(next.get());
   tables_ = std::move(next);  // Old epoch's tables die after the re-point.
   ++epoch_;
@@ -165,13 +283,78 @@ void DegradedModeController::switch_epoch(Cycle now) {
   (void)now;
 }
 
+void DegradedModeController::self_heal_converge(Cycle now) {
+  (void)now;
+  SelfHealNet& sh = mesh_.self_heal();
+  updated_scratch_.clear();
+  const bool changed = sh.propagate(updated_scratch_);
+#ifdef RNOC_TRACE
+  for (const NodeId r : updated_scratch_)
+    mesh_.observer().on_event(obs::EventKind::SelfHealVector, now, 0, r, -1,
+                              -1);
+#endif
+  if (changed) return;
+  // Fixpoint: every live router knows every death it can learn of. Build
+  // the next escape-table generation and freeze the class until it empties
+  // (routes of two west-first generations must never mix in the escape VCs;
+  // a mixed pair can compose a turn the model forbids).
+  pending_tables_ = std::make_unique<FaultAwareTables>(
+      FaultAwareTables::build(mesh_.dims(), collect_dead_links()));
+  sh.set_frozen(true);
+  converging_ = false;
+  pending_install_ = true;
+}
+
+void DegradedModeController::try_install_escape_tables(Cycle now) {
+  SelfHealNet& sh = mesh_.self_heal();
+  if (!mesh_.escape_class_clear(sh.escape_vc())) return;
+  sh.set_escape_tables(pending_tables_.get());
+  sh.set_frozen(false);
+  tables_ = std::move(pending_tables_);  // Old generation dies here.
+  pending_install_ = false;
+  ++epoch_;
+  ++stats_.reroute_epochs;
+  compute_serveable();  // Before the sweep below: it consults the bitset.
+#ifdef RNOC_TRACE
+  mesh_.observer().on_event(obs::EventKind::Reroute, now, 0, kInvalidNode, -1,
+                            -1);
+#endif
+  (void)now;
+
+  // Queued packets the healed topology cannot serve are dropped, exactly as
+  // at a drain-reroute epoch switch (see that sweep for the accounting
+  // rationale); everything else kept flowing throughout.
+  for (NodeId n = 0; n < mesh_.nodes(); ++n) {
+    mesh_.ni(n).drop_queued_if([&](const PacketDesc& p) {
+      if (pair_connected(n, p.dst)) return false;
+      const auto it = entries_.find(p.id);
+      if (it != entries_.end()) {
+        ++stats_.dropped_unreachable;
+        drop_entry(it);
+      } else {
+        ++stats_.dropped_at_source;
+      }
+      return true;
+    });
+  }
+}
+
 void DegradedModeController::step(Cycle now) {
   if (draining_) {
+    ++stats_.frozen_cycles;
     // Timeouts are deferred while draining (retransmissions could not be
     // injected anyway); acknowledgements keep flowing below.
     if (mesh_.flits_in_network() == 0 && mesh_.links_idle() &&
         !mesh_.any_ni_sending())
       switch_epoch(now);
+  }
+  if (cfg_.strategy == DegradedStrategy::SelfHeal) {
+    if (converging_) self_heal_converge(now);
+    if (pending_install_) try_install_escape_tables(now);
+    // Packets the RC stage flagged unroutable this cycle (even west-first
+    // cannot reach their destination) are purged with credit refunds; the
+    // end-to-end layer retransmits them when their timeout fires.
+    if (mesh_.self_heal().active()) mesh_.purge_unroutable(now);
   }
 
   while (!ack_due_.empty() && ack_due_.top().first <= now) {
@@ -215,6 +398,33 @@ void DegradedModeController::step(Cycle now) {
 #endif
     mesh_.ni(e.desc.src).enqueue(e.desc);
   }
+}
+
+Cycle DegradedModeController::next_due_cycle() {
+  if (draining_ || converging_ || pending_install_) return 0;
+  // Compact lazily-invalidated heads: a stale entry would report a due
+  // cycle nothing acts on, under-jumping the event core's idle
+  // fast-forward. An ack head is live only while its entry exists and is
+  // delivered; a timeout head only while it matches the armed deadline
+  // (acked, dropped and re-armed packets moved on without their heap
+  // entries). Popping stale heads is invisible to step(), which skips them
+  // by the same predicates.
+  while (!ack_due_.empty()) {
+    const auto it = entries_.find(ack_due_.top().second);
+    if (it != entries_.end() && it->second.delivered) break;
+    ack_due_.pop();
+  }
+  while (!timeout_due_.empty()) {
+    const auto it = entries_.find(timeout_due_.top().second);
+    if (it != entries_.end() && it->second.deadline == timeout_due_.top().first)
+      break;
+    timeout_due_.pop();
+  }
+  Cycle due = kNeverCycle;
+  if (!ack_due_.empty()) due = ack_due_.top().first;
+  if (!timeout_due_.empty() && timeout_due_.top().first < due)
+    due = timeout_due_.top().first;
+  return due;
 }
 
 }  // namespace rnoc::noc

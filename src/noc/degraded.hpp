@@ -46,8 +46,26 @@
 
 namespace rnoc::noc {
 
+/// How the network recovers from a router death.
+enum class DegradedStrategy : std::uint8_t {
+  /// PR 5 behaviour: freeze injection, drain the network to empty, then
+  /// switch the whole mesh onto fresh west-first tables (epoch barrier).
+  DrainReroute,
+  /// Self-healing adaptive routing: no barrier. Per-router fault vectors
+  /// flood hop-by-hop, the RC stage filters known-dead ports out of the
+  /// odd-even candidate set, and packets left with no minimal direction
+  /// divert onto a reserved west-first escape VC. Injection never freezes;
+  /// in-flight packets reroute live. Requires RoutingAlgo::OddEven,
+  /// vnets == 1 and vcs >= 2 (one VC is reserved as the escape class once
+  /// the first death arms the machinery).
+  SelfHeal,
+};
+
+const char* degraded_strategy_name(DegradedStrategy s);
+
 struct DegradedConfig {
   bool enabled = false;
+  DegradedStrategy strategy = DegradedStrategy::DrainReroute;
   /// Cycles between tail ejection and the source learning of the delivery
   /// (oracle acknowledgement; stands in for an ack packet's return trip).
   Cycle ack_delay = 32;
@@ -62,6 +80,13 @@ struct DegradedConfig {
   /// retransmit buffer); the inject gate holds the queue when reached.
   int retx_window = 64;
 };
+
+/// Rejects nonsensical retransmit knobs (backoff < 1.0 shrinks timeouts
+/// toward zero; retx_timeout = 0 fires before the tail leaves the wire; a
+/// cap below the initial timeout inverts the backoff clamp) at config time,
+/// before a Mesh or Simulator exists. The DegradedModeController constructor
+/// calls this too, so programmatic construction stays covered.
+void validate_degraded_config(const DegradedConfig& cfg);
 
 struct DegradedStats {
   std::uint64_t router_deaths = 0;
@@ -79,6 +104,9 @@ struct DegradedStats {
   std::uint64_t dropped_at_source = 0;
   /// Flits sunk by dead routers (mirror of RouterStats::flits_swallowed).
   std::uint64_t flits_blackholed = 0;
+  /// Cycles the injection gates were frozen (drain barrier). The self-heal
+  /// strategy never freezes, so this is its availability headline: 0.
+  std::uint64_t frozen_cycles = 0;
 
   /// Delivered fraction of tracked packets whose destination stayed
   /// reachable: acked / (tracked - dropped_unreachable). Packets that
@@ -104,6 +132,7 @@ struct DegradedStats {
     dropped_unreachable += o.dropped_unreachable;
     dropped_at_source += o.dropped_at_source;
     flits_blackholed += o.flits_blackholed;
+    frozen_cycles += o.frozen_cycles;
   }
 };
 
@@ -140,22 +169,22 @@ class DegradedModeController {
     return dead_[static_cast<std::size_t>(n)] != 0;
   }
   /// True when the reliability layer has nothing outstanding: not
-  /// draining, and every tracked packet was acknowledged or dropped.
-  bool quiescent() const { return !draining_ && entries_.empty(); }
+  /// draining (or reconverging, for the self-heal strategy), and every
+  /// tracked packet was acknowledged or dropped.
+  bool quiescent() const {
+    return !draining_ && !converging_ && !pending_install_ &&
+           entries_.empty();
+  }
 
   /// Earliest cycle at which step() can do anything, for the event core's
-  /// idle fast-forward. While draining, the barrier must be re-checked
-  /// every cycle (the network empties through mesh steps), so this returns
-  /// 0; otherwise the next ack/timeout heap head (which may be stale — a
-  /// wake on a lazily-invalidated entry makes step() a harmless no-op).
-  Cycle next_due_cycle() const {
-    if (draining_) return 0;
-    Cycle due = kNeverCycle;
-    if (!ack_due_.empty()) due = ack_due_.top().first;
-    if (!timeout_due_.empty() && timeout_due_.top().first < due)
-      due = timeout_due_.top().first;
-    return due;
-  }
+  /// idle fast-forward. While draining (or, under the self-heal strategy,
+  /// while the fault-vector flood converges or a table install awaits the
+  /// escape class running empty), step() has per-cycle work, so this
+  /// returns 0. Otherwise the next ack/timeout heap head — compacted
+  /// first: the heaps are lazily invalidated, and a stale head (entry
+  /// erased, delivered, or re-armed) would under-report the true due cycle
+  /// and shrink the event core's idle jump for nothing.
+  Cycle next_due_cycle();
 
   const DegradedStats& stats() const { return stats_; }
   /// Routing tables of the current epoch (nullptr before the first death).
@@ -173,6 +202,19 @@ class DegradedModeController {
 
   void begin_drain(Cycle now);
   void switch_epoch(Cycle now);
+  /// One hop of the self-heal knowledge flood; at fixpoint builds the next
+  /// escape-table generation and freezes the escape class for its install.
+  void self_heal_converge(Cycle now);
+  /// Installs the pending escape tables once the escape class is empty.
+  void try_install_escape_tables(Cycle now);
+  /// Rebuilds serveable_ against the freshly installed table generation.
+  void compute_serveable();
+  /// Memoised walk of one pair's adaptive DAG (see compute_serveable).
+  bool serveable_dfs(NodeId src, NodeId dst, NodeId at,
+                     std::vector<std::uint8_t>& memo) const;
+  /// Shared by switch_epoch and the self-heal table build: every link
+  /// touching a dead router, from both endpoints.
+  std::vector<DeadLink> collect_dead_links() const;
   void on_sent(NodeId src, const PacketDesc& p, Cycle now);
   bool allow_inject(NodeId src, const PacketDesc& p) const;
   void drop_entry(std::map<PacketId, Entry>::iterator it);
@@ -187,6 +229,19 @@ class DegradedModeController {
   bool draining_ = false;
   int epoch_ = 0;  ///< 0 = fault-free (XY); bumped per table install.
   std::unique_ptr<FaultAwareTables> tables_;
+
+  // --- Self-heal strategy state ---
+  bool converging_ = false;       ///< Fault-vector flood still spreading.
+  bool pending_install_ = false;  ///< Tables built, awaiting class-empty.
+  std::unique_ptr<FaultAwareTables> pending_tables_;
+  std::vector<NodeId> updated_scratch_;  ///< propagate() out-param reuse.
+  /// Pair admissibility under the installed generation, one bit per
+  /// (src * nodes + dst). Minimal-adaptive RC may steer a packet along ANY
+  /// live turn-legal candidate, so "escape-reachable from the source" is
+  /// the wrong predicate — the walk can be forced into a node whose whole
+  /// candidate set is dead and whose escape detour is turn-illegal from
+  /// there. Recomputed at each install; empty until the first one.
+  std::vector<std::uint64_t> serveable_;
 
   /// Tracked packets by id. std::map: iteration order must be
   /// deterministic (epoch-switch sweeps walk it).

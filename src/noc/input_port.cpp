@@ -13,7 +13,7 @@ const char* vc_state_name(VcState s) {
     case VcState::VcAlloc: return "VcAlloc";
     case VcState::Active: return "Active";
   }
-  return "?";
+  unreachable("vc_state_name: unhandled VcState");
 }
 
 void VirtualChannel::reset_to_idle() {
@@ -23,6 +23,10 @@ void VirtualChannel::reset_to_idle() {
   sp = -1;
   fsp = false;
   excluded_out_vc = -1;
+  escape_route = false;
+  unroutable = false;
+  packet = 0;
+  dst = kInvalidNode;
   clear_borrow_fields();
 }
 
@@ -39,6 +43,8 @@ InputPort::InputPort(int vcs, int depth) : depth_(depth) {
   for (auto& v : vcs_) v.buffer.reserve(static_cast<std::size_t>(depth));
   l2p_.resize(static_cast<std::size_t>(vcs));
   for (int i = 0; i < vcs; ++i) l2p_[static_cast<std::size_t>(i)] = i;
+  drop_until_tail_.assign(static_cast<std::size_t>(vcs), 0);
+  poison_.assign(static_cast<std::size_t>(vcs), PoisonSlot{});
 }
 
 void InputPort::set_mask_sink(RouterVcMasks* m, int port) {
@@ -76,6 +82,8 @@ void InputPort::write(const Flit& f) {
     require(v.state == VcState::Idle && v.buffer.empty(),
             "InputPort::write: head flit into a busy VC");
     v.state = VcState::Routing;
+    v.packet = f.packet;
+    v.dst = f.dst;
   } else {
     require(v.state != VcState::Idle,
             "InputPort::write: body/tail flit into an Idle VC");
@@ -111,6 +119,10 @@ void InputPort::transfer(int from, int to) {
   dst.sp = src.sp;
   dst.fsp = src.fsp;
   dst.excluded_out_vc = src.excluded_out_vc;
+  dst.escape_route = src.escape_route;
+  dst.unroutable = src.unroutable;
+  dst.packet = src.packet;
+  dst.dst = src.dst;
 #ifdef RNOC_TRACE
   dst.obs_arrived = src.obs_arrived;
 #endif
@@ -139,6 +151,8 @@ void InputPort::reset_for_run() {
   }
   for (int i = 0; i < static_cast<int>(l2p_.size()); ++i)
     l2p_[static_cast<std::size_t>(i)] = i;
+  drop_until_tail_.assign(drop_until_tail_.size(), 0);
+  poison_.assign(poison_.size(), PoisonSlot{});
   buffered_ = 0;
   if (masks_ != nullptr)
     for (int v = 0; v < vcs(); ++v) refresh_vc(v);

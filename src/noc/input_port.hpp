@@ -45,6 +45,22 @@ struct VirtualChannel {
   // downstream VC whose allocation failed and must be excluded next cycle.
   int excluded_out_vc = -1;
 
+  // --- Self-healing routing state (inert unless the mode is active) ---
+  // Identity of the resident packet, recorded at the head's buffer write.
+  // Valid whenever state != Idle, even after every buffered flit has been
+  // forwarded — which is exactly when the reclamation sweep needs it to
+  // recognise the truncated remainder of a packet a dead router cut.
+  PacketId packet = 0;
+  NodeId dst = kInvalidNode;
+  // The current packet must be allocated the escape VC downstream: either
+  // RC's odd-even candidate filter came up empty and the packet fell back
+  // onto the west-first escape path, or the packet arrived on the escape
+  // class and must stay on it until delivery (Duato escape discipline).
+  bool escape_route = false;
+  // RC proved the destination unreachable even via the escape tables; the
+  // packet is flagged for the controller-executed purge after the step.
+  bool unroutable = false;
+
 #ifdef RNOC_TRACE
   /// Cycle the current packet's head flit was buffer-written (observability:
   /// feeds the per-hop latency histogram at switch traversal).
@@ -126,6 +142,46 @@ class InputPort {
   /// Shared accounting sink (set by the Mesh); nullptr = standalone use.
   void set_counters(NetCounters* c) { counters_ = c; }
 
+  /// Self-heal purge bookkeeping, keyed by *logical* VC id (the id arriving
+  /// flits carry): while set, Router::accept_flit_from swallows the rest of
+  /// a purged packet — flits already in flight upstream when the head was
+  /// dropped — returning credits, until the tail clears the flag. Logical
+  /// keying survives the SA-stage l2p permutation and VC reset.
+  bool dropping(int logical) const {
+    return drop_until_tail_[static_cast<std::size_t>(check(logical))] != 0;
+  }
+  void set_dropping(int logical) {
+    drop_until_tail_[static_cast<std::size_t>(check(logical))] = 1;
+  }
+  void clear_dropping(int logical) {
+    drop_until_tail_[static_cast<std::size_t>(check(logical))] = 0;
+  }
+
+  /// Self-heal reclamation filter, keyed by *logical* VC id: flits of
+  /// `packet` that were injected at or before `armed_at` — the in-flight
+  /// remnants of a fragment the reclamation sweep purged — are swallowed on
+  /// arrival with their credit returned. Any other flit (a new packet, or a
+  /// retransmission of the same id, which is injected strictly after the
+  /// sweep) disarms the slot and is written normally, so a stale filter can
+  /// never eat live traffic.
+  void arm_poison(int logical, PacketId packet, Cycle armed_at) {
+    poison_[static_cast<std::size_t>(check(logical))] = {packet, armed_at};
+  }
+
+  /// True when the arriving flit is a poisoned remnant the caller must
+  /// swallow (returning its credit). Disarms the slot on the fragment's
+  /// final possible flit or on any non-matching arrival.
+  bool poison_swallow(const Flit& f) {
+    PoisonSlot& slot = poison_[static_cast<std::size_t>(check(f.vc))];
+    if (slot.packet == 0) return false;
+    if (slot.packet == f.packet && f.injected <= slot.armed_at) {
+      if (f.is_tail()) slot = PoisonSlot{};
+      return true;
+    }
+    slot = PoisonSlot{};
+    return false;
+  }
+
   /// Wires this port's slice of the router's VC-state mask aggregate.
   /// nullptr (standalone or > 32 VCs) disables mask maintenance.
   void set_mask_sink(RouterVcMasks* m, int port);
@@ -157,6 +213,13 @@ class InputPort {
 #endif
 
  private:
+  /// One reclamation filter slot; packet == 0 means disarmed (packet ids
+  /// start at 1). See arm_poison().
+  struct PoisonSlot {
+    PacketId packet = 0;
+    Cycle armed_at = 0;
+  };
+
   // Inline: every allocator stage addresses VCs through this every cycle.
   int check(int v) const {
     require(v >= 0 && v < static_cast<int>(vcs_.size()),
@@ -180,6 +243,8 @@ class InputPort {
 
   std::vector<VirtualChannel> vcs_;
   std::vector<int> l2p_;  ///< logical -> physical VC index (a permutation)
+  std::vector<std::uint8_t> drop_until_tail_;  ///< By logical id; see dropping().
+  std::vector<PoisonSlot> poison_;  ///< By logical id; see arm_poison().
   int depth_;
   int buffered_ = 0;  ///< Flits across all VCs (kept exact by write/pop).
   NetCounters* counters_ = nullptr;

@@ -125,6 +125,16 @@ void NocChecker::reset_history(bool clear_delivery_tracks) {
       for (auto& t : e.tracks) t = SeqTrack{};
 }
 
+void NocChecker::clear_delivery_track(NodeId node, int vc) {
+  for (NiEntry& e : nis_) {
+    if (e.ni->node() != node) continue;
+    require(vc >= 0 && vc < static_cast<int>(e.tracks.size()),
+            "NocChecker::clear_delivery_track: VC out of range");
+    e.tracks[static_cast<std::size_t>(vc)] = SeqTrack{};
+    return;
+  }
+}
+
 void NocChecker::run_sweep(Cycle now) {
   check_channels(now);
   check_router_states(now);

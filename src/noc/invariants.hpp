@@ -136,6 +136,12 @@ class NocChecker {
   /// they must survive so in-flight deliveries keep being validated.
   void reset_history(bool clear_delivery_tracks);
 
+  /// Self-heal reclamation hook: abandons the ejection expectation of one
+  /// NI's VC after the sweep aborted a truncated reassembly there, so the
+  /// eventual retransmission (same packet id, fresh head) validates from
+  /// seq 0. Targeted — every other track keeps validating mid-flight.
+  void clear_delivery_track(NodeId node, int vc);
+
   /// Full check sweeps executed so far (tests assert the checker ran).
   std::uint64_t sweeps_run() const { return sweeps_run_; }
 

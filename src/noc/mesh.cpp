@@ -15,7 +15,7 @@ const char* sim_core_name(SimCore core) {
     case SimCore::ActiveList: return "active_list";
     case SimCore::EventDriven: return "event";
   }
-  return "?";
+  unreachable("sim_core_name: unhandled SimCore");
 }
 
 Mesh::~Mesh() = default;
@@ -44,7 +44,7 @@ void Mesh::note_channel(Link* link, Router* up_router, int up_port,
 #endif
 }
 
-Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
+Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg), self_heal_(cfg.dims) {
   require(cfg.dims.x >= 2 && cfg.dims.y >= 2, "Mesh: need at least 2x2");
   const int n = cfg.dims.nodes();
   routers_.reserve(static_cast<std::size_t>(n));
@@ -78,6 +78,7 @@ Mesh::Mesh(const MeshConfig& cfg) : cfg_(cfg) {
 
   for (NodeId i = 0; i < n; ++i) {
     routers_[static_cast<std::size_t>(i)].set_counters(&counters_);
+    routers_[static_cast<std::size_t>(i)].set_self_heal(&self_heal_);
     NetworkInterface& ni = nis_[static_cast<std::size_t>(i)];
     ni.set_counters(&counters_);
     ni.set_wake_hook([this, i, n] { schedule_wake(n + i, 0); });
@@ -289,6 +290,138 @@ bool Mesh::kill_router(NodeId n, Cycle now) {
   // already heading its way.
   notify_fault(n);
   return true;
+}
+
+void Mesh::activate_self_heal(int escape_vc) {
+  require(escape_vc >= 0 && escape_vc < cfg_.router.vcs,
+          "Mesh::activate_self_heal: escape VC out of range");
+  self_heal_.activate(escape_vc);
+  for (auto& r : routers_) r.set_escape_vc(escape_vc);
+  for (auto& ni : nis_) ni.set_reserved_vc(escape_vc);
+}
+
+bool Mesh::escape_class_clear(int evc) const {
+  require(evc >= 0 && evc < cfg_.router.vcs,
+          "Mesh::escape_class_clear: VC out of range");
+  for (const auto& r : routers_) {
+    // A dead router is inert corpse state: decommission drained its buffers
+    // and it will never emit another flit, but its own downstream-allocation
+    // bits stay stale forever (returned credits are not processed by a
+    // corpse). It cannot contribute an old-generation escape route, so it
+    // does not gate the install.
+    if (r.dead()) continue;
+    for (int p = 0; p < kMeshPorts; ++p) {
+      const InputPort& ip = r.input_port(p);
+      const VirtualChannel& vc = ip.vc(ip.physical_of(evc));
+      if (vc.state != VcState::Idle || !vc.buffer.empty()) return false;
+      if (r.out_vc(p, evc).allocated) return false;
+    }
+    for (const StGrant& g : r.pending_grants())
+      if (g.out_vc == evc) return false;
+  }
+  bool clear = true;
+  for (const auto& l : links_) {
+    if (!clear) break;
+    l->for_each_flit([&](const Flit& f) {
+      if (f.vc == evc) clear = false;
+    });
+  }
+  if (!clear) return false;
+  for (const auto& ni : nis_)
+    if (ni.current_vc() == evc) return false;
+  return true;
+}
+
+int Mesh::purge_unroutable(Cycle now) {
+  int purged = 0;
+  for (auto& r : routers_) purged += r.purge_unroutable(now);
+#ifdef RNOC_INVARIANTS
+  // The purge moved Routing VCs back to Idle outside the pipeline's legal
+  // transitions; re-prime the checker's shadow. Delivery tracks stay — the
+  // purged packets are retransmitted end-to-end under fresh ids.
+  if (purged > 0) checker_->reset_history(/*clear_delivery_tracks=*/false);
+#endif
+  return purged;
+}
+
+int Mesh::reclaim_truncated(Cycle now) {
+  // Streams the just-decommissioned routers cut mid-forward: their headless
+  // remainders wedge a VC at every router they touch (the tail that would
+  // free each hop died in the purge), so without a drain barrier they must
+  // be reclaimed explicitly.
+  std::vector<PacketId> ids;
+  std::vector<std::pair<NodeId, TruncatedStream>> arm;
+  for (NodeId n = 0; n < nodes(); ++n) {
+    Router& r = routers_[static_cast<std::size_t>(n)];
+    if (!r.dead()) continue;
+    for (const TruncatedStream& t : r.take_truncated()) {
+      ids.push_back(t.packet);
+      arm.push_back({n, t});
+    }
+  }
+  if (ids.empty()) return 0;
+
+  // Purge every live VC the fragments occupy. Each chain node whose head
+  // had already moved on reports the link to its successor, so together
+  // with the dead routers' own records the filters cover remnants in
+  // flight anywhere along the chain — including a head that left its VC
+  // but has not landed downstream yet.
+  int purged = 0;
+  std::vector<TruncatedStream> downstream;
+  for (NodeId n = 0; n < nodes(); ++n) {
+    Router& r = routers_[static_cast<std::size_t>(n)];
+    if (r.dead()) continue;
+    downstream.clear();
+    const int k = r.purge_poisoned(ids, now, downstream);
+    if (k == 0) continue;
+    purged += k;
+    notify_fault(n);  // State changed out-of-band: re-run the router.
+    for (const TruncatedStream& t : downstream) arm.push_back({n, t});
+  }
+
+  // Successor-side filters, one per released downstream allocation.
+  for (const auto& [from, t] : arm) {
+    if (t.out_port == port_of(Direction::Local)) continue;  // NI: below.
+    const Coord c = cfg_.dims.coord_of(from);
+    Coord nc = c;
+    switch (direction_of(t.out_port)) {
+      case Direction::North: --nc.y; break;
+      case Direction::East: ++nc.x; break;
+      case Direction::South: ++nc.y; break;
+      case Direction::West: --nc.x; break;
+      case Direction::Local: break;  // Excluded above.
+    }
+    require(cfg_.dims.contains(nc),
+            "Mesh::reclaim_truncated: truncated stream left the mesh");
+    const NodeId nb = cfg_.dims.node_of(nc);
+    Router& dr = routers_[static_cast<std::size_t>(nb)];
+    if (dr.dead()) continue;  // The black hole swallows remnants anyway.
+    dr.input_port(opposite_port(t.out_port))
+        .arm_poison(t.out_vc, t.packet, now);
+    notify_fault(nb);
+  }
+
+  // Destination-NI filters: a fragment's flits only ever eject at its
+  // packet's destination. Abort any reassembly it already opened there and
+  // drop the checker's matching in-order expectation with it (the eventual
+  // retransmission re-delivers from seq 0).
+  for (const auto& [from, t] : arm) {
+    (void)from;
+    const int aborted_vc =
+        nis_[static_cast<std::size_t>(t.dst)].poison_packet(t.packet, now);
+#ifdef RNOC_INVARIANTS
+    if (aborted_vc >= 0) checker_->clear_delivery_track(t.dst, aborted_vc);
+#else
+    (void)aborted_vc;
+#endif
+  }
+
+#ifdef RNOC_INVARIANTS
+  // The purge moved VCs to Idle outside the pipeline's legal transitions;
+  // re-prime the checker's shadow (delivery tracks were handled above).
+  if (purged > 0) checker_->reset_history(/*clear_delivery_tracks=*/false);
+#endif
+  return purged;
 }
 
 bool Mesh::links_idle() const {
@@ -584,6 +717,7 @@ void Mesh::reset_for_run() {
   for (auto& r : routers_) r.reset_for_run();
   for (auto& ni : nis_) ni.reset_for_run();
   for (auto& l : links_) l->reset_for_run();
+  self_heal_.reset();
   counters_ = NetCounters{};
   std::fill(runnable_.begin(), runnable_.end(), 0);
   active_routers_.clear();

@@ -31,6 +31,7 @@
 #include "noc/network_interface.hpp"
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
+#include "noc/self_heal.hpp"
 #include "obs/observer.hpp"
 
 namespace rnoc::noc {
@@ -152,6 +153,41 @@ class Mesh {
   /// no buffered flits, idle links, no NI mid-packet.
   void reset_flow_control();
 
+  // --- Self-healing adaptive routing (degraded SelfHeal strategy) ---
+
+  /// Shared fault-knowledge network every router reads during RC. Inert
+  /// until activate_self_heal(); the controller drives mark_dead/propagate
+  /// and table installs through this reference.
+  SelfHealNet& self_heal() { return self_heal_; }
+  const SelfHealNet& self_heal() const { return self_heal_; }
+
+  /// Arms the self-heal machinery (first router death): reserves logical VC
+  /// `escape_vc` as the west-first escape class on every router's VC
+  /// allocator and blocks every NI from injecting new packets onto it.
+  void activate_self_heal(int escape_vc);
+
+  /// True when the escape class is empty network-wide: no input VC holds or
+  /// routes on logical VC `evc`, no downstream allocation, no pending
+  /// crossbar grant, no in-flight link flit addressed to it, and no NI is
+  /// serializing onto it. The install barrier for a new escape-table
+  /// generation (routes from two generations must never mix in the class).
+  bool escape_class_clear(int evc) const;
+
+  /// Drops every packet the RC stage flagged unroutable this cycle
+  /// (Router::purge_unroutable on each router) and re-primes the invariant
+  /// checker's pipeline shadow. Returns the number of purged packets.
+  int purge_unroutable(Cycle now);
+
+  /// Fragment reclamation after router deaths (SelfHeal strategy, which has
+  /// no drain barrier to clean truncated packets). Collects the streams the
+  /// decommission purge cut mid-forward, purges their headless remainders
+  /// from every live router, releases the downstream VC allocations those
+  /// remainders held, arms poison filters (router input ports and the
+  /// destination NIs) for remnants still in flight, and aborts any
+  /// reassembly a fragment had opened. Wakes every touched router and
+  /// re-primes the invariant checker. Returns the number of VCs purged.
+  int reclaim_truncated(Cycle now);
+
   /// Routers stepped by the most recent step() call (== nodes() when
   /// active scheduling is off). Scheduling telemetry for benchmarks.
   int routers_stepped_last_cycle() const { return stepped_last_cycle_; }
@@ -230,6 +266,7 @@ class Mesh {
   std::vector<NetworkInterface> nis_;
   std::vector<std::unique_ptr<Link>> links_;
   NetCounters counters_;
+  SelfHealNet self_heal_;  ///< Shared fault-vector net (inert until armed).
 
   // --- Active-router scheduling state ---
   std::vector<std::uint8_t> runnable_;  ///< [0,n): routers; [n,2n): NIs.

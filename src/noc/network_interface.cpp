@@ -62,6 +62,14 @@ void NetworkInterface::step_event(Cycle now) {
 void NetworkInterface::eject(Cycle now) {
   if (from_router_ == nullptr) return;
   while (auto f = from_router_->take_flit(now)) {
+    if (!poisoned_.empty() && poison_swallow(*f)) {
+      // Remnant of a reclaimed fragment: return the credit and vanish —
+      // reassembly and the checker never learn it existed (the sweep
+      // already cleared their state for this packet).
+      from_router_->push_credit({f->vc, f->is_tail()}, now);
+      ++stats_.flits_dropped;
+      continue;
+    }
     ++stats_.flits_received;
 #ifdef RNOC_INVARIANTS
     // Checker first, so a delivery-order violation is reported with full
@@ -134,6 +142,7 @@ void NetworkInterface::inject_after_credits(Cycle now) {
     // restricted to the packet's virtual network.
     int vc = -1;
     for (int v = 0; v < cfg_.vcs; ++v) {
+      if (v == reserved_vc_) continue;
       const auto& ov = out_vcs_[static_cast<std::size_t>(v)];
       if (!ov.busy && ov.credits > 0 &&
           vc_allowed_for_class(v, queue_.front().traffic_class, cfg_.vcs,
@@ -192,6 +201,37 @@ void NetworkInterface::inject_after_credits(Cycle now) {
   }
 }
 
+bool NetworkInterface::poison_swallow(const Flit& f) {
+  for (std::size_t i = 0; i < poisoned_.size(); ++i) {
+    if (poisoned_[i].packet != f.packet) continue;
+    if (f.injected <= poisoned_[i].armed_at) return true;
+    // A retransmission of the reclaimed packet: disarm and eject normally.
+    poisoned_[i] = poisoned_.back();
+    poisoned_.pop_back();
+    return false;
+  }
+  return false;
+}
+
+int NetworkInterface::poison_packet(PacketId p, Cycle armed_at) {
+  bool found = false;
+  for (auto& e : poisoned_) {
+    if (e.packet != p) continue;
+    e.armed_at = armed_at;  // Re-truncated after a retransmission.
+    found = true;
+    break;
+  }
+  if (!found) poisoned_.push_back({p, armed_at});
+  for (int v = 0; v < cfg_.vcs; ++v) {
+    Reassembly& re = reassembly_[static_cast<std::size_t>(v)];
+    if (re.active && re.packet == p) {
+      re = Reassembly{};
+      return v;
+    }
+  }
+  return -1;
+}
+
 std::size_t NetworkInterface::drop_queued_if(
     const std::function<bool(const PacketDesc&)>& pred) {
   const bool was_idle = injection_idle();
@@ -208,16 +248,19 @@ void NetworkInterface::reset_flow_state() {
           "NetworkInterface::reset_flow_state: packet partially injected");
   for (auto& ov : out_vcs_) ov = OutVc{false, cfg_.vc_depth};
   for (auto& re : reassembly_) re = Reassembly{};
+  poisoned_.clear();
 }
 
 void NetworkInterface::reset_for_run() {
   for (auto& ov : out_vcs_) ov = OutVc{false, cfg_.vc_depth};
   for (auto& re : reassembly_) re = Reassembly{};
+  poisoned_.clear();
   queue_.clear();
   sending_ = false;
   current_ = PacketDesc{};
   next_seq_ = 0;
   current_vc_ = -1;
+  reserved_vc_ = -1;
   current_injected_ = 0;
   measure_begin_ = 0;
   measure_end_ = kNeverCycle;

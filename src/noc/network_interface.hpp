@@ -32,6 +32,8 @@ struct NiStats {
   std::uint64_t packets_received = 0;
   std::uint64_t flits_injected = 0;
   std::uint64_t flits_received = 0;
+  /// Remnants of reclaimed fragments swallowed at ejection (self-heal).
+  std::uint64_t flits_dropped = 0;
   std::uint64_t queue_peak = 0;
   RunningStats total_latency;    ///< creation -> tail ejection (measured pkts).
   RunningStats network_latency;  ///< injection -> tail ejection (measured pkts).
@@ -90,6 +92,24 @@ class NetworkInterface {
   bool injection_idle() const { return queue_.empty() && !sending_; }
   /// True while a packet is partially serialized into the network.
   bool sending() const { return sending_; }
+  /// Logical VC the in-flight packet serializes on (-1 when not sending).
+  int current_vc() const { return current_vc_; }
+
+  /// Self-heal escape-VC reservation: once set (>= 0) the NI never
+  /// allocates logical VC `v` for a new packet — the escape class only
+  /// admits in-network reroutes, so freshly injected packets keep to the
+  /// adaptive VCs. -1 (default) disables the reservation.
+  void set_reserved_vc(int v) { reserved_vc_ = v; }
+
+  /// Self-heal reclamation: flits of `p` injected at or before `armed_at`
+  /// — the remnants of a fragment the sweep purged, possibly still in
+  /// flight on the local link — are swallowed at ejection with their credit
+  /// returned, skipping reassembly and the checker. A later retransmission
+  /// of the same id (injected strictly after the sweep) disarms the entry
+  /// and ejects normally. Any reassembly the fragment had already opened is
+  /// aborted; returns its VC so the caller can clear the checker's matching
+  /// delivery track, or -1 if none was open.
+  int poison_packet(PacketId p, Cycle armed_at);
 
   /// Degraded-mode admission gate (optional): consulted before a queued
   /// packet starts serializing. Returning false holds the whole queue —
@@ -150,6 +170,19 @@ class NetworkInterface {
   void drain_router_credits(Cycle now);
   void inject_after_credits(Cycle now);
 
+  /// True when `f` is a poisoned remnant eject() must swallow. Disarms the
+  /// matching entry on a retransmission of the same id. See poison_packet().
+  bool poison_swallow(const Flit& f);
+
+  /// One reclamation entry; see poison_packet(). Kept as a small linear
+  /// vector — entries exist only between a router death and the fragment's
+  /// retransmission, a handful at a time.
+  struct PoisonEntry {
+    PacketId packet = 0;
+    Cycle armed_at = 0;
+  };
+  std::vector<PoisonEntry> poisoned_;
+
   NodeId node_;
   NiConfig cfg_;
   Link* to_router_ = nullptr;
@@ -162,6 +195,7 @@ class NetworkInterface {
   PacketDesc current_{};
   int next_seq_ = 0;
   int current_vc_ = -1;
+  int reserved_vc_ = -1;  ///< Self-heal escape VC, never allocated here.
   Cycle current_injected_ = 0;
 
   Cycle measure_begin_ = 0;

@@ -61,11 +61,19 @@ void Router::decommission(Cycle now) {
   // Purge every buffered flit, returning its credit upstream (naming the
   // logical VC the upstream targeted) so neighbour flow control stays
   // conserved. A purged mid-packet leaves a truncated fragment downstream;
-  // the degraded-mode drain barrier cleans those up.
+  // the drain barrier cleans those up wholesale, while the self-heal
+  // strategy consumes the truncated_ record below for a targeted
+  // reclamation sweep (it has no barrier).
   for (int p = 0; p < kMeshPorts; ++p) {
     InputPort& ip = inputs_[static_cast<std::size_t>(p)];
     for (int v = 0; v < cfg_.vcs; ++v) {
       VirtualChannel& vc = ip.vc(v);
+      // The head is already beyond this router exactly when the VC reached
+      // Active and the head is no longer at the buffer front (Routing and
+      // VcAlloc hold it at the front; an empty Active VC forwarded it all).
+      if (vc.state == VcState::Active &&
+          (vc.buffer.empty() || !vc.buffer.front().is_head()))
+        truncated_.push_back({vc.packet, vc.dst, vc.route, vc.out_vc});
       while (!vc.buffer.empty()) {
         const Flit f = ip.pop_front(v);
         if (Link* l = in_links_[static_cast<std::size_t>(p)])
@@ -76,6 +84,85 @@ void Router::decommission(Cycle now) {
       ip.refresh_vc(v);
     }
   }
+}
+
+int Router::purge_unroutable(Cycle now) {
+  if (!has_unroutable_) return 0;
+  has_unroutable_ = false;
+  int purged = 0;
+  for (int p = 0; p < kMeshPorts; ++p) {
+    InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      VirtualChannel& vc = ip.vc(v);
+      if (!vc.unroutable) continue;
+      require(vc.state == VcState::Routing,
+              "Router::purge_unroutable: flagged VC left Routing");
+      // Drop the buffered flits with upstream credit returns (naming the
+      // logical VC the upstream targeted, exactly like decommission). If
+      // the tail has not arrived yet, arm the drop filter so the in-flight
+      // remainder is swallowed on arrival.
+      bool tail_seen = false;
+      while (!vc.buffer.empty()) {
+        const Flit f = ip.pop_front(v);
+        tail_seen = f.is_tail();
+        if (Link* l = in_links_[static_cast<std::size_t>(p)])
+          l->push_credit({f.vc, f.is_tail()}, now);
+        ++stats_.flits_dropped;
+      }
+      if (!tail_seen) ip.set_dropping(ip.logical_of(v));
+      vc.reset_to_idle();
+      ip.refresh_vc(v);
+      ++purged;
+    }
+  }
+  return purged;
+}
+
+int Router::purge_poisoned(const std::vector<PacketId>& ids, Cycle now,
+                           std::vector<TruncatedStream>& downstream) {
+  int purged = 0;
+  for (int p = 0; p < kMeshPorts; ++p) {
+    InputPort& ip = inputs_[static_cast<std::size_t>(p)];
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      VirtualChannel& vc = ip.vc(v);
+      if (vc.state == VcState::Idle) continue;
+      if (std::find(ids.begin(), ids.end(), vc.packet) == ids.end()) continue;
+      if (vc.state == VcState::Active) {
+        // Cancel the fragment's pending switch grant (SA consumed a
+        // downstream credit for it) and release the downstream VC it holds
+        // — its vc_free can never arrive, the tail died at the dead router.
+        for (std::size_t g = 0; g < st_pending_.size();) {
+          if (st_pending_[g].in_port == p && st_pending_[g].in_vc == v) {
+            ++out_vcs_[static_cast<std::size_t>(st_pending_[g].out_port)]
+                      [static_cast<std::size_t>(st_pending_[g].out_vc)]
+                  .credits;
+            st_pending_.erase(st_pending_.begin() +
+                              static_cast<std::ptrdiff_t>(g));
+          } else {
+            ++g;
+          }
+        }
+        out_vcs_[static_cast<std::size_t>(vc.route)]
+                [static_cast<std::size_t>(vc.out_vc)]
+            .allocated = false;
+        if (vc.buffer.empty() || !vc.buffer.front().is_head())
+          downstream.push_back({vc.packet, vc.dst, vc.route, vc.out_vc});
+      }
+      while (!vc.buffer.empty()) {
+        const Flit f = ip.pop_front(v);
+        if (Link* l = in_links_[static_cast<std::size_t>(p)])
+          l->push_credit({f.vc, f.is_tail()}, now);
+        ++stats_.flits_dropped;
+      }
+      // Anything of this fragment still in flight from upstream (itself a
+      // purged chain node, or the dead router) lands in the poison filter.
+      ip.arm_poison(ip.logical_of(v), vc.packet, now);
+      vc.reset_to_idle();
+      ip.refresh_vc(v);
+      ++purged;
+    }
+  }
+  return purged;
 }
 
 void Router::reset_flow_state() {
@@ -123,6 +210,20 @@ void Router::accept_flit_from(Link& l, int p, Cycle now) {
     // the upstream neighbour's flow control stays conserved.
     l.push_credit({f->vc, f->is_tail()}, now);
     ++stats_.flits_swallowed;
+  } else if (inputs_[static_cast<std::size_t>(p)].dropping(f->vc)) {
+    // Remainder of a packet purge_unroutable dropped: the head is gone, so
+    // swallow the stragglers with an immediate credit; the tail closes the
+    // filter and frees the upstream VC (its credit carries vc_free).
+    l.push_credit({f->vc, f->is_tail()}, now);
+    if (f->is_tail()) inputs_[static_cast<std::size_t>(p)].clear_dropping(f->vc);
+    ++stats_.flits_dropped;
+  } else if (inputs_[static_cast<std::size_t>(p)].poison_swallow(*f)) {
+    // In-flight remnant of a fragment the reclamation sweep purged. No tail
+    // will ever close this stream (it died at the dead router), so the
+    // upstream allocation was released by the sweep itself; the credit here
+    // only refunds the buffer slot.
+    l.push_credit({f->vc, f->is_tail()}, now);
+    ++stats_.flits_dropped;
   } else {
     inputs_[static_cast<std::size_t>(p)].write(*f);
     ++stats_.buffer_writes;
@@ -346,7 +447,9 @@ bool Router::try_output(VirtualChannel& vc, int out) {
 }
 
 RcOutcome Router::compute_route(VirtualChannel& vc, const Flit& head,
-                                int in_port) {
+                                int in_port, int in_phys, Cycle now) {
+  (void)in_phys;
+  (void)now;  // Consumed by the self-heal path / traced builds only.
   using fault::SiteType;
   // Select a working RC unit for this input port (paper §V-A).
   if (faults_.count() != 0 && faults_.has(SiteType::RcPrimary, in_port)) {
@@ -369,6 +472,82 @@ RcOutcome Router::compute_route(VirtualChannel& vc, const Flit& head,
     candidates[ncand++] = out;
   } else if (cfg_.routing == RoutingAlgo::OddEven) {
     ncand = odd_even_candidates(dims_, id_, head.src, head.dst, candidates);
+    bool escape = false;
+    if (sh_ != nullptr && sh_->active()) {
+      const FaultAwareTables* esc = sh_->escape_tables();
+      const bool on_escape_vc =
+          inputs_[static_cast<std::size_t>(in_port)].logical_of(in_phys) ==
+          sh_->escape_vc();
+      if (on_escape_vc && esc != nullptr) {
+        // Escape discipline (Duato): a packet that arrived on the escape VC
+        // stays on the west-first escape network until delivery. While a
+        // newer table generation awaits install (frozen), continuations
+        // keep using the installed one — single-generation paths are safe.
+        const int out = esc->next_port(id_, head.dst);
+        if (out < 0) {
+          // Even west-first cannot reach the destination from here: flag
+          // the packet for the controller's purge after this step (the
+          // end-to-end layer retransmits it over a fresh adaptive route).
+          vc.unroutable = true;
+          has_unroutable_ = true;
+          return RcOutcome::Unreachable;
+        }
+        candidates[0] = out;
+        ncand = 1;
+        escape = true;
+      } else if (!on_escape_vc && !sh_->dead(head.dst)) {
+        // Filter ports this router knows lead into a dead neighbour. Any
+        // subset of odd-even candidates stays turn-model legal, so the
+        // filtered set needs no re-legalisation.
+        const std::uint8_t dp = sh_->dead_ports(id_);
+        int kept = 0;
+        for (int i = 0; i < ncand; ++i)
+          if ((dp >> static_cast<unsigned>(candidates[i]) & 1u) == 0)
+            candidates[kept++] = candidates[i];
+        if (kept > 0) {
+          ncand = kept;
+        } else {
+          // Every minimal direction is known faulty: divert onto the
+          // west-first escape VC. Before the first table generation exists,
+          // waiting here can deadlock against the install itself — this
+          // packet's own tail may be a pre-activation resident of the
+          // escape class whose drain the install waits for — so purge it
+          // for end-to-end retransmission instead. Once a generation is
+          // installed, escape packets always progress on it, the class
+          // reliably drains, and waiting out a pending generation (frozen)
+          // is safe; mixing routes of two west-first generations could
+          // compose a forbidden turn, so new entrants must wait it out.
+          if (esc == nullptr) {
+            vc.unroutable = true;
+            has_unroutable_ = true;
+            return RcOutcome::Unreachable;
+          }
+          if (sh_->frozen()) return RcOutcome::Blocked;
+          const int out = esc->next_port(id_, head.dst);
+          if (out < 0) {
+            vc.unroutable = true;
+            has_unroutable_ = true;
+            return RcOutcome::Unreachable;
+          }
+          candidates[0] = out;
+          ncand = 1;
+          escape = true;
+          ++stats_.escape_reroutes;
+#ifdef RNOC_TRACE
+          if (obs_)
+            obs_->on_event(obs::EventKind::SelfHealReroute, now, head.packet,
+                           id_, in_port, in_phys);
+#endif
+        }
+      }
+      // A dead destination keeps the unfiltered minimal set: the packet
+      // black-holes at the dead router with credits returned, and the
+      // end-to-end layer then accounts the pair unreachable. An escape-VC
+      // arrival before the first table install is a pre-activation
+      // adaptive packet: it keeps the unfiltered set and vacates the class
+      // (the VA filter hands it a regular VC downstream).
+    }
+    vc.escape_route = escape;
     // Adaptive selection: prefer the candidate with the most free
     // downstream buffer space (congestion look-ahead). Stable insertion
     // sort over <= kMeshPorts entries.
@@ -397,7 +576,6 @@ RcOutcome Router::compute_route(VirtualChannel& vc, const Flit& head,
 }
 
 void Router::step_rc(Cycle now) {
-  (void)now;
   if (dead_) return;
   // One RC computation per input port per cycle (one RC unit per port),
   // round-robin over the VCs waiting in Routing state.
@@ -430,7 +608,7 @@ void Router::step_rc(Cycle now) {
       if (vc.state != VcState::Routing) continue;
       require(!vc.buffer.empty() && vc.buffer.front().is_head(),
               "Router::step_rc: Routing VC without a head flit");
-      const RcOutcome outcome = compute_route(vc, vc.buffer.front(), p);
+      const RcOutcome outcome = compute_route(vc, vc.buffer.front(), p, v, now);
       if (outcome == RcOutcome::Granted) {
         vc.state = VcState::VcAlloc;
         ip.refresh_vc(v);
@@ -461,7 +639,6 @@ void Router::step_rc(Cycle now) {
 }
 
 void Router::step_rc_event(Cycle now) {
-  (void)now;
   if (dead_) return;
   // Identical to step_rc (including under faults: compute_route carries the
   // RC-unit fault logic internally). Ports are pre-filtered through the
@@ -498,7 +675,7 @@ void Router::step_rc_event(Cycle now) {
       if (vc.state != VcState::Routing) continue;
       require(!vc.buffer.empty() && vc.buffer.front().is_head(),
               "Router::step_rc: Routing VC without a head flit");
-      const RcOutcome outcome = compute_route(vc, vc.buffer.front(), p);
+      const RcOutcome outcome = compute_route(vc, vc.buffer.front(), p, v, now);
       if (outcome == RcOutcome::Granted) {
         vc.state = VcState::VcAlloc;
         ip.refresh_vc(v);
@@ -534,10 +711,12 @@ void Router::reset_for_run() {
     for (auto& ov : port) ov = OutVcState{false, cfg_.vc_depth};
   faults_ = fault::RouterFaultState({kMeshPorts, cfg_.vcs, cfg_.vnets});
   route_tables_ = nullptr;
+  has_unroutable_ = false;
   va_.reset_for_run();
   sa_.reset_for_run();
   std::fill(rc_rr_.begin(), rc_rr_.end(), 0);
   st_pending_.clear();
+  truncated_.clear();
   stats_ = RouterStats{};
   dead_ = false;
 }

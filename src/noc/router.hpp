@@ -22,6 +22,7 @@
 #include "noc/link.hpp"
 #include "noc/router_state.hpp"
 #include "noc/routing.hpp"
+#include "noc/self_heal.hpp"
 #include "noc/sw_allocator.hpp"
 #include "noc/table_routing.hpp"
 #include "noc/vc_allocator.hpp"
@@ -55,6 +56,18 @@ struct RouterConfig {
   int vnets = 1;
 
   friend bool operator==(const RouterConfig&, const RouterConfig&) = default;
+};
+
+/// A packet the decommission purge cut after its head had already been
+/// forwarded: a headless remainder of it lives (or is in flight) beyond
+/// `out_port`. Consumed by Mesh::reclaim_truncated, the self-heal
+/// controller's fragment-reclamation sweep; the drain-reroute strategy
+/// ignores these (its barrier reset cleans fragments wholesale).
+struct TruncatedStream {
+  PacketId packet = 0;
+  NodeId dst = kInvalidNode;  ///< Packet destination (NI filter arming).
+  int out_port = -1;          ///< Output port the head left through.
+  int out_vc = -1;            ///< Downstream VC it held (logical id).
 };
 
 class Router {
@@ -137,6 +150,46 @@ class Router {
   /// the router.
   void set_routing_tables(const FaultAwareTables* tables);
 
+  /// Wires the self-healing routing state (degraded SelfHeal strategy; set
+  /// once by the Mesh). While the net is inactive the RC stage behaves
+  /// exactly as without it; once activated, odd-even candidates are filtered
+  /// by the local fault vector with the west-first escape VC as fallback.
+  void set_self_heal(const SelfHealNet* sh) { sh_ = sh; }
+
+  /// Arms the VA stage's escape-VC class: logical VC `evc` is granted only
+  /// to packets RC flagged for the escape path, and those packets get
+  /// nothing else (-1 disarms). Called at self-heal activation.
+  void set_escape_vc(int evc) { va_.set_escape_vc(evc); }
+
+  /// True when RC proved some buffered packet unroutable even via the
+  /// escape tables; cleared by purge_unroutable.
+  bool has_unroutable() const { return has_unroutable_; }
+
+  /// Controller-executed drop of every unroutable packet flagged by RC:
+  /// pops its buffered flits with upstream credit returns, arms the
+  /// drop-until-tail filter for the in-flight remainder, and resets the VC.
+  /// Returns the number of packets purged. Must run between mesh steps (the
+  /// caller follows up with a checker history reset, as after a kill).
+  int purge_unroutable(Cycle now);
+
+  /// Streams the decommission purge truncated mid-forward (their heads
+  /// already downstream), moved out — and thereby cleared — by the
+  /// reclamation sweep. Stays empty for routers that never died.
+  std::vector<TruncatedStream> take_truncated() {
+    return std::move(truncated_);
+  }
+
+  /// Self-heal reclamation: purges every input VC occupied by one of the
+  /// flagged packets — upstream credit refunds exactly like decommission —
+  /// cancelling its pending switch grant, releasing the downstream VC it
+  /// held, and arming this port's poison filter for the in-flight remnants.
+  /// Each released allocation whose head already left is appended to
+  /// `downstream` so the Mesh can arm the neighbour's filter too. Returns
+  /// the number of VCs purged; the caller follows up with a checker history
+  /// reset, as after a kill.
+  int purge_poisoned(const std::vector<PacketId>& ids, Cycle now,
+                     std::vector<TruncatedStream>& downstream);
+
   /// True once decommission() ran: the router is a dead black hole.
   bool dead() const { return dead_; }
 
@@ -217,8 +270,11 @@ class Router {
 
   /// Route computation for one head flit, including the SP/FSP secondary
   /// path determination (paper §V-A, §V-D). Blocked = an untolerated fault
-  /// stalls the VC; Unreachable = the fault-aware tables have no path.
-  RcOutcome compute_route(VirtualChannel& vc, const Flit& head, int in_port);
+  /// stalls the VC; Unreachable = the fault-aware tables (or the self-heal
+  /// escape tables) have no path. `in_phys` is the VC's physical index (the
+  /// self-heal path derives its logical id for escape-class stickiness).
+  RcOutcome compute_route(VirtualChannel& vc, const Flit& head, int in_port,
+                          int in_phys, Cycle now);
 
   /// Commits output `out` into the VC's R/SP/FSP fields if the crossbar can
   /// still reach it under the current faults and mode.
@@ -240,11 +296,14 @@ class Router {
   std::vector<Link*> out_links_;
   fault::RouterFaultState faults_;
   const FaultAwareTables* route_tables_ = nullptr;
+  const SelfHealNet* sh_ = nullptr;
+  bool has_unroutable_ = false;
   VcAllocator va_;
   SwitchAllocator sa_;
   Crossbar xb_;
   std::vector<int> rc_rr_;  ///< Per-port RC round-robin pointer over VCs.
   std::vector<StGrant> st_pending_;
+  std::vector<TruncatedStream> truncated_;  ///< See take_truncated().
   RouterStats stats_;
   bool dead_ = false;
 #ifdef RNOC_TRACE

@@ -42,6 +42,8 @@ struct RouterStats {
   std::uint64_t xb_secondary_traversals = 0;
   std::uint64_t blocked_vc_cycles = 0;  ///< Cycles a VC was stalled by an untolerated fault.
   std::uint64_t flits_swallowed = 0;    ///< Flits sunk by this router after it died.
+  std::uint64_t escape_reroutes = 0;    ///< Packets diverted onto the escape VC (self-heal).
+  std::uint64_t flits_dropped = 0;      ///< Flits of unroutable packets purged in-network.
 
   void merge(const RouterStats& o) {
     flits_traversed += o.flits_traversed;
@@ -57,6 +59,8 @@ struct RouterStats {
     xb_secondary_traversals += o.xb_secondary_traversals;
     blocked_vc_cycles += o.blocked_vc_cycles;
     flits_swallowed += o.flits_swallowed;
+    escape_reroutes += o.escape_reroutes;
+    flits_dropped += o.flits_dropped;
   }
 };
 

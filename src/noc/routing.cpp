@@ -19,7 +19,7 @@ std::string direction_name(int port) {
     case Direction::South: return "South";
     case Direction::West: return "West";
   }
-  return "?";
+  unreachable("direction_name: unhandled Direction");
 }
 
 int opposite_port(int port) {
@@ -30,7 +30,7 @@ int opposite_port(int port) {
     case Direction::South: return port_of(Direction::North);
     case Direction::West: return port_of(Direction::East);
   }
-  return -1;
+  unreachable("opposite_port: unhandled Direction");
 }
 
 Coord MeshDims::coord_of(NodeId n) const {

@@ -1,0 +1,138 @@
+#include "noc/self_heal.hpp"
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace rnoc::noc {
+
+namespace {
+
+/// Coordinate of the neighbour behind `port` of `c`, or nullopt-style
+/// out-of-mesh coordinates the caller screens with dims.contains().
+Coord neighbour_coord(Coord c, int port) {
+  switch (direction_of(port)) {
+    case Direction::Local: break;
+    case Direction::North: --c.y; break;
+    case Direction::East: ++c.x; break;
+    case Direction::South: ++c.y; break;
+    case Direction::West: --c.x; break;
+  }
+  return c;
+}
+
+}  // namespace
+
+SelfHealNet::SelfHealNet(const MeshDims& dims)
+    : dims_(dims),
+      words_((static_cast<std::size_t>(dims.nodes()) + 63) / 64) {
+  require(dims.nodes() >= 1, "SelfHealNet: empty mesh");
+  global_.assign(words_, 0);
+  know_.assign(static_cast<std::size_t>(dims.nodes()) * words_, 0);
+  next_.assign(know_.size(), 0);
+  dead_ports_.assign(static_cast<std::size_t>(dims.nodes()), 0);
+}
+
+void SelfHealNet::activate(int escape_vc) {
+  require(escape_vc >= 0, "SelfHealNet::activate: bad escape VC");
+  active_ = true;
+  escape_vc_ = escape_vc;
+}
+
+bool SelfHealNet::dead(NodeId n) const {
+  require(n >= 0 && n < dims_.nodes(), "SelfHealNet::dead: node out of range");
+  return (global_[static_cast<std::size_t>(n) / 64] & bit_of(n)) != 0;
+}
+
+bool SelfHealNet::knows(NodeId r, NodeId n) const {
+  require(r >= 0 && r < dims_.nodes() && n >= 0 && n < dims_.nodes(),
+          "SelfHealNet::knows: node out of range");
+  return (know_[word_of(r, n)] & bit_of(n)) != 0;
+}
+
+void SelfHealNet::refresh_dead_ports(NodeId r) {
+  const Coord c = dims_.coord_of(r);
+  std::uint8_t mask = 0;
+  for (int p = 0; p < kMeshPorts; ++p) {
+    if (p == port_of(Direction::Local)) continue;
+    const Coord nc = neighbour_coord(c, p);
+    if (!dims_.contains(nc)) continue;
+    const NodeId m = dims_.node_of(nc);
+    if ((know_[word_of(r, m)] & bit_of(m)) != 0)
+      mask |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(p));
+  }
+  dead_ports_[static_cast<std::size_t>(r)] = mask;
+}
+
+void SelfHealNet::mark_dead(NodeId n) {
+  require(n >= 0 && n < dims_.nodes(),
+          "SelfHealNet::mark_dead: node out of range");
+  if (dead(n)) return;
+  global_[static_cast<std::size_t>(n) / 64] |= bit_of(n);
+  // Link-level detection: each live neighbour learns of the death at once.
+  const Coord c = dims_.coord_of(n);
+  for (int p = 0; p < kMeshPorts; ++p) {
+    if (p == port_of(Direction::Local)) continue;
+    const Coord nc = neighbour_coord(c, p);
+    if (!dims_.contains(nc)) continue;
+    const NodeId m = dims_.node_of(nc);
+    if (dead(m)) continue;
+    know_[word_of(m, n)] |= bit_of(n);
+    refresh_dead_ports(m);
+  }
+  converged_ = false;
+}
+
+bool SelfHealNet::propagate(std::vector<NodeId>& updated) {
+  if (converged_) return false;
+  const std::size_t first = updated.size();
+  bool changed = false;
+  for (NodeId r = 0; r < dims_.nodes(); ++r) {
+    const std::size_t base = static_cast<std::size_t>(r) * words_;
+    if (dead(r)) {
+      // A dead router neither learns nor forwards; its vector is frozen.
+      std::copy(know_.begin() + static_cast<std::ptrdiff_t>(base),
+                know_.begin() + static_cast<std::ptrdiff_t>(base + words_),
+                next_.begin() + static_cast<std::ptrdiff_t>(base));
+      continue;
+    }
+    const Coord c = dims_.coord_of(r);
+    bool r_changed = false;
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t merged = know_[base + w];
+      for (int p = 0; p < kMeshPorts; ++p) {
+        if (p == port_of(Direction::Local)) continue;
+        const Coord nc = neighbour_coord(c, p);
+        if (!dims_.contains(nc)) continue;
+        const NodeId m = dims_.node_of(nc);
+        if (dead(m)) continue;
+        merged |= know_[static_cast<std::size_t>(m) * words_ + w];
+      }
+      next_[base + w] = merged;
+      r_changed |= merged != know_[base + w];
+    }
+    if (r_changed) {
+      changed = true;
+      updated.push_back(r);
+    }
+  }
+  know_.swap(next_);
+  for (std::size_t i = first; i < updated.size(); ++i)
+    refresh_dead_ports(updated[i]);
+  converged_ = !changed;
+  return changed;
+}
+
+void SelfHealNet::reset() {
+  active_ = false;
+  escape_vc_ = -1;
+  frozen_ = false;
+  converged_ = true;
+  tables_ = nullptr;
+  std::fill(global_.begin(), global_.end(), 0);
+  std::fill(know_.begin(), know_.end(), 0);
+  std::fill(next_.begin(), next_.end(), 0);
+  std::fill(dead_ports_.begin(), dead_ports_.end(), 0);
+}
+
+}  // namespace rnoc::noc

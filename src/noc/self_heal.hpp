@@ -1,0 +1,98 @@
+// Self-healing adaptive routing state (degraded-mode SelfHeal strategy):
+// per-router local fault vectors propagated hop-by-hop — each router learns
+// of dead neighbours within a cycle (link-level detection) and of remote
+// deaths within a few more (one-hop flood per cycle) — plus the shared
+// west-first escape tables the RC stage falls back to when filtering the
+// odd-even candidate set by known-dead ports would leave a packet with no
+// legal productive output.
+//
+// Ownership: the DegradedModeController owns one SelfHealNet per mesh and
+// drives mark_dead / propagate / table installs; every Router holds a const
+// pointer and only reads (dead_ports, escape_tables, frozen) during RC.
+// While the pointer is unset or inactive the router's fault-free path is
+// untouched — bit-identical to a build without the mode (test-enforced).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/routing.hpp"
+#include "noc/table_routing.hpp"
+
+namespace rnoc::noc {
+
+class SelfHealNet {
+ public:
+  explicit SelfHealNet(const MeshDims& dims);
+
+  /// Lazily armed at the first router death: before activation every query
+  /// path is inert, so an enabled-but-unfaulted run stays bit-identical to a
+  /// disabled one (the escape VC is not reserved, RC does not filter).
+  bool active() const { return active_; }
+  void activate(int escape_vc);
+  int escape_vc() const { return escape_vc_; }
+
+  /// Oracle view (the controller's kill sweep): is node `n` dead?
+  bool dead(NodeId n) const;
+
+  /// Kill notification: records `n` in the global dead set and seeds each
+  /// live neighbour's local fault vector (link-level detection — a dead
+  /// neighbour stops answering within one cycle).
+  void mark_dead(NodeId n);
+
+  /// One hop of the knowledge flood: every live router merges its live
+  /// neighbours' fault vectors from the previous cycle. Appends the routers
+  /// whose vector changed to `updated` (ascending node order) and returns
+  /// true when anything changed; at fixpoint (false) every live router knows
+  /// every death reachable through live paths.
+  bool propagate(std::vector<NodeId>& updated);
+  bool converged() const { return converged_; }
+
+  /// Bit p set iff router `r` knows the neighbour behind its port p is dead
+  /// (the RC candidate filter mask).
+  std::uint8_t dead_ports(NodeId r) const {
+    return dead_ports_[static_cast<std::size_t>(r)];
+  }
+
+  /// Local fault-vector introspection (tests/obs): does router `r` know
+  /// about node `n`'s death yet?
+  bool knows(NodeId r, NodeId n) const;
+
+  /// West-first escape tables currently installed (nullptr before the first
+  /// install). `frozen` is set while a newer table generation awaits the
+  /// escape class running empty: RC then blocks *new* escape entrants so
+  /// routes of two table generations never mix in the escape VCs (a mixed
+  /// pair can compose a turn the west-first model forbids).
+  const FaultAwareTables* escape_tables() const { return tables_; }
+  void set_escape_tables(const FaultAwareTables* t) { tables_ = t; }
+  bool frozen() const { return frozen_; }
+  void set_frozen(bool f) { frozen_ = f; }
+
+  /// Restores the just-constructed state (Mesh::reset_for_run).
+  void reset();
+
+ private:
+  std::size_t words() const { return words_; }
+  std::size_t word_of(NodeId r, NodeId n) const {
+    return static_cast<std::size_t>(r) * words_ +
+           static_cast<std::size_t>(n) / 64;
+  }
+  static std::uint64_t bit_of(NodeId n) {
+    return 1ull << (static_cast<unsigned>(n) % 64);
+  }
+  void refresh_dead_ports(NodeId r);
+
+  MeshDims dims_;
+  std::size_t words_;  ///< 64-bit words per fault vector.
+  bool active_ = false;
+  int escape_vc_ = -1;
+  bool frozen_ = false;
+  bool converged_ = true;
+  const FaultAwareTables* tables_ = nullptr;
+  std::vector<std::uint64_t> global_;  ///< Oracle dead bitmap.
+  std::vector<std::uint64_t> know_;    ///< Per-router fault vectors.
+  std::vector<std::uint64_t> next_;    ///< Flood double buffer.
+  std::vector<std::uint8_t> dead_ports_;
+};
+
+}  // namespace rnoc::noc

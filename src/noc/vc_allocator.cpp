@@ -144,6 +144,9 @@ void VcAllocator::step(Cycle now, std::vector<InputPort>& inputs,
                 .allocated)
           continue;
         if (u == vc.excluded_out_vc) continue;
+        // Escape-VC partition: the reserved VC only for escape routes,
+        // escape routes only onto the reserved VC.
+        if (escape_vc_ >= 0 && (u == escape_vc_) != vc.escape_route) continue;
         if (!vc_allowed_for_class(u, cls, vcs_, vnets_)) continue;
         candidates_[static_cast<std::size_t>(u)] = true;
         any = true;
@@ -158,6 +161,7 @@ void VcAllocator::step(Cycle now, std::vector<InputPort>& inputs,
         if (ex >= 0 &&
             !out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(ex)]
                  .allocated &&
+            (escape_vc_ < 0 || (ex == escape_vc_) == vc.escape_route) &&
             vc_allowed_for_class(ex, cls, vcs_, vnets_)) {
           vc.excluded_out_vc = -1;
           candidates_[static_cast<std::size_t>(ex)] = true;
@@ -307,6 +311,7 @@ void VcAllocator::step_event(Cycle now, std::vector<InputPort>& inputs,
                 .allocated)
           continue;
         if (u == vc.excluded_out_vc) continue;
+        if (escape_vc_ >= 0 && (u == escape_vc_) != vc.escape_route) continue;
         if (!vc_allowed_for_class(u, cls, vcs_, vnets_)) continue;
         cand |= std::uint64_t{1} << static_cast<unsigned>(u);
       }
@@ -315,6 +320,7 @@ void VcAllocator::step_event(Cycle now, std::vector<InputPort>& inputs,
         if (ex >= 0 &&
             !out_vcs[static_cast<std::size_t>(r)][static_cast<std::size_t>(ex)]
                  .allocated &&
+            (escape_vc_ < 0 || (ex == escape_vc_) == vc.escape_route) &&
             vc_allowed_for_class(ex, cls, vcs_, vnets_)) {
           vc.excluded_out_vc = -1;
           cand |= std::uint64_t{1} << static_cast<unsigned>(ex);
@@ -390,6 +396,7 @@ void VcAllocator::step_event(Cycle now, std::vector<InputPort>& inputs,
 void VcAllocator::reset_for_run() {
   for (auto& a : stage1_) a.set_pointer(0);
   for (auto& a : stage2_) a.set_pointer(0);
+  escape_vc_ = -1;  // Self-heal re-arms lazily at the next run's first death.
 }
 
 }  // namespace rnoc::noc

@@ -45,6 +45,12 @@ class VcAllocator {
   /// Resets arbiter pointers (Mesh::reset_for_run).
   void reset_for_run();
 
+  /// Self-heal escape-VC discipline: once set (>= 0), downstream VC `evc` is
+  /// granted only to VCs whose route is an escape route, and escape routes
+  /// are granted only `evc` — the escape class stays a self-contained
+  /// west-first network. -1 (default) disables the partition entirely.
+  void set_escape_vc(int evc) { escape_vc_ = evc; }
+
   /// Stage-1 arbiter of input VC (port, vc); exposed for tests.
   RoundRobinArbiter& stage1(int port, int vc);
   /// Stage-2 arbiter of downstream VC (out_port, vc); exposed for tests.
@@ -76,6 +82,7 @@ class VcAllocator {
   int vcs_;
   core::RouterMode mode_;
   int vnets_;
+  int escape_vc_ = -1;  ///< Reserved downstream VC for escape routes.
   std::vector<RoundRobinArbiter> stage1_;  ///< [port * vcs + vc]
   std::vector<RoundRobinArbiter> stage2_;  ///< [out_port * vcs + vc]
 

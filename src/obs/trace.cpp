@@ -72,8 +72,10 @@ const char* event_kind_name(EventKind k) {
     case EventKind::RouterDeath: return "RouterDeath";
     case EventKind::Reroute: return "Reroute";
     case EventKind::E2eRetx: return "E2eRetx";
+    case EventKind::SelfHealVector: return "SelfHealVector";
+    case EventKind::SelfHealReroute: return "SelfHealReroute";
   }
-  return "?";
+  unreachable("event_kind_name: unhandled EventKind");
 }
 
 TraceBuffer::TraceBuffer(std::uint64_t sample, std::size_t capacity)
@@ -173,6 +175,12 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events, int ports,
           break;
         case EventKind::E2eRetx:
           lane.instants.push_back({e.cycle, "E2eRetx", packet});
+          break;
+        case EventKind::SelfHealVector:
+          lane.instants.push_back({e.cycle, "SelfHealVector", packet});
+          break;
+        case EventKind::SelfHealReroute:
+          lane.instants.push_back({e.cycle, "SelfHealReroute", packet});
           break;
       }
     }

@@ -35,7 +35,9 @@ enum class EventKind : std::uint8_t {
   EccRetx,     ///< ECC link detected a double error; flit retransmitted.
   RouterDeath, ///< Router declared dead; it now swallows traffic (packet 0).
   Reroute,     ///< Epoch switch: fault-aware tables installed (packet 0).
-  E2eRetx      ///< End-to-end timeout fired; packet retransmitted at the NI.
+  E2eRetx,     ///< End-to-end timeout fired; packet retransmitted at the NI.
+  SelfHealVector,   ///< Router's local fault vector updated (packet 0).
+  SelfHealReroute,  ///< RC diverted this packet onto the escape VC.
 };
 
 const char* event_kind_name(EventKind k);

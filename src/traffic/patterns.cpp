@@ -13,15 +13,28 @@ const char* pattern_name(Pattern p) {
     case Pattern::Neighbor: return "neighbor";
     case Pattern::Hotspot: return "hotspot";
   }
-  return "?";
+  unreachable("pattern_name: unhandled Pattern");
 }
 
 SyntheticTraffic::SyntheticTraffic(const SyntheticConfig& cfg) : cfg_(cfg) {
   require(cfg.injection_rate >= 0.0 && cfg.injection_rate <= 1.0,
           "SyntheticTraffic: injection rate must lie in [0,1] flits/node/cycle");
   require(cfg.packet_size >= 1, "SyntheticTraffic: bad packet size");
-  if (cfg.pattern == Pattern::Hotspot)
+  if (cfg.pattern == Pattern::Hotspot) {
     require(!cfg.hotspots.empty(), "SyntheticTraffic: hotspot list empty");
+    require(cfg.hotspot_fraction >= 0.0 && cfg.hotspot_fraction <= 1.0,
+            "SyntheticTraffic: hotspot_fraction must lie in [0,1]");
+  }
+}
+
+void SyntheticTraffic::init(const noc::MeshDims& dims) {
+  TrafficModel::init(dims);
+  // Hotspot ids can only be range-checked once the mesh shape is known;
+  // an out-of-mesh id would otherwise throw from coord bookkeeping deep
+  // inside a simulation run instead of at setup.
+  for (const NodeId h : cfg_.hotspots)
+    require(h >= 0 && h < dims.nodes(),
+            "SyntheticTraffic: hotspot node id outside the mesh");
 }
 
 NodeId SyntheticTraffic::destination(NodeId node, Rng& rng) const {
@@ -35,6 +48,9 @@ NodeId SyntheticTraffic::destination(NodeId node, Rng& rng) const {
       return d;
     }
     case Pattern::Transpose:
+      // On rectangular meshes (x != y) the literal transpose (y, x) can fall
+      // outside the mesh; folding each axis modulo its extent keeps every
+      // destination valid and degrades to the classic transpose on squares.
       return dims_.node_of({c.y % dims_.x, c.x % dims_.y});
     case Pattern::BitComplement:
       return static_cast<NodeId>((n - 1) - node);
@@ -55,7 +71,7 @@ NodeId SyntheticTraffic::destination(NodeId node, Rng& rng) const {
       return d;
     }
   }
-  return kInvalidNode;
+  unreachable("SyntheticTraffic::destination: unhandled Pattern");
 }
 
 void SyntheticTraffic::generate(Cycle, NodeId node, Rng& rng,

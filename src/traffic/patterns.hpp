@@ -61,7 +61,9 @@ class TrafficModel {
 
 enum class Pattern {
   UniformRandom,  ///< Destination uniform over all other nodes.
-  Transpose,      ///< (x, y) -> (y, x).
+  Transpose,      ///< (x, y) -> (y mod X, x mod Y): the classic transpose on
+                  ///< square meshes, axis-folded on rectangular ones so every
+                  ///< destination stays inside the mesh.
   BitComplement,  ///< node -> ~node (mod N).
   Tornado,        ///< Half-way around each dimension.
   Neighbor,       ///< (x+1, y) wraparound.
@@ -83,6 +85,9 @@ struct SyntheticConfig {
 class SyntheticTraffic : public TrafficModel {
  public:
   explicit SyntheticTraffic(const SyntheticConfig& cfg);
+
+  /// Validates mesh-dependent configuration (hotspot ids must name nodes).
+  void init(const noc::MeshDims& dims) override;
 
   void generate(Cycle now, NodeId node, Rng& rng,
                 std::vector<noc::PacketDesc>& out) override;

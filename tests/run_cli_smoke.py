@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """ctest harness for the rnoc_campaign CLI: run the cheapest campaigns in
-smoke mode (one synthesis-only, one reliability, one simulation — the
-degraded-mode protect-vs-reroute sweep) and diff the emitted result files
-against their committed goldens with compare_results.py.
+smoke mode (one synthesis-only, one reliability, two simulation — the
+degraded-mode protect-vs-reroute sweep and the self-heal vs drain-barrier
+head-to-head) and diff the emitted result files against their committed
+goldens with compare_results.py.
 
 Exercises the whole stack end to end — registry lookup, engine sharding,
 checkpoint write/cleanup, JSON emission, and the comparator — in seconds.
@@ -14,7 +15,7 @@ import shutil
 import subprocess
 import sys
 
-CAMPAIGNS = ["fit_table1", "critical_path", "degraded_mode"]
+CAMPAIGNS = ["fit_table1", "critical_path", "degraded_mode", "self_heal"]
 
 
 def main():

@@ -141,6 +141,32 @@ TEST(DegradedMode, ProtectedRouterToleratesBaselineLethalPlan) {
   EXPECT_DOUBLE_EQ(rep.degraded.delivery_ratio(), 1.0);
 }
 
+TEST(DegradedMode, InvalidConfigRejected) {
+  // validate_degraded_config: each retransmit knob has a directed
+  // rejection, checkable at config time before any Mesh exists.
+  EXPECT_NO_THROW(validate_degraded_config(DegradedConfig{}));
+  const auto reject = [](void (*tweak)(DegradedConfig&)) {
+    DegradedConfig c;
+    tweak(c);
+    EXPECT_THROW(validate_degraded_config(c), std::invalid_argument);
+  };
+  reject([](DegradedConfig& c) { c.ack_delay = 0; });
+  reject([](DegradedConfig& c) { c.retx_timeout = 0; });
+  reject([](DegradedConfig& c) { c.retx_timeout_cap = c.retx_timeout - 1; });
+  reject([](DegradedConfig& c) { c.backoff = 0.99; });
+  reject([](DegradedConfig& c) { c.max_retries = -1; });
+  reject([](DegradedConfig& c) { c.retx_window = 0; });
+
+  // The Simulator constructor surfaces the same rejection for an enabled
+  // config, so a bad campaign spec fails before a single cycle runs.
+  auto cfg = base_cfg(true);
+  cfg.degraded.backoff = 0.5;
+  traffic::SyntheticConfig tc;
+  tc.injection_rate = 0.05;
+  EXPECT_THROW(Simulator(cfg, std::make_shared<traffic::SyntheticTraffic>(tc)),
+               std::invalid_argument);
+}
+
 TEST(DegradedMode, RouterDeathStatsExposedInReport) {
   const auto rep = run_with_deaths(1, base_cfg(true));
   // Swallowed flits show up both in the degraded stats and in the router

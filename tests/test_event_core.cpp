@@ -174,6 +174,54 @@ TEST(EventCore, FaultInjectorNextDueCycleGatesExactly) {
   EXPECT_EQ(mesh.router(3).faults().count(), 1);
 }
 
+// --- DegradedModeController::next_due_cycle stale-head compaction ---
+
+TEST(EventCore, DegradedNextDueCycleCompactsStaleHeads) {
+  // The ack/timeout heaps are lazily invalidated: delivery disarms a
+  // timeout without removing its heap entry. The due-cycle gate must pop
+  // such stale heads instead of reporting a deadline nothing will act on —
+  // an under-jumped fast-forward would wake the event core for a provable
+  // no-op cycle (or, with every head stale, keep it awake forever).
+  MeshConfig mc;
+  mc.dims = {2, 2};
+  mc.core = SimCore::EventDriven;
+  Mesh mesh(mc);
+  DegradedConfig dc;
+  dc.enabled = true;
+  dc.ack_delay = 8;
+  dc.retx_timeout = 500;
+  DegradedModeController ctl(mesh, dc);
+  EXPECT_EQ(ctl.next_due_cycle(), kNeverCycle);  // Nothing tracked yet.
+
+  PacketDesc p;
+  p.id = 1;
+  p.src = 0;
+  p.dst = 3;
+  p.size_flits = 3;
+  mesh.ni(0).enqueue(p);
+  Cycle now = 0;
+  while (ctl.next_due_cycle() == kNeverCycle && now < 100) mesh.step(now++);
+  // Tail injected: the armed delivery timeout is the only pending event.
+  const Cycle deadline = ctl.next_due_cycle();
+  ASSERT_NE(deadline, kNeverCycle);
+  EXPECT_GE(deadline, dc.retx_timeout);
+
+  while (mesh.packets_delivered() < 1 && now < 200) mesh.step(now++);
+  ASSERT_EQ(mesh.packets_delivered(), 1u);
+  Flit tail;
+  tail.packet = p.id;
+  EXPECT_TRUE(ctl.on_delivered(tail, now));
+  // Delivery disarmed the timeout; its heap head is now stale and the gate
+  // must jump BACK to the ack, not report the dead deadline.
+  EXPECT_EQ(ctl.next_due_cycle(), now + dc.ack_delay);
+
+  // The ack retires the entry; with both heaps stale-or-empty the gate is
+  // idle-forever, so the event core can fast-forward past the old deadline.
+  ctl.step(now + dc.ack_delay);
+  EXPECT_EQ(ctl.stats().packets_acked, 1u);
+  EXPECT_EQ(ctl.next_due_cycle(), kNeverCycle);
+}
+
 // --- Mesh reset-and-reuse in the sweep runner ---
 
 SweepJob sweep_job(double rate, std::uint64_t seed, bool faulted) {

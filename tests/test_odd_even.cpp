@@ -71,16 +71,100 @@ TEST(OddEven, AllPathsObeyTurnRules) {
           const Coord c = dims6.coord_of(cur);
           if (prev_port == port_of(Direction::East) &&
               (port == port_of(Direction::North) ||
-               port == port_of(Direction::South)))
+               port == port_of(Direction::South))) {
             EXPECT_EQ(c.x % 2, 1) << "EN/ES turn in even column";
+          }
           if ((prev_port == port_of(Direction::North) ||
                prev_port == port_of(Direction::South)) &&
-              port == port_of(Direction::West))
+              port == port_of(Direction::West)) {
             EXPECT_EQ(c.x % 2, 0) << "NW/SW turn in odd column";
+          }
           cur = dims6.node_of(step_toward(c, port));
           prev_port = port;
         }
         EXPECT_EQ(cur, dst);
+      }
+    }
+  }
+}
+
+TEST(OddEven, ExhaustiveLegalitySweepOnSmallMeshes) {
+  // Every mesh shape up to 5x4 (squares and both rectangular orientations),
+  // every (src, dst) pair, every (node, arrival-direction) state reachable
+  // under ALL candidate choices — not a sampled walk. Each offered
+  // candidate must be a minimal in-mesh step and every turn it closes must
+  // obey the odd-even rules. This is the any-subset legality the self-heal
+  // RC filter leans on: a faulty-port filter may keep an arbitrary
+  // nonempty subset, so every individual edge has to be legal on its own.
+  for (int x = 2; x <= 5; ++x) {
+    for (int y = 2; y <= 4; ++y) {
+      const MeshDims dims{x, y};
+      SCOPED_TRACE(std::to_string(x) + "x" + std::to_string(y));
+      for (NodeId src = 0; src < dims.nodes(); ++src) {
+        for (NodeId dst = 0; dst < dims.nodes(); ++dst) {
+          if (src == dst) continue;
+          std::set<std::pair<NodeId, int>> seen;
+          std::vector<std::pair<NodeId, int>> stack{{src, -1}};
+          while (!stack.empty()) {
+            const auto [cur, prev_port] = stack.back();
+            stack.pop_back();
+            if (!seen.insert({cur, prev_port}).second) continue;
+            if (cur == dst) {
+              const auto eject = odd_even_candidates(dims, cur, src, dst);
+              ASSERT_EQ(eject.size(), 1u);
+              EXPECT_EQ(eject[0], port_of(Direction::Local));
+              continue;
+            }
+            const auto cands = odd_even_candidates(dims, cur, src, dst);
+            ASSERT_FALSE(cands.empty());
+            const Coord c = dims.coord_of(cur);
+            for (const int port : cands) {
+              const Coord next = step_toward(c, port);
+              ASSERT_TRUE(dims.contains(next));
+              ASSERT_EQ(xy_hops(dims, dims.node_of(next), dst),
+                        xy_hops(dims, cur, dst) - 1)
+                  << src << "->" << dst << " at " << cur << " via "
+                  << direction_name(port);
+              if (prev_port == port_of(Direction::East) &&
+                  (port == port_of(Direction::North) ||
+                   port == port_of(Direction::South))) {
+                EXPECT_EQ(c.x % 2, 1) << "EN/ES turn in even column";
+              }
+              if ((prev_port == port_of(Direction::North) ||
+                   prev_port == port_of(Direction::South)) &&
+                  port == port_of(Direction::West)) {
+                EXPECT_EQ(c.x % 2, 0) << "NW/SW turn in odd column";
+              }
+              stack.push_back({dims.node_of(next), port});
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(OddEven, HotPathOverloadAgreesWithVector) {
+  // The allocation-free RC overload must return exactly the vector
+  // overload's candidates, in the same order, for every minimal-quadrant
+  // (src, cur, dst) triple on every mesh shape up to 5x4.
+  for (int x = 2; x <= 5; ++x) {
+    for (int y = 2; y <= 4; ++y) {
+      const MeshDims dims{x, y};
+      for (NodeId src = 0; src < dims.nodes(); ++src) {
+        for (NodeId dst = 0; dst < dims.nodes(); ++dst) {
+          for (NodeId cur = 0; cur < dims.nodes(); ++cur) {
+            // A packet only ever queries from inside its minimal quadrant.
+            if (xy_hops(dims, src, cur) + xy_hops(dims, cur, dst) !=
+                xy_hops(dims, src, dst))
+              continue;
+            const auto vec = odd_even_candidates(dims, cur, src, dst);
+            int out[kMeshPorts];
+            const int n = odd_even_candidates(dims, cur, src, dst, out);
+            ASSERT_EQ(static_cast<std::size_t>(n), vec.size());
+            for (int i = 0; i < n; ++i) EXPECT_EQ(out[i], vec[i]);
+          }
+        }
       }
     }
   }

@@ -115,6 +115,62 @@ TEST(Patterns, InvalidConfigRejected) {
   EXPECT_THROW(SyntheticTraffic{cfg}, std::invalid_argument);
 }
 
+TEST(Patterns, RectangularMeshAllPatternsStayInRange) {
+  // 6x3: every pattern must emit only in-mesh destinations on a rectangular
+  // mesh — the literal transpose (y, x) falls outside one whenever y >= X
+  // or x >= Y, which a square-mesh-only test never notices.
+  const noc::MeshDims dims{6, 3};
+  for (const Pattern p : {Pattern::UniformRandom, Pattern::Transpose,
+                          Pattern::BitComplement, Pattern::Tornado,
+                          Pattern::Neighbor, Pattern::Hotspot}) {
+    SCOPED_TRACE(pattern_name(p));
+    SyntheticConfig cfg;
+    cfg.pattern = p;
+    if (p == Pattern::Hotspot) cfg.hotspots = {7};
+    SyntheticTraffic t(cfg);
+    t.init(dims);
+    Rng rng(5);
+    for (NodeId s = 0; s < dims.nodes(); ++s) {
+      for (int i = 0; i < 50; ++i) {
+        const NodeId d = t.destination(s, rng);
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, dims.nodes());
+      }
+    }
+  }
+}
+
+TEST(Patterns, TransposeAxisFoldsOnRectangularMesh) {
+  const noc::MeshDims dims{6, 3};
+  SyntheticConfig cfg;
+  cfg.pattern = Pattern::Transpose;
+  SyntheticTraffic t(cfg);
+  t.init(dims);
+  Rng rng(1);
+  // (2, 1) -> (1, 2): the literal transpose, still inside 6x3.
+  EXPECT_EQ(t.destination(dims.node_of({2, 1}), rng), dims.node_of({1, 2}));
+  // (5, 2) -> literal (2, 5) lies outside (y extent 3); the y axis folds
+  // modulo 3, giving (2, 2).
+  EXPECT_EQ(t.destination(dims.node_of({5, 2}), rng), dims.node_of({2, 2}));
+}
+
+TEST(Patterns, HotspotConfigEdgeCasesRejected) {
+  // A hotspot id can only be range-checked once the mesh shape is known:
+  // constructible, but rejected at init() against a mesh it lies outside.
+  const noc::MeshDims dims4{4, 4};
+  SyntheticConfig cfg;
+  cfg.pattern = Pattern::Hotspot;
+  cfg.hotspots = {17};
+  SyntheticTraffic oob(cfg);
+  EXPECT_THROW(oob.init(dims4), std::invalid_argument);
+  // Fractions outside [0, 1] are rejected at construction.
+  cfg.hotspots = {3};
+  cfg.hotspot_fraction = 1.5;
+  EXPECT_THROW(SyntheticTraffic{cfg}, std::invalid_argument);
+  cfg.hotspot_fraction = -0.1;
+  EXPECT_THROW(SyntheticTraffic{cfg}, std::invalid_argument);
+}
+
 // ---------- Coherence protocol ----------
 
 noc::Flit tail_of(CoherenceClass cls, NodeId src, NodeId dst,
